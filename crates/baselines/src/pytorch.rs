@@ -1,0 +1,158 @@
+//! A simulated PyTorch data-parallel baseline (§8.3).
+//!
+//! The paper runs "a standard, 'data parallel' implementation [19]; the
+//! input data matrix is sharded into column strips so each machine gets
+//! one shard" and observes that "PyTorch's data-parallel implementation
+//! broadcasts the entire model to all machines, which is problematic
+//! with such a large model", and that "PyTorch is unable to multiply
+//! the matrix storing the input data with the entire matrix connecting
+//! the inputs to the first input layer without failing".
+//!
+//! Both behaviours are direct consequences of the data-parallel
+//! strategy, which this module models explicitly:
+//!
+//! * every worker holds the **full model and its gradients** (2× model
+//!   bytes) plus its dense batch shard and activations — exceeding
+//!   worker RAM is a failure;
+//! * per step: model synchronization traffic that grows with the
+//!   worker count, plus the dense forward+backward FLOPs spread across
+//!   workers.
+
+use matopt_engine::{FailReason, SimOutcome};
+use matopt_graphs::FfnnConfig;
+
+/// Performance constants of the simulated PyTorch runtime on
+/// `r5dn.2xlarge` workers (calibrated against Figures 11–12; see
+/// EXPERIMENTS.md).
+#[derive(Debug, Clone, Copy)]
+pub struct PyTorchProfile {
+    /// Effective dense GEMM throughput per worker (flop/s) — MKL on 8
+    /// vCPUs.
+    pub flops_per_sec: f64,
+    /// Effective per-worker model-synchronization bandwidth (bytes/s);
+    /// total sync cost grows with the worker count.
+    pub sync_bytes_per_sec: f64,
+    /// Worker RAM (bytes).
+    pub worker_ram_bytes: f64,
+    /// Fixed framework overhead per measured step (seconds).
+    pub overhead_sec: f64,
+}
+
+impl Default for PyTorchProfile {
+    fn default() -> Self {
+        PyTorchProfile {
+            flops_per_sec: 5.5e11,
+            sync_bytes_per_sec: 6e9,
+            worker_ram_bytes: 64e9,
+            overhead_sec: 8.0,
+        }
+    }
+}
+
+/// Bytes of the model parameters (all three weight matrices; biases
+/// are negligible).
+fn model_bytes(cfg: &FfnnConfig) -> f64 {
+    let d = cfg.features as f64;
+    let h = cfg.hidden as f64;
+    let l = cfg.labels as f64;
+    (d * h + h * h + h * l) * 8.0
+}
+
+/// Dense forward FLOPs of one pass over the full batch.
+fn forward_flops(cfg: &FfnnConfig) -> f64 {
+    let b = cfg.batch as f64;
+    let d = cfg.features as f64;
+    let h = cfg.hidden as f64;
+    let l = cfg.labels as f64;
+    2.0 * b * (d * h + h * h + h * l)
+}
+
+/// Simulates one measured PyTorch training step (forward + backprop)
+/// of the FFNN on `workers` machines.
+pub fn simulate_pytorch_ffnn(
+    cfg: &FfnnConfig,
+    workers: usize,
+    profile: &PyTorchProfile,
+) -> SimOutcome {
+    let w = workers.max(1) as f64;
+    let model = model_bytes(cfg);
+    // PyTorch densifies the sharded input batch.
+    let x_shard = (cfg.batch as f64 / w).ceil() * cfg.features as f64 * 8.0;
+    let act_shard =
+        (cfg.batch as f64 / w).ceil() * (2.0 * cfg.hidden as f64 + cfg.labels as f64) * 8.0;
+    // Model + gradients resident on every worker (gradient buckets are
+    // partially released as the all-reduce drains, hence < 2×), plus
+    // the data shard and activations.
+    let peak = 1.9 * model + x_shard + act_shard;
+    if peak > profile.worker_ram_bytes {
+        return SimOutcome::Failed {
+            vertex: matopt_core::NodeId(0),
+            reason: FailReason::OutOfMemory,
+        };
+    }
+    // Forward + backward ≈ 3× forward FLOPs, data-parallel across
+    // workers.
+    let compute = 3.0 * forward_flops(cfg) / (w * profile.flops_per_sec);
+    // Model broadcast + gradient all-reduce: effective cost grows with
+    // the worker count (the paper observes PyTorch *slowing down* as
+    // workers are added at fixed batch size).
+    let sync = w * model / profile.sync_bytes_per_sec;
+    SimOutcome::Finished {
+        seconds: compute + sync + profile.overhead_sec,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(batch: u64, hidden: u64) -> FfnnConfig {
+        FfnnConfig::amazoncat(batch, hidden, false)
+    }
+
+    #[test]
+    fn layer_7000_fails_at_any_cluster_size() {
+        // Figure 11/12: PyTorch fails at layer size 7000 everywhere —
+        // 2 × 33.9 GB of parameters+gradients exceeds 64 GB RAM.
+        let p = PyTorchProfile::default();
+        for w in [2, 5, 10] {
+            assert!(simulate_pytorch_ffnn(&cfg(1000, 7000), w, &p).failed());
+        }
+    }
+
+    #[test]
+    fn ten_k_batch_fails_at_5000_on_two_workers() {
+        // Figure 12, 2 workers: 4000 passes, 5000 fails.
+        let p = PyTorchProfile::default();
+        assert!(!simulate_pytorch_ffnn(&cfg(10_000, 4000), 2, &p).failed());
+        assert!(simulate_pytorch_ffnn(&cfg(10_000, 5000), 2, &p).failed());
+        // ...but 5000 passes on 5 workers (the shard shrinks).
+        assert!(!simulate_pytorch_ffnn(&cfg(10_000, 5000), 5, &p).failed());
+    }
+
+    #[test]
+    fn adding_workers_eventually_slows_small_batches_down() {
+        // Figure 11's counter-intuitive shape: at batch 1000 the sync
+        // term dominates, so 10 workers are slower than 2.
+        let p = PyTorchProfile::default();
+        let t2 = simulate_pytorch_ffnn(&cfg(1000, 4000), 2, &p)
+            .seconds()
+            .unwrap();
+        let t10 = simulate_pytorch_ffnn(&cfg(1000, 4000), 10, &p)
+            .seconds()
+            .unwrap();
+        assert!(t10 > t2, "t2={t2} t10={t10}");
+    }
+
+    #[test]
+    fn big_batches_do_benefit_from_workers() {
+        let p = PyTorchProfile::default();
+        let t2 = simulate_pytorch_ffnn(&cfg(10_000, 4000), 2, &p)
+            .seconds()
+            .unwrap();
+        let t10 = simulate_pytorch_ffnn(&cfg(10_000, 4000), 10, &p)
+            .seconds()
+            .unwrap();
+        assert!(t10 < t2, "t2={t2} t10={t10}");
+    }
+}

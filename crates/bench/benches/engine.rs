@@ -1,0 +1,145 @@
+//! Real-executor benchmarks: the same logical computation run under
+//! different physical plans at laptop scale. This is the executable
+//! counterpart of the paper's headline claim — the annotation choice,
+//! not the math, dominates running time — measured on the chunk-level
+//! engine rather than simulated.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use matopt_baselines::all_tile_plan;
+use matopt_core::{
+    Annotation, Cluster, ComputeGraph, FormatCatalog, ImplRegistry, MatrixType, NodeId, NodeKind,
+    Op, PhysFormat, PlanContext,
+};
+use matopt_cost::AnalyticalCostModel;
+use matopt_engine::{execute_plan, DistRelation};
+use matopt_kernels::{random_dense_normal, seeded_rng};
+use matopt_opt::{frontier_dp_beam, OptContext};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// A laptop-sized version of the §2.1 motivating chain.
+fn chain() -> ComputeGraph {
+    let mut g = ComputeGraph::new();
+    let a = g.add_source(MatrixType::dense(64, 512), PhysFormat::RowStrip { height: 8 });
+    let b = g.add_source(MatrixType::dense(512, 64), PhysFormat::ColStrip { width: 8 });
+    let c = g.add_source(MatrixType::dense(64, 4096), PhysFormat::ColStrip { width: 512 });
+    let ab = g.add_op(Op::MatMul, &[a, b]).unwrap();
+    let _abc = g.add_op(Op::MatMul, &[ab, c]).unwrap();
+    g
+}
+
+fn inputs_for(g: &ComputeGraph, seed: u64) -> HashMap<NodeId, DistRelation> {
+    let mut rng = seeded_rng(seed);
+    let mut out = HashMap::new();
+    for (id, node) in g.iter() {
+        if let NodeKind::Source { format } = &node.kind {
+            let d = random_dense_normal(node.mtype.rows as usize, node.mtype.cols as usize, &mut rng);
+            out.insert(id, DistRelation::from_dense(&d, *format).unwrap());
+        }
+    }
+    out
+}
+
+fn small_catalog() -> FormatCatalog {
+    FormatCatalog::new(vec![
+        PhysFormat::SingleTuple,
+        PhysFormat::Tile { side: 8 },
+        PhysFormat::Tile { side: 16 },
+        PhysFormat::RowStrip { height: 8 },
+        PhysFormat::ColStrip { width: 8 },
+        PhysFormat::ColStrip { width: 512 },
+    ])
+}
+
+fn plans() -> (ComputeGraph, Annotation, Annotation, ImplRegistry) {
+    let g = chain();
+    let registry = ImplRegistry::paper_default();
+    let cluster = Cluster::simsql_like(4);
+    let ctx = PlanContext::new(&registry, cluster);
+    let model = AnalyticalCostModel;
+    let catalog = small_catalog();
+    let octx = OptContext::new(&ctx, &catalog, &model);
+    let auto = frontier_dp_beam(&g, &octx, 2000).expect("plan").annotation;
+    // All-tile with a *small* tile so the tuple-count overhead is real.
+    let tiles = {
+        let tile_catalog = FormatCatalog::new(vec![
+            PhysFormat::Tile { side: 8 },
+            PhysFormat::SingleTuple,
+        ]);
+        let cfg = matopt_baselines::GreedyConfig {
+            catalog: tile_catalog,
+            count_transform_cost: false,
+            respect_memory: false,
+            forbidden: matopt_baselines::broadcast_strategies(),
+            format_preference: Some(vec![
+                PhysFormat::Tile { side: 8 },
+                PhysFormat::SingleTuple,
+            ]),
+        };
+        matopt_baselines::greedy_plan(&g, &ctx, &model, &cfg).expect("plan")
+    };
+    let _ = all_tile_plan(&g, &ctx, &model); // exercised for parity
+    (g, auto, tiles, registry)
+}
+
+fn bench_execute_plans(c: &mut Criterion) {
+    let (g, auto, tiles, registry) = plans();
+    let inputs = inputs_for(&g, 11);
+    let mut group = c.benchmark_group("real_execution_chain");
+    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group.bench_function("optimized_plan", |b| {
+        b.iter(|| execute_plan(&g, &auto, &inputs, &registry).expect("runs"))
+    });
+    group.bench_function("all_tile_plan", |b| {
+        b.iter(|| execute_plan(&g, &tiles, &inputs, &registry).expect("runs"))
+    });
+    group.finish();
+}
+
+fn bench_reformat(c: &mut Criterion) {
+    let mut rng = seeded_rng(12);
+    let d = random_dense_normal(512, 512, &mut rng);
+    let rel = DistRelation::from_dense(&d, PhysFormat::Tile { side: 32 }).unwrap();
+    let mut group = c.benchmark_group("reformat_512");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group.bench_function("tile_to_single", |b| {
+        b.iter(|| rel.reformat(PhysFormat::SingleTuple).unwrap())
+    });
+    group.bench_function("tile_to_rowstrip", |b| {
+        b.iter(|| rel.reformat(PhysFormat::RowStrip { height: 32 }).unwrap())
+    });
+    group.bench_function("tile_to_csrtile", |b| {
+        b.iter(|| rel.reformat(PhysFormat::CsrTile { side: 32 }).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_simulation_throughput(c: &mut Criterion) {
+    // The simulator itself must be fast: every figure row calls it.
+    use matopt_engine::simulate_plan;
+    use matopt_graphs::{ffnn_w2_update_graph, FfnnConfig};
+    let registry = ImplRegistry::paper_default();
+    let cluster = Cluster::simsql_like(10);
+    let ctx = PlanContext::new(&registry, cluster);
+    let model = AnalyticalCostModel;
+    let catalog = FormatCatalog::paper_default().dense_only();
+    let octx = OptContext::new(&ctx, &catalog, &model);
+    let g = ffnn_w2_update_graph(FfnnConfig::simsql_experiment(10_000))
+        .unwrap()
+        .graph;
+    let plan = frontier_dp_beam(&g, &octx, 4000).unwrap().annotation;
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group.bench_function("ffnn_w2_10k", |b| {
+        b.iter(|| simulate_plan(&g, &plan, &ctx, &model).expect("simulates"))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_execute_plans,
+    bench_reformat,
+    bench_simulation_throughput
+);
+criterion_main!(benches);

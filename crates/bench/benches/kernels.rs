@@ -1,0 +1,81 @@
+//! Kernel micro-benchmarks: the local compute primitives that back
+//! every atomic computation implementation (the paper's BLAS-backed
+//! UDFs; see DESIGN.md for the substitution).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use matopt_kernels::{lu_factor, random_dense_normal, random_sparse_csr, seeded_rng};
+use std::time::Duration;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut rng = seeded_rng(1);
+    let mut group = c.benchmark_group("gemm");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n in [64usize, 128, 256] {
+        let a = random_dense_normal(n, n, &mut rng);
+        let b = random_dense_normal(n, n, &mut rng);
+        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| a.matmul(&b))
+        });
+    }
+    group.finish();
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut rng = seeded_rng(2);
+    let mut group = c.benchmark_group("spmm_csr_dense");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for density in [0.001f64, 0.01, 0.1] {
+        let a = random_sparse_csr(512, 512, density, &mut rng);
+        let b = random_dense_normal(512, 128, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{density}")),
+            &density,
+            |bench, _| bench.iter(|| a.matmul_dense(&b)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_lu_inverse(c: &mut Criterion) {
+    let mut rng = seeded_rng(3);
+    let mut group = c.benchmark_group("lu_inverse");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n in [32usize, 64, 128] {
+        let mut a = random_dense_normal(n, n, &mut rng);
+        for i in 0..n {
+            let v = a.get(i, i) + n as f64;
+            a.set(i, i, v);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| a.inverse().expect("well-conditioned"))
+        });
+        group.bench_with_input(BenchmarkId::new("factor_only", n), &n, |bench, _| {
+            bench.iter(|| lu_factor(&a).expect("well-conditioned"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_elementwise(c: &mut Criterion) {
+    let mut rng = seeded_rng(4);
+    let a = random_dense_normal(512, 512, &mut rng);
+    let b = random_dense_normal(512, 512, &mut rng);
+    let mut group = c.benchmark_group("elementwise_512");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group.bench_function("add", |bench| bench.iter(|| a.add(&b)));
+    group.bench_function("hadamard", |bench| bench.iter(|| a.hadamard(&b)));
+    group.bench_function("relu", |bench| bench.iter(|| a.relu()));
+    group.bench_function("softmax_rows", |bench| bench.iter(|| a.softmax_rows()));
+    group.bench_function("transpose", |bench| bench.iter(|| a.transpose()));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_spmm,
+    bench_lu_inverse,
+    bench_elementwise
+);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Criterion companion to Figure 13 (§8.4): measured runtimes of the
+//! three optimization algorithms over the Tree / DAG1 / DAG2 scaled
+//! computations and the three format catalogs, plus the FFNN planning
+//! times reported parenthetically throughout §8.2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use matopt_core::{Cluster, FormatCatalog, ImplRegistry, PlanContext};
+use matopt_cost::AnalyticalCostModel;
+use matopt_graphs::{ffnn_w2_update_graph, scaled_graph, FfnnConfig, ScaledShape};
+use matopt_opt::{brute_force, frontier_dp, frontier_dp_beam, tree_dp, OptContext};
+use std::time::Duration;
+
+fn bench_dp_scaling(c: &mut Criterion) {
+    let registry = ImplRegistry::paper_default();
+    let ctx = PlanContext::new(&registry, Cluster::simsql_like(10));
+    let model = AnalyticalCostModel;
+    let catalogs = [
+        ("all19", FormatCatalog::paper_default()),
+        ("ssb16", FormatCatalog::single_strip_block()),
+        ("sb10", FormatCatalog::single_block()),
+    ];
+    let mut group = c.benchmark_group("fig13_dp");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for (cat_name, catalog) in &catalogs {
+        let octx = OptContext::new(&ctx, catalog, &model);
+        for scale in [1usize, 2, 4] {
+            for (shape_name, shape) in [
+                ("dag2", ScaledShape::Dag2),
+                ("dag1", ScaledShape::Dag1),
+                ("tree", ScaledShape::Tree),
+            ] {
+                let g = scaled_graph(shape, scale).expect("builds");
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{cat_name}/{shape_name}"), scale),
+                    &g,
+                    |b, g| {
+                        b.iter(|| {
+                            if shape == ScaledShape::Tree {
+                                tree_dp(g, &octx).expect("plan").cost
+                            } else {
+                                frontier_dp(g, &octx).expect("plan").cost
+                            }
+                        })
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+fn bench_brute_force(c: &mut Criterion) {
+    // Brute force is only viable at scale 1 with the small catalog —
+    // exactly the paper's observation.
+    let registry = ImplRegistry::paper_default();
+    let ctx = PlanContext::new(&registry, Cluster::simsql_like(10));
+    let model = AnalyticalCostModel;
+    let catalog = FormatCatalog::single_block();
+    let octx = OptContext::new(&ctx, &catalog, &model);
+    let g = scaled_graph(ScaledShape::Dag2, 1).expect("builds");
+    let mut group = c.benchmark_group("fig13_brute");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group.bench_function("dag2_scale1_sb10", |b| {
+        b.iter(|| brute_force(&g, &octx, None).expect("plan").cost)
+    });
+    group.finish();
+}
+
+fn bench_ffnn_planning(c: &mut Criterion) {
+    // The parenthesized "opt time" columns of Figures 5-8.
+    let registry = ImplRegistry::paper_default();
+    let ctx = PlanContext::new(&registry, Cluster::simsql_like(10));
+    let model = AnalyticalCostModel;
+    let catalog = FormatCatalog::paper_default().dense_only();
+    let octx = OptContext::new(&ctx, &catalog, &model);
+    let mut group = c.benchmark_group("ffnn_planning");
+    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    for hidden in [10_000u64, 80_000] {
+        let g = ffnn_w2_update_graph(FfnnConfig::simsql_experiment(hidden))
+            .expect("builds")
+            .graph;
+        group.bench_with_input(BenchmarkId::new("w2_update", hidden), &g, |b, g| {
+            b.iter(|| frontier_dp_beam(g, &octx, 4000).expect("plan").cost)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dp_scaling,
+    bench_brute_force,
+    bench_ffnn_planning
+);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Regenerates every table and figure of the paper in one run.
+//!
+//! Usage: `cargo run --release -p matopt-bench --bin all_figures`
+//! Set `MATOPT_BRUTE_BUDGET_SECS` (default 10) to lengthen the Figure 13
+//! brute-force budget.
+
+use matopt_bench::figures;
+use matopt_bench::Env;
+use std::time::Duration;
+
+fn main() {
+    let env = Env::new();
+    let budget = std::env::var("MATOPT_BRUTE_BUDGET_SECS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10u64);
+    println!("{}", figures::fig01(&env));
+    println!("{}", figures::fig02(&env));
+    println!("{}", figures::fig03(&env));
+    println!("{}", figures::fig04(&env));
+    println!("{}", figures::fig05(&env));
+    println!("{}", figures::fig06(&env));
+    println!("{}", figures::fig07(&env));
+    println!("{}", figures::fig08(&env));
+    println!("{}", figures::fig09(&env));
+    println!("{}", figures::fig10(&env));
+    println!("{}", figures::fig11(&env));
+    println!("{}", figures::fig12(&env));
+    println!("{}", figures::fig13(&env, Duration::from_secs(budget)));
+}

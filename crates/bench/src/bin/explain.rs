@@ -1,0 +1,41 @@
+//! Prints the per-vertex cost breakdown of the auto-generated plan for
+//! one experiment, for cost-model inspection.
+//!
+//! Usage: `cargo run --release -p matopt-bench --bin explain [hidden] [workers]`
+
+use matopt_bench::Env;
+use matopt_core::{Cluster, FormatCatalog, NodeKind};
+use matopt_engine::simulate_plan;
+use matopt_graphs::{ffnn_w2_update_graph, FfnnConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let hidden: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(80_000);
+    let workers: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let env = Env::new();
+    let cluster = Cluster::simsql_like(workers);
+    let f = ffnn_w2_update_graph(FfnnConfig::simsql_experiment(hidden)).unwrap();
+    let g = f.graph;
+    let cat = FormatCatalog::paper_default().dense_only();
+    let auto = env.auto_plan(&g, cluster, &cat).unwrap();
+    let ctx = env.ctx(cluster);
+    let report = simulate_plan(&g, &auto.annotation, &ctx, &env.model).unwrap();
+    println!("total: {} (est cost {:.1}s)", report.outcome, auto.est_cost);
+    for step in &report.steps {
+        let node = g.node(step.vertex);
+        let NodeKind::Compute { op } = &node.kind else { continue };
+        let choice = auto.annotation.choice(step.vertex).unwrap();
+        let name = env.registry.get(choice.impl_id).name;
+        if step.impl_seconds + step.transform_seconds < 1.0 { continue; }
+        println!(
+            "{:>5} {:28} {:10} impl {:8.1}s trans {:8.1}s  {:?} {}",
+            step.vertex.to_string(),
+            format!("{:?}", op),
+            node.name.clone().unwrap_or_default(),
+            step.impl_seconds,
+            step.transform_seconds,
+            choice.output_format.to_string(),
+            name,
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! Per-step breakdown for the Figure 12 sparse-input configuration.
+use matopt_bench::Env;
+use matopt_core::{Cluster, FormatCatalog, NodeKind};
+use matopt_engine::simulate_plan;
+use matopt_graphs::{ffnn_train_step_graph, FfnnConfig};
+
+fn main() {
+    let env = Env::new();
+    let cluster = Cluster::plinycompute_like(2);
+    let cfg = FfnnConfig::amazoncat(10_000, 4000, true);
+    let g = ffnn_train_step_graph(cfg).unwrap().graph;
+    let cat = FormatCatalog::paper_default();
+    let auto = env.auto_plan(&g, cluster, &cat).unwrap();
+    let ctx = env.ctx(cluster);
+    let report = simulate_plan(&g, &auto.annotation, &ctx, &env.model).unwrap();
+    println!("total: {}", report.outcome);
+    for step in &report.steps {
+        let node = g.node(step.vertex);
+        let NodeKind::Compute { op } = &node.kind else { continue };
+        let choice = auto.annotation.choice(step.vertex).unwrap();
+        if step.impl_seconds + step.transform_seconds < 2.0 { continue; }
+        println!(
+            "{:>5} {:24} impl {:7.1}s trans {:7.1}s out={} {} [{} x {}]",
+            step.vertex.to_string(),
+            format!("{:?}", op),
+            step.impl_seconds,
+            step.transform_seconds,
+            choice.output_format,
+            env.registry.get(choice.impl_id).name,
+            g.node(node.inputs[0]).mtype,
+            node.inputs.get(1).map(|i| g.node(*i).mtype.to_string()).unwrap_or_default(),
+        );
+    }
+}

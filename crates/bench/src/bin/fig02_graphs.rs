@@ -1,0 +1,6 @@
+//! Regenerates fig02 of the paper. See EXPERIMENTS.md.
+use matopt_bench::{figures, Env};
+
+fn main() {
+    println!("{}", figures::fig02(&Env::new()));
+}

@@ -1,0 +1,6 @@
+//! Regenerates fig04 of the paper. See EXPERIMENTS.md.
+use matopt_bench::{figures, Env};
+
+fn main() {
+    println!("{}", figures::fig04(&Env::new()));
+}

@@ -1,0 +1,6 @@
+//! Regenerates fig05 of the paper. See EXPERIMENTS.md.
+use matopt_bench::{figures, Env};
+
+fn main() {
+    println!("{}", figures::fig05(&Env::new()));
+}

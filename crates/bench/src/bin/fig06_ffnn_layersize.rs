@@ -1,0 +1,6 @@
+//! Regenerates fig06 of the paper. See EXPERIMENTS.md.
+use matopt_bench::{figures, Env};
+
+fn main() {
+    println!("{}", figures::fig06(&Env::new()));
+}

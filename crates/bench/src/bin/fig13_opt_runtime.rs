@@ -1,0 +1,13 @@
+//! Regenerates Figure 13 (optimizer runtimes, measured). The
+//! brute-force budget defaults to 10 s; set `MATOPT_BRUTE_BUDGET_SECS`
+//! to reproduce the paper's 30-minute threshold.
+use matopt_bench::{figures, Env};
+use std::time::Duration;
+
+fn main() {
+    let budget = std::env::var("MATOPT_BRUTE_BUDGET_SECS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10u64);
+    println!("{}", figures::fig13(&Env::new(), Duration::from_secs(budget)));
+}

@@ -1,0 +1,212 @@
+//! `matopt` — command-line front end to the optimizer.
+//!
+//! ```text
+//! matopt formats                         list the physical-format catalog
+//! matopt impls                           list the 38 operator implementations
+//! matopt plan <workload> [options]       optimize a workload and report the plan
+//!
+//! workloads:
+//!   ffnn:<hidden>            FFNN fwd + backprop-to-W2 (SimSQL experiments)
+//!   ffnn-full:<hidden>       FFNN fwd + backprop + fwd (57-vertex graph)
+//!   amazoncat:<batch>:<layer>[:sparse]   system-comparison FFNN
+//!   chain:<1|2|3>            six-matrix multiplication chain, size set N
+//!   inverse                  two-level block-wise inverse
+//!   motivating               the section-2.1 example
+//!
+//! options:
+//!   --workers N              cluster size (default 10)
+//!   --engine simsql|pc       cluster profile (default simsql)
+//!   --catalog all|dense|ssb|sb   format catalog (default dense)
+//!   --explain                print the per-vertex plan breakdown
+//!   --sql                    print the plan as SQL
+//!   --dot                    print the annotated plan as Graphviz DOT
+//! ```
+
+use matopt_bench::Env;
+use matopt_core::{Cluster, ComputeGraph, FormatCatalog};
+use matopt_engine::{explain_plan, render_sql};
+use matopt_graphs::{
+    ffnn_full_pass_graph, ffnn_train_step_graph, ffnn_w2_update_graph, matmul_chain_graph,
+    motivating_graph, two_level_inverse_graph, FfnnConfig, SizeSet,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("formats") => cmd_formats(),
+        Some("impls") => cmd_impls(),
+        Some("plan") => cmd_plan(&args[1..]),
+        _ => {
+            eprintln!("usage: matopt <formats|impls|plan> ...  (see --help in the source header)");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn cmd_formats() -> i32 {
+    let catalog = FormatCatalog::paper_default();
+    println!("the {}-format catalog:", catalog.len());
+    for f in catalog.formats() {
+        let class = if f.is_sparse() { "sparse" } else { "dense" };
+        println!("  {:<16} {class}", f.to_string());
+    }
+    0
+}
+
+fn cmd_impls() -> i32 {
+    let env = Env::new();
+    println!(
+        "{} atomic computation implementations:",
+        env.registry.len()
+    );
+    for i in env.registry.all() {
+        println!("  {:<28} {:?} [{:?}]", i.name, i.op, i.strategy);
+    }
+    0
+}
+
+fn cmd_plan(args: &[String]) -> i32 {
+    let Some(workload) = args.first() else {
+        eprintln!("plan: missing workload");
+        return 2;
+    };
+    let mut workers = 10usize;
+    let mut engine = "simsql".to_string();
+    let mut catalog_name = "dense".to_string();
+    let mut explain = false;
+    let mut sql = false;
+    let mut dot = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workers" => {
+                i += 1;
+                workers = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(10);
+            }
+            "--engine" => {
+                i += 1;
+                engine = args.get(i).cloned().unwrap_or_default();
+            }
+            "--catalog" => {
+                i += 1;
+                catalog_name = args.get(i).cloned().unwrap_or_default();
+            }
+            "--explain" => explain = true,
+            "--sql" => sql = true,
+            "--dot" => dot = true,
+            other => {
+                eprintln!("plan: unknown option {other}");
+                return 2;
+            }
+        }
+        i += 1;
+    }
+
+    let cluster = match engine.as_str() {
+        "pc" | "plinycompute" => Cluster::plinycompute_like(workers),
+        _ => Cluster::simsql_like(workers),
+    };
+    let catalog = match catalog_name.as_str() {
+        "all" => FormatCatalog::paper_default(),
+        "ssb" => FormatCatalog::single_strip_block(),
+        "sb" => FormatCatalog::single_block(),
+        _ => FormatCatalog::paper_default().dense_only(),
+    };
+    let graph = match build_workload(workload, &cluster) {
+        Ok(g) => g,
+        Err(msg) => {
+            eprintln!("plan: {msg}");
+            return 2;
+        }
+    };
+
+    let env = Env::new();
+    let plan = match env.auto_plan(&graph, cluster, &catalog) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("plan: optimization failed: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "optimized {} vertices in {:.2}s; estimated runtime {}",
+        graph.len(),
+        plan.opt_seconds,
+        env.simulate(&graph, &plan.annotation, cluster)
+    );
+    let ctx = env.ctx(cluster);
+    if explain {
+        match explain_plan(&graph, &plan.annotation, &ctx, &env.model) {
+            Ok(ex) => print!("{ex}"),
+            Err(e) => eprintln!("explain failed: {e}"),
+        }
+    }
+    if sql {
+        match render_sql(&graph, &plan.annotation, &ctx) {
+            Ok(s) => print!("{s}"),
+            Err(e) => eprintln!("sql rendering failed: {e}"),
+        }
+    }
+    if dot {
+        print!(
+            "{}",
+            matopt_core::annotated_to_dot(&graph, &plan.annotation, &env.registry)
+        );
+    }
+    0
+}
+
+fn build_workload(spec: &str, cluster: &Cluster) -> Result<ComputeGraph, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    match parts[0] {
+        "ffnn" => {
+            let hidden = parts
+                .get(1)
+                .and_then(|s| s.parse().ok())
+                .ok_or("ffnn:<hidden> expects a size, e.g. ffnn:80000")?;
+            Ok(ffnn_w2_update_graph(FfnnConfig::simsql_experiment(hidden))
+                .map_err(|e| e.to_string())?
+                .graph)
+        }
+        "ffnn-full" => {
+            let hidden = parts
+                .get(1)
+                .and_then(|s| s.parse().ok())
+                .ok_or("ffnn-full:<hidden> expects a size")?;
+            Ok(ffnn_full_pass_graph(FfnnConfig::simsql_experiment(hidden))
+                .map_err(|e| e.to_string())?
+                .graph)
+        }
+        "amazoncat" => {
+            let batch = parts
+                .get(1)
+                .and_then(|s| s.parse().ok())
+                .ok_or("amazoncat:<batch>:<layer>[:sparse]")?;
+            let layer = parts
+                .get(2)
+                .and_then(|s| s.parse().ok())
+                .ok_or("amazoncat:<batch>:<layer>[:sparse]")?;
+            let sparse = parts.get(3) == Some(&"sparse");
+            Ok(ffnn_train_step_graph(FfnnConfig::amazoncat(batch, layer, sparse))
+                .map_err(|e| e.to_string())?
+                .graph)
+        }
+        "chain" => {
+            let set = match parts.get(1) {
+                Some(&"1") => SizeSet::Set1,
+                Some(&"2") => SizeSet::Set2,
+                Some(&"3") => SizeSet::Set3,
+                _ => return Err("chain:<1|2|3>".into()),
+            };
+            Ok(matmul_chain_graph(set, cluster)
+                .map_err(|e| e.to_string())?
+                .graph)
+        }
+        "inverse" => Ok(two_level_inverse_graph(10_000, 2_000)
+            .map_err(|e| e.to_string())?
+            .graph),
+        "motivating" => Ok(motivating_graph().map_err(|e| e.to_string())?.graph),
+        other => Err(format!("unknown workload {other}")),
+    }
+}

@@ -1,0 +1,302 @@
+//! Validation and feature accounting for annotated compute graphs —
+//! the type-correctness rules of §4.2 and the plan-cost decomposition
+//! of §4.3.
+
+use crate::features::CostFeatures;
+use crate::graph::{Annotation, ComputeGraph, NodeId, NodeKind};
+use crate::impls::ImplRegistry;
+use crate::transforms::TransformCatalog;
+use crate::Cluster;
+
+/// Everything needed to interpret an annotation: the implementation
+/// registry, the transformation catalog, and the target cluster.
+#[derive(Debug, Clone)]
+pub struct PlanContext<'a> {
+    /// The atomic computation implementations available.
+    pub registry: &'a ImplRegistry,
+    /// The transformation catalog.
+    pub transforms: TransformCatalog,
+    /// The cluster plans are costed against.
+    pub cluster: Cluster,
+}
+
+impl<'a> PlanContext<'a> {
+    /// Builds a context.
+    pub fn new(registry: &'a ImplRegistry, cluster: Cluster) -> Self {
+        PlanContext {
+            registry,
+            transforms: TransformCatalog,
+            cluster,
+        }
+    }
+}
+
+/// Why an annotation is not type-correct.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// A compute vertex has no choice.
+    MissingChoice(NodeId),
+    /// The chosen implementation implements a different atomic
+    /// computation than the vertex (`v.i.a ≠ v.a`).
+    WrongOp(NodeId),
+    /// The number of input transformations disagrees with the vertex
+    /// arity.
+    TransformArity(NodeId),
+    /// An edge transformation does not exist for the producing format.
+    BadTransform {
+        /// The consuming vertex.
+        node: NodeId,
+        /// Which input edge.
+        input: usize,
+    },
+    /// The implementation rejected the (transformed) input formats
+    /// (`v.p = ⊥`).
+    ImplRejected(NodeId),
+    /// The implementation produced a different output format than the
+    /// annotation recorded.
+    OutputMismatch(NodeId),
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::MissingChoice(v) => write!(f, "vertex {v} has no annotation"),
+            PlanError::WrongOp(v) => write!(f, "vertex {v}: implementation for wrong op"),
+            PlanError::TransformArity(v) => write!(f, "vertex {v}: transform arity mismatch"),
+            PlanError::BadTransform { node, input } => {
+                write!(f, "vertex {node}: no such transform on input {input}")
+            }
+            PlanError::ImplRejected(v) => {
+                write!(f, "vertex {v}: implementation rejected input formats")
+            }
+            PlanError::OutputMismatch(v) => {
+                write!(f, "vertex {v}: recorded output format mismatch")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Per-vertex feature breakdown of a validated plan.
+#[derive(Debug, Clone, Default)]
+pub struct PlanFeatures {
+    /// Implementation features per compute vertex (indexed by node id;
+    /// `None` for sources).
+    pub impl_features: Vec<Option<CostFeatures>>,
+    /// Transformation features per in-edge `(vertex, input index)`.
+    pub transform_features: Vec<Vec<CostFeatures>>,
+    /// Peak per-worker memory estimate across all vertices.
+    pub peak_mem_per_worker: f64,
+    /// Sum of everything.
+    pub total: CostFeatures,
+}
+
+/// Checks type-correctness (§4.2) and computes the feature breakdown of
+/// an annotated graph in one topological walk.
+///
+/// # Errors
+/// Returns the first [`PlanError`] encountered.
+pub fn plan_features(
+    graph: &ComputeGraph,
+    annotation: &Annotation,
+    ctx: &PlanContext<'_>,
+) -> Result<PlanFeatures, PlanError> {
+    let mut out = PlanFeatures {
+        impl_features: vec![None; graph.len()],
+        transform_features: vec![Vec::new(); graph.len()],
+        peak_mem_per_worker: 0.0,
+        total: CostFeatures::zero(),
+    };
+    for (id, node) in graph.iter() {
+        let NodeKind::Compute { op } = &node.kind else {
+            continue;
+        };
+        let choice = annotation
+            .choice(id)
+            .ok_or(PlanError::MissingChoice(id))?;
+        let impl_def = ctx.registry.get(choice.impl_id);
+        if impl_def.op != op.kind() {
+            return Err(PlanError::WrongOp(id));
+        }
+        if choice.input_transforms.len() != node.inputs.len() {
+            return Err(PlanError::TransformArity(id));
+        }
+        // Transform each input and accumulate transform features.
+        let mut transformed = Vec::with_capacity(node.inputs.len());
+        for (j, (input_id, t)) in node
+            .inputs
+            .iter()
+            .zip(choice.input_transforms.iter())
+            .enumerate()
+        {
+            let in_type = graph.node(*input_id).mtype;
+            let in_fmt = annotation
+                .format_of(graph, *input_id)
+                .ok_or(PlanError::MissingChoice(*input_id))?;
+            let found = ctx.transforms.find(&in_type, in_fmt, t.to);
+            if found != Some(*t) {
+                return Err(PlanError::BadTransform { node: id, input: j });
+            }
+            let tf = ctx.transforms.features(&in_type, in_fmt, *t, &ctx.cluster);
+            out.total += tf;
+            out.transform_features[id.index()].push(tf);
+            transformed.push((in_type, t.to));
+        }
+        let eval = impl_def
+            .evaluate(op, &transformed, &ctx.cluster)
+            .ok_or(PlanError::ImplRejected(id))?;
+        if eval.out_format != choice.output_format {
+            return Err(PlanError::OutputMismatch(id));
+        }
+        out.peak_mem_per_worker = out.peak_mem_per_worker.max(eval.mem_per_worker);
+        out.total += eval.features;
+        out.impl_features[id.index()] = Some(eval.features);
+    }
+    Ok(out)
+}
+
+/// Convenience: `true` when the annotation is complete and
+/// type-correct.
+pub fn validate(
+    graph: &ComputeGraph,
+    annotation: &Annotation,
+    ctx: &PlanContext<'_>,
+) -> Result<(), PlanError> {
+    plan_features(graph, annotation, ctx).map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::PhysFormat;
+    use crate::graph::VertexChoice;
+    use crate::ops::Op;
+    use crate::transforms::Transform;
+    use crate::types::MatrixType;
+
+    /// matA(single) × matB(single) with a local multiply: the simplest
+    /// valid annotation.
+    fn simple_plan() -> (ComputeGraph, Annotation, ImplRegistry) {
+        let reg = ImplRegistry::paper_default();
+        let mut g = ComputeGraph::new();
+        let a = g.add_source(MatrixType::dense(1000, 2000), PhysFormat::SingleTuple);
+        let b = g.add_source(MatrixType::dense(2000, 500), PhysFormat::SingleTuple);
+        let c = g.add_op(Op::MatMul, &[a, b]).unwrap();
+        let mut ann = Annotation::empty(&g);
+        let mm = reg.by_name("mm_single_local").unwrap().id;
+        ann.set(
+            c,
+            VertexChoice {
+                impl_id: mm,
+                input_transforms: vec![
+                    Transform::identity(PhysFormat::SingleTuple),
+                    Transform::identity(PhysFormat::SingleTuple),
+                ],
+                output_format: PhysFormat::SingleTuple,
+            },
+        );
+        (g, ann, reg)
+    }
+
+    #[test]
+    fn valid_plan_passes_and_sums_features() {
+        let (g, ann, reg) = simple_plan();
+        let ctx = PlanContext::new(&reg, Cluster::simsql_like(5));
+        let f = plan_features(&g, &ann, &ctx).unwrap();
+        // 2 * 1000 * 2000 * 500 flops in a single-threaded local kernel.
+        let c = crate::graph::NodeId(2);
+        assert_eq!(f.impl_features[c.index()].unwrap().local_flops, 2e9);
+        assert!(f.total.local_flops >= 2e9);
+        assert!(f.peak_mem_per_worker > 0.0);
+    }
+
+    #[test]
+    fn missing_choice_is_reported() {
+        let (g, _, reg) = simple_plan();
+        let ctx = PlanContext::new(&reg, Cluster::simsql_like(5));
+        let empty = Annotation::empty(&g);
+        assert!(matches!(
+            validate(&g, &empty, &ctx),
+            Err(PlanError::MissingChoice(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_op_is_reported() {
+        let (g, mut ann, reg) = simple_plan();
+        let ctx = PlanContext::new(&reg, Cluster::simsql_like(5));
+        let c = crate::graph::NodeId(2);
+        let mut choice = ann.choice(c).unwrap().clone();
+        choice.impl_id = reg.by_name("add_single_local").unwrap().id;
+        ann.set(c, choice);
+        assert_eq!(validate(&g, &ann, &ctx), Err(PlanError::WrongOp(c)));
+    }
+
+    #[test]
+    fn impl_rejection_is_reported() {
+        let (g, mut ann, reg) = simple_plan();
+        let ctx = PlanContext::new(&reg, Cluster::simsql_like(5));
+        let c = crate::graph::NodeId(2);
+        // Feed the local multiply tiled inputs: it must reject them.
+        let tile = PhysFormat::Tile { side: 100 };
+        let mut choice = ann.choice(c).unwrap().clone();
+        choice.input_transforms = vec![
+            Transform {
+                kind: crate::transforms::TransformKind::SingleToTile,
+                to: tile,
+            },
+            Transform {
+                kind: crate::transforms::TransformKind::SingleToTile,
+                to: tile,
+            },
+        ];
+        ann.set(c, choice);
+        assert_eq!(validate(&g, &ann, &ctx), Err(PlanError::ImplRejected(c)));
+    }
+
+    #[test]
+    fn transforms_feed_the_impl_and_are_costed() {
+        // single inputs, but run the tile shuffle multiply by
+        // transforming both sides to tiles first.
+        let reg = ImplRegistry::paper_default();
+        let mut g = ComputeGraph::new();
+        let a = g.add_source(MatrixType::dense(1000, 2000), PhysFormat::SingleTuple);
+        let b = g.add_source(MatrixType::dense(2000, 500), PhysFormat::SingleTuple);
+        let c = g.add_op(Op::MatMul, &[a, b]).unwrap();
+        let mut ann = Annotation::empty(&g);
+        let tile = PhysFormat::Tile { side: 100 };
+        ann.set(
+            c,
+            VertexChoice {
+                impl_id: reg.by_name("mm_tile_shuffle").unwrap().id,
+                input_transforms: vec![
+                    Transform {
+                        kind: crate::transforms::TransformKind::SingleToTile,
+                        to: tile,
+                    },
+                    Transform {
+                        kind: crate::transforms::TransformKind::SingleToTile,
+                        to: tile,
+                    },
+                ],
+                output_format: tile,
+            },
+        );
+        let ctx = PlanContext::new(&reg, Cluster::simsql_like(5));
+        let f = plan_features(&g, &ann, &ctx).unwrap();
+        assert_eq!(f.transform_features[c.index()].len(), 2);
+        assert!(f.transform_features[c.index()][0].net_bytes > 0.0);
+    }
+
+    #[test]
+    fn recorded_output_format_must_match() {
+        let (g, mut ann, reg) = simple_plan();
+        let ctx = PlanContext::new(&reg, Cluster::simsql_like(5));
+        let c = crate::graph::NodeId(2);
+        let mut choice = ann.choice(c).unwrap().clone();
+        choice.output_format = PhysFormat::Tile { side: 100 };
+        ann.set(c, choice);
+        assert_eq!(validate(&g, &ann, &ctx), Err(PlanError::OutputMismatch(c)));
+    }
+}

@@ -1,0 +1,160 @@
+//! Cluster descriptions: the hardware model against which plans are
+//! costed, checked for memory feasibility, and simulated.
+//!
+//! The paper runs SimSQL experiments on EC2 `r5d.2xlarge` machines
+//! (8 cores, 68 GB RAM, NVMe SSD) and PlinyCompute/PyTorch/SystemDS
+//! experiments on `r5dn.2xlarge` (8 cores, 64 GB, faster networking).
+//! The two constructors [`Cluster::simsql_like`] and
+//! [`Cluster::plinycompute_like`] encode those two system profiles: the
+//! same hardware, but very different software overheads — SimSQL is a
+//! Hadoop-based batch engine with large per-operator setup costs, while
+//! PlinyCompute is an in-memory engine with millisecond dispatch.
+
+use serde::{Deserialize, Serialize};
+
+/// The hardware/software profile of the distributed engine a plan will
+/// run on.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Cluster {
+    /// Number of worker machines.
+    pub workers: usize,
+    /// RAM available to the engine on each worker, in bytes.
+    pub worker_ram_bytes: f64,
+    /// Effective dense floating-point throughput per worker (flop/s)
+    /// for parallel, chunk-level kernels.
+    pub flops_per_sec: f64,
+    /// Throughput of a single-threaded whole-matrix kernel call (one
+    /// UDF invocation on one worker), flop/s.
+    pub single_thread_flops_per_sec: f64,
+    /// Network bandwidth in/out of one worker (bytes/s).
+    pub net_bytes_per_sec: f64,
+    /// Rate at which intermediate data can be materialized and re-read
+    /// (bytes/s) — disk for SimSQL, memory-bus for PlinyCompute.
+    pub inter_bytes_per_sec: f64,
+    /// Fixed cost of processing one tuple through a relational operator
+    /// (seconds) — the paper's feature (4): "each tuple tends to require
+    /// a fixed overhead cost".
+    pub tuple_overhead_sec: f64,
+    /// Fixed startup cost per relational operator (seconds): job launch
+    /// for Hadoop-based SimSQL, dispatch for PlinyCompute.
+    pub op_setup_sec: f64,
+    /// Largest matrix payload the engine will store in a single tuple,
+    /// in bytes. The paper notes one "could not typically store a 40GB
+    /// matrix in a single tuple".
+    pub max_tuple_bytes: f64,
+    /// Scratch space per worker for spilled intermediate data (the
+    /// 300 GB NVMe SSD of the paper's EC2 instances). Plans whose
+    /// intermediate data exceeds this *fail at runtime* — the paper's
+    /// "Fail ... typically due to too much intermediate data".
+    pub worker_disk_bytes: f64,
+    /// Whether scratch space is reclaimed after each operator. Hadoop-
+    /// based SimSQL materializes and retains every intermediate relation
+    /// until the query finishes (`false`: spill accumulates across the
+    /// plan); in-memory engines like PlinyCompute release scratch as
+    /// soon as an operator completes (`true`: only the largest single
+    /// operator counts).
+    pub reclaim_scratch: bool,
+}
+
+impl Cluster {
+    /// A SimSQL-like (Hadoop-based, disk-oriented) cluster of
+    /// `r5d.2xlarge` workers. Used for the §8.2 plan-quality experiments.
+    pub fn simsql_like(workers: usize) -> Self {
+        Cluster {
+            workers,
+            worker_ram_bytes: 68e9,
+            // 8 cores of JVM-hosted dense kernels backed by BLAS.
+            flops_per_sec: 3.2e10,
+            // One JVM thread running the matrix UDF.
+            single_thread_flops_per_sec: 4.0e9,
+            // 10 Gbit/s NIC, ~80% achievable.
+            net_bytes_per_sec: 1.0e9,
+            // NVMe SSD materialization path.
+            inter_bytes_per_sec: 0.8e9,
+            tuple_overhead_sec: 5.0e-4,
+            // Hadoop job launch amortized per relational operator.
+            op_setup_sec: 8.0,
+            max_tuple_bytes: 8e9,
+            worker_disk_bytes: 300e9,
+            reclaim_scratch: false,
+        }
+    }
+
+    /// A PlinyCompute-like (in-memory, low-latency) cluster of
+    /// `r5dn.2xlarge` workers. Used for the §8.3 system comparisons.
+    pub fn plinycompute_like(workers: usize) -> Self {
+        Cluster {
+            workers,
+            worker_ram_bytes: 64e9,
+            // Effective multi-threaded MKL throughput of the engine's
+            // dense kernels (calibrated against Figures 11-12).
+            flops_per_sec: 5.0e11,
+            single_thread_flops_per_sec: 6.25e10,
+            // 25 Gbit/s NIC on r5dn.
+            net_bytes_per_sec: 2.5e9,
+            // In-memory intermediates.
+            inter_bytes_per_sec: 8e9,
+            tuple_overhead_sec: 2.0e-5,
+            op_setup_sec: 0.35,
+            max_tuple_bytes: 8e9,
+            worker_disk_bytes: 300e9,
+            reclaim_scratch: true,
+        }
+    }
+
+    /// A tiny deterministic profile for unit tests: one "second" per
+    /// unit of every resource so feature values can be read off costs.
+    pub fn unit_test(workers: usize) -> Self {
+        Cluster {
+            workers,
+            worker_ram_bytes: 1e12,
+            flops_per_sec: 1.0,
+            single_thread_flops_per_sec: 1.0,
+            net_bytes_per_sec: 1.0,
+            inter_bytes_per_sec: 1.0,
+            tuple_overhead_sec: 1.0,
+            op_setup_sec: 0.0,
+            max_tuple_bytes: 1e12,
+            worker_disk_bytes: 1e15,
+            reclaim_scratch: true,
+        }
+    }
+
+    /// Number of workers that can productively share `chunks` units of
+    /// work (you cannot use more workers than there are chunks).
+    pub fn effective_workers(&self, chunks: f64) -> f64 {
+        (self.workers as f64).min(chunks.max(1.0))
+    }
+
+    /// The same cluster with memory and disk limits lifted. Baseline
+    /// planners use this to *construct* plans a real cluster would
+    /// reject, so the simulator can then report the runtime failure the
+    /// paper observed.
+    pub fn with_unlimited_resources(mut self) -> Self {
+        self.worker_ram_bytes = f64::INFINITY;
+        self.worker_disk_bytes = f64::INFINITY;
+        self.max_tuple_bytes = f64::INFINITY;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_workers_caps_at_chunk_count() {
+        let c = Cluster::simsql_like(10);
+        assert_eq!(c.effective_workers(3.0), 3.0);
+        assert_eq!(c.effective_workers(100.0), 10.0);
+        assert_eq!(c.effective_workers(0.0), 1.0);
+    }
+
+    #[test]
+    fn profiles_differ_in_overheads() {
+        let sim = Cluster::simsql_like(10);
+        let pc = Cluster::plinycompute_like(10);
+        assert!(sim.op_setup_sec > 10.0 * pc.op_setup_sec);
+        assert!(sim.tuple_overhead_sec > pc.tuple_overhead_sec);
+    }
+}

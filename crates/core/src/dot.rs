@@ -1,0 +1,169 @@
+//! Graphviz (DOT) rendering of compute graphs and annotated plans —
+//! the visual counterpart of the paper's Figure 2 (a compute graph and
+//! its annotated version side by side).
+
+use crate::graph::{Annotation, ComputeGraph, NodeKind};
+use crate::impls::ImplRegistry;
+use crate::transforms::TransformKind;
+
+/// Renders the bare (logical) compute graph as DOT: sources as boxes
+/// labelled with their type and storage, computations as ellipses.
+pub fn graph_to_dot(graph: &ComputeGraph) -> String {
+    let mut out = String::from("digraph compute {\n  rankdir=BT;\n");
+    for (id, node) in graph.iter() {
+        let label = node.name.clone().unwrap_or_else(|| id.to_string());
+        match &node.kind {
+            NodeKind::Source { format } => {
+                out.push_str(&format!(
+                    "  n{} [shape=box, label=\"{}\\n{} @ {}\"];\n",
+                    id.0, label, node.mtype, format
+                ));
+            }
+            NodeKind::Compute { op } => {
+                out.push_str(&format!(
+                    "  n{} [label=\"{}\\n{:?} : {}\"];\n",
+                    id.0,
+                    label,
+                    op,
+                    node.mtype
+                ));
+            }
+        }
+    }
+    for (id, node) in graph.iter() {
+        for input in &node.inputs {
+            out.push_str(&format!("  n{} -> n{};\n", input.0, id.0));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders an annotated compute graph as DOT: each computation shows its
+/// chosen implementation and output format; each edge its
+/// transformation (identity edges stay unlabelled). This is the §4.2
+/// "annotated compute graph" `G'` as a picture.
+pub fn annotated_to_dot(
+    graph: &ComputeGraph,
+    annotation: &Annotation,
+    registry: &ImplRegistry,
+) -> String {
+    let mut out = String::from("digraph annotated {\n  rankdir=BT;\n");
+    for (id, node) in graph.iter() {
+        let label = node.name.clone().unwrap_or_else(|| id.to_string());
+        match &node.kind {
+            NodeKind::Source { format } => {
+                out.push_str(&format!(
+                    "  n{} [shape=box, label=\"{}\\n{} @ {}\"];\n",
+                    id.0, label, node.mtype, format
+                ));
+            }
+            NodeKind::Compute { .. } => match annotation.choice(id) {
+                Some(choice) => {
+                    out.push_str(&format!(
+                        "  n{} [label=\"{}\\n{}\\n-> {}\"];\n",
+                        id.0,
+                        label,
+                        registry.get(choice.impl_id).name,
+                        choice.output_format
+                    ));
+                }
+                None => {
+                    out.push_str(&format!(
+                        "  n{} [style=dashed, label=\"{} (unannotated)\"];\n",
+                        id.0, label
+                    ));
+                }
+            },
+        }
+    }
+    for (id, node) in graph.iter() {
+        if let Some(choice) = annotation.choice(id) {
+            for (input, t) in node.inputs.iter().zip(choice.input_transforms.iter()) {
+                if t.kind == TransformKind::Identity {
+                    out.push_str(&format!("  n{} -> n{};\n", input.0, id.0));
+                } else {
+                    out.push_str(&format!(
+                        "  n{} -> n{} [label=\"{:?}\\n-> {}\", color=red];\n",
+                        input.0, id.0, t.kind, t.to
+                    ));
+                }
+            }
+        } else {
+            for input in &node.inputs {
+                out.push_str(&format!("  n{} -> n{};\n", input.0, id.0));
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        format::PhysFormat, graph::VertexChoice, ops::Op, transforms::Transform,
+        types::MatrixType,
+    };
+
+    fn sample() -> (ComputeGraph, Annotation, ImplRegistry) {
+        let reg = ImplRegistry::paper_default();
+        let mut g = ComputeGraph::new();
+        let a = g.add_source_named(
+            MatrixType::dense(1000, 1000),
+            PhysFormat::SingleTuple,
+            Some("A"),
+        );
+        let b = g.add_source_named(
+            MatrixType::dense(1000, 1000),
+            PhysFormat::Tile { side: 100 },
+            Some("B"),
+        );
+        let c = g.add_op_named(Op::MatMul, &[a, b], Some("AB")).unwrap();
+        let mut ann = Annotation::empty(&g);
+        ann.set(
+            c,
+            VertexChoice {
+                impl_id: reg.by_name("mm_tile_shuffle").unwrap().id,
+                input_transforms: vec![
+                    Transform {
+                        kind: TransformKind::SingleToTile,
+                        to: PhysFormat::Tile { side: 100 },
+                    },
+                    Transform::identity(PhysFormat::Tile { side: 100 }),
+                ],
+                output_format: PhysFormat::Tile { side: 100 },
+            },
+        );
+        (g, ann, reg)
+    }
+
+    #[test]
+    fn plain_dot_lists_all_vertices_and_edges() {
+        let (g, _, _) = sample();
+        let dot = graph_to_dot(&g);
+        assert!(dot.starts_with("digraph compute {"));
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("MatMul"));
+        assert_eq!(dot.matches("->").count(), 2);
+    }
+
+    #[test]
+    fn annotated_dot_shows_impls_and_transform_edges() {
+        let (g, ann, reg) = sample();
+        let dot = annotated_to_dot(&g, &ann, &reg);
+        assert!(dot.contains("mm_tile_shuffle"));
+        // The single→tile move is highlighted; the identity edge is not.
+        assert!(dot.contains("SingleToTile"));
+        assert_eq!(dot.matches("color=red").count(), 1);
+    }
+
+    #[test]
+    fn unannotated_vertices_render_dashed() {
+        let (g, _, reg) = sample();
+        let empty = Annotation::empty(&g);
+        let dot = annotated_to_dot(&g, &empty, &reg);
+        assert!(dot.contains("style=dashed"));
+    }
+}

@@ -1,0 +1,121 @@
+//! Cost features (§7): the analytically-computed quantities that
+//! describe an atomic computation implementation or a physical matrix
+//! transformation, and that the cost models map to running time.
+
+use serde::{Deserialize, Serialize};
+
+/// The feature vector of §7, computed analytically for every
+/// implementation and transformation:
+///
+/// 1. floating-point operations (here: on the critical path, i.e. the
+///    busiest worker),
+/// 2. worst-case network traffic (busiest NIC),
+/// 3. bytes of intermediate data pushed through the computation,
+/// 4. number of tuples pushed through the computation, and
+/// 5. the number of relational operators launched (each carries a fixed
+///    setup cost on engines like SimSQL).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CostFeatures {
+    /// Floating-point operations on the busiest worker (parallel,
+    /// multi-core kernels).
+    pub cpu_flops: f64,
+    /// Floating-point operations executed inside a single-threaded
+    /// kernel call (e.g. a whole-matrix UDF on one worker) — costed at
+    /// the engine's single-thread rate.
+    pub local_flops: f64,
+    /// Worst-case bytes through the busiest worker's NIC.
+    pub net_bytes: f64,
+    /// Total bytes of intermediate data materialized.
+    pub inter_bytes: f64,
+    /// Total tuples pushed through relational operators.
+    pub tuples: f64,
+    /// Number of relational operators launched.
+    pub ops: f64,
+}
+
+impl CostFeatures {
+    /// The all-zero feature vector (e.g. an identity transformation).
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Componentwise sum.
+    pub fn plus(&self, other: &CostFeatures) -> CostFeatures {
+        CostFeatures {
+            cpu_flops: self.cpu_flops + other.cpu_flops,
+            local_flops: self.local_flops + other.local_flops,
+            net_bytes: self.net_bytes + other.net_bytes,
+            inter_bytes: self.inter_bytes + other.inter_bytes,
+            tuples: self.tuples + other.tuples,
+            ops: self.ops + other.ops,
+        }
+    }
+
+    /// The features as a dense vector (plus a trailing `1.0` intercept),
+    /// in the order consumed by the learned regression model.
+    pub fn as_regression_row(&self) -> [f64; 7] {
+        [
+            self.cpu_flops,
+            self.local_flops,
+            self.net_bytes,
+            self.inter_bytes,
+            self.tuples,
+            self.ops,
+            1.0,
+        ]
+    }
+}
+
+impl std::ops::Add for CostFeatures {
+    type Output = CostFeatures;
+    fn add(self, rhs: CostFeatures) -> CostFeatures {
+        self.plus(&rhs)
+    }
+}
+
+impl std::ops::AddAssign for CostFeatures {
+    fn add_assign(&mut self, rhs: CostFeatures) {
+        *self = self.plus(&rhs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_identity_for_plus() {
+        let f = CostFeatures {
+            cpu_flops: 1.0,
+            local_flops: 0.5,
+            net_bytes: 2.0,
+            inter_bytes: 3.0,
+            tuples: 4.0,
+            ops: 5.0,
+        };
+        assert_eq!(f.plus(&CostFeatures::zero()), f);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut acc = CostFeatures::zero();
+        let f = CostFeatures {
+            cpu_flops: 1.0,
+            local_flops: 1.0,
+            net_bytes: 1.0,
+            inter_bytes: 1.0,
+            tuples: 1.0,
+            ops: 1.0,
+        };
+        acc += f;
+        acc += f;
+        assert_eq!(acc.cpu_flops, 2.0);
+        assert_eq!(acc.ops, 2.0);
+    }
+
+    #[test]
+    fn regression_row_has_intercept() {
+        let row = CostFeatures::zero().as_regression_row();
+        assert_eq!(row[6], 1.0);
+    }
+}

@@ -1,0 +1,464 @@
+//! Compute graphs (§4.1) and their annotations (§4.2).
+
+use crate::format::PhysFormat;
+use crate::ops::{Op, TypeError};
+use crate::types::MatrixType;
+use crate::ImplId;
+use crate::Transform;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a vertex in a [`ComputeGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The vertex index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// What a vertex is: an input matrix or an atomic computation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// A source vertex: an input matrix with a known physical
+    /// implementation (§4.1: "each source vertex ... is labeled with
+    /// both a matrix type m and an associated physical matrix
+    /// implementation p").
+    Source {
+        /// The physical implementation the input is stored in.
+        format: PhysFormat,
+    },
+    /// A non-source vertex labeled with an atomic computation.
+    Compute {
+        /// The atomic computation `v.a`.
+        op: Op,
+    },
+}
+
+/// One vertex of a compute graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Source or compute.
+    pub kind: NodeKind,
+    /// The matrix type `v.m` (inferred for compute vertices).
+    pub mtype: MatrixType,
+    /// Ordered input vertices (§4.1: "input edges into a vertex have an
+    /// implicit ordering that corresponds to the order of arguments").
+    pub inputs: Vec<NodeId>,
+    /// Optional human-readable label for reports.
+    pub name: Option<String>,
+}
+
+impl Node {
+    /// The atomic computation of a compute vertex, if any.
+    pub fn op(&self) -> Option<Op> {
+        match &self.kind {
+            NodeKind::Compute { op } => Some(*op),
+            NodeKind::Source { .. } => None,
+        }
+    }
+
+    /// The fixed physical format of a source vertex, if any.
+    pub fn source_format(&self) -> Option<PhysFormat> {
+        match &self.kind {
+            NodeKind::Source { format } => Some(*format),
+            NodeKind::Compute { .. } => None,
+        }
+    }
+}
+
+/// A directed acyclic compute graph whose vertices are matrices
+/// (sources) and atomic computations, built bottom-up so vertex indices
+/// are already a topological order.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ComputeGraph {
+    nodes: Vec<Node>,
+}
+
+impl ComputeGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an input matrix with its known physical implementation.
+    pub fn add_source(&mut self, mtype: MatrixType, format: PhysFormat) -> NodeId {
+        self.add_source_named(mtype, format, None)
+    }
+
+    /// Adds a named input matrix.
+    pub fn add_source_named(
+        &mut self,
+        mtype: MatrixType,
+        format: PhysFormat,
+        name: Option<&str>,
+    ) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            kind: NodeKind::Source { format },
+            mtype,
+            inputs: Vec::new(),
+            name: name.map(str::to_owned),
+        });
+        id
+    }
+
+    /// Adds a compute vertex, inferring its matrix type from its inputs.
+    ///
+    /// # Errors
+    /// Returns a [`TypeError`] when the atomic computation cannot accept
+    /// the input types, or when an input id is out of range.
+    pub fn add_op(&mut self, op: Op, inputs: &[NodeId]) -> Result<NodeId, TypeError> {
+        self.add_op_named(op, inputs, None)
+    }
+
+    /// Adds a named compute vertex.
+    ///
+    /// # Errors
+    /// See [`ComputeGraph::add_op`].
+    pub fn add_op_named(
+        &mut self,
+        op: Op,
+        inputs: &[NodeId],
+        name: Option<&str>,
+    ) -> Result<NodeId, TypeError> {
+        let mut in_types = Vec::with_capacity(inputs.len());
+        for input in inputs {
+            let node = self.nodes.get(input.index()).ok_or_else(|| TypeError {
+                message: format!("input {input} does not exist"),
+            })?;
+            in_types.push(node.mtype);
+        }
+        let mtype = op.output_type(&in_types)?;
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            kind: NodeKind::Compute { op },
+            mtype,
+            inputs: inputs.to_vec(),
+            name: name.map(str::to_owned),
+        });
+        Ok(id)
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Borrow a vertex.
+    ///
+    /// # Panics
+    /// Panics when the id is out of range.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Iterates over `(id, node)` in topological (construction) order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    /// Ids of all source vertices.
+    pub fn sources(&self) -> Vec<NodeId> {
+        self.iter()
+            .filter(|(_, n)| matches!(n.kind, NodeKind::Source { .. }))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Ids of all vertices with no out-edges (the results of the
+    /// computation).
+    pub fn sinks(&self) -> Vec<NodeId> {
+        let deg = self.out_degrees();
+        self.iter()
+            .filter(|(id, _)| deg[id.index()] == 0)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Out-degree of every vertex.
+    pub fn out_degrees(&self) -> Vec<usize> {
+        let mut deg = vec![0usize; self.nodes.len()];
+        for n in &self.nodes {
+            for i in &n.inputs {
+                deg[i.index()] += 1;
+            }
+        }
+        deg
+    }
+
+    /// Consumers of every vertex: `consumers()[v]` lists the vertices
+    /// that take `v` as an input (with multiplicity).
+    pub fn consumers(&self) -> Vec<Vec<NodeId>> {
+        let mut cons = vec![Vec::new(); self.nodes.len()];
+        for (id, n) in self.iter() {
+            for i in &n.inputs {
+                cons[i.index()].push(id);
+            }
+        }
+        cons
+    }
+
+    /// `true` when the graph is tree-shaped in the paper's sense (§5.1):
+    /// every vertex has at most one out-edge.
+    pub fn is_tree_shaped(&self) -> bool {
+        self.out_degrees().iter().all(|d| *d <= 1)
+    }
+
+    /// Per-vertex ancestor sets (including the vertex itself), as
+    /// bitsets. Used to build the frontier equivalence classes of §6.1:
+    /// two frontier vertices belong to the same class iff their ancestor
+    /// sets intersect.
+    pub fn ancestor_sets(&self) -> Vec<BitSet> {
+        let mut sets: Vec<BitSet> = Vec::with_capacity(self.nodes.len());
+        for (i, n) in self.nodes.iter().enumerate() {
+            let mut s = BitSet::new(self.nodes.len());
+            s.insert(i);
+            for input in &n.inputs {
+                let inp = sets[input.index()].clone();
+                s.union_with(&inp);
+            }
+            sets.push(s);
+        }
+        sets
+    }
+
+    /// Attaches (or replaces) a vertex's display name.
+    ///
+    /// # Panics
+    /// Panics when the id is out of range.
+    pub fn rename(&mut self, id: NodeId, name: &str) {
+        self.nodes[id.index()].name = Some(name.to_owned());
+    }
+
+    /// Total number of compute vertices.
+    pub fn compute_count(&self) -> usize {
+        self.iter()
+            .filter(|(_, n)| matches!(n.kind, NodeKind::Compute { .. }))
+            .count()
+    }
+}
+
+/// A fixed-capacity bitset over vertex indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// Creates an empty set with capacity for `n` elements.
+    pub fn new(n: usize) -> Self {
+        BitSet {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// Inserts element `i`.
+    pub fn insert(&mut self, i: usize) {
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// `true` when element `i` is present.
+    pub fn contains(&self, i: usize) -> bool {
+        self.words
+            .get(i / 64)
+            .is_some_and(|w| w & (1u64 << (i % 64)) != 0)
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= *b;
+        }
+    }
+
+    /// `true` when the two sets share an element.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .any(|(a, b)| a & b != 0)
+    }
+}
+
+/// The labels chosen for one compute vertex by an annotation: the atomic
+/// computation implementation, the transformation on each in-edge, and
+/// the resulting output physical implementation `v.p`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VertexChoice {
+    /// The chosen atomic computation implementation `v.i`.
+    pub impl_id: ImplId,
+    /// Transformation per in-edge, aligned with `Node::inputs`.
+    pub input_transforms: Vec<Transform>,
+    /// The physical implementation of the vertex output, `v.p`.
+    pub output_format: PhysFormat,
+}
+
+/// An annotated compute graph `G'` (§4.2): an implementation for every
+/// compute vertex and a transformation for every edge.
+///
+/// Source vertices carry no choice — their format is fixed in the graph.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Annotation {
+    /// Per-vertex choices, indexed by `NodeId`; `None` for sources.
+    pub choices: Vec<Option<VertexChoice>>,
+}
+
+impl Annotation {
+    /// An empty annotation sized for `graph`.
+    pub fn empty(graph: &ComputeGraph) -> Self {
+        Annotation {
+            choices: vec![None; graph.len()],
+        }
+    }
+
+    /// Sets the choice for a vertex (growing the table if the graph
+    /// gained vertices after this annotation was created).
+    pub fn set(&mut self, id: NodeId, choice: VertexChoice) {
+        if id.index() >= self.choices.len() {
+            self.choices.resize(id.index() + 1, None);
+        }
+        self.choices[id.index()] = Some(choice);
+    }
+
+    /// The choice for a vertex, if annotated.
+    pub fn choice(&self, id: NodeId) -> Option<&VertexChoice> {
+        self.choices.get(id.index()).and_then(|c| c.as_ref())
+    }
+
+    /// The physical implementation `v.p` produced at `id`: the source
+    /// format for sources, the annotated output format otherwise.
+    pub fn format_of(&self, graph: &ComputeGraph, id: NodeId) -> Option<PhysFormat> {
+        match &graph.node(id).kind {
+            NodeKind::Source { format } => Some(*format),
+            NodeKind::Compute { .. } => self.choice(id).map(|c| c.output_format),
+        }
+    }
+
+    /// `true` when every compute vertex has a choice.
+    pub fn is_complete(&self, graph: &ComputeGraph) -> bool {
+        graph.iter().all(|(id, n)| match n.kind {
+            NodeKind::Source { .. } => true,
+            NodeKind::Compute { .. } => self.choice(id).is_some(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::Op;
+
+    fn diamond() -> (ComputeGraph, NodeId, NodeId) {
+        // a -> t1 -> { t2, t3 } -> out  (t1 shared: not tree-shaped)
+        let mut g = ComputeGraph::new();
+        let a = g.add_source(MatrixType::dense(8, 8), PhysFormat::SingleTuple);
+        let t1 = g.add_op(Op::Relu, &[a]).unwrap();
+        let t2 = g.add_op(Op::Neg, &[t1]).unwrap();
+        let t3 = g.add_op(Op::Exp, &[t1]).unwrap();
+        let out = g.add_op(Op::Add, &[t2, t3]).unwrap();
+        (g, t1, out)
+    }
+
+    #[test]
+    fn builder_infers_types() {
+        let mut g = ComputeGraph::new();
+        let a = g.add_source(MatrixType::dense(5, 10), PhysFormat::SingleTuple);
+        let b = g.add_source(MatrixType::dense(10, 7), PhysFormat::SingleTuple);
+        let c = g.add_op(Op::MatMul, &[a, b]).unwrap();
+        assert_eq!(g.node(c).mtype, MatrixType::dense(5, 7));
+    }
+
+    #[test]
+    fn builder_rejects_type_errors() {
+        let mut g = ComputeGraph::new();
+        let a = g.add_source(MatrixType::dense(5, 10), PhysFormat::SingleTuple);
+        assert!(g.add_op(Op::MatMul, &[a, a]).is_err());
+        assert!(g.add_op(Op::Relu, &[NodeId(99)]).is_err());
+    }
+
+    #[test]
+    fn sources_and_sinks() {
+        let (g, _, out) = diamond();
+        assert_eq!(g.sources().len(), 1);
+        assert_eq!(g.sinks(), vec![out]);
+        assert_eq!(g.compute_count(), 4);
+    }
+
+    #[test]
+    fn tree_shape_detection() {
+        let (g, _, _) = diamond();
+        assert!(!g.is_tree_shaped());
+
+        let mut t = ComputeGraph::new();
+        let a = t.add_source(MatrixType::dense(4, 4), PhysFormat::SingleTuple);
+        let b = t.add_op(Op::Relu, &[a]).unwrap();
+        let _c = t.add_op(Op::Neg, &[b]).unwrap();
+        assert!(t.is_tree_shaped());
+    }
+
+    #[test]
+    fn ancestor_sets_track_sharing() {
+        let (g, t1, out) = diamond();
+        let sets = g.ancestor_sets();
+        // Both consumers of t1 have t1 as an ancestor.
+        let t2 = NodeId(2);
+        let t3 = NodeId(3);
+        assert!(sets[t2.index()].contains(t1.index()));
+        assert!(sets[t3.index()].contains(t1.index()));
+        assert!(sets[t2.index()].intersects(&sets[t3.index()]));
+        assert!(sets[out.index()].contains(0));
+    }
+
+    #[test]
+    fn bitset_basics() {
+        let mut a = BitSet::new(130);
+        a.insert(0);
+        a.insert(129);
+        assert!(a.contains(0) && a.contains(129) && !a.contains(64));
+        let mut b = BitSet::new(130);
+        b.insert(64);
+        assert!(!a.intersects(&b));
+        b.insert(129);
+        assert!(a.intersects(&b));
+        a.union_with(&b);
+        assert!(a.contains(64));
+    }
+
+    #[test]
+    fn annotation_format_of_source_is_fixed() {
+        let (g, _, _) = diamond();
+        let ann = Annotation::empty(&g);
+        assert_eq!(
+            ann.format_of(&g, NodeId(0)),
+            Some(PhysFormat::SingleTuple)
+        );
+        assert_eq!(ann.format_of(&g, NodeId(1)), None);
+        assert!(!ann.is_complete(&g));
+    }
+
+    #[test]
+    fn consumers_lists_multiplicity() {
+        let mut g = ComputeGraph::new();
+        let a = g.add_source(MatrixType::dense(4, 4), PhysFormat::SingleTuple);
+        let sq = g.add_op(Op::Hadamard, &[a, a]).unwrap();
+        let cons = g.consumers();
+        assert_eq!(cons[a.index()], vec![sq, sq]);
+    }
+}

@@ -1,0 +1,444 @@
+//! Atomic computations — the set `A` of the paper (§3): abstract,
+//! implementation-free operations over matrices, with their type
+//! specification functions.
+
+use crate::types::MatrixType;
+use serde::{Deserialize, Serialize};
+
+/// An atomic computation, possibly carrying a scalar payload.
+///
+/// The prototype described in §8.1 supports 16 atomic computations;
+/// these are ours. Every experiment in the paper (FFNN backprop,
+/// block-wise inverse, multiplication chains) is expressible with this
+/// set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Op {
+    /// Matrix multiplication `A × B`.
+    MatMul,
+    /// Elementwise sum `A + B`.
+    Add,
+    /// Elementwise difference `A − B`.
+    Sub,
+    /// Hadamard (elementwise) product `A ∘ B`.
+    Hadamard,
+    /// Multiplication by the given scalar constant.
+    ScalarMul(f64),
+    /// Matrix transpose.
+    Transpose,
+    /// Rectified linear unit, elementwise.
+    Relu,
+    /// Derivative of relu (`1` where positive), elementwise.
+    ReluGrad,
+    /// Row-wise softmax.
+    Softmax,
+    /// Logistic sigmoid, elementwise.
+    Sigmoid,
+    /// Elementwise exponential.
+    Exp,
+    /// Elementwise negation.
+    Neg,
+    /// Sum of each row, producing an `n × 1` vector.
+    RowSums,
+    /// Sum of each column, producing a `1 × n` vector.
+    ColSums,
+    /// Matrix inverse (square inputs only).
+    Inverse,
+    /// Adds a `1 × c` row vector (second input) to every row of the
+    /// first input — bias addition.
+    BroadcastAddRow,
+}
+
+/// The payload-free discriminant of an [`Op`], used to match atomic
+/// computation implementations against vertices (`i.a = v.a` in §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// See [`Op::MatMul`].
+    MatMul,
+    /// See [`Op::Add`].
+    Add,
+    /// See [`Op::Sub`].
+    Sub,
+    /// See [`Op::Hadamard`].
+    Hadamard,
+    /// See [`Op::ScalarMul`].
+    ScalarMul,
+    /// See [`Op::Transpose`].
+    Transpose,
+    /// See [`Op::Relu`].
+    Relu,
+    /// See [`Op::ReluGrad`].
+    ReluGrad,
+    /// See [`Op::Softmax`].
+    Softmax,
+    /// See [`Op::Sigmoid`].
+    Sigmoid,
+    /// See [`Op::Exp`].
+    Exp,
+    /// See [`Op::Neg`].
+    Neg,
+    /// See [`Op::RowSums`].
+    RowSums,
+    /// See [`Op::ColSums`].
+    ColSums,
+    /// See [`Op::Inverse`].
+    Inverse,
+    /// See [`Op::BroadcastAddRow`].
+    BroadcastAddRow,
+}
+
+/// All 16 atomic computations, in declaration order.
+pub const ALL_OP_KINDS: [OpKind; 16] = [
+    OpKind::MatMul,
+    OpKind::Add,
+    OpKind::Sub,
+    OpKind::Hadamard,
+    OpKind::ScalarMul,
+    OpKind::Transpose,
+    OpKind::Relu,
+    OpKind::ReluGrad,
+    OpKind::Softmax,
+    OpKind::Sigmoid,
+    OpKind::Exp,
+    OpKind::Neg,
+    OpKind::RowSums,
+    OpKind::ColSums,
+    OpKind::Inverse,
+    OpKind::BroadcastAddRow,
+];
+
+/// Error returned when an atomic computation cannot accept its input
+/// types — the `⊥` of the paper's type specification functions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeError {
+    /// Human-readable description of the mismatch.
+    pub message: String,
+}
+
+impl std::fmt::Display for TypeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "type error: {}", self.message)
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+fn type_err<T>(message: impl Into<String>) -> Result<T, TypeError> {
+    Err(TypeError {
+        message: message.into(),
+    })
+}
+
+impl Op {
+    /// The payload-free discriminant.
+    pub fn kind(&self) -> OpKind {
+        match self {
+            Op::MatMul => OpKind::MatMul,
+            Op::Add => OpKind::Add,
+            Op::Sub => OpKind::Sub,
+            Op::Hadamard => OpKind::Hadamard,
+            Op::ScalarMul(_) => OpKind::ScalarMul,
+            Op::Transpose => OpKind::Transpose,
+            Op::Relu => OpKind::Relu,
+            Op::ReluGrad => OpKind::ReluGrad,
+            Op::Softmax => OpKind::Softmax,
+            Op::Sigmoid => OpKind::Sigmoid,
+            Op::Exp => OpKind::Exp,
+            Op::Neg => OpKind::Neg,
+            Op::RowSums => OpKind::RowSums,
+            Op::ColSums => OpKind::ColSums,
+            Op::Inverse => OpKind::Inverse,
+            Op::BroadcastAddRow => OpKind::BroadcastAddRow,
+        }
+    }
+
+    /// Number of matrix inputs.
+    pub fn arity(&self) -> usize {
+        self.kind().arity()
+    }
+
+    /// The type specification function `a.f : Mⁿ → M ∪ {⊥}` of §3:
+    /// computes the output matrix type or a [`TypeError`] if the inputs
+    /// are not acceptable.
+    ///
+    /// ```
+    /// use matopt_core::{MatrixType, Op};
+    /// let out = Op::MatMul
+    ///     .output_type(&[MatrixType::dense(5, 10), MatrixType::dense(10, 7)])
+    ///     .unwrap();
+    /// assert_eq!((out.rows, out.cols), (5, 7));
+    /// assert!(Op::MatMul
+    ///     .output_type(&[MatrixType::dense(5, 10), MatrixType::dense(9, 7)])
+    ///     .is_err());
+    /// ```
+    ///
+    /// Sparsity propagation follows standard independence estimates
+    /// (cf. the discussion of sparsity estimation in §7):
+    ///
+    /// * `MatMul`: output density `1 − (1 − dₐ·d_b)^k`;
+    /// * `Add`/`Sub`/`BroadcastAddRow`: union bound `min(1, dₐ + d_b)`;
+    /// * `Hadamard`: intersection `dₐ·d_b`;
+    /// * `Relu`/`ReluGrad`: half the positive mass survives, `d/2`... the
+    ///   conservative estimate used here keeps `d` for grad and `d/2`
+    ///   for relu of a roughly zero-centered input;
+    /// * `Softmax`/`Sigmoid`/`Exp`/`Inverse`: dense (`1.0`);
+    /// * reductions: `1 − (1 − d)^width` per output entry.
+    pub fn output_type(&self, inputs: &[MatrixType]) -> Result<MatrixType, TypeError> {
+        if inputs.len() != self.arity() {
+            return type_err(format!(
+                "{:?} expects {} inputs, got {}",
+                self.kind(),
+                self.arity(),
+                inputs.len()
+            ));
+        }
+        let a = inputs[0];
+        match self.kind() {
+            OpKind::MatMul => {
+                let b = inputs[1];
+                if a.cols != b.rows {
+                    return type_err(format!("matmul inner dims {} vs {}", a, b));
+                }
+                let d = combine_matmul_density(a.sparsity, b.sparsity, a.cols);
+                Ok(MatrixType {
+                    rows: a.rows,
+                    cols: b.cols,
+                    sparsity: d,
+                })
+            }
+            OpKind::Add | OpKind::Sub => {
+                let b = inputs[1];
+                if (a.rows, a.cols) != (b.rows, b.cols) {
+                    return type_err(format!("elementwise shape mismatch {} vs {}", a, b));
+                }
+                Ok(MatrixType {
+                    rows: a.rows,
+                    cols: a.cols,
+                    sparsity: (a.sparsity + b.sparsity).min(1.0),
+                })
+            }
+            OpKind::Hadamard => {
+                let b = inputs[1];
+                if (a.rows, a.cols) != (b.rows, b.cols) {
+                    return type_err(format!("hadamard shape mismatch {} vs {}", a, b));
+                }
+                Ok(MatrixType {
+                    rows: a.rows,
+                    cols: a.cols,
+                    sparsity: a.sparsity * b.sparsity,
+                })
+            }
+            OpKind::BroadcastAddRow => {
+                let b = inputs[1];
+                if b.rows != 1 || b.cols != a.cols {
+                    return type_err(format!("bias must be 1x{}, got {}", a.cols, b));
+                }
+                Ok(MatrixType {
+                    rows: a.rows,
+                    cols: a.cols,
+                    sparsity: (a.sparsity + b.sparsity).min(1.0),
+                })
+            }
+            OpKind::ScalarMul | OpKind::Neg | OpKind::ReluGrad => Ok(a),
+            OpKind::Relu => Ok(MatrixType {
+                sparsity: (a.sparsity * 0.5).max(f64::MIN_POSITIVE),
+                ..a
+            }),
+            OpKind::Transpose => Ok(a.transposed()),
+            OpKind::Softmax | OpKind::Sigmoid | OpKind::Exp => Ok(MatrixType {
+                rows: a.rows,
+                cols: a.cols,
+                sparsity: 1.0,
+            }),
+            OpKind::RowSums => Ok(MatrixType {
+                rows: a.rows,
+                cols: 1,
+                sparsity: fill_in(a.sparsity, a.cols),
+            }),
+            OpKind::ColSums => Ok(MatrixType {
+                rows: 1,
+                cols: a.cols,
+                sparsity: fill_in(a.sparsity, a.rows),
+            }),
+            OpKind::Inverse => {
+                if !a.is_square() {
+                    return type_err(format!("inverse of non-square {}", a));
+                }
+                Ok(MatrixType {
+                    rows: a.rows,
+                    cols: a.cols,
+                    sparsity: 1.0,
+                })
+            }
+        }
+    }
+
+    /// Estimated floating-point operations to compute this op on the
+    /// given inputs, exploiting sparsity where the kernel can.
+    pub fn flops(&self, inputs: &[MatrixType]) -> f64 {
+        let a = inputs[0];
+        match self.kind() {
+            OpKind::MatMul => {
+                let b = inputs[1];
+                // A sparse LHS skips its zero entries entirely.
+                2.0 * a.rows as f64 * a.cols as f64 * b.cols as f64 * a.sparsity * b.sparsity
+            }
+            OpKind::Inverse => {
+                // LU factorization + solves: ~2n³.
+                2.0 * (a.rows as f64).powi(3)
+            }
+            OpKind::Softmax => 4.0 * a.entries(),
+            OpKind::Sigmoid | OpKind::Exp => 2.0 * a.entries(),
+            _ => a.entries(),
+        }
+    }
+}
+
+impl OpKind {
+    /// Number of matrix inputs of the computation.
+    pub fn arity(&self) -> usize {
+        match self {
+            OpKind::MatMul
+            | OpKind::Add
+            | OpKind::Sub
+            | OpKind::Hadamard
+            | OpKind::BroadcastAddRow => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// Density of a matmul output: each output entry is a k-term dot
+/// product; it is non-zero (estimated) unless every term vanishes.
+fn combine_matmul_density(da: f64, db: f64, k: u64) -> f64 {
+    let p_term = (da * db).clamp(0.0, 1.0);
+    if p_term == 0.0 {
+        return 0.0;
+    }
+    let out = 1.0 - (1.0 - p_term).powf(k as f64);
+    out.clamp(p_term, 1.0)
+}
+
+/// Density of a width-`w` sum of entries with density `d`.
+fn fill_in(d: f64, w: u64) -> f64 {
+    if d == 0.0 {
+        return 0.0;
+    }
+    (1.0 - (1.0 - d).powf(w as f64)).clamp(d, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_sixteen_atomic_computations() {
+        assert_eq!(ALL_OP_KINDS.len(), 16);
+    }
+
+    #[test]
+    fn matmul_type_inference_matches_paper_example() {
+        // §3: multiplying 5×10 and 10×5 gives 5×5.
+        let out = Op::MatMul
+            .output_type(&[MatrixType::dense(5, 10), MatrixType::dense(10, 5)])
+            .unwrap();
+        assert_eq!((out.rows, out.cols), (5, 5));
+        assert_eq!(out.sparsity, 1.0);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_inner_dim() {
+        assert!(Op::MatMul
+            .output_type(&[MatrixType::dense(5, 10), MatrixType::dense(5, 10)])
+            .is_err());
+    }
+
+    #[test]
+    fn matmul_sparse_times_dense_becomes_nearly_dense() {
+        // §7: "matrix multiplies between sparse data matrices and dense
+        // model matrices typically result in dense matrices".
+        let sparse = MatrixType::sparse(1000, 600_000, 1e-4);
+        let dense = MatrixType::dense(600_000, 5000);
+        let out = Op::MatMul.output_type(&[sparse, dense]).unwrap();
+        assert!(out.sparsity > 0.99, "got {}", out.sparsity);
+    }
+
+    #[test]
+    fn hadamard_density_is_product() {
+        let a = MatrixType::sparse(10, 10, 0.5);
+        let b = MatrixType::sparse(10, 10, 0.5);
+        let out = Op::Hadamard.output_type(&[a, b]).unwrap();
+        assert_eq!(out.sparsity, 0.25);
+    }
+
+    #[test]
+    fn add_density_is_union_bound() {
+        let a = MatrixType::sparse(10, 10, 0.7);
+        let b = MatrixType::sparse(10, 10, 0.7);
+        assert_eq!(Op::Add.output_type(&[a, b]).unwrap().sparsity, 1.0);
+    }
+
+    #[test]
+    fn transpose_swaps_shape() {
+        let out = Op::Transpose
+            .output_type(&[MatrixType::dense(3, 7)])
+            .unwrap();
+        assert_eq!((out.rows, out.cols), (7, 3));
+    }
+
+    #[test]
+    fn reductions_produce_vectors() {
+        let m = MatrixType::dense(40, 70);
+        let r = Op::RowSums.output_type(&[m]).unwrap();
+        assert_eq!((r.rows, r.cols), (40, 1));
+        let c = Op::ColSums.output_type(&[m]).unwrap();
+        assert_eq!((c.rows, c.cols), (1, 70));
+    }
+
+    #[test]
+    fn inverse_requires_square() {
+        assert!(Op::Inverse
+            .output_type(&[MatrixType::dense(3, 4)])
+            .is_err());
+        assert!(Op::Inverse.output_type(&[MatrixType::dense(4, 4)]).is_ok());
+    }
+
+    #[test]
+    fn bias_add_requires_row_vector() {
+        let m = MatrixType::dense(10, 5);
+        assert!(Op::BroadcastAddRow
+            .output_type(&[m, MatrixType::dense(1, 5)])
+            .is_ok());
+        assert!(Op::BroadcastAddRow
+            .output_type(&[m, MatrixType::dense(5, 1)])
+            .is_err());
+        assert!(Op::BroadcastAddRow
+            .output_type(&[m, MatrixType::dense(1, 4)])
+            .is_err());
+    }
+
+    #[test]
+    fn arity_checks() {
+        assert_eq!(Op::MatMul.arity(), 2);
+        assert_eq!(Op::Relu.arity(), 1);
+        assert!(Op::Relu
+            .output_type(&[MatrixType::dense(2, 2), MatrixType::dense(2, 2)])
+            .is_err());
+    }
+
+    #[test]
+    fn matmul_flops_scale_with_sparsity() {
+        let dense = [MatrixType::dense(100, 100), MatrixType::dense(100, 100)];
+        let sparse = [
+            MatrixType::sparse(100, 100, 0.01),
+            MatrixType::dense(100, 100),
+        ];
+        assert_eq!(Op::MatMul.flops(&dense), 2e6);
+        assert_eq!(Op::MatMul.flops(&sparse), 2e4);
+    }
+
+    #[test]
+    fn softmax_output_is_dense() {
+        let m = MatrixType::sparse(10, 10, 0.1);
+        assert_eq!(Op::Softmax.output_type(&[m]).unwrap().sparsity, 1.0);
+    }
+}

@@ -1,0 +1,407 @@
+//! Physical matrix transformations — the set `T` of the paper (§3):
+//! algorithms that move a matrix from one physical implementation to
+//! another so that implementations of consecutive atomic computations
+//! can be chained.
+
+use crate::features::CostFeatures;
+use crate::format::PhysFormat;
+use crate::types::MatrixType;
+use crate::Cluster;
+use serde::{Deserialize, Serialize};
+
+/// The algorithm class of a transformation. The paper's prototype
+/// includes 20 physical matrix transformations; these are ours
+/// ([`ALL_TRANSFORM_KINDS`] pins the count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TransformKind {
+    /// No-op: the formats already match.
+    Identity,
+    /// Chunked dense → single tuple, via the two-phase `ROWMATRIX` /
+    /// `COLMATRIX` aggregation of §2.1.
+    GatherToSingle,
+    /// Single tuple → square tiles (`get_tile` fan-out).
+    SingleToTile,
+    /// Single tuple → row strips.
+    SingleToRowStrip,
+    /// Single tuple → column strips.
+    SingleToColStrip,
+    /// Tiles → tiles of a different edge length.
+    Retile,
+    /// Tiles → row strips (aggregate along tile columns).
+    TileToRowStrip,
+    /// Tiles → column strips (aggregate along tile rows).
+    TileToColStrip,
+    /// Row strips → tiles (chunk each strip).
+    RowStripToTile,
+    /// Column strips → tiles.
+    ColStripToTile,
+    /// Row strips → row strips of a different height.
+    RowStripRechunk,
+    /// Column strips → column strips of a different width.
+    ColStripRechunk,
+    /// Row strips → column strips (full shuffle).
+    RowStripToColStrip,
+    /// Column strips → row strips (full shuffle).
+    ColStripToRowStrip,
+    /// Any dense layout → relational triples.
+    DenseToCoo,
+    /// Relational triples → dense tiles (group-by tile id + assemble).
+    CooToTile,
+    /// Any dense layout → a single CSR tuple.
+    DenseToCsrSingle,
+    /// Single CSR tuple → single dense tuple.
+    CsrSingleToSingle,
+    /// Any dense layout → CSR tiles.
+    TileToCsrTile,
+    /// CSR tiles → dense tiles.
+    CsrTileToTile,
+}
+
+/// All 20 transformation kinds of the prototype.
+pub const ALL_TRANSFORM_KINDS: [TransformKind; 20] = [
+    TransformKind::Identity,
+    TransformKind::GatherToSingle,
+    TransformKind::SingleToTile,
+    TransformKind::SingleToRowStrip,
+    TransformKind::SingleToColStrip,
+    TransformKind::Retile,
+    TransformKind::TileToRowStrip,
+    TransformKind::TileToColStrip,
+    TransformKind::RowStripToTile,
+    TransformKind::ColStripToTile,
+    TransformKind::RowStripRechunk,
+    TransformKind::ColStripRechunk,
+    TransformKind::RowStripToColStrip,
+    TransformKind::ColStripToRowStrip,
+    TransformKind::DenseToCoo,
+    TransformKind::CooToTile,
+    TransformKind::DenseToCsrSingle,
+    TransformKind::CsrSingleToSingle,
+    TransformKind::TileToCsrTile,
+    TransformKind::CsrTileToTile,
+];
+
+/// A concrete transformation: an algorithm plus its target format.
+///
+/// `Transform { kind, to }` realizes the type specification function
+/// `t.f(m, p_in) = to` of §3 for the `(m, p_in)` pairs the kind supports.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Transform {
+    /// Algorithm class.
+    pub kind: TransformKind,
+    /// Output physical implementation.
+    pub to: PhysFormat,
+}
+
+impl Transform {
+    /// The identity transformation at a format.
+    pub fn identity(at: PhysFormat) -> Self {
+        Transform {
+            kind: TransformKind::Identity,
+            to: at,
+        }
+    }
+}
+
+impl std::fmt::Display for Transform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}=>{}", self.kind, self.to)
+    }
+}
+
+/// The transformation catalog: classifies which algorithm (if any)
+/// moves a matrix of type `m` from one physical implementation to
+/// another, and computes its cost features.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TransformCatalog;
+
+impl TransformCatalog {
+    /// Finds the transformation that moves `m` from `from` to `to`, or
+    /// `None` (the paper's `⊥`) when no single transformation does.
+    ///
+    /// ```
+    /// use matopt_core::{MatrixType, PhysFormat, TransformCatalog, TransformKind};
+    /// let cat = TransformCatalog;
+    /// let m = MatrixType::dense(10_000, 10_000);
+    /// let t = cat
+    ///     .find(&m, PhysFormat::Tile { side: 1000 }, PhysFormat::SingleTuple)
+    ///     .unwrap();
+    /// assert_eq!(t.kind, TransformKind::GatherToSingle);
+    /// ```
+    ///
+    /// Feasibility of `to` for `m` is the caller's concern (the dynamic
+    /// programs only enumerate feasible candidate formats).
+    pub fn find(&self, _m: &MatrixType, from: PhysFormat, to: PhysFormat) -> Option<Transform> {
+        use PhysFormat as F;
+        use TransformKind as K;
+        if from == to {
+            return Some(Transform::identity(to));
+        }
+        let kind = match (from, to) {
+            (F::RowStrip { .. } | F::ColStrip { .. } | F::Tile { .. }, F::SingleTuple) => {
+                K::GatherToSingle
+            }
+            (F::SingleTuple, F::Tile { .. }) => K::SingleToTile,
+            (F::SingleTuple, F::RowStrip { .. }) => K::SingleToRowStrip,
+            (F::SingleTuple, F::ColStrip { .. }) => K::SingleToColStrip,
+            (F::Tile { .. }, F::Tile { .. }) => K::Retile,
+            (F::Tile { .. }, F::RowStrip { .. }) => K::TileToRowStrip,
+            (F::Tile { .. }, F::ColStrip { .. }) => K::TileToColStrip,
+            (F::RowStrip { .. }, F::Tile { .. }) => K::RowStripToTile,
+            (F::ColStrip { .. }, F::Tile { .. }) => K::ColStripToTile,
+            (F::RowStrip { .. }, F::RowStrip { .. }) => K::RowStripRechunk,
+            (F::ColStrip { .. }, F::ColStrip { .. }) => K::ColStripRechunk,
+            (F::RowStrip { .. }, F::ColStrip { .. }) => K::RowStripToColStrip,
+            (F::ColStrip { .. }, F::RowStrip { .. }) => K::ColStripToRowStrip,
+            (f, F::Coo) if f.is_dense() => K::DenseToCoo,
+            (F::Coo, F::Tile { .. }) => K::CooToTile,
+            (f, F::CsrSingle) if f.is_dense() => K::DenseToCsrSingle,
+            (F::CsrSingle, F::SingleTuple) => K::CsrSingleToSingle,
+            (f, F::CsrTile { .. }) if f.is_dense() => K::TileToCsrTile,
+            (F::CsrTile { .. }, F::Tile { .. }) => K::CsrTileToTile,
+            _ => return None,
+        };
+        Some(Transform { kind, to })
+    }
+
+    /// Cost features of moving `m` from `from` through `t` (§7). The
+    /// formulas account for where the data starts and ends:
+    ///
+    /// * gathers funnel every byte through one NIC;
+    /// * scatters push every byte out of the single holder's NIC;
+    /// * chunked-to-chunked moves shuffle in parallel across workers;
+    /// * dense↔sparse conversions additionally scan every entry.
+    pub fn features(
+        &self,
+        m: &MatrixType,
+        from: PhysFormat,
+        t: Transform,
+        cluster: &Cluster,
+    ) -> CostFeatures {
+        use TransformKind as K;
+        if t.kind == K::Identity {
+            return CostFeatures::zero();
+        }
+        let bytes_in = from.total_bytes(m);
+        let bytes_out = t.to.total_bytes(m);
+        let tuples_in = from.num_tuples(m);
+        let tuples_out = t.to.num_tuples(m);
+        let moved = bytes_in.max(bytes_out);
+        let par = cluster.effective_workers(tuples_in.max(tuples_out));
+
+        let (net_bytes, ops, conv_flops) = match t.kind {
+            K::Identity => (0.0, 0.0, 0.0),
+            // Two aggregate operators; all data lands on one node.
+            K::GatherToSingle => (bytes_in, 2.0, 0.0),
+            // One node fans all data out.
+            K::SingleToTile | K::SingleToRowStrip | K::SingleToColStrip => (bytes_out, 1.0, 0.0),
+            // Parallel shuffles between chunked layouts.
+            K::Retile
+            | K::TileToRowStrip
+            | K::TileToColStrip
+            | K::RowStripToTile
+            | K::ColStripToTile
+            | K::RowStripRechunk
+            | K::ColStripRechunk
+            | K::RowStripToColStrip
+            | K::ColStripToRowStrip => (moved / par, 1.0, 0.0),
+            // Dense→sparse scans every dense entry; sparse→dense writes
+            // every dense entry.
+            K::DenseToCoo | K::DenseToCsrSingle => (bytes_out / par, 1.0, m.entries() / par),
+            K::CooToTile => (moved / par, 2.0, m.nnz() / par),
+            K::CsrSingleToSingle => (0.0, 1.0, m.entries()),
+            K::TileToCsrTile => (0.0, 1.0, m.entries() / par),
+            K::CsrTileToTile => (0.0, 1.0, m.entries() / par),
+        };
+
+        CostFeatures {
+            cpu_flops: conv_flops,
+            local_flops: 0.0,
+            net_bytes,
+            inter_bytes: moved,
+            tuples: tuples_in + tuples_out,
+            ops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const M: MatrixType = MatrixType {
+        rows: 10_000,
+        cols: 10_000,
+        sparsity: 1.0,
+    };
+
+    #[test]
+    fn there_are_twenty_transformations() {
+        assert_eq!(ALL_TRANSFORM_KINDS.len(), 20);
+    }
+
+    #[test]
+    fn identity_when_formats_match() {
+        let cat = TransformCatalog;
+        let f = PhysFormat::Tile { side: 1000 };
+        let t = cat.find(&M, f, f).unwrap();
+        assert_eq!(t.kind, TransformKind::Identity);
+        assert_eq!(
+            cat.features(&M, f, t, &Cluster::simsql_like(10)),
+            CostFeatures::zero()
+        );
+    }
+
+    #[test]
+    fn distinct_tile_sides_are_not_identity() {
+        let cat = TransformCatalog;
+        let t = cat
+            .find(
+                &M,
+                PhysFormat::Tile { side: 1000 },
+                PhysFormat::Tile { side: 2500 },
+            )
+            .unwrap();
+        assert_eq!(t.kind, TransformKind::Retile);
+    }
+
+    #[test]
+    fn gather_classification() {
+        let cat = TransformCatalog;
+        for from in [
+            PhysFormat::Tile { side: 1000 },
+            PhysFormat::RowStrip { height: 100 },
+            PhysFormat::ColStrip { width: 100 },
+        ] {
+            let t = cat.find(&M, from, PhysFormat::SingleTuple).unwrap();
+            assert_eq!(t.kind, TransformKind::GatherToSingle);
+        }
+    }
+
+    #[test]
+    fn strip_conversions() {
+        let cat = TransformCatalog;
+        let rs = PhysFormat::RowStrip { height: 100 };
+        let cs = PhysFormat::ColStrip { width: 1000 };
+        assert_eq!(
+            cat.find(&M, rs, cs).unwrap().kind,
+            TransformKind::RowStripToColStrip
+        );
+        assert_eq!(
+            cat.find(&M, cs, rs).unwrap().kind,
+            TransformKind::ColStripToRowStrip
+        );
+        assert_eq!(
+            cat.find(&M, rs, PhysFormat::RowStrip { height: 1000 })
+                .unwrap()
+                .kind,
+            TransformKind::RowStripRechunk
+        );
+    }
+
+    #[test]
+    fn sparse_conversions_and_gaps() {
+        let cat = TransformCatalog;
+        let sparse = MatrixType::sparse(10_000, 10_000, 1e-3);
+        let tile = PhysFormat::Tile { side: 1000 };
+        let csr_tile = PhysFormat::CsrTile { side: 1000 };
+        assert_eq!(
+            cat.find(&sparse, tile, csr_tile).unwrap().kind,
+            TransformKind::TileToCsrTile
+        );
+        assert_eq!(
+            cat.find(&sparse, csr_tile, tile).unwrap().kind,
+            TransformKind::CsrTileToTile
+        );
+        // Any dense layout can be compressed into CSR tiles directly.
+        assert_eq!(
+            cat.find(&sparse, PhysFormat::ColStrip { width: 100 }, csr_tile)
+                .unwrap()
+                .kind,
+            TransformKind::TileToCsrTile
+        );
+        // COO cannot turn directly into strips.
+        assert!(cat
+            .find(&sparse, PhysFormat::Coo, PhysFormat::RowStrip { height: 100 })
+            .is_none());
+    }
+
+    #[test]
+    fn gather_funnels_through_one_nic() {
+        let cat = TransformCatalog;
+        let cl = Cluster::simsql_like(10);
+        let from = PhysFormat::Tile { side: 1000 };
+        let t = cat.find(&M, from, PhysFormat::SingleTuple).unwrap();
+        let f = cat.features(&M, from, t, &cl);
+        // 10K×10K dense = 800 MB, all of which reaches the single target.
+        assert_eq!(f.net_bytes, 8e8);
+        assert_eq!(f.ops, 2.0);
+    }
+
+    #[test]
+    fn parallel_shuffle_divides_by_workers() {
+        let cat = TransformCatalog;
+        let cl = Cluster::simsql_like(10);
+        let from = PhysFormat::Tile { side: 1000 };
+        let to = PhysFormat::Tile { side: 2500 };
+        let t = cat.find(&M, from, to).unwrap();
+        let f = cat.features(&M, from, t, &cl);
+        assert_eq!(f.net_bytes, 8e8 / 10.0);
+        assert_eq!(f.tuples, 100.0 + 16.0);
+    }
+
+    #[test]
+    fn every_non_identity_kind_is_reachable_via_find() {
+        // Closure check: each of the 20 kinds is produced by `find` for
+        // some (m, from, to) triple.
+        let cat = TransformCatalog;
+        let sparse = MatrixType::sparse(10_000, 10_000, 1e-3);
+        let tile1k = PhysFormat::Tile { side: 1000 };
+        let cases: Vec<(MatrixType, PhysFormat, PhysFormat)> = vec![
+            (M, tile1k, tile1k),
+            (M, tile1k, PhysFormat::SingleTuple),
+            (M, PhysFormat::SingleTuple, tile1k),
+            (M, PhysFormat::SingleTuple, PhysFormat::RowStrip { height: 100 }),
+            (M, PhysFormat::SingleTuple, PhysFormat::ColStrip { width: 100 }),
+            (M, tile1k, PhysFormat::Tile { side: 100 }),
+            (M, tile1k, PhysFormat::RowStrip { height: 100 }),
+            (M, tile1k, PhysFormat::ColStrip { width: 100 }),
+            (M, PhysFormat::RowStrip { height: 100 }, tile1k),
+            (M, PhysFormat::ColStrip { width: 100 }, tile1k),
+            (
+                M,
+                PhysFormat::RowStrip { height: 100 },
+                PhysFormat::RowStrip { height: 1000 },
+            ),
+            (
+                M,
+                PhysFormat::ColStrip { width: 100 },
+                PhysFormat::ColStrip { width: 1000 },
+            ),
+            (
+                M,
+                PhysFormat::RowStrip { height: 100 },
+                PhysFormat::ColStrip { width: 100 },
+            ),
+            (
+                M,
+                PhysFormat::ColStrip { width: 100 },
+                PhysFormat::RowStrip { height: 100 },
+            ),
+            (sparse, tile1k, PhysFormat::Coo),
+            (sparse, PhysFormat::Coo, tile1k),
+            (sparse, tile1k, PhysFormat::CsrSingle),
+            (sparse, PhysFormat::CsrSingle, PhysFormat::SingleTuple),
+            (sparse, tile1k, PhysFormat::CsrTile { side: 1000 }),
+            (sparse, PhysFormat::CsrTile { side: 1000 }, tile1k),
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for (m, from, to) in cases {
+            let t = cat
+                .find(&m, from, to)
+                .unwrap_or_else(|| panic!("no transform {from} -> {to}"));
+            seen.insert(t.kind);
+        }
+        assert_eq!(seen.len(), 20, "kinds covered: {seen:?}");
+    }
+}

@@ -1,0 +1,154 @@
+//! Matrix types — the set `M` of the paper's formalism (§3).
+
+use serde::{Deserialize, Serialize};
+
+/// Bytes per dense `f64` entry.
+pub const DENSE_ENTRY_BYTES: f64 = 8.0;
+/// Bytes per stored sparse entry (value + column index + amortized row
+/// pointer, CSR-style).
+pub const SPARSE_ENTRY_BYTES: f64 = 16.0;
+/// Bytes per relational `(rowIndex, colIndex, value)` triple.
+pub const TRIPLE_ENTRY_BYTES: f64 = 24.0;
+
+/// A matrix type: the logical shape of a matrix plus its estimated
+/// sparsity.
+///
+/// This corresponds to the pair `(d, b)` of the paper, specialized to
+/// `d ≤ 2` (vectors are `n × 1` or `1 × n` matrices; the paper's
+/// experiments never use higher-order tensors). We additionally carry a
+/// `sparsity` statistic — the estimated fraction of non-zero entries —
+/// because §7 of the paper makes the cost model sparsity-aware and notes
+/// that "the sparsity for all inputs can easily be estimated as data are
+/// loaded".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MatrixType {
+    /// Number of rows.
+    pub rows: u64,
+    /// Number of columns.
+    pub cols: u64,
+    /// Estimated fraction of non-zero entries, in `[0, 1]`; `1.0` means
+    /// dense.
+    pub sparsity: f64,
+}
+
+impl MatrixType {
+    /// A dense matrix type.
+    pub fn dense(rows: u64, cols: u64) -> Self {
+        MatrixType {
+            rows,
+            cols,
+            sparsity: 1.0,
+        }
+    }
+
+    /// A sparse matrix type with the given non-zero fraction.
+    ///
+    /// # Panics
+    /// Panics when `sparsity` is outside `[0, 1]`.
+    pub fn sparse(rows: u64, cols: u64, sparsity: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&sparsity),
+            "sparsity must be in [0, 1]"
+        );
+        MatrixType {
+            rows,
+            cols,
+            sparsity,
+        }
+    }
+
+    /// Total number of logical entries.
+    pub fn entries(&self) -> f64 {
+        self.rows as f64 * self.cols as f64
+    }
+
+    /// Estimated number of non-zero entries.
+    pub fn nnz(&self) -> f64 {
+        self.entries() * self.sparsity
+    }
+
+    /// Bytes needed to store this matrix densely.
+    pub fn dense_bytes(&self) -> f64 {
+        self.entries() * DENSE_ENTRY_BYTES
+    }
+
+    /// Bytes needed to store this matrix in a compressed sparse layout.
+    pub fn sparse_bytes(&self) -> f64 {
+        self.nnz() * SPARSE_ENTRY_BYTES
+    }
+
+    /// `true` when this is a (row or column) vector.
+    pub fn is_vector(&self) -> bool {
+        self.rows == 1 || self.cols == 1
+    }
+
+    /// `true` for a square matrix.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// The transposed type.
+    pub fn transposed(&self) -> MatrixType {
+        MatrixType {
+            rows: self.cols,
+            cols: self.rows,
+            sparsity: self.sparsity,
+        }
+    }
+}
+
+impl std::fmt::Display for MatrixType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.sparsity < 1.0 {
+            write!(f, "{}x{}@{:.2e}", self.rows, self.cols, self.sparsity)
+        } else {
+            write!(f, "{}x{}", self.rows, self.cols)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_bytes() {
+        let m = MatrixType::dense(1000, 1000);
+        assert_eq!(m.dense_bytes(), 8e6);
+        assert_eq!(m.nnz(), 1e6);
+    }
+
+    #[test]
+    fn sparse_bytes_scale_with_sparsity() {
+        let m = MatrixType::sparse(1000, 1000, 0.01);
+        assert_eq!(m.nnz(), 1e4);
+        assert_eq!(m.sparse_bytes(), 16.0 * 1e4);
+    }
+
+    #[test]
+    fn vector_and_square_predicates() {
+        assert!(MatrixType::dense(1, 50).is_vector());
+        assert!(MatrixType::dense(50, 1).is_vector());
+        assert!(!MatrixType::dense(2, 50).is_vector());
+        assert!(MatrixType::dense(7, 7).is_square());
+    }
+
+    #[test]
+    fn transpose_swaps_dims() {
+        let m = MatrixType::sparse(3, 9, 0.5).transposed();
+        assert_eq!((m.rows, m.cols), (9, 3));
+        assert_eq!(m.sparsity, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "sparsity must be in [0, 1]")]
+    fn bad_sparsity_rejected() {
+        let _ = MatrixType::sparse(2, 2, 2.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(MatrixType::dense(3, 4).to_string(), "3x4");
+        assert_eq!(MatrixType::sparse(3, 4, 0.5).to_string(), "3x4@5.00e-1");
+    }
+}

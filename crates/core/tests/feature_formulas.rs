@@ -1,0 +1,244 @@
+//! Point tests of the §7 analytic feature formulas: for each
+//! implementation strategy, the computed features must equal the
+//! closed-form expressions for hand-picked inputs. These pin the cost
+//! model against silent regressions — the optimizer's choices are only
+//! as good as these numbers.
+
+use matopt_core::{Cluster, ImplRegistry, MatrixType, Op, PhysFormat};
+
+const GB: f64 = 1e9;
+
+fn cl() -> Cluster {
+    Cluster::simsql_like(10)
+}
+
+fn eval(
+    name: &str,
+    op: Op,
+    inputs: &[(MatrixType, PhysFormat)],
+) -> matopt_core::ImplEval {
+    let reg = ImplRegistry::paper_default();
+    reg.by_name(name)
+        .unwrap_or_else(|| panic!("{name} registered"))
+        .evaluate(&op, inputs, &cl())
+        .unwrap_or_else(|| panic!("{name} accepts the inputs"))
+}
+
+fn close(a: f64, b: f64) {
+    assert!(
+        (a - b).abs() <= 1e-9 * b.abs().max(1.0),
+        "expected {b}, got {a}"
+    );
+}
+
+#[test]
+fn mm_single_local_charges_single_thread_flops_and_colocation() {
+    let a = MatrixType::dense(2000, 3000);
+    let b = MatrixType::dense(3000, 1000);
+    let e = eval(
+        "mm_single_local",
+        Op::MatMul,
+        &[(a, PhysFormat::SingleTuple), (b, PhysFormat::SingleTuple)],
+    );
+    // All flops are single-threaded; the RHS moves to the LHS's worker.
+    close(e.features.local_flops, 2.0 * 2000.0 * 3000.0 * 1000.0);
+    close(e.features.cpu_flops, 0.0);
+    close(e.features.net_bytes, 3000.0 * 1000.0 * 8.0);
+    close(e.features.ops, 1.0);
+}
+
+#[test]
+fn mm_tile_shuffle_partials_follow_the_grid() {
+    let a = MatrixType::dense(4000, 6000);
+    let b = MatrixType::dense(6000, 2000);
+    let t = PhysFormat::Tile { side: 1000 };
+    let e = eval("mm_tile_shuffle", Op::MatMul, &[(a, t), (b, t)]);
+    // 4 × 2 × 6 partial tiles of 8 MB.
+    let partials = 4.0 * 2.0 * 6.0 * 1000.0 * 1000.0 * 8.0;
+    close(e.features.inter_bytes, partials);
+    // Both inputs plus the partials cross the network once, spread over
+    // the 10 workers.
+    let a_bytes = 4000.0 * 6000.0 * 8.0;
+    let b_bytes = 6000.0 * 2000.0 * 8.0;
+    close(e.features.net_bytes, (a_bytes + b_bytes + partials) / 10.0);
+    // Tuples: 24 + 12 input tiles, 48 partials, 8 output tiles.
+    close(e.features.tuples, 24.0 + 12.0 + 48.0 + 8.0);
+    close(e.features.ops, 2.0);
+}
+
+#[test]
+fn mm_tile_bcast_ships_only_the_smaller_side() {
+    let a = MatrixType::dense(20_000, 4000);
+    let b = MatrixType::dense(4000, 2000);
+    let t = PhysFormat::Tile { side: 1000 };
+    let e = eval("mm_tile_bcast", Op::MatMul, &[(a, t), (b, t)]);
+    // b (64 MB) is smaller than a (640 MB): net = b's bytes.
+    close(e.features.net_bytes, 4000.0 * 2000.0 * 8.0);
+    close(e.features.ops, 1.0);
+    // No partial-aggregation spill: the intermediate is the output.
+    close(e.features.inter_bytes, 20_000.0 * 2000.0 * 8.0);
+}
+
+#[test]
+fn gather_to_single_funnels_everything() {
+    use matopt_core::{TransformCatalog, TransformKind};
+    let m = MatrixType::dense(10_000, 10_000);
+    let cat = TransformCatalog;
+    let t = cat
+        .find(&m, PhysFormat::Tile { side: 1000 }, PhysFormat::SingleTuple)
+        .unwrap();
+    assert_eq!(t.kind, TransformKind::GatherToSingle);
+    let f = cat.features(&m, PhysFormat::Tile { side: 1000 }, t, &cl());
+    close(f.net_bytes, 0.8 * GB); // all 800 MB through one NIC
+    close(f.ops, 2.0); // ROWMATRIX + COLMATRIX
+    close(f.tuples, 100.0 + 1.0);
+}
+
+#[test]
+fn broadcast_add_row_ships_the_vector_once() {
+    let a = MatrixType::dense(10_000, 20_000);
+    let bias = MatrixType::dense(1, 20_000);
+    let e = eval(
+        "bias_bcast",
+        Op::BroadcastAddRow,
+        &[
+            (a, PhysFormat::Tile { side: 1000 }),
+            (bias, PhysFormat::SingleTuple),
+        ],
+    );
+    close(e.features.net_bytes, 20_000.0 * 8.0);
+    // One pass over the data, spread across the 10 workers.
+    close(e.features.cpu_flops, 10_000.0 * 20_000.0 / 10.0);
+}
+
+#[test]
+fn unary_map_is_network_free() {
+    let a = MatrixType::dense(10_000, 10_000);
+    let e = eval("relu_map", Op::Relu, &[(a, PhysFormat::Tile { side: 1000 })]);
+    close(e.features.net_bytes, 0.0);
+    close(e.features.inter_bytes, 0.0);
+    close(e.features.tuples, 100.0);
+    close(e.features.cpu_flops, 1e8 / 10.0);
+}
+
+#[test]
+fn sparse_matmul_flops_scale_with_nnz() {
+    let a = MatrixType::sparse(10_000, 600_000, 1e-4);
+    let b = MatrixType::dense(600_000, 4000);
+    let e = eval(
+        "mm_csrtile_tile",
+        Op::MatMul,
+        &[
+            (a, PhysFormat::CsrTile { side: 1000 }),
+            (b, PhysFormat::Tile { side: 1000 }),
+        ],
+    );
+    // 2 · m · k · n · density, spread over 10 workers.
+    let flops = 2.0 * 10_000.0 * 600_000.0 * 4000.0 * 1e-4;
+    close(e.features.cpu_flops, flops / 10.0);
+    // Partials are bounded by nnz × tile side, not by dense tiles.
+    let nnz = 10_000.0 * 600_000.0 * 1e-4;
+    close(e.features.inter_bytes, nnz * 1000.0 * 8.0);
+}
+
+#[test]
+fn coo_matmul_pays_one_tuple_per_triple() {
+    let a = MatrixType::sparse(10_000, 100_000, 1e-3);
+    let b = MatrixType::dense(100_000, 1000);
+    let e = eval(
+        "mm_coo_dense_shuffle",
+        Op::MatMul,
+        &[(a, PhysFormat::Coo), (b, PhysFormat::Tile { side: 1000 })],
+    );
+    assert!(e.features.tuples >= a.nnz());
+}
+
+#[test]
+fn inverse_gauss_jordan_charges_one_round_per_panel() {
+    let a = MatrixType::dense(10_000, 10_000);
+    let e = eval(
+        "inv_tile_gauss_jordan",
+        Op::Inverse,
+        &[(a, PhysFormat::Tile { side: 1000 })],
+    );
+    close(e.features.ops, 10.0); // one relational round per pivot block
+    close(e.features.net_bytes, 10.0 * 10_000.0 * 1000.0 * 8.0);
+}
+
+#[test]
+fn inverse_single_is_single_threaded() {
+    let a = MatrixType::dense(10_000, 10_000);
+    let e = eval(
+        "inv_single_local",
+        Op::Inverse,
+        &[(a, PhysFormat::SingleTuple)],
+    );
+    close(e.features.local_flops, 2.0 * 1e12);
+    close(e.features.cpu_flops, 0.0);
+}
+
+#[test]
+fn elementwise_copart_moves_the_smaller_side() {
+    let a = MatrixType::dense(10_000, 10_000);
+    let e = eval(
+        "add_copart",
+        Op::Add,
+        &[
+            (a, PhysFormat::Tile { side: 1000 }),
+            (a, PhysFormat::Tile { side: 1000 }),
+        ],
+    );
+    // Worst case: one side re-shuffled to align, in parallel.
+    close(e.features.net_bytes, 0.8 * GB / 10.0);
+    close(e.features.tuples, 300.0);
+}
+
+#[test]
+fn softmax_two_round_charges_three_operators() {
+    let a = MatrixType::dense(10_000, 20_000);
+    let e = eval(
+        "softmax_tile_tworound",
+        Op::Softmax,
+        &[(a, PhysFormat::Tile { side: 1000 })],
+    );
+    close(e.features.ops, 3.0);
+    let aligned = eval(
+        "softmax_rowaligned",
+        Op::Softmax,
+        &[(a, PhysFormat::RowStrip { height: 1000 })],
+    );
+    close(aligned.features.ops, 1.0);
+    assert!(aligned.features.net_bytes < e.features.net_bytes + 1.0);
+}
+
+#[test]
+fn reduce_tile_shuffle_emits_partial_vectors() {
+    let a = MatrixType::dense(10_000, 20_000);
+    let e = eval(
+        "rowsums_tile_shuffle",
+        Op::RowSums,
+        &[(a, PhysFormat::Tile { side: 1000 })],
+    );
+    // 200 tiles each emit a 1000-long partial vector.
+    close(e.features.inter_bytes, 200.0 * 1000.0 * 8.0);
+    close(e.features.ops, 2.0);
+}
+
+#[test]
+fn cross_join_avoids_aggregation_entirely() {
+    let a = MatrixType::dense(10_000, 50_000);
+    let b = MatrixType::dense(50_000, 10_000);
+    let e = eval(
+        "mm_rowstrip_colstrip_cross",
+        Op::MatMul,
+        &[
+            (a, PhysFormat::RowStrip { height: 1000 }),
+            (b, PhysFormat::ColStrip { width: 1000 }),
+        ],
+    );
+    close(e.features.ops, 1.0);
+    // Intermediate data = the output itself, no partial products.
+    close(e.features.inter_bytes, 10_000.0 * 10_000.0 * 8.0);
+    // 10 × 10 output tiles from 10 + 10 strips.
+    close(e.features.tuples, 10.0 + 10.0 + 100.0);
+}

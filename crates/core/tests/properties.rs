@@ -1,0 +1,194 @@
+//! Property-based tests over the core model invariants: format
+//! accounting, type inference, transformation lookup, and
+//! implementation evaluation must hold for arbitrary (sane) matrix
+//! types and formats — the optimizers silently rely on all of these.
+
+use matopt_core::{
+    Cluster, FormatCatalog, ImplRegistry, MatrixType, Op, PhysFormat, TransformCatalog,
+    TransformKind, ALL_OP_KINDS,
+};
+use proptest::prelude::*;
+
+fn arb_type() -> impl Strategy<Value = MatrixType> {
+    (1u64..200_000, 1u64..200_000, 0.0f64..=1.0)
+        .prop_map(|(r, c, s)| MatrixType { rows: r, cols: c, sparsity: s })
+}
+
+fn arb_format() -> impl Strategy<Value = PhysFormat> {
+    prop_oneof![
+        Just(PhysFormat::SingleTuple),
+        (1u64..50_000).prop_map(|s| PhysFormat::Tile { side: s }),
+        (1u64..50_000).prop_map(|h| PhysFormat::RowStrip { height: h }),
+        (1u64..50_000).prop_map(|w| PhysFormat::ColStrip { width: w }),
+        Just(PhysFormat::Coo),
+        Just(PhysFormat::CsrSingle),
+        (1u64..50_000).prop_map(|s| PhysFormat::CsrTile { side: s }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Byte and tuple accounting is always consistent: at least one
+    /// tuple, no tuple larger than the total, non-negative everything.
+    #[test]
+    fn format_accounting_invariants(m in arb_type(), f in arb_format()) {
+        let tuples = f.num_tuples(&m);
+        prop_assert!(tuples >= 1.0);
+        let total = f.total_bytes(&m);
+        let biggest = f.max_tuple_bytes(&m);
+        prop_assert!(total >= 0.0 && biggest >= 0.0);
+        // One tuple cannot exceed the whole relation (up to fp slack).
+        prop_assert!(biggest <= total.max(biggest.min(32.0)) + 1e-6);
+    }
+
+    /// A feasible chunked format never degenerates to a single chunk,
+    /// and a feasible format's largest tuple respects the engine cap.
+    #[test]
+    fn feasibility_guarantees(m in arb_type(), f in arb_format()) {
+        let cl = Cluster::simsql_like(10);
+        if f.feasible(&m, &cl) {
+            if f.is_chunked_dense() {
+                prop_assert!(f.num_tuples(&m) > 1.0);
+            }
+            prop_assert!(f.max_tuple_bytes(&m) <= cl.max_tuple_bytes);
+        }
+    }
+
+    /// Catalog candidates are unique and all feasible.
+    #[test]
+    fn candidates_are_feasible_and_unique(m in arb_type()) {
+        let cl = Cluster::simsql_like(10);
+        let cat = FormatCatalog::paper_default();
+        let cands = cat.candidates(&m, &cl);
+        for f in &cands {
+            prop_assert!(f.feasible(&m, &cl));
+        }
+        let mut dedup = cands.clone();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), cands.len());
+    }
+
+    /// Type inference never produces out-of-range sparsity, and unary
+    /// ops preserve the operand's logical shape (except transpose and
+    /// reductions, checked separately).
+    #[test]
+    fn sparsity_stays_in_unit_interval(a in arb_type(), b in arb_type()) {
+        for op in [Op::MatMul, Op::Add, Op::Sub, Op::Hadamard] {
+            if let Ok(out) = op.output_type(&[a, b]) {
+                prop_assert!((0.0..=1.0).contains(&out.sparsity));
+            }
+        }
+        for op in [
+            Op::Relu, Op::ReluGrad, Op::Sigmoid, Op::Exp, Op::Neg,
+            Op::ScalarMul(3.0), Op::Softmax, Op::RowSums, Op::ColSums,
+        ] {
+            if let Ok(out) = op.output_type(&[a]) {
+                prop_assert!((0.0..=1.0).contains(&out.sparsity));
+            }
+        }
+    }
+
+    /// Transpose is a type-level involution.
+    #[test]
+    fn transpose_type_involution(a in arb_type()) {
+        let once = Op::Transpose.output_type(&[a]).unwrap();
+        let twice = Op::Transpose.output_type(&[once]).unwrap();
+        prop_assert_eq!(twice, a);
+    }
+
+    /// Transformation lookup: same-format moves are always the identity;
+    /// non-identity transforms have non-negative features; `find` never
+    /// returns a transform targeting a different format than requested.
+    #[test]
+    fn transform_lookup_invariants(m in arb_type(), from in arb_format(), to in arb_format()) {
+        let cat = TransformCatalog;
+        let cl = Cluster::simsql_like(10);
+        if let Some(t) = cat.find(&m, from, to) {
+            prop_assert_eq!(t.to, to);
+            if from == to {
+                prop_assert_eq!(t.kind, TransformKind::Identity);
+            }
+            let f = cat.features(&m, from, t, &cl);
+            prop_assert!(f.cpu_flops >= 0.0);
+            prop_assert!(f.net_bytes >= 0.0);
+            prop_assert!(f.inter_bytes >= 0.0);
+            prop_assert!(f.tuples >= 0.0);
+            prop_assert!(f.ops >= 0.0);
+        }
+    }
+
+    /// Implementation evaluation: when an implementation accepts inputs,
+    /// its output format is feasible for the output type, its features
+    /// are non-negative, and the memory estimate respects the cluster
+    /// limit it was checked against.
+    #[test]
+    fn impl_evaluation_invariants(
+        a in arb_type(),
+        b in arb_type(),
+        fa in arb_format(),
+        fb in arb_format(),
+    ) {
+        let reg = ImplRegistry::paper_default();
+        let cl = Cluster::simsql_like(10);
+        for kind in ALL_OP_KINDS {
+            let op = match kind {
+                matopt_core::OpKind::ScalarMul => Op::ScalarMul(0.5),
+                matopt_core::OpKind::MatMul => Op::MatMul,
+                matopt_core::OpKind::Add => Op::Add,
+                matopt_core::OpKind::Sub => Op::Sub,
+                matopt_core::OpKind::Hadamard => Op::Hadamard,
+                matopt_core::OpKind::Transpose => Op::Transpose,
+                matopt_core::OpKind::Relu => Op::Relu,
+                matopt_core::OpKind::ReluGrad => Op::ReluGrad,
+                matopt_core::OpKind::Softmax => Op::Softmax,
+                matopt_core::OpKind::Sigmoid => Op::Sigmoid,
+                matopt_core::OpKind::Exp => Op::Exp,
+                matopt_core::OpKind::Neg => Op::Neg,
+                matopt_core::OpKind::RowSums => Op::RowSums,
+                matopt_core::OpKind::ColSums => Op::ColSums,
+                matopt_core::OpKind::Inverse => Op::Inverse,
+                matopt_core::OpKind::BroadcastAddRow => Op::BroadcastAddRow,
+            };
+            let inputs: Vec<(MatrixType, PhysFormat)> = if op.arity() == 1 {
+                vec![(a, fa)]
+            } else {
+                vec![(a, fa), (b, fb)]
+            };
+            for impl_def in reg.impls_for(kind) {
+                if let Some(eval) = impl_def.evaluate(&op, &inputs, &cl) {
+                    let out_type = op
+                        .output_type(&inputs.iter().map(|(m, _)| *m).collect::<Vec<_>>())
+                        .expect("accepted implies type-correct");
+                    prop_assert!(
+                        eval.out_format.feasible(&out_type, &cl),
+                        "{} produced infeasible {} for {}",
+                        impl_def.name,
+                        eval.out_format,
+                        out_type
+                    );
+                    prop_assert!(eval.features.cpu_flops >= 0.0);
+                    prop_assert!(eval.features.local_flops >= 0.0);
+                    prop_assert!(eval.features.net_bytes >= 0.0);
+                    prop_assert!(eval.features.inter_bytes >= 0.0);
+                    prop_assert!(eval.features.tuples >= 0.0);
+                    prop_assert!(eval.features.ops >= 0.0);
+                    prop_assert!(eval.mem_per_worker <= cl.worker_ram_bytes);
+                }
+            }
+        }
+    }
+
+    /// Wrong-op evaluation is always ⊥ — an implementation never
+    /// accepts a vertex for a different atomic computation.
+    #[test]
+    fn wrong_op_is_always_rejected(a in arb_type(), fa in arb_format()) {
+        let reg = ImplRegistry::paper_default();
+        let cl = Cluster::simsql_like(10);
+        let relu_impl = reg.by_name("relu_map").unwrap();
+        prop_assert!(relu_impl.evaluate(&Op::Sigmoid, &[(a, fa)], &cl).is_none());
+        prop_assert!(relu_impl
+            .evaluate(&Op::MatMul, &[(a, fa), (a, fa)], &cl)
+            .is_none());
+    }
+}

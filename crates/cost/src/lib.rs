@@ -1,0 +1,27 @@
+//! # matopt-cost
+//!
+//! Cost models for annotated compute graphs (§7 of the paper):
+//!
+//! * [`AnalyticalCostModel`] — closed-form mapping from the analytic
+//!   feature vector (flops, network bytes, intermediate bytes, tuple
+//!   counts, operator count) to seconds, using the [`matopt_core::Cluster`]
+//!   rates.
+//! * [`LearnedCostModel`] — per-operation linear regressions fitted from
+//!   installation-time benchmark measurements, exactly as the paper
+//!   describes: "our implementation runs a set of benchmark computations
+//!   for which it collects the running time, and then it uses the
+//!   ... analytically-computed features along with those running times as
+//!   input into a regression that is performed for each operation."
+//! * [`plan_cost`] — the §4.3 plan objective `Cost(G') = Σ v.c + Σ e.c`.
+//!
+//! The regressions are solved with the LU factorization from
+//! `matopt-kernels` — the library's own linear algebra.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod model;
+mod regression;
+
+pub use model::{plan_cost, AnalyticalCostModel, CostKey, CostModel, CostSample, LearnedCostModel};
+pub use regression::{fit_ridge, LinearModel, N_FEATURES};

@@ -1,0 +1,314 @@
+//! Cost models (§7): mapping analytic feature vectors to running time.
+
+use crate::regression::{fit_ridge, LinearModel, N_FEATURES};
+use matopt_core::{
+    plan_features, Annotation, Cluster, ComputeGraph, CostFeatures, NodeKind, OpKind,
+    PlanContext, PlanError, TransformKind,
+};
+use std::collections::HashMap;
+
+/// What a cost sample or prediction is about: one atomic computation
+/// kind or one transformation kind. The paper performs "a regression
+/// ... for each operation"; this key is the per-operation index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CostKey {
+    /// An atomic computation implementation of this kind.
+    Op(OpKind),
+    /// A physical matrix transformation of this kind.
+    Transform(TransformKind),
+}
+
+/// A cost model: returns the estimated seconds an implementation or
+/// transformation with the given features takes on the given cluster.
+pub trait CostModel {
+    /// Estimated seconds for an atomic computation implementation.
+    fn impl_time(&self, op: OpKind, features: &CostFeatures, cluster: &Cluster) -> f64;
+    /// Estimated seconds for a physical matrix transformation.
+    fn transform_time(
+        &self,
+        kind: TransformKind,
+        features: &CostFeatures,
+        cluster: &Cluster,
+    ) -> f64;
+}
+
+/// The closed-form cost model: each feature is divided by the matching
+/// cluster rate and the per-operator setup cost is added.
+///
+/// * CPU: critical-path flops at the per-worker flop rate;
+/// * network: busiest-NIC bytes at NIC bandwidth;
+/// * intermediates: total bytes at the aggregate materialization rate;
+/// * tuples: total count at the per-tuple overhead, spread over workers;
+/// * ops: fixed setup each.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnalyticalCostModel;
+
+impl AnalyticalCostModel {
+    fn time(&self, f: &CostFeatures, cluster: &Cluster) -> f64 {
+        let w = cluster.workers as f64;
+        f.cpu_flops / cluster.flops_per_sec
+            + f.local_flops / cluster.single_thread_flops_per_sec
+            + f.net_bytes / cluster.net_bytes_per_sec
+            + f.inter_bytes / (cluster.inter_bytes_per_sec * w)
+            + f.tuples * cluster.tuple_overhead_sec / w
+            + f.ops * cluster.op_setup_sec
+    }
+}
+
+impl CostModel for AnalyticalCostModel {
+    fn impl_time(&self, _op: OpKind, features: &CostFeatures, cluster: &Cluster) -> f64 {
+        self.time(features, cluster)
+    }
+    fn transform_time(
+        &self,
+        _kind: TransformKind,
+        features: &CostFeatures,
+        cluster: &Cluster,
+    ) -> f64 {
+        self.time(features, cluster)
+    }
+}
+
+/// One calibration observation: the features of a benchmark run and its
+/// measured wall-clock seconds.
+#[derive(Debug, Clone, Copy)]
+pub struct CostSample {
+    /// What ran.
+    pub key: CostKey,
+    /// Its analytic features.
+    pub features: CostFeatures,
+    /// Measured seconds.
+    pub seconds: f64,
+}
+
+/// The learned cost model of §7: per-operation linear regressions over
+/// the analytic features, fitted from installation-time benchmark runs,
+/// with a global fallback model for operations that were never measured.
+#[derive(Debug, Clone)]
+pub struct LearnedCostModel {
+    per_key: HashMap<CostKey, LinearModel>,
+    fallback: LinearModel,
+}
+
+/// Minimum samples required before a per-operation regression is
+/// trusted over the global fallback.
+const MIN_SAMPLES_PER_KEY: usize = 4;
+
+impl LearnedCostModel {
+    /// Fits the model from calibration samples.
+    ///
+    /// # Panics
+    /// Panics when `samples` is empty.
+    pub fn fit(samples: &[CostSample]) -> Self {
+        assert!(!samples.is_empty(), "need calibration samples");
+        let rows = |subset: &[&CostSample]| -> (Vec<[f64; N_FEATURES]>, Vec<f64>) {
+            (
+                subset
+                    .iter()
+                    .map(|s| s.features.as_regression_row())
+                    .collect(),
+                subset.iter().map(|s| s.seconds).collect(),
+            )
+        };
+        let all: Vec<&CostSample> = samples.iter().collect();
+        let (xs, ys) = rows(&all);
+        let fallback = fit_ridge(&xs, &ys, 1e-6);
+
+        let mut by_key: HashMap<CostKey, Vec<&CostSample>> = HashMap::new();
+        for s in samples {
+            by_key.entry(s.key).or_default().push(s);
+        }
+        let per_key = by_key
+            .into_iter()
+            .filter(|(_, v)| v.len() >= MIN_SAMPLES_PER_KEY)
+            .map(|(k, v)| {
+                let (xs, ys) = rows(&v);
+                (k, fit_ridge(&xs, &ys, 1e-6))
+            })
+            .collect();
+        LearnedCostModel { per_key, fallback }
+    }
+
+    fn predict(&self, key: CostKey, features: &CostFeatures) -> f64 {
+        let row = features.as_regression_row();
+        let model = self.per_key.get(&key).unwrap_or(&self.fallback);
+        // Negative predictions can arise from extrapolation; clamp to a
+        // nonnegative time.
+        model.predict(&row).max(0.0)
+    }
+
+    /// Number of per-operation regressions fitted.
+    pub fn specialized_models(&self) -> usize {
+        self.per_key.len()
+    }
+}
+
+impl CostModel for LearnedCostModel {
+    fn impl_time(&self, op: OpKind, features: &CostFeatures, _cluster: &Cluster) -> f64 {
+        self.predict(CostKey::Op(op), features)
+    }
+    fn transform_time(
+        &self,
+        kind: TransformKind,
+        features: &CostFeatures,
+        _cluster: &Cluster,
+    ) -> f64 {
+        self.predict(CostKey::Transform(kind), features)
+    }
+}
+
+/// Total estimated cost of an annotated plan: the sum over vertex and
+/// edge costs of §4.3, `Cost(G') = Σ v.c + Σ e.c`.
+///
+/// ```
+/// use matopt_core::*;
+/// use matopt_cost::{plan_cost, AnalyticalCostModel};
+///
+/// let registry = ImplRegistry::paper_default();
+/// let mut g = ComputeGraph::new();
+/// let a = g.add_source(MatrixType::dense(1000, 1000), PhysFormat::SingleTuple);
+/// let r = g.add_op(Op::Relu, &[a]).unwrap();
+/// let mut ann = Annotation::empty(&g);
+/// ann.set(r, VertexChoice {
+///     impl_id: registry.by_name("relu_map").unwrap().id,
+///     input_transforms: vec![Transform::identity(PhysFormat::SingleTuple)],
+///     output_format: PhysFormat::SingleTuple,
+/// });
+/// let ctx = PlanContext::new(&registry, Cluster::simsql_like(4));
+/// let cost = plan_cost(&g, &ann, &ctx, &AnalyticalCostModel).unwrap();
+/// assert!(cost > 0.0);
+/// ```
+///
+/// # Errors
+/// Returns a [`PlanError`] when the annotation is not type-correct.
+pub fn plan_cost(
+    graph: &ComputeGraph,
+    annotation: &Annotation,
+    ctx: &PlanContext<'_>,
+    model: &dyn CostModel,
+) -> Result<f64, PlanError> {
+    let breakdown = plan_features(graph, annotation, ctx)?;
+    let mut total = 0.0;
+    for (id, node) in graph.iter() {
+        let NodeKind::Compute { op } = &node.kind else {
+            continue;
+        };
+        if let Some(f) = &breakdown.impl_features[id.index()] {
+            total += model.impl_time(op.kind(), f, &ctx.cluster);
+        }
+        let choice = annotation.choice(id).expect("validated");
+        for (t, f) in choice
+            .input_transforms
+            .iter()
+            .zip(breakdown.transform_features[id.index()].iter())
+        {
+            total += model.transform_time(t.kind, f, &ctx.cluster);
+        }
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feat(flops: f64, net: f64, inter: f64, tuples: f64, ops: f64) -> CostFeatures {
+        CostFeatures {
+            cpu_flops: flops,
+            local_flops: 0.0,
+            net_bytes: net,
+            inter_bytes: inter,
+            tuples,
+            ops,
+        }
+    }
+
+    #[test]
+    fn analytical_model_reads_off_unit_cluster() {
+        let m = AnalyticalCostModel;
+        let c = Cluster::unit_test(1);
+        let f = feat(2.0, 3.0, 5.0, 7.0, 0.0);
+        // flops + net + inter + tuples with all rates 1 and 1 worker.
+        assert_eq!(m.impl_time(OpKind::MatMul, &f, &c), 2.0 + 3.0 + 5.0 + 7.0);
+    }
+
+    #[test]
+    fn analytical_model_spreads_tuples_and_inter_over_workers() {
+        let m = AnalyticalCostModel;
+        let c = Cluster::unit_test(10);
+        let f = feat(0.0, 0.0, 10.0, 20.0, 0.0);
+        assert_eq!(m.impl_time(OpKind::Add, &f, &c), 1.0 + 2.0);
+    }
+
+    #[test]
+    fn op_setup_is_per_operator() {
+        let m = AnalyticalCostModel;
+        let mut c = Cluster::unit_test(1);
+        c.op_setup_sec = 8.0;
+        let f = feat(0.0, 0.0, 0.0, 0.0, 3.0);
+        assert_eq!(m.impl_time(OpKind::MatMul, &f, &c), 24.0);
+    }
+
+    #[test]
+    fn learned_model_recovers_synthetic_rates() {
+        // Generate samples from a ground-truth linear law and check the
+        // fitted model ranks plans like the truth does.
+        let truth = |f: &CostFeatures| f.cpu_flops / 1e10 + f.net_bytes / 1e9 + f.ops * 2.0;
+        let mut samples = Vec::new();
+        for i in 1..40u32 {
+            let f = feat(
+                i as f64 * 1e11,
+                i as f64 * 7e8 % 5e9,
+                0.0,
+                i as f64 * 100.0,
+                (i % 3) as f64 + 1.0,
+            );
+            samples.push(CostSample {
+                key: CostKey::Op(OpKind::MatMul),
+                features: f,
+                seconds: truth(&f),
+            });
+        }
+        let model = LearnedCostModel::fit(&samples);
+        assert_eq!(model.specialized_models(), 1);
+        let c = Cluster::unit_test(1);
+        let cheap = feat(1e11, 1e8, 0.0, 100.0, 1.0);
+        let pricey = feat(9e11, 4e9, 0.0, 900.0, 3.0);
+        let p_cheap = model.impl_time(OpKind::MatMul, &cheap, &c);
+        let p_pricey = model.impl_time(OpKind::MatMul, &pricey, &c);
+        assert!(p_cheap < p_pricey);
+        assert!((p_cheap - truth(&cheap)).abs() / truth(&cheap) < 0.05);
+    }
+
+    #[test]
+    fn learned_model_falls_back_for_unmeasured_ops() {
+        let samples: Vec<CostSample> = (1..10)
+            .map(|i| CostSample {
+                key: CostKey::Op(OpKind::MatMul),
+                features: feat(i as f64 * 1e9, 0.0, 0.0, 0.0, 1.0),
+                seconds: i as f64,
+            })
+            .collect();
+        let model = LearnedCostModel::fit(&samples);
+        let c = Cluster::unit_test(1);
+        // Relu was never measured: prediction must come from the global
+        // fallback, not panic.
+        let t = model.impl_time(OpKind::Relu, &feat(5e9, 0.0, 0.0, 0.0, 1.0), &c);
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn predictions_are_clamped_nonnegative() {
+        let samples: Vec<CostSample> = (1..8)
+            .map(|i| CostSample {
+                key: CostKey::Op(OpKind::Add),
+                features: feat(i as f64, 0.0, 0.0, 0.0, 1.0),
+                seconds: 1.0,
+            })
+            .collect();
+        let model = LearnedCostModel::fit(&samples);
+        let c = Cluster::unit_test(1);
+        let t = model.impl_time(OpKind::Add, &feat(0.0, 0.0, 0.0, 0.0, 0.0), &c);
+        assert!(t >= 0.0);
+    }
+}

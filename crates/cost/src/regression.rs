@@ -1,0 +1,147 @@
+//! Ordinary least squares with ridge regularization, solved through the
+//! LU kernels of `matopt-kernels` — the cost model is fitted with the
+//! library's own linear algebra.
+
+use matopt_kernels::{lu_factor, lu_solve, DenseMatrix};
+
+/// Number of regression features: the §7 features (with the FLOP count
+/// split into parallel and single-threaded components) plus an
+/// intercept.
+pub const N_FEATURES: usize = 7;
+
+/// A linear model `time ≈ wᵀ·φ(features)` over the §7 feature vector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearModel {
+    /// Weights, aligned with [`matopt_core::CostFeatures::as_regression_row`].
+    pub weights: [f64; N_FEATURES],
+}
+
+impl LinearModel {
+    /// Predicted time for a feature row.
+    pub fn predict(&self, row: &[f64; N_FEATURES]) -> f64 {
+        self.weights
+            .iter()
+            .zip(row.iter())
+            .map(|(w, x)| w * x)
+            .sum()
+    }
+}
+
+/// Fits `y ≈ X·w` by ridge-regularized least squares (normal equations
+/// `(XᵀX + λI)w = Xᵀy`).
+///
+/// The small ridge term keeps the system non-singular when a feature is
+/// constant across the calibration runs (common: e.g. every measured
+/// local multiply has `ops = 1`).
+///
+/// # Panics
+/// Panics when `xs` and `ys` have different lengths or `xs` is empty.
+pub fn fit_ridge(xs: &[[f64; N_FEATURES]], ys: &[f64], lambda: f64) -> LinearModel {
+    assert_eq!(xs.len(), ys.len(), "design/response length mismatch");
+    assert!(!xs.is_empty(), "cannot fit on zero samples");
+    // Normalize columns so the ridge penalty is scale-free: features
+    // span ~15 orders of magnitude (flops vs. op counts).
+    let mut scale = [0.0f64; N_FEATURES];
+    for row in xs {
+        for (s, v) in scale.iter_mut().zip(row.iter()) {
+            *s = s.max(v.abs());
+        }
+    }
+    for s in &mut scale {
+        if *s == 0.0 {
+            *s = 1.0;
+        }
+    }
+
+    let n = N_FEATURES;
+    let mut xtx = DenseMatrix::zeros(n, n);
+    let mut xty = DenseMatrix::zeros(n, 1);
+    for (row, y) in xs.iter().zip(ys.iter()) {
+        let scaled: Vec<f64> = row.iter().zip(scale.iter()).map(|(v, s)| v / s).collect();
+        for i in 0..n {
+            for j in 0..n {
+                let v = xtx.get(i, j) + scaled[i] * scaled[j];
+                xtx.set(i, j, v);
+            }
+            xty.set(i, 0, xty.get(i, 0) + scaled[i] * y);
+        }
+    }
+    for i in 0..n {
+        let v = xtx.get(i, i) + lambda;
+        xtx.set(i, i, v);
+    }
+    let factors = lu_factor(&xtx).expect("ridge-regularized normal equations are non-singular");
+    let w = lu_solve(&factors, &xty);
+    let mut weights = [0.0f64; N_FEATURES];
+    for i in 0..n {
+        weights[i] = w.get(i, 0) / scale[i];
+    }
+    LinearModel { weights }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_relationship() {
+        // y = 2*f0 + 3*f3 + 5 (intercept).
+        let xs: Vec<[f64; 7]> = (0..24)
+            .map(|i| {
+                let i = i as f64;
+                [i, i * i, (i * 7.0) % 5.0, 3.0 * i + 1.0, i % 2.0, (i * 3.0) % 4.0, 1.0]
+            })
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|r| 2.0 * r[0] + 3.0 * r[3] + 5.0).collect();
+        let m = fit_ridge(&xs, &ys, 1e-9);
+        for (x, y) in xs.iter().zip(ys.iter()) {
+            assert!(
+                (m.predict(x) - y).abs() < 1e-6 * y.abs().max(1.0),
+                "predicted {} expected {}",
+                m.predict(x),
+                y
+            );
+        }
+    }
+
+    #[test]
+    fn handles_constant_features_via_ridge() {
+        // Feature 4 constant at 1.0 would make plain OLS singular
+        // together with the intercept.
+        let xs: Vec<[f64; 7]> = (1..20)
+            .map(|i| {
+                let i = i as f64;
+                [i, 2.0 * i, 0.0, 0.0, 0.0, 1.0, 1.0]
+            })
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|r| 4.0 * r[0]).collect();
+        let m = fit_ridge(&xs, &ys, 1e-6);
+        let pred = m.predict(&[10.0, 20.0, 0.0, 0.0, 0.0, 1.0, 1.0]);
+        assert!((pred - 40.0).abs() < 0.5, "got {pred}");
+    }
+
+    #[test]
+    fn scales_across_magnitudes() {
+        // Features spanning 1e12 vs 1e0, as real flop/tuple counts do.
+        let xs: Vec<[f64; 7]> = (1..30)
+            .map(|i| {
+                let i = i as f64;
+                [i * 1e12, 0.0, i * 1e9, 0.0, i * 10.0, 2.0, 1.0]
+            })
+            .collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|r| r[0] / 1e10 + r[2] / 1e9 + 0.01 * r[4])
+            .collect();
+        let m = fit_ridge(&xs, &ys, 1e-9);
+        let x = [5e12, 0.0, 5e9, 0.0, 50.0, 2.0, 1.0];
+        let expect = 500.0 + 5.0 + 0.5;
+        assert!((m.predict(&x) - expect).abs() / expect < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit on zero samples")]
+    fn empty_fit_panics() {
+        let _ = fit_ridge(&[], &[], 1e-6);
+    }
+}

@@ -1,0 +1,171 @@
+//! The real executor: runs an annotated compute graph over concrete
+//! distributed relations, chunk by chunk, measuring per-step wall time.
+//!
+//! Used at laptop scale to (a) prove that every type-correct annotation
+//! of a graph computes identical numbers, and (b) collect the
+//! installation-time calibration measurements the learned cost model is
+//! fitted from (§7).
+
+use crate::impl_exec::{execute_impl, ExecError};
+use crate::value::DistRelation;
+use matopt_core::{
+    Annotation, ComputeGraph, ImplRegistry, NodeId, NodeKind, TransformKind,
+};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// The result of executing an annotated plan.
+#[derive(Debug, Clone)]
+pub struct ExecOutcome {
+    /// The values at every sink vertex.
+    pub sinks: HashMap<NodeId, DistRelation>,
+    /// The value computed at every vertex (sources included) — useful
+    /// when intermediate results are themselves deliverables, as in the
+    /// blocked-inverse workload whose quadrants feed each other.
+    pub values: HashMap<NodeId, DistRelation>,
+    /// Wall seconds each compute vertex's implementation took.
+    pub vertex_seconds: Vec<f64>,
+    /// Wall seconds each in-edge transformation took, per vertex.
+    pub transform_seconds: Vec<Vec<f64>>,
+    /// Total wall seconds.
+    pub total_seconds: f64,
+}
+
+/// Executes an annotated graph on concrete inputs.
+///
+/// `inputs` must contain one relation per source vertex. A source whose
+/// relation arrives in a different format than the graph declares is
+/// re-materialized (the declared format is authoritative).
+///
+/// # Errors
+/// [`ExecError`] when the annotation is incomplete or inconsistent with
+/// the data. Run [`matopt_core::validate`] first for typed errors.
+pub fn execute_plan(
+    graph: &ComputeGraph,
+    annotation: &Annotation,
+    inputs: &HashMap<NodeId, DistRelation>,
+    registry: &ImplRegistry,
+) -> Result<ExecOutcome, ExecError> {
+    let start = Instant::now();
+    let mut values: Vec<Option<DistRelation>> = vec![None; graph.len()];
+    let mut vertex_seconds = vec![0.0; graph.len()];
+    let mut transform_seconds: Vec<Vec<f64>> = vec![Vec::new(); graph.len()];
+
+    for (id, node) in graph.iter() {
+        match &node.kind {
+            NodeKind::Source { format } => {
+                let rel = inputs
+                    .get(&id)
+                    .ok_or_else(|| missing_input(id))?;
+                let rel = if rel.format == *format {
+                    rel.clone()
+                } else {
+                    rel.reformat(*format)
+                        .map_err(|e| ExecError::Internal(e.to_string()))?
+                };
+                values[id.index()] = Some(rel);
+            }
+            NodeKind::Compute { op } => {
+                let choice = annotation
+                    .choice(id)
+                    .ok_or(ExecError::MissingChoice(id))?;
+                // Apply the edge transformations.
+                let mut transformed: Vec<DistRelation> = Vec::with_capacity(node.inputs.len());
+                for (input, t) in node.inputs.iter().zip(choice.input_transforms.iter()) {
+                    let src = values[input.index()]
+                        .as_ref()
+                        .expect("topological order");
+                    let t0 = Instant::now();
+                    let moved = if t.kind == TransformKind::Identity {
+                        src.clone()
+                    } else {
+                        src.reformat(t.to)
+                            .map_err(|e| ExecError::Internal(e.to_string()))?
+                    };
+                    transform_seconds[id.index()].push(t0.elapsed().as_secs_f64());
+                    transformed.push(moved);
+                }
+                let strategy = registry.get(choice.impl_id).strategy;
+                let refs: Vec<&DistRelation> = transformed.iter().collect();
+                let t0 = Instant::now();
+                let out = execute_impl(
+                    strategy,
+                    op,
+                    &refs,
+                    node.mtype,
+                    choice.output_format,
+                )?;
+                vertex_seconds[id.index()] = t0.elapsed().as_secs_f64();
+                values[id.index()] = Some(out);
+            }
+        }
+    }
+
+    let mut all = HashMap::new();
+    for (id, _) in graph.iter() {
+        all.insert(id, values[id.index()].take().expect("computed"));
+    }
+    let sinks = graph
+        .sinks()
+        .into_iter()
+        .map(|s| (s, all[&s].clone()))
+        .collect();
+    Ok(ExecOutcome {
+        sinks,
+        values: all,
+        vertex_seconds,
+        transform_seconds,
+        total_seconds: start.elapsed().as_secs_f64(),
+    })
+}
+
+/// Evaluates the graph on plain dense matrices with no layout logic at
+/// all — the ground-truth reference every annotation is checked
+/// against.
+pub fn reference_eval(
+    graph: &ComputeGraph,
+    inputs: &HashMap<NodeId, matopt_kernels::DenseMatrix>,
+) -> Result<HashMap<NodeId, matopt_kernels::DenseMatrix>, ExecError> {
+    use matopt_core::Op;
+    let mut values: Vec<Option<matopt_kernels::DenseMatrix>> = vec![None; graph.len()];
+    for (id, node) in graph.iter() {
+        match &node.kind {
+            NodeKind::Source { .. } => {
+                values[id.index()] = Some(inputs.get(&id).ok_or_else(|| missing_input(id))?.clone());
+            }
+            NodeKind::Compute { op } => {
+                let arg = |j: usize| values[node.inputs[j].index()].as_ref().expect("topo");
+                let out = match op {
+                    Op::MatMul => arg(0).matmul(arg(1)),
+                    Op::Add => arg(0).add(arg(1)),
+                    Op::Sub => arg(0).sub(arg(1)),
+                    Op::Hadamard => arg(0).hadamard(arg(1)),
+                    Op::ScalarMul(alpha) => arg(0).scale(*alpha),
+                    Op::Transpose => arg(0).transpose(),
+                    Op::Relu => arg(0).relu(),
+                    Op::ReluGrad => arg(0).relu_grad(),
+                    Op::Softmax => arg(0).softmax_rows(),
+                    Op::Sigmoid => arg(0).sigmoid(),
+                    Op::Exp => arg(0).exp(),
+                    Op::Neg => arg(0).neg(),
+                    Op::RowSums => arg(0).row_sums(),
+                    Op::ColSums => arg(0).col_sums(),
+                    Op::Inverse => arg(0)
+                        .inverse()
+                        .map_err(|e| ExecError::Internal(e.to_string()))?,
+                    Op::BroadcastAddRow => arg(0).add_row_broadcast(arg(1)),
+                };
+                values[id.index()] = Some(out);
+            }
+        }
+    }
+    let mut out = HashMap::new();
+    for sink in graph.sinks() {
+        out.insert(sink, values[sink.index()].take().expect("computed"));
+    }
+    Ok(out)
+}
+
+fn missing_input(id: NodeId) -> ExecError {
+    ExecError::Internal(format!("no input relation provided for source {id}"))
+}

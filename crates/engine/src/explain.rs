@@ -1,0 +1,188 @@
+//! Plan explanation: a human-readable account of an annotated compute
+//! graph — which implementation runs at each vertex, which
+//! transformations move data on each edge, what each step is estimated
+//! to cost, and where the resources go.
+//!
+//! This is the library form of a query plan's `EXPLAIN`: the
+//! `explain`-style binaries in `matopt-bench` are thin wrappers over
+//! [`explain_plan`].
+
+use crate::sim::{simulate_plan, SimOutcome};
+use matopt_core::{
+    Annotation, ComputeGraph, NodeId, NodeKind, PhysFormat, PlanContext, PlanError, Transform,
+    TransformKind,
+};
+use matopt_cost::CostModel;
+
+/// One explained step: a compute vertex with its choices and costs.
+#[derive(Debug, Clone)]
+pub struct ExplainStep {
+    /// The vertex.
+    pub vertex: NodeId,
+    /// Human-readable vertex label (`name` or the id).
+    pub label: String,
+    /// The atomic computation, e.g. `MatMul`.
+    pub op: String,
+    /// The chosen implementation's registry name.
+    pub impl_name: &'static str,
+    /// Transformation applied on each in-edge.
+    pub transforms: Vec<Transform>,
+    /// The output physical implementation.
+    pub output_format: PhysFormat,
+    /// Estimated seconds for the implementation.
+    pub impl_seconds: f64,
+    /// Estimated seconds for the edge transformations.
+    pub transform_seconds: f64,
+    /// Shapes of the inputs, for display.
+    pub input_shapes: Vec<String>,
+}
+
+/// A full plan explanation.
+#[derive(Debug, Clone)]
+pub struct PlanExplanation {
+    /// Overall outcome (estimated total or the failure).
+    pub outcome: SimOutcome,
+    /// Steps in topological order (up to the failure point).
+    pub steps: Vec<ExplainStep>,
+}
+
+impl PlanExplanation {
+    /// The steps sorted by descending total cost — "where does the time
+    /// go".
+    pub fn hotspots(&self) -> Vec<&ExplainStep> {
+        let mut v: Vec<&ExplainStep> = self.steps.iter().collect();
+        v.sort_by(|a, b| {
+            (b.impl_seconds + b.transform_seconds).total_cmp(&(a.impl_seconds + a.transform_seconds))
+        });
+        v
+    }
+
+    /// Count of non-identity transformations in the plan.
+    pub fn transform_count(&self) -> usize {
+        self.steps
+            .iter()
+            .flat_map(|s| s.transforms.iter())
+            .filter(|t| t.kind != TransformKind::Identity)
+            .count()
+    }
+}
+
+impl std::fmt::Display for PlanExplanation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "plan outcome: {}", self.outcome)?;
+        for s in &self.steps {
+            writeln!(
+                f,
+                "  {:>5} {:<22} {:<28} -> {:<14} impl {:>9.2}s  trans {:>8.2}s  [{}]",
+                s.vertex.to_string(),
+                s.label,
+                s.impl_name,
+                s.output_format.to_string(),
+                s.impl_seconds,
+                s.transform_seconds,
+                s.input_shapes.join(" x "),
+            )?;
+            for t in &s.transforms {
+                if t.kind != TransformKind::Identity {
+                    writeln!(f, "        edge: {t}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Explains an annotated plan: simulates it on the context's cluster
+/// and pairs each step with its choices.
+///
+/// # Errors
+/// Returns a [`PlanError`] when the annotation is not type-correct.
+pub fn explain_plan(
+    graph: &ComputeGraph,
+    annotation: &Annotation,
+    ctx: &PlanContext<'_>,
+    model: &dyn CostModel,
+) -> Result<PlanExplanation, PlanError> {
+    let report = simulate_plan(graph, annotation, ctx, model)?;
+    let mut steps = Vec::new();
+    for step in &report.steps {
+        let node = graph.node(step.vertex);
+        let NodeKind::Compute { op } = &node.kind else {
+            continue;
+        };
+        let choice = annotation.choice(step.vertex).expect("validated");
+        steps.push(ExplainStep {
+            vertex: step.vertex,
+            label: node
+                .name
+                .clone()
+                .unwrap_or_else(|| step.vertex.to_string()),
+            op: format!("{op:?}"),
+            impl_name: ctx.registry.get(choice.impl_id).name,
+            transforms: choice.input_transforms.clone(),
+            output_format: choice.output_format,
+            impl_seconds: step.impl_seconds,
+            transform_seconds: step.transform_seconds,
+            input_shapes: node
+                .inputs
+                .iter()
+                .map(|i| graph.node(*i).mtype.to_string())
+                .collect(),
+        });
+    }
+    Ok(PlanExplanation {
+        outcome: report.outcome,
+        steps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matopt_core::{
+        Cluster, ComputeGraph, ImplRegistry, MatrixType, Op, PhysFormat, VertexChoice,
+    };
+    use matopt_cost::AnalyticalCostModel;
+
+    #[test]
+    fn explanation_lists_steps_and_hotspots() {
+        let reg = ImplRegistry::paper_default();
+        let mut g = ComputeGraph::new();
+        let a = g.add_source(MatrixType::dense(2000, 2000), PhysFormat::SingleTuple);
+        let b = g.add_source(MatrixType::dense(2000, 2000), PhysFormat::SingleTuple);
+        let c = g.add_op_named(Op::MatMul, &[a, b], Some("prod")).unwrap();
+        let _r = g.add_op(Op::Relu, &[c]).unwrap();
+        let mut ann = Annotation::empty(&g);
+        ann.set(
+            c,
+            VertexChoice {
+                impl_id: reg.by_name("mm_single_local").unwrap().id,
+                input_transforms: vec![
+                    Transform::identity(PhysFormat::SingleTuple),
+                    Transform::identity(PhysFormat::SingleTuple),
+                ],
+                output_format: PhysFormat::SingleTuple,
+            },
+        );
+        ann.set(
+            matopt_core::NodeId(3),
+            VertexChoice {
+                impl_id: reg.by_name("relu_map").unwrap().id,
+                input_transforms: vec![Transform::identity(PhysFormat::SingleTuple)],
+                output_format: PhysFormat::SingleTuple,
+            },
+        );
+        let ctx = PlanContext::new(&reg, Cluster::simsql_like(4));
+        let model = AnalyticalCostModel;
+        let ex = explain_plan(&g, &ann, &ctx, &model).unwrap();
+        assert_eq!(ex.steps.len(), 2);
+        assert_eq!(ex.steps[0].label, "prod");
+        assert_eq!(ex.steps[0].impl_name, "mm_single_local");
+        // The matmul dominates; hotspots put it first.
+        assert_eq!(ex.hotspots()[0].impl_name, "mm_single_local");
+        assert_eq!(ex.transform_count(), 0);
+        let text = ex.to_string();
+        assert!(text.contains("mm_single_local"));
+        assert!(text.contains("plan outcome"));
+    }
+}

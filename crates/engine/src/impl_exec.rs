@@ -1,0 +1,679 @@
+//! Chunk-level execution of every atomic computation implementation
+//! strategy. This is the runtime half of the set `I`: each
+//! [`Strategy`] is executed honestly at the granularity its relational
+//! plan implies (per-tile joins, strip broadcasts, group-by
+//! aggregations), so that the test-suite can verify that *every*
+//! type-correct annotation of a graph computes identical numbers.
+
+use crate::parallel::par_map;
+use crate::value::{Block, Chunk, DistRelation};
+use matopt_core::{MatrixType, Op, OpKind, PhysFormat, Strategy};
+use matopt_kernels::{CooMatrix, DenseMatrix};
+use std::collections::HashMap;
+
+/// Errors during real execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// A vertex lacked an annotation choice.
+    MissingChoice(matopt_core::NodeId),
+    /// The runtime hit an inconsistency between the annotation and the
+    /// data (should be impossible for validated plans).
+    Internal(String),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::MissingChoice(v) => write!(f, "vertex {v} has no annotation"),
+            ExecError::Internal(m) => write!(f, "executor invariant violated: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+fn internal(msg: impl Into<String>) -> ExecError {
+    ExecError::Internal(msg.into())
+}
+
+/// Executes one implementation strategy over concrete distributed
+/// relations, producing the output relation in `out_format`.
+///
+/// # Errors
+/// [`ExecError::Internal`] on annotation/data inconsistencies.
+pub fn execute_impl(
+    strategy: Strategy,
+    op: &Op,
+    inputs: &[&DistRelation],
+    out_type: MatrixType,
+    out_format: PhysFormat,
+) -> Result<DistRelation, ExecError> {
+    let natural = run_strategy(strategy, op, inputs, out_type)?;
+    let mut out = if natural.format == out_format {
+        natural
+    } else {
+        natural
+            .reformat(out_format)
+            .map_err(|e| internal(format!("repackaging output: {e}")))?
+    };
+    out.mtype = out_type;
+    Ok(out)
+}
+
+fn run_strategy(
+    strategy: Strategy,
+    op: &Op,
+    inputs: &[&DistRelation],
+    out_type: MatrixType,
+) -> Result<DistRelation, ExecError> {
+    use Strategy as S;
+    match strategy {
+        S::MmSingleLocal => {
+            let a = single_dense(inputs[0])?;
+            let b = single_dense(inputs[1])?;
+            single_result(out_type, a.matmul(&b))
+        }
+        S::MmCsrSingleSingle => {
+            let a = inputs[0]
+                .chunks
+                .first()
+                .ok_or_else(|| internal("empty csr single"))?
+                .block
+                .as_csr()
+                .clone();
+            let b = single_dense(inputs[1])?;
+            single_result(out_type, a.matmul_dense(&b))
+        }
+        S::MmBcastSingleColstrip => {
+            let a = single_dense(inputs[0])?;
+            let chunks = par_map(&inputs[1].chunks, |c| Chunk {
+                row: 0,
+                col: c.col,
+                block: Block::Dense(a.matmul(c.block.as_dense())),
+            });
+            Ok(DistRelation {
+                mtype: out_type,
+                format: inputs[1].format,
+                chunks,
+            })
+        }
+        S::MmRowstripBcastSingle => {
+            let b = single_dense(inputs[1])?;
+            let chunks = par_map(&inputs[0].chunks, |c| Chunk {
+                row: c.row,
+                col: 0,
+                block: Block::Dense(c.block.as_dense().matmul(&b)),
+            });
+            Ok(DistRelation {
+                mtype: out_type,
+                format: inputs[0].format,
+                chunks,
+            })
+        }
+        S::MmRowstripColstripCross => {
+            let side = match inputs[0].format {
+                PhysFormat::RowStrip { height } => height,
+                _ => return Err(internal("cross join expects row strips")),
+            };
+            let pairs: Vec<(u64, u64)> = inputs[0]
+                .chunks
+                .iter()
+                .flat_map(|a| inputs[1].chunks.iter().map(move |b| (a.row, b.col)))
+                .collect();
+            let chunks = par_map(&pairs, |(i, j)| {
+                let a = inputs[0].chunk_at(*i, 0).expect("strip present");
+                let b = inputs[1].chunk_at(0, *j).expect("strip present");
+                Chunk {
+                    row: *i,
+                    col: *j,
+                    block: Block::Dense(a.block.as_dense().matmul(b.block.as_dense())),
+                }
+            });
+            Ok(DistRelation {
+                mtype: out_type,
+                format: PhysFormat::Tile { side },
+                chunks,
+            })
+        }
+        S::MmTileShuffle | S::MmTileBcast | S::MmCsrTileTile => {
+            tile_matmul(inputs[0], inputs[1], out_type)
+        }
+        S::MmColstripRowstripOuter => {
+            // Co-partitioned join on the strip index; every pair is a
+            // full-size outer product that the SUM aggregates.
+            let mut acc = DenseMatrix::zeros(out_type.rows as usize, out_type.cols as usize);
+            for a in &inputs[0].chunks {
+                let b = inputs[1]
+                    .chunk_at(a.col, 0)
+                    .ok_or_else(|| internal("strip pair missing"))?;
+                acc = acc.add(&a.block.as_dense().matmul(b.block.as_dense()));
+            }
+            single_result(out_type, acc)
+        }
+        S::MmCooDenseShuffle => {
+            let coo = coo_of(inputs[0])?;
+            let side = match inputs[1].format {
+                PhysFormat::Tile { side } => side as usize,
+                _ => return Err(internal("coo matmul expects dense tiles")),
+            };
+            // Bucket the triples by the contraction block they join.
+            let mut buckets: HashMap<u64, Vec<(usize, usize, f64)>> = HashMap::new();
+            for (r, c, v) in coo.entries() {
+                buckets.entry((*c / side) as u64).or_default().push((*r, *c, *v));
+            }
+            let out_rows = out_type.rows as usize;
+            let out_cols = out_type.cols as usize;
+            let mut out = DenseMatrix::zeros(out_rows, out_cols);
+            for b in &inputs[1].chunks {
+                let Some(triples) = buckets.get(&b.row) else {
+                    continue;
+                };
+                let bb = b.block.as_dense();
+                let col_off = b.col as usize * side;
+                let k_off = b.row as usize * side;
+                for (r, c, v) in triples {
+                    let brow = bb.row(c - k_off);
+                    for (jj, bv) in brow.iter().enumerate() {
+                        let cur = out.get(*r, col_off + jj);
+                        out.set(*r, col_off + jj, cur + v * bv);
+                    }
+                }
+            }
+            let rel = DistRelation::from_dense(&out, PhysFormat::Tile { side: side as u64 })
+                .map_err(|e| internal(e.to_string()))?;
+            Ok(DistRelation {
+                mtype: out_type,
+                ..rel
+            })
+        }
+        S::EwCopart | S::EwSingleLocal => {
+            let f = binary_fn(op.kind())?;
+            let rhs: HashMap<(u64, u64), &Chunk> = inputs[1]
+                .chunks
+                .iter()
+                .map(|c| ((c.row, c.col), c))
+                .collect();
+            let chunks: Vec<Chunk> = par_map(&inputs[0].chunks, |a| {
+                let b = rhs[&(a.row, a.col)];
+                Chunk {
+                    row: a.row,
+                    col: a.col,
+                    block: Block::Dense(a.block.as_dense().zip_with(b.block.as_dense(), f)),
+                }
+            });
+            Ok(DistRelation {
+                mtype: out_type,
+                format: inputs[0].format,
+                chunks,
+            })
+        }
+        S::AddCooDenseCopart => {
+            let coo = coo_of(inputs[0])?;
+            let (ch, cw) = inputs[1].chunk_strides();
+            let mut chunks: Vec<Chunk> = inputs[1].chunks.clone();
+            let index: HashMap<(u64, u64), usize> = chunks
+                .iter()
+                .enumerate()
+                .map(|(i, c)| ((c.row, c.col), i))
+                .collect();
+            for (r, c, v) in coo.entries() {
+                let key = ((*r / ch) as u64, (*c / cw) as u64);
+                let i = *index
+                    .get(&key)
+                    .ok_or_else(|| internal("dense side missing a grid chunk"))?;
+                let Block::Dense(d) = &mut chunks[i].block else {
+                    return Err(internal("dense side expected"));
+                };
+                let (lr, lc) = (r % ch, c % cw);
+                let cur = d.get(lr, lc);
+                d.set(lr, lc, cur + v);
+            }
+            Ok(DistRelation {
+                mtype: out_type,
+                format: inputs[1].format,
+                chunks,
+            })
+        }
+        S::HadamardCsrDenseCopart => {
+            let rhs: HashMap<(u64, u64), &Chunk> = inputs[1]
+                .chunks
+                .iter()
+                .map(|c| ((c.row, c.col), c))
+                .collect();
+            let chunks: Vec<Chunk> = par_map(&inputs[0].chunks, |a| {
+                let b = rhs[&(a.row, a.col)];
+                Chunk {
+                    row: a.row,
+                    col: a.col,
+                    block: Block::Csr(a.block.as_csr().hadamard_dense(b.block.as_dense())),
+                }
+            });
+            Ok(DistRelation {
+                mtype: out_type,
+                format: inputs[0].format,
+                chunks,
+            })
+        }
+        S::BiasBcast => {
+            let bias = single_dense(inputs[1])?;
+            let (_, cw) = inputs[0].chunk_strides();
+            let chunks: Vec<Chunk> = par_map(&inputs[0].chunks, |a| {
+                let d = a.block.as_dense();
+                let seg = bias.block(0, a.col as usize * cw, 1, d.cols());
+                Chunk {
+                    row: a.row,
+                    col: a.col,
+                    block: Block::Dense(d.add_row_broadcast(&seg)),
+                }
+            });
+            Ok(DistRelation {
+                mtype: out_type,
+                format: inputs[0].format,
+                chunks,
+            })
+        }
+        S::UnaryMap => {
+            let f = unary_fn(op)?;
+            let chunks: Vec<Chunk> = par_map(&inputs[0].chunks, |a| {
+                let block = match &a.block {
+                    Block::Dense(d) => Block::Dense(d.map(&f)),
+                    Block::Csr(s) => Block::Csr(s.map_stored(&f)),
+                    Block::Coo(c) => Block::Coo(CooMatrix::from_triples(
+                        c.rows(),
+                        c.cols(),
+                        c.entries()
+                            .iter()
+                            .map(|(r, cc, v)| (*r, *cc, f(*v)))
+                            .collect(),
+                    )),
+                };
+                Chunk {
+                    row: a.row,
+                    col: a.col,
+                    block,
+                }
+            });
+            Ok(DistRelation {
+                mtype: out_type,
+                format: inputs[0].format,
+                chunks,
+            })
+        }
+        S::SoftmaxRowAligned => {
+            let chunks: Vec<Chunk> = par_map(&inputs[0].chunks, |a| Chunk {
+                row: a.row,
+                col: a.col,
+                block: Block::Dense(a.block.as_dense().softmax_rows()),
+            });
+            Ok(DistRelation {
+                mtype: out_type,
+                format: inputs[0].format,
+                chunks,
+            })
+        }
+        S::SoftmaxTileTwoRound => {
+            // Round 1: per-band assembly of the row statistics; round 2:
+            // normalize each tile. Semantically: softmax over each tile
+            // row-band.
+            let side = match inputs[0].format {
+                PhysFormat::Tile { side } => side as usize,
+                _ => return Err(internal("tiled softmax expects tiles")),
+            };
+            let mut bands: HashMap<u64, Vec<&Chunk>> = HashMap::new();
+            for c in &inputs[0].chunks {
+                bands.entry(c.row).or_default().push(c);
+            }
+            let mut chunks = Vec::new();
+            for (i, mut band) in bands {
+                band.sort_by_key(|c| c.col);
+                let rows = band[0].block.rows();
+                let total_cols: usize = band.iter().map(|c| c.block.cols()).sum();
+                let mut strip = DenseMatrix::zeros(rows, total_cols);
+                let mut off = 0;
+                for c in &band {
+                    strip.set_block(0, off, c.block.as_dense());
+                    off += c.block.cols();
+                }
+                let sm = strip.softmax_rows();
+                let mut off = 0;
+                for c in &band {
+                    chunks.push(Chunk {
+                        row: i,
+                        col: c.col,
+                        block: Block::Dense(sm.block(0, off, rows, c.block.cols())),
+                    });
+                    off += c.block.cols();
+                }
+            }
+            Ok(DistRelation {
+                mtype: out_type,
+                format: PhysFormat::Tile { side: side as u64 },
+                chunks,
+            })
+        }
+        S::TransposeChunkwise => {
+            let out_fmt = match inputs[0].format {
+                PhysFormat::SingleTuple => PhysFormat::SingleTuple,
+                PhysFormat::Tile { side } => PhysFormat::Tile { side },
+                PhysFormat::RowStrip { height } => PhysFormat::ColStrip { width: height },
+                PhysFormat::ColStrip { width } => PhysFormat::RowStrip { height: width },
+                _ => return Err(internal("chunkwise transpose expects dense")),
+            };
+            let chunks: Vec<Chunk> = par_map(&inputs[0].chunks, |a| Chunk {
+                row: a.col,
+                col: a.row,
+                block: Block::Dense(a.block.as_dense().transpose()),
+            });
+            Ok(DistRelation {
+                mtype: out_type,
+                format: out_fmt,
+                chunks,
+            })
+        }
+        S::TransposeCoo => {
+            let coo = coo_of(inputs[0])?;
+            Ok(DistRelation {
+                mtype: out_type,
+                format: PhysFormat::Coo,
+                chunks: vec![Chunk {
+                    row: 0,
+                    col: 0,
+                    block: Block::Coo(coo.transpose()),
+                }],
+            })
+        }
+        S::TransposeCsrSingle => {
+            let out_fmt = match inputs[0].format {
+                PhysFormat::CsrSingle => PhysFormat::CsrSingle,
+                PhysFormat::CsrTile { side } => PhysFormat::CsrTile { side },
+                _ => return Err(internal("csr transpose expects a CSR layout")),
+            };
+            let chunks: Vec<Chunk> = par_map(&inputs[0].chunks, |a| Chunk {
+                row: a.col,
+                col: a.row,
+                block: Block::Csr(a.block.as_csr().transpose()),
+            });
+            Ok(DistRelation {
+                mtype: out_type,
+                format: out_fmt,
+                chunks,
+            })
+        }
+        S::ReduceRowAligned => {
+            let chunks: Vec<Chunk> = par_map(&inputs[0].chunks, |a| Chunk {
+                row: a.row,
+                col: 0,
+                block: Block::Dense(a.block.as_dense().row_sums()),
+            });
+            let format = match inputs[0].format {
+                PhysFormat::SingleTuple => PhysFormat::SingleTuple,
+                PhysFormat::RowStrip { height } => PhysFormat::RowStrip { height },
+                _ => return Err(internal("row-aligned reduce expects row layout")),
+            };
+            Ok(DistRelation {
+                mtype: out_type,
+                format,
+                chunks,
+            })
+        }
+        S::ReduceColAligned => {
+            let chunks: Vec<Chunk> = par_map(&inputs[0].chunks, |a| Chunk {
+                row: 0,
+                col: a.col,
+                block: Block::Dense(a.block.as_dense().col_sums()),
+            });
+            let format = match inputs[0].format {
+                PhysFormat::SingleTuple => PhysFormat::SingleTuple,
+                PhysFormat::ColStrip { width } => PhysFormat::ColStrip { width },
+                _ => return Err(internal("col-aligned reduce expects column layout")),
+            };
+            Ok(DistRelation {
+                mtype: out_type,
+                format,
+                chunks,
+            })
+        }
+        S::ReduceTileShuffle => {
+            let side = match inputs[0].format {
+                PhysFormat::Tile { side } => side,
+                _ => return Err(internal("tile reduce expects tiles")),
+            };
+            let row_wise = op.kind() == OpKind::RowSums;
+            // Per-tile partials, then a group-by SUM on the kept index.
+            let mut groups: HashMap<u64, DenseMatrix> = HashMap::new();
+            for c in &inputs[0].chunks {
+                let d = c.block.as_dense();
+                let (key, partial) = if row_wise {
+                    (c.row, d.row_sums())
+                } else {
+                    (c.col, d.col_sums())
+                };
+                groups
+                    .entry(key)
+                    .and_modify(|acc| *acc = acc.add(&partial))
+                    .or_insert(partial);
+            }
+            let chunks: Vec<Chunk> = groups
+                .into_iter()
+                .map(|(k, block)| Chunk {
+                    row: if row_wise { k } else { 0 },
+                    col: if row_wise { 0 } else { k },
+                    block: Block::Dense(block),
+                })
+                .collect();
+            let format = if row_wise {
+                PhysFormat::RowStrip { height: side }
+            } else {
+                PhysFormat::ColStrip { width: side }
+            };
+            Ok(DistRelation {
+                mtype: out_type,
+                format,
+                chunks,
+            })
+        }
+        S::ReduceCoo => {
+            let coo = coo_of(inputs[0])?;
+            let block = if op.kind() == OpKind::RowSums {
+                coo.row_sums()
+            } else {
+                coo.col_sums()
+            };
+            single_result(out_type, block)
+        }
+        S::InvSingleLocal => {
+            let a = single_dense(inputs[0])?;
+            let inv = a
+                .inverse()
+                .map_err(|e| internal(format!("singular input: {e}")))?;
+            single_result(out_type, inv)
+        }
+        S::InvTileGaussJordan => {
+            let side = match inputs[0].format {
+                PhysFormat::Tile { side } => side,
+                _ => return Err(internal("tile inverse expects tiles")),
+            };
+            let mut tiles: HashMap<(u64, u64), DenseMatrix> = inputs[0]
+                .chunks
+                .iter()
+                .map(|c| ((c.row, c.col), c.block.as_dense().clone()))
+                .collect();
+            let nb = (out_type.rows as f64 / side as f64).ceil() as u64;
+            block_gauss_jordan_inverse(&mut tiles, nb).map_err(internal)?;
+            let chunks = tiles
+                .into_iter()
+                .map(|((i, j), d)| Chunk {
+                    row: i,
+                    col: j,
+                    block: Block::Dense(d),
+                })
+                .collect();
+            Ok(DistRelation {
+                mtype: out_type,
+                format: PhysFormat::Tile { side },
+                chunks,
+            })
+        }
+    }
+}
+
+/// In-place blocked Gauss–Jordan inversion over a tile map: one pivot
+/// round per diagonal block, exactly the relational round structure the
+/// cost model charges for.
+fn block_gauss_jordan_inverse(
+    tiles: &mut HashMap<(u64, u64), DenseMatrix>,
+    nb: u64,
+) -> Result<(), String> {
+    for k in 0..nb {
+        let pivot = tiles
+            .get(&(k, k))
+            .ok_or_else(|| "missing diagonal tile".to_string())?;
+        let pivot_inv = pivot
+            .inverse()
+            .map_err(|e| format!("pivot block not invertible: {e}"))?;
+        // Scale pivot row.
+        for j in 0..nb {
+            if j == k {
+                continue;
+            }
+            if let Some(t) = tiles.get(&(k, j)) {
+                tiles.insert((k, j), pivot_inv.matmul(t));
+            }
+        }
+        // Eliminate the pivot column from every other row.
+        for i in 0..nb {
+            if i == k {
+                continue;
+            }
+            let Some(aik) = tiles.get(&(i, k)).cloned() else {
+                continue;
+            };
+            for j in 0..nb {
+                if j == k {
+                    continue;
+                }
+                if let Some(akj) = tiles.get(&(k, j)).cloned() {
+                    let update = aik.matmul(&akj);
+                    let cur = tiles.get(&(i, j)).cloned().unwrap_or_else(|| {
+                        DenseMatrix::zeros(update.rows(), update.cols())
+                    });
+                    tiles.insert((i, j), cur.sub(&update));
+                }
+            }
+            tiles.insert((i, k), aik.matmul(&pivot_inv).neg());
+        }
+        tiles.insert((k, k), pivot_inv);
+    }
+    Ok(())
+}
+
+fn single_dense(rel: &DistRelation) -> Result<DenseMatrix, ExecError> {
+    if rel.chunks.len() != 1 {
+        return Err(internal(format!(
+            "expected single-tuple relation, found {} chunks",
+            rel.chunks.len()
+        )));
+    }
+    Ok(rel.chunks[0].block.to_dense())
+}
+
+fn coo_of(rel: &DistRelation) -> Result<CooMatrix, ExecError> {
+    match rel.chunks.first().map(|c| &c.block) {
+        Some(Block::Coo(c)) => Ok(c.clone()),
+        _ => Err(internal("expected COO relation")),
+    }
+}
+
+fn single_result(out_type: MatrixType, d: DenseMatrix) -> Result<DistRelation, ExecError> {
+    Ok(DistRelation {
+        mtype: out_type,
+        format: PhysFormat::SingleTuple,
+        chunks: vec![Chunk {
+            row: 0,
+            col: 0,
+            block: Block::Dense(d),
+        }],
+    })
+}
+
+/// Dense tile-based matmul (shuffle/broadcast share the same result):
+/// join on the contraction index + group-by SUM per output tile.
+fn tile_matmul(
+    a: &DistRelation,
+    b: &DistRelation,
+    out_type: MatrixType,
+) -> Result<DistRelation, ExecError> {
+    let side = match (a.format, b.format) {
+        (PhysFormat::Tile { side }, PhysFormat::Tile { side: s2 })
+        | (PhysFormat::CsrTile { side }, PhysFormat::Tile { side: s2 })
+            if side == s2 =>
+        {
+            side
+        }
+        _ => return Err(internal("tile matmul expects equal tile sides")),
+    };
+    let b_by_key: HashMap<(u64, u64), &Chunk> =
+        b.chunks.iter().map(|c| ((c.row, c.col), c)).collect();
+    // Output tile grid.
+    let rows_b = (out_type.rows as f64 / side as f64).ceil() as u64;
+    let cols_b = (out_type.cols as f64 / side as f64).ceil() as u64;
+    let k_b = (a.mtype.cols as f64 / side as f64).ceil() as u64;
+    let mut a_by_key: HashMap<(u64, u64), &Chunk> = HashMap::new();
+    for c in &a.chunks {
+        a_by_key.insert((c.row, c.col), c);
+    }
+    let cells: Vec<(u64, u64)> = (0..rows_b)
+        .flat_map(|i| (0..cols_b).map(move |j| (i, j)))
+        .collect();
+    let chunks: Vec<Chunk> = par_map(&cells, |(i, j)| {
+        let mut acc: Option<DenseMatrix> = None;
+        for k in 0..k_b {
+            let (Some(ac), Some(bc)) = (a_by_key.get(&(*i, k)), b_by_key.get(&(k, *j))) else {
+                continue;
+            };
+            let partial = match &ac.block {
+                Block::Dense(d) => d.matmul(bc.block.as_dense()),
+                Block::Csr(s) => s.matmul_dense(bc.block.as_dense()),
+                Block::Coo(c) => c.to_dense().matmul(bc.block.as_dense()),
+            };
+            acc = Some(match acc {
+                None => partial,
+                Some(prev) => prev.add(&partial),
+            });
+        }
+        Chunk {
+            row: *i,
+            col: *j,
+            block: Block::Dense(acc.expect("contraction dimension non-empty")),
+        }
+    });
+    Ok(DistRelation {
+        mtype: out_type,
+        format: PhysFormat::Tile { side },
+        chunks,
+    })
+}
+
+fn binary_fn(kind: OpKind) -> Result<fn(f64, f64) -> f64, ExecError> {
+    Ok(match kind {
+        OpKind::Add => |a, b| a + b,
+        OpKind::Sub => |a, b| a - b,
+        OpKind::Hadamard => |a, b| a * b,
+        other => return Err(internal(format!("{other:?} is not elementwise-binary"))),
+    })
+}
+
+fn unary_fn(op: &Op) -> Result<Box<dyn Fn(f64) -> f64 + Sync + Send>, ExecError> {
+    Ok(match op {
+        Op::Relu => Box::new(|v: f64| if v > 0.0 { v } else { 0.0 }),
+        Op::ReluGrad => Box::new(|v: f64| if v > 0.0 { 1.0 } else { 0.0 }),
+        Op::Sigmoid => Box::new(|v: f64| 1.0 / (1.0 + (-v).exp())),
+        Op::Exp => Box::new(f64::exp),
+        Op::Neg => Box::new(|v: f64| -v),
+        Op::ScalarMul(alpha) => {
+            let a = *alpha;
+            Box::new(move |v: f64| v * a)
+        }
+        other => return Err(internal(format!("{other:?} is not a unary map"))),
+    })
+}

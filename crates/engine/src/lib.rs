@@ -1,0 +1,42 @@
+//! # matopt-engine
+//!
+//! The distributed relational engine substrate the paper's prototype
+//! runs on. The paper uses SimSQL and PlinyCompute on EC2 clusters;
+//! neither is available here, so this crate provides both halves of the
+//! substitution documented in `DESIGN.md`:
+//!
+//! * a **real executor** ([`execute_plan`]) that runs annotated plans
+//!   over concrete chunked relations ([`DistRelation`]) at laptop
+//!   scale, with every implementation strategy executed at the chunk
+//!   granularity its relational plan implies (tile shuffle joins,
+//!   strip broadcasts, group-by SUM aggregations, blocked Gauss–Jordan
+//!   rounds), thread-parallel via `crossbeam`;
+//! * an **analytic simulator** ([`simulate_plan`]) that evaluates the
+//!   same plans at paper scale against the [`matopt_core::Cluster`]
+//!   model, reproducing wall-clock estimates and the runtime "Fail"
+//!   outcomes of §8.2–8.3;
+//! * the **calibration harness** ([`collect_samples`]) that measures
+//!   micro-benchmarks on the real executor to fit the learned cost
+//!   model of §7.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod adaptive;
+mod calibrate;
+mod exec;
+mod explain;
+mod impl_exec;
+mod parallel;
+mod sim;
+mod sql;
+mod value;
+
+pub use adaptive::{execute_adaptive, AdaptiveConfig, AdaptiveError, AdaptiveOutcome};
+pub use calibrate::collect_samples;
+pub use exec::{execute_plan, reference_eval, ExecOutcome};
+pub use explain::{explain_plan, ExplainStep, PlanExplanation};
+pub use impl_exec::{execute_impl, ExecError};
+pub use sim::{format_hms, simulate_plan, FailReason, SimOutcome, SimReport, SimStep};
+pub use sql::render_sql;
+pub use value::{Block, Chunk, DistRelation, ValueError};

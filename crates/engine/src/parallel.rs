@@ -1,0 +1,55 @@
+//! A small ordered parallel-map over chunk work items, built on
+//! `crossbeam`'s scoped threads. The real executor uses it to spread
+//! chunk-local kernels across cores, mimicking the per-worker
+//! parallelism of the simulated cluster.
+
+/// Applies `f` to every item, in parallel when the batch is large
+/// enough, preserving order.
+pub(crate) fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let len = items.len();
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(len.max(1));
+    // Tiny batches are not worth the thread handshake.
+    if threads <= 1 || len < 4 {
+        return items.iter().map(&f).collect();
+    }
+    let chunk = len.div_ceil(threads);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(len);
+    out.resize_with(len, || None);
+    crossbeam::thread::scope(|s| {
+        for (islice, oslice) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            s.spawn(|_| {
+                for (i, o) in islice.iter().zip(oslice.iter_mut()) {
+                    *o = Some(f(i));
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    out.into_iter().map(|r| r.expect("all slots filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = par_map(&items, |i| i * 2);
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_small_batches_serially() {
+        assert_eq!(par_map(&[1, 2], |i| i + 1), vec![2, 3]);
+        assert_eq!(par_map::<i32, i32, _>(&[], |i| *i), Vec::<i32>::new());
+    }
+}

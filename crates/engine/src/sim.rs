@@ -1,0 +1,251 @@
+//! The analytic simulator: evaluates an annotated plan at paper scale
+//! against the cluster model, producing a wall-clock estimate or the
+//! runtime failure the paper reports as "Fail".
+//!
+//! The simulator deliberately accepts plans that the optimizer would
+//! refuse to generate: the hand-written and all-tile baselines of §8.2
+//! build such plans, run them, and crash "typically due to too much
+//! intermediate data" — which is exactly what [`SimOutcome::Failed`]
+//! models (per-worker RAM for pinned data, per-worker scratch space for
+//! spilled intermediates).
+
+use matopt_core::{
+    Annotation, ComputeGraph, NodeId, NodeKind, PlanContext, PlanError,
+};
+use matopt_cost::CostModel;
+
+/// Why a simulated run crashed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailReason {
+    /// A worker needed more RAM than it has (e.g. broadcasting an
+    /// oversized matrix).
+    OutOfMemory,
+    /// Cumulative spilled intermediate data exceeded a worker's scratch
+    /// space.
+    OutOfDisk,
+}
+
+impl std::fmt::Display for FailReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailReason::OutOfMemory => write!(f, "out of memory"),
+            FailReason::OutOfDisk => write!(f, "out of intermediate-data space"),
+        }
+    }
+}
+
+/// The outcome of a simulated run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimOutcome {
+    /// The plan finished in the estimated number of seconds.
+    Finished {
+        /// Estimated wall-clock seconds.
+        seconds: f64,
+    },
+    /// The plan crashed at the given vertex.
+    Failed {
+        /// First vertex to exceed a resource.
+        vertex: NodeId,
+        /// Which resource was exceeded.
+        reason: FailReason,
+    },
+}
+
+impl SimOutcome {
+    /// The estimated seconds, if the run finished.
+    pub fn seconds(&self) -> Option<f64> {
+        match self {
+            SimOutcome::Finished { seconds } => Some(*seconds),
+            SimOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// `true` when the run crashed.
+    pub fn failed(&self) -> bool {
+        matches!(self, SimOutcome::Failed { .. })
+    }
+}
+
+impl std::fmt::Display for SimOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimOutcome::Finished { seconds } => write!(f, "{}", format_hms(*seconds)),
+            SimOutcome::Failed { .. } => write!(f, "Fail"),
+        }
+    }
+}
+
+/// Renders seconds in the paper's `H:MM:SS` / `MM:SS` table style.
+pub fn format_hms(seconds: f64) -> String {
+    let total = seconds.round() as u64;
+    let h = total / 3600;
+    let m = (total % 3600) / 60;
+    let s = total % 60;
+    if h > 0 {
+        format!("{h}:{m:02}:{s:02}")
+    } else {
+        format!("{m:02}:{s:02}")
+    }
+}
+
+/// A per-vertex simulation record.
+#[derive(Debug, Clone)]
+pub struct SimStep {
+    /// The vertex.
+    pub vertex: NodeId,
+    /// Estimated seconds for the implementation at this vertex.
+    pub impl_seconds: f64,
+    /// Estimated seconds for the in-edge transformations.
+    pub transform_seconds: f64,
+}
+
+/// The full simulation report.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Finished-or-failed plus the total estimate.
+    pub outcome: SimOutcome,
+    /// Per-vertex breakdown (up to the failure point, if any).
+    pub steps: Vec<SimStep>,
+}
+
+/// Simulates an annotated plan on the cluster in `ctx`, using `model`
+/// to turn features into seconds.
+///
+/// ```
+/// use matopt_core::*;
+/// use matopt_cost::AnalyticalCostModel;
+/// use matopt_engine::simulate_plan;
+/// use matopt_opt::{frontier_dp, OptContext};
+///
+/// let mut g = ComputeGraph::new();
+/// let a = g.add_source(MatrixType::dense(20_000, 20_000), PhysFormat::Tile { side: 1000 });
+/// let b = g.add_source(MatrixType::dense(20_000, 20_000), PhysFormat::Tile { side: 1000 });
+/// let _p = g.add_op(Op::MatMul, &[a, b]).unwrap();
+///
+/// let registry = ImplRegistry::paper_default();
+/// let catalog = FormatCatalog::paper_default().dense_only();
+/// let ctx = PlanContext::new(&registry, Cluster::simsql_like(10));
+/// let model = AnalyticalCostModel;
+/// let plan = frontier_dp(&g, &OptContext::new(&ctx, &catalog, &model)).unwrap();
+/// let report = simulate_plan(&g, &plan.annotation, &ctx, &model).unwrap();
+/// assert!(report.outcome.seconds().unwrap() > 0.0);
+/// ```
+///
+/// # Errors
+/// Returns a [`PlanError`] when the annotation is not even type-correct
+/// with resource limits lifted (a genuinely malformed plan, as opposed
+/// to one that merely crashes).
+pub fn simulate_plan(
+    graph: &ComputeGraph,
+    annotation: &Annotation,
+    ctx: &PlanContext<'_>,
+    model: &dyn CostModel,
+) -> Result<SimReport, PlanError> {
+    let real = ctx.cluster;
+    // Features are computed with limits lifted; the limits are then
+    // enforced here so we can report *where* the plan dies.
+    let unlimited = PlanContext {
+        registry: ctx.registry,
+        transforms: ctx.transforms,
+        cluster: real.with_unlimited_resources(),
+    };
+    let breakdown = matopt_core::plan_features(graph, annotation, &unlimited)?;
+
+    let mut steps = Vec::new();
+    let mut total = 0.0;
+    // Spilled intermediates accumulate on worker scratch space across
+    // the plan (SimSQL materializes between jobs); model that as a
+    // cluster-wide pool.
+    let mut spilled_bytes = 0.0f64;
+    for (id, node) in graph.iter() {
+        let NodeKind::Compute { op } = &node.kind else {
+            continue;
+        };
+        let choice = annotation.choice(id).expect("validated");
+        // Re-evaluate to recover the per-worker memory need.
+        let mut transformed = Vec::new();
+        for (input, t) in node.inputs.iter().zip(choice.input_transforms.iter()) {
+            transformed.push((graph.node(*input).mtype, t.to));
+        }
+        let impl_def = ctx.registry.get(choice.impl_id);
+        let eval = impl_def
+            .evaluate(op, &transformed, &unlimited.cluster)
+            .expect("validated against unlimited cluster");
+
+        let mut transform_seconds = 0.0;
+        for (t, f) in choice
+            .input_transforms
+            .iter()
+            .zip(breakdown.transform_features[id.index()].iter())
+        {
+            transform_seconds += model.transform_time(t.kind, f, &real);
+        }
+        let impl_seconds = model.impl_time(op.kind(), &eval.features, &real);
+
+        if eval.mem_per_worker > real.worker_ram_bytes {
+            steps.push(SimStep {
+                vertex: id,
+                impl_seconds,
+                transform_seconds,
+            });
+            return Ok(SimReport {
+                outcome: SimOutcome::Failed {
+                    vertex: id,
+                    reason: FailReason::OutOfMemory,
+                },
+                steps,
+            });
+        }
+        // Scratch pressure comes from *shuffle partials*, not from the
+        // operator's own output (which is accounted as a normal
+        // materialized relation): charge the excess of intermediate
+        // bytes over the output size.
+        let out_bytes = choice.output_format.total_bytes(&node.mtype);
+        let op_spill = (eval.features.inter_bytes - out_bytes).max(0.0);
+        if real.reclaim_scratch {
+            // In-memory engines release scratch per operator: only the
+            // largest single operator's footprint matters.
+            spilled_bytes = spilled_bytes.max(op_spill);
+        } else {
+            spilled_bytes += op_spill;
+        }
+        if spilled_bytes / real.workers as f64 > real.worker_disk_bytes {
+            steps.push(SimStep {
+                vertex: id,
+                impl_seconds,
+                transform_seconds,
+            });
+            return Ok(SimReport {
+                outcome: SimOutcome::Failed {
+                    vertex: id,
+                    reason: FailReason::OutOfDisk,
+                },
+                steps,
+            });
+        }
+
+        total += impl_seconds + transform_seconds;
+        steps.push(SimStep {
+            vertex: id,
+            impl_seconds,
+            transform_seconds,
+        });
+    }
+    Ok(SimReport {
+        outcome: SimOutcome::Finished { seconds: total },
+        steps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hms_formatting_matches_paper_tables() {
+        assert_eq!(format_hms(59.0), "00:59");
+        assert_eq!(format_hms(75.0), "01:15");
+        assert_eq!(format_hms(3600.0 + 25.0 * 60.0 + 34.0), "1:25:34");
+        assert_eq!(format_hms(0.4), "00:00");
+    }
+}

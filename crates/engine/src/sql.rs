@@ -1,0 +1,564 @@
+//! Rendering annotated plans as SQL — the concrete artifact the paper's
+//! prototype would hand to SimSQL.
+//!
+//! §1–2 of the paper show matrix computations written as `CREATE TABLE`
+//! / `CREATE VIEW` statements over relations with `MATRIX[..][..]`
+//! attributes, with tiled multiplies as join + `SUM` + `GROUP BY`,
+//! gathers as the `ROWMATRIX`/`COLMATRIX` aggregates, and chunkings via
+//! `get_tile`. [`render_sql`] emits exactly that dialect for any
+//! type-correct annotation, so every optimized plan can be inspected as
+//! the SQL a relational ML engine would execute.
+
+use matopt_core::{
+    Annotation, ComputeGraph, MatrixType, NodeId, NodeKind, Op, OpKind, PhysFormat, PlanContext,
+    PlanError, Strategy, TransformKind,
+};
+
+/// Renders the whole annotated plan as a SQL script: one `CREATE TABLE`
+/// per source, one or more `CREATE VIEW`s per transformation and
+/// compute vertex.
+///
+/// # Errors
+/// Returns a [`PlanError`] when the annotation is incomplete or not
+/// type-correct (validated first).
+pub fn render_sql(
+    graph: &ComputeGraph,
+    annotation: &Annotation,
+    ctx: &PlanContext<'_>,
+) -> Result<String, PlanError> {
+    matopt_core::validate(graph, annotation, &matopt_core::PlanContext {
+        registry: ctx.registry,
+        transforms: ctx.transforms,
+        cluster: ctx.cluster.with_unlimited_resources(),
+    })?;
+    let mut out = String::new();
+    for (id, node) in graph.iter() {
+        match &node.kind {
+            NodeKind::Source { format } => {
+                out.push_str(&create_table(&rel_name(graph, id), &node.mtype, *format));
+                out.push('\n');
+            }
+            NodeKind::Compute { op } => {
+                let choice = annotation.choice(id).expect("validated");
+                // Edge transformations first: each non-identity move is
+                // its own view the operator reads from.
+                let mut input_rels = Vec::new();
+                for (j, (input, t)) in node
+                    .inputs
+                    .iter()
+                    .zip(choice.input_transforms.iter())
+                    .enumerate()
+                {
+                    let src = rel_name(graph, *input);
+                    if t.kind == TransformKind::Identity {
+                        input_rels.push(src);
+                    } else {
+                        let moved = format!("{}_{}in{}", rel_name(graph, id), "", j);
+                        out.push_str(&transform_view(
+                            &moved,
+                            &src,
+                            &graph.node(*input).mtype,
+                            t.kind,
+                            t.to,
+                        ));
+                        out.push('\n');
+                        input_rels.push(moved);
+                    }
+                }
+                let strategy = ctx.registry.get(choice.impl_id).strategy;
+                out.push_str(&compute_view(
+                    &rel_name(graph, id),
+                    op,
+                    strategy,
+                    &input_rels,
+                    choice.output_format,
+                ));
+                out.push('\n');
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn rel_name(graph: &ComputeGraph, id: NodeId) -> String {
+    graph
+        .node(id)
+        .name
+        .clone()
+        .unwrap_or_else(|| format!("v{}", id.0))
+}
+
+fn mat_attr(m: &MatrixType, format: PhysFormat) -> String {
+    match format {
+        PhysFormat::SingleTuple => format!("mat MATRIX[{}][{}]", m.rows, m.cols),
+        PhysFormat::RowStrip { height } => format!("mat MATRIX[{}][{}]", height, m.cols),
+        PhysFormat::ColStrip { width } => format!("mat MATRIX[{}][{}]", m.rows, width),
+        PhysFormat::Tile { side } => format!("mat MATRIX[{side}][{side}]"),
+        PhysFormat::Coo => "value DOUBLE".to_string(),
+        PhysFormat::CsrSingle => format!("mat SPARSE_MATRIX[{}][{}]", m.rows, m.cols),
+        PhysFormat::CsrTile { side } => format!("mat SPARSE_MATRIX[{side}][{side}]"),
+    }
+}
+
+/// Key columns of a relation in the given layout.
+fn key_cols(format: PhysFormat) -> &'static [&'static str] {
+    match format {
+        PhysFormat::SingleTuple | PhysFormat::CsrSingle => &[],
+        PhysFormat::RowStrip { .. } => &["tileRow"],
+        PhysFormat::ColStrip { .. } => &["tileCol"],
+        PhysFormat::Tile { .. } | PhysFormat::CsrTile { .. } => &["tileRow", "tileCol"],
+        PhysFormat::Coo => &["rowIndex", "colIndex"],
+    }
+}
+
+fn schema(m: &MatrixType, format: PhysFormat) -> String {
+    let mut cols: Vec<String> = key_cols(format)
+        .iter()
+        .map(|k| format!("{k} INTEGER"))
+        .collect();
+    cols.push(mat_attr(m, format));
+    cols.join(", ")
+}
+
+fn create_table(name: &str, m: &MatrixType, format: PhysFormat) -> String {
+    format!("CREATE TABLE {name} ({});\n", schema(m, format))
+}
+
+fn select_keys(alias: &str, format: PhysFormat) -> String {
+    key_cols(format)
+        .iter()
+        .map(|k| format!("{alias}.{k}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn with_keys(keys: &str, rest: &str) -> String {
+    if keys.is_empty() {
+        rest.to_string()
+    } else {
+        format!("{keys}, {rest}")
+    }
+}
+
+/// A view realizing one physical matrix transformation.
+fn transform_view(
+    name: &str,
+    src: &str,
+    m: &MatrixType,
+    kind: TransformKind,
+    to: PhysFormat,
+) -> String {
+    use TransformKind as K;
+    match kind {
+        K::Identity => format!("-- {name}: identity over {src}\n"),
+        K::GatherToSingle => format!(
+            "-- gather {src} into one tuple (two-phase aggregation, cf. paper section 2.1)\n\
+             CREATE VIEW {name}_strips (tileRow, mat) AS\n  \
+             SELECT x.tileRow, ROWMATRIX(label_matrix(x.mat, x.tileCol))\n  \
+             FROM {src} AS x GROUP BY x.tileRow;\n\
+             CREATE VIEW {name} (mat) AS\n  \
+             SELECT COLMATRIX(label_matrix(x.mat, x.tileRow))\n  FROM {name}_strips AS x;\n"
+        ),
+        K::SingleToTile
+        | K::SingleToRowStrip
+        | K::SingleToColStrip
+        | K::Retile
+        | K::TileToRowStrip
+        | K::TileToColStrip
+        | K::RowStripToTile
+        | K::ColStripToTile
+        | K::RowStripRechunk
+        | K::ColStripRechunk
+        | K::RowStripToColStrip
+        | K::ColStripToRowStrip => {
+            let (tr, tc) = chunk_dims(m, to);
+            format!(
+                "-- rechunk {src} ({kind:?})\n\
+                 CREATE VIEW {name} ({keys}mat) AS\n  \
+                 SELECT {bkeys}get_tile({src_alias}.mat, bi.rowID, bi.colID, {tr}, {tc})\n  \
+                 FROM {src} AS {src_alias}, tileIndex AS bi\n  \
+                 WHERE covers({src_alias}, bi.rowID, bi.colID);\n",
+                keys = if key_cols(to).is_empty() {
+                    String::new()
+                } else {
+                    format!("{}, ", key_cols(to).join(", "))
+                },
+                bkeys = if key_cols(to).is_empty() {
+                    String::new()
+                } else {
+                    key_cols(to)
+                        .iter()
+                        .map(|k| format!("bi.{}", if *k == "tileRow" { "rowID" } else { "colID" }))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                        + ", "
+                },
+                src_alias = "s",
+            )
+        }
+        K::DenseToCoo => format!(
+            "-- explode {src} into (rowIndex, colIndex, value) triples\n\
+             CREATE VIEW {name} (rowIndex, colIndex, value) AS\n  \
+             SELECT t.rowIndex, t.colIndex, t.value FROM {src} AS s, LATERAL to_triples(s.mat) AS t;\n"
+        ),
+        K::CooToTile => format!(
+            "-- assemble triples of {src} into dense tiles\n\
+             CREATE VIEW {name} (tileRow, tileCol, mat) AS\n  \
+             SELECT s.rowIndex / {tr}, s.colIndex / {tc}, TILEMATRIX(s.rowIndex, s.colIndex, s.value)\n  \
+             FROM {src} AS s GROUP BY s.rowIndex / {tr}, s.colIndex / {tc};\n",
+            tr = chunk_dims(m, to).0,
+            tc = chunk_dims(m, to).1,
+        ),
+        K::DenseToCsrSingle | K::TileToCsrTile => format!(
+            "-- compress {src} to CSR\n\
+             CREATE VIEW {name} ({cols}) AS SELECT {keys}to_csr(s.mat) FROM {src} AS s;\n",
+            cols = schema(m, to)
+                .replace(" INTEGER", "")
+                .replace(mat_attr(m, to).as_str(), "mat"),
+            keys = if key_cols(to).is_empty() {
+                String::new()
+            } else {
+                key_cols(to)
+                    .iter()
+                    .map(|k| format!("s.{k}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+                    + ", "
+            },
+        ),
+        K::CsrSingleToSingle | K::CsrTileToTile => format!(
+            "-- densify {src}\n\
+             CREATE VIEW {name} AS SELECT {keys}to_dense(s.mat) AS mat FROM {src} AS s;\n",
+            keys = if key_cols(to).is_empty() {
+                String::new()
+            } else {
+                key_cols(to)
+                    .iter()
+                    .map(|k| format!("s.{k}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+                    + ", "
+            },
+        ),
+    }
+}
+
+fn chunk_dims(m: &MatrixType, format: PhysFormat) -> (u64, u64) {
+    match format {
+        PhysFormat::SingleTuple | PhysFormat::CsrSingle | PhysFormat::Coo => (m.rows, m.cols),
+        PhysFormat::RowStrip { height } => (height, m.cols),
+        PhysFormat::ColStrip { width } => (m.rows, width),
+        PhysFormat::Tile { side } | PhysFormat::CsrTile { side } => (side, side),
+    }
+}
+
+/// The scalar/matrix function name of a unary or binary op in the SQL
+/// dialect.
+fn op_fn(op: &Op) -> String {
+    match op.kind() {
+        OpKind::MatMul => "matrix_multiply".into(),
+        OpKind::Add | OpKind::BroadcastAddRow => "matrix_add".into(),
+        OpKind::Sub => "matrix_sub".into(),
+        OpKind::Hadamard => "matrix_hadamard".into(),
+        OpKind::ScalarMul => match op {
+            Op::ScalarMul(a) => format!("matrix_scale[{a}]"),
+            _ => unreachable!(),
+        },
+        OpKind::Transpose => "matrix_transpose".into(),
+        OpKind::Relu => "relu".into(),
+        OpKind::ReluGrad => "relu_grad".into(),
+        OpKind::Softmax => "softmax".into(),
+        OpKind::Sigmoid => "sigmoid".into(),
+        OpKind::Exp => "matrix_exp".into(),
+        OpKind::Neg => "matrix_neg".into(),
+        OpKind::RowSums => "row_sums".into(),
+        OpKind::ColSums => "col_sums".into(),
+        OpKind::Inverse => "matrix_inverse".into(),
+    }
+}
+
+/// A view realizing one atomic computation implementation.
+fn compute_view(
+    name: &str,
+    op: &Op,
+    strategy: Strategy,
+    inputs: &[String],
+    out: PhysFormat,
+) -> String {
+    use Strategy as S;
+    let f = op_fn(op);
+    let lhs = inputs.first().cloned().unwrap_or_default();
+    let rhs = inputs.get(1).cloned().unwrap_or_default();
+    match strategy {
+        S::MmTileShuffle | S::MmCsrTileTile => format!(
+            "-- tile x tile multiply: shuffle join + SUM aggregation\n\
+             CREATE VIEW {name} (tileRow, tileCol, mat) AS\n  \
+             SELECT x.tileRow, m.tileCol, SUM({f}(x.mat, m.mat))\n  \
+             FROM {lhs} AS x, {rhs} AS m\n  WHERE x.tileCol = m.tileRow\n  \
+             GROUP BY x.tileRow, m.tileCol;\n"
+        ),
+        S::MmTileBcast => format!(
+            "-- tile x tile multiply: the smaller side is BROADCAST to every site\n\
+             CREATE VIEW {name} (tileRow, tileCol, mat) AS\n  \
+             SELECT x.tileRow, m.tileCol, SUM({f}(x.mat, m.mat))\n  \
+             FROM {lhs} AS x, {rhs} AS m\n  WHERE x.tileCol = m.tileRow\n  \
+             GROUP BY x.tileRow, m.tileCol;\n"
+        ),
+        S::MmRowstripColstripCross => format!(
+            "-- row-strips x col-strips: cross join, no aggregation needed\n\
+             CREATE VIEW {name} (tileRow, tileCol, mat) AS\n  \
+             SELECT x.tileRow, m.tileCol, {f}(x.mat, m.mat)\n  \
+             FROM {lhs} AS x, {rhs} AS m;\n"
+        ),
+        S::MmBcastSingleColstrip => format!(
+            "-- single x col-strips: BROADCAST JOIN of the single-tuple side\n\
+             CREATE VIEW {name} (tileCol, mat) AS\n  \
+             SELECT m.tileCol, {f}(x.mat, m.mat)\n  FROM {lhs} AS x, {rhs} AS m;\n"
+        ),
+        S::MmRowstripBcastSingle => format!(
+            "-- row-strips x single: BROADCAST JOIN of the single-tuple side\n\
+             CREATE VIEW {name} (tileRow, mat) AS\n  \
+             SELECT x.tileRow, {f}(x.mat, m.mat)\n  FROM {lhs} AS x, {rhs} AS m;\n"
+        ),
+        S::MmColstripRowstripOuter => format!(
+            "-- col-strips x row-strips: co-partitioned outer products + global SUM\n\
+             CREATE VIEW {name} (mat) AS\n  \
+             SELECT SUM({f}(x.mat, m.mat))\n  FROM {lhs} AS x, {rhs} AS m\n  \
+             WHERE x.tileCol = m.tileRow;\n"
+        ),
+        S::MmSingleLocal | S::MmCsrSingleSingle => format!(
+            "-- single x single: local multiply on one site\n\
+             CREATE VIEW {name} (mat) AS\n  \
+             SELECT {f}(x.mat, m.mat) FROM {lhs} AS x, {rhs} AS m;\n"
+        ),
+        S::MmCooDenseShuffle => format!(
+            "-- (rowIndex, colIndex, value) triples x dense tiles: relational multiply\n\
+             CREATE VIEW {name} (tileRow, tileCol, mat) AS\n  \
+             SELECT x.rowIndex / tile_rows({rhs}), m.tileCol, SUM(scale_row(m.mat, x.colIndex, x.value, x.rowIndex))\n  \
+             FROM {lhs} AS x, {rhs} AS m\n  WHERE x.colIndex / tile_rows({rhs}) = m.tileRow\n  \
+             GROUP BY x.rowIndex / tile_rows({rhs}), m.tileCol;\n"
+        ),
+        S::EwCopart | S::HadamardCsrDenseCopart => {
+            let keys = select_keys("x", out);
+            let on = key_cols(out)
+                .iter()
+                .map(|k| format!("x.{k} = y.{k}"))
+                .collect::<Vec<_>>()
+                .join(" AND ");
+            format!(
+                "-- elementwise, co-partitioned join on the chunk key\n\
+                 CREATE VIEW {name} AS\n  \
+                 SELECT {sel}\n  FROM {lhs} AS x, {rhs} AS y\n  WHERE {on};\n",
+                sel = with_keys(&keys, &format!("{f}(x.mat, y.mat) AS mat")),
+            )
+        }
+        S::EwSingleLocal => format!(
+            "CREATE VIEW {name} (mat) AS SELECT {f}(x.mat, y.mat) FROM {lhs} AS x, {rhs} AS y;\n"
+        ),
+        S::AddCooDenseCopart => format!(
+            "-- scatter triples into the dense side\n\
+             CREATE VIEW {name} AS\n  \
+             SELECT y.tileRow, y.tileCol, scatter_add(y.mat, x.rowIndex, x.colIndex, x.value) AS mat\n  \
+             FROM {lhs} AS x RIGHT JOIN {rhs} AS y ON in_tile(y, x.rowIndex, x.colIndex);\n"
+        ),
+        S::BiasBcast => format!(
+            "-- BROADCAST the bias vector to every chunk\n\
+             CREATE VIEW {name} AS\n  \
+             SELECT {sel}\n  FROM {lhs} AS x, {rhs} AS b;\n",
+            sel = with_keys(
+                &select_keys("x", out),
+                &format!("{f}(x.mat, slice_cols(b.mat, x)) AS mat")
+            ),
+        ),
+        S::UnaryMap | S::SoftmaxRowAligned | S::TransposeCoo | S::TransposeCsrSingle => {
+            let sel = with_keys(&select_keys("x", out), &format!("{f}(x.mat) AS mat"));
+            format!("CREATE VIEW {name} AS SELECT {sel} FROM {lhs} AS x;\n")
+        }
+        S::SoftmaxTileTwoRound => format!(
+            "-- softmax over tiles: two reduction rounds (row max, row sum)\n\
+             CREATE VIEW {name}_stats (tileRow, maxes, sums) AS\n  \
+             SELECT x.tileRow, ROWMAX(x.mat), ROWSUMEXP(x.mat) FROM {lhs} AS x GROUP BY x.tileRow;\n\
+             CREATE VIEW {name} (tileRow, tileCol, mat) AS\n  \
+             SELECT x.tileRow, x.tileCol, softmax_with(x.mat, s.maxes, s.sums)\n  \
+             FROM {lhs} AS x, {name}_stats AS s WHERE x.tileRow = s.tileRow;\n"
+        ),
+        S::TransposeChunkwise => format!(
+            "-- transpose each chunk and swap its coordinates\n\
+             CREATE VIEW {name} AS SELECT {sel} FROM {lhs} AS x;\n",
+            sel = match out {
+                PhysFormat::Tile { .. } =>
+                    format!("x.tileCol AS tileRow, x.tileRow AS tileCol, {f}(x.mat) AS mat"),
+                PhysFormat::RowStrip { .. } => format!("x.tileCol AS tileRow, {f}(x.mat) AS mat"),
+                PhysFormat::ColStrip { .. } => format!("x.tileRow AS tileCol, {f}(x.mat) AS mat"),
+                _ => format!("{f}(x.mat) AS mat"),
+            },
+        ),
+        S::ReduceRowAligned | S::ReduceColAligned | S::ReduceCoo => {
+            let sel = with_keys(&select_keys("x", out), &format!("{f}(x.mat) AS mat"));
+            format!("CREATE VIEW {name} AS SELECT {sel} FROM {lhs} AS x;\n")
+        }
+        S::ReduceTileShuffle => {
+            let key = if op.kind() == OpKind::RowSums {
+                "tileRow"
+            } else {
+                "tileCol"
+            };
+            format!(
+                "-- per-tile partials + group-by SUM on {key}\n\
+                 CREATE VIEW {name} ({key}, mat) AS\n  \
+                 SELECT x.{key}, SUM({f}(x.mat)) FROM {lhs} AS x GROUP BY x.{key};\n"
+            )
+        }
+        S::InvSingleLocal => format!(
+            "CREATE VIEW {name} (mat) AS SELECT {f}(x.mat) FROM {lhs} AS x;\n"
+        ),
+        S::InvTileGaussJordan => format!(
+            "-- distributed blocked Gauss-Jordan: one relational round per pivot panel\n\
+             CREATE VIEW {name} (tileRow, tileCol, mat) AS\n  \
+             SELECT x.tileRow, x.tileCol, gauss_jordan_round(x.mat, pivot_panel(x.tileRow))\n  \
+             FROM {lhs} AS x;  -- repeated for each pivot block\n"
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matopt_core::{Cluster, ImplRegistry, Transform, VertexChoice};
+
+    /// The §2.1 motivating plans must render to the paper's SQL shapes.
+    #[test]
+    fn motivating_example_renders_like_the_paper() {
+        let reg = ImplRegistry::paper_default();
+        let mut g = ComputeGraph::new();
+        let a = g.add_source_named(
+            MatrixType::dense(100, 10_000),
+            PhysFormat::RowStrip { height: 10 },
+            Some("matA"),
+        );
+        let b = g.add_source_named(
+            MatrixType::dense(10_000, 100),
+            PhysFormat::ColStrip { width: 10 },
+            Some("matB"),
+        );
+        let c = g.add_source_named(
+            MatrixType::dense(100, 1_000_000),
+            PhysFormat::ColStrip { width: 10_000 },
+            Some("matC"),
+        );
+        let ab = g.add_op_named(Op::MatMul, &[a, b], Some("matAB")).unwrap();
+        let abc = g.add_op_named(Op::MatMul, &[ab, c], Some("matABC")).unwrap();
+
+        let mut ann = Annotation::empty(&g);
+        ann.set(
+            ab,
+            VertexChoice {
+                impl_id: reg.by_name("mm_rowstrip_colstrip_cross").unwrap().id,
+                input_transforms: vec![
+                    Transform::identity(PhysFormat::RowStrip { height: 10 }),
+                    Transform::identity(PhysFormat::ColStrip { width: 10 }),
+                ],
+                output_format: PhysFormat::Tile { side: 10 },
+            },
+        );
+        ann.set(
+            abc,
+            VertexChoice {
+                impl_id: reg.by_name("mm_bcast_single_colstrip").unwrap().id,
+                input_transforms: vec![
+                    Transform {
+                        kind: TransformKind::GatherToSingle,
+                        to: PhysFormat::SingleTuple,
+                    },
+                    Transform::identity(PhysFormat::ColStrip { width: 10_000 }),
+                ],
+                output_format: PhysFormat::ColStrip { width: 10_000 },
+            },
+        );
+        let ctx = PlanContext::new(&reg, Cluster::simsql_like(5));
+        let sql = render_sql(&g, &ann, &ctx).unwrap();
+        // Sources declare MATRIX attributes with chunk dimensions.
+        assert!(sql.contains("CREATE TABLE matA (tileRow INTEGER, mat MATRIX[10][10000]);"));
+        assert!(sql.contains("CREATE TABLE matC (tileCol INTEGER, mat MATRIX[100][10000]);"));
+        // The cross join has no WHERE / GROUP BY.
+        assert!(sql.contains("cross join, no aggregation"));
+        // The gather renders the paper's ROWMATRIX/COLMATRIX pair.
+        assert!(sql.contains("ROWMATRIX(label_matrix"));
+        assert!(sql.contains("COLMATRIX(label_matrix"));
+        // The final multiply is a broadcast join.
+        assert!(sql.contains("BROADCAST JOIN"));
+    }
+
+    #[test]
+    fn tile_shuffle_renders_join_plus_sum() {
+        let reg = ImplRegistry::paper_default();
+        let mut g = ComputeGraph::new();
+        let a = g.add_source_named(
+            MatrixType::dense(4000, 4000),
+            PhysFormat::Tile { side: 1000 },
+            Some("lhs"),
+        );
+        let b = g.add_source_named(
+            MatrixType::dense(4000, 4000),
+            PhysFormat::Tile { side: 1000 },
+            Some("rhs"),
+        );
+        let c = g.add_op_named(Op::MatMul, &[a, b], Some("prod")).unwrap();
+        let mut ann = Annotation::empty(&g);
+        ann.set(
+            c,
+            VertexChoice {
+                impl_id: reg.by_name("mm_tile_shuffle").unwrap().id,
+                input_transforms: vec![
+                    Transform::identity(PhysFormat::Tile { side: 1000 }),
+                    Transform::identity(PhysFormat::Tile { side: 1000 }),
+                ],
+                output_format: PhysFormat::Tile { side: 1000 },
+            },
+        );
+        let ctx = PlanContext::new(&reg, Cluster::simsql_like(5));
+        let sql = render_sql(&g, &ann, &ctx).unwrap();
+        assert!(sql.contains("SUM(matrix_multiply(x.mat, m.mat))"));
+        assert!(sql.contains("WHERE x.tileCol = m.tileRow"));
+        assert!(sql.contains("GROUP BY x.tileRow, m.tileCol"));
+    }
+
+    #[test]
+    fn invalid_annotation_is_rejected() {
+        let reg = ImplRegistry::paper_default();
+        let mut g = ComputeGraph::new();
+        let a = g.add_source(MatrixType::dense(8, 8), PhysFormat::SingleTuple);
+        let _r = g.add_op(Op::Relu, &[a]).unwrap();
+        let ctx = PlanContext::new(&reg, Cluster::simsql_like(2));
+        let empty = Annotation::empty(&g);
+        assert!(render_sql(&g, &empty, &ctx).is_err());
+    }
+
+    #[test]
+    fn coo_source_declares_triples() {
+        let reg = ImplRegistry::paper_default();
+        let mut g = ComputeGraph::new();
+        let a = g.add_source_named(
+            MatrixType::sparse(1000, 1000, 0.01),
+            PhysFormat::Coo,
+            Some("triples"),
+        );
+        {
+            let t = g.add_op_named(Op::Transpose, &[a], Some("flipped")).unwrap();
+            let mut ann = Annotation::empty(&g);
+            ann.set(
+                t,
+                VertexChoice {
+                    impl_id: reg.by_name("transpose_coo").unwrap().id,
+                    input_transforms: vec![Transform::identity(PhysFormat::Coo)],
+                    output_format: PhysFormat::Coo,
+                },
+            );
+            let ctx = PlanContext::new(&reg, Cluster::simsql_like(2));
+            let sql = render_sql(&g, &ann, &ctx).unwrap();
+            assert!(sql.contains(
+                "CREATE TABLE triples (rowIndex INTEGER, colIndex INTEGER, value DOUBLE);"
+            ));
+        };
+    }
+}

@@ -1,0 +1,388 @@
+//! Distributed matrix values: chunked relations with matrix-valued
+//! attributes, the runtime counterpart of a
+//! [`matopt_core::PhysFormat`].
+
+use matopt_core::{MatrixType, PhysFormat};
+use matopt_kernels::{CooMatrix, CsrMatrix, DenseMatrix};
+
+/// The payload of one tuple: a dense block, a CSR block, or a bag of
+/// coordinate triples.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Block {
+    /// Dense row-major payload.
+    Dense(DenseMatrix),
+    /// Compressed-sparse-row payload.
+    Csr(CsrMatrix),
+    /// Coordinate triples (indices relative to the whole matrix).
+    Coo(CooMatrix),
+}
+
+impl Block {
+    /// Rows of the payload.
+    pub fn rows(&self) -> usize {
+        match self {
+            Block::Dense(d) => d.rows(),
+            Block::Csr(s) => s.rows(),
+            Block::Coo(c) => c.rows(),
+        }
+    }
+
+    /// Columns of the payload.
+    pub fn cols(&self) -> usize {
+        match self {
+            Block::Dense(d) => d.cols(),
+            Block::Csr(s) => s.cols(),
+            Block::Coo(c) => c.cols(),
+        }
+    }
+
+    /// Bytes this payload occupies (approximate, matching the §7
+    /// accounting).
+    pub fn bytes(&self) -> f64 {
+        match self {
+            Block::Dense(d) => (d.rows() * d.cols()) as f64 * 8.0,
+            Block::Csr(s) => s.nnz() as f64 * 16.0,
+            Block::Coo(c) => c.nnz() as f64 * 24.0,
+        }
+    }
+
+    /// Densifies the payload.
+    pub fn to_dense(&self) -> DenseMatrix {
+        match self {
+            Block::Dense(d) => d.clone(),
+            Block::Csr(s) => s.to_dense(),
+            Block::Coo(c) => c.to_dense(),
+        }
+    }
+
+    /// Borrows the dense payload.
+    ///
+    /// # Panics
+    /// Panics when the payload is not dense.
+    pub fn as_dense(&self) -> &DenseMatrix {
+        match self {
+            Block::Dense(d) => d,
+            other => panic!("expected dense block, found {other:?}"),
+        }
+    }
+
+    /// Borrows the CSR payload.
+    ///
+    /// # Panics
+    /// Panics when the payload is not CSR.
+    pub fn as_csr(&self) -> &CsrMatrix {
+        match self {
+            Block::Csr(s) => s,
+            other => panic!("expected CSR block, found {other:?}"),
+        }
+    }
+}
+
+/// One tuple of a distributed matrix relation: the chunk coordinates
+/// (`tileRow`, `tileCol` in the paper's schemas) plus the payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Chunk {
+    /// Grid row index (0 for column strips / single tuples).
+    pub row: u64,
+    /// Grid column index (0 for row strips / single tuples).
+    pub col: u64,
+    /// The matrix payload.
+    pub block: Block,
+}
+
+impl Chunk {
+    /// The worker this chunk hashes to on a `workers`-node cluster.
+    pub fn worker(&self, workers: usize) -> usize {
+        // A cheap deterministic hash of the grid key.
+        let h = self
+            .row
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(self.col.wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+        (h % workers.max(1) as u64) as usize
+    }
+}
+
+/// A distributed matrix: a relation of chunks in a specific physical
+/// format. This is the runtime value flowing along compute-graph edges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistRelation {
+    /// The logical matrix type.
+    pub mtype: MatrixType,
+    /// The physical implementation the relation is stored in.
+    pub format: PhysFormat,
+    /// The tuples.
+    pub chunks: Vec<Chunk>,
+}
+
+/// Errors constructing or reshaping distributed relations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValueError {
+    /// The requested format cannot represent the value (e.g. COO of a
+    /// dense payload is allowed, but strip heights of zero are not).
+    BadFormat(String),
+}
+
+impl std::fmt::Display for ValueError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValueError::BadFormat(m) => write!(f, "bad format: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+impl DistRelation {
+    /// Chunks a dense matrix into the given physical format.
+    ///
+    /// # Errors
+    /// Returns [`ValueError::BadFormat`] for degenerate chunk sizes.
+    pub fn from_dense(dense: &DenseMatrix, format: PhysFormat) -> Result<Self, ValueError> {
+        let rows = dense.rows();
+        let cols = dense.cols();
+        let mtype = MatrixType {
+            rows: rows as u64,
+            cols: cols as u64,
+            sparsity: dense.measured_sparsity(),
+        };
+        let chunks = match format {
+            PhysFormat::SingleTuple => vec![Chunk {
+                row: 0,
+                col: 0,
+                block: Block::Dense(dense.clone()),
+            }],
+            PhysFormat::RowStrip { height } => {
+                let h = usize::try_from(height).map_err(|_| bad("strip height"))?;
+                if h == 0 {
+                    return Err(bad("strip height 0"));
+                }
+                (0..rows.div_ceil(h))
+                    .map(|i| Chunk {
+                        row: i as u64,
+                        col: 0,
+                        block: Block::Dense(dense.block(i * h, 0, h, cols)),
+                    })
+                    .collect()
+            }
+            PhysFormat::ColStrip { width } => {
+                let w = usize::try_from(width).map_err(|_| bad("strip width"))?;
+                if w == 0 {
+                    return Err(bad("strip width 0"));
+                }
+                (0..cols.div_ceil(w))
+                    .map(|j| Chunk {
+                        row: 0,
+                        col: j as u64,
+                        block: Block::Dense(dense.block(0, j * w, rows, w)),
+                    })
+                    .collect()
+            }
+            PhysFormat::Tile { side } => {
+                let s = usize::try_from(side).map_err(|_| bad("tile side"))?;
+                if s == 0 {
+                    return Err(bad("tile side 0"));
+                }
+                let mut out = Vec::new();
+                for i in 0..rows.div_ceil(s) {
+                    for j in 0..cols.div_ceil(s) {
+                        out.push(Chunk {
+                            row: i as u64,
+                            col: j as u64,
+                            block: Block::Dense(dense.block(i * s, j * s, s, s)),
+                        });
+                    }
+                }
+                out
+            }
+            PhysFormat::Coo => vec![Chunk {
+                row: 0,
+                col: 0,
+                block: Block::Coo(CooMatrix::from_dense(dense)),
+            }],
+            PhysFormat::CsrSingle => vec![Chunk {
+                row: 0,
+                col: 0,
+                block: Block::Csr(CsrMatrix::from_dense(dense)),
+            }],
+            PhysFormat::CsrTile { side } => {
+                let s = usize::try_from(side).map_err(|_| bad("tile side"))?;
+                if s == 0 {
+                    return Err(bad("tile side 0"));
+                }
+                let full = CsrMatrix::from_dense(dense);
+                let mut out = Vec::new();
+                for i in 0..rows.div_ceil(s) {
+                    for j in 0..cols.div_ceil(s) {
+                        out.push(Chunk {
+                            row: i as u64,
+                            col: j as u64,
+                            block: Block::Csr(full.block(i * s, j * s, s, s)),
+                        });
+                    }
+                }
+                out
+            }
+        };
+        Ok(DistRelation {
+            mtype,
+            format,
+            chunks,
+        })
+    }
+
+    /// Reassembles the logical dense matrix.
+    pub fn to_dense(&self) -> DenseMatrix {
+        let rows = self.mtype.rows as usize;
+        let cols = self.mtype.cols as usize;
+        let mut out = DenseMatrix::zeros(rows, cols);
+        let (ch, cw) = self.chunk_strides();
+        for c in &self.chunks {
+            match &c.block {
+                Block::Coo(coo) => {
+                    // COO indices are global.
+                    for (r, cc, v) in coo.entries() {
+                        let cur = out.get(*r, *cc);
+                        out.set(*r, *cc, cur + *v);
+                    }
+                }
+                b => {
+                    let d = b.to_dense();
+                    out.set_block(c.row as usize * ch, c.col as usize * cw, &d);
+                }
+            }
+        }
+        out
+    }
+
+    /// The `(row, col)` strides of the chunk grid: how far apart chunk
+    /// origins are.
+    pub fn chunk_strides(&self) -> (usize, usize) {
+        match self.format {
+            PhysFormat::SingleTuple | PhysFormat::Coo | PhysFormat::CsrSingle => {
+                (self.mtype.rows as usize, self.mtype.cols as usize)
+            }
+            PhysFormat::RowStrip { height } => (height as usize, self.mtype.cols as usize),
+            PhysFormat::ColStrip { width } => (self.mtype.rows as usize, width as usize),
+            PhysFormat::Tile { side } | PhysFormat::CsrTile { side } => {
+                (side as usize, side as usize)
+            }
+        }
+    }
+
+    /// Total payload bytes across chunks.
+    pub fn total_bytes(&self) -> f64 {
+        self.chunks.iter().map(|c| c.block.bytes()).sum()
+    }
+
+    /// Re-materializes this relation in another physical format — the
+    /// runtime realization of any [`matopt_core::Transform`].
+    ///
+    /// # Errors
+    /// Propagates [`ValueError`] from chunking.
+    pub fn reformat(&self, to: PhysFormat) -> Result<DistRelation, ValueError> {
+        if to == self.format {
+            return Ok(self.clone());
+        }
+        let dense = self.to_dense();
+        let mut out = DistRelation::from_dense(&dense, to)?;
+        // Keep the logical (estimated) sparsity of the source type, so
+        // repeated reformatting never drifts the statistic.
+        out.mtype = self.mtype;
+        Ok(out)
+    }
+
+    /// Looks up a chunk by its grid key.
+    pub fn chunk_at(&self, row: u64, col: u64) -> Option<&Chunk> {
+        self.chunks.iter().find(|c| c.row == row && c.col == col)
+    }
+}
+
+fn bad(what: &str) -> ValueError {
+    ValueError::BadFormat(what.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matopt_kernels::{random_dense_normal, seeded_rng};
+
+    fn sample(rows: usize, cols: usize) -> DenseMatrix {
+        random_dense_normal(rows, cols, &mut seeded_rng(11))
+    }
+
+    #[test]
+    fn round_trip_all_formats() {
+        let d = sample(37, 53);
+        for fmt in [
+            PhysFormat::SingleTuple,
+            PhysFormat::RowStrip { height: 10 },
+            PhysFormat::ColStrip { width: 7 },
+            PhysFormat::Tile { side: 8 },
+            PhysFormat::Coo,
+            PhysFormat::CsrSingle,
+            PhysFormat::CsrTile { side: 9 },
+        ] {
+            let rel = DistRelation::from_dense(&d, fmt).unwrap();
+            assert!(
+                rel.to_dense().approx_eq(&d, 1e-12),
+                "round trip failed for {fmt}"
+            );
+        }
+    }
+
+    #[test]
+    fn chunk_counts_match_format_accounting() {
+        let d = sample(40, 60);
+        let rel = DistRelation::from_dense(&d, PhysFormat::Tile { side: 16 }).unwrap();
+        assert_eq!(rel.chunks.len(), 3 * 4);
+        assert_eq!(
+            rel.chunks.len() as f64,
+            PhysFormat::Tile { side: 16 }.num_tuples(&rel.mtype)
+        );
+    }
+
+    #[test]
+    fn reformat_preserves_values() {
+        let d = sample(25, 31);
+        let rel = DistRelation::from_dense(&d, PhysFormat::Tile { side: 6 }).unwrap();
+        let strips = rel.reformat(PhysFormat::RowStrip { height: 4 }).unwrap();
+        assert!(strips.to_dense().approx_eq(&d, 1e-12));
+        assert_eq!(strips.format, PhysFormat::RowStrip { height: 4 });
+    }
+
+    #[test]
+    fn worker_assignment_is_deterministic_and_in_range() {
+        let d = sample(32, 32);
+        let rel = DistRelation::from_dense(&d, PhysFormat::Tile { side: 8 }).unwrap();
+        for c in &rel.chunks {
+            assert!(c.worker(5) < 5);
+            assert_eq!(c.worker(5), c.worker(5));
+        }
+    }
+
+    #[test]
+    fn ragged_edges_are_clamped() {
+        let d = sample(10, 10);
+        let rel = DistRelation::from_dense(&d, PhysFormat::Tile { side: 7 }).unwrap();
+        let corner = rel.chunk_at(1, 1).unwrap();
+        assert_eq!((corner.block.rows(), corner.block.cols()), (3, 3));
+    }
+
+    #[test]
+    fn sparse_blocks_account_bytes_by_nnz() {
+        let mut d = DenseMatrix::zeros(100, 100);
+        d.set(3, 4, 1.0);
+        d.set(90, 7, 2.0);
+        let rel = DistRelation::from_dense(&d, PhysFormat::CsrSingle).unwrap();
+        assert_eq!(rel.total_bytes(), 2.0 * 16.0);
+        let coo = DistRelation::from_dense(&d, PhysFormat::Coo).unwrap();
+        assert_eq!(coo.total_bytes(), 2.0 * 24.0);
+    }
+
+    #[test]
+    fn zero_chunk_sizes_are_rejected() {
+        let d = sample(4, 4);
+        assert!(DistRelation::from_dense(&d, PhysFormat::Tile { side: 0 }).is_err());
+        assert!(DistRelation::from_dense(&d, PhysFormat::RowStrip { height: 0 }).is_err());
+    }
+}

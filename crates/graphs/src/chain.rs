@@ -1,0 +1,199 @@
+//! The six-matrix multiplication chain of §8.2 (Figures 4 and 10) and
+//! the motivating example of §2.1 (Figure 1).
+
+use matopt_core::{Cluster, ComputeGraph, MatrixType, NodeId, Op, PhysFormat, TypeError};
+
+/// The three input-size combinations of Figure 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SizeSet {
+    /// A 10K×30K, B 30K×50K, C 50K×1, D 1×50K, E 50K×10K, F 50K×10K.
+    Set1,
+    /// A 50K×1, B 1×100K, C 100K×30K, D 30K×100K, E 100K×50K, F 100K×30K.
+    Set2,
+    /// All six matrices 50K×50K.
+    Set3,
+}
+
+impl SizeSet {
+    /// The `(rows, cols)` of inputs A–F.
+    pub fn dims(&self) -> [(u64, u64); 6] {
+        match self {
+            SizeSet::Set1 => [
+                (10_000, 30_000),
+                (30_000, 50_000),
+                (50_000, 1),
+                (1, 50_000),
+                (50_000, 10_000),
+                (50_000, 10_000),
+            ],
+            SizeSet::Set2 => [
+                (50_000, 1),
+                (1, 100_000),
+                (100_000, 30_000),
+                (30_000, 100_000),
+                (100_000, 50_000),
+                (100_000, 30_000),
+            ],
+            SizeSet::Set3 => [(50_000, 50_000); 6],
+        }
+    }
+}
+
+/// Picks a sensible given storage for an input matrix: whole when it
+/// fits in one tuple, 1000-tiles otherwise.
+pub fn default_source_format(m: &MatrixType, cluster: &Cluster) -> PhysFormat {
+    if PhysFormat::SingleTuple.feasible(m, cluster) {
+        PhysFormat::SingleTuple
+    } else {
+        PhysFormat::Tile { side: 1000 }
+    }
+}
+
+/// Handles to a built multiplication-chain graph.
+#[derive(Debug, Clone)]
+pub struct ChainGraph {
+    /// The graph.
+    pub graph: ComputeGraph,
+    /// Input vertices A–F.
+    pub inputs: [NodeId; 6],
+    /// The output vertex `O`.
+    pub output: NodeId,
+}
+
+/// Builds the §8.2 chain:
+///
+/// ```text
+/// T1 = A × B;  T2 = C × D
+/// O  = ((T1 × E) × (T1 × T2)) × (T2 × F)
+/// ```
+///
+/// `T1` and `T2` each feed two consumers, so the graph is a DAG with
+/// sharing (the frontier algorithm is required).
+///
+/// # Errors
+/// Propagates [`TypeError`] on a non-multiplicable size set.
+pub fn matmul_chain_graph(set: SizeSet, cluster: &Cluster) -> Result<ChainGraph, TypeError> {
+    let mut g = ComputeGraph::new();
+    let names = ["A", "B", "C", "D", "E", "F"];
+    let mut inputs = [NodeId(0); 6];
+    for (i, ((r, c), name)) in set.dims().iter().zip(names.iter()).enumerate() {
+        let mt = MatrixType::dense(*r, *c);
+        inputs[i] = g.add_source_named(mt, default_source_format(&mt, cluster), Some(name));
+    }
+    let [a, b, c, d, e, f] = inputs;
+    let t1 = g.add_op_named(Op::MatMul, &[a, b], Some("T1"))?;
+    let t2 = g.add_op_named(Op::MatMul, &[c, d], Some("T2"))?;
+    let t1e = g.add_op(Op::MatMul, &[t1, e])?;
+    let t1t2 = g.add_op(Op::MatMul, &[t1, t2])?;
+    let left = g.add_op(Op::MatMul, &[t1e, t1t2])?;
+    let t2f = g.add_op(Op::MatMul, &[t2, f])?;
+    let output = g.add_op_named(Op::MatMul, &[left, t2f], Some("O"))?;
+    Ok(ChainGraph {
+        graph: g,
+        inputs,
+        output,
+    })
+}
+
+/// Handles to the §2.1 motivating example.
+#[derive(Debug, Clone)]
+pub struct MotivatingGraph {
+    /// The graph.
+    pub graph: ComputeGraph,
+    /// matA (100 × 10⁴, ten row-strips).
+    pub mat_a: NodeId,
+    /// matB (10⁴ × 100, ten column-strips).
+    pub mat_b: NodeId,
+    /// matC (100 × 10⁶, one hundred column-strips).
+    pub mat_c: NodeId,
+    /// matAB.
+    pub mat_ab: NodeId,
+    /// The output matABC.
+    pub mat_abc: NodeId,
+}
+
+/// Builds the §2.1 example: `matA × matB × matC` with the paper's
+/// storage — matA in ten row-strips, matB in ten column-strips, matC in
+/// one hundred column-strips.
+///
+/// # Errors
+/// Propagates [`TypeError`].
+pub fn motivating_graph() -> Result<MotivatingGraph, TypeError> {
+    let mut g = ComputeGraph::new();
+    let mat_a = g.add_source_named(
+        MatrixType::dense(100, 10_000),
+        PhysFormat::RowStrip { height: 10 },
+        Some("matA"),
+    );
+    let mat_b = g.add_source_named(
+        MatrixType::dense(10_000, 100),
+        PhysFormat::ColStrip { width: 10 },
+        Some("matB"),
+    );
+    let mat_c = g.add_source_named(
+        MatrixType::dense(100, 1_000_000),
+        PhysFormat::ColStrip { width: 10_000 },
+        Some("matC"),
+    );
+    let mat_ab = g.add_op_named(Op::MatMul, &[mat_a, mat_b], Some("matAB"))?;
+    let mat_abc = g.add_op_named(Op::MatMul, &[mat_ab, mat_c], Some("matABC"))?;
+    Ok(MotivatingGraph {
+        graph: g,
+        mat_a,
+        mat_b,
+        mat_c,
+        mat_ab,
+        mat_abc,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_size_sets_type_check() {
+        let cl = Cluster::simsql_like(10);
+        for set in [SizeSet::Set1, SizeSet::Set2, SizeSet::Set3] {
+            let c = matmul_chain_graph(set, &cl).unwrap();
+            assert!(!c.graph.is_tree_shaped(), "T1/T2 sharing expected");
+            assert_eq!(c.graph.sinks(), vec![c.output]);
+        }
+    }
+
+    #[test]
+    fn set1_output_shape() {
+        let cl = Cluster::simsql_like(10);
+        let c = matmul_chain_graph(SizeSet::Set1, &cl).unwrap();
+        let o = c.graph.node(c.output).mtype;
+        assert_eq!((o.rows, o.cols), (10_000, 10_000));
+    }
+
+    #[test]
+    fn big_inputs_default_to_tiles() {
+        let cl = Cluster::simsql_like(10);
+        // 30K × 50K doubles = 12 GB > the 8 GB tuple cap.
+        let m = MatrixType::dense(30_000, 50_000);
+        assert_eq!(
+            default_source_format(&m, &cl),
+            PhysFormat::Tile { side: 1000 }
+        );
+        let small = MatrixType::dense(10_000, 10_000);
+        assert_eq!(default_source_format(&small, &cl), PhysFormat::SingleTuple);
+    }
+
+    #[test]
+    fn motivating_example_matches_paper_storage() {
+        let m = motivating_graph().unwrap();
+        assert_eq!(
+            PhysFormat::RowStrip { height: 10 }.num_tuples(&m.graph.node(m.mat_a).mtype),
+            10.0
+        );
+        assert_eq!(
+            PhysFormat::ColStrip { width: 10_000 }.num_tuples(&m.graph.node(m.mat_c).mtype),
+            100.0
+        );
+        let ab = m.graph.node(m.mat_ab).mtype;
+        assert_eq!((ab.rows, ab.cols), (100, 100));
+    }
+}

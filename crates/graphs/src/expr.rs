@@ -1,0 +1,280 @@
+//! An expression DSL over compute graphs: write `(x.mm(w) + b).relu()`
+//! (or `&a * &b + &c` with operators) instead of threading `NodeId`s
+//! through `add_op` calls.
+//!
+//! The DSL is a thin, zero-cost layer over [`ComputeGraph`]: every
+//! method appends one vertex. Like most embedded LA DSLs it panics on
+//! shape errors at graph-construction time (the underlying builder API
+//! returns `Result` for callers that need to recover).
+//!
+//! ```
+//! use matopt_core::{MatrixType, PhysFormat};
+//! use matopt_graphs::ExprBuilder;
+//!
+//! let b = ExprBuilder::new();
+//! let x = b.source("X", MatrixType::dense(32, 64), PhysFormat::RowStrip { height: 8 });
+//! let w = b.source("W", MatrixType::dense(64, 16), PhysFormat::Tile { side: 8 });
+//! let bias = b.source("b", MatrixType::dense(1, 16), PhysFormat::SingleTuple);
+//! let logits = x.mm(w).bias_add(bias);
+//! let _probs = logits.softmax();
+//! let graph = b.finish();
+//! assert_eq!(graph.compute_count(), 3);
+//! ```
+
+use matopt_core::{ComputeGraph, MatrixType, NodeId, Op, PhysFormat};
+use std::cell::RefCell;
+
+/// Builds a [`ComputeGraph`] through [`Expr`] handles.
+#[derive(Debug, Default)]
+pub struct ExprBuilder {
+    graph: RefCell<ComputeGraph>,
+}
+
+/// A handle to one vertex of the graph being built. `Copy`, so
+/// sub-expressions can be reused freely — reuse is exactly what creates
+/// the shared-subexpression DAGs the frontier algorithm exists for.
+#[derive(Debug, Clone, Copy)]
+pub struct Expr<'b> {
+    builder: &'b ExprBuilder,
+    id: NodeId,
+}
+
+impl ExprBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an input matrix with its physical storage.
+    pub fn source(&self, name: &str, mtype: MatrixType, format: PhysFormat) -> Expr<'_> {
+        let id = self
+            .graph
+            .borrow_mut()
+            .add_source_named(mtype, format, Some(name));
+        Expr { builder: self, id }
+    }
+
+    /// Consumes the builder, returning the graph.
+    pub fn finish(self) -> ComputeGraph {
+        self.graph.into_inner()
+    }
+
+    /// The matrix type currently inferred for a handle.
+    pub fn type_of(&self, e: Expr<'_>) -> MatrixType {
+        self.graph.borrow().node(e.id).mtype
+    }
+
+    fn apply(&self, op: Op, inputs: &[NodeId], name: Option<&str>) -> NodeId {
+        self.graph
+            .borrow_mut()
+            .add_op_named(op, inputs, name)
+            .unwrap_or_else(|e| panic!("expression DSL type error: {e}"))
+    }
+}
+
+impl<'b> Expr<'b> {
+    /// The underlying vertex id.
+    pub fn id(self) -> NodeId {
+        self.id
+    }
+
+    /// Names the *next* wrapper: applies `op` with a label.
+    fn unary(self, op: Op) -> Expr<'b> {
+        Expr {
+            builder: self.builder,
+            id: self.builder.apply(op, &[self.id], None),
+        }
+    }
+
+    fn binary(self, op: Op, rhs: Expr<'b>) -> Expr<'b> {
+        assert!(
+            std::ptr::eq(self.builder, rhs.builder),
+            "expressions belong to different builders"
+        );
+        Expr {
+            builder: self.builder,
+            id: self.builder.apply(op, &[self.id, rhs.id], None),
+        }
+    }
+
+    /// Matrix multiplication (also available as `&a * &b`).
+    pub fn mm(self, rhs: Expr<'b>) -> Expr<'b> {
+        self.binary(Op::MatMul, rhs)
+    }
+
+    /// Hadamard (elementwise) product.
+    pub fn hadamard(self, rhs: Expr<'b>) -> Expr<'b> {
+        self.binary(Op::Hadamard, rhs)
+    }
+
+    /// Adds a `1 × c` bias row vector to every row.
+    pub fn bias_add(self, bias: Expr<'b>) -> Expr<'b> {
+        self.binary(Op::BroadcastAddRow, bias)
+    }
+
+    /// Transpose.
+    pub fn t(self) -> Expr<'b> {
+        self.unary(Op::Transpose)
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(self) -> Expr<'b> {
+        self.unary(Op::Relu)
+    }
+
+    /// Derivative of relu.
+    pub fn relu_grad(self) -> Expr<'b> {
+        self.unary(Op::ReluGrad)
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax(self) -> Expr<'b> {
+        self.unary(Op::Softmax)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(self) -> Expr<'b> {
+        self.unary(Op::Sigmoid)
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(self) -> Expr<'b> {
+        self.unary(Op::Exp)
+    }
+
+    /// Multiplication by a scalar constant.
+    pub fn scale(self, alpha: f64) -> Expr<'b> {
+        self.unary(Op::ScalarMul(alpha))
+    }
+
+    /// Row sums (an `n × 1` vector).
+    pub fn row_sums(self) -> Expr<'b> {
+        self.unary(Op::RowSums)
+    }
+
+    /// Column sums (a `1 × n` vector).
+    pub fn col_sums(self) -> Expr<'b> {
+        self.unary(Op::ColSums)
+    }
+
+    /// Matrix inverse.
+    pub fn inverse(self) -> Expr<'b> {
+        self.unary(Op::Inverse)
+    }
+
+    /// Attaches a display name to this vertex.
+    pub fn named(self, name: &str) -> Expr<'b> {
+        self.builder.graph.borrow_mut().rename(self.id, name);
+        self
+    }
+}
+
+impl<'b> std::ops::Add for Expr<'b> {
+    type Output = Expr<'b>;
+    fn add(self, rhs: Expr<'b>) -> Expr<'b> {
+        self.binary(Op::Add, rhs)
+    }
+}
+
+impl<'b> std::ops::Sub for Expr<'b> {
+    type Output = Expr<'b>;
+    fn sub(self, rhs: Expr<'b>) -> Expr<'b> {
+        self.binary(Op::Sub, rhs)
+    }
+}
+
+/// `*` is **matrix multiplication**, matching LA notation; use
+/// [`Expr::hadamard`] for the elementwise product.
+impl<'b> std::ops::Mul for Expr<'b> {
+    type Output = Expr<'b>;
+    fn mul(self, rhs: Expr<'b>) -> Expr<'b> {
+        self.mm(rhs)
+    }
+}
+
+impl<'b> std::ops::Neg for Expr<'b> {
+    type Output = Expr<'b>;
+    fn neg(self) -> Expr<'b> {
+        self.unary(Op::Neg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sq<'b>(b: &'b ExprBuilder, name: &str) -> Expr<'b> {
+        b.source(name, MatrixType::dense(64, 64), PhysFormat::Tile { side: 16 })
+    }
+
+    #[test]
+    fn operators_build_the_expected_graph() {
+        let b = ExprBuilder::new();
+        let (x, y, z) = (sq(&b, "x"), sq(&b, "y"), sq(&b, "z"));
+        let out = (x * y + z).relu() - -z;
+        let _ = out;
+        let g = b.finish();
+        // mm, add, relu, neg, sub.
+        assert_eq!(g.compute_count(), 5);
+        assert!(!g.is_tree_shaped()); // z used twice
+    }
+
+    #[test]
+    fn shared_subexpressions_make_dags() {
+        let b = ExprBuilder::new();
+        let (x, y) = (sq(&b, "x"), sq(&b, "y"));
+        let t = x * y;
+        let t_id = t.id();
+        let _o = t.relu() + t.sigmoid();
+        let g = b.finish();
+        let consumers = g.consumers();
+        assert_eq!(consumers[t_id.index()].len(), 2);
+    }
+
+    #[test]
+    fn dsl_matches_manual_construction() {
+        // The same FFNN layer built both ways produces identical types.
+        let b = ExprBuilder::new();
+        let x = b.source("x", MatrixType::dense(8, 32), PhysFormat::RowStrip { height: 4 });
+        let w = b.source("w", MatrixType::dense(32, 16), PhysFormat::SingleTuple);
+        let bias = b.source("b", MatrixType::dense(1, 16), PhysFormat::SingleTuple);
+        let act = x.mm(w).bias_add(bias).relu();
+        assert_eq!(b.type_of(act), MatrixType {
+            rows: 8,
+            cols: 16,
+            sparsity: 0.5,
+        });
+        let g = b.finish();
+
+        let mut m = ComputeGraph::new();
+        let xm = m.add_source(MatrixType::dense(8, 32), PhysFormat::RowStrip { height: 4 });
+        let wm = m.add_source(MatrixType::dense(32, 16), PhysFormat::SingleTuple);
+        let bm = m.add_source(MatrixType::dense(1, 16), PhysFormat::SingleTuple);
+        let z = m.add_op(Op::MatMul, &[xm, wm]).unwrap();
+        let zb = m.add_op(Op::BroadcastAddRow, &[z, bm]).unwrap();
+        let _a = m.add_op(Op::Relu, &[zb]).unwrap();
+        assert_eq!(g.len(), m.len());
+        for (a, b_) in g.iter().zip(m.iter()) {
+            assert_eq!(a.1.mtype, b_.1.mtype);
+            assert_eq!(a.1.inputs, b_.1.inputs);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "type error")]
+    fn shape_mismatch_panics() {
+        let b = ExprBuilder::new();
+        let x = b.source("x", MatrixType::dense(8, 32), PhysFormat::SingleTuple);
+        let y = b.source("y", MatrixType::dense(8, 32), PhysFormat::SingleTuple);
+        let _ = x * y; // 8x32 times 8x32 is not multiplicable
+    }
+
+    #[test]
+    fn naming_vertices() {
+        let b = ExprBuilder::new();
+        let x = sq(&b, "x");
+        let named_id = x.relu().named("activated").id();
+        let g = b.finish();
+        assert_eq!(g.node(named_id).name.as_deref(), Some("activated"));
+    }
+}

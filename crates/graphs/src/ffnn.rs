@@ -1,0 +1,343 @@
+//! Feed-forward neural network compute graphs (§8.2 Experiments 1–4 and
+//! §8.3 Figures 11–12).
+//!
+//! The network follows the paper's description: a dense (or sparse,
+//! for AmazonCat-14K) input batch, two hidden layers with relu
+//! activations, and a softmax output layer. Backpropagation is the
+//! textbook dataflow the paper's SimSQL code (derived from \[23\])
+//! computes:
+//!
+//! ```text
+//! Z_i = A_{i-1}·W_i + b_i      A_i = relu(Z_i)     A_out = softmax(Z_3)
+//! dZ_3 = (A_out − Y)·(1/batch)
+//! dW_i = A_{i-1}ᵀ·dZ_i         db_i = colsums(dZ_i)
+//! dZ_{i-1} = (dZ_i·W_iᵀ) ∘ relu'(Z_{i-1})
+//! W_i' = W_i − η·dW_i          b_i' = b_i − η·db_i
+//! ```
+
+use matopt_core::{ComputeGraph, MatrixType, NodeId, Op, PhysFormat, TypeError};
+
+/// Configuration of an FFNN workload.
+#[derive(Debug, Clone, Copy)]
+pub struct FfnnConfig {
+    /// Number of input vectors in the batch (10⁴ in Experiments 1–3).
+    pub batch: u64,
+    /// Input features (6 × 10⁴ in Experiments 1–3; 597,540 for
+    /// AmazonCat-14K).
+    pub features: u64,
+    /// Hidden layer width (`layer_size` in the paper).
+    pub hidden: u64,
+    /// Output labels (17 in Experiments 1–3; 14,588 for AmazonCat).
+    pub labels: u64,
+    /// Input batch density (1.0 = dense; ~1e-4 for one-hot AmazonCat
+    /// batches).
+    pub input_sparsity: f64,
+    /// Learning rate used in the update steps.
+    pub learning_rate: f64,
+    /// Storage format of the input batch.
+    pub input_format: PhysFormat,
+    /// Storage format of the input-to-hidden weight matrix.
+    pub w1_format: PhysFormat,
+    /// Storage format of the remaining weight matrices.
+    pub w_format: PhysFormat,
+}
+
+impl FfnnConfig {
+    /// The SimSQL plan-quality experiments (§8.2): dense 10⁴ × 6·10⁴
+    /// batch, 17 labels, varying hidden size.
+    pub fn simsql_experiment(hidden: u64) -> Self {
+        FfnnConfig {
+            batch: 10_000,
+            features: 60_000,
+            hidden,
+            labels: 17,
+            input_sparsity: 1.0,
+            learning_rate: 0.01,
+            input_format: PhysFormat::RowStrip { height: 1000 },
+            w1_format: PhysFormat::Tile { side: 1000 },
+            w_format: PhysFormat::Tile { side: 1000 },
+        }
+    }
+
+    /// The PlinyCompute system-comparison experiments (§8.3) on
+    /// synthetic AmazonCat-14K: 597,540 features, 14,588 labels; "the
+    /// large input data matrix is stored as column-strips with strip
+    /// width 1000", "the large matrix connecting the inputs to the
+    /// hidden layer is given ... as 1000 × 1000 chunks", all other
+    /// inputs whole.
+    pub fn amazoncat(batch: u64, hidden: u64, sparse_input: bool) -> Self {
+        FfnnConfig {
+            batch,
+            features: 597_540,
+            hidden,
+            labels: 14_588,
+            input_sparsity: if sparse_input { 4.2e-4 } else { 1.0 },
+            learning_rate: 0.01,
+            input_format: if sparse_input {
+                PhysFormat::CsrTile { side: 1000 }
+            } else {
+                PhysFormat::ColStrip { width: 1000 }
+            },
+            w1_format: PhysFormat::Tile { side: 1000 },
+            w_format: PhysFormat::SingleTuple,
+        }
+    }
+}
+
+/// Handles to the interesting vertices of a built FFNN graph.
+#[derive(Debug, Clone)]
+pub struct FfnnGraph {
+    /// The graph itself.
+    pub graph: ComputeGraph,
+    /// Input batch vertex.
+    pub x: NodeId,
+    /// Label matrix vertex.
+    pub y: NodeId,
+    /// Weight matrices (input→h1, h1→h2, h2→out).
+    pub weights: Vec<NodeId>,
+    /// Updated weight matrices produced by backprop (aligned with
+    /// `weights`; empty for forward-only graphs).
+    pub updated_weights: Vec<NodeId>,
+    /// The output-layer activation vertex of the *last* forward pass.
+    pub output_activations: NodeId,
+}
+
+struct Builder {
+    g: ComputeGraph,
+    cfg: FfnnConfig,
+}
+
+struct ForwardPass {
+    /// Pre-activation `Z_i` per layer.
+    zs: Vec<NodeId>,
+    /// Post-activation `A_i` per layer (last is the softmax output).
+    activations: Vec<NodeId>,
+}
+
+impl Builder {
+    fn new(cfg: FfnnConfig) -> Self {
+        Builder {
+            g: ComputeGraph::new(),
+            cfg,
+        }
+    }
+
+    fn sources(&mut self) -> Result<(NodeId, NodeId, Vec<NodeId>, Vec<NodeId>), TypeError> {
+        let c = self.cfg;
+        let x = self.g.add_source_named(
+            MatrixType::sparse(c.batch, c.features, c.input_sparsity),
+            c.input_format,
+            Some("X"),
+        );
+        let y = self.g.add_source_named(
+            MatrixType::dense(c.batch, c.labels),
+            PhysFormat::RowStrip { height: 1000 },
+            Some("Y"),
+        );
+        let dims = [(c.features, c.hidden), (c.hidden, c.hidden), (c.hidden, c.labels)];
+        let mut weights = Vec::new();
+        let mut biases = Vec::new();
+        for (i, (r, cc)) in dims.iter().enumerate() {
+            let fmt = if i == 0 { c.w1_format } else { c.w_format };
+            weights.push(self.g.add_source_named(
+                MatrixType::dense(*r, *cc),
+                fmt,
+                Some(&format!("W{}", i + 1)),
+            ));
+            biases.push(self.g.add_source_named(
+                MatrixType::dense(1, *cc),
+                PhysFormat::SingleTuple,
+                Some(&format!("b{}", i + 1)),
+            ));
+        }
+        Ok((x, y, weights, biases))
+    }
+
+    fn forward(
+        &mut self,
+        x: NodeId,
+        weights: &[NodeId],
+        biases: &[NodeId],
+    ) -> Result<ForwardPass, TypeError> {
+        let mut a = x;
+        let mut zs = Vec::new();
+        let mut activations = Vec::new();
+        let n = weights.len();
+        for i in 0..n {
+            let zz = self.g.add_op(Op::MatMul, &[a, weights[i]])?;
+            let z = self.g.add_op(Op::BroadcastAddRow, &[zz, biases[i]])?;
+            zs.push(z);
+            a = if i + 1 == n {
+                self.g.add_op(Op::Softmax, &[z])?
+            } else {
+                self.g.add_op(Op::Relu, &[z])?
+            };
+            activations.push(a);
+        }
+        Ok(ForwardPass { zs, activations })
+    }
+
+    /// Backpropagation through `down_to_layer..n` (0 = all the way to
+    /// W1). Returns the updated weights/biases for the covered layers,
+    /// most-shallow first.
+    #[allow(clippy::too_many_arguments)]
+    fn backprop(
+        &mut self,
+        x: NodeId,
+        y: NodeId,
+        weights: &[NodeId],
+        biases: &[NodeId],
+        fwd: &ForwardPass,
+        down_to_layer: usize,
+    ) -> Result<(Vec<NodeId>, Vec<NodeId>), TypeError> {
+        let c = self.cfg;
+        let n = weights.len();
+        let out = *fwd.activations.last().expect("forward ran");
+        let diff = self.g.add_op(Op::Sub, &[out, y])?;
+        let mut dz = self
+            .g
+            .add_op(Op::ScalarMul(1.0 / c.batch as f64), &[diff])?;
+        let mut new_w = vec![None; n];
+        let mut new_b = vec![None; n];
+        for i in (down_to_layer..n).rev() {
+            // Gradient of the weights: A_{i-1}ᵀ · dZ_i.
+            let prev_a = if i == 0 { x } else { fwd.activations[i - 1] };
+            let prev_a_t = self.g.add_op(Op::Transpose, &[prev_a])?;
+            let dw = self.g.add_op(Op::MatMul, &[prev_a_t, dz])?;
+            let db = self.g.add_op(Op::ColSums, &[dz])?;
+            // Updates.
+            let scaled_dw = self.g.add_op(Op::ScalarMul(c.learning_rate), &[dw])?;
+            new_w[i] = Some(self.g.add_op_named(
+                Op::Sub,
+                &[weights[i], scaled_dw],
+                Some(&format!("W{}'", i + 1)),
+            )?);
+            let scaled_db = self.g.add_op(Op::ScalarMul(c.learning_rate), &[db])?;
+            new_b[i] = Some(self.g.add_op(Op::Sub, &[biases[i], scaled_db])?);
+            // Propagate to the previous layer.
+            if i > down_to_layer {
+                let w_t = self.g.add_op(Op::Transpose, &[weights[i]])?;
+                let da = self.g.add_op(Op::MatMul, &[dz, w_t])?;
+                let grad = self.g.add_op(Op::ReluGrad, &[fwd.zs[i - 1]])?;
+                dz = self.g.add_op(Op::Hadamard, &[da, grad])?;
+            }
+        }
+        Ok((
+            new_w.into_iter().flatten().collect(),
+            new_b.into_iter().flatten().collect(),
+        ))
+    }
+}
+
+/// Experiment 1 (§8.2, Figure 5): one forward pass, one full
+/// backpropagation, and a second forward pass with the updated
+/// parameters; the result is the output-layer activations of the second
+/// pass. Produces the paper's 57-vertex compute graph.
+///
+/// # Errors
+/// Propagates [`TypeError`] on inconsistent configurations.
+pub fn ffnn_full_pass_graph(cfg: FfnnConfig) -> Result<FfnnGraph, TypeError> {
+    let mut b = Builder::new(cfg);
+    let (x, y, weights, biases) = b.sources()?;
+    let fwd = b.forward(x, &weights, &biases)?;
+    let (new_w, new_b) = b.backprop(x, y, &weights, &biases, &fwd, 0)?;
+    let second = b.forward(x, &new_w, &new_b)?;
+    Ok(FfnnGraph {
+        graph: b.g,
+        x,
+        y,
+        weights,
+        updated_weights: new_w,
+        output_activations: *second.activations.last().expect("nonempty"),
+    })
+}
+
+/// Experiments 2–4 (§8.2, Figures 6–8): a forward pass plus the
+/// backpropagation needed to update the second hidden layer's weight
+/// matrix `W2`.
+///
+/// # Errors
+/// Propagates [`TypeError`] on inconsistent configurations.
+pub fn ffnn_w2_update_graph(cfg: FfnnConfig) -> Result<FfnnGraph, TypeError> {
+    let mut b = Builder::new(cfg);
+    let (x, y, weights, biases) = b.sources()?;
+    let fwd = b.forward(x, &weights, &biases)?;
+    // Backprop down to layer index 1 (W2).
+    let (new_w, _) = b.backprop(x, y, &weights, &biases, &fwd, 1)?;
+    Ok(FfnnGraph {
+        graph: b.g,
+        x,
+        y,
+        weights,
+        updated_weights: new_w,
+        output_activations: *fwd.activations.last().expect("nonempty"),
+    })
+}
+
+/// §8.3 (Figures 11–12): one forward pass plus one full
+/// backpropagation — one training step on the AmazonCat-style batch.
+///
+/// # Errors
+/// Propagates [`TypeError`] on inconsistent configurations.
+pub fn ffnn_train_step_graph(cfg: FfnnConfig) -> Result<FfnnGraph, TypeError> {
+    let mut b = Builder::new(cfg);
+    let (x, y, weights, biases) = b.sources()?;
+    let fwd = b.forward(x, &weights, &biases)?;
+    let (new_w, _) = b.backprop(x, y, &weights, &biases, &fwd, 0)?;
+    Ok(FfnnGraph {
+        graph: b.g,
+        x,
+        y,
+        weights,
+        updated_weights: new_w,
+        output_activations: *fwd.activations.last().expect("nonempty"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_one_graph_has_57_vertices() {
+        // "This results in a very large compute graph, with 57
+        // vertices" (§8.2, Experiment 1).
+        let g = ffnn_full_pass_graph(FfnnConfig::simsql_experiment(80_000)).unwrap();
+        assert_eq!(g.graph.len(), 57);
+    }
+
+    #[test]
+    fn graphs_type_check_and_share_structure() {
+        let g = ffnn_w2_update_graph(FfnnConfig::simsql_experiment(10_000)).unwrap();
+        assert!(!g.graph.is_tree_shaped(), "backprop reuses activations");
+        assert_eq!(g.updated_weights.len(), 2); // W2' and W3'
+        let out = g.graph.node(g.output_activations).mtype;
+        assert_eq!((out.rows, out.cols), (10_000, 17));
+    }
+
+    #[test]
+    fn train_step_updates_every_weight() {
+        let g = ffnn_train_step_graph(FfnnConfig::amazoncat(1000, 4000, true)).unwrap();
+        assert_eq!(g.updated_weights.len(), 3);
+        let w1p = g.graph.node(g.updated_weights[0]).mtype;
+        assert_eq!((w1p.rows, w1p.cols), (597_540, 4000));
+    }
+
+    #[test]
+    fn amazoncat_input_is_sparse() {
+        let cfg = FfnnConfig::amazoncat(10_000, 5000, true);
+        let g = ffnn_train_step_graph(cfg).unwrap();
+        let x = g.graph.node(g.x).mtype;
+        assert!(x.sparsity < 1e-3);
+        assert_eq!(g.graph.node(g.x).source_format(), Some(PhysFormat::CsrTile { side: 1000 }));
+    }
+
+    #[test]
+    fn updated_weights_match_original_shapes() {
+        let g = ffnn_full_pass_graph(FfnnConfig::simsql_experiment(40_000)).unwrap();
+        for (w, wp) in g.weights.iter().zip(g.updated_weights.iter()) {
+            assert_eq!(g.graph.node(*w).mtype.rows, g.graph.node(*wp).mtype.rows);
+            assert_eq!(g.graph.node(*w).mtype.cols, g.graph.node(*wp).mtype.cols);
+        }
+    }
+}

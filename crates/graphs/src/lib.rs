@@ -1,0 +1,41 @@
+//! # matopt-graphs
+//!
+//! Compute-graph builders for every workload in the paper's evaluation
+//! (§8):
+//!
+//! * [`ffnn`] — feed-forward neural network forward/backprop graphs
+//!   (Experiments 1–4, Figures 5–8, and the AmazonCat-14K system
+//!   comparisons of Figures 11–12);
+//! * [`inverse`] — the two-level block-wise matrix inverse (Figure 9),
+//!   including generic block-matrix algebra over compute graphs;
+//! * [`chain`] — the six-matrix multiplication chain (Figures 4 and
+//!   10) and the §2.1 motivating example (Figure 1);
+//! * [`scaled`] — the scale-`n` Tree / DAG1 / DAG2 computations used to
+//!   benchmark the optimizers themselves (Figure 13).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod chain;
+pub mod expr;
+pub mod ffnn;
+pub mod inverse;
+pub mod ml;
+pub mod scaled;
+
+pub use expr::{Expr, ExprBuilder};
+pub use chain::{
+    default_source_format, matmul_chain_graph, motivating_graph, ChainGraph, MotivatingGraph,
+    SizeSet,
+};
+pub use ffnn::{
+    ffnn_full_pass_graph, ffnn_train_step_graph, ffnn_w2_update_graph, FfnnConfig, FfnnGraph,
+};
+pub use inverse::{
+    badd, block_inverse, bmm, bneg, bsub, two_level_inverse_graph, BlockMat, TwoLevelInverse,
+};
+pub use ml::{
+    linear_regression_step, logistic_regression_step, pagerank_graph, PageRankGraph,
+    RegressionConfig, RegressionGraph,
+};
+pub use scaled::{scaled_graph, ScaledShape, SCALED_DIM};

@@ -1,0 +1,248 @@
+//! Further ML workload builders beyond the paper's evaluation: gradient
+//! steps for linear and logistic regression, and a PageRank-style
+//! sparse power iteration. These exercise corners of the operator set
+//! the FFNN does not (sigmoid, repeated sparse×dense chains) and give
+//! downstream users ready-made graphs.
+
+use matopt_core::{ComputeGraph, MatrixType, NodeId, Op, PhysFormat, TypeError};
+
+/// Configuration shared by the regression workloads.
+#[derive(Debug, Clone, Copy)]
+pub struct RegressionConfig {
+    /// Number of training rows.
+    pub rows: u64,
+    /// Number of features.
+    pub features: u64,
+    /// Density of the design matrix (1.0 = dense).
+    pub input_sparsity: f64,
+    /// Gradient-descent step size.
+    pub learning_rate: f64,
+    /// Storage of the design matrix.
+    pub x_format: PhysFormat,
+}
+
+impl RegressionConfig {
+    /// A paper-scale dense configuration (10⁴ × 6·10⁴, like the FFNN
+    /// inputs).
+    pub fn dense_large() -> Self {
+        RegressionConfig {
+            rows: 10_000,
+            features: 60_000,
+            input_sparsity: 1.0,
+            learning_rate: 0.01,
+            x_format: PhysFormat::RowStrip { height: 1000 },
+        }
+    }
+
+    /// A sparse, AmazonCat-like configuration.
+    pub fn sparse_large() -> Self {
+        RegressionConfig {
+            rows: 10_000,
+            features: 597_540,
+            input_sparsity: 4.2e-4,
+            learning_rate: 0.01,
+            x_format: PhysFormat::CsrTile { side: 1000 },
+        }
+    }
+}
+
+/// Handles to a regression gradient-step graph.
+#[derive(Debug, Clone)]
+pub struct RegressionGraph {
+    /// The compute graph.
+    pub graph: ComputeGraph,
+    /// Design matrix X.
+    pub x: NodeId,
+    /// Targets y.
+    pub y: NodeId,
+    /// Parameter vector w.
+    pub w: NodeId,
+    /// Updated parameter vector w'.
+    pub updated_w: NodeId,
+}
+
+/// One gradient-descent step of least-squares linear regression:
+///
+/// ```text
+/// w' = w − η · (2/n) · Xᵀ (X·w − y)
+/// ```
+///
+/// # Errors
+/// Propagates [`TypeError`].
+pub fn linear_regression_step(cfg: RegressionConfig) -> Result<RegressionGraph, TypeError> {
+    let mut g = ComputeGraph::new();
+    let x = g.add_source_named(
+        MatrixType::sparse(cfg.rows, cfg.features, cfg.input_sparsity),
+        cfg.x_format,
+        Some("X"),
+    );
+    let y = g.add_source_named(
+        MatrixType::dense(cfg.rows, 1),
+        PhysFormat::SingleTuple,
+        Some("y"),
+    );
+    let w = g.add_source_named(
+        MatrixType::dense(cfg.features, 1),
+        PhysFormat::SingleTuple,
+        Some("w"),
+    );
+    let pred = g.add_op_named(Op::MatMul, &[x, w], Some("Xw"))?;
+    let resid = g.add_op_named(Op::Sub, &[pred, y], Some("resid"))?;
+    let xt = g.add_op(Op::Transpose, &[x])?;
+    let grad = g.add_op_named(Op::MatMul, &[xt, resid], Some("grad"))?;
+    let scaled = g.add_op(
+        Op::ScalarMul(2.0 * cfg.learning_rate / cfg.rows as f64),
+        &[grad],
+    )?;
+    let updated_w = g.add_op_named(Op::Sub, &[w, scaled], Some("w'"))?;
+    Ok(RegressionGraph {
+        graph: g,
+        x,
+        y,
+        w,
+        updated_w,
+    })
+}
+
+/// One gradient-descent step of logistic regression:
+///
+/// ```text
+/// w' = w − (η/n) · Xᵀ (σ(X·w) − y)
+/// ```
+///
+/// # Errors
+/// Propagates [`TypeError`].
+pub fn logistic_regression_step(cfg: RegressionConfig) -> Result<RegressionGraph, TypeError> {
+    let mut g = ComputeGraph::new();
+    let x = g.add_source_named(
+        MatrixType::sparse(cfg.rows, cfg.features, cfg.input_sparsity),
+        cfg.x_format,
+        Some("X"),
+    );
+    let y = g.add_source_named(
+        MatrixType::dense(cfg.rows, 1),
+        PhysFormat::SingleTuple,
+        Some("y"),
+    );
+    let w = g.add_source_named(
+        MatrixType::dense(cfg.features, 1),
+        PhysFormat::SingleTuple,
+        Some("w"),
+    );
+    let logits = g.add_op_named(Op::MatMul, &[x, w], Some("Xw"))?;
+    let probs = g.add_op_named(Op::Sigmoid, &[logits], Some("sigma"))?;
+    let resid = g.add_op(Op::Sub, &[probs, y])?;
+    let xt = g.add_op(Op::Transpose, &[x])?;
+    let grad = g.add_op_named(Op::MatMul, &[xt, resid], Some("grad"))?;
+    let scaled = g.add_op(Op::ScalarMul(cfg.learning_rate / cfg.rows as f64), &[grad])?;
+    let updated_w = g.add_op_named(Op::Sub, &[w, scaled], Some("w'"))?;
+    Ok(RegressionGraph {
+        graph: g,
+        x,
+        y,
+        w,
+        updated_w,
+    })
+}
+
+/// Handles to a PageRank power-iteration graph.
+#[derive(Debug, Clone)]
+pub struct PageRankGraph {
+    /// The compute graph.
+    pub graph: ComputeGraph,
+    /// The (column-stochastic) transition matrix, stored sparse.
+    pub transition: NodeId,
+    /// The initial rank vector.
+    pub rank0: NodeId,
+    /// The rank vector after the final iteration.
+    pub final_rank: NodeId,
+}
+
+/// `iterations` rounds of the damped power iteration
+///
+/// ```text
+/// r ← α · P · r + (1 − α) · u
+/// ```
+///
+/// over an `n × n` transition matrix of the given density — a chain of
+/// sparse matrix–vector products, the workload where the relational
+/// triple/CSR layouts shine.
+///
+/// # Errors
+/// Propagates [`TypeError`].
+pub fn pagerank_graph(
+    n: u64,
+    density: f64,
+    alpha: f64,
+    iterations: usize,
+) -> Result<PageRankGraph, TypeError> {
+    assert!(iterations >= 1, "at least one iteration");
+    let mut g = ComputeGraph::new();
+    let transition = g.add_source_named(
+        MatrixType::sparse(n, n, density),
+        PhysFormat::CsrTile { side: 1000 },
+        Some("P"),
+    );
+    let rank0 = g.add_source_named(
+        MatrixType::dense(n, 1),
+        PhysFormat::SingleTuple,
+        Some("r0"),
+    );
+    let teleport = g.add_source_named(
+        MatrixType::dense(n, 1),
+        PhysFormat::SingleTuple,
+        Some("u"),
+    );
+    let mut r = rank0;
+    for i in 0..iterations {
+        let pr = g.add_op_named(Op::MatMul, &[transition, r], Some(&format!("P·r{i}")))?;
+        let damped = g.add_op(Op::ScalarMul(alpha), &[pr])?;
+        let tele = g.add_op(Op::ScalarMul(1.0 - alpha), &[teleport])?;
+        r = g.add_op_named(Op::Add, &[damped, tele], Some(&format!("r{}", i + 1)))?;
+    }
+    Ok(PageRankGraph {
+        graph: g,
+        transition,
+        rank0,
+        final_rank: r,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regression_graphs_type_check() {
+        for cfg in [RegressionConfig::dense_large(), RegressionConfig::sparse_large()] {
+            let lin = linear_regression_step(cfg).unwrap();
+            let w = lin.graph.node(lin.updated_w).mtype;
+            assert_eq!((w.rows, w.cols), (cfg.features, 1));
+            let log = logistic_regression_step(cfg).unwrap();
+            assert_eq!(log.graph.node(log.updated_w).mtype.rows, cfg.features);
+            // X feeds both the forward product and the transposed
+            // gradient: a shared-vertex DAG.
+            assert!(!lin.graph.is_tree_shaped());
+        }
+    }
+
+    #[test]
+    fn pagerank_iterations_chain() {
+        let p = pagerank_graph(1_000_000, 1e-5, 0.85, 3).unwrap();
+        // 4 vertices per iteration.
+        assert_eq!(p.graph.compute_count(), 12);
+        let r = p.graph.node(p.final_rank).mtype;
+        assert_eq!((r.rows, r.cols), (1_000_000, 1));
+        // The transition matrix is reused by every iteration.
+        assert_eq!(
+            p.graph.consumers()[p.transition.index()].len(),
+            3
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn pagerank_rejects_zero_iterations() {
+        let _ = pagerank_graph(100, 0.1, 0.85, 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! The scale-`n` optimizer-runtime benchmarks of §8.4 (Figure 13):
+//! Tree, DAG1, and DAG2 multiplication chains over 20K×20K single-tuple
+//! inputs.
+
+use matopt_core::{ComputeGraph, MatrixType, NodeId, Op, PhysFormat, TypeError};
+
+/// Which of the three §8.4 computation shapes to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaledShape {
+    /// `T1 = A×B; T2 = C×D; O1 = (T1×T2)×E; O2 = O1×F`, linked between
+    /// scales by `A ← O2`. Every vertex has one consumer.
+    Tree,
+    /// `T1 = A×B; T2 = C×D; O1 = (T1×T2)×E; O2 = (T1×T2)×O1`, linked by
+    /// `A ← O2` — one cross-scale link, with the shared `T1×T2`.
+    Dag1,
+    /// As DAG1, but linked by both `A ← O2` and `C ← O1` — two
+    /// cross-scale links, "creating a more complicated dependency".
+    Dag2,
+}
+
+/// Edge length of every input matrix (the paper uses 20,000).
+pub const SCALED_DIM: u64 = 20_000;
+
+fn mt() -> MatrixType {
+    MatrixType::dense(SCALED_DIM, SCALED_DIM)
+}
+
+/// Builds a scale-`n` computation of the given shape. Inputs are
+/// 20K×20K matrices stored as single tuples (§8.4).
+///
+/// # Errors
+/// Propagates [`TypeError`] (cannot occur for these square chains).
+pub fn scaled_graph(shape: ScaledShape, scale: usize) -> Result<ComputeGraph, TypeError> {
+    assert!(scale >= 1, "scale starts at 1");
+    let mut g = ComputeGraph::new();
+    let src =
+        |g: &mut ComputeGraph, name: String| g.add_source_named(mt(), PhysFormat::SingleTuple, Some(&name));
+
+    // Handles carried between scales.
+    let mut prev_o1: Option<NodeId> = None;
+    let mut prev_o2: Option<NodeId> = None;
+    for s in 0..scale {
+        let a = match prev_o2 {
+            Some(o2) => o2,
+            None => src(&mut g, format!("A{s}")),
+        };
+        let c = match (shape, prev_o1) {
+            (ScaledShape::Dag2, Some(o1)) => o1,
+            _ => src(&mut g, format!("C{s}")),
+        };
+        let b = src(&mut g, format!("B{s}"));
+        let d = src(&mut g, format!("D{s}"));
+        let e = src(&mut g, format!("E{s}"));
+        let t1 = g.add_op(Op::MatMul, &[a, b])?;
+        let t2 = g.add_op(Op::MatMul, &[c, d])?;
+        let (o1, o2) = match shape {
+            ScaledShape::Tree => {
+                let t1t2 = g.add_op(Op::MatMul, &[t1, t2])?;
+                let o1 = g.add_op(Op::MatMul, &[t1t2, e])?;
+                let f = src(&mut g, format!("F{s}"));
+                let o2 = g.add_op(Op::MatMul, &[o1, f])?;
+                (o1, o2)
+            }
+            ScaledShape::Dag1 | ScaledShape::Dag2 => {
+                let t1t2 = g.add_op(Op::MatMul, &[t1, t2])?;
+                let o1 = g.add_op(Op::MatMul, &[t1t2, e])?;
+                let o2 = g.add_op(Op::MatMul, &[t1t2, o1])?;
+                (o1, o2)
+            }
+        };
+        prev_o1 = Some(o1);
+        prev_o2 = Some(o2);
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_is_tree_shaped_at_every_scale() {
+        for scale in 1..=4 {
+            let g = scaled_graph(ScaledShape::Tree, scale).unwrap();
+            assert!(g.is_tree_shaped(), "scale {scale}");
+        }
+    }
+
+    #[test]
+    fn dags_are_not_tree_shaped() {
+        assert!(!scaled_graph(ScaledShape::Dag1, 1).unwrap().is_tree_shaped());
+        assert!(!scaled_graph(ScaledShape::Dag2, 2).unwrap().is_tree_shaped());
+    }
+
+    #[test]
+    fn dag2_reuses_o1_across_scales() {
+        let g1 = scaled_graph(ScaledShape::Dag2, 2).unwrap();
+        let g2 = scaled_graph(ScaledShape::Dag1, 2).unwrap();
+        // DAG2 replaces the C source of the second scale, so it has one
+        // fewer source than DAG1 at the same scale.
+        assert_eq!(g1.sources().len() + 1, g2.sources().len());
+    }
+
+    #[test]
+    fn scaling_adds_vertices_linearly() {
+        let v1 = scaled_graph(ScaledShape::Dag2, 1).unwrap().len();
+        let v2 = scaled_graph(ScaledShape::Dag2, 2).unwrap().len();
+        let v3 = scaled_graph(ScaledShape::Dag2, 3).unwrap().len();
+        assert_eq!(v3 - v2, v2 - v1);
+    }
+
+    #[test]
+    fn single_sink_at_every_scale() {
+        for shape in [ScaledShape::Tree, ScaledShape::Dag1, ScaledShape::Dag2] {
+            // DAG chains leave O1 of the last scale consumed only by O2
+            // ... except in Tree/DAG1 where prev O1 is unused by later
+            // scales; count sinks accordingly.
+            let g = scaled_graph(shape, 3).unwrap();
+            assert!(!g.sinks().is_empty());
+        }
+    }
+}

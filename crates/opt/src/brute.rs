@@ -1,0 +1,170 @@
+//! Algorithm 2: exhaustive, branch-and-bound plan enumeration.
+//!
+//! The brute-force optimizer walks the compute vertices in topological
+//! order and tries every `(implementation, input-format combination)`
+//! for each, pruning a branch as soon as its partial cost reaches the
+//! best complete plan found so far (the `lo` bound of Algorithm 2). It
+//! is exact but exponential — §8.4 shows it failing beyond the smallest
+//! graphs, which [`brute_force`]'s time budget reproduces.
+
+use crate::common::{
+    producible_formats, transform_cost, vertex_options, OptContext, OptError, Optimized,
+    VertexOption,
+};
+use matopt_core::{Annotation, ComputeGraph, NodeId, NodeKind, PhysFormat, Transform, VertexChoice};
+use std::time::{Duration, Instant};
+
+/// Runs Algorithm 2 with an optional wall-clock budget.
+///
+/// # Errors
+/// * [`OptError::Timeout`] when the budget elapses before the search
+///   completes;
+/// * [`OptError::NoFeasiblePlan`] when no type-correct annotation
+///   exists.
+pub fn brute_force(
+    graph: &ComputeGraph,
+    octx: &OptContext<'_>,
+    budget: Option<Duration>,
+) -> Result<Optimized, OptError> {
+    // Pre-compute the option lists bottom-up, feeding each vertex the
+    // formats its producers can emit.
+    let mut producible: Vec<Vec<PhysFormat>> = vec![Vec::new(); graph.len()];
+    let mut option_lists: Vec<Vec<VertexOption>> = vec![Vec::new(); graph.len()];
+    let mut compute_order: Vec<NodeId> = Vec::new();
+    for (id, node) in graph.iter() {
+        match &node.kind {
+            NodeKind::Source { format } => producible[id.index()] = vec![*format],
+            NodeKind::Compute { .. } => {
+                let extra: Vec<Vec<PhysFormat>> = node
+                    .inputs
+                    .iter()
+                    .map(|i| producible[i.index()].clone())
+                    .collect();
+                let options =
+                    vertex_options(graph, id, octx.catalog, octx.plan, octx.model, &extra);
+                if options.is_empty() {
+                    return Err(OptError::NoFeasiblePlan(id));
+                }
+                producible[id.index()] = producible_formats(&options);
+                option_lists[id.index()] = options;
+                compute_order.push(id);
+            }
+        }
+    }
+
+    let mut search = Search {
+        graph,
+        octx,
+        option_lists: &option_lists,
+        compute_order: &compute_order,
+        formats: graph
+            .iter()
+            .map(|(_, n)| n.source_format())
+            .collect(),
+        partial: vec![None; graph.len()],
+        best_cost: f64::INFINITY,
+        best: None,
+        deadline: budget.map(|b| Instant::now() + b),
+        ticks: 0,
+    };
+    search.recurse(0, 0.0)?;
+    let annotation = search.best.ok_or(OptError::NoFeasiblePlan(
+        *compute_order.last().expect("at least one compute vertex"),
+    ))?;
+    Ok(Optimized {
+        annotation,
+        cost: search.best_cost,
+    })
+}
+
+struct Search<'a> {
+    graph: &'a ComputeGraph,
+    octx: &'a OptContext<'a>,
+    option_lists: &'a [Vec<VertexOption>],
+    compute_order: &'a [NodeId],
+    /// Output format assigned to each vertex so far (sources fixed).
+    formats: Vec<Option<PhysFormat>>,
+    /// Chosen (option index, edge transforms) per compute vertex.
+    partial: Vec<Option<(usize, Vec<Transform>)>>,
+    best_cost: f64,
+    best: Option<Annotation>,
+    deadline: Option<Instant>,
+    ticks: u32,
+}
+
+impl Search<'_> {
+    fn recurse(&mut self, depth: usize, cost_so_far: f64) -> Result<(), OptError> {
+        // Check the wall-clock budget occasionally, not on every call.
+        self.ticks = self.ticks.wrapping_add(1);
+        if self.ticks.is_multiple_of(1024) {
+            if let Some(d) = self.deadline {
+                if Instant::now() > d {
+                    return Err(OptError::Timeout);
+                }
+            }
+        }
+        if depth == self.compute_order.len() {
+            if cost_so_far < self.best_cost {
+                self.best_cost = cost_so_far;
+                self.best = Some(self.materialize());
+            }
+            return Ok(());
+        }
+        let v = self.compute_order[depth];
+        let node = self.graph.node(v);
+        for oi in 0..self.option_lists[v.index()].len() {
+            let opt = &self.option_lists[v.index()][oi];
+            // Incremental cost: the implementation plus the edge
+            // transformations from the already-fixed producer formats.
+            let mut inc = opt.impl_cost;
+            let mut transforms = Vec::with_capacity(node.inputs.len());
+            let mut ok = true;
+            for (j, input) in node.inputs.iter().enumerate() {
+                let from = self.formats[input.index()].expect("topological order");
+                let m = self.graph.node(*input).mtype;
+                match transform_cost(&m, from, opt.pin[j], self.octx.plan, self.octx.model) {
+                    Some((t, c)) => {
+                        inc += c;
+                        transforms.push(t);
+                    }
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            let cost = cost_so_far + inc;
+            // The `lo` pruning of Algorithm 2.
+            if cost >= self.best_cost {
+                continue;
+            }
+            let out = opt.out_format;
+            self.formats[v.index()] = Some(out);
+            self.partial[v.index()] = Some((oi, transforms));
+            self.recurse(depth + 1, cost)?;
+            self.formats[v.index()] = None;
+            self.partial[v.index()] = None;
+        }
+        Ok(())
+    }
+
+    fn materialize(&self) -> Annotation {
+        let mut ann = Annotation::empty(self.graph);
+        for v in self.compute_order {
+            let (oi, transforms) = self.partial[v.index()].as_ref().expect("complete");
+            let opt = &self.option_lists[v.index()][*oi];
+            ann.set(
+                *v,
+                VertexChoice {
+                    impl_id: opt.impl_id,
+                    input_transforms: transforms.clone(),
+                    output_format: opt.out_format,
+                },
+            );
+        }
+        ann
+    }
+}

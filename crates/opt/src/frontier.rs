@@ -1,0 +1,411 @@
+//! Algorithm 4: the frontier-based dynamic program for general DAGs
+//! (§6).
+//!
+//! The frontier cuts the graph into an optimized and an unoptimized
+//! portion. Vertices along the frontier that share an ancestor cannot
+//! be optimized independently (they must share the sub-computation), so
+//! the algorithm maintains *joint* cost tables `F(V, p)` over
+//! equivalence classes `V` of frontier vertices, keyed by one physical
+//! format per vertex in the class (§6.1). Moving a vertex across the
+//! frontier merges the classes of its producers, applies the
+//! Equation (2) recurrence, and marginalizes out vertices with no
+//! remaining consumers.
+//!
+//! ## Implementation notes
+//!
+//! The naive recurrence enumerates `entries × implementations ×
+//! format-combinations` per vertex. Two refinements keep this
+//! tractable without changing the optimum:
+//!
+//! * **Arrival maps** — for a fixed vector of producer formats, the
+//!   best `(transformations, implementation)` choice per output format
+//!   is independent of the rest of the joint key, so it is computed
+//!   once per distinct producer-format vector and reused across all
+//!   joint entries sharing it.
+//! * **Beam cap** — joint tables grow as `|P|^c` in the class size `c`
+//!   (§6.3). [`frontier_dp`] is exact; [`frontier_dp_beam`] keeps only
+//!   the `beam` cheapest joint states per table, which is exact
+//!   whenever tables stay under the cap and a principled approximation
+//!   beyond it (deep back-propagation graphs like the paper's 57-vertex
+//!   FFNN legitimately exceed exact tractability — the test-suite
+//!   checks beam plans against brute force on small DAGs).
+
+use crate::common::{transform_cost, vertex_options, OptContext, OptError, Optimized};
+use matopt_core::{
+    Annotation, ComputeGraph, ImplId, NodeId, NodeKind, PhysFormat, Transform, VertexChoice,
+};
+use std::collections::HashMap;
+
+/// Index into the trace arena.
+type TraceId = usize;
+
+/// How an entry was produced, for plan reconstruction.
+#[derive(Debug, Clone)]
+enum TraceStep {
+    /// A source vertex: nothing to annotate.
+    Source,
+    /// A compute vertex was moved across the frontier.
+    Compute {
+        vertex: NodeId,
+        impl_id: ImplId,
+        transforms: Vec<Transform>,
+        output_format: PhysFormat,
+        /// The trace of the chosen entry of each merged parent table.
+        parents: Vec<TraceId>,
+    },
+}
+
+/// A joint cost table for one equivalence class along the frontier.
+#[derive(Debug, Clone)]
+struct ClassTable {
+    /// The class members; key vectors align with this ordering.
+    verts: Vec<NodeId>,
+    /// `F(V, p)` with back-traces.
+    entries: HashMap<Vec<PhysFormat>, (f64, TraceId)>,
+}
+
+/// The cheapest way to produce each output format of `v` given a fixed
+/// vector of producer formats.
+type ArrivalMap = HashMap<PhysFormat, (f64, usize, Vec<Transform>)>;
+
+/// Memoized per-edge transformation lookups keyed by
+/// `(input index, from, to)`.
+type TransformCache = HashMap<(usize, PhysFormat, PhysFormat), Option<(Transform, f64)>>;
+
+/// A borrowed view of a class table's entries, used for the cross
+/// product over merged tables.
+type EntryRef<'a> = (&'a Vec<PhysFormat>, &'a (f64, TraceId));
+
+/// Runs Algorithm 4 exactly (no beam cap).
+///
+/// ```
+/// use matopt_core::*;
+/// use matopt_cost::AnalyticalCostModel;
+/// use matopt_opt::{frontier_dp, OptContext};
+///
+/// let mut g = ComputeGraph::new();
+/// let a = g.add_source(MatrixType::dense(100, 10_000), PhysFormat::RowStrip { height: 10 });
+/// let b = g.add_source(MatrixType::dense(10_000, 100), PhysFormat::ColStrip { width: 10 });
+/// let ab = g.add_op(Op::MatMul, &[a, b]).unwrap();
+///
+/// let registry = ImplRegistry::paper_default();
+/// let catalog = FormatCatalog::paper_default();
+/// let ctx = PlanContext::new(&registry, Cluster::simsql_like(5));
+/// let model = AnalyticalCostModel;
+/// let plan = frontier_dp(&g, &OptContext::new(&ctx, &catalog, &model)).unwrap();
+/// assert!(plan.annotation.choice(ab).is_some());
+/// assert!(validate(&g, &plan.annotation, &ctx).is_ok());
+/// ```
+///
+/// # Errors
+/// [`OptError::NoFeasiblePlan`] when some vertex admits no type-correct
+/// implementation on this cluster.
+pub fn frontier_dp(graph: &ComputeGraph, octx: &OptContext<'_>) -> Result<Optimized, OptError> {
+    frontier_dp_inner(graph, octx, usize::MAX)
+}
+
+/// Runs Algorithm 4 with joint tables capped at `beam` entries
+/// (cheapest kept). Exact whenever no table exceeds the cap.
+///
+/// # Errors
+/// [`OptError::NoFeasiblePlan`] when some vertex admits no type-correct
+/// implementation on this cluster.
+pub fn frontier_dp_beam(
+    graph: &ComputeGraph,
+    octx: &OptContext<'_>,
+    beam: usize,
+) -> Result<Optimized, OptError> {
+    frontier_dp_inner(graph, octx, beam.max(1))
+}
+
+fn frontier_dp_inner(
+    graph: &ComputeGraph,
+    octx: &OptContext<'_>,
+    beam: usize,
+) -> Result<Optimized, OptError> {
+    let consumers = graph.consumers();
+    let mut visited = vec![false; graph.len()];
+    let mut traces: Vec<TraceStep> = Vec::new();
+    // Live tables; `None` marks consumed (merged) slots.
+    let mut front: Vec<Option<ClassTable>> = Vec::new();
+    // Where each frontier vertex currently lives.
+    let mut table_of: Vec<usize> = vec![usize::MAX; graph.len()];
+
+    for (id, node) in graph.iter() {
+        match &node.kind {
+            NodeKind::Source { format } => {
+                // Lines 2–7: sources are already optimized.
+                visited[id.index()] = true;
+                traces.push(TraceStep::Source);
+                let trace = traces.len() - 1;
+                let mut entries = HashMap::new();
+                entries.insert(vec![*format], (0.0, trace));
+                table_of[id.index()] = front.len();
+                front.push(Some(ClassTable {
+                    verts: vec![id],
+                    entries,
+                }));
+            }
+            NodeKind::Compute { .. } => {
+                process_vertex(
+                    graph,
+                    octx,
+                    id,
+                    &consumers,
+                    &mut visited,
+                    &mut front,
+                    &mut table_of,
+                    &mut traces,
+                    beam,
+                )?;
+            }
+        }
+    }
+
+    // Every vertex is optimized; sum the minima of the surviving tables
+    // and walk the traces back into an annotation.
+    let mut annotation = Annotation::empty(graph);
+    let mut total = 0.0;
+    for table in front.iter().flatten() {
+        let (_, (cost, trace)) = table
+            .entries
+            .iter()
+            .min_by(|a, b| a.1 .0.total_cmp(&b.1 .0))
+            .expect("non-empty table");
+        total += cost;
+        let mut stack = vec![*trace];
+        while let Some(t) = stack.pop() {
+            match &traces[t] {
+                TraceStep::Source => {}
+                TraceStep::Compute {
+                    vertex,
+                    impl_id,
+                    transforms,
+                    output_format,
+                    parents,
+                } => {
+                    annotation.set(
+                        *vertex,
+                        VertexChoice {
+                            impl_id: *impl_id,
+                            input_transforms: transforms.clone(),
+                            output_format: *output_format,
+                        },
+                    );
+                    stack.extend(parents.iter().copied());
+                }
+            }
+        }
+    }
+    Ok(Optimized {
+        annotation,
+        cost: total,
+    })
+}
+
+/// Moves `v` from the unoptimized to the optimized portion (lines 8–17
+/// of Algorithm 4), merging the parent classes and applying the
+/// Equation (2) recurrence.
+#[allow(clippy::too_many_arguments)]
+fn process_vertex(
+    graph: &ComputeGraph,
+    octx: &OptContext<'_>,
+    v: NodeId,
+    consumers: &[Vec<NodeId>],
+    visited: &mut [bool],
+    front: &mut Vec<Option<ClassTable>>,
+    table_of: &mut [usize],
+    traces: &mut Vec<TraceStep>,
+    beam: usize,
+) -> Result<(), OptError> {
+    let node = graph.node(v);
+    visited[v.index()] = true;
+
+    // Line 10: the classes V_F_1, V_F_2, ... containing producers of v.
+    let mut merged_idx: Vec<usize> = Vec::new();
+    for input in &node.inputs {
+        let ti = table_of[input.index()];
+        debug_assert_ne!(ti, usize::MAX, "producer on the frontier");
+        if !merged_idx.contains(&ti) {
+            merged_idx.push(ti);
+        }
+    }
+    let merged: Vec<ClassTable> = merged_idx
+        .iter()
+        .map(|i| front[*i].take().expect("live table"))
+        .collect();
+
+    // Where each input vertex sits: (merged table index, position).
+    let locate = |u: NodeId| -> (usize, usize) {
+        for (ti, t) in merged.iter().enumerate() {
+            if let Some(pos) = t.verts.iter().position(|x| *x == u) {
+                return (ti, pos);
+            }
+        }
+        unreachable!("input must be in a merged table")
+    };
+    let input_loc: Vec<(usize, usize)> = node.inputs.iter().map(|u| locate(*u)).collect();
+
+    // Line 13: vertices that keep a role on the frontier (some consumer
+    // still unvisited). `v` itself is always retained; it is dropped by
+    // a later merge once its consumers are optimized.
+    let mut retained: Vec<(usize, usize, NodeId)> = Vec::new();
+    for (ti, t) in merged.iter().enumerate() {
+        for (pos, u) in t.verts.iter().enumerate() {
+            if consumers[u.index()].iter().any(|c| !visited[c.index()]) {
+                retained.push((ti, pos, *u));
+            }
+        }
+    }
+
+    // Enumerate the vertex's implementation options, offering every
+    // format its producers can actually emit.
+    let extra: Vec<Vec<PhysFormat>> = input_loc
+        .iter()
+        .map(|(ti, pos)| {
+            let mut fmts = Vec::new();
+            for key in merged[*ti].entries.keys() {
+                if !fmts.contains(&key[*pos]) {
+                    fmts.push(key[*pos]);
+                }
+            }
+            fmts
+        })
+        .collect();
+    let options = vertex_options(graph, v, octx.catalog, octx.plan, octx.model, &extra);
+    if options.is_empty() {
+        return Err(OptError::NoFeasiblePlan(v));
+    }
+
+    // Memoized edge-transformation costs and per-producer-format-vector
+    // arrival maps.
+    let mut tcache: TransformCache = HashMap::new();
+    let mut arrival_cache: HashMap<Vec<PhysFormat>, ArrivalMap> = HashMap::new();
+    let in_types: Vec<matopt_core::MatrixType> =
+        node.inputs.iter().map(|u| graph.node(*u).mtype).collect();
+
+    // Equation (2): cross product of one entry per merged table, with
+    // the (implementation × format) inner minimization factored into
+    // the arrival map.
+    let mut new_entries: HashMap<Vec<PhysFormat>, (f64, TraceId)> = HashMap::new();
+    let entry_lists: Vec<Vec<EntryRef<'_>>> =
+        merged.iter().map(|t| t.entries.iter().collect()).collect();
+    let mut combo = vec![0usize; merged.len()];
+    'outer: loop {
+        let picked: Vec<&EntryRef<'_>> = combo
+            .iter()
+            .zip(entry_lists.iter())
+            .map(|(i, l)| &l[*i])
+            .collect();
+        let base_cost: f64 = picked.iter().map(|(_, (c, _))| *c).sum();
+
+        // The formats this entry combination gives v's producers.
+        let pf: Vec<PhysFormat> = input_loc
+            .iter()
+            .map(|(ti, pos)| picked[*ti].0[*pos])
+            .collect();
+        let arrivals = arrival_cache.entry(pf.clone()).or_insert_with(|| {
+            build_arrival_map(&pf, &in_types, &options, octx, &mut tcache)
+        });
+        if !arrivals.is_empty() {
+            let retained_formats: Vec<PhysFormat> = retained
+                .iter()
+                .map(|(ti, pos, _)| picked[*ti].0[*pos])
+                .collect();
+            for (out, (arr_cost, opt_idx, transforms)) in arrivals.iter() {
+                let cost = base_cost + arr_cost;
+                let mut key = retained_formats.clone();
+                key.push(*out);
+                let slot = new_entries
+                    .entry(key)
+                    .or_insert((f64::INFINITY, usize::MAX));
+                if cost < slot.0 {
+                    traces.push(TraceStep::Compute {
+                        vertex: v,
+                        impl_id: options[*opt_idx].impl_id,
+                        transforms: transforms.clone(),
+                        output_format: *out,
+                        parents: picked.iter().map(|(_, (_, t))| *t).collect(),
+                    });
+                    *slot = (cost, traces.len() - 1);
+                }
+            }
+        }
+
+        for d in 0..merged.len() {
+            combo[d] += 1;
+            if combo[d] < entry_lists[d].len() {
+                continue 'outer;
+            }
+            combo[d] = 0;
+        }
+        break;
+    }
+
+    if new_entries.is_empty() {
+        return Err(OptError::NoFeasiblePlan(v));
+    }
+    // Beam: keep only the cheapest joint states when over the cap.
+    if new_entries.len() > beam {
+        let mut all: Vec<(Vec<PhysFormat>, (f64, TraceId))> = new_entries.into_iter().collect();
+        all.sort_by(|a, b| a.1 .0.total_cmp(&b.1 .0));
+        all.truncate(beam);
+        new_entries = all.into_iter().collect();
+    }
+
+    let mut verts: Vec<NodeId> = retained.iter().map(|(_, _, u)| *u).collect();
+    verts.push(v);
+    let new_idx = front.len();
+    for u in &verts {
+        table_of[u.index()] = new_idx;
+    }
+    front.push(Some(ClassTable {
+        verts,
+        entries: new_entries,
+    }));
+    Ok(())
+}
+
+/// For a fixed producer-format vector, the cheapest
+/// `(transformations + implementation)` choice per achievable output
+/// format.
+fn build_arrival_map(
+    pf: &[PhysFormat],
+    in_types: &[matopt_core::MatrixType],
+    options: &[crate::common::VertexOption],
+    octx: &OptContext<'_>,
+    tcache: &mut TransformCache,
+) -> ArrivalMap {
+    let mut map: ArrivalMap = HashMap::new();
+    for (oi, opt) in options.iter().enumerate() {
+        let mut tcost = 0.0;
+        let mut transforms = Vec::with_capacity(pf.len());
+        let mut ok = true;
+        for (j, (from, to)) in pf.iter().zip(opt.pin.iter()).enumerate() {
+            let cached = tcache
+                .entry((j, *from, *to))
+                .or_insert_with(|| transform_cost(&in_types[j], *from, *to, octx.plan, octx.model));
+            match cached {
+                Some((t, c)) => {
+                    tcost += *c;
+                    transforms.push(*t);
+                }
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            continue;
+        }
+        let total = opt.impl_cost + tcost;
+        let slot = map
+            .entry(opt.out_format)
+            .or_insert((f64::INFINITY, usize::MAX, Vec::new()));
+        if total < slot.0 {
+            *slot = (total, oi, transforms);
+        }
+    }
+    map
+}

@@ -1,0 +1,161 @@
+//! Frontier evolution tracing — the machinery behind the paper's
+//! Figure 3, which depicts "moving the frontier as vertices are moved
+//! from the un-optimized set to the optimized set" with "the set of
+//! equivalence classes along the current frontier" shaded.
+//!
+//! [`frontier_classes`] replays the frontier movement of Algorithm 4
+//! *without* the cost tables: it reports, after each vertex is
+//! optimized, the equivalence classes along the frontier. Useful for
+//! visualization and for understanding why a particular DAG is
+//! expensive to optimize (the `|P|^c` term of §6.3 grows with the class
+//! sizes reported here).
+
+use matopt_core::{ComputeGraph, NodeId, NodeKind};
+
+/// The frontier state after one vertex was moved across.
+#[derive(Debug, Clone)]
+pub struct FrontierSnapshot {
+    /// The vertex just optimized.
+    pub moved: NodeId,
+    /// The equivalence classes along the new frontier (only vertices
+    /// with un-optimized consumers, plus the moved vertex).
+    pub classes: Vec<Vec<NodeId>>,
+}
+
+impl FrontierSnapshot {
+    /// Size of the largest class — the `c` of the §6.3 complexity bound
+    /// at this step.
+    pub fn max_class_size(&self) -> usize {
+        self.classes.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+/// Replays Algorithm 4's frontier movement over `graph`, yielding one
+/// snapshot per compute vertex in topological order.
+pub fn frontier_classes(graph: &ComputeGraph) -> Vec<FrontierSnapshot> {
+    let consumers = graph.consumers();
+    let mut visited = vec![false; graph.len()];
+    // Each frontier class is a set of vertices; `class_of[v]` indexes
+    // into `classes` for vertices currently on the frontier.
+    let mut classes: Vec<Option<Vec<NodeId>>> = Vec::new();
+    let mut class_of: Vec<usize> = vec![usize::MAX; graph.len()];
+    let mut snapshots = Vec::new();
+
+    for (id, node) in graph.iter() {
+        match &node.kind {
+            NodeKind::Source { .. } => {
+                visited[id.index()] = true;
+                class_of[id.index()] = classes.len();
+                classes.push(Some(vec![id]));
+            }
+            NodeKind::Compute { .. } => {
+                visited[id.index()] = true;
+                // Merge the classes containing this vertex's producers.
+                let mut merged_idx: Vec<usize> = Vec::new();
+                for input in &node.inputs {
+                    let ci = class_of[input.index()];
+                    if !merged_idx.contains(&ci) {
+                        merged_idx.push(ci);
+                    }
+                }
+                let mut merged: Vec<NodeId> = Vec::new();
+                for ci in &merged_idx {
+                    merged.extend(classes[*ci].take().expect("live class"));
+                }
+                // Drop vertices with no un-optimized consumers; keep the
+                // moved vertex.
+                merged.retain(|u| {
+                    consumers[u.index()].iter().any(|c| !visited[c.index()])
+                });
+                merged.push(id);
+                let new_idx = classes.len();
+                for u in &merged {
+                    class_of[u.index()] = new_idx;
+                }
+                classes.push(Some(merged));
+
+                snapshots.push(FrontierSnapshot {
+                    moved: id,
+                    classes: classes.iter().flatten().cloned().collect(),
+                });
+            }
+        }
+    }
+    snapshots
+}
+
+/// The largest equivalence class observed anywhere during optimization —
+/// the `c` that §6.3's `O(n · |P|^c · |I| · |V|)` bound depends on.
+pub fn max_class_size(graph: &ComputeGraph) -> usize {
+    frontier_classes(graph)
+        .iter()
+        .map(FrontierSnapshot::max_class_size)
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matopt_core::{MatrixType, Op, PhysFormat};
+
+    fn mt() -> MatrixType {
+        MatrixType::dense(64, 64)
+    }
+
+    #[test]
+    fn chains_keep_singleton_classes() {
+        let mut g = ComputeGraph::new();
+        let mut cur = g.add_source(mt(), PhysFormat::SingleTuple);
+        for _ in 0..5 {
+            cur = g.add_op(Op::Relu, &[cur]).unwrap();
+        }
+        assert_eq!(max_class_size(&g), 1);
+    }
+
+    #[test]
+    fn sharing_grows_classes() {
+        // t is consumed twice: while only one consumer is optimized, t
+        // and that consumer share a class.
+        let mut g = ComputeGraph::new();
+        let a = g.add_source(mt(), PhysFormat::SingleTuple);
+        let t = g.add_op(Op::Relu, &[a]).unwrap();
+        let u = g.add_op(Op::Neg, &[t]).unwrap();
+        let v = g.add_op(Op::Exp, &[t]).unwrap();
+        let _o = g.add_op(Op::Add, &[u, v]).unwrap();
+        let snaps = frontier_classes(&g);
+        // After optimizing u, the class {t, u} is live.
+        let after_u = snaps.iter().find(|s| s.moved == u).unwrap();
+        assert!(after_u
+            .classes
+            .iter()
+            .any(|c| c.contains(&t) && c.contains(&u)));
+        assert!(max_class_size(&g) >= 2);
+    }
+
+    #[test]
+    fn dag2_classes_dominate_dag1_and_tree() {
+        use matopt_graphs::{scaled_graph, ScaledShape};
+        let c = |s| max_class_size(&scaled_graph(s, 3).unwrap());
+        let (tree, dag1, dag2) = (
+            c(ScaledShape::Tree),
+            c(ScaledShape::Dag1),
+            c(ScaledShape::Dag2),
+        );
+        assert!(dag2 >= dag1, "dag2 {dag2} < dag1 {dag1}");
+        assert!(dag1 >= tree, "dag1 {dag1} < tree {tree}");
+    }
+
+    #[test]
+    fn every_compute_vertex_produces_a_snapshot() {
+        use matopt_graphs::{ffnn_w2_update_graph, FfnnConfig};
+        let g = ffnn_w2_update_graph(FfnnConfig::simsql_experiment(10_000))
+            .unwrap()
+            .graph;
+        let snaps = frontier_classes(&g);
+        assert_eq!(snaps.len(), g.compute_count());
+        // Backprop's activation reuse produces non-trivial classes — the
+        // reason the FFNN graphs are the hard case for Algorithm 4.
+        assert!(max_class_size(&g) >= 3);
+    }
+}

@@ -1,0 +1,184 @@
+//! Algorithm 3: dynamic programming over tree-shaped compute graphs —
+//! the Felsenstein-style optimizer of §5.
+//!
+//! For every vertex `v` and every physical format `ρ` it can produce,
+//! `F(v, ρ)` is the optimal cost of computing the subgraph rooted at `v`
+//! such that `v.p = ρ` (Equation 1). Because each vertex has at most one
+//! out-edge, the per-vertex tables are independent and the optimum is
+//! exact in `O(n·|P|·|I|·|V|)` time.
+
+use crate::common::{transform_cost, vertex_options, OptContext, OptError, Optimized};
+use matopt_core::{
+    Annotation, ComputeGraph, NodeId, NodeKind, PhysFormat, Transform, VertexChoice,
+};
+use std::collections::HashMap;
+
+/// A table row: the optimal way to have this vertex produce the keyed
+/// format.
+#[derive(Debug, Clone)]
+struct TreeEntry {
+    /// `F(v, ρ)` — cost of the whole subgraph below (and including) `v`.
+    cost: f64,
+    /// Index into the vertex's option list.
+    opt: usize,
+    /// For each in-edge: the child's chosen output format and the
+    /// transformation applied on the edge.
+    arrivals: Vec<(PhysFormat, Transform)>,
+}
+
+/// Runs Algorithm 3.
+///
+/// # Errors
+/// * [`OptError::NotTreeShaped`] when a vertex has more than one
+///   out-edge (use [`crate::frontier_dp`] instead);
+/// * [`OptError::NoFeasiblePlan`] when some vertex admits no
+///   type-correct implementation on this cluster.
+pub fn tree_dp(graph: &ComputeGraph, octx: &OptContext<'_>) -> Result<Optimized, OptError> {
+    if !graph.is_tree_shaped() {
+        return Err(OptError::NotTreeShaped);
+    }
+    let mut tables: Vec<HashMap<PhysFormat, TreeEntry>> = vec![HashMap::new(); graph.len()];
+    let mut option_lists = vec![Vec::new(); graph.len()];
+
+    for (id, node) in graph.iter() {
+        match &node.kind {
+            NodeKind::Source { format } => {
+                // Line 4 of Algorithm 3: F(v, v.p) = 0 and ∞ elsewhere.
+                tables[id.index()].insert(
+                    *format,
+                    TreeEntry {
+                        cost: 0.0,
+                        opt: usize::MAX,
+                        arrivals: Vec::new(),
+                    },
+                );
+            }
+            NodeKind::Compute { .. } => {
+                // Offer downstream whatever the children can emit, on
+                // top of the catalog candidates.
+                let extra: Vec<Vec<PhysFormat>> = node
+                    .inputs
+                    .iter()
+                    .map(|i| tables[i.index()].keys().copied().collect())
+                    .collect();
+                let options =
+                    vertex_options(graph, id, octx.catalog, octx.plan, octx.model, &extra);
+
+                // Pre-compute, per in-edge and per required format, the
+                // cheapest way to arrive there from the child's table:
+                //   min over p_in of F(child, p_in) + t.c(p_in → q).
+                let mut arrival_cache: Vec<HashMap<PhysFormat, (f64, PhysFormat, Transform)>> =
+                    vec![HashMap::new(); node.inputs.len()];
+                for opt in &options {
+                    for (j, q) in opt.pin.iter().enumerate() {
+                        if arrival_cache[j].contains_key(q) {
+                            continue;
+                        }
+                        let child = node.inputs[j];
+                        let m = graph.node(child).mtype;
+                        let mut best: Option<(f64, PhysFormat, Transform)> = None;
+                        for (p_in, e) in &tables[child.index()] {
+                            if let Some((t, tc)) =
+                                transform_cost(&m, *p_in, *q, octx.plan, octx.model)
+                            {
+                                let total = e.cost + tc;
+                                if best.as_ref().is_none_or(|(b, _, _)| total < *b) {
+                                    best = Some((total, *p_in, t));
+                                }
+                            }
+                        }
+                        if let Some(b) = best {
+                            arrival_cache[j].insert(*q, b);
+                        }
+                    }
+                }
+
+                // Equation (1): combine options with the best arrivals.
+                let table = &mut tables[id.index()];
+                for (oi, opt) in options.iter().enumerate() {
+                    let mut cost = opt.impl_cost;
+                    let mut arrivals = Vec::with_capacity(opt.pin.len());
+                    let mut feasible = true;
+                    for (j, q) in opt.pin.iter().enumerate() {
+                        match arrival_cache[j].get(q) {
+                            Some((c, p_in, t)) => {
+                                cost += c;
+                                arrivals.push((*p_in, *t));
+                            }
+                            None => {
+                                feasible = false;
+                                break;
+                            }
+                        }
+                    }
+                    if !feasible {
+                        continue;
+                    }
+                    let slot = table.entry(opt.out_format).or_insert(TreeEntry {
+                        cost: f64::INFINITY,
+                        opt: 0,
+                        arrivals: Vec::new(),
+                    });
+                    if cost < slot.cost {
+                        *slot = TreeEntry {
+                            cost,
+                            opt: oi,
+                            arrivals,
+                        };
+                    }
+                }
+                if tables[id.index()].is_empty() {
+                    return Err(OptError::NoFeasiblePlan(id));
+                }
+                option_lists[id.index()] = options;
+            }
+        }
+    }
+
+    // Read the optimum off the sink tables and back-track.
+    let mut annotation = Annotation::empty(graph);
+    let mut total = 0.0;
+    for sink in graph.sinks() {
+        let (fmt, entry) = tables[sink.index()]
+            .iter()
+            .min_by(|a, b| a.1.cost.total_cmp(&b.1.cost))
+            .ok_or(OptError::NoFeasiblePlan(sink))?;
+        total += entry.cost;
+        reconstruct(graph, &tables, &option_lists, sink, *fmt, &mut annotation);
+    }
+    Ok(Optimized {
+        annotation,
+        cost: total,
+    })
+}
+
+/// Walks backward through the tables (the traversal described at the end
+/// of §5.3), labeling each vertex with the implementation and each edge
+/// with the transformation that produced the optimal cost.
+fn reconstruct(
+    graph: &ComputeGraph,
+    tables: &[HashMap<PhysFormat, TreeEntry>],
+    option_lists: &[Vec<crate::common::VertexOption>],
+    v: NodeId,
+    fmt: PhysFormat,
+    annotation: &mut Annotation,
+) {
+    let node = graph.node(v);
+    if matches!(node.kind, NodeKind::Source { .. }) {
+        return;
+    }
+    let entry = &tables[v.index()][&fmt];
+    let opt = &option_lists[v.index()][entry.opt];
+    annotation.set(
+        v,
+        VertexChoice {
+            impl_id: opt.impl_id,
+            input_transforms: entry.arrivals.iter().map(|(_, t)| *t).collect(),
+            output_format: opt.out_format,
+        },
+    );
+    for (j, child) in node.inputs.iter().enumerate() {
+        let (child_fmt, _) = entry.arrivals[j];
+        reconstruct(graph, tables, option_lists, *child, child_fmt, annotation);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based cross-validation of the three optimization
+//! algorithms: on randomly generated small compute DAGs, the frontier
+//! dynamic program must find exactly the brute-force optimum, the tree
+//! DP must agree on tree-shaped graphs, and beam truncation must be
+//! harmless at generous widths.
+
+use matopt_core::{
+    validate, Cluster, ComputeGraph, FormatCatalog, ImplRegistry, MatrixType, NodeId, Op,
+    PhysFormat, PlanContext,
+};
+use matopt_cost::{plan_cost, AnalyticalCostModel};
+use matopt_opt::{brute_force, frontier_dp, frontier_dp_beam, tree_dp, OptContext};
+use proptest::prelude::*;
+
+fn catalog() -> FormatCatalog {
+    FormatCatalog::new(vec![
+        PhysFormat::SingleTuple,
+        PhysFormat::Tile { side: 1000 },
+        PhysFormat::Tile { side: 2500 },
+        PhysFormat::RowStrip { height: 1000 },
+        PhysFormat::ColStrip { width: 1000 },
+    ])
+}
+
+/// Random DAG generator: each new vertex applies a random op to random
+/// existing vertices with compatible types. Square matrices keep every
+/// binary op applicable.
+fn random_dag(ops: Vec<u8>, shared: bool) -> ComputeGraph {
+    let mut g = ComputeGraph::new();
+    let m = MatrixType::dense(10_000, 10_000);
+    let a = g.add_source(m, PhysFormat::SingleTuple);
+    let b = g.add_source(m, PhysFormat::Tile { side: 1000 });
+    let mut pool: Vec<NodeId> = vec![a, b];
+    for (i, code) in ops.iter().enumerate() {
+        let x = pool[(*code as usize * 7 + i) % pool.len()];
+        let y = pool[(*code as usize * 13 + i * 3) % pool.len()];
+        let v = match code % 6 {
+            0 => g.add_op(Op::MatMul, &[x, y]).unwrap(),
+            1 => g.add_op(Op::Add, &[x, y]).unwrap(),
+            2 => g.add_op(Op::Relu, &[x]).unwrap(),
+            3 => g.add_op(Op::Transpose, &[x]).unwrap(),
+            4 => g.add_op(Op::Hadamard, &[x, y]).unwrap(),
+            _ => g.add_op(Op::Neg, &[x]).unwrap(),
+        };
+        if shared {
+            pool.push(v);
+        } else {
+            // Linear chain: consume the previous result only.
+            pool = vec![v];
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Frontier DP == brute force on small shared DAGs.
+    #[test]
+    fn frontier_equals_brute(ops in prop::collection::vec(0u8..12, 2..5)) {
+        let reg = ImplRegistry::paper_default();
+        let ctx = PlanContext::new(&reg, Cluster::simsql_like(5));
+        let cat = catalog();
+        let model = AnalyticalCostModel;
+        let octx = OptContext::new(&ctx, &cat, &model);
+        let g = random_dag(ops, true);
+        let f = frontier_dp(&g, &octx).expect("frontier plan");
+        let b = brute_force(&g, &octx, None).expect("brute plan");
+        prop_assert!(
+            (f.cost - b.cost).abs() <= 1e-6 * f.cost.max(1.0),
+            "frontier {} vs brute {}",
+            f.cost,
+            b.cost
+        );
+        validate(&g, &f.annotation, &ctx).expect("type-correct");
+        // The claimed optimum re-costs identically.
+        let recost = plan_cost(&g, &f.annotation, &ctx, &model).unwrap();
+        prop_assert!((recost - f.cost).abs() <= 1e-6 * f.cost.max(1.0));
+    }
+
+    /// Tree DP == frontier DP == brute force on chains.
+    #[test]
+    fn tree_chain_agreement(ops in prop::collection::vec(0u8..12, 2..6)) {
+        let reg = ImplRegistry::paper_default();
+        let ctx = PlanContext::new(&reg, Cluster::simsql_like(5));
+        let cat = catalog();
+        let model = AnalyticalCostModel;
+        let octx = OptContext::new(&ctx, &cat, &model);
+        let g = random_dag(ops, false);
+        prop_assume!(g.is_tree_shaped());
+        let t = tree_dp(&g, &octx).expect("tree plan");
+        let f = frontier_dp(&g, &octx).expect("frontier plan");
+        let b = brute_force(&g, &octx, None).expect("brute plan");
+        prop_assert!((t.cost - f.cost).abs() <= 1e-6 * t.cost.max(1.0));
+        prop_assert!((t.cost - b.cost).abs() <= 1e-6 * t.cost.max(1.0));
+    }
+
+    /// A generous beam changes nothing on these graphs.
+    #[test]
+    fn beam_is_harmless_at_width(ops in prop::collection::vec(0u8..12, 2..5)) {
+        let reg = ImplRegistry::paper_default();
+        let ctx = PlanContext::new(&reg, Cluster::simsql_like(5));
+        let cat = catalog();
+        let model = AnalyticalCostModel;
+        let octx = OptContext::new(&ctx, &cat, &model);
+        let g = random_dag(ops, true);
+        let exact = frontier_dp(&g, &octx).expect("exact");
+        let beamed = frontier_dp_beam(&g, &octx, 4000).expect("beamed");
+        prop_assert!((exact.cost - beamed.cost).abs() <= 1e-9 * exact.cost.max(1.0));
+    }
+}
+
+/// The beam is deterministic and monotone: widening it never worsens
+/// the plan (checked on the FFNN backprop graph where it actually
+/// truncates).
+#[test]
+fn beam_widening_is_monotone_on_ffnn() {
+    use matopt_graphs::{ffnn_w2_update_graph, FfnnConfig};
+    let reg = ImplRegistry::paper_default();
+    let ctx = PlanContext::new(&reg, Cluster::simsql_like(10));
+    let cat = FormatCatalog::paper_default().dense_only();
+    let model = AnalyticalCostModel;
+    let octx = OptContext::new(&ctx, &cat, &model);
+    let g = ffnn_w2_update_graph(FfnnConfig::simsql_experiment(10_000))
+        .unwrap()
+        .graph;
+    let mut last = f64::INFINITY;
+    for beam in [50usize, 500, 5000] {
+        let cost = frontier_dp_beam(&g, &octx, beam).unwrap().cost;
+        assert!(
+            cost <= last * 1.0 + 1e-9,
+            "beam {beam} worsened the plan: {cost} > {last}"
+        );
+        last = cost;
+    }
+}
