@@ -30,7 +30,7 @@ pub use greedy::{
     broadcast_strategies, greedy_plan, systemds_catalog, tile_only_catalog, GreedyConfig,
 };
 pub use personas::{
-    all_tile_plan, expert_plan, hand_written_plan, systemds_plan, Expertise, ExpertPlan,
+    all_tile_plan, expert_plan, hand_written_plan, systemds_plan, ExpertPlan, Expertise,
 };
 pub use pytorch::{simulate_pytorch_ffnn, PyTorchProfile};
 

@@ -20,9 +20,18 @@ use std::time::Duration;
 /// A laptop-sized version of the §2.1 motivating chain.
 fn chain() -> ComputeGraph {
     let mut g = ComputeGraph::new();
-    let a = g.add_source(MatrixType::dense(64, 512), PhysFormat::RowStrip { height: 8 });
-    let b = g.add_source(MatrixType::dense(512, 64), PhysFormat::ColStrip { width: 8 });
-    let c = g.add_source(MatrixType::dense(64, 4096), PhysFormat::ColStrip { width: 512 });
+    let a = g.add_source(
+        MatrixType::dense(64, 512),
+        PhysFormat::RowStrip { height: 8 },
+    );
+    let b = g.add_source(
+        MatrixType::dense(512, 64),
+        PhysFormat::ColStrip { width: 8 },
+    );
+    let c = g.add_source(
+        MatrixType::dense(64, 4096),
+        PhysFormat::ColStrip { width: 512 },
+    );
     let ab = g.add_op(Op::MatMul, &[a, b]).unwrap();
     let _abc = g.add_op(Op::MatMul, &[ab, c]).unwrap();
     g
@@ -33,7 +42,8 @@ fn inputs_for(g: &ComputeGraph, seed: u64) -> HashMap<NodeId, DistRelation> {
     let mut out = HashMap::new();
     for (id, node) in g.iter() {
         if let NodeKind::Source { format } = &node.kind {
-            let d = random_dense_normal(node.mtype.rows as usize, node.mtype.cols as usize, &mut rng);
+            let d =
+                random_dense_normal(node.mtype.rows as usize, node.mtype.cols as usize, &mut rng);
             out.insert(id, DistRelation::from_dense(&d, *format).unwrap());
         }
     }
@@ -62,19 +72,14 @@ fn plans() -> (ComputeGraph, Annotation, Annotation, ImplRegistry) {
     let auto = frontier_dp_beam(&g, &octx, 2000).expect("plan").annotation;
     // All-tile with a *small* tile so the tuple-count overhead is real.
     let tiles = {
-        let tile_catalog = FormatCatalog::new(vec![
-            PhysFormat::Tile { side: 8 },
-            PhysFormat::SingleTuple,
-        ]);
+        let tile_catalog =
+            FormatCatalog::new(vec![PhysFormat::Tile { side: 8 }, PhysFormat::SingleTuple]);
         let cfg = matopt_baselines::GreedyConfig {
             catalog: tile_catalog,
             count_transform_cost: false,
             respect_memory: false,
             forbidden: matopt_baselines::broadcast_strategies(),
-            format_preference: Some(vec![
-                PhysFormat::Tile { side: 8 },
-                PhysFormat::SingleTuple,
-            ]),
+            format_preference: Some(vec![PhysFormat::Tile { side: 8 }, PhysFormat::SingleTuple]),
         };
         matopt_baselines::greedy_plan(&g, &ctx, &model, &cfg).expect("plan")
     };
@@ -86,7 +91,9 @@ fn bench_execute_plans(c: &mut Criterion) {
     let (g, auto, tiles, registry) = plans();
     let inputs = inputs_for(&g, 11);
     let mut group = c.benchmark_group("real_execution_chain");
-    group.sample_size(10).measurement_time(Duration::from_secs(4));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4));
     group.bench_function("optimized_plan", |b| {
         b.iter(|| execute_plan(&g, &auto, &inputs, &registry).expect("runs"))
     });
@@ -101,7 +108,9 @@ fn bench_reformat(c: &mut Criterion) {
     let d = random_dense_normal(512, 512, &mut rng);
     let rel = DistRelation::from_dense(&d, PhysFormat::Tile { side: 32 }).unwrap();
     let mut group = c.benchmark_group("reformat_512");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("tile_to_single", |b| {
         b.iter(|| rel.reformat(PhysFormat::SingleTuple).unwrap())
     });
@@ -129,7 +138,9 @@ fn bench_simulation_throughput(c: &mut Criterion) {
         .graph;
     let plan = frontier_dp_beam(&g, &octx, 4000).unwrap().annotation;
     let mut group = c.benchmark_group("simulator");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("ffnn_w2_10k", |b| {
         b.iter(|| simulate_plan(&g, &plan, &ctx, &model).expect("simulates"))
     });

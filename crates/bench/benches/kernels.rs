@@ -9,7 +9,9 @@ use std::time::Duration;
 fn bench_gemm(c: &mut Criterion) {
     let mut rng = seeded_rng(1);
     let mut group = c.benchmark_group("gemm");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for n in [64usize, 128, 256] {
         let a = random_dense_normal(n, n, &mut rng);
         let b = random_dense_normal(n, n, &mut rng);
@@ -24,7 +26,9 @@ fn bench_gemm(c: &mut Criterion) {
 fn bench_spmm(c: &mut Criterion) {
     let mut rng = seeded_rng(2);
     let mut group = c.benchmark_group("spmm_csr_dense");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for density in [0.001f64, 0.01, 0.1] {
         let a = random_sparse_csr(512, 512, density, &mut rng);
         let b = random_dense_normal(512, 128, &mut rng);
@@ -40,7 +44,9 @@ fn bench_spmm(c: &mut Criterion) {
 fn bench_lu_inverse(c: &mut Criterion) {
     let mut rng = seeded_rng(3);
     let mut group = c.benchmark_group("lu_inverse");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for n in [32usize, 64, 128] {
         let mut a = random_dense_normal(n, n, &mut rng);
         for i in 0..n {
@@ -62,7 +68,9 @@ fn bench_elementwise(c: &mut Criterion) {
     let a = random_dense_normal(512, 512, &mut rng);
     let b = random_dense_normal(512, 512, &mut rng);
     let mut group = c.benchmark_group("elementwise_512");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("add", |bench| bench.iter(|| a.add(&b)));
     group.bench_function("hadamard", |bench| bench.iter(|| a.hadamard(&b)));
     group.bench_function("relu", |bench| bench.iter(|| a.relu()));

@@ -20,7 +20,9 @@ fn bench_dp_scaling(c: &mut Criterion) {
         ("sb10", FormatCatalog::single_block()),
     ];
     let mut group = c.benchmark_group("fig13_dp");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for (cat_name, catalog) in &catalogs {
         let octx = OptContext::new(&ctx, catalog, &model);
         for scale in [1usize, 2, 4] {
@@ -59,7 +61,9 @@ fn bench_brute_force(c: &mut Criterion) {
     let octx = OptContext::new(&ctx, &catalog, &model);
     let g = scaled_graph(ScaledShape::Dag2, 1).expect("builds");
     let mut group = c.benchmark_group("fig13_brute");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     group.bench_function("dag2_scale1_sb10", |b| {
         b.iter(|| brute_force(&g, &octx, None).expect("plan").cost)
     });
@@ -74,7 +78,9 @@ fn bench_ffnn_planning(c: &mut Criterion) {
     let catalog = FormatCatalog::paper_default().dense_only();
     let octx = OptContext::new(&ctx, &catalog, &model);
     let mut group = c.benchmark_group("ffnn_planning");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     for hidden in [10_000u64, 80_000] {
         let g = ffnn_w2_update_graph(FfnnConfig::simsql_experiment(hidden))
             .expect("builds")

@@ -14,7 +14,7 @@
 //! Run with: `cargo run --release -p matopt-bench --bin ablation`
 
 use matopt_baselines::GreedyConfig;
-use matopt_bench::{FigTable, Env};
+use matopt_bench::{Env, FigTable};
 use matopt_core::{Cluster, FormatCatalog, PlanContext};
 use matopt_cost::{plan_cost, CostModel, LearnedCostModel};
 use matopt_engine::collect_samples;
@@ -102,7 +102,10 @@ fn catalog_ablation(env: &Env) -> FigTable {
     let cluster = Cluster::simsql_like(10);
     let catalogs = [
         ("single/block (10)", FormatCatalog::single_block()),
-        ("single/strip/block (16)", FormatCatalog::single_strip_block()),
+        (
+            "single/strip/block (16)",
+            FormatCatalog::single_strip_block(),
+        ),
         ("all formats (19)", FormatCatalog::paper_default()),
     ];
     // A sparse-content workload whose input arrives *densely stored*:
@@ -169,7 +172,9 @@ fn beam_ablation(env: &Env) -> FigTable {
         title: "Beam width on the 57-vertex FFNN graph (joint tables genuinely truncate here)",
         header: vec!["beam".into(), "plan cost".into(), "planning time".into()],
         rows,
-        notes: vec!["plan cost must be non-increasing in the beam and flat once wide enough".into()],
+        notes: vec![
+            "plan cost must be non-increasing in the beam and flat once wide enough".into(),
+        ],
     }
 }
 

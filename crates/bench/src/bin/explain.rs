@@ -23,10 +23,14 @@ fn main() {
     println!("total: {} (est cost {:.1}s)", report.outcome, auto.est_cost);
     for step in &report.steps {
         let node = g.node(step.vertex);
-        let NodeKind::Compute { op } = &node.kind else { continue };
+        let NodeKind::Compute { op } = &node.kind else {
+            continue;
+        };
         let choice = auto.annotation.choice(step.vertex).unwrap();
         let name = env.registry.get(choice.impl_id).name;
-        if step.impl_seconds + step.transform_seconds < 1.0 { continue; }
+        if step.impl_seconds + step.transform_seconds < 1.0 {
+            continue;
+        }
         println!(
             "{:>5} {:28} {:10} impl {:8.1}s trans {:8.1}s  {:?} {}",
             step.vertex.to_string(),

@@ -16,9 +16,13 @@ fn main() {
     println!("total: {}", report.outcome);
     for step in &report.steps {
         let node = g.node(step.vertex);
-        let NodeKind::Compute { op } = &node.kind else { continue };
+        let NodeKind::Compute { op } = &node.kind else {
+            continue;
+        };
         let choice = auto.annotation.choice(step.vertex).unwrap();
-        if step.impl_seconds + step.transform_seconds < 2.0 { continue; }
+        if step.impl_seconds + step.transform_seconds < 2.0 {
+            continue;
+        }
         println!(
             "{:>5} {:24} impl {:7.1}s trans {:7.1}s out={} {} [{} x {}]",
             step.vertex.to_string(),
@@ -28,7 +32,10 @@ fn main() {
             choice.output_format,
             env.registry.get(choice.impl_id).name,
             g.node(node.inputs[0]).mtype,
-            node.inputs.get(1).map(|i| g.node(*i).mtype.to_string()).unwrap_or_default(),
+            node.inputs
+                .get(1)
+                .map(|i| g.node(*i).mtype.to_string())
+                .unwrap_or_default(),
         );
     }
 }

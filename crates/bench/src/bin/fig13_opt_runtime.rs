@@ -9,5 +9,8 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(10u64);
-    println!("{}", figures::fig13(&Env::new(), Duration::from_secs(budget)));
+    println!(
+        "{}",
+        figures::fig13(&Env::new(), Duration::from_secs(budget))
+    );
 }

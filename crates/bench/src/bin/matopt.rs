@@ -8,6 +8,7 @@
 //! workloads:
 //!   ffnn:<hidden>            FFNN fwd + backprop-to-W2 (SimSQL experiments)
 //!   ffnn-full:<hidden>       FFNN fwd + backprop + fwd (57-vertex graph)
+//!   ffnn-small:<hidden>      laptop-scale FFNN the real executor can run
 //!   amazoncat:<batch>:<layer>[:sparse]   system-comparison FFNN
 //!   chain:<1|2|3>            six-matrix multiplication chain, size set N
 //!   inverse                  two-level block-wise inverse
@@ -18,17 +19,34 @@
 //!   --engine simsql|pc       cluster profile (default simsql)
 //!   --catalog all|dense|ssb|sb   format catalog (default dense)
 //!   --explain                print the per-vertex plan breakdown
+//!   --analyze                EXPLAIN ANALYZE: run the plan for real on
+//!                            random inputs and join estimated with
+//!                            measured per-vertex seconds (small dense
+//!                            workloads only, e.g. ffnn-small:32)
+//!   --trace-out <path>       write optimizer/simulator/executor events
+//!                            as a Chrome trace (chrome://tracing,
+//!                            Perfetto), or JSONL if <path> ends .jsonl
 //!   --sql                    print the plan as SQL
 //!   --dot                    print the annotated plan as Graphviz DOT
 //! ```
 
 use matopt_bench::Env;
-use matopt_core::{Cluster, ComputeGraph, FormatCatalog};
-use matopt_engine::{explain_plan, render_sql};
+use matopt_core::{Cluster, ComputeGraph, FormatCatalog, NodeKind};
+use matopt_engine::{
+    explain_analyze, explain_plan, render_sql, simulate_plan_traced, DistRelation, SimOutcome,
+};
 use matopt_graphs::{
     ffnn_full_pass_graph, ffnn_train_step_graph, ffnn_w2_update_graph, matmul_chain_graph,
     motivating_graph, two_level_inverse_graph, FfnnConfig, SizeSet,
 };
+use matopt_kernels::{random_dense_normal, seeded_rng};
+use matopt_obs::{export, MemorySink, Obs};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// `--analyze` actually executes the plan, so refuse workloads whose
+/// sources alone would exceed this many bytes of dense payload.
+const ANALYZE_BYTE_BUDGET: u64 = 2 << 30;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -56,10 +74,7 @@ fn cmd_formats() -> i32 {
 
 fn cmd_impls() -> i32 {
     let env = Env::new();
-    println!(
-        "{} atomic computation implementations:",
-        env.registry.len()
-    );
+    println!("{} atomic computation implementations:", env.registry.len());
     for i in env.registry.all() {
         println!("  {:<28} {:?} [{:?}]", i.name, i.op, i.strategy);
     }
@@ -75,6 +90,8 @@ fn cmd_plan(args: &[String]) -> i32 {
     let mut engine = "simsql".to_string();
     let mut catalog_name = "dense".to_string();
     let mut explain = false;
+    let mut analyze = false;
+    let mut trace_out: Option<String> = None;
     let mut sql = false;
     let mut dot = false;
     let mut i = 1;
@@ -93,6 +110,17 @@ fn cmd_plan(args: &[String]) -> i32 {
                 catalog_name = args.get(i).cloned().unwrap_or_default();
             }
             "--explain" => explain = true,
+            "--analyze" => analyze = true,
+            "--trace-out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => trace_out = Some(p.clone()),
+                    None => {
+                        eprintln!("plan: --trace-out expects a path");
+                        return 2;
+                    }
+                }
+            }
             "--sql" => sql = true,
             "--dot" => dot = true,
             other => {
@@ -121,25 +149,54 @@ fn cmd_plan(args: &[String]) -> i32 {
         }
     };
 
+    // One in-memory sink feeds every subsystem; `--analyze` without
+    // `--trace-out` still runs traced, the events just stay unread.
+    let sink = Arc::new(MemorySink::new());
+    let obs = if trace_out.is_some() || analyze {
+        Obs::new(Arc::clone(&sink))
+    } else {
+        Obs::disabled()
+    };
+
     let env = Env::new();
-    let plan = match env.auto_plan(&graph, cluster, &catalog) {
+    let plan = match env.auto_plan_traced(&graph, cluster, &catalog, obs.clone()) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("plan: optimization failed: {e}");
             return 1;
         }
     };
+    let ctx = env.ctx(cluster);
+    let outcome = match simulate_plan_traced(&graph, &plan.annotation, &ctx, &env.model, &obs) {
+        Ok(report) => report.outcome,
+        Err(_) => SimOutcome::Failed {
+            vertex: matopt_core::NodeId(0),
+            reason: matopt_engine::FailReason::OutOfMemory,
+        },
+    };
     println!(
-        "optimized {} vertices in {:.2}s; estimated runtime {}",
+        "optimized {} vertices in {:.2}s ({} search); estimated runtime {}",
         graph.len(),
         plan.opt_seconds,
-        env.simulate(&graph, &plan.annotation, cluster)
+        plan.exactness(),
+        outcome
     );
-    let ctx = env.ctx(cluster);
+    if plan.beam_truncated > 0 {
+        println!(
+            "  beam truncated {} joint-table entries; widen the beam for an exact search",
+            plan.beam_truncated
+        );
+    }
     if explain {
         match explain_plan(&graph, &plan.annotation, &ctx, &env.model) {
             Ok(ex) => print!("{ex}"),
             Err(e) => eprintln!("explain failed: {e}"),
+        }
+    }
+    if analyze {
+        if let Err(msg) = run_analyze(&graph, &plan.annotation, &env, &ctx, &obs) {
+            eprintln!("analyze: {msg}");
+            return 1;
         }
     }
     if sql {
@@ -154,7 +211,75 @@ fn cmd_plan(args: &[String]) -> i32 {
             matopt_core::annotated_to_dot(&graph, &plan.annotation, &env.registry)
         );
     }
+    if let Some(path) = trace_out {
+        let events = sink.take();
+        let body = if path.ends_with(".jsonl") {
+            export::jsonl(&events)
+        } else {
+            export::chrome_trace_json(&events)
+        };
+        match std::fs::write(&path, body) {
+            Ok(()) => println!("wrote {} trace events to {path}", events.len()),
+            Err(e) => {
+                eprintln!("plan: cannot write {path}: {e}");
+                return 1;
+            }
+        }
+    }
     0
+}
+
+/// `--analyze`: materialise random dense inputs for every source, run
+/// the plan on the real executor, and print the estimate/measurement
+/// join. Guarded so paper-scale workloads fail fast instead of
+/// allocating hundreds of gigabytes.
+fn run_analyze(
+    graph: &ComputeGraph,
+    annotation: &matopt_core::Annotation,
+    env: &Env,
+    ctx: &matopt_core::PlanContext<'_>,
+    obs: &Obs,
+) -> Result<(), String> {
+    let mut bytes = 0u64;
+    for (id, node) in graph.iter() {
+        if let NodeKind::Source { format } = &node.kind {
+            if format.is_sparse() {
+                return Err(format!(
+                    "source {} uses sparse format {format}; --analyze generates dense \
+                     payloads only (try ffnn-small:<hidden>)",
+                    node.name.as_deref().unwrap_or(&id.to_string()),
+                ));
+            }
+        }
+        bytes = bytes.saturating_add(node.mtype.rows.saturating_mul(node.mtype.cols) * 8);
+    }
+    if bytes > ANALYZE_BYTE_BUDGET {
+        return Err(format!(
+            "workload holds ~{} GiB of dense matrices; --analyze runs the plan for real \
+             and only accepts laptop-scale graphs (try ffnn-small:<hidden>)",
+            bytes >> 30
+        ));
+    }
+
+    let mut rng = seeded_rng(42);
+    let mut inputs = HashMap::new();
+    for (id, node) in graph.iter() {
+        if let NodeKind::Source { format } = &node.kind {
+            let d =
+                random_dense_normal(node.mtype.rows as usize, node.mtype.cols as usize, &mut rng);
+            let rel = DistRelation::from_dense(&d, *format).map_err(|e| {
+                format!(
+                    "cannot chunk source {}: {e}",
+                    node.name.as_deref().unwrap_or(&id.to_string()),
+                )
+            })?;
+            inputs.insert(id, rel);
+        }
+    }
+    let analysis = explain_analyze(graph, annotation, &inputs, ctx, &env.model, obs)
+        .map_err(|e| format!("execution failed: {e}"))?;
+    print!("{analysis}");
+    Ok(())
 }
 
 fn build_workload(spec: &str, cluster: &Cluster) -> Result<ComputeGraph, String> {
@@ -178,6 +303,15 @@ fn build_workload(spec: &str, cluster: &Cluster) -> Result<ComputeGraph, String>
                 .map_err(|e| e.to_string())?
                 .graph)
         }
+        "ffnn-small" => {
+            let hidden = parts
+                .get(1)
+                .and_then(|s| s.parse().ok())
+                .ok_or("ffnn-small:<hidden> expects a size, e.g. ffnn-small:32")?;
+            Ok(ffnn_w2_update_graph(FfnnConfig::laptop(hidden))
+                .map_err(|e| e.to_string())?
+                .graph)
+        }
         "amazoncat" => {
             let batch = parts
                 .get(1)
@@ -188,9 +322,11 @@ fn build_workload(spec: &str, cluster: &Cluster) -> Result<ComputeGraph, String>
                 .and_then(|s| s.parse().ok())
                 .ok_or("amazoncat:<batch>:<layer>[:sparse]")?;
             let sparse = parts.get(3) == Some(&"sparse");
-            Ok(ffnn_train_step_graph(FfnnConfig::amazoncat(batch, layer, sparse))
-                .map_err(|e| e.to_string())?
-                .graph)
+            Ok(
+                ffnn_train_step_graph(FfnnConfig::amazoncat(batch, layer, sparse))
+                    .map_err(|e| e.to_string())?
+                    .graph,
+            )
         }
         "chain" => {
             let set = match parts.get(1) {

@@ -4,15 +4,14 @@
 //! mechanically.
 
 use crate::harness::{cell, format_opt, Env, FigTable};
+use matopt_baselines::{
+    all_tile_plan, expert_plan, hand_written_plan, simulate_pytorch_ffnn, systemds_plan, Expertise,
+    PyTorchProfile,
+};
 use matopt_core::{
-    Annotation, Cluster, FormatCatalog, PhysFormat, Transform, TransformKind,
-    VertexChoice,
+    Annotation, Cluster, FormatCatalog, PhysFormat, Transform, TransformKind, VertexChoice,
 };
 use matopt_engine::{simulate_plan, SimOutcome};
-use matopt_baselines::{
-    all_tile_plan, expert_plan, hand_written_plan, simulate_pytorch_ffnn, systemds_plan,
-    Expertise, PyTorchProfile,
-};
 use matopt_graphs::{
     ffnn_full_pass_graph, ffnn_train_step_graph, ffnn_w2_update_graph, matmul_chain_graph,
     motivating_graph, scaled_graph, two_level_inverse_graph, FfnnConfig, ScaledShape, SizeSet,
@@ -72,7 +71,11 @@ pub fn fig01(env: &Env) -> FigTable {
     impl1.set(
         m.mat_abc,
         VertexChoice {
-            impl_id: env.registry.by_name("mm_tile_shuffle").expect("registered").id,
+            impl_id: env
+                .registry
+                .by_name("mm_tile_shuffle")
+                .expect("registered")
+                .id,
             input_transforms: vec![
                 Transform::identity(tile10),
                 Transform {
@@ -124,11 +127,7 @@ pub fn fig01(env: &Env) -> FigTable {
             .find(|s| s.vertex == m.mat_ab)
             .map(|s| s.impl_seconds + s.transform_seconds)
             .unwrap_or(0.0);
-        let abc = report
-            .steps
-            .iter()
-            .find(|s| s.vertex == m.mat_abc)
-            .cloned();
+        let abc = report.steps.iter().find(|s| s.vertex == m.mat_abc).cloned();
         let (trans, mult) = abc
             .map(|s| (s.transform_seconds, s.impl_seconds))
             .unwrap_or((0.0, 0.0));
@@ -440,7 +439,9 @@ pub fn fig08(env: &Env) -> FigTable {
         .graph;
     let cluster = Cluster::simsql_like(10);
     let ctx = env.ctx(cluster);
-    let auto = env.auto_plan(&g, cluster, &dense_catalog()).expect("plannable");
+    let auto = env
+        .auto_plan(&g, cluster, &dense_catalog())
+        .expect("plannable");
     let auto_out = env.simulate(&g, &auto.annotation, cluster);
 
     let expert_cell = |level: Expertise| -> String {
@@ -456,11 +457,7 @@ pub fn fig08(env: &Env) -> FigTable {
     FigTable {
         id: "Figure 8",
         title: "FFNN 80K task vs recruited experts (* = first attempt crashed, re-designed)",
-        header: vec![
-            "plan".into(),
-            "ours".into(),
-            "paper".into(),
-        ],
+        header: vec!["plan".into(), "ours".into(), "paper".into()],
         rows: vec![
             vec!["Auto-gen".into(), auto_out.to_string(), "23:46".into()],
             vec![
@@ -505,14 +502,34 @@ pub fn fig09(env: &Env) -> FigTable {
 /// Figure 10: six-matrix multiplication chain across size sets.
 pub fn fig10(env: &Env) -> FigTable {
     let paper = [
-        (SizeSet::Set1, "Size Set 1", "00:08:45 (:05)", "00:20:22", "00:21:38"),
-        (SizeSet::Set2, "Size Set 2", "01:05:36 (:00)", "02:26:32", "01:56:15"),
-        (SizeSet::Set3, "Size Set 3", "00:34:52 (:00)", "01:46:20", "02:02:54"),
+        (
+            SizeSet::Set1,
+            "Size Set 1",
+            "00:08:45 (:05)",
+            "00:20:22",
+            "00:21:38",
+        ),
+        (
+            SizeSet::Set2,
+            "Size Set 2",
+            "01:05:36 (:00)",
+            "02:26:32",
+            "01:56:15",
+        ),
+        (
+            SizeSet::Set3,
+            "Size Set 3",
+            "00:34:52 (:00)",
+            "01:46:20",
+            "02:02:54",
+        ),
     ];
     let cluster = Cluster::simsql_like(10);
     let mut rows = Vec::new();
     for (set, label, p_auto, p_hand, p_tile) in paper {
-        let g = matmul_chain_graph(set, &cluster).expect("type-correct").graph;
+        let g = matmul_chain_graph(set, &cluster)
+            .expect("type-correct")
+            .graph;
         let (auto, hand, tiles) = ffnn_row(env, &g, cluster);
         rows.push(vec![
             label.to_string(),
@@ -560,7 +577,9 @@ fn systems_table(
 
         // PC, no sparsity: dense input, dense-only catalog.
         let dense_cfg = FfnnConfig::amazoncat(batch, *layer, false);
-        let g = ffnn_train_step_graph(dense_cfg).expect("type-correct").graph;
+        let g = ffnn_train_step_graph(dense_cfg)
+            .expect("type-correct")
+            .graph;
         let pc_dense = match env.auto_plan(&g, cluster, &dense_catalog()) {
             Ok(p) => cell(
                 &env.simulate(&g, &p.annotation, cluster),
@@ -573,7 +592,9 @@ fn systems_table(
         if with_sparsity_columns {
             // PC, sparse-stored input, full catalog.
             let sparse_cfg = FfnnConfig::amazoncat(batch, *layer, true);
-            let gs = ffnn_train_step_graph(sparse_cfg).expect("type-correct").graph;
+            let gs = ffnn_train_step_graph(sparse_cfg)
+                .expect("type-correct")
+                .graph;
             let pc_sparse = match env.auto_plan(&gs, cluster, &FormatCatalog::paper_default()) {
                 Ok(p) => env.simulate(&gs, &p.annotation, cluster).to_string(),
                 Err(_) => "Fail".into(),
@@ -594,19 +615,15 @@ fn systems_table(
 
         // PyTorch.
         let pt_cfg = FfnnConfig::amazoncat(batch, *layer, false);
-        cells.push(simulate_pytorch_ffnn(&pt_cfg, *workers, &PyTorchProfile::default()).to_string());
+        cells
+            .push(simulate_pytorch_ffnn(&pt_cfg, *workers, &PyTorchProfile::default()).to_string());
 
         // SystemDS: per-operator planner over its own layouts; it *can*
         // exploit the sparse input content.
         let sds_cfg = FfnnConfig::amazoncat(batch, *layer, true);
         let gsds = ffnn_train_step_graph(sds_cfg).expect("type-correct").graph;
         let ctx = env.ctx(cluster);
-        let sds = sim_or_fail(
-            env,
-            &gsds,
-            systemds_plan(&gsds, &ctx, &env.model),
-            cluster,
-        );
+        let sds = sim_or_fail(env, &gsds, systemds_plan(&gsds, &ctx, &env.model), cluster);
         cells.push(sds.to_string());
 
         // Interleave paper cells after each measured cell.
@@ -659,15 +676,51 @@ pub fn fig11(env: &Env) -> FigTable {
 /// Figure 12: FFNN, 10K batch, with and without sparsity exploitation.
 pub fn fig12(env: &Env) -> FigTable {
     let paper: Vec<(usize, u64, SystemsPaperRow)> = vec![
-        (2, 4000, ("2w/4000", &["1:34 (:05)", "0:50", "0:54", "2:05", "1:57"])),
-        (2, 5000, ("2w/5000", &["2:47 (:05)", "0:58", "1:02", "Fail", "2:51"])),
-        (2, 7000, ("2w/7000", &["4:24 (:05)", "1:16", "1:19", "Fail", "7:54"])),
-        (5, 4000, ("5w/4000", &["1:15 (:06)", "0:23", "0:27", "1:16", "1:15"])),
-        (5, 5000, ("5w/5000", &["1:20 (:05)", "0:26", "0:32", "1:30", "1:30"])),
-        (5, 7000, ("5w/7000", &["1:55 (:05)", "0:35", "0:38", "Fail", "2:49"])),
-        (10, 4000, ("10w/4000", &["0:53 (:06)", "0:20", "0:24", "1:06", "1:01"])),
-        (10, 5000, ("10w/5000", &["1:02 (:05)", "0:20", "0:24", "1:17", "1:15"])),
-        (10, 7000, ("10w/7000", &["1:16 (:05)", "0:23", "0:28", "Fail", "1:21"])),
+        (
+            2,
+            4000,
+            ("2w/4000", &["1:34 (:05)", "0:50", "0:54", "2:05", "1:57"]),
+        ),
+        (
+            2,
+            5000,
+            ("2w/5000", &["2:47 (:05)", "0:58", "1:02", "Fail", "2:51"]),
+        ),
+        (
+            2,
+            7000,
+            ("2w/7000", &["4:24 (:05)", "1:16", "1:19", "Fail", "7:54"]),
+        ),
+        (
+            5,
+            4000,
+            ("5w/4000", &["1:15 (:06)", "0:23", "0:27", "1:16", "1:15"]),
+        ),
+        (
+            5,
+            5000,
+            ("5w/5000", &["1:20 (:05)", "0:26", "0:32", "1:30", "1:30"]),
+        ),
+        (
+            5,
+            7000,
+            ("5w/7000", &["1:55 (:05)", "0:35", "0:38", "Fail", "2:49"]),
+        ),
+        (
+            10,
+            4000,
+            ("10w/4000", &["0:53 (:06)", "0:20", "0:24", "1:06", "1:01"]),
+        ),
+        (
+            10,
+            5000,
+            ("10w/5000", &["1:02 (:05)", "0:20", "0:24", "1:17", "1:15"]),
+        ),
+        (
+            10,
+            7000,
+            ("10w/7000", &["1:16 (:05)", "0:23", "0:28", "Fail", "1:21"]),
+        ),
     ];
     systems_table(
         env,
@@ -695,7 +748,10 @@ pub fn fig12(env: &Env) -> FigTable {
 pub fn fig13(env: &Env, brute_budget: Duration) -> FigTable {
     let catalogs: [(&str, FormatCatalog); 3] = [
         ("All formats (19)", FormatCatalog::paper_default()),
-        ("Single/Strip/Block (16)", FormatCatalog::single_strip_block()),
+        (
+            "Single/Strip/Block (16)",
+            FormatCatalog::single_strip_block(),
+        ),
         ("Single/Block (10)", FormatCatalog::single_block()),
     ];
     let cluster = Cluster::simsql_like(10);
@@ -798,7 +854,10 @@ mod tests {
         let env = Env::new();
         let t = fig04(&env);
         assert_eq!(t.rows.len(), 6);
-        assert_eq!(t.rows[0], vec!["A", "10000x30000", "50000x1", "50000x50000"]);
+        assert_eq!(
+            t.rows[0],
+            vec!["A", "10000x30000", "50000x1", "50000x50000"]
+        );
         assert_eq!(t.rows[3][1], "1x50000");
     }
 }

@@ -2,11 +2,10 @@
 //! paper's table style (with the paper's reported values alongside for
 //! direct comparison).
 
-use matopt_core::{
-    Annotation, Cluster, ComputeGraph, FormatCatalog, ImplRegistry, PlanContext,
-};
+use matopt_core::{Annotation, Cluster, ComputeGraph, FormatCatalog, ImplRegistry, PlanContext};
 use matopt_cost::AnalyticalCostModel;
 use matopt_engine::{format_hms, simulate_plan, SimOutcome};
+use matopt_obs::Obs;
 use matopt_opt::{frontier_dp_beam, OptContext, OptError};
 use std::time::Instant;
 
@@ -39,6 +38,22 @@ pub struct AutoPlan {
     /// Wall-clock seconds the optimizer itself took — the
     /// "(opt time in parens)" columns of the paper's tables.
     pub opt_seconds: f64,
+    /// Joint-table entries the beam cap dropped (0 ⇒ the frontier DP
+    /// was exact for this graph).
+    pub beam_truncated: usize,
+}
+
+impl AutoPlan {
+    /// `"exact"` when the beam never truncated, `"beamed"` otherwise —
+    /// reported next to plan costs so readers know whether the search
+    /// was optimal or approximate.
+    pub fn exactness(&self) -> &'static str {
+        if self.beam_truncated == 0 {
+            "exact"
+        } else {
+            "beamed"
+        }
+    }
 }
 
 impl Env {
@@ -66,14 +81,30 @@ impl Env {
         cluster: Cluster,
         catalog: &FormatCatalog,
     ) -> Result<AutoPlan, OptError> {
+        self.auto_plan_traced(graph, cluster, catalog, Obs::disabled())
+    }
+
+    /// [`Env::auto_plan`] with observability: the optimizer emits its
+    /// phase and per-vertex frontier events to `obs`.
+    ///
+    /// # Errors
+    /// Propagates [`OptError`] from the optimizer.
+    pub fn auto_plan_traced(
+        &self,
+        graph: &ComputeGraph,
+        cluster: Cluster,
+        catalog: &FormatCatalog,
+        obs: Obs,
+    ) -> Result<AutoPlan, OptError> {
         let ctx = self.ctx(cluster);
-        let octx = OptContext::new(&ctx, catalog, &self.model);
+        let octx = OptContext::with_obs(&ctx, catalog, &self.model, obs);
         let t0 = Instant::now();
         let opt = frontier_dp_beam(graph, &octx, DEFAULT_BEAM)?;
         Ok(AutoPlan {
             annotation: opt.annotation,
             est_cost: opt.cost,
             opt_seconds: t0.elapsed().as_secs_f64(),
+            beam_truncated: opt.beam_truncated,
         })
     }
 

@@ -112,9 +112,7 @@ pub fn plan_features(
         let NodeKind::Compute { op } = &node.kind else {
             continue;
         };
-        let choice = annotation
-            .choice(id)
-            .ok_or(PlanError::MissingChoice(id))?;
+        let choice = annotation.choice(id).ok_or(PlanError::MissingChoice(id))?;
         let impl_def = ctx.registry.get(choice.impl_id);
         if impl_def.op != op.kind() {
             return Err(PlanError::WrongOp(id));

@@ -10,11 +10,9 @@
 //! Hadoop-based batch engine with large per-operator setup costs, while
 //! PlinyCompute is an in-memory engine with millisecond dispatch.
 
-use serde::{Deserialize, Serialize};
-
 /// The hardware/software profile of the distributed engine a plan will
 /// run on.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Cluster {
     /// Number of worker machines.
     pub workers: usize,

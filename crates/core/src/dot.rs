@@ -22,10 +22,7 @@ pub fn graph_to_dot(graph: &ComputeGraph) -> String {
             NodeKind::Compute { op } => {
                 out.push_str(&format!(
                     "  n{} [label=\"{}\\n{:?} : {}\"];\n",
-                    id.0,
-                    label,
-                    op,
-                    node.mtype
+                    id.0, label, op, node.mtype
                 ));
             }
         }
@@ -103,8 +100,7 @@ pub fn annotated_to_dot(
 mod tests {
     use super::*;
     use crate::{
-        format::PhysFormat, graph::VertexChoice, ops::Op, transforms::Transform,
-        types::MatrixType,
+        format::PhysFormat, graph::VertexChoice, ops::Op, transforms::Transform, types::MatrixType,
     };
 
     fn sample() -> (ComputeGraph, Annotation, ImplRegistry) {

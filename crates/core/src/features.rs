@@ -2,8 +2,6 @@
 //! describe an atomic computation implementation or a physical matrix
 //! transformation, and that the cost models map to running time.
 
-use serde::{Deserialize, Serialize};
-
 /// The feature vector of §7, computed analytically for every
 /// implementation and transformation:
 ///
@@ -14,7 +12,7 @@ use serde::{Deserialize, Serialize};
 /// 4. number of tuples pushed through the computation, and
 /// 5. the number of relational operators launched (each carries a fixed
 ///    setup cost on engines like SimSQL).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct CostFeatures {
     /// Floating-point operations on the busiest worker (parallel,
     /// multi-core kernels).

@@ -3,7 +3,6 @@
 
 use crate::types::{MatrixType, DENSE_ENTRY_BYTES, SPARSE_ENTRY_BYTES, TRIPLE_ENTRY_BYTES};
 use crate::Cluster;
-use serde::{Deserialize, Serialize};
 
 /// A physical matrix implementation: how a matrix is laid out as a
 /// relation of tuples in the distributed engine.
@@ -11,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// Mirrors the storage specifications of §3 — "single tuple",
 /// "tile-based with 500 by 500 tiles", "row strips with rows of height
 /// 50" — plus the sparse layouts of §7/§9 (relational triples, CSR).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PhysFormat {
     /// The whole (dense) matrix stored in one tuple.
     SingleTuple,
@@ -198,7 +197,11 @@ impl FormatCatalog {
     /// The full 19-format catalog of the paper's prototype.
     pub fn paper_default() -> Self {
         let mut formats = vec![PhysFormat::SingleTuple];
-        formats.extend(DEFAULT_TILE_SIDES.iter().map(|s| PhysFormat::Tile { side: *s }));
+        formats.extend(
+            DEFAULT_TILE_SIDES
+                .iter()
+                .map(|s| PhysFormat::Tile { side: *s }),
+        );
         formats.extend(
             DEFAULT_STRIP_SIZES
                 .iter()
@@ -225,9 +228,8 @@ impl FormatCatalog {
     /// The 10-format "single/block" catalog of §8.4.
     pub fn single_block() -> Self {
         let mut c = Self::paper_default();
-        c.formats.retain(|f| {
-            matches!(f, PhysFormat::SingleTuple | PhysFormat::Tile { .. })
-        });
+        c.formats
+            .retain(|f| matches!(f, PhysFormat::SingleTuple | PhysFormat::Tile { .. }));
         c
     }
 
@@ -359,7 +361,9 @@ mod tests {
         let cl = Cluster::simsql_like(10);
         let v = MatrixType::dense(1, 50_000);
         let cands = cat.candidates(&v, &cl);
-        assert!(cands.iter().all(|f| !matches!(f, PhysFormat::RowStrip { .. })));
+        assert!(cands
+            .iter()
+            .all(|f| !matches!(f, PhysFormat::RowStrip { .. })));
         assert!(cands.contains(&PhysFormat::ColStrip { width: 1000 }));
     }
 

@@ -5,10 +5,9 @@ use crate::ops::{Op, TypeError};
 use crate::types::MatrixType;
 use crate::ImplId;
 use crate::Transform;
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a vertex in a [`ComputeGraph`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -26,7 +25,7 @@ impl std::fmt::Display for NodeId {
 }
 
 /// What a vertex is: an input matrix or an atomic computation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum NodeKind {
     /// A source vertex: an input matrix with a known physical
     /// implementation (§4.1: "each source vertex ... is labeled with
@@ -44,7 +43,7 @@ pub enum NodeKind {
 }
 
 /// One vertex of a compute graph.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Node {
     /// Source or compute.
     pub kind: NodeKind,
@@ -78,7 +77,7 @@ impl Node {
 /// A directed acyclic compute graph whose vertices are matrices
 /// (sources) and atomic computations, built bottom-up so vertex indices
 /// are already a topological order.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ComputeGraph {
     nodes: Vec<Node>,
 }
@@ -300,7 +299,7 @@ impl BitSet {
 /// The labels chosen for one compute vertex by an annotation: the atomic
 /// computation implementation, the transformation on each in-edge, and
 /// the resulting output physical implementation `v.p`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VertexChoice {
     /// The chosen atomic computation implementation `v.i`.
     pub impl_id: ImplId,
@@ -314,7 +313,7 @@ pub struct VertexChoice {
 /// compute vertex and a transformation for every edge.
 ///
 /// Source vertices carry no choice — their format is fixed in the graph.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Annotation {
     /// Per-vertex choices, indexed by `NodeId`; `None` for sources.
     pub choices: Vec<Option<VertexChoice>>,
@@ -445,10 +444,7 @@ mod tests {
     fn annotation_format_of_source_is_fixed() {
         let (g, _, _) = diamond();
         let ann = Annotation::empty(&g);
-        assert_eq!(
-            ann.format_of(&g, NodeId(0)),
-            Some(PhysFormat::SingleTuple)
-        );
+        assert_eq!(ann.format_of(&g, NodeId(0)), Some(PhysFormat::SingleTuple));
         assert_eq!(ann.format_of(&g, NodeId(1)), None);
         assert!(!ann.is_complete(&g));
     }

@@ -12,10 +12,9 @@ use crate::format::PhysFormat;
 use crate::ops::{Op, OpKind};
 use crate::types::MatrixType;
 use crate::Cluster;
-use serde::{Deserialize, Serialize};
 
 /// Identifier of an implementation within an [`ImplRegistry`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ImplId(pub u16);
 
 impl ImplId {
@@ -30,7 +29,7 @@ impl ImplId {
 /// shape the relational engine runs for it. Several registry entries
 /// share a strategy (e.g. `Add`/`Sub`/`Hadamard` each get their own
 /// co-partitioned entry).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Strategy {
     /// single × single on one worker (plain local GEMM).
     MmSingleLocal,
@@ -369,7 +368,9 @@ fn analyze(
                     cpu_flops: flops_total / par,
                     net_bytes: shuffle_total / cluster.workers as f64,
                     inter_bytes: partial_bytes,
-                    tuples: chunks_a + bf.num_tuples(&bm) + partial_count
+                    tuples: chunks_a
+                        + bf.num_tuples(&bm)
+                        + partial_count
                         + out.num_tuples(out_type),
                     ops: 2.0,
                 },
@@ -611,8 +612,7 @@ fn analyze(
             let s = side as f64;
             let col_chunks = (am.cols as f64 / s).ceil();
             // Row-max and row-sum vectors: one per tile column block.
-            let reduce_bytes =
-                2.0 * am.rows as f64 * col_chunks * crate::types::DENSE_ENTRY_BYTES;
+            let reduce_bytes = 2.0 * am.rows as f64 * col_chunks * crate::types::DENSE_ENTRY_BYTES;
             Some(ImplEval {
                 out_format: out,
                 features: CostFeatures {
@@ -848,12 +848,28 @@ impl ImplRegistry {
         let spec: &[(&'static str, OpKind, Strategy)] = &[
             // -- MatMul (10) --
             ("mm_single_local", O::MatMul, S::MmSingleLocal),
-            ("mm_bcast_single_colstrip", O::MatMul, S::MmBcastSingleColstrip),
-            ("mm_rowstrip_bcast_single", O::MatMul, S::MmRowstripBcastSingle),
-            ("mm_rowstrip_colstrip_cross", O::MatMul, S::MmRowstripColstripCross),
+            (
+                "mm_bcast_single_colstrip",
+                O::MatMul,
+                S::MmBcastSingleColstrip,
+            ),
+            (
+                "mm_rowstrip_bcast_single",
+                O::MatMul,
+                S::MmRowstripBcastSingle,
+            ),
+            (
+                "mm_rowstrip_colstrip_cross",
+                O::MatMul,
+                S::MmRowstripColstripCross,
+            ),
             ("mm_tile_shuffle", O::MatMul, S::MmTileShuffle),
             ("mm_tile_bcast", O::MatMul, S::MmTileBcast),
-            ("mm_colstrip_rowstrip_outer", O::MatMul, S::MmColstripRowstripOuter),
+            (
+                "mm_colstrip_rowstrip_outer",
+                O::MatMul,
+                S::MmColstripRowstripOuter,
+            ),
             ("mm_csrtile_tile", O::MatMul, S::MmCsrTileTile),
             ("mm_csrsingle_single", O::MatMul, S::MmCsrSingleSingle),
             ("mm_coo_dense_shuffle", O::MatMul, S::MmCooDenseShuffle),
@@ -866,7 +882,11 @@ impl ImplRegistry {
             ("hadamard_single_local", O::Hadamard, S::EwSingleLocal),
             // -- Sparse elementwise (2) --
             ("add_coo_dense_copart", O::Add, S::AddCooDenseCopart),
-            ("hadamard_csr_dense_copart", O::Hadamard, S::HadamardCsrDenseCopart),
+            (
+                "hadamard_csr_dense_copart",
+                O::Hadamard,
+                S::HadamardCsrDenseCopart,
+            ),
             // -- Bias (1) --
             ("bias_bcast", O::BroadcastAddRow, S::BiasBcast),
             // -- Unary maps (6) --
@@ -1021,11 +1041,7 @@ mod tests {
         let b = MatrixType::dense(100_000, 100_000);
         let rs = PhysFormat::RowStrip { height: 100 };
         assert_eq!(
-            mm.accepts(
-                &Op::MatMul,
-                &[(a, rs), (b, PhysFormat::SingleTuple)],
-                &cl()
-            ),
+            mm.accepts(&Op::MatMul, &[(a, rs), (b, PhysFormat::SingleTuple)], &cl()),
             None
         );
         // A small broadcast side is fine.
@@ -1103,7 +1119,10 @@ mod tests {
         // Dense layout works for sigmoid.
         let dense = MatrixType::dense(50_000, 50_000);
         let tile = PhysFormat::Tile { side: 1000 };
-        assert_eq!(sig.accepts(&Op::Sigmoid, &[(dense, tile)], &cl()), Some(tile));
+        assert_eq!(
+            sig.accepts(&Op::Sigmoid, &[(dense, tile)], &cl()),
+            Some(tile)
+        );
     }
 
     #[test]
@@ -1144,7 +1163,11 @@ mod tests {
             Some(PhysFormat::ColStrip { width: 100 })
         );
         assert_eq!(
-            t.accepts(&Op::Transpose, &[(m, PhysFormat::Tile { side: 1000 })], &cl()),
+            t.accepts(
+                &Op::Transpose,
+                &[(m, PhysFormat::Tile { side: 1000 })],
+                &cl()
+            ),
             Some(PhysFormat::Tile { side: 1000 })
         );
     }
@@ -1155,11 +1178,16 @@ mod tests {
         let m = MatrixType::dense(20_000, 20_000);
         let tile = PhysFormat::Tile { side: 1000 };
         let rows_tile = r.by_name("rowsums_tile_shuffle").unwrap();
-        let got = rows_tile.accepts(&Op::RowSums, &[(m, tile)], &cl()).unwrap();
+        let got = rows_tile
+            .accepts(&Op::RowSums, &[(m, tile)], &cl())
+            .unwrap();
         // Output is a 20000×1 vector in 1000-row strips.
         assert_eq!(got, PhysFormat::RowStrip { height: 1000 });
         let rows_aligned = r.by_name("rowsums_rowaligned").unwrap();
-        assert_eq!(rows_aligned.accepts(&Op::RowSums, &[(m, tile)], &cl()), None);
+        assert_eq!(
+            rows_aligned.accepts(&Op::RowSums, &[(m, tile)], &cl()),
+            None
+        );
     }
 
     #[test]
@@ -1186,9 +1214,7 @@ mod tests {
         let a = MatrixType::dense(20_000, 20_000);
         let c = MatrixType::dense(20_000, 200_000);
         let t = PhysFormat::Tile { side: 1000 };
-        let eval = mm
-            .evaluate(&Op::MatMul, &[(a, t), (c, t)], &cl())
-            .unwrap();
+        let eval = mm.evaluate(&Op::MatMul, &[(a, t), (c, t)], &cl()).unwrap();
         // 20 × 200 × 20 partial tiles of 8 MB each = 640 GB.
         assert!(eval.features.inter_bytes > 1e11);
         assert!(eval.features.tuples > 80_000.0);

@@ -3,7 +3,6 @@
 //! specification functions.
 
 use crate::types::MatrixType;
-use serde::{Deserialize, Serialize};
 
 /// An atomic computation, possibly carrying a scalar payload.
 ///
@@ -11,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// these are ours. Every experiment in the paper (FFNN backprop,
 /// block-wise inverse, multiplication chains) is expressible with this
 /// set.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Op {
     /// Matrix multiplication `A × B`.
     MatMul,
@@ -50,7 +49,7 @@ pub enum Op {
 
 /// The payload-free discriminant of an [`Op`], used to match atomic
 /// computation implementations against vertices (`i.a = v.a` in §4.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpKind {
     /// See [`Op::MatMul`].
     MatMul,
@@ -396,9 +395,7 @@ mod tests {
 
     #[test]
     fn inverse_requires_square() {
-        assert!(Op::Inverse
-            .output_type(&[MatrixType::dense(3, 4)])
-            .is_err());
+        assert!(Op::Inverse.output_type(&[MatrixType::dense(3, 4)]).is_err());
         assert!(Op::Inverse.output_type(&[MatrixType::dense(4, 4)]).is_ok());
     }
 

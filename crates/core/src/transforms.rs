@@ -7,12 +7,11 @@ use crate::features::CostFeatures;
 use crate::format::PhysFormat;
 use crate::types::MatrixType;
 use crate::Cluster;
-use serde::{Deserialize, Serialize};
 
 /// The algorithm class of a transformation. The paper's prototype
 /// includes 20 physical matrix transformations; these are ours
 /// ([`ALL_TRANSFORM_KINDS`] pins the count).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TransformKind {
     /// No-op: the formats already match.
     Identity,
@@ -85,7 +84,7 @@ pub const ALL_TRANSFORM_KINDS: [TransformKind; 20] = [
 ///
 /// `Transform { kind, to }` realizes the type specification function
 /// `t.f(m, p_in) = to` of §3 for the `(m, p_in)` pairs the kind supports.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Transform {
     /// Algorithm class.
     pub kind: TransformKind,
@@ -322,7 +321,11 @@ mod tests {
         );
         // COO cannot turn directly into strips.
         assert!(cat
-            .find(&sparse, PhysFormat::Coo, PhysFormat::RowStrip { height: 100 })
+            .find(
+                &sparse,
+                PhysFormat::Coo,
+                PhysFormat::RowStrip { height: 100 }
+            )
             .is_none());
     }
 
@@ -361,8 +364,16 @@ mod tests {
             (M, tile1k, tile1k),
             (M, tile1k, PhysFormat::SingleTuple),
             (M, PhysFormat::SingleTuple, tile1k),
-            (M, PhysFormat::SingleTuple, PhysFormat::RowStrip { height: 100 }),
-            (M, PhysFormat::SingleTuple, PhysFormat::ColStrip { width: 100 }),
+            (
+                M,
+                PhysFormat::SingleTuple,
+                PhysFormat::RowStrip { height: 100 },
+            ),
+            (
+                M,
+                PhysFormat::SingleTuple,
+                PhysFormat::ColStrip { width: 100 },
+            ),
             (M, tile1k, PhysFormat::Tile { side: 100 }),
             (M, tile1k, PhysFormat::RowStrip { height: 100 }),
             (M, tile1k, PhysFormat::ColStrip { width: 100 }),

@@ -1,7 +1,5 @@
 //! Matrix types — the set `M` of the paper's formalism (§3).
 
-use serde::{Deserialize, Serialize};
-
 /// Bytes per dense `f64` entry.
 pub const DENSE_ENTRY_BYTES: f64 = 8.0;
 /// Bytes per stored sparse entry (value + column index + amortized row
@@ -20,7 +18,7 @@ pub const TRIPLE_ENTRY_BYTES: f64 = 24.0;
 /// because §7 of the paper makes the cost model sparsity-aware and notes
 /// that "the sparsity for all inputs can easily be estimated as data are
 /// loaded".
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MatrixType {
     /// Number of rows.
     pub rows: u64,

@@ -12,11 +12,7 @@ fn cl() -> Cluster {
     Cluster::simsql_like(10)
 }
 
-fn eval(
-    name: &str,
-    op: Op,
-    inputs: &[(MatrixType, PhysFormat)],
-) -> matopt_core::ImplEval {
+fn eval(name: &str, op: Op, inputs: &[(MatrixType, PhysFormat)]) -> matopt_core::ImplEval {
     let reg = ImplRegistry::paper_default();
     reg.by_name(name)
         .unwrap_or_else(|| panic!("{name} registered"))
@@ -114,7 +110,11 @@ fn broadcast_add_row_ships_the_vector_once() {
 #[test]
 fn unary_map_is_network_free() {
     let a = MatrixType::dense(10_000, 10_000);
-    let e = eval("relu_map", Op::Relu, &[(a, PhysFormat::Tile { side: 1000 })]);
+    let e = eval(
+        "relu_map",
+        Op::Relu,
+        &[(a, PhysFormat::Tile { side: 1000 })],
+    );
     close(e.features.net_bytes, 0.0);
     close(e.features.inter_bytes, 0.0);
     close(e.features.tuples, 100.0);

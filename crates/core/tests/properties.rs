@@ -10,8 +10,11 @@ use matopt_core::{
 use proptest::prelude::*;
 
 fn arb_type() -> impl Strategy<Value = MatrixType> {
-    (1u64..200_000, 1u64..200_000, 0.0f64..=1.0)
-        .prop_map(|(r, c, s)| MatrixType { rows: r, cols: c, sparsity: s })
+    (1u64..200_000, 1u64..200_000, 0.0f64..=1.0).prop_map(|(r, c, s)| MatrixType {
+        rows: r,
+        cols: c,
+        sparsity: s,
+    })
 }
 
 fn arb_format() -> impl Strategy<Value = PhysFormat> {

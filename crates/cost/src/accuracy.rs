@@ -1,0 +1,117 @@
+//! Cost-model accuracy: predicted-vs-observed residuals.
+//!
+//! The paper validates its learned cost model by checking that
+//! predicted runtimes track measured ones (§7–8). [`sample_residuals`]
+//! replays a set of [`CostSample`]s through any [`CostModel`] and
+//! reports the per-sample error, which the calibration harness exports
+//! as structured `fit_residual` events.
+
+use crate::model::{CostKey, CostModel, CostSample};
+use matopt_core::Cluster;
+
+/// One predicted-vs-observed pair.
+#[derive(Debug, Clone, Copy)]
+pub struct Residual {
+    /// What was measured.
+    pub key: CostKey,
+    /// Model prediction (seconds).
+    pub predicted: f64,
+    /// Measured wall-clock seconds.
+    pub observed: f64,
+}
+
+impl Residual {
+    /// `predicted - observed` in seconds.
+    pub fn error(&self) -> f64 {
+        self.predicted - self.observed
+    }
+
+    /// Relative error `|predicted - observed| / observed`, with the
+    /// denominator clamped away from zero so instant measurements do
+    /// not blow up the statistic.
+    pub fn rel_error(&self) -> f64 {
+        self.error().abs() / self.observed.max(1e-9)
+    }
+}
+
+/// Replays every sample through `model` and pairs the prediction with
+/// the measurement.
+pub fn sample_residuals(
+    model: &dyn CostModel,
+    samples: &[CostSample],
+    cluster: &Cluster,
+) -> Vec<Residual> {
+    samples
+        .iter()
+        .map(|s| {
+            let predicted = match s.key {
+                CostKey::Op(op) => model.impl_time(op, &s.features, cluster),
+                CostKey::Transform(t) => model.transform_time(t, &s.features, cluster),
+            };
+            Residual {
+                key: s.key,
+                predicted,
+                observed: s.seconds,
+            }
+        })
+        .collect()
+}
+
+/// Mean relative error over a residual set (0 when empty).
+pub fn mean_rel_error(residuals: &[Residual]) -> f64 {
+    if residuals.is_empty() {
+        return 0.0;
+    }
+    residuals.iter().map(Residual::rel_error).sum::<f64>() / residuals.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::LearnedCostModel;
+    use matopt_core::{CostFeatures, OpKind};
+
+    fn feat(flops: f64) -> CostFeatures {
+        CostFeatures {
+            cpu_flops: flops,
+            local_flops: 0.0,
+            net_bytes: 0.0,
+            inter_bytes: 0.0,
+            tuples: 0.0,
+            ops: 1.0,
+        }
+    }
+
+    #[test]
+    fn fitted_model_has_small_residuals_on_its_own_samples() {
+        let samples: Vec<CostSample> = (1..20)
+            .map(|i| CostSample {
+                key: CostKey::Op(OpKind::MatMul),
+                features: feat(i as f64 * 1e9),
+                seconds: i as f64 * 0.1,
+            })
+            .collect();
+        let model = LearnedCostModel::fit(&samples);
+        let cluster = Cluster::unit_test(1);
+        let res = sample_residuals(&model, &samples, &cluster);
+        assert_eq!(res.len(), samples.len());
+        assert!(
+            mean_rel_error(&res) < 0.05,
+            "in-sample fit should be tight, got {}",
+            mean_rel_error(&res)
+        );
+        for r in &res {
+            assert!(r.predicted.is_finite() && r.observed > 0.0);
+        }
+    }
+
+    #[test]
+    fn rel_error_survives_zero_observations() {
+        let r = Residual {
+            key: CostKey::Op(OpKind::Add),
+            predicted: 1.0,
+            observed: 0.0,
+        };
+        assert!(r.rel_error().is_finite());
+    }
+}

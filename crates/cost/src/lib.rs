@@ -20,8 +20,10 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod accuracy;
 mod model;
 mod regression;
 
+pub use accuracy::{mean_rel_error, sample_residuals, Residual};
 pub use model::{plan_cost, AnalyticalCostModel, CostKey, CostModel, CostSample, LearnedCostModel};
 pub use regression::{fit_ridge, LinearModel, N_FEATURES};

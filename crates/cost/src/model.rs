@@ -2,8 +2,8 @@
 
 use crate::regression::{fit_ridge, LinearModel, N_FEATURES};
 use matopt_core::{
-    plan_features, Annotation, Cluster, ComputeGraph, CostFeatures, NodeKind, OpKind,
-    PlanContext, PlanError, TransformKind,
+    plan_features, Annotation, Cluster, ComputeGraph, CostFeatures, NodeKind, OpKind, PlanContext,
+    PlanError, TransformKind,
 };
 use std::collections::HashMap;
 

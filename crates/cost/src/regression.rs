@@ -89,7 +89,15 @@ mod tests {
         let xs: Vec<[f64; 7]> = (0..24)
             .map(|i| {
                 let i = i as f64;
-                [i, i * i, (i * 7.0) % 5.0, 3.0 * i + 1.0, i % 2.0, (i * 3.0) % 4.0, 1.0]
+                [
+                    i,
+                    i * i,
+                    (i * 7.0) % 5.0,
+                    3.0 * i + 1.0,
+                    i % 2.0,
+                    (i * 3.0) % 4.0,
+                    1.0,
+                ]
             })
             .collect();
         let ys: Vec<f64> = xs.iter().map(|r| 2.0 * r[0] + 3.0 * r[3] + 5.0).collect();

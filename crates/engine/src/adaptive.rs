@@ -145,9 +145,7 @@ pub fn execute_adaptive(
                 let rel = inputs
                     .get(&v)
                     .ok_or_else(|| {
-                        AdaptiveError::Exec(ExecError::Internal(format!(
-                            "no input for source {v}"
-                        )))
+                        AdaptiveError::Exec(ExecError::Internal(format!("no input for source {v}")))
                     })?
                     .reformat(*format)
                     .map_err(|e| AdaptiveError::Exec(ExecError::Internal(e.to_string())))?;
@@ -185,17 +183,15 @@ pub fn execute_adaptive(
                 let remaining = order[pos + 1..]
                     .iter()
                     .any(|u| matches!(graph.node(*u).kind, NodeKind::Compute { .. }));
-                if remaining
-                    && relative_error(est, meas) > config.relative_error_threshold
-                {
+                if remaining && relative_error(est, meas) > config.relative_error_threshold {
                     // Halt and re-plan the suffix with corrected stats.
                     triggered_at.push(v);
                     reoptimizations += 1;
-                    let (g2, map2) =
-                        rebuild_suffix(graph, &order[..=pos], &values, &consumers);
-                    let plan2 = frontier_dp_beam(&g2, &OptContext::new(ctx, catalog, model), config.beam)
-                        .map_err(AdaptiveError::Opt)?
-                        .annotation;
+                    let (g2, map2) = rebuild_suffix(graph, &order[..=pos], &values, &consumers);
+                    let plan2 =
+                        frontier_dp_beam(&g2, &OptContext::new(ctx, catalog, model), config.beam)
+                            .map_err(AdaptiveError::Opt)?
+                            .annotation;
                     cur_graph = g2;
                     idmap = map2;
                     plan = plan2;
@@ -251,11 +247,7 @@ fn rebuild_suffix(
                     cols: rel.mtype.cols,
                     sparsity: rel.measured_sparsity().max(f64::MIN_POSITIVE),
                 };
-                map[id.index()] = g2.add_source_named(
-                    measured,
-                    rel.format,
-                    node.name.as_deref(),
-                );
+                map[id.index()] = g2.add_source_named(measured, rel.format, node.name.as_deref());
             }
         } else {
             match &node.kind {
@@ -307,8 +299,14 @@ mod tests {
 
         let mut g = ComputeGraph::new();
         let d = 0.05;
-        let x = g.add_source(MatrixType::sparse(32, 32, d), PhysFormat::CsrTile { side: 8 });
-        let y = g.add_source(MatrixType::sparse(32, 32, d), PhysFormat::CsrTile { side: 8 });
+        let x = g.add_source(
+            MatrixType::sparse(32, 32, d),
+            PhysFormat::CsrTile { side: 8 },
+        );
+        let y = g.add_source(
+            MatrixType::sparse(32, 32, d),
+            PhysFormat::CsrTile { side: 8 },
+        );
         let h = g.add_op(Op::Hadamard, &[x, y]).unwrap();
         let w = g.add_source(MatrixType::dense(32, 16), PhysFormat::Tile { side: 8 });
         let prod = g.add_op(Op::MatMul, &[h, w]).unwrap();
@@ -316,16 +314,31 @@ mod tests {
 
         // Identical pattern for x and y.
         let mut rng = seeded_rng(17);
-        let base = random_dense_normal(32, 32, &mut rng)
-            .map(|v| if v > 1.6 { v } else { 0.0 });
+        let base = random_dense_normal(32, 32, &mut rng).map(|v| if v > 1.6 { v } else { 0.0 });
         let wdat = random_dense_normal(32, 16, &mut rng);
         let mut inputs = HashMap::new();
-        inputs.insert(x, DistRelation::from_dense(&base, PhysFormat::CsrTile { side: 8 }).unwrap());
-        inputs.insert(y, DistRelation::from_dense(&base, PhysFormat::CsrTile { side: 8 }).unwrap());
-        inputs.insert(w, DistRelation::from_dense(&wdat, PhysFormat::Tile { side: 8 }).unwrap());
+        inputs.insert(
+            x,
+            DistRelation::from_dense(&base, PhysFormat::CsrTile { side: 8 }).unwrap(),
+        );
+        inputs.insert(
+            y,
+            DistRelation::from_dense(&base, PhysFormat::CsrTile { side: 8 }).unwrap(),
+        );
+        inputs.insert(
+            w,
+            DistRelation::from_dense(&wdat, PhysFormat::Tile { side: 8 }).unwrap(),
+        );
 
-        let out = execute_adaptive(&g, &inputs, &ctx, &catalog(), &model, AdaptiveConfig::default())
-            .expect("adaptive run succeeds");
+        let out = execute_adaptive(
+            &g,
+            &inputs,
+            &ctx,
+            &catalog(),
+            &model,
+            AdaptiveConfig::default(),
+        )
+        .expect("adaptive run succeeds");
         assert!(
             out.reoptimizations >= 1,
             "the d^2-vs-d misestimate must trigger a re-plan"
@@ -354,11 +367,24 @@ mod tests {
         let da = random_dense_normal(24, 24, &mut rng);
         let db = random_dense_normal(24, 24, &mut rng);
         let mut inputs = HashMap::new();
-        inputs.insert(a, DistRelation::from_dense(&da, PhysFormat::Tile { side: 8 }).unwrap());
-        inputs.insert(b, DistRelation::from_dense(&db, PhysFormat::Tile { side: 8 }).unwrap());
+        inputs.insert(
+            a,
+            DistRelation::from_dense(&da, PhysFormat::Tile { side: 8 }).unwrap(),
+        );
+        inputs.insert(
+            b,
+            DistRelation::from_dense(&db, PhysFormat::Tile { side: 8 }).unwrap(),
+        );
 
-        let out = execute_adaptive(&g, &inputs, &ctx, &catalog(), &model, AdaptiveConfig::default())
-            .expect("runs");
+        let out = execute_adaptive(
+            &g,
+            &inputs,
+            &ctx,
+            &catalog(),
+            &model,
+            AdaptiveConfig::default(),
+        )
+        .expect("runs");
         assert_eq!(out.reoptimizations, 0);
         let expect = da.matmul(&db).sigmoid();
         let sink = *out.sinks.keys().next().unwrap();
@@ -401,21 +427,35 @@ mod threshold_tests {
         // misestimate.
         let mut g = ComputeGraph::new();
         let d = 0.06;
-        let x = g.add_source(MatrixType::sparse(32, 32, d), PhysFormat::CsrTile { side: 8 });
-        let y = g.add_source(MatrixType::sparse(32, 32, d), PhysFormat::CsrTile { side: 8 });
+        let x = g.add_source(
+            MatrixType::sparse(32, 32, d),
+            PhysFormat::CsrTile { side: 8 },
+        );
+        let y = g.add_source(
+            MatrixType::sparse(32, 32, d),
+            PhysFormat::CsrTile { side: 8 },
+        );
         let h1 = g.add_op(Op::Hadamard, &[x, y]).unwrap();
         let h2 = g.add_op(Op::Hadamard, &[h1, x]).unwrap();
         let w = g.add_source(MatrixType::dense(32, 8), PhysFormat::Tile { side: 8 });
         let _p = g.add_op(Op::MatMul, &[h2, w]).unwrap();
 
         let mut rng = seeded_rng(29);
-        let base =
-            random_dense_normal(32, 32, &mut rng).map(|v| if v > 1.5 { v } else { 0.0 });
+        let base = random_dense_normal(32, 32, &mut rng).map(|v| if v > 1.5 { v } else { 0.0 });
         let wdat = random_dense_normal(32, 8, &mut rng);
         let mut inputs = HashMap::new();
-        inputs.insert(x, DistRelation::from_dense(&base, PhysFormat::CsrTile { side: 8 }).unwrap());
-        inputs.insert(y, DistRelation::from_dense(&base, PhysFormat::CsrTile { side: 8 }).unwrap());
-        inputs.insert(w, DistRelation::from_dense(&wdat, PhysFormat::Tile { side: 8 }).unwrap());
+        inputs.insert(
+            x,
+            DistRelation::from_dense(&base, PhysFormat::CsrTile { side: 8 }).unwrap(),
+        );
+        inputs.insert(
+            y,
+            DistRelation::from_dense(&base, PhysFormat::CsrTile { side: 8 }).unwrap(),
+        );
+        inputs.insert(
+            w,
+            DistRelation::from_dense(&wdat, PhysFormat::Tile { side: 8 }).unwrap(),
+        );
 
         let run = |threshold: f64| {
             execute_adaptive(

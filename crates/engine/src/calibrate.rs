@@ -16,8 +16,9 @@ use matopt_core::{
     Annotation, Cluster, ComputeGraph, ImplRegistry, MatrixType, NodeId, Op, PhysFormat,
     PlanContext, Transform, VertexChoice,
 };
-use matopt_cost::{CostKey, CostSample};
+use matopt_cost::{sample_residuals, CostKey, CostSample, LearnedCostModel};
 use matopt_kernels::{random_dense_normal, seeded_rng, DenseMatrix};
+use matopt_obs::{Obs, Subsystem};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -33,9 +34,15 @@ struct MicroBench {
 
 fn curated(scale: usize) -> Vec<MicroBench> {
     let s = scale; // base edge length
-    let tile = PhysFormat::Tile { side: (s / 4) as u64 };
-    let rs = PhysFormat::RowStrip { height: (s / 4) as u64 };
-    let cs = PhysFormat::ColStrip { width: (s / 4) as u64 };
+    let tile = PhysFormat::Tile {
+        side: (s / 4) as u64,
+    };
+    let rs = PhysFormat::RowStrip {
+        height: (s / 4) as u64,
+    };
+    let cs = PhysFormat::ColStrip {
+        width: (s / 4) as u64,
+    };
     let single = PhysFormat::SingleTuple;
     vec![
         MicroBench {
@@ -114,12 +121,34 @@ fn curated(scale: usize) -> Vec<MicroBench> {
 /// `scales` are base matrix edge lengths (e.g. `[128, 256, 384]`);
 /// `seed` fixes the generated payloads.
 pub fn collect_samples(scales: &[usize], seed: u64, cluster: &Cluster) -> Vec<CostSample> {
+    collect_samples_traced(scales, seed, cluster, &Obs::disabled())
+}
+
+/// [`collect_samples`] with observability: wraps the suite in a
+/// `calibrate` span and each scale in a `calibration_scale` span, and
+/// emits one `calib_sample` record per measurement, all under
+/// [`Subsystem::Calibration`].
+pub fn collect_samples_traced(
+    scales: &[usize],
+    seed: u64,
+    cluster: &Cluster,
+    obs: &Obs,
+) -> Vec<CostSample> {
+    let _run = obs.span_with(Subsystem::Calibration, "calibrate", || {
+        vec![
+            ("scales", scales.len().into()),
+            ("seed", (seed as i64).into()),
+        ]
+    });
     let registry = ImplRegistry::paper_default();
     let ctx = PlanContext::new(&registry, *cluster);
     let mut rng = seeded_rng(seed);
     let mut samples = Vec::new();
 
     for &scale in scales {
+        let _scale_span = obs.span_with(Subsystem::Calibration, "calibration_scale", || {
+            vec![("scale", scale.into())]
+        });
         for bench in curated(scale) {
             let impl_def = registry
                 .by_name(bench.impl_name)
@@ -132,7 +161,10 @@ pub fn collect_samples(scales: &[usize], seed: u64, cluster: &Cluster) -> Vec<Co
                 let mt = MatrixType::dense(*r as u64, *c as u64);
                 let id = g.add_source(mt, *fmt);
                 let dense = calibration_matrix(*r, *c, bench.op, &mut rng);
-                data.insert(id, DistRelation::from_dense(&dense, *fmt).expect("chunkable"));
+                data.insert(
+                    id,
+                    DistRelation::from_dense(&dense, *fmt).expect("chunkable"),
+                );
                 src_ids.push(id);
             }
             let v = g.add_op(bench.op, &src_ids).expect("type-correct bench");
@@ -166,6 +198,14 @@ pub fn collect_samples(scales: &[usize], seed: u64, cluster: &Cluster) -> Vec<Co
                 continue;
             }
             let seconds = t0.elapsed().as_secs_f64();
+            obs.record(Subsystem::Calibration, "calib_sample", || {
+                vec![
+                    ("op", format!("{:?}", bench.op.kind()).into()),
+                    ("impl", bench.impl_name.into()),
+                    ("scale", scale.into()),
+                    ("seconds", seconds.into()),
+                ]
+            });
             samples.push(CostSample {
                 key: CostKey::Op(bench.op.kind()),
                 features: eval.features,
@@ -177,14 +217,25 @@ pub fn collect_samples(scales: &[usize], seed: u64, cluster: &Cluster) -> Vec<Co
         // representative moves and time them.
         let dense = random_dense_normal(scale, scale, &mut rng);
         let m = MatrixType::dense(scale as u64, scale as u64);
-        let tile = PhysFormat::Tile { side: (scale / 4) as u64 };
+        let tile = PhysFormat::Tile {
+            side: (scale / 4) as u64,
+        };
         let moves = [
             (tile, PhysFormat::SingleTuple),
             (PhysFormat::SingleTuple, tile),
-            (tile, PhysFormat::RowStrip { height: (scale / 4) as u64 }),
             (
-                PhysFormat::RowStrip { height: (scale / 4) as u64 },
-                PhysFormat::ColStrip { width: (scale / 4) as u64 },
+                tile,
+                PhysFormat::RowStrip {
+                    height: (scale / 4) as u64,
+                },
+            ),
+            (
+                PhysFormat::RowStrip {
+                    height: (scale / 4) as u64,
+                },
+                PhysFormat::ColStrip {
+                    width: (scale / 4) as u64,
+                },
             ),
         ];
         for (from, to) in moves {
@@ -195,24 +246,68 @@ pub fn collect_samples(scales: &[usize], seed: u64, cluster: &Cluster) -> Vec<Co
             let rel = DistRelation::from_dense(&dense, from).expect("chunkable");
             let t0 = Instant::now();
             let _ = rel.reformat(to).expect("reformat");
+            let seconds = t0.elapsed().as_secs_f64();
+            obs.record(Subsystem::Calibration, "calib_sample", || {
+                vec![
+                    ("transform", format!("{:?}", t.kind).into()),
+                    ("scale", scale.into()),
+                    ("seconds", seconds.into()),
+                ]
+            });
             samples.push(CostSample {
                 key: CostKey::Transform(t.kind),
                 features,
-                seconds: t0.elapsed().as_secs_f64(),
+                seconds,
             });
         }
     }
     samples
 }
 
+/// Fits the learned cost model from calibration samples and emits one
+/// `fit_residual` record per sample ([`Subsystem::Calibration`]):
+/// predicted vs observed seconds of the freshly fitted model on its own
+/// training data, plus a closing `fit_summary` record with the mean
+/// relative error. This is the installation-time answer to "how good is
+/// the regression?".
+///
+/// # Panics
+/// Panics when `samples` is empty (same contract as
+/// [`LearnedCostModel::fit`]).
+pub fn fit_model_traced(samples: &[CostSample], cluster: &Cluster, obs: &Obs) -> LearnedCostModel {
+    let _fit = obs.span_with(Subsystem::Calibration, "fit", || {
+        vec![("samples", samples.len().into())]
+    });
+    let model = LearnedCostModel::fit(samples);
+    if obs.enabled() {
+        let residuals = sample_residuals(&model, samples, cluster);
+        for r in &residuals {
+            obs.record(Subsystem::Calibration, "fit_residual", || {
+                vec![
+                    ("key", format!("{:?}", r.key).into()),
+                    ("predicted", r.predicted.into()),
+                    ("observed", r.observed.into()),
+                    ("rel_error", r.rel_error().into()),
+                ]
+            });
+        }
+        obs.record(Subsystem::Calibration, "fit_summary", || {
+            vec![
+                ("samples", samples.len().into()),
+                ("specialized_models", model.specialized_models().into()),
+                (
+                    "mean_rel_error",
+                    matopt_cost::mean_rel_error(&residuals).into(),
+                ),
+            ]
+        });
+    }
+    model
+}
+
 /// Inverse needs a well-conditioned input; everything else takes plain
 /// normal data.
-fn calibration_matrix(
-    rows: usize,
-    cols: usize,
-    op: Op,
-    rng: &mut impl rand::Rng,
-) -> DenseMatrix {
+fn calibration_matrix(rows: usize, cols: usize, op: Op, rng: &mut impl rand::Rng) -> DenseMatrix {
     let mut d = random_dense_normal(rows, cols, rng);
     if matches!(op, Op::Inverse) {
         for i in 0..rows.min(cols) {

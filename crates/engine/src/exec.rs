@@ -8,9 +8,8 @@
 
 use crate::impl_exec::{execute_impl, ExecError};
 use crate::value::DistRelation;
-use matopt_core::{
-    Annotation, ComputeGraph, ImplRegistry, NodeId, NodeKind, TransformKind,
-};
+use matopt_core::{Annotation, ComputeGraph, ImplRegistry, NodeId, NodeKind, TransformKind};
+use matopt_obs::{Obs, Subsystem};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -46,6 +45,30 @@ pub fn execute_plan(
     inputs: &HashMap<NodeId, DistRelation>,
     registry: &ImplRegistry,
 ) -> Result<ExecOutcome, ExecError> {
+    execute_plan_traced(graph, annotation, inputs, registry, &Obs::disabled())
+}
+
+/// [`execute_plan`] with observability: wraps the run in an
+/// `execute_plan` span and emits one `impl` span per compute vertex and
+/// one `transform` span per non-identity in-edge, all under
+/// [`Subsystem::Executor`]. With a disabled handle this is exactly
+/// [`execute_plan`] (the instrumentation is a pointer check per site).
+///
+/// # Errors
+/// Same contract as [`execute_plan`].
+pub fn execute_plan_traced(
+    graph: &ComputeGraph,
+    annotation: &Annotation,
+    inputs: &HashMap<NodeId, DistRelation>,
+    registry: &ImplRegistry,
+    obs: &Obs,
+) -> Result<ExecOutcome, ExecError> {
+    let _run = obs.span_with(Subsystem::Executor, "execute_plan", || {
+        vec![
+            ("vertices", graph.len().into()),
+            ("compute_vertices", graph.compute_count().into()),
+        ]
+    });
     let start = Instant::now();
     let mut values: Vec<Option<DistRelation>> = vec![None; graph.len()];
     let mut vertex_seconds = vec![0.0; graph.len()];
@@ -54,9 +77,7 @@ pub fn execute_plan(
     for (id, node) in graph.iter() {
         match &node.kind {
             NodeKind::Source { format } => {
-                let rel = inputs
-                    .get(&id)
-                    .ok_or_else(|| missing_input(id))?;
+                let rel = inputs.get(&id).ok_or_else(|| missing_input(id))?;
                 let rel = if rel.format == *format {
                     rel.clone()
                 } else {
@@ -66,15 +87,29 @@ pub fn execute_plan(
                 values[id.index()] = Some(rel);
             }
             NodeKind::Compute { op } => {
-                let choice = annotation
-                    .choice(id)
-                    .ok_or(ExecError::MissingChoice(id))?;
+                let choice = annotation.choice(id).ok_or(ExecError::MissingChoice(id))?;
                 // Apply the edge transformations.
                 let mut transformed: Vec<DistRelation> = Vec::with_capacity(node.inputs.len());
-                for (input, t) in node.inputs.iter().zip(choice.input_transforms.iter()) {
-                    let src = values[input.index()]
-                        .as_ref()
-                        .expect("topological order");
+                for (edge, (input, t)) in node
+                    .inputs
+                    .iter()
+                    .zip(choice.input_transforms.iter())
+                    .enumerate()
+                {
+                    let src = values[input.index()].as_ref().expect("topological order");
+                    let _t_span = if t.kind == TransformKind::Identity {
+                        // Identity edges are free; keep the trace quiet.
+                        None
+                    } else {
+                        Some(obs.span_with(Subsystem::Executor, "transform", || {
+                            vec![
+                                ("vertex", id.index().into()),
+                                ("edge", edge.into()),
+                                ("kind", format!("{:?}", t.kind).into()),
+                                ("to", t.to.to_string().into()),
+                            ]
+                        }))
+                    };
                     let t0 = Instant::now();
                     let moved = if t.kind == TransformKind::Identity {
                         src.clone()
@@ -85,11 +120,21 @@ pub fn execute_plan(
                     transform_seconds[id.index()].push(t0.elapsed().as_secs_f64());
                     transformed.push(moved);
                 }
-                let strategy = registry.get(choice.impl_id).strategy;
+                let impl_def = registry.get(choice.impl_id);
                 let refs: Vec<&DistRelation> = transformed.iter().collect();
+                let _v_span = obs.span_with(Subsystem::Executor, "impl", || {
+                    let label = node.name.clone().unwrap_or_else(|| id.to_string());
+                    vec![
+                        ("vertex", id.index().into()),
+                        ("label", label.into()),
+                        ("op", format!("{op:?}").into()),
+                        ("impl", impl_def.name.into()),
+                        ("out_format", choice.output_format.to_string().into()),
+                    ]
+                });
                 let t0 = Instant::now();
                 let out = execute_impl(
-                    strategy,
+                    impl_def.strategy,
                     op,
                     &refs,
                     node.mtype,
@@ -131,7 +176,8 @@ pub fn reference_eval(
     for (id, node) in graph.iter() {
         match &node.kind {
             NodeKind::Source { .. } => {
-                values[id.index()] = Some(inputs.get(&id).ok_or_else(|| missing_input(id))?.clone());
+                values[id.index()] =
+                    Some(inputs.get(&id).ok_or_else(|| missing_input(id))?.clone());
             }
             NodeKind::Compute { op } => {
                 let arg = |j: usize| values[node.inputs[j].index()].as_ref().expect("topo");

@@ -7,12 +7,17 @@
 //! `explain`-style binaries in `matopt-bench` are thin wrappers over
 //! [`explain_plan`].
 
+use crate::exec::{execute_plan_traced, ExecOutcome};
+use crate::impl_exec::ExecError;
 use crate::sim::{simulate_plan, SimOutcome};
+use crate::value::DistRelation;
 use matopt_core::{
     Annotation, ComputeGraph, NodeId, NodeKind, PhysFormat, PlanContext, PlanError, Transform,
     TransformKind,
 };
 use matopt_cost::CostModel;
+use matopt_obs::{Obs, Subsystem};
+use std::collections::HashMap;
 
 /// One explained step: a compute vertex with its choices and costs.
 #[derive(Debug, Clone)]
@@ -52,7 +57,8 @@ impl PlanExplanation {
     pub fn hotspots(&self) -> Vec<&ExplainStep> {
         let mut v: Vec<&ExplainStep> = self.steps.iter().collect();
         v.sort_by(|a, b| {
-            (b.impl_seconds + b.transform_seconds).total_cmp(&(a.impl_seconds + a.transform_seconds))
+            (b.impl_seconds + b.transform_seconds)
+                .total_cmp(&(a.impl_seconds + a.transform_seconds))
         });
         v
     }
@@ -113,10 +119,7 @@ pub fn explain_plan(
         let choice = annotation.choice(step.vertex).expect("validated");
         steps.push(ExplainStep {
             vertex: step.vertex,
-            label: node
-                .name
-                .clone()
-                .unwrap_or_else(|| step.vertex.to_string()),
+            label: node.name.clone().unwrap_or_else(|| step.vertex.to_string()),
             op: format!("{op:?}"),
             impl_name: ctx.registry.get(choice.impl_id).name,
             transforms: choice.input_transforms.clone(),
@@ -133,6 +136,141 @@ pub fn explain_plan(
     Ok(PlanExplanation {
         outcome: report.outcome,
         steps,
+    })
+}
+
+/// One `EXPLAIN ANALYZE` row: the estimated step joined with what the
+/// real executor measured for the same vertex.
+#[derive(Debug, Clone)]
+pub struct AnalyzedStep {
+    /// The estimate side (implementation, transforms, predicted
+    /// seconds).
+    pub estimate: ExplainStep,
+    /// Measured wall seconds of the implementation.
+    pub actual_impl_seconds: f64,
+    /// Measured wall seconds of the in-edge transformations.
+    pub actual_transform_seconds: f64,
+}
+
+impl AnalyzedStep {
+    /// Total estimated seconds for this step.
+    pub fn estimated_total(&self) -> f64 {
+        self.estimate.impl_seconds + self.estimate.transform_seconds
+    }
+
+    /// Total measured seconds for this step.
+    pub fn actual_total(&self) -> f64 {
+        self.actual_impl_seconds + self.actual_transform_seconds
+    }
+
+    /// Estimate / actual, with the denominator clamped away from zero
+    /// so instantaneous steps yield a large finite ratio instead of
+    /// infinity. A ratio near the cluster-to-laptop speed gap is
+    /// expected when estimating at paper scale; on a matched cluster
+    /// model it approaches 1.
+    pub fn ratio(&self) -> f64 {
+        self.estimated_total() / self.actual_total().max(1e-9)
+    }
+}
+
+/// The result of `EXPLAIN ANALYZE`: estimates joined with measurements
+/// from a real [`execute_plan`](crate::execute_plan) run.
+#[derive(Debug)]
+pub struct PlanAnalysis {
+    /// The simulated outcome (estimate side).
+    pub outcome: SimOutcome,
+    /// Per-vertex estimate/measurement rows, topological order.
+    pub steps: Vec<AnalyzedStep>,
+    /// Total measured wall seconds of the real run.
+    pub measured_total_seconds: f64,
+    /// The executor outcome, so callers can inspect the sink values.
+    pub exec: ExecOutcome,
+}
+
+impl std::fmt::Display for PlanAnalysis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "EXPLAIN ANALYZE  (estimated: {}, measured: {:.3}s)",
+            self.outcome, self.measured_total_seconds
+        )?;
+        writeln!(
+            f,
+            "  {:>5} {:<22} {:<28} {:>12} {:>12} {:>10}",
+            "vertex", "label", "impl", "est (s)", "actual (s)", "est/act"
+        )?;
+        for s in &self.steps {
+            writeln!(
+                f,
+                "  {:>5} {:<22} {:<28} {:>12.4} {:>12.4} {:>10.2}",
+                s.estimate.vertex.to_string(),
+                s.estimate.label,
+                s.estimate.impl_name,
+                s.estimated_total(),
+                s.actual_total(),
+                s.ratio(),
+            )?;
+            for t in &s.estimate.transforms {
+                if t.kind != TransformKind::Identity {
+                    writeln!(f, "        edge: {t}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// `EXPLAIN ANALYZE`: explains the plan under the cost model, then
+/// actually runs it with [`execute_plan_traced`] on `inputs` and joins
+/// each estimated step with the measured per-vertex seconds.
+///
+/// The estimate side is computed against `ctx`'s cluster; for
+/// meaningful ratios pass a cluster model matching the machine the run
+/// happens on. Each joined row is also emitted as a
+/// [`Subsystem::CostModel`] `residual` record on `obs` (predicted vs
+/// observed seconds per vertex).
+///
+/// # Errors
+/// [`ExecError`] when the annotation is malformed (plan errors are
+/// reported through the same type) or the execution fails.
+pub fn explain_analyze(
+    graph: &ComputeGraph,
+    annotation: &Annotation,
+    inputs: &HashMap<NodeId, DistRelation>,
+    ctx: &PlanContext<'_>,
+    model: &dyn CostModel,
+    obs: &Obs,
+) -> Result<PlanAnalysis, ExecError> {
+    let explanation = explain_plan(graph, annotation, ctx, model)
+        .map_err(|e| ExecError::Internal(format!("plan error: {e}")))?;
+    let exec = execute_plan_traced(graph, annotation, inputs, ctx.registry, obs)?;
+
+    let mut steps = Vec::new();
+    for est in explanation.steps {
+        let v = est.vertex;
+        let actual_impl_seconds = exec.vertex_seconds[v.index()];
+        let actual_transform_seconds: f64 = exec.transform_seconds[v.index()].iter().sum();
+        let step = AnalyzedStep {
+            estimate: est,
+            actual_impl_seconds,
+            actual_transform_seconds,
+        };
+        obs.record(Subsystem::CostModel, "residual", || {
+            vec![
+                ("vertex", v.index().into()),
+                ("impl", step.estimate.impl_name.into()),
+                ("predicted_seconds", step.estimated_total().into()),
+                ("observed_seconds", step.actual_total().into()),
+                ("ratio", step.ratio().into()),
+            ]
+        });
+        steps.push(step);
+    }
+    Ok(PlanAnalysis {
+        outcome: explanation.outcome,
+        steps,
+        measured_total_seconds: exec.total_seconds,
+        exec,
     })
 }
 

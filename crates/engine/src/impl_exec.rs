@@ -159,7 +159,10 @@ fn run_strategy(
             // Bucket the triples by the contraction block they join.
             let mut buckets: HashMap<u64, Vec<(usize, usize, f64)>> = HashMap::new();
             for (r, c, v) in coo.entries() {
-                buckets.entry((*c / side) as u64).or_default().push((*r, *c, *v));
+                buckets
+                    .entry((*c / side) as u64)
+                    .or_default()
+                    .push((*r, *c, *v));
             }
             let out_rows = out_type.rows as usize;
             let out_cols = out_type.cols as usize;
@@ -554,9 +557,10 @@ fn block_gauss_jordan_inverse(
                 }
                 if let Some(akj) = tiles.get(&(k, j)).cloned() {
                     let update = aik.matmul(&akj);
-                    let cur = tiles.get(&(i, j)).cloned().unwrap_or_else(|| {
-                        DenseMatrix::zeros(update.rows(), update.cols())
-                    });
+                    let cur = tiles
+                        .get(&(i, j))
+                        .cloned()
+                        .unwrap_or_else(|| DenseMatrix::zeros(update.rows(), update.cols()));
                     tiles.insert((i, j), cur.sub(&update));
                 }
             }

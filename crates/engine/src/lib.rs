@@ -10,7 +10,7 @@
 //!   scale, with every implementation strategy executed at the chunk
 //!   granularity its relational plan implies (tile shuffle joins,
 //!   strip broadcasts, group-by SUM aggregations, blocked Gauss–Jordan
-//!   rounds), thread-parallel via `crossbeam`;
+//!   rounds), thread-parallel via scoped threads;
 //! * an **analytic simulator** ([`simulate_plan`]) that evaluates the
 //!   same plans at paper scale against the [`matopt_core::Cluster`]
 //!   model, reproducing wall-clock estimates and the runtime "Fail"
@@ -33,10 +33,14 @@ mod sql;
 mod value;
 
 pub use adaptive::{execute_adaptive, AdaptiveConfig, AdaptiveError, AdaptiveOutcome};
-pub use calibrate::collect_samples;
-pub use exec::{execute_plan, reference_eval, ExecOutcome};
-pub use explain::{explain_plan, ExplainStep, PlanExplanation};
+pub use calibrate::{collect_samples, collect_samples_traced, fit_model_traced};
+pub use exec::{execute_plan, execute_plan_traced, reference_eval, ExecOutcome};
+pub use explain::{
+    explain_analyze, explain_plan, AnalyzedStep, ExplainStep, PlanAnalysis, PlanExplanation,
+};
 pub use impl_exec::{execute_impl, ExecError};
-pub use sim::{format_hms, simulate_plan, FailReason, SimOutcome, SimReport, SimStep};
+pub use sim::{
+    format_hms, simulate_plan, simulate_plan_traced, FailReason, SimOutcome, SimReport, SimStep,
+};
 pub use sql::render_sql;
 pub use value::{Block, Chunk, DistRelation, ValueError};

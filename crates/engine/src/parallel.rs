@@ -1,5 +1,5 @@
 //! A small ordered parallel-map over chunk work items, built on
-//! `crossbeam`'s scoped threads. The real executor uses it to spread
+//! `std::thread::scope`. The real executor uses it to spread
 //! chunk-local kernels across cores, mimicking the per-worker
 //! parallelism of the simulated cluster.
 
@@ -23,17 +23,18 @@ where
     let chunk = len.div_ceil(threads);
     let mut out: Vec<Option<R>> = Vec::with_capacity(len);
     out.resize_with(len, || None);
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (islice, oslice) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
-            s.spawn(|_| {
+            s.spawn(|| {
                 for (i, o) in islice.iter().zip(oslice.iter_mut()) {
                     *o = Some(f(i));
                 }
             });
         }
-    })
-    .expect("worker thread panicked");
-    out.into_iter().map(|r| r.expect("all slots filled")).collect()
+    });
+    out.into_iter()
+        .map(|r| r.expect("all slots filled"))
+        .collect()
 }
 
 #[cfg(test)]

@@ -9,10 +9,9 @@
 //! models (per-worker RAM for pinned data, per-worker scratch space for
 //! spilled intermediates).
 
-use matopt_core::{
-    Annotation, ComputeGraph, NodeId, NodeKind, PlanContext, PlanError,
-};
+use matopt_core::{Annotation, ComputeGraph, NodeId, NodeKind, PlanContext, PlanError};
 use matopt_cost::CostModel;
+use matopt_obs::{Obs, Subsystem};
 
 /// Why a simulated run crashed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -141,6 +140,31 @@ pub fn simulate_plan(
     ctx: &PlanContext<'_>,
     model: &dyn CostModel,
 ) -> Result<SimReport, PlanError> {
+    simulate_plan_traced(graph, annotation, ctx, model, &Obs::disabled())
+}
+
+/// [`simulate_plan`] with observability: wraps the run in a
+/// `simulate_plan` span ([`Subsystem::Simulator`]) and emits one
+/// `sim_step` record per vertex carrying the cost breakdown (predicted
+/// implementation and transformation seconds, under
+/// [`Subsystem::CostModel`] since those numbers *are* the model's
+/// predictions), plus a `sim_fail` record at the crash point, if any.
+///
+/// # Errors
+/// Same contract as [`simulate_plan`].
+pub fn simulate_plan_traced(
+    graph: &ComputeGraph,
+    annotation: &Annotation,
+    ctx: &PlanContext<'_>,
+    model: &dyn CostModel,
+    obs: &Obs,
+) -> Result<SimReport, PlanError> {
+    let _run = obs.span_with(Subsystem::Simulator, "simulate_plan", || {
+        vec![
+            ("vertices", graph.len().into()),
+            ("workers", (ctx.cluster.workers as i64).into()),
+        ]
+    });
     let real = ctx.cluster;
     // Features are computed with limits lifted; the limits are then
     // enforced here so we can report *where* the plan dies.
@@ -181,8 +205,25 @@ pub fn simulate_plan(
             transform_seconds += model.transform_time(t.kind, f, &real);
         }
         let impl_seconds = model.impl_time(op.kind(), &eval.features, &real);
+        // The per-step breakdown is the cost model speaking: export it
+        // under its subsystem so predicted-vs-observed joins are easy.
+        obs.record(Subsystem::CostModel, "sim_step", || {
+            vec![
+                ("vertex", id.index().into()),
+                ("op", format!("{op:?}").into()),
+                ("impl_seconds", impl_seconds.into()),
+                ("transform_seconds", transform_seconds.into()),
+                ("mem_per_worker", eval.mem_per_worker.into()),
+            ]
+        });
 
         if eval.mem_per_worker > real.worker_ram_bytes {
+            obs.record(Subsystem::Simulator, "sim_fail", || {
+                vec![
+                    ("vertex", id.index().into()),
+                    ("reason", "out_of_memory".into()),
+                ]
+            });
             steps.push(SimStep {
                 vertex: id,
                 impl_seconds,
@@ -210,6 +251,12 @@ pub fn simulate_plan(
             spilled_bytes += op_spill;
         }
         if spilled_bytes / real.workers as f64 > real.worker_disk_bytes {
+            obs.record(Subsystem::Simulator, "sim_fail", || {
+                vec![
+                    ("vertex", id.index().into()),
+                    ("reason", "out_of_disk".into()),
+                ]
+            });
             steps.push(SimStep {
                 vertex: id,
                 impl_seconds,
@@ -231,6 +278,7 @@ pub fn simulate_plan(
             transform_seconds,
         });
     }
+    obs.gauge(Subsystem::Simulator, "estimated_seconds", total);
     Ok(SimReport {
         outcome: SimOutcome::Finished { seconds: total },
         steps,

@@ -26,11 +26,15 @@ pub fn render_sql(
     annotation: &Annotation,
     ctx: &PlanContext<'_>,
 ) -> Result<String, PlanError> {
-    matopt_core::validate(graph, annotation, &matopt_core::PlanContext {
-        registry: ctx.registry,
-        transforms: ctx.transforms,
-        cluster: ctx.cluster.with_unlimited_resources(),
-    })?;
+    matopt_core::validate(
+        graph,
+        annotation,
+        &matopt_core::PlanContext {
+            registry: ctx.registry,
+            transforms: ctx.transforms,
+            cluster: ctx.cluster.with_unlimited_resources(),
+        },
+    )?;
     let mut out = String::new();
     for (id, node) in graph.iter() {
         match &node.kind {
@@ -447,7 +451,9 @@ mod tests {
             Some("matC"),
         );
         let ab = g.add_op_named(Op::MatMul, &[a, b], Some("matAB")).unwrap();
-        let abc = g.add_op_named(Op::MatMul, &[ab, c], Some("matABC")).unwrap();
+        let abc = g
+            .add_op_named(Op::MatMul, &[ab, c], Some("matABC"))
+            .unwrap();
 
         let mut ann = Annotation::empty(&g);
         ann.set(
@@ -544,7 +550,9 @@ mod tests {
             Some("triples"),
         );
         {
-            let t = g.add_op_named(Op::Transpose, &[a], Some("flipped")).unwrap();
+            let t = g
+                .add_op_named(Op::Transpose, &[a], Some("flipped"))
+                .unwrap();
             let mut ann = Annotation::empty(&g);
             ann.set(
                 t,

@@ -45,11 +45,8 @@ fn make_inputs(
     let mut dense = HashMap::new();
     for (id, node) in graph.iter() {
         if let NodeKind::Source { format } = &node.kind {
-            let mut d = random_dense_normal(
-                node.mtype.rows as usize,
-                node.mtype.cols as usize,
-                &mut rng,
-            );
+            let mut d =
+                random_dense_normal(node.mtype.rows as usize, node.mtype.cols as usize, &mut rng);
             // Keep inverse inputs well conditioned.
             if node.mtype.is_square() {
                 for i in 0..node.mtype.rows as usize {
@@ -84,7 +81,10 @@ fn check_plan_matches_reference(graph: &ComputeGraph, annotation: &Annotation, s
 /// reductions, and bias addition.
 fn mixed_graph() -> ComputeGraph {
     let mut g = ComputeGraph::new();
-    let x = g.add_source(MatrixType::dense(12, 20), PhysFormat::RowStrip { height: 4 });
+    let x = g.add_source(
+        MatrixType::dense(12, 20),
+        PhysFormat::RowStrip { height: 4 },
+    );
     let w = g.add_source(MatrixType::dense(20, 16), PhysFormat::Tile { side: 8 });
     let b = g.add_source(MatrixType::dense(1, 16), PhysFormat::SingleTuple);
     let xw = g.add_op(Op::MatMul, &[x, w]).unwrap();
@@ -152,7 +152,10 @@ fn sparse_input_plans_execute_correctly() {
     let model = AnalyticalCostModel;
     let octx = OptContext::new(&ctx, &cat, &model);
     let mut g = ComputeGraph::new();
-    let x = g.add_source(MatrixType::sparse(12, 16, 0.2), PhysFormat::CsrTile { side: 4 });
+    let x = g.add_source(
+        MatrixType::sparse(12, 16, 0.2),
+        PhysFormat::CsrTile { side: 4 },
+    );
     let w = g.add_source(MatrixType::dense(16, 8), PhysFormat::Tile { side: 4 });
     let xw = g.add_op(Op::MatMul, &[x, w]).unwrap();
     let _r = g.add_op(Op::Relu, &[xw]).unwrap();
@@ -165,7 +168,8 @@ fn sparse_input_plans_execute_correctly() {
     let mut dense = HashMap::new();
     for (id, node) in g.iter() {
         if let NodeKind::Source { format } = &node.kind {
-            let d0 = random_dense_normal(node.mtype.rows as usize, node.mtype.cols as usize, &mut rng);
+            let d0 =
+                random_dense_normal(node.mtype.rows as usize, node.mtype.cols as usize, &mut rng);
             let d = if node.mtype.sparsity < 1.0 {
                 d0.map(|v| if v > 0.9 { v } else { 0.0 })
             } else {

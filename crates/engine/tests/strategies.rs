@@ -525,10 +525,7 @@ fn no_dead_implementations() {
                     };
                     for m2 in &second_types {
                         for f2 in formats {
-                            if impl_def
-                                .accepts(&op, &[(m1, f1), (*m2, f2)], &cl)
-                                .is_some()
-                            {
+                            if impl_def.accepts(&op, &[(m1, f1), (*m2, f2)], &cl).is_some() {
                                 reachable = true;
                                 break 'search;
                             }
@@ -562,7 +559,10 @@ fn ragged_everything_roundtrip() {
     check(
         Strategy::BiasBcast,
         Op::BroadcastAddRow,
-        &[(&prod, PhysFormat::Tile { side: 5 }), (&bias, PhysFormat::SingleTuple)],
+        &[
+            (&prod, PhysFormat::Tile { side: 5 }),
+            (&bias, PhysFormat::SingleTuple),
+        ],
         PhysFormat::Tile { side: 5 },
         &prod.add_row_broadcast(&bias),
     );
@@ -595,9 +595,7 @@ fn executor_error_paths() {
             r,
             matopt_core::VertexChoice {
                 impl_id: reg.by_name("relu_map").unwrap().id,
-                input_transforms: vec![matopt_core::Transform::identity(
-                    PhysFormat::SingleTuple,
-                )],
+                input_transforms: vec![matopt_core::Transform::identity(PhysFormat::SingleTuple)],
                 output_format: PhysFormat::SingleTuple,
             },
         );
@@ -647,7 +645,10 @@ fn source_inputs_are_reformatted_to_declared_storage() {
     // Provide the input as a single tuple even though the graph says
     // 4-tiles.
     let mut inputs = HashMap::new();
-    inputs.insert(a, DistRelation::from_dense(&d, PhysFormat::SingleTuple).unwrap());
+    inputs.insert(
+        a,
+        DistRelation::from_dense(&d, PhysFormat::SingleTuple).unwrap(),
+    );
     let out = execute_plan(&g, &ann, &inputs, &reg).unwrap();
     assert!(out.sinks[&r].to_dense().approx_eq(&d.relu(), 1e-12));
 }

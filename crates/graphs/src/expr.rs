@@ -204,7 +204,11 @@ mod tests {
     use super::*;
 
     fn sq<'b>(b: &'b ExprBuilder, name: &str) -> Expr<'b> {
-        b.source(name, MatrixType::dense(64, 64), PhysFormat::Tile { side: 16 })
+        b.source(
+            name,
+            MatrixType::dense(64, 64),
+            PhysFormat::Tile { side: 16 },
+        )
     }
 
     #[test]
@@ -235,15 +239,22 @@ mod tests {
     fn dsl_matches_manual_construction() {
         // The same FFNN layer built both ways produces identical types.
         let b = ExprBuilder::new();
-        let x = b.source("x", MatrixType::dense(8, 32), PhysFormat::RowStrip { height: 4 });
+        let x = b.source(
+            "x",
+            MatrixType::dense(8, 32),
+            PhysFormat::RowStrip { height: 4 },
+        );
         let w = b.source("w", MatrixType::dense(32, 16), PhysFormat::SingleTuple);
         let bias = b.source("b", MatrixType::dense(1, 16), PhysFormat::SingleTuple);
         let act = x.mm(w).bias_add(bias).relu();
-        assert_eq!(b.type_of(act), MatrixType {
-            rows: 8,
-            cols: 16,
-            sparsity: 0.5,
-        });
+        assert_eq!(
+            b.type_of(act),
+            MatrixType {
+                rows: 8,
+                cols: 16,
+                sparsity: 0.5,
+            }
+        );
         let g = b.finish();
 
         let mut m = ComputeGraph::new();

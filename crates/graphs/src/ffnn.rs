@@ -59,6 +59,24 @@ impl FfnnConfig {
         }
     }
 
+    /// A laptop-scale dense configuration that the *real* executor can
+    /// run in well under a second: 64-vector batch, 128 features, 8
+    /// labels. Used by `EXPLAIN ANALYZE` and the execution-tracing
+    /// examples, where the full §8.2 sizes would not fit in memory.
+    pub fn laptop(hidden: u64) -> Self {
+        FfnnConfig {
+            batch: 64,
+            features: 128,
+            hidden,
+            labels: 8,
+            input_sparsity: 1.0,
+            learning_rate: 0.01,
+            input_format: PhysFormat::RowStrip { height: 16 },
+            w1_format: PhysFormat::Tile { side: 16 },
+            w_format: PhysFormat::Tile { side: 16 },
+        }
+    }
+
     /// The PlinyCompute system-comparison experiments (§8.3) on
     /// synthetic AmazonCat-14K: 597,540 features, 14,588 labels; "the
     /// large input data matrix is stored as column-strips with strip
@@ -134,7 +152,11 @@ impl Builder {
             PhysFormat::RowStrip { height: 1000 },
             Some("Y"),
         );
-        let dims = [(c.features, c.hidden), (c.hidden, c.hidden), (c.hidden, c.labels)];
+        let dims = [
+            (c.features, c.hidden),
+            (c.hidden, c.hidden),
+            (c.hidden, c.labels),
+        ];
         let mut weights = Vec::new();
         let mut biases = Vec::new();
         for (i, (r, cc)) in dims.iter().enumerate() {
@@ -329,7 +351,10 @@ mod tests {
         let g = ffnn_train_step_graph(cfg).unwrap();
         let x = g.graph.node(g.x).mtype;
         assert!(x.sparsity < 1e-3);
-        assert_eq!(g.graph.node(g.x).source_format(), Some(PhysFormat::CsrTile { side: 1000 }));
+        assert_eq!(
+            g.graph.node(g.x).source_format(),
+            Some(PhysFormat::CsrTile { side: 1000 })
+        );
     }
 
     #[test]

@@ -83,12 +83,7 @@ pub fn bsub(g: &mut ComputeGraph, x: &BlockMat, y: &BlockMat) -> Result<BlockMat
     bzip(g, x, y, Op::Sub)
 }
 
-fn bzip(
-    g: &mut ComputeGraph,
-    x: &BlockMat,
-    y: &BlockMat,
-    op: Op,
-) -> Result<BlockMat, TypeError> {
+fn bzip(g: &mut ComputeGraph, x: &BlockMat, y: &BlockMat, op: Op) -> Result<BlockMat, TypeError> {
     let mut parts = Vec::new();
     for (xr, yr) in x.parts.iter().zip(y.parts.iter()) {
         let mut row = Vec::new();
@@ -137,8 +132,8 @@ pub fn block_inverse(
     let c_a_inv = bmm(g, c, a_inv)?; // CA⁻¹
     let c_a_inv_b = bmm(g, c, &a_inv_b)?; // CA⁻¹B
     let s = bsub(g, d, &c_a_inv_b)?; // S = D − CA⁻¹B
-    // S is a single logical matrix here (both levels partition so that
-    // the Schur complement is one block).
+                                     // S is a single logical matrix here (both levels partition so that
+                                     // the Schur complement is one block).
     assert_eq!(
         (s.block_rows(), s.block_cols()),
         (1, 1),
@@ -221,7 +216,10 @@ pub fn two_level_inverse_graph(half: u64, a_split: u64) -> Result<TwoLevelInvers
     };
     let d = BlockMat::single(d);
     let quadrants = block_inverse(&mut g, &a_inv, &b, &c, &d)?;
-    Ok(TwoLevelInverse { graph: g, quadrants })
+    Ok(TwoLevelInverse {
+        graph: g,
+        quadrants,
+    })
 }
 
 #[cfg(test)]
@@ -248,7 +246,11 @@ mod tests {
     #[test]
     fn small_scale_graph_type_checks() {
         let t = two_level_inverse_graph(16, 4).unwrap();
-        assert!(t.graph.len() > 40, "rich DAG expected, got {}", t.graph.len());
+        assert!(
+            t.graph.len() > 40,
+            "rich DAG expected, got {}",
+            t.graph.len()
+        );
         assert_eq!(t.graph.sources().len(), 9);
     }
 }

@@ -23,11 +23,11 @@ pub mod inverse;
 pub mod ml;
 pub mod scaled;
 
-pub use expr::{Expr, ExprBuilder};
 pub use chain::{
     default_source_format, matmul_chain_graph, motivating_graph, ChainGraph, MotivatingGraph,
     SizeSet,
 };
+pub use expr::{Expr, ExprBuilder};
 pub use ffnn::{
     ffnn_full_pass_graph, ffnn_train_step_graph, ffnn_w2_update_graph, FfnnConfig, FfnnGraph,
 };

@@ -183,16 +183,8 @@ pub fn pagerank_graph(
         PhysFormat::CsrTile { side: 1000 },
         Some("P"),
     );
-    let rank0 = g.add_source_named(
-        MatrixType::dense(n, 1),
-        PhysFormat::SingleTuple,
-        Some("r0"),
-    );
-    let teleport = g.add_source_named(
-        MatrixType::dense(n, 1),
-        PhysFormat::SingleTuple,
-        Some("u"),
-    );
+    let rank0 = g.add_source_named(MatrixType::dense(n, 1), PhysFormat::SingleTuple, Some("r0"));
+    let teleport = g.add_source_named(MatrixType::dense(n, 1), PhysFormat::SingleTuple, Some("u"));
     let mut r = rank0;
     for i in 0..iterations {
         let pr = g.add_op_named(Op::MatMul, &[transition, r], Some(&format!("P·r{i}")))?;
@@ -214,7 +206,10 @@ mod tests {
 
     #[test]
     fn regression_graphs_type_check() {
-        for cfg in [RegressionConfig::dense_large(), RegressionConfig::sparse_large()] {
+        for cfg in [
+            RegressionConfig::dense_large(),
+            RegressionConfig::sparse_large(),
+        ] {
             let lin = linear_regression_step(cfg).unwrap();
             let w = lin.graph.node(lin.updated_w).mtype;
             assert_eq!((w.rows, w.cols), (cfg.features, 1));
@@ -234,10 +229,7 @@ mod tests {
         let r = p.graph.node(p.final_rank).mtype;
         assert_eq!((r.rows, r.cols), (1_000_000, 1));
         // The transition matrix is reused by every iteration.
-        assert_eq!(
-            p.graph.consumers()[p.transition.index()].len(),
-            3
-        );
+        assert_eq!(p.graph.consumers()[p.transition.index()].len(), 3);
     }
 
     #[test]

@@ -33,8 +33,9 @@ fn mt() -> MatrixType {
 pub fn scaled_graph(shape: ScaledShape, scale: usize) -> Result<ComputeGraph, TypeError> {
     assert!(scale >= 1, "scale starts at 1");
     let mut g = ComputeGraph::new();
-    let src =
-        |g: &mut ComputeGraph, name: String| g.add_source_named(mt(), PhysFormat::SingleTuple, Some(&name));
+    let src = |g: &mut ComputeGraph, name: String| {
+        g.add_source_named(mt(), PhysFormat::SingleTuple, Some(&name))
+    };
 
     // Handles carried between scales.
     let mut prev_o1: Option<NodeId> = None;

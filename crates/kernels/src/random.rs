@@ -8,7 +8,7 @@
 
 use crate::{CsrMatrix, DenseMatrix};
 use rand::rngs::StdRng;
-use rand::{Rng, RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// Creates a seeded RNG so every experiment is reproducible bit-for-bit.
 pub fn seeded_rng(seed: u64) -> StdRng {
@@ -42,12 +42,7 @@ pub fn random_dense_normal(rows: usize, cols: usize, rng: &mut impl Rng) -> Dens
 ///
 /// # Panics
 /// Panics when `density` is outside `[0, 1]`.
-pub fn random_sparse_csr(
-    rows: usize,
-    cols: usize,
-    density: f64,
-    rng: &mut impl Rng,
-) -> CsrMatrix {
+pub fn random_sparse_csr(rows: usize, cols: usize, density: f64, rng: &mut impl Rng) -> CsrMatrix {
     assert!((0.0..=1.0).contains(&density), "density must be in [0, 1]");
     let mut indptr = Vec::with_capacity(rows + 1);
     let mut indices = Vec::new();
@@ -102,7 +97,12 @@ mod tests {
         let m = random_dense_normal(200, 200, &mut seeded_rng(7));
         let n = (m.rows() * m.cols()) as f64;
         let mean: f64 = m.data().iter().sum::<f64>() / n;
-        let var: f64 = m.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let var: f64 = m
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / n;
         assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
         assert!((var - 1.0).abs() < 0.05, "variance {var} too far from 1");
     }

@@ -54,7 +54,11 @@ impl LuFactors {
 
     /// Determinant of the original matrix, computed from the pivots.
     pub fn determinant(&self) -> f64 {
-        let mut det = if self.swaps.is_multiple_of(2) { 1.0 } else { -1.0 };
+        let mut det = if self.swaps.is_multiple_of(2) {
+            1.0
+        } else {
+            -1.0
+        };
         for i in 0..self.order() {
             det *= self.lu.get(i, i);
         }

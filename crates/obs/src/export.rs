@@ -1,0 +1,230 @@
+//! Exporters: Chrome trace-event JSON (loadable in `chrome://tracing`
+//! or [Perfetto](https://ui.perfetto.dev)) and line-delimited JSON for
+//! ad-hoc analysis. Both are pure functions over an event slice, so a
+//! [`crate::MemorySink`] buffer can be exported to either format (or
+//! both) after a run.
+
+use crate::json::{escape_into, number_into};
+use crate::{AttrValue, Event, EventKind};
+
+/// Renders events in the Chrome trace-event format:
+/// `{"traceEvents": [...], "displayTimeUnit": "ms"}`.
+///
+/// Mapping: spans become duration events (`ph: "B"`/`"E"`), counters
+/// and gauges become counter events (`ph: "C"`), records become
+/// thread-scoped instant events (`ph: "i"`). The subsystem is the
+/// category (`cat`), span attributes land in `args`, and the stable
+/// thread id becomes `tid` (all under `pid: 1`).
+pub fn chrome_trace_json(events: &[Event]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 64);
+    out.push_str("{\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        escape_into(&e.name, &mut out);
+        out.push_str(",\"cat\":");
+        escape_into(e.subsystem.as_str(), &mut out);
+        out.push_str(",\"ph\":");
+        let ph = match e.kind {
+            EventKind::SpanBegin => "B",
+            EventKind::SpanEnd => "E",
+            EventKind::Counter { .. } | EventKind::Gauge { .. } => "C",
+            EventKind::Record => "i",
+        };
+        escape_into(ph, &mut out);
+        out.push_str(&format!(
+            ",\"ts\":{},\"pid\":1,\"tid\":{}",
+            e.t_us, e.thread
+        ));
+        if matches!(e.kind, EventKind::Record) {
+            // Thread-scoped instant: renders as a marker on the track.
+            out.push_str(",\"s\":\"t\"");
+        }
+        match &e.kind {
+            EventKind::Counter { value } | EventKind::Gauge { value } => {
+                out.push_str(",\"args\":{");
+                escape_into(&e.name, &mut out);
+                out.push(':');
+                number_into(*value, &mut out);
+                out.push('}');
+            }
+            _ if !e.attrs.is_empty() => {
+                out.push_str(",\"args\":{");
+                attrs_into(&e.attrs, &mut out);
+                out.push('}');
+            }
+            _ => {}
+        }
+        out.push('}');
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// Renders events as JSONL: one self-describing JSON object per line,
+/// with keys `t_us`, `thread`, `kind`, `subsystem`, `name`, an optional
+/// `value` (counters/gauges), and an optional `attrs` object.
+pub fn jsonl(events: &[Event]) -> String {
+    let mut out = String::with_capacity(events.len() * 96);
+    for e in events {
+        out.push_str(&format!("{{\"t_us\":{},\"thread\":{}", e.t_us, e.thread));
+        out.push_str(",\"kind\":");
+        let kind = match e.kind {
+            EventKind::SpanBegin => "span_begin",
+            EventKind::SpanEnd => "span_end",
+            EventKind::Counter { .. } => "counter",
+            EventKind::Gauge { .. } => "gauge",
+            EventKind::Record => "record",
+        };
+        escape_into(kind, &mut out);
+        out.push_str(",\"subsystem\":");
+        escape_into(e.subsystem.as_str(), &mut out);
+        out.push_str(",\"name\":");
+        escape_into(&e.name, &mut out);
+        if let EventKind::Counter { value } | EventKind::Gauge { value } = e.kind {
+            out.push_str(",\"value\":");
+            number_into(value, &mut out);
+        }
+        if !e.attrs.is_empty() {
+            out.push_str(",\"attrs\":{");
+            attrs_into(&e.attrs, &mut out);
+            out.push('}');
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+fn attrs_into(attrs: &[(&'static str, AttrValue)], out: &mut String) {
+    for (i, (k, v)) in attrs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        escape_into(k, out);
+        out.push(':');
+        match v {
+            AttrValue::Int(n) => out.push_str(&n.to_string()),
+            AttrValue::Float(f) => number_into(*f, out),
+            AttrValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            AttrValue::Str(s) => escape_into(s, out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate;
+    use crate::{MemorySink, Obs, Subsystem};
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    fn sample_events() -> Vec<Event> {
+        let sink = Arc::new(MemorySink::new());
+        let obs = Obs::new(Arc::clone(&sink));
+        {
+            let _opt = obs.span(Subsystem::Optimizer, "optimize");
+            {
+                let _v = obs.span_with(Subsystem::Optimizer, "vertex \"0\"", || {
+                    vec![("classes", 5usize.into()), ("label", "W1 \\ t".into())]
+                });
+                obs.counter(Subsystem::Optimizer, "beam_truncated", 3.0);
+            }
+            obs.gauge(Subsystem::Simulator, "est_seconds", 1.25);
+            obs.record(Subsystem::CostModel, "residual", || {
+                vec![
+                    ("predicted", 0.5.into()),
+                    ("observed", f64::NAN.into()),
+                    ("ok", true.into()),
+                ]
+            });
+        }
+        // A worker thread interleaves its own span.
+        let obs2 = obs.clone();
+        std::thread::spawn(move || {
+            let _w = obs2.span(Subsystem::Executor, "chunk");
+        })
+        .join()
+        .unwrap();
+        sink.take()
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json() {
+        let trace = chrome_trace_json(&sample_events());
+        validate(&trace).unwrap_or_else(|e| panic!("invalid JSON: {e}\n{trace}"));
+        assert!(trace.starts_with("{\"traceEvents\":["));
+        assert!(trace.contains("\"ph\":\"B\""));
+        assert!(trace.contains("\"ph\":\"E\""));
+        assert!(trace.contains("\"ph\":\"C\""));
+        assert!(trace.contains("\"ph\":\"i\""));
+        // NaN attribute must be exported as null, not `NaN`.
+        assert!(!trace.contains("NaN"));
+    }
+
+    #[test]
+    fn chrome_trace_every_end_follows_its_begin() {
+        let events = sample_events();
+        // Per thread, replay span events against a stack: every E must
+        // close the most recent open B with the same name.
+        let mut stacks: HashMap<u64, Vec<&str>> = HashMap::new();
+        for e in &events {
+            match e.kind {
+                EventKind::SpanBegin => {
+                    stacks.entry(e.thread).or_default().push(&e.name);
+                }
+                EventKind::SpanEnd => {
+                    let top = stacks
+                        .get_mut(&e.thread)
+                        .and_then(|s| s.pop())
+                        .unwrap_or_else(|| panic!("E for {:?} with no open B", e.name));
+                    assert_eq!(top, e.name, "E closes the wrong span");
+                }
+                _ => {}
+            }
+        }
+        for (thread, stack) in stacks {
+            assert!(
+                stack.is_empty(),
+                "thread {thread} left spans open: {stack:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn chrome_trace_timestamps_monotone_per_thread() {
+        let events = sample_events();
+        let mut last: HashMap<u64, u64> = HashMap::new();
+        for e in &events {
+            let prev = last.insert(e.thread, e.t_us).unwrap_or(0);
+            assert!(
+                e.t_us >= prev,
+                "timestamps went backwards on thread {}: {} -> {}",
+                e.thread,
+                prev,
+                e.t_us
+            );
+        }
+    }
+
+    #[test]
+    fn jsonl_lines_each_parse() {
+        let text = jsonl(&sample_events());
+        assert!(!text.is_empty());
+        for line in text.lines() {
+            validate(line).unwrap_or_else(|e| panic!("invalid JSONL line: {e}\n{line}"));
+        }
+        assert!(text.contains("\"kind\":\"span_begin\""));
+        assert!(text.contains("\"kind\":\"counter\""));
+        assert!(text.contains("\"subsystem\":\"cost_model\""));
+    }
+
+    #[test]
+    fn empty_event_list_exports_cleanly() {
+        let trace = chrome_trace_json(&[]);
+        validate(&trace).unwrap();
+        assert_eq!(jsonl(&[]), "");
+    }
+}

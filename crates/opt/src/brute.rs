@@ -11,7 +11,9 @@ use crate::common::{
     producible_formats, transform_cost, vertex_options, OptContext, OptError, Optimized,
     VertexOption,
 };
-use matopt_core::{Annotation, ComputeGraph, NodeId, NodeKind, PhysFormat, Transform, VertexChoice};
+use matopt_core::{
+    Annotation, ComputeGraph, NodeId, NodeKind, PhysFormat, Transform, VertexChoice,
+};
 use std::time::{Duration, Instant};
 
 /// Runs Algorithm 2 with an optional wall-clock budget.
@@ -26,6 +28,14 @@ pub fn brute_force(
     octx: &OptContext<'_>,
     budget: Option<Duration>,
 ) -> Result<Optimized, OptError> {
+    let _phase = octx
+        .obs
+        .span_with(matopt_obs::Subsystem::Optimizer, "brute_force", || {
+            vec![
+                ("vertices", graph.len().into()),
+                ("compute_vertices", graph.compute_count().into()),
+            ]
+        });
     // Pre-compute the option lists bottom-up, feeding each vertex the
     // formats its producers can emit.
     let mut producible: Vec<Vec<PhysFormat>> = vec![Vec::new(); graph.len()];
@@ -57,10 +67,7 @@ pub fn brute_force(
         octx,
         option_lists: &option_lists,
         compute_order: &compute_order,
-        formats: graph
-            .iter()
-            .map(|(_, n)| n.source_format())
-            .collect(),
+        formats: graph.iter().map(|(_, n)| n.source_format()).collect(),
         partial: vec![None; graph.len()],
         best_cost: f64::INFINITY,
         best: None,
@@ -74,6 +81,7 @@ pub fn brute_force(
     Ok(Optimized {
         annotation,
         cost: search.best_cost,
+        beam_truncated: 0,
     })
 }
 

@@ -7,6 +7,7 @@ use matopt_core::{
     PlanContext, Transform,
 };
 use matopt_cost::CostModel;
+use matopt_obs::Obs;
 
 /// Why optimization failed.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,6 +41,23 @@ pub struct Optimized {
     pub annotation: matopt_core::Annotation,
     /// Its total estimated cost (seconds under the cost model).
     pub cost: f64,
+    /// Joint-table entries dropped by the beam cap, summed over every
+    /// vertex step. Zero means the search was exact: brute force and
+    /// tree DP always report 0, and [`crate::frontier_dp_beam`] reports
+    /// 0 whenever no table exceeded the cap.
+    pub beam_truncated: usize,
+}
+
+impl Optimized {
+    /// `"exact"` when no beam truncation occurred, `"beamed"` otherwise
+    /// — the label experiment harnesses report next to plan costs.
+    pub fn exactness(&self) -> &'static str {
+        if self.beam_truncated == 0 {
+            "exact"
+        } else {
+            "beamed"
+        }
+    }
 }
 
 /// One way to run a compute vertex: an implementation together with the
@@ -168,10 +186,13 @@ pub struct OptContext<'a> {
     pub catalog: &'a FormatCatalog,
     /// Model turning features into seconds.
     pub model: &'a dyn CostModel,
+    /// Event pipeline; disabled by default ([`OptContext::new`]), so
+    /// instrumentation costs one pointer check per call site.
+    pub obs: Obs,
 }
 
 impl<'a> OptContext<'a> {
-    /// Builds an optimizer context.
+    /// Builds an optimizer context with observability disabled.
     pub fn new(
         plan: &'a PlanContext<'a>,
         catalog: &'a FormatCatalog,
@@ -181,6 +202,22 @@ impl<'a> OptContext<'a> {
             plan,
             catalog,
             model,
+            obs: Obs::disabled(),
+        }
+    }
+
+    /// Builds an optimizer context that emits events to `obs`.
+    pub fn with_obs(
+        plan: &'a PlanContext<'a>,
+        catalog: &'a FormatCatalog,
+        model: &'a dyn CostModel,
+        obs: Obs,
+    ) -> Self {
+        OptContext {
+            plan,
+            catalog,
+            model,
+            obs,
         }
     }
 

@@ -6,8 +6,7 @@
 mod tests {
     use crate::{producible_formats, transform_cost, vertex_options};
     use matopt_core::{
-        Cluster, ComputeGraph, FormatCatalog, ImplRegistry, MatrixType, Op, PhysFormat,
-        PlanContext,
+        Cluster, ComputeGraph, FormatCatalog, ImplRegistry, MatrixType, Op, PhysFormat, PlanContext,
     };
     use matopt_cost::AnalyticalCostModel;
 
@@ -35,10 +34,7 @@ mod tests {
         }
         // Several distinct strategies are on offer (shuffle, broadcast,
         // cross, local...).
-        let mut strategies: Vec<_> = opts
-            .iter()
-            .map(|o| reg.get(o.impl_id).strategy)
-            .collect();
+        let mut strategies: Vec<_> = opts.iter().map(|o| reg.get(o.impl_id).strategy).collect();
         strategies.sort_by_key(|s| format!("{s:?}"));
         strategies.dedup();
         assert!(strategies.len() >= 4, "got {strategies:?}");
@@ -53,7 +49,10 @@ mod tests {
         // producer-offered format.
         let cat = FormatCatalog::new(vec![]);
         let mut g = ComputeGraph::new();
-        let a = g.add_source(MatrixType::dense(4000, 4000), PhysFormat::Tile { side: 1000 });
+        let a = g.add_source(
+            MatrixType::dense(4000, 4000),
+            PhysFormat::Tile { side: 1000 },
+        );
         let v = g.add_op(Op::Relu, &[a]).unwrap();
         let none = vertex_options(&g, v, &cat, &ctx, &model, &[vec![]]);
         assert!(none.is_empty());
@@ -66,7 +65,9 @@ mod tests {
             &[vec![PhysFormat::Tile { side: 1000 }]],
         );
         assert!(!some.is_empty());
-        assert!(some.iter().all(|o| o.pin[0] == PhysFormat::Tile { side: 1000 }));
+        assert!(some
+            .iter()
+            .all(|o| o.pin[0] == PhysFormat::Tile { side: 1000 }));
     }
 
     #[test]
@@ -76,7 +77,10 @@ mod tests {
         let model = AnalyticalCostModel;
         let cat = FormatCatalog::paper_default().dense_only();
         let mut g = ComputeGraph::new();
-        let a = g.add_source(MatrixType::dense(20_000, 20_000), PhysFormat::Tile { side: 1000 });
+        let a = g.add_source(
+            MatrixType::dense(20_000, 20_000),
+            PhysFormat::Tile { side: 1000 },
+        );
         let v = g.add_op(Op::Relu, &[a]).unwrap();
         let opts = vertex_options(&g, v, &cat, &ctx, &model, &[vec![]]);
         let formats = producible_formats(&opts);
@@ -96,8 +100,7 @@ mod tests {
         let (t, c) = transform_cost(&m, tile, tile, &ctx, &model).unwrap();
         assert_eq!(t.kind, matopt_core::TransformKind::Identity);
         assert_eq!(c, 0.0);
-        let (_, c2) =
-            transform_cost(&m, tile, PhysFormat::SingleTuple, &ctx, &model).unwrap();
+        let (_, c2) = transform_cost(&m, tile, PhysFormat::SingleTuple, &ctx, &model).unwrap();
         assert!(c2 > 0.0);
         // Unreachable pair.
         assert!(transform_cost(
@@ -116,8 +119,14 @@ mod tests {
         let model = AnalyticalCostModel;
         let cat = FormatCatalog::paper_default().dense_only();
         let mut g = ComputeGraph::new();
-        let a = g.add_source(MatrixType::dense(40_000, 40_000), PhysFormat::Tile { side: 1000 });
-        let b = g.add_source(MatrixType::dense(40_000, 40_000), PhysFormat::Tile { side: 1000 });
+        let a = g.add_source(
+            MatrixType::dense(40_000, 40_000),
+            PhysFormat::Tile { side: 1000 },
+        );
+        let b = g.add_source(
+            MatrixType::dense(40_000, 40_000),
+            PhysFormat::Tile { side: 1000 },
+        );
         let v = g.add_op(Op::MatMul, &[a, b]).unwrap();
 
         let roomy_ctx = PlanContext::new(&reg, Cluster::simsql_like(10));
@@ -125,8 +134,7 @@ mod tests {
         let mut tiny = Cluster::simsql_like(10);
         tiny.worker_ram_bytes = 1e9; // broadcasting 12.8 GB no longer fits
         let tiny_ctx = PlanContext::new(&reg, tiny);
-        let constrained =
-            vertex_options(&g, v, &cat, &tiny_ctx, &model, &[vec![], vec![]]).len();
+        let constrained = vertex_options(&g, v, &cat, &tiny_ctx, &model, &[vec![], vec![]]).len();
         assert!(
             constrained < roomy,
             "tiny RAM must prune options: {constrained} vs {roomy}"

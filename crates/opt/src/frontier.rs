@@ -34,6 +34,7 @@ use crate::common::{transform_cost, vertex_options, OptContext, OptError, Optimi
 use matopt_core::{
     Annotation, ComputeGraph, ImplId, NodeId, NodeKind, PhysFormat, Transform, VertexChoice,
 };
+use matopt_obs::Subsystem;
 use std::collections::HashMap;
 
 /// Index into the trace arena.
@@ -105,7 +106,10 @@ pub fn frontier_dp(graph: &ComputeGraph, octx: &OptContext<'_>) -> Result<Optimi
 }
 
 /// Runs Algorithm 4 with joint tables capped at `beam` entries
-/// (cheapest kept). Exact whenever no table exceeds the cap.
+/// (cheapest kept). Exact whenever no table exceeds the cap; the
+/// returned [`Optimized::beam_truncated`] counts the joint states
+/// dropped by the cap (0 ⇒ the search was exact), so callers can report
+/// `"exact"` vs `"beamed"` via [`Optimized::exactness`].
 ///
 /// # Errors
 /// [`OptError::NoFeasiblePlan`] when some vertex admits no type-correct
@@ -123,7 +127,15 @@ fn frontier_dp_inner(
     octx: &OptContext<'_>,
     beam: usize,
 ) -> Result<Optimized, OptError> {
+    let _phase = octx.obs.span_with(Subsystem::Optimizer, "frontier_dp", || {
+        vec![
+            ("vertices", graph.len().into()),
+            ("compute_vertices", graph.compute_count().into()),
+            ("exact", (beam == usize::MAX).into()),
+        ]
+    });
     let consumers = graph.consumers();
+    let mut beam_truncated = 0usize;
     let mut visited = vec![false; graph.len()];
     let mut traces: Vec<TraceStep> = Vec::new();
     // Live tables; `None` marks consumed (merged) slots.
@@ -147,7 +159,7 @@ fn frontier_dp_inner(
                 }));
             }
             NodeKind::Compute { .. } => {
-                process_vertex(
+                beam_truncated += process_vertex(
                     graph,
                     octx,
                     id,
@@ -200,12 +212,14 @@ fn frontier_dp_inner(
     Ok(Optimized {
         annotation,
         cost: total,
+        beam_truncated,
     })
 }
 
 /// Moves `v` from the unoptimized to the optimized portion (lines 8–17
 /// of Algorithm 4), merging the parent classes and applying the
-/// Equation (2) recurrence.
+/// Equation (2) recurrence. Returns the number of joint states the beam
+/// cap dropped at this step (0 when the step was exact).
 #[allow(clippy::too_many_arguments)]
 fn process_vertex(
     graph: &ComputeGraph,
@@ -217,7 +231,7 @@ fn process_vertex(
     table_of: &mut [usize],
     traces: &mut Vec<TraceStep>,
     beam: usize,
-) -> Result<(), OptError> {
+) -> Result<usize, OptError> {
     let node = graph.node(v);
     visited[v.index()] = true;
 
@@ -234,6 +248,20 @@ fn process_vertex(
         .iter()
         .map(|i| front[*i].take().expect("live table"))
         .collect();
+    let _step = octx
+        .obs
+        .span_with(Subsystem::Optimizer, "frontier_step", || {
+            let label = graph.node(v).name.clone().unwrap_or_else(|| v.to_string());
+            vec![
+                ("vertex", v.index().into()),
+                ("label", label.into()),
+                ("merged_tables", merged.len().into()),
+                (
+                    "merged_entries",
+                    merged.iter().map(|t| t.entries.len()).sum::<usize>().into(),
+                ),
+            ]
+        });
 
     // Where each input vertex sits: (merged table index, position).
     let locate = |u: NodeId| -> (usize, usize) {
@@ -304,9 +332,9 @@ fn process_vertex(
             .iter()
             .map(|(ti, pos)| picked[*ti].0[*pos])
             .collect();
-        let arrivals = arrival_cache.entry(pf.clone()).or_insert_with(|| {
-            build_arrival_map(&pf, &in_types, &options, octx, &mut tcache)
-        });
+        let arrivals = arrival_cache
+            .entry(pf.clone())
+            .or_insert_with(|| build_arrival_map(&pf, &in_types, &options, octx, &mut tcache));
         if !arrivals.is_empty() {
             let retained_formats: Vec<PhysFormat> = retained
                 .iter()
@@ -346,15 +374,30 @@ fn process_vertex(
         return Err(OptError::NoFeasiblePlan(v));
     }
     // Beam: keep only the cheapest joint states when over the cap.
+    let mut truncated = 0usize;
     if new_entries.len() > beam {
+        truncated = new_entries.len() - beam;
         let mut all: Vec<(Vec<PhysFormat>, (f64, TraceId))> = new_entries.into_iter().collect();
         all.sort_by(|a, b| a.1 .0.total_cmp(&b.1 .0));
         all.truncate(beam);
         new_entries = all.into_iter().collect();
+        octx.obs
+            .counter(Subsystem::Optimizer, "beam_truncated", truncated as f64);
     }
 
     let mut verts: Vec<NodeId> = retained.iter().map(|(_, _, u)| *u).collect();
     verts.push(v);
+    // The post-step class size is the `c` of the §6.3 `|P|^c` bound;
+    // together with the table size it explains where the optimizer's
+    // time goes (cf. `trace::frontier_classes`).
+    octx.obs.record(Subsystem::Optimizer, "joint_table", || {
+        vec![
+            ("vertex", v.index().into()),
+            ("class_size", verts.len().into()),
+            ("entries", new_entries.len().into()),
+            ("truncated", truncated.into()),
+        ]
+    });
     let new_idx = front.len();
     for u in &verts {
         table_of[u.index()] = new_idx;
@@ -363,7 +406,7 @@ fn process_vertex(
         verts,
         entries: new_entries,
     }));
-    Ok(())
+    Ok(truncated)
 }
 
 /// For a fixed producer-format vector, the cheapest

@@ -205,13 +205,72 @@ mod tests {
     }
 
     #[test]
+    fn beam_truncation_is_counted_and_reported() {
+        let (reg, cat, model) = ctx_bits();
+        let plan_ctx = PlanContext::new(&reg, Cluster::simsql_like(5));
+        let octx = OptContext::new(&plan_ctx, &cat, &model);
+        let g = shared_graph();
+
+        let exact = frontier_dp(&g, &octx).unwrap();
+        assert_eq!(exact.beam_truncated, 0);
+        assert_eq!(exact.exactness(), "exact");
+
+        let beamed = frontier_dp_beam(&g, &octx, 1).unwrap();
+        assert!(
+            beamed.beam_truncated > 0,
+            "a width-1 beam must drop joint states on a shared DAG"
+        );
+        assert_eq!(beamed.exactness(), "beamed");
+        validate(&g, &beamed.annotation, &plan_ctx).unwrap();
+        // Truncation can only hurt: the beamed plan is never cheaper.
+        assert!(beamed.cost >= exact.cost - 1e-9 * exact.cost);
+    }
+
+    #[test]
+    fn frontier_dp_emits_optimizer_events() {
+        use matopt_obs::{EventKind, MemorySink, Obs, Subsystem};
+        use std::sync::Arc;
+
+        let (reg, cat, model) = ctx_bits();
+        let plan_ctx = PlanContext::new(&reg, Cluster::simsql_like(5));
+        let sink = Arc::new(MemorySink::new());
+        let octx = OptContext::with_obs(&plan_ctx, &cat, &model, Obs::new(Arc::clone(&sink)));
+        let g = shared_graph();
+        let opt = frontier_dp_beam(&g, &octx, 1).unwrap();
+
+        let events = sink.take();
+        assert!(events
+            .iter()
+            .any(|e| e.name == "frontier_dp" && matches!(e.kind, EventKind::SpanBegin)));
+        let steps = events
+            .iter()
+            .filter(|e| e.name == "frontier_step" && matches!(e.kind, EventKind::SpanBegin))
+            .count();
+        // One step span per compute vertex (shared_graph has 4).
+        assert_eq!(steps, 4);
+        let truncated: f64 = events
+            .iter()
+            .filter(|e| e.name == "beam_truncated")
+            .map(|e| match e.kind {
+                EventKind::Counter { value } => value,
+                _ => 0.0,
+            })
+            .sum();
+        assert_eq!(truncated as usize, opt.beam_truncated);
+        assert!(events.iter().all(|e| e.subsystem == Subsystem::Optimizer));
+    }
+
+    #[test]
     fn hadamard_square_of_shared_input_works() {
         // Two edges from the same producer into one vertex.
         let (reg, cat, model) = ctx_bits();
         let plan_ctx = PlanContext::new(&reg, Cluster::simsql_like(5));
         let octx = OptContext::new(&plan_ctx, &cat, &model);
         let mut g = ComputeGraph::new();
-        let a = g.add_source(MatrixType::dense(5000, 5000), PhysFormat::Tile { side: 1000 });
+        let a = g.add_source(
+            MatrixType::dense(5000, 5000),
+            PhysFormat::Tile { side: 1000 },
+        );
         let _sq = g.add_op(Op::Hadamard, &[a, a]).unwrap();
         let f = frontier_dp(&g, &octx).unwrap();
         validate(&g, &f.annotation, &plan_ctx).unwrap();

@@ -64,9 +64,7 @@ pub fn frontier_classes(graph: &ComputeGraph) -> Vec<FrontierSnapshot> {
                 }
                 // Drop vertices with no un-optimized consumers; keep the
                 // moved vertex.
-                merged.retain(|u| {
-                    consumers[u.index()].iter().any(|c| !visited[c.index()])
-                });
+                merged.retain(|u| consumers[u.index()].iter().any(|c| !visited[c.index()]));
                 merged.push(id);
                 let new_idx = classes.len();
                 for u in &merged {

@@ -37,6 +37,14 @@ pub fn tree_dp(graph: &ComputeGraph, octx: &OptContext<'_>) -> Result<Optimized,
     if !graph.is_tree_shaped() {
         return Err(OptError::NotTreeShaped);
     }
+    let _phase = octx
+        .obs
+        .span_with(matopt_obs::Subsystem::Optimizer, "tree_dp", || {
+            vec![
+                ("vertices", graph.len().into()),
+                ("compute_vertices", graph.compute_count().into()),
+            ]
+        });
     let mut tables: Vec<HashMap<PhysFormat, TreeEntry>> = vec![HashMap::new(); graph.len()];
     let mut option_lists = vec![Vec::new(); graph.len()];
 
@@ -130,6 +138,14 @@ pub fn tree_dp(graph: &ComputeGraph, octx: &OptContext<'_>) -> Result<Optimized,
                 if tables[id.index()].is_empty() {
                     return Err(OptError::NoFeasiblePlan(id));
                 }
+                octx.obs
+                    .record(matopt_obs::Subsystem::Optimizer, "dp_table", || {
+                        vec![
+                            ("vertex", id.index().into()),
+                            ("entries", tables[id.index()].len().into()),
+                            ("options", options.len().into()),
+                        ]
+                    });
                 option_lists[id.index()] = options;
             }
         }
@@ -149,6 +165,7 @@ pub fn tree_dp(graph: &ComputeGraph, octx: &OptContext<'_>) -> Result<Optimized,
     Ok(Optimized {
         annotation,
         cost: total,
+        beam_truncated: 0,
     })
 }
 

@@ -46,8 +46,14 @@ fn main() {
         Some("Y"),
     );
     let h = g.add_op_named(Op::Hadamard, &[x, y], Some("X∘Y")).unwrap();
-    let w = g.add_source_named(MatrixType::dense(48, 24), PhysFormat::Tile { side: 8 }, Some("W"));
-    let p = g.add_op_named(Op::MatMul, &[h, w], Some("(X∘Y)·W")).unwrap();
+    let w = g.add_source_named(
+        MatrixType::dense(48, 24),
+        PhysFormat::Tile { side: 8 },
+        Some("W"),
+    );
+    let p = g
+        .add_op_named(Op::MatMul, &[h, w], Some("(X∘Y)·W"))
+        .unwrap();
     let _out = g.add_op_named(Op::Relu, &[p], Some("activations")).unwrap();
 
     println!(
@@ -61,9 +67,18 @@ fn main() {
     let base = random_dense_normal(48, 48, &mut rng).map(|v| if v > 1.6 { v } else { 0.0 });
     let wdat = random_dense_normal(48, 24, &mut rng);
     let mut inputs = HashMap::new();
-    inputs.insert(x, DistRelation::from_dense(&base, PhysFormat::CsrTile { side: 8 }).unwrap());
-    inputs.insert(y, DistRelation::from_dense(&base, PhysFormat::CsrTile { side: 8 }).unwrap());
-    inputs.insert(w, DistRelation::from_dense(&wdat, PhysFormat::Tile { side: 8 }).unwrap());
+    inputs.insert(
+        x,
+        DistRelation::from_dense(&base, PhysFormat::CsrTile { side: 8 }).unwrap(),
+    );
+    inputs.insert(
+        y,
+        DistRelation::from_dense(&base, PhysFormat::CsrTile { side: 8 }).unwrap(),
+    );
+    inputs.insert(
+        w,
+        DistRelation::from_dense(&wdat, PhysFormat::Tile { side: 8 }).unwrap(),
+    );
 
     let outcome = execute_adaptive(
         &g,

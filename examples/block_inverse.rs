@@ -42,15 +42,15 @@ fn main() {
     let h = half as usize;
     let s = a_split as usize;
     let blocks: Vec<DenseMatrix> = vec![
-        m.block(0, 0, s, s),             // A11
-        m.block(0, s, s, h - s),         // A12
-        m.block(s, 0, h - s, s),         // A21
-        m.block(s, s, h - s, h - s),     // A22
-        m.block(0, h, s, h),             // B1
-        m.block(s, h, h - s, h),         // B2
-        m.block(h, 0, h, s),             // C1
-        m.block(h, s, h, h - s),         // C2
-        m.block(h, h, h, h),             // D
+        m.block(0, 0, s, s),         // A11
+        m.block(0, s, s, h - s),     // A12
+        m.block(s, 0, h - s, s),     // A21
+        m.block(s, s, h - s, h - s), // A22
+        m.block(0, h, s, h),         // B1
+        m.block(s, h, h - s, h),     // B2
+        m.block(h, 0, h, s),         // C1
+        m.block(h, s, h, h - s),     // C2
+        m.block(h, h, h, h),         // D
     ];
     let mut inputs = HashMap::new();
     for (src, block) in g.sources().into_iter().zip(blocks) {

@@ -58,7 +58,8 @@ fn main() {
     let mut dense = HashMap::new();
     for (id, node) in g.iter() {
         if let NodeKind::Source { format } = &node.kind {
-            let d = random_dense_normal(node.mtype.rows as usize, node.mtype.cols as usize, &mut rng);
+            let d =
+                random_dense_normal(node.mtype.rows as usize, node.mtype.cols as usize, &mut rng);
             rels.insert(id, DistRelation::from_dense(&d, *format).unwrap());
             dense.insert(id, d);
         }

@@ -49,9 +49,10 @@ fn main() {
     let mut rng = seeded_rng(21);
     // Random adjacency, column-normalized to a transition matrix (with
     // uniform columns for dangling pages).
-    let adj = random_sparse_csr(n, n, 0.08, &mut rng)
-        .to_dense()
-        .map(|v| if v != 0.0 { 1.0 } else { 0.0 });
+    let adj =
+        random_sparse_csr(n, n, 0.08, &mut rng)
+            .to_dense()
+            .map(|v| if v != 0.0 { 1.0 } else { 0.0 });
     let mut transition = DenseMatrix::zeros(n, n);
     for c in 0..n {
         let col_sum: f64 = (0..n).map(|r| adj.get(r, c)).sum();
@@ -104,10 +105,16 @@ fn main() {
     let total: f64 = ranks.data().iter().sum();
     assert!((total - 1.0).abs() < 1e-9, "ranks must stay a distribution");
     // Fixed-point check: one more damped step changes nothing.
-    let next = transition.matmul(&ranks).scale(alpha).add(&uniform.scale(1.0 - alpha));
+    let next = transition
+        .matmul(&ranks)
+        .scale(alpha)
+        .add(&uniform.scale(1.0 - alpha));
     let drift = next.frobenius_distance(&ranks);
     println!("\ntoy 64-page graph after {iters} executed iterations:");
     println!("  rank mass {total:.12}, fixed-point drift {drift:.2e}");
     assert!(drift < 1e-6, "power iteration should have converged");
-    println!("  converged; top rank {:.4}", ranks.data().iter().cloned().fold(0.0, f64::max));
+    println!(
+        "  converged; top rank {:.4}",
+        ranks.data().iter().cloned().fold(0.0, f64::max)
+    );
 }

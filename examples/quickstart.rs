@@ -43,7 +43,9 @@ fn main() {
         Some("matC"),
     );
     let ab = g.add_op_named(Op::MatMul, &[a, b], Some("matAB")).unwrap();
-    let abc = g.add_op_named(Op::MatMul, &[ab, c], Some("matABC")).unwrap();
+    let abc = g
+        .add_op_named(Op::MatMul, &[ab, c], Some("matABC"))
+        .unwrap();
 
     // --- 2. Optimize ----------------------------------------------------
     let registry = ImplRegistry::paper_default();
@@ -96,7 +98,8 @@ fn main() {
     let mut dense_inputs = HashMap::new();
     for (id, node) in g.iter() {
         if let NodeKind::Source { format } = &node.kind {
-            let d = random_dense_normal(node.mtype.rows as usize, node.mtype.cols as usize, &mut rng);
+            let d =
+                random_dense_normal(node.mtype.rows as usize, node.mtype.cols as usize, &mut rng);
             inputs.insert(id, DistRelation::from_dense(&d, *format).unwrap());
             dense_inputs.insert(id, d);
         }

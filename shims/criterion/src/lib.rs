@@ -1,0 +1,306 @@
+//! Offline shim for the `criterion` crate (see `shims/README.md`).
+//!
+//! Provides the subset of the criterion 0.8 API this workspace's
+//! benchmarks use. Measurement is deliberately simple: each benchmark
+//! is warmed up, then sampled `sample_size` times (each sample runs as
+//! many iterations as fit in `measurement_time / sample_size`), and the
+//! mean/min per-iteration wall time is printed. No statistics, HTML
+//! reports, or saved baselines.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation (printed alongside timings).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (the group name supplies the rest).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Things accepted where a benchmark id is expected.
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] runs the payload.
+pub struct Bencher<'a> {
+    group: &'a GroupConfig,
+    label: String,
+}
+
+impl Bencher<'_> {
+    /// Measures `f`, printing mean and min per-iteration times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup: run until ~10% of the budget or 3 iterations.
+        let warmup_budget = self.group.measurement_time.as_secs_f64() * 0.1;
+        let mut one = f64::INFINITY;
+        let w0 = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_iters < 3 || w0.elapsed().as_secs_f64() < warmup_budget {
+            let t = Instant::now();
+            black_box(f());
+            one = one.min(t.elapsed().as_secs_f64());
+            warm_iters += 1;
+            if warm_iters >= 3 && w0.elapsed().as_secs_f64() >= warmup_budget {
+                break;
+            }
+        }
+
+        let samples = self.group.sample_size.max(2);
+        let budget = self.group.measurement_time.as_secs_f64();
+        // Iterations per sample so the whole run roughly fits the budget.
+        let iters = ((budget / samples as f64) / one.max(1e-9)).max(1.0) as u64;
+        let mut mean_total = 0.0;
+        let mut best = f64::INFINITY;
+        for _ in 0..samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let per_iter = t.elapsed().as_secs_f64() / iters as f64;
+            mean_total += per_iter;
+            best = best.min(per_iter);
+        }
+        let mean = mean_total / samples as f64;
+        let thr = match self.group.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  ({:.3e} elem/s)", n as f64 / mean)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  ({:.3e} B/s)", n as f64 / mean)
+            }
+            None => String::new(),
+        };
+        println!(
+            "bench {:<48} mean {}  min {}  ({} iters x {} samples){}",
+            self.label,
+            fmt_time(mean),
+            fmt_time(best),
+            iters,
+            samples,
+            thr
+        );
+    }
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:>9.4} s ")
+    } else if seconds >= 1e-3 {
+        format!("{:>9.4} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:>9.4} us", seconds * 1e6)
+    } else {
+        format!("{:>9.1} ns", seconds * 1e9)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct GroupConfig {
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl Default for GroupConfig {
+    fn default() -> Self {
+        GroupConfig {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    cfg: GroupConfig,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.cfg.sample_size = n;
+        self
+    }
+
+    /// Sets the per-benchmark time budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.cfg.measurement_time = d;
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.cfg.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let label = format!("{}/{}", self.name, id.into_id());
+        let mut b = Bencher {
+            group: &self.cfg,
+            label,
+        };
+        f(&mut b);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_id());
+        let mut b = Bencher {
+            group: &self.cfg,
+            label,
+        };
+        f(&mut b, input);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Applies command-line configuration (shim: accepted, ignored).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            cfg: GroupConfig::default(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs a stand-alone benchmark with default settings.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let cfg = GroupConfig::default();
+        let mut b = Bencher {
+            group: &cfg,
+            label: id.into_id(),
+        };
+        f(&mut b);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_chains() {
+        let mut c = Criterion::default();
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("shim_smoke");
+            g.sample_size(2)
+                .measurement_time(Duration::from_millis(20))
+                .throughput(Throughput::Elements(10));
+            g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+            g.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, n| {
+                b.iter(|| black_box(n * 2))
+            });
+            ran += 1;
+            g.finish();
+        }
+        assert_eq!(ran, 1);
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+        assert_eq!(BenchmarkId::new("x", 7).id, "x/7");
+    }
+}

@@ -5,9 +5,7 @@
 
 use matopt_baselines::all_tile_plan;
 use matopt_bench::Env;
-use matopt_core::{
-    Cluster, ComputeGraph, FormatCatalog, MatrixType, Op, PhysFormat, PlanContext,
-};
+use matopt_core::{Cluster, ComputeGraph, FormatCatalog, MatrixType, Op, PhysFormat, PlanContext};
 use matopt_cost::AnalyticalCostModel;
 use matopt_engine::{simulate_plan, FailReason, SimOutcome};
 use matopt_graphs::{ffnn_w2_update_graph, FfnnConfig};
@@ -60,7 +58,12 @@ fn shrinking_ram_disables_broadcasts() {
     let octx = OptContext::new(&ctx, &cat, &model);
     let plan = frontier_dp_beam(&g, &octx, 2000).unwrap();
     let chosen = registry
-        .get(plan.annotation.choice(matopt_core::NodeId(2)).unwrap().impl_id)
+        .get(
+            plan.annotation
+                .choice(matopt_core::NodeId(2))
+                .unwrap()
+                .impl_id,
+        )
         .strategy;
     assert!(
         matches!(
@@ -79,7 +82,12 @@ fn shrinking_ram_disables_broadcasts() {
     match frontier_dp_beam(&g, &tiny_octx, 2000) {
         Ok(plan) => {
             let s = registry
-                .get(plan.annotation.choice(matopt_core::NodeId(2)).unwrap().impl_id)
+                .get(
+                    plan.annotation
+                        .choice(matopt_core::NodeId(2))
+                        .unwrap()
+                        .impl_id,
+                )
                 .strategy;
             assert!(
                 !matches!(

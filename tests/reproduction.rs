@@ -3,8 +3,8 @@
 //! (graph builders → optimizer → baselines → simulator).
 
 use matopt_baselines::{
-    all_tile_plan, expert_plan, hand_written_plan, simulate_pytorch_ffnn, systemds_plan,
-    Expertise, PyTorchProfile,
+    all_tile_plan, expert_plan, hand_written_plan, simulate_pytorch_ffnn, systemds_plan, Expertise,
+    PyTorchProfile,
 };
 use matopt_bench::figures;
 use matopt_bench::Env;
@@ -15,7 +15,12 @@ use matopt_graphs::{
     motivating_graph, two_level_inverse_graph, FfnnConfig, SizeSet,
 };
 
-fn sim(env: &Env, g: &matopt_core::ComputeGraph, ann: &matopt_core::Annotation, cl: Cluster) -> SimOutcome {
+fn sim(
+    env: &Env,
+    g: &matopt_core::ComputeGraph,
+    ann: &matopt_core::Annotation,
+    cl: Cluster,
+) -> SimOutcome {
     env.simulate(g, ann, cl)
 }
 
@@ -50,7 +55,12 @@ fn motivating_example_ordering() {
 fn ffnn_auto_dominates_baselines() {
     let env = Env::new();
     let catalog = FormatCatalog::paper_default().dense_only();
-    for (hidden, workers) in [(10_000u64, 10usize), (80_000, 10), (160_000, 10), (160_000, 5)] {
+    for (hidden, workers) in [
+        (10_000u64, 10usize),
+        (80_000, 10),
+        (160_000, 10),
+        (160_000, 5),
+    ] {
         let g = ffnn_w2_update_graph(FfnnConfig::simsql_experiment(hidden))
             .unwrap()
             .graph;
@@ -140,7 +150,10 @@ fn expert_ordering_matches_paper() {
         secs_of(Expertise::High),
     );
     assert!(high <= med && med <= low, "{high} / {med} / {low}");
-    assert!(high < auto_secs * 1.10, "high expert should nearly match auto");
+    assert!(
+        high < auto_secs * 1.10,
+        "high expert should nearly match auto"
+    );
     assert!(low > auto_secs * 1.25, "low expert should lag clearly");
 }
 
@@ -179,21 +192,23 @@ fn system_comparison_shapes() {
     let cluster = Cluster::plinycompute_like(workers);
 
     // PyTorch OOM at 7000.
-    assert!(
-        simulate_pytorch_ffnn(
-            &FfnnConfig::amazoncat(1000, 7000, false),
-            workers,
-            &PyTorchProfile::default()
-        )
-        .failed()
-    );
+    assert!(simulate_pytorch_ffnn(
+        &FfnnConfig::amazoncat(1000, 7000, false),
+        workers,
+        &PyTorchProfile::default()
+    )
+    .failed());
 
     // Sparse vs dense-constrained PC at 10K batch.
     let dense_g = ffnn_train_step_graph(FfnnConfig::amazoncat(10_000, 4000, false))
         .unwrap()
         .graph;
     let dense = env
-        .auto_plan(&dense_g, cluster, &FormatCatalog::paper_default().dense_only())
+        .auto_plan(
+            &dense_g,
+            cluster,
+            &FormatCatalog::paper_default().dense_only(),
+        )
         .unwrap();
     let dense_secs = sim(&env, &dense_g, &dense.annotation, cluster)
         .seconds()
@@ -227,12 +242,19 @@ fn optimizer_discovers_the_broadcast_trick() {
     let m = motivating_graph().unwrap();
     let cluster = Cluster::simsql_like(5);
     let auto = env
-        .auto_plan(&m.graph, cluster, &FormatCatalog::paper_default().dense_only())
+        .auto_plan(
+            &m.graph,
+            cluster,
+            &FormatCatalog::paper_default().dense_only(),
+        )
         .unwrap();
     let ctx = env.ctx(cluster);
     let report = simulate_plan(&m.graph, &auto.annotation, &ctx, &env.model).unwrap();
     let secs = report.outcome.seconds().unwrap();
-    assert!(secs < 120.0, "auto plan should be within ~1 min, got {secs}s");
+    assert!(
+        secs < 120.0,
+        "auto plan should be within ~1 min, got {secs}s"
+    );
     // The final multiply must consume matAB as a single tuple
     // (gathered) or broadcast-friendly format — not as a sea of tiles
     // going through a shuffle aggregation.

@@ -39,11 +39,8 @@ fn run_and_verify(g: &ComputeGraph, seed: u64) {
     let mut dense: HashMap<NodeId, DenseMatrix> = HashMap::new();
     for (id, node) in g.iter() {
         if let NodeKind::Source { format } = &node.kind {
-            let mut d = random_dense_normal(
-                node.mtype.rows as usize,
-                node.mtype.cols as usize,
-                &mut rng,
-            );
+            let mut d =
+                random_dense_normal(node.mtype.rows as usize, node.mtype.cols as usize, &mut rng);
             if node.mtype.is_square() {
                 for i in 0..node.mtype.rows as usize {
                     let v = d.get(i, i) + 3.0 * node.mtype.rows as f64;
@@ -126,9 +123,15 @@ fn motivating_example_all_plans_agree_numerically() {
     use matopt_core::{Annotation, Op, Transform, TransformKind, VertexChoice};
     let registry = ImplRegistry::paper_default();
     let mut g = ComputeGraph::new();
-    let a = g.add_source(MatrixType::dense(10, 40), PhysFormat::RowStrip { height: 2 });
+    let a = g.add_source(
+        MatrixType::dense(10, 40),
+        PhysFormat::RowStrip { height: 2 },
+    );
     let bsrc = g.add_source(MatrixType::dense(40, 10), PhysFormat::ColStrip { width: 2 });
-    let c = g.add_source(MatrixType::dense(10, 100), PhysFormat::ColStrip { width: 20 });
+    let c = g.add_source(
+        MatrixType::dense(10, 100),
+        PhysFormat::ColStrip { width: 20 },
+    );
     let ab = g.add_op(Op::MatMul, &[a, bsrc]).unwrap();
     let abc = g.add_op(Op::MatMul, &[ab, c]).unwrap();
 
@@ -192,7 +195,8 @@ fn motivating_example_all_plans_agree_numerically() {
     let mut dense = HashMap::new();
     for (id, node) in g.iter() {
         if let NodeKind::Source { format } = &node.kind {
-            let d = random_dense_normal(node.mtype.rows as usize, node.mtype.cols as usize, &mut rng);
+            let d =
+                random_dense_normal(node.mtype.rows as usize, node.mtype.cols as usize, &mut rng);
             rels.insert(id, DistRelation::from_dense(&d, *format).unwrap());
             dense.insert(id, d);
         }
@@ -263,8 +267,14 @@ fn pagerank_iterations_run_correctly_and_stay_sparse() {
         matopt_core::MatrixType::sparse(24, 24, 0.1),
         PhysFormat::CsrTile { side: 8 },
     );
-    let r0 = g.add_source(matopt_core::MatrixType::dense(24, 1), PhysFormat::SingleTuple);
-    let u = g.add_source(matopt_core::MatrixType::dense(24, 1), PhysFormat::SingleTuple);
+    let r0 = g.add_source(
+        matopt_core::MatrixType::dense(24, 1),
+        PhysFormat::SingleTuple,
+    );
+    let u = g.add_source(
+        matopt_core::MatrixType::dense(24, 1),
+        PhysFormat::SingleTuple,
+    );
     let mut r = r0;
     for _ in 0..2 {
         let pr = g.add_op(matopt_core::Op::MatMul, &[t, r]).unwrap();
