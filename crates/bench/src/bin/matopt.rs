@@ -28,12 +28,23 @@
 //!                            Perfetto), or JSONL if <path> ends .jsonl
 //!   --sql                    print the plan as SQL
 //!   --dot                    print the annotated plan as Graphviz DOT
+//!   --inject <spec>          inject faults while executing (--analyze):
+//!                            crash@S, slow@SxF, flaky@SxN, corrupt@S[:C],
+//!                            oom@SxN, random:N — comma-separated; S is the
+//!                            0-based compute step
+//!   --fault-seed N           seed for the fault injector (default 42)
+//!   --recovery P             recovery policy: restart|checkpoint|lineage
+//!                            (default lineage)
+//!   --crash-rate R           expected worker crashes per worker-hour; adds
+//!                            an expected-runtime-under-recovery report
+//!   --straggler-rate R       fraction of vertices hit by stragglers
 //! ```
 
 use matopt_bench::Env;
-use matopt_core::{Cluster, ComputeGraph, FormatCatalog, NodeKind};
+use matopt_core::{Cluster, ComputeGraph, FormatCatalog, NodeKind, RecoveryPolicy};
 use matopt_engine::{
-    explain_analyze, explain_plan, render_sql, simulate_plan_traced, DistRelation, SimOutcome,
+    explain_analyze, explain_analyze_with_faults, explain_plan, parse_fault_spec, render_sql,
+    simulate_plan_traced, simulate_plan_with_recovery, DistRelation, FtConfig, SimOutcome,
 };
 use matopt_graphs::{
     ffnn_full_pass_graph, ffnn_train_step_graph, ffnn_w2_update_graph, matmul_chain_graph,
@@ -94,6 +105,11 @@ fn cmd_plan(args: &[String]) -> i32 {
     let mut trace_out: Option<String> = None;
     let mut sql = false;
     let mut dot = false;
+    let mut inject: Option<String> = None;
+    let mut fault_seed = 42u64;
+    let mut recovery = RecoveryPolicy::default();
+    let mut crash_rate = 0.0f64;
+    let mut straggler_rate = 0.0f64;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -123,6 +139,38 @@ fn cmd_plan(args: &[String]) -> i32 {
             }
             "--sql" => sql = true,
             "--dot" => dot = true,
+            "--inject" => {
+                i += 1;
+                match args.get(i) {
+                    Some(s) => inject = Some(s.clone()),
+                    None => {
+                        eprintln!("plan: --inject expects a fault spec, e.g. crash@3");
+                        return 2;
+                    }
+                }
+            }
+            "--fault-seed" => {
+                i += 1;
+                fault_seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(42);
+            }
+            "--recovery" => {
+                i += 1;
+                match args.get(i).map(|s| s.parse::<RecoveryPolicy>()) {
+                    Some(Ok(p)) => recovery = p,
+                    _ => {
+                        eprintln!("plan: --recovery expects restart|checkpoint|lineage");
+                        return 2;
+                    }
+                }
+            }
+            "--crash-rate" => {
+                i += 1;
+                crash_rate = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(0.0);
+            }
+            "--straggler-rate" => {
+                i += 1;
+                straggler_rate = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(0.0);
+            }
             other => {
                 eprintln!("plan: unknown option {other}");
                 return 2;
@@ -131,10 +179,13 @@ fn cmd_plan(args: &[String]) -> i32 {
         i += 1;
     }
 
-    let cluster = match engine.as_str() {
+    let mut cluster = match engine.as_str() {
         "pc" | "plinycompute" => Cluster::plinycompute_like(workers),
         _ => Cluster::simsql_like(workers),
     };
+    if crash_rate > 0.0 || straggler_rate > 0.0 {
+        cluster = cluster.with_fault_rates(crash_rate, straggler_rate, 4.0);
+    }
     let catalog = match catalog_name.as_str() {
         "all" => FormatCatalog::paper_default(),
         "ssb" => FormatCatalog::single_strip_block(),
@@ -148,6 +199,12 @@ fn cmd_plan(args: &[String]) -> i32 {
             return 2;
         }
     };
+
+    // `--inject` only has an effect on the real executor, so it
+    // implies `--analyze`.
+    if inject.is_some() {
+        analyze = true;
+    }
 
     // One in-memory sink feeds every subsystem; `--analyze` without
     // `--trace-out` still runs traced, the events just stay unread.
@@ -187,6 +244,27 @@ fn cmd_plan(args: &[String]) -> i32 {
             plan.beam_truncated
         );
     }
+    if cluster.has_fault_model() {
+        println!(
+            "expected runtime under recovery (crash rate {crash_rate}/worker-hour, \
+             straggler rate {straggler_rate}):"
+        );
+        for policy in [
+            RecoveryPolicy::Restart,
+            RecoveryPolicy::Checkpoint,
+            RecoveryPolicy::Lineage,
+        ] {
+            match simulate_plan_with_recovery(&graph, &plan.annotation, &ctx, &env.model, policy) {
+                Ok(r) => println!(
+                    "  {:<12} {} (+{:.2}s recovery overhead)",
+                    policy.to_string(),
+                    r.outcome,
+                    r.expected_overhead_seconds
+                ),
+                Err(e) => eprintln!("  {policy}: recovery simulation failed: {e}"),
+            }
+        }
+    }
     if explain {
         match explain_plan(&graph, &plan.annotation, &ctx, &env.model) {
             Ok(ex) => print!("{ex}"),
@@ -194,7 +272,9 @@ fn cmd_plan(args: &[String]) -> i32 {
         }
     }
     if analyze {
-        if let Err(msg) = run_analyze(&graph, &plan.annotation, &env, &ctx, &obs) {
+        let faults = inject.as_deref().map(|spec| (spec, fault_seed, recovery));
+        if let Err(msg) = run_analyze(&graph, &plan.annotation, &env, &ctx, &catalog, faults, &obs)
+        {
             eprintln!("analyze: {msg}");
             return 1;
         }
@@ -238,6 +318,8 @@ fn run_analyze(
     annotation: &matopt_core::Annotation,
     env: &Env,
     ctx: &matopt_core::PlanContext<'_>,
+    catalog: &FormatCatalog,
+    faults: Option<(&str, u64, RecoveryPolicy)>,
     obs: &Obs,
 ) -> Result<(), String> {
     let mut bytes = 0u64;
@@ -276,8 +358,22 @@ fn run_analyze(
             inputs.insert(id, rel);
         }
     }
-    let analysis = explain_analyze(graph, annotation, &inputs, ctx, &env.model, obs)
-        .map_err(|e| format!("execution failed: {e}"))?;
+    let analysis = match faults {
+        Some((spec, seed, policy)) => {
+            let injector = parse_fault_spec(spec, seed, graph.compute_count())?;
+            let config = FtConfig {
+                policy,
+                ..FtConfig::default()
+            };
+            println!("injecting faults ({spec}, seed {seed}) under the {policy} recovery policy:");
+            explain_analyze_with_faults(
+                graph, annotation, &inputs, ctx, catalog, &env.model, injector, &config, obs,
+            )
+            .map_err(|e| format!("fault-tolerant execution failed: {e}"))?
+        }
+        None => explain_analyze(graph, annotation, &inputs, ctx, &env.model, obs)
+            .map_err(|e| format!("execution failed: {e}"))?,
+    };
     print!("{analysis}");
     Ok(())
 }

@@ -52,6 +52,17 @@ pub struct Cluster {
     /// soon as an operator completes (`true`: only the largest single
     /// operator counts).
     pub reclaim_scratch: bool,
+    /// Expected worker crashes per worker-hour of wall time. The paper's
+    /// clusters are assumed reliable (`0.0`); nonzero rates make the
+    /// recovery-aware simulator charge expected re-computation time.
+    pub crash_rate_per_hour: f64,
+    /// Probability that any single operator execution is hit by a
+    /// straggling worker (`0.0` = never).
+    pub straggler_rate: f64,
+    /// Wall-clock slowdown factor a straggler imposes on the operator it
+    /// hits (`1.0` = no slowdown; only meaningful with a nonzero
+    /// [`Cluster::straggler_rate`]).
+    pub straggler_slowdown: f64,
 }
 
 impl Cluster {
@@ -75,6 +86,9 @@ impl Cluster {
             max_tuple_bytes: 8e9,
             worker_disk_bytes: 300e9,
             reclaim_scratch: false,
+            crash_rate_per_hour: 0.0,
+            straggler_rate: 0.0,
+            straggler_slowdown: 1.0,
         }
     }
 
@@ -97,6 +111,9 @@ impl Cluster {
             max_tuple_bytes: 8e9,
             worker_disk_bytes: 300e9,
             reclaim_scratch: true,
+            crash_rate_per_hour: 0.0,
+            straggler_rate: 0.0,
+            straggler_slowdown: 1.0,
         }
     }
 
@@ -115,6 +132,9 @@ impl Cluster {
             max_tuple_bytes: 1e12,
             worker_disk_bytes: 1e15,
             reclaim_scratch: true,
+            crash_rate_per_hour: 0.0,
+            straggler_rate: 0.0,
+            straggler_slowdown: 1.0,
         }
     }
 
@@ -133,6 +153,110 @@ impl Cluster {
         self.worker_disk_bytes = f64::INFINITY;
         self.max_tuple_bytes = f64::INFINITY;
         self
+    }
+
+    /// The same cluster with a failure model: `crash_rate_per_hour`
+    /// expected crashes per worker-hour, plus a straggler profile
+    /// (`straggler_rate` probability per operator of a `slowdown`×
+    /// wall-clock hit).
+    pub fn with_fault_rates(
+        mut self,
+        crash_rate_per_hour: f64,
+        straggler_rate: f64,
+        straggler_slowdown: f64,
+    ) -> Self {
+        self.crash_rate_per_hour = crash_rate_per_hour.max(0.0);
+        self.straggler_rate = straggler_rate.clamp(0.0, 1.0);
+        self.straggler_slowdown = straggler_slowdown.max(1.0);
+        self
+    }
+
+    /// True when this cluster models any runtime failures at all.
+    pub fn has_fault_model(&self) -> bool {
+        self.crash_rate_per_hour > 0.0
+            || (self.straggler_rate > 0.0 && self.straggler_slowdown > 1.0)
+    }
+
+    /// One degradation step: the same cluster with half its workers
+    /// (floor, at least one) gone. The fault-tolerant executor shrinks
+    /// the cluster this way after repeated resource-style failures and
+    /// re-optimizes the remaining plan suffix.
+    pub fn degraded(mut self) -> Self {
+        self.workers = (self.workers / 2).max(1);
+        self
+    }
+
+    /// Probability that at least one worker crashes during an operator
+    /// that runs `seconds` of wall time on this cluster (Poisson arrival
+    /// at `crash_rate_per_hour` per worker, summed across workers).
+    pub fn crash_probability(&self, seconds: f64) -> f64 {
+        if self.crash_rate_per_hour <= 0.0 || !seconds.is_finite() {
+            return 0.0;
+        }
+        let lambda = self.crash_rate_per_hour / 3600.0 * self.workers as f64;
+        1.0 - (-lambda * seconds.max(0.0)).exp()
+    }
+
+    /// Expected wall-clock inflation from stragglers: an operator takes
+    /// `straggler_slowdown`× as long with probability `straggler_rate`.
+    pub fn straggler_inflation(&self) -> f64 {
+        1.0 + self.straggler_rate * (self.straggler_slowdown - 1.0)
+    }
+}
+
+/// How the fault-tolerant executor (and the recovery-aware simulator)
+/// brings a run back after a worker crash loses intermediate data.
+///
+/// The three policies span the classic recovery spectrum: re-running
+/// the whole plan (what the paper's "Fail" rows would force operators
+/// to do by hand), restoring per-vertex checkpoints (the materialize-
+/// everything discipline Hadoop-based engines get for free), and
+/// Spark-style lineage replay that recomputes only what was lost from
+/// the nearest surviving ancestors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryPolicy {
+    /// Throw everything away and re-execute the plan from its sources.
+    Restart,
+    /// Persist every completed vertex; after a crash, restore completed
+    /// vertices from their checkpoints and recompute only in-flight
+    /// work.
+    Checkpoint,
+    /// Keep nothing extra; after a crash, recompute the lost
+    /// intermediates from the nearest surviving ancestors in
+    /// topological order.
+    #[default]
+    Lineage,
+}
+
+impl RecoveryPolicy {
+    /// Stable lowercase name (CLI flag value and trace attribute).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RecoveryPolicy::Restart => "restart",
+            RecoveryPolicy::Checkpoint => "checkpoint",
+            RecoveryPolicy::Lineage => "lineage",
+        }
+    }
+}
+
+impl std::fmt::Display for RecoveryPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for RecoveryPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "restart" | "scratch" => Ok(RecoveryPolicy::Restart),
+            "checkpoint" | "ckpt" => Ok(RecoveryPolicy::Checkpoint),
+            "lineage" | "replay" => Ok(RecoveryPolicy::Lineage),
+            other => Err(format!(
+                "unknown recovery policy {other:?} (expected restart|checkpoint|lineage)"
+            )),
+        }
     }
 }
 
@@ -154,5 +278,53 @@ mod tests {
         let pc = Cluster::plinycompute_like(10);
         assert!(sim.op_setup_sec > 10.0 * pc.op_setup_sec);
         assert!(sim.tuple_overhead_sec > pc.tuple_overhead_sec);
+    }
+
+    #[test]
+    fn clusters_are_reliable_by_default() {
+        for c in [
+            Cluster::simsql_like(10),
+            Cluster::plinycompute_like(10),
+            Cluster::unit_test(4),
+        ] {
+            assert!(!c.has_fault_model());
+            assert_eq!(c.crash_probability(1e6), 0.0);
+            assert_eq!(c.straggler_inflation(), 1.0);
+        }
+    }
+
+    #[test]
+    fn fault_rates_produce_sane_probabilities() {
+        let c = Cluster::simsql_like(10).with_fault_rates(0.1, 0.05, 3.0);
+        assert!(c.has_fault_model());
+        // 10 workers x 0.1 crashes/hour => one expected crash per hour:
+        // an hour-long operator fails with probability 1 - 1/e.
+        let p = c.crash_probability(3600.0);
+        assert!((p - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+        assert!(c.crash_probability(1.0) < p);
+        assert_eq!(c.crash_probability(0.0), 0.0);
+        // 5% of operators take 3x as long.
+        assert!((c.straggler_inflation() - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degradation_halves_workers_and_stops_at_one() {
+        let c = Cluster::simsql_like(10);
+        assert_eq!(c.degraded().workers, 5);
+        assert_eq!(c.degraded().degraded().workers, 2);
+        assert_eq!(Cluster::simsql_like(1).degraded().workers, 1);
+    }
+
+    #[test]
+    fn recovery_policy_round_trips_through_strings() {
+        for p in [
+            RecoveryPolicy::Restart,
+            RecoveryPolicy::Checkpoint,
+            RecoveryPolicy::Lineage,
+        ] {
+            assert_eq!(p.as_str().parse::<RecoveryPolicy>().unwrap(), p);
+            assert_eq!(p.to_string(), p.as_str());
+        }
+        assert!("bogus".parse::<RecoveryPolicy>().is_err());
     }
 }

@@ -38,7 +38,7 @@ mod transforms;
 mod types;
 
 pub use annotate::{plan_features, validate, PlanContext, PlanError, PlanFeatures};
-pub use cluster::Cluster;
+pub use cluster::{Cluster, RecoveryPolicy};
 pub use dot::{annotated_to_dot, graph_to_dot};
 pub use features::CostFeatures;
 pub use format::{

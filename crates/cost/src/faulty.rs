@@ -1,0 +1,169 @@
+//! Expected-cost plumbing for unreliable clusters: a [`CostModel`]
+//! wrapper that inflates every fault-free time estimate by the expected
+//! cost of surviving crashes and stragglers under a
+//! [`RecoveryPolicy`].
+//!
+//! The optimizer's dynamic programs require costs that decompose per
+//! vertex and per edge, so this wrapper applies the *local* expected-
+//! time inflation: straggler inflation is exact, crash inflation uses
+//! the per-operator geometric-retry model, and the policies differ by
+//! how much work one crash wastes locally (lineage re-runs the
+//! operator, checkpointing additionally re-reads the materialized
+//! inputs, restart-from-scratch is charged a squared attempt factor as
+//! a decomposable proxy for losing the whole prefix). The full
+//! ancestor-aware expectation — which cannot decompose — lives in
+//! `matopt_engine::simulate_plan_with_recovery`; this wrapper exists so
+//! plan *search* can already prefer plans that recover cheaply.
+
+use crate::model::CostModel;
+use matopt_core::{Cluster, CostFeatures, OpKind, RecoveryPolicy, TransformKind};
+
+/// Expected wall-clock seconds to complete one operator whose
+/// fault-free time is `seconds`, on `cluster`, recovering crashes with
+/// `policy`.
+///
+/// With a reliable cluster (the default rates) this is exactly
+/// `seconds`, so wrapping a cost model in [`FaultAwareCostModel`]
+/// changes nothing until fault rates are configured.
+pub fn expected_vertex_time(seconds: f64, cluster: &Cluster, policy: RecoveryPolicy) -> f64 {
+    if seconds <= 0.0 || !seconds.is_finite() {
+        return seconds;
+    }
+    let inflated = seconds * cluster.straggler_inflation();
+    let p = cluster.crash_probability(inflated).min(1.0 - 1e-9);
+    if p <= 0.0 {
+        return inflated;
+    }
+    // Geometric retries: E[attempts] = 1/(1-p), each costing the
+    // operator's own time again.
+    let attempts = 1.0 / (1.0 - p);
+    match policy {
+        // Replaying lineage re-runs just this operator (its surviving
+        // ancestors are free).
+        RecoveryPolicy::Lineage => inflated * attempts,
+        // Checkpointing re-runs the operator and re-reads its
+        // checkpointed inputs; charge one extra materialization round
+        // per retry beyond the first.
+        RecoveryPolicy::Checkpoint => inflated * attempts * (1.0 + 0.1 * p),
+        // Restarting from scratch wastes the whole prefix on every
+        // crash; the prefix is invisible at per-vertex granularity, so
+        // square the attempt factor as a pessimistic decomposable
+        // stand-in (exact for a plan whose prefix costs what the
+        // operator does).
+        RecoveryPolicy::Restart => inflated * attempts * attempts,
+    }
+}
+
+/// A [`CostModel`] decorator that returns *expected* times under a
+/// failure model instead of fault-free times, so the optimizer compares
+/// plans by expected cost including recovery.
+///
+/// ```
+/// use matopt_core::{Cluster, CostFeatures, OpKind, RecoveryPolicy};
+/// use matopt_cost::{AnalyticalCostModel, CostModel, FaultAwareCostModel};
+///
+/// let inner = AnalyticalCostModel;
+/// let model = FaultAwareCostModel::new(&inner, RecoveryPolicy::Lineage);
+/// let reliable = Cluster::simsql_like(10);
+/// let flaky = reliable.with_fault_rates(0.5, 0.1, 4.0);
+/// let f = CostFeatures {
+///     cpu_flops: 1e13,
+///     ..CostFeatures::zero()
+/// };
+/// let base = inner.impl_time(OpKind::MatMul, &f, &reliable);
+/// assert_eq!(model.impl_time(OpKind::MatMul, &f, &reliable), base);
+/// assert!(model.impl_time(OpKind::MatMul, &f, &flaky) > base);
+/// ```
+pub struct FaultAwareCostModel<'a> {
+    inner: &'a dyn CostModel,
+    policy: RecoveryPolicy,
+}
+
+impl<'a> FaultAwareCostModel<'a> {
+    /// Wraps `inner`, charging recovery under `policy`.
+    pub fn new(inner: &'a dyn CostModel, policy: RecoveryPolicy) -> Self {
+        FaultAwareCostModel { inner, policy }
+    }
+
+    /// The recovery policy this model charges for.
+    pub fn policy(&self) -> RecoveryPolicy {
+        self.policy
+    }
+}
+
+impl CostModel for FaultAwareCostModel<'_> {
+    fn impl_time(&self, op: OpKind, features: &CostFeatures, cluster: &Cluster) -> f64 {
+        expected_vertex_time(
+            self.inner.impl_time(op, features, cluster),
+            cluster,
+            self.policy,
+        )
+    }
+
+    fn transform_time(
+        &self,
+        kind: TransformKind,
+        features: &CostFeatures,
+        cluster: &Cluster,
+    ) -> f64 {
+        expected_vertex_time(
+            self.inner.transform_time(kind, features, cluster),
+            cluster,
+            self.policy,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::AnalyticalCostModel;
+
+    fn feat() -> CostFeatures {
+        CostFeatures {
+            cpu_flops: 3.2e12, // 100 s at the SimSQL rate
+            ..CostFeatures::zero()
+        }
+    }
+
+    #[test]
+    fn reliable_cluster_is_a_no_op() {
+        let inner = AnalyticalCostModel;
+        let c = Cluster::simsql_like(10);
+        for policy in [
+            RecoveryPolicy::Restart,
+            RecoveryPolicy::Checkpoint,
+            RecoveryPolicy::Lineage,
+        ] {
+            let m = FaultAwareCostModel::new(&inner, policy);
+            assert_eq!(
+                m.impl_time(OpKind::MatMul, &feat(), &c),
+                inner.impl_time(OpKind::MatMul, &feat(), &c),
+            );
+        }
+    }
+
+    #[test]
+    fn expected_time_grows_with_fault_rates_and_policy_pessimism() {
+        let c = Cluster::simsql_like(10);
+        let mild = c.with_fault_rates(0.05, 0.0, 1.0);
+        let harsh = c.with_fault_rates(0.5, 0.2, 4.0);
+        let t = 100.0;
+        let lineage_mild = expected_vertex_time(t, &mild, RecoveryPolicy::Lineage);
+        let lineage_harsh = expected_vertex_time(t, &harsh, RecoveryPolicy::Lineage);
+        assert!(lineage_mild > t);
+        assert!(lineage_harsh > lineage_mild);
+        // Lineage recovers the cheapest, restart the dearest.
+        let ckpt = expected_vertex_time(t, &harsh, RecoveryPolicy::Checkpoint);
+        let restart = expected_vertex_time(t, &harsh, RecoveryPolicy::Restart);
+        assert!(lineage_harsh < ckpt);
+        assert!(ckpt < restart);
+    }
+
+    #[test]
+    fn zero_and_nonfinite_times_pass_through() {
+        let c = Cluster::simsql_like(10).with_fault_rates(1.0, 0.5, 8.0);
+        assert_eq!(expected_vertex_time(0.0, &c, RecoveryPolicy::Lineage), 0.0);
+        assert!(expected_vertex_time(f64::INFINITY, &c, RecoveryPolicy::Restart).is_infinite());
+    }
+}

@@ -21,9 +21,11 @@
 #![forbid(unsafe_code)]
 
 mod accuracy;
+mod faulty;
 mod model;
 mod regression;
 
 pub use accuracy::{mean_rel_error, sample_residuals, Residual};
+pub use faulty::{expected_vertex_time, FaultAwareCostModel};
 pub use model::{plan_cost, AnalyticalCostModel, CostKey, CostModel, CostSample, LearnedCostModel};
 pub use regression::{fit_ridge, LinearModel, N_FEATURES};

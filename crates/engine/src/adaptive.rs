@@ -144,9 +144,7 @@ pub fn execute_adaptive(
             NodeKind::Source { format } => {
                 let rel = inputs
                     .get(&v)
-                    .ok_or_else(|| {
-                        AdaptiveError::Exec(ExecError::Internal(format!("no input for source {v}")))
-                    })?
+                    .ok_or_else(|| AdaptiveError::Exec(crate::exec::missing_input(graph, v)))?
                     .reformat(*format)
                     .map_err(|e| AdaptiveError::Exec(ExecError::Internal(e.to_string())))?;
                 values[v.index()] = Some(rel);
@@ -173,7 +171,7 @@ pub fn execute_adaptive(
                 let strategy = ctx.registry.get(choice.impl_id).strategy;
                 let cur_type = cur_graph.node(cur_id).mtype;
                 let out = execute_impl(strategy, op, &refs, cur_type, choice.output_format)
-                    .map_err(AdaptiveError::Exec)?;
+                    .map_err(|e| AdaptiveError::Exec(e.at_vertex(v)))?;
 
                 // Measure and compare.
                 let est = cur_type.sparsity;
@@ -219,7 +217,7 @@ pub fn execute_adaptive(
 /// Returns the new graph plus a map from original vertex ids to ids in
 /// the new graph (identity-sized; entries for fully-consumed prefixes
 /// keep their last known id but are never consulted again).
-fn rebuild_suffix(
+pub(crate) fn rebuild_suffix(
     graph: &ComputeGraph,
     executed: &[NodeId],
     values: &[Option<DistRelation>],

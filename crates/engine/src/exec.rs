@@ -77,7 +77,7 @@ pub fn execute_plan_traced(
     for (id, node) in graph.iter() {
         match &node.kind {
             NodeKind::Source { format } => {
-                let rel = inputs.get(&id).ok_or_else(|| missing_input(id))?;
+                let rel = inputs.get(&id).ok_or_else(|| missing_input(graph, id))?;
                 let rel = if rel.format == *format {
                     rel.clone()
                 } else {
@@ -139,7 +139,8 @@ pub fn execute_plan_traced(
                     &refs,
                     node.mtype,
                     choice.output_format,
-                )?;
+                )
+                .map_err(|e| e.at_vertex(id))?;
                 vertex_seconds[id.index()] = t0.elapsed().as_secs_f64();
                 values[id.index()] = Some(out);
             }
@@ -176,8 +177,12 @@ pub fn reference_eval(
     for (id, node) in graph.iter() {
         match &node.kind {
             NodeKind::Source { .. } => {
-                values[id.index()] =
-                    Some(inputs.get(&id).ok_or_else(|| missing_input(id))?.clone());
+                values[id.index()] = Some(
+                    inputs
+                        .get(&id)
+                        .ok_or_else(|| missing_input(graph, id))?
+                        .clone(),
+                );
             }
             NodeKind::Compute { op } => {
                 let arg = |j: usize| values[node.inputs[j].index()].as_ref().expect("topo");
@@ -212,6 +217,14 @@ pub fn reference_eval(
     Ok(out)
 }
 
-fn missing_input(id: NodeId) -> ExecError {
-    ExecError::Internal(format!("no input relation provided for source {id}"))
+/// Builds the diagnosable missing-source error: names the vertex by id
+/// *and* graph label so fault logs and chaos-test failures say which
+/// matrix was absent.
+pub(crate) fn missing_input(graph: &ComputeGraph, id: NodeId) -> ExecError {
+    let label = graph
+        .node(id)
+        .name
+        .clone()
+        .unwrap_or_else(|| format!("source {}", id.index()));
+    ExecError::MissingInput { vertex: id, label }
 }

@@ -8,12 +8,14 @@
 //! [`explain_plan`].
 
 use crate::exec::{execute_plan_traced, ExecOutcome};
+use crate::faults::FaultInjector;
 use crate::impl_exec::ExecError;
+use crate::recovery::{execute_fault_tolerant, FtConfig, InjectedFault};
 use crate::sim::{simulate_plan, SimOutcome};
 use crate::value::DistRelation;
 use matopt_core::{
-    Annotation, ComputeGraph, NodeId, NodeKind, PhysFormat, PlanContext, PlanError, Transform,
-    TransformKind,
+    Annotation, ComputeGraph, FormatCatalog, NodeId, NodeKind, PhysFormat, PlanContext, PlanError,
+    Transform, TransformKind,
 };
 use matopt_cost::CostModel;
 use matopt_obs::{Obs, Subsystem};
@@ -150,6 +152,13 @@ pub struct AnalyzedStep {
     pub actual_impl_seconds: f64,
     /// Measured wall seconds of the in-edge transformations.
     pub actual_transform_seconds: f64,
+    /// Retries spent at this vertex under fault injection (0 on the
+    /// fault-free path).
+    pub retries: u32,
+    /// Crash recoveries that replayed this vertex.
+    pub recoveries: u32,
+    /// Seconds spent on backoff, straggling, and replay at this vertex.
+    pub recovery_seconds: f64,
 }
 
 impl AnalyzedStep {
@@ -183,6 +192,14 @@ pub struct PlanAnalysis {
     pub steps: Vec<AnalyzedStep>,
     /// Total measured wall seconds of the real run.
     pub measured_total_seconds: f64,
+    /// Faults that fired during the run (empty on the fault-free path).
+    pub faults: Vec<InjectedFault>,
+    /// Total retries across the run.
+    pub total_retries: u32,
+    /// Total crash recoveries across the run.
+    pub total_recoveries: u32,
+    /// Total seconds spent recovering.
+    pub total_recovery_seconds: f64,
     /// The executor outcome, so callers can inspect the sink values.
     pub exec: ExecOutcome,
 }
@@ -196,24 +213,54 @@ impl std::fmt::Display for PlanAnalysis {
         )?;
         writeln!(
             f,
-            "  {:>5} {:<22} {:<28} {:>12} {:>12} {:>10}",
-            "vertex", "label", "impl", "est (s)", "actual (s)", "est/act"
+            "  {:>5} {:<22} {:<28} {:>12} {:>12} {:>10} {:>8} {:>6} {:>10}",
+            "vertex",
+            "label",
+            "impl",
+            "est (s)",
+            "actual (s)",
+            "est/act",
+            "retries",
+            "recov",
+            "rec (s)"
         )?;
         for s in &self.steps {
             writeln!(
                 f,
-                "  {:>5} {:<22} {:<28} {:>12.4} {:>12.4} {:>10.2}",
+                "  {:>5} {:<22} {:<28} {:>12.4} {:>12.4} {:>10.2} {:>8} {:>6} {:>10.4}",
                 s.estimate.vertex.to_string(),
                 s.estimate.label,
                 s.estimate.impl_name,
                 s.estimated_total(),
                 s.actual_total(),
                 s.ratio(),
+                s.retries,
+                s.recoveries,
+                s.recovery_seconds,
             )?;
             for t in &s.estimate.transforms {
                 if t.kind != TransformKind::Identity {
                     writeln!(f, "        edge: {t}")?;
                 }
+            }
+        }
+        if !self.faults.is_empty() {
+            writeln!(
+                f,
+                "injected faults ({} fired, {} retries, {} recoveries, {:.4}s recovering):",
+                self.faults.len(),
+                self.total_retries,
+                self.total_recoveries,
+                self.total_recovery_seconds,
+            )?;
+            for fault in &self.faults {
+                writeln!(
+                    f,
+                    "    step {:>3} @ vertex {:>3}: {}",
+                    fault.step,
+                    fault.vertex.to_string(),
+                    fault.kind
+                )?;
             }
         }
         Ok(())
@@ -244,16 +291,44 @@ pub fn explain_analyze(
     let explanation = explain_plan(graph, annotation, ctx, model)
         .map_err(|e| ExecError::Internal(format!("plan error: {e}")))?;
     let exec = execute_plan_traced(graph, annotation, inputs, ctx.registry, obs)?;
+    Ok(join_analysis(explanation, exec, None, obs))
+}
 
+/// Per-run recovery stats carried from the fault-tolerant executor into
+/// the joined analysis.
+struct RecoveryStats {
+    faults: Vec<InjectedFault>,
+    retries: u32,
+    recoveries: u32,
+    recovery_seconds: f64,
+    per_vertex: Vec<crate::recovery::VertexRecovery>,
+}
+
+/// Joins the estimate side with the measured side (and recovery stats,
+/// when the run was fault-tolerant), emitting one `residual` record per
+/// row.
+fn join_analysis(
+    explanation: PlanExplanation,
+    exec: ExecOutcome,
+    recovery: Option<RecoveryStats>,
+    obs: &Obs,
+) -> PlanAnalysis {
     let mut steps = Vec::new();
     for est in explanation.steps {
         let v = est.vertex;
         let actual_impl_seconds = exec.vertex_seconds[v.index()];
         let actual_transform_seconds: f64 = exec.transform_seconds[v.index()].iter().sum();
+        let pv = recovery
+            .as_ref()
+            .map(|r| r.per_vertex[v.index()])
+            .unwrap_or_default();
         let step = AnalyzedStep {
             estimate: est,
             actual_impl_seconds,
             actual_transform_seconds,
+            retries: pv.retries,
+            recoveries: pv.recoveries,
+            recovery_seconds: pv.recovery_seconds,
         };
         obs.record(Subsystem::CostModel, "residual", || {
             vec![
@@ -266,12 +341,69 @@ pub fn explain_analyze(
         });
         steps.push(step);
     }
-    Ok(PlanAnalysis {
+    let (faults, total_retries, total_recoveries, total_recovery_seconds) = match recovery {
+        Some(r) => (r.faults, r.retries, r.recoveries, r.recovery_seconds),
+        None => (Vec::new(), 0, 0, 0.0),
+    };
+    PlanAnalysis {
         outcome: explanation.outcome,
         steps,
         measured_total_seconds: exec.total_seconds,
+        faults,
+        total_retries,
+        total_recoveries,
+        total_recovery_seconds,
         exec,
-    })
+    }
+}
+
+/// `EXPLAIN ANALYZE` under fault injection: like [`explain_analyze`],
+/// but the run goes through
+/// [`execute_fault_tolerant`] with `injector`'s
+/// schedule, and the analysis rows carry each vertex's retries,
+/// recoveries, and recovery seconds, with the fired faults summarized
+/// below the table.
+///
+/// The estimate side describes the *original* plan; if degradation
+/// re-planned the suffix, the measured side reflects the re-planned
+/// implementations (the `replans` count is in the obs stream).
+///
+/// # Errors
+/// Same contract as [`explain_analyze`], plus
+/// [`ExecError::RetryBudgetExhausted`] when the schedule outruns the
+/// budget.
+#[allow(clippy::too_many_arguments)]
+pub fn explain_analyze_with_faults(
+    graph: &ComputeGraph,
+    annotation: &Annotation,
+    inputs: &HashMap<NodeId, DistRelation>,
+    ctx: &PlanContext<'_>,
+    catalog: &FormatCatalog,
+    model: &dyn CostModel,
+    injector: FaultInjector,
+    config: &FtConfig,
+    obs: &Obs,
+) -> Result<PlanAnalysis, ExecError> {
+    let explanation = explain_plan(graph, annotation, ctx, model)
+        .map_err(|e| ExecError::Internal(format!("plan error: {e}")))?;
+    let ft = execute_fault_tolerant(
+        graph, annotation, inputs, ctx, catalog, model, injector, config, obs,
+    )?;
+    let exec = ExecOutcome {
+        sinks: ft.sinks,
+        values: ft.values,
+        vertex_seconds: ft.vertex_seconds,
+        transform_seconds: ft.transform_seconds,
+        total_seconds: ft.total_seconds,
+    };
+    let stats = RecoveryStats {
+        faults: ft.faults,
+        retries: ft.retries,
+        recoveries: ft.recoveries,
+        recovery_seconds: ft.recovery_seconds,
+        per_vertex: ft.per_vertex,
+    };
+    Ok(join_analysis(explanation, exec, Some(stats), obs))
 }
 
 #[cfg(test)]

@@ -1,0 +1,491 @@
+//! Deterministic, seeded fault injection.
+//!
+//! A [`FaultInjector`] owns a schedule of [`FaultEvent`]s keyed by
+//! *compute-step index* — the 0-based position of a compute vertex in
+//! the plan's topological order (sources don't count, so `crash@3`
+//! always lands on a real operator). Schedules come from three places:
+//! an explicit event list, the CLI spec grammar ([`parse_fault_spec`]),
+//! or a seeded random generator ([`FaultInjector::random`]) used by the
+//! chaos harness. All randomness — schedule generation, crash loss
+//! sets, backoff jitter — flows from one SplitMix64 state, so a seed
+//! fully reproduces a chaos run.
+
+use crate::value::{Block, Chunk, DistRelation};
+use matopt_kernels::CooMatrix;
+
+/// SplitMix64: a tiny, high-quality, dependency-free PRNG. Fixed
+/// algorithm (Steele et al.), so seeds reproduce across platforms.
+#[derive(Debug, Clone)]
+pub(crate) struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub(crate) fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `0..n` (`0` when `n == 0`).
+    pub(crate) fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+}
+
+/// One kind of injected failure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// A worker dies while this vertex runs: its in-flight output and a
+    /// seeded random subset of previously materialized intermediates
+    /// are lost and must be recovered per the active policy.
+    WorkerCrash,
+    /// This vertex runs `slowdown`× slower than estimated.
+    Straggler {
+        /// Multiplicative slowdown factor (≥ 1).
+        slowdown: f64,
+    },
+    /// The vertex's kernel fails transiently this many times before
+    /// succeeding; each failure costs one retry with backoff.
+    TransientKernelError {
+        /// Consecutive failures before the kernel succeeds.
+        failures: u32,
+    },
+    /// One output chunk is silently corrupted; the checksum pass detects
+    /// it and the vertex is recomputed.
+    CorruptedChunk {
+        /// Index hint of the chunk to corrupt (taken modulo the actual
+        /// chunk count at runtime).
+        chunk: usize,
+    },
+    /// Resource-style failures (the paper's "too much intermediate
+    /// data") repeat at this vertex; after enough repeats the executor
+    /// degrades the cluster and re-plans the remaining suffix.
+    ResourceExhaustion {
+        /// How many times the vertex fails for resources.
+        repeats: u32,
+    },
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultKind::WorkerCrash => write!(f, "worker crash"),
+            FaultKind::Straggler { slowdown } => write!(f, "straggler x{slowdown:.1}"),
+            FaultKind::TransientKernelError { failures } => {
+                write!(f, "transient kernel error x{failures}")
+            }
+            FaultKind::CorruptedChunk { chunk } => write!(f, "corrupted chunk #{chunk}"),
+            FaultKind::ResourceExhaustion { repeats } => {
+                write!(f, "resource exhaustion x{repeats}")
+            }
+        }
+    }
+}
+
+/// A fault scheduled at a compute step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// 0-based index of the compute vertex (topological order,
+    /// sources excluded) the fault fires at.
+    pub step: usize,
+    /// What goes wrong.
+    pub kind: FaultKind,
+}
+
+/// A deterministic fault schedule plus the PRNG that recovery draws
+/// jitter and loss sets from. Disabled injectors cost one branch per
+/// vertex on the fault-free path.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    events: Vec<Option<FaultEvent>>,
+    rng: SplitMix64,
+    enabled: bool,
+}
+
+impl FaultInjector {
+    /// An injector that never fires (the fault-free path).
+    pub fn disabled() -> Self {
+        FaultInjector {
+            events: Vec::new(),
+            rng: SplitMix64::new(0),
+            enabled: false,
+        }
+    }
+
+    /// An injector firing exactly `events`, with recovery randomness
+    /// seeded by `seed`.
+    pub fn from_schedule(seed: u64, events: Vec<FaultEvent>) -> Self {
+        FaultInjector {
+            events: events.into_iter().map(Some).collect(),
+            rng: SplitMix64::new(seed),
+            enabled: true,
+        }
+    }
+
+    /// A seeded random schedule of `n_faults` faults over `n_steps`
+    /// compute steps, as the chaos harness uses.
+    ///
+    /// Draws crashes, stragglers, transient errors, and corruptions —
+    /// but *not* [`FaultKind::ResourceExhaustion`], because degradation
+    /// re-plans the suffix with different implementations whose
+    /// floating-point rounding differs; chaos asserts bit-exact sink
+    /// equality, so degradation is tested separately.
+    pub fn random(seed: u64, n_steps: usize, n_faults: usize, max_transient: u32) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let mut events = Vec::with_capacity(n_faults);
+        for _ in 0..n_faults {
+            let step = rng.below(n_steps.max(1) as u64) as usize;
+            let kind = match rng.below(4) {
+                0 => FaultKind::WorkerCrash,
+                1 => FaultKind::Straggler {
+                    slowdown: 2.0 + rng.next_f64() * 6.0,
+                },
+                2 => FaultKind::TransientKernelError {
+                    failures: 1 + rng.below(max_transient.max(1) as u64) as u32,
+                },
+                _ => FaultKind::CorruptedChunk {
+                    chunk: rng.below(64) as usize,
+                },
+            };
+            events.push(Some(FaultEvent { step, kind }));
+        }
+        FaultInjector {
+            events,
+            rng,
+            enabled: true,
+        }
+    }
+
+    /// `true` unless built with [`FaultInjector::disabled`].
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// `true` while a corruption fault is still pending — the executor
+    /// only pays for output checksums when one is.
+    pub fn wants_checksums(&self) -> bool {
+        self.events
+            .iter()
+            .flatten()
+            .any(|e| matches!(e.kind, FaultKind::CorruptedChunk { .. }))
+    }
+
+    /// The scheduled-but-not-yet-fired events, for display.
+    pub fn pending(&self) -> Vec<FaultEvent> {
+        self.events.iter().flatten().cloned().collect()
+    }
+
+    /// Consumes and returns every fault scheduled at compute step
+    /// `step`. Each event fires at most once.
+    pub fn take(&mut self, step: usize) -> Vec<FaultKind> {
+        if !self.enabled {
+            return Vec::new();
+        }
+        let mut fired = Vec::new();
+        for slot in &mut self.events {
+            if slot.as_ref().is_some_and(|e| e.step == step) {
+                fired.push(slot.take().expect("checked").kind);
+            }
+        }
+        fired
+    }
+
+    /// The injector's PRNG, shared by loss-set draws and backoff jitter.
+    pub(crate) fn rng(&mut self) -> &mut SplitMix64 {
+        &mut self.rng
+    }
+}
+
+/// Parses the CLI fault-spec grammar into an injector.
+///
+/// Comma-separated terms; `S` is a compute-step index (0-based, in
+/// topological order over compute vertices, `n_steps` of them):
+///
+/// * `crash@S` — worker crash at step `S`;
+/// * `slow@SxF` — straggler at `S`, slowdown factor `F`;
+/// * `flaky@SxN` — `N` transient kernel failures at `S`;
+/// * `corrupt@S` or `corrupt@S:C` — corrupt chunk `C` (default 0) of
+///   step `S`'s output;
+/// * `oom@SxN` — `N` resource-exhaustion failures at `S`;
+/// * `random:N` — `N` seeded random faults (chaos-style).
+///
+/// # Errors
+/// A human-readable message naming the offending term.
+pub fn parse_fault_spec(spec: &str, seed: u64, n_steps: usize) -> Result<FaultInjector, String> {
+    let mut events = Vec::new();
+    let mut randoms = 0usize;
+    for term in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+        if let Some(n) = term.strip_prefix("random:") {
+            randoms += n
+                .parse::<usize>()
+                .map_err(|_| format!("bad fault count in {term:?}"))?;
+            continue;
+        }
+        let (name, rest) = term
+            .split_once('@')
+            .ok_or_else(|| format!("bad fault term {term:?} (expected kind@step)"))?;
+        let parse_step = |s: &str| -> Result<usize, String> {
+            let step = s
+                .parse::<usize>()
+                .map_err(|_| format!("bad step in {term:?}"))?;
+            if step >= n_steps {
+                return Err(format!(
+                    "step {step} out of range in {term:?} (plan has {n_steps} compute steps)"
+                ));
+            }
+            Ok(step)
+        };
+        let kind = match name {
+            "crash" => {
+                events.push(FaultEvent {
+                    step: parse_step(rest)?,
+                    kind: FaultKind::WorkerCrash,
+                });
+                continue;
+            }
+            "slow" => {
+                let (s, f) = rest
+                    .split_once('x')
+                    .ok_or_else(|| format!("bad straggler term {term:?} (expected slow@SxF)"))?;
+                let slowdown = f
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad slowdown in {term:?}"))?;
+                if slowdown < 1.0 {
+                    return Err(format!("slowdown must be >= 1 in {term:?}"));
+                }
+                FaultEvent {
+                    step: parse_step(s)?,
+                    kind: FaultKind::Straggler { slowdown },
+                }
+            }
+            "flaky" => {
+                let (s, n) = rest
+                    .split_once('x')
+                    .ok_or_else(|| format!("bad flaky term {term:?} (expected flaky@SxN)"))?;
+                FaultEvent {
+                    step: parse_step(s)?,
+                    kind: FaultKind::TransientKernelError {
+                        failures: n
+                            .parse::<u32>()
+                            .map_err(|_| format!("bad failure count in {term:?}"))?,
+                    },
+                }
+            }
+            "corrupt" => {
+                let (s, c) = match rest.split_once(':') {
+                    Some((s, c)) => (
+                        s,
+                        c.parse::<usize>()
+                            .map_err(|_| format!("bad chunk index in {term:?}"))?,
+                    ),
+                    None => (rest, 0),
+                };
+                FaultEvent {
+                    step: parse_step(s)?,
+                    kind: FaultKind::CorruptedChunk { chunk: c },
+                }
+            }
+            "oom" => {
+                let (s, n) = rest
+                    .split_once('x')
+                    .ok_or_else(|| format!("bad oom term {term:?} (expected oom@SxN)"))?;
+                FaultEvent {
+                    step: parse_step(s)?,
+                    kind: FaultKind::ResourceExhaustion {
+                        repeats: n
+                            .parse::<u32>()
+                            .map_err(|_| format!("bad repeat count in {term:?}"))?,
+                    },
+                }
+            }
+            other => {
+                return Err(format!(
+                    "unknown fault kind {other:?} (expected crash|slow|flaky|corrupt|oom|random)"
+                ))
+            }
+        };
+        events.push(kind);
+    }
+    if randoms > 0 {
+        let random = FaultInjector::random(seed, n_steps, randoms, 3);
+        events.extend(random.pending());
+    }
+    Ok(FaultInjector::from_schedule(seed, events))
+}
+
+/// FNV-1a over every chunk's coordinates and value bits — the checksum
+/// the corruption detector compares before and after "transport".
+pub(crate) fn relation_checksum(rel: &DistRelation) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |word: u64| {
+        for byte in word.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    for c in &rel.chunks {
+        eat(c.row);
+        eat(c.col);
+        match &c.block {
+            Block::Dense(d) => {
+                for v in d.data() {
+                    eat(v.to_bits());
+                }
+            }
+            Block::Csr(s) => {
+                // Structure-insensitive but value-complete: densify.
+                for v in s.to_dense().data() {
+                    eat(v.to_bits());
+                }
+            }
+            Block::Coo(c) => {
+                for (r, cc, v) in c.entries() {
+                    eat(*r as u64);
+                    eat(*cc as u64);
+                    eat(v.to_bits());
+                }
+            }
+        }
+    }
+    h
+}
+
+/// Flips one value in the selected chunk (index modulo the chunk
+/// count), preserving the block's physical format so downstream kernels
+/// still see the layout they expect.
+pub(crate) fn corrupt_chunk(rel: &mut DistRelation, chunk_hint: usize) {
+    if rel.chunks.is_empty() {
+        return;
+    }
+    let i = chunk_hint % rel.chunks.len();
+    let Chunk { block, .. } = &mut rel.chunks[i];
+    const FLIP: f64 = 1.0e9;
+    *block = match block {
+        Block::Dense(d) => {
+            let mut d2 = d.clone();
+            if d2.rows() > 0 && d2.cols() > 0 {
+                let cur = d2.get(0, 0);
+                d2.set(0, 0, cur + FLIP);
+            }
+            Block::Dense(d2)
+        }
+        Block::Csr(s) => Block::Csr(s.map_stored(|v| v + FLIP)),
+        Block::Coo(c) => Block::Coo(CooMatrix::from_triples(
+            c.rows(),
+            c.cols(),
+            c.entries()
+                .iter()
+                .map(|(r, cc, v)| (*r, *cc, v + FLIP))
+                .collect(),
+        )),
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matopt_core::PhysFormat;
+    use matopt_kernels::DenseMatrix;
+
+    #[test]
+    fn splitmix_is_deterministic_and_uniformish() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(43);
+        let mean: f64 = (0..1000).map(|_| c.next_f64()).sum::<f64>() / 1000.0;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn events_fire_exactly_once() {
+        let mut inj = FaultInjector::from_schedule(
+            1,
+            vec![
+                FaultEvent {
+                    step: 2,
+                    kind: FaultKind::WorkerCrash,
+                },
+                FaultEvent {
+                    step: 2,
+                    kind: FaultKind::Straggler { slowdown: 3.0 },
+                },
+            ],
+        );
+        assert!(inj.take(0).is_empty());
+        assert_eq!(inj.take(2).len(), 2);
+        assert!(inj.take(2).is_empty());
+        assert!(inj.pending().is_empty());
+    }
+
+    #[test]
+    fn random_schedules_reproduce_from_the_seed_and_skip_degradation() {
+        let a = FaultInjector::random(7, 10, 20, 3);
+        let b = FaultInjector::random(7, 10, 20, 3);
+        assert_eq!(a.pending(), b.pending());
+        assert!(a
+            .pending()
+            .iter()
+            .all(|e| !matches!(e.kind, FaultKind::ResourceExhaustion { .. })));
+        assert!(a.pending().iter().all(|e| e.step < 10));
+        let c = FaultInjector::random(8, 10, 20, 3);
+        assert_ne!(a.pending(), c.pending());
+    }
+
+    #[test]
+    fn spec_grammar_round_trips() {
+        let inj = parse_fault_spec("crash@3, slow@1x4.5, flaky@0x2, corrupt@2:5, oom@4x2", 9, 6)
+            .expect("parses");
+        let pending = inj.pending();
+        assert_eq!(pending.len(), 5);
+        assert_eq!(pending[0].kind, FaultKind::WorkerCrash);
+        assert_eq!(pending[1].kind, FaultKind::Straggler { slowdown: 4.5 });
+        assert_eq!(
+            pending[2].kind,
+            FaultKind::TransientKernelError { failures: 2 }
+        );
+        assert_eq!(pending[3].kind, FaultKind::CorruptedChunk { chunk: 5 });
+        assert_eq!(
+            pending[4].kind,
+            FaultKind::ResourceExhaustion { repeats: 2 }
+        );
+        assert!(inj.wants_checksums());
+
+        let r = parse_fault_spec("random:4", 11, 6).expect("parses");
+        assert_eq!(r.pending().len(), 4);
+
+        assert!(parse_fault_spec("crash@9", 0, 6).is_err());
+        assert!(parse_fault_spec("meteor@1", 0, 6).is_err());
+        assert!(parse_fault_spec("slow@1x0.5", 0, 6).is_err());
+    }
+
+    #[test]
+    fn checksums_catch_corruption() {
+        let d = DenseMatrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let mut rel = DistRelation::from_dense(&d, PhysFormat::Tile { side: 1 }).unwrap();
+        let before = relation_checksum(&rel);
+        assert_eq!(before, relation_checksum(&rel), "checksum is stable");
+        corrupt_chunk(&mut rel, 2);
+        assert_ne!(before, relation_checksum(&rel));
+    }
+}

@@ -5,9 +5,9 @@
 //! aggregations), so that the test-suite can verify that *every*
 //! type-correct annotation of a graph computes identical numbers.
 
-use crate::parallel::par_map;
+use crate::parallel::try_par_map;
 use crate::value::{Block, Chunk, DistRelation};
-use matopt_core::{MatrixType, Op, OpKind, PhysFormat, Strategy};
+use matopt_core::{MatrixType, NodeId, Op, OpKind, PhysFormat, Strategy};
 use matopt_kernels::{CooMatrix, DenseMatrix};
 use std::collections::HashMap;
 
@@ -15,16 +15,73 @@ use std::collections::HashMap;
 #[derive(Debug, Clone, PartialEq)]
 pub enum ExecError {
     /// A vertex lacked an annotation choice.
-    MissingChoice(matopt_core::NodeId),
+    MissingChoice(NodeId),
+    /// The caller's input map has no relation for a source vertex.
+    MissingInput {
+        /// The source vertex id.
+        vertex: NodeId,
+        /// The vertex's label in the compute graph.
+        label: String,
+    },
+    /// A chunk-level kernel panicked; the panic was caught instead of
+    /// aborting the process, so the fault-tolerant executor can retry.
+    KernelPanic {
+        /// The vertex being executed, once known (`execute_impl` callers
+        /// attach it via [`ExecError::at_vertex`]).
+        vertex: Option<NodeId>,
+        /// The panic message.
+        detail: String,
+    },
+    /// A vertex exhausted its retry budget under fault injection.
+    RetryBudgetExhausted {
+        /// The vertex that kept failing.
+        vertex: NodeId,
+        /// Attempts made (including the first).
+        attempts: u32,
+    },
     /// The runtime hit an inconsistency between the annotation and the
     /// data (should be impossible for validated plans).
     Internal(String),
+}
+
+impl ExecError {
+    /// Attaches a vertex id to errors that are raised below the
+    /// per-vertex loop (currently kernel panics), leaving others as-is.
+    #[must_use]
+    pub fn at_vertex(self, v: NodeId) -> Self {
+        match self {
+            ExecError::KernelPanic {
+                vertex: None,
+                detail,
+            } => ExecError::KernelPanic {
+                vertex: Some(v),
+                detail,
+            },
+            other => other,
+        }
+    }
 }
 
 impl std::fmt::Display for ExecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ExecError::MissingChoice(v) => write!(f, "vertex {v} has no annotation"),
+            ExecError::MissingInput { vertex, label } => {
+                write!(
+                    f,
+                    "no input relation provided for source vertex {vertex} ({label:?})"
+                )
+            }
+            ExecError::KernelPanic { vertex, detail } => match vertex {
+                Some(v) => write!(f, "kernel panicked at vertex {v}: {detail}"),
+                None => write!(f, "kernel panicked: {detail}"),
+            },
+            ExecError::RetryBudgetExhausted { vertex, attempts } => {
+                write!(
+                    f,
+                    "vertex {vertex} failed after {attempts} attempts, retry budget exhausted"
+                )
+            }
             ExecError::Internal(m) => write!(f, "executor invariant violated: {m}"),
         }
     }
@@ -34,6 +91,20 @@ impl std::error::Error for ExecError {}
 
 fn internal(msg: impl Into<String>) -> ExecError {
     ExecError::Internal(msg.into())
+}
+
+/// Ordered parallel map that converts a caught worker panic into a
+/// recoverable [`ExecError::KernelPanic`] (vertex attached upstream).
+fn par_map<T, R, F>(items: &[T], f: F) -> Result<Vec<R>, ExecError>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    try_par_map(items, f).map_err(|detail| ExecError::KernelPanic {
+        vertex: None,
+        detail,
+    })
 }
 
 /// Executes one implementation strategy over concrete distributed
@@ -90,7 +161,7 @@ fn run_strategy(
                 row: 0,
                 col: c.col,
                 block: Block::Dense(a.matmul(c.block.as_dense())),
-            });
+            })?;
             Ok(DistRelation {
                 mtype: out_type,
                 format: inputs[1].format,
@@ -103,7 +174,7 @@ fn run_strategy(
                 row: c.row,
                 col: 0,
                 block: Block::Dense(c.block.as_dense().matmul(&b)),
-            });
+            })?;
             Ok(DistRelation {
                 mtype: out_type,
                 format: inputs[0].format,
@@ -128,7 +199,7 @@ fn run_strategy(
                     col: *j,
                     block: Block::Dense(a.block.as_dense().matmul(b.block.as_dense())),
                 }
-            });
+            })?;
             Ok(DistRelation {
                 mtype: out_type,
                 format: PhysFormat::Tile { side },
@@ -203,7 +274,7 @@ fn run_strategy(
                     col: a.col,
                     block: Block::Dense(a.block.as_dense().zip_with(b.block.as_dense(), f)),
                 }
-            });
+            })?;
             Ok(DistRelation {
                 mtype: out_type,
                 format: inputs[0].format,
@@ -250,7 +321,7 @@ fn run_strategy(
                     col: a.col,
                     block: Block::Csr(a.block.as_csr().hadamard_dense(b.block.as_dense())),
                 }
-            });
+            })?;
             Ok(DistRelation {
                 mtype: out_type,
                 format: inputs[0].format,
@@ -268,7 +339,7 @@ fn run_strategy(
                     col: a.col,
                     block: Block::Dense(d.add_row_broadcast(&seg)),
                 }
-            });
+            })?;
             Ok(DistRelation {
                 mtype: out_type,
                 format: inputs[0].format,
@@ -295,7 +366,7 @@ fn run_strategy(
                     col: a.col,
                     block,
                 }
-            });
+            })?;
             Ok(DistRelation {
                 mtype: out_type,
                 format: inputs[0].format,
@@ -307,7 +378,7 @@ fn run_strategy(
                 row: a.row,
                 col: a.col,
                 block: Block::Dense(a.block.as_dense().softmax_rows()),
-            });
+            })?;
             Ok(DistRelation {
                 mtype: out_type,
                 format: inputs[0].format,
@@ -366,7 +437,7 @@ fn run_strategy(
                 row: a.col,
                 col: a.row,
                 block: Block::Dense(a.block.as_dense().transpose()),
-            });
+            })?;
             Ok(DistRelation {
                 mtype: out_type,
                 format: out_fmt,
@@ -395,7 +466,7 @@ fn run_strategy(
                 row: a.col,
                 col: a.row,
                 block: Block::Csr(a.block.as_csr().transpose()),
-            });
+            })?;
             Ok(DistRelation {
                 mtype: out_type,
                 format: out_fmt,
@@ -407,7 +478,7 @@ fn run_strategy(
                 row: a.row,
                 col: 0,
                 block: Block::Dense(a.block.as_dense().row_sums()),
-            });
+            })?;
             let format = match inputs[0].format {
                 PhysFormat::SingleTuple => PhysFormat::SingleTuple,
                 PhysFormat::RowStrip { height } => PhysFormat::RowStrip { height },
@@ -424,7 +495,7 @@ fn run_strategy(
                 row: 0,
                 col: a.col,
                 block: Block::Dense(a.block.as_dense().col_sums()),
-            });
+            })?;
             let format = match inputs[0].format {
                 PhysFormat::SingleTuple => PhysFormat::SingleTuple,
                 PhysFormat::ColStrip { width } => PhysFormat::ColStrip { width },
@@ -650,7 +721,7 @@ fn tile_matmul(
             col: *j,
             block: Block::Dense(acc.expect("contraction dimension non-empty")),
         }
-    });
+    })?;
     Ok(DistRelation {
         mtype: out_type,
         format: PhysFormat::Tile { side },

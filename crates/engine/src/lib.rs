@@ -26,8 +26,10 @@ mod adaptive;
 mod calibrate;
 mod exec;
 mod explain;
+mod faults;
 mod impl_exec;
 mod parallel;
+mod recovery;
 mod sim;
 mod sql;
 mod value;
@@ -36,11 +38,17 @@ pub use adaptive::{execute_adaptive, AdaptiveConfig, AdaptiveError, AdaptiveOutc
 pub use calibrate::{collect_samples, collect_samples_traced, fit_model_traced};
 pub use exec::{execute_plan, execute_plan_traced, reference_eval, ExecOutcome};
 pub use explain::{
-    explain_analyze, explain_plan, AnalyzedStep, ExplainStep, PlanAnalysis, PlanExplanation,
+    explain_analyze, explain_analyze_with_faults, explain_plan, AnalyzedStep, ExplainStep,
+    PlanAnalysis, PlanExplanation,
 };
+pub use faults::{parse_fault_spec, FaultEvent, FaultInjector, FaultKind};
 pub use impl_exec::{execute_impl, ExecError};
+pub use recovery::{
+    execute_fault_tolerant, FtConfig, FtOutcome, InjectedFault, RetryConfig, VertexRecovery,
+};
 pub use sim::{
-    format_hms, simulate_plan, simulate_plan_traced, FailReason, SimOutcome, SimReport, SimStep,
+    format_hms, simulate_plan, simulate_plan_traced, simulate_plan_with_recovery, FailReason,
+    RecoverySimReport, SimOutcome, SimReport, SimStep,
 };
 pub use sql::render_sql;
 pub use value::{Block, Chunk, DistRelation, ValueError};

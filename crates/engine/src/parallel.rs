@@ -2,10 +2,31 @@
 //! `std::thread::scope`. The real executor uses it to spread
 //! chunk-local kernels across cores, mimicking the per-worker
 //! parallelism of the simulated cluster.
+//!
+//! Worker closures are run under [`std::panic::catch_unwind`]: a panic
+//! in one chunk's kernel is captured and reported as an error for that
+//! item instead of aborting the process when the scope unwinds, so the
+//! fault-tolerant executor can treat a bad chunk as a recoverable
+//! fault.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Renders a panic payload (the `Box<dyn Any>` from `catch_unwind`)
+/// into a human-readable string.
+fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Applies `f` to every item, in parallel when the batch is large
-/// enough, preserving order.
-pub(crate) fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+/// enough, preserving order. Returns `Err(detail)` with the first
+/// panicking item's message if any worker closure panics.
+pub(crate) fn try_par_map<T, R, F>(items: &[T], f: F) -> Result<Vec<R>, String>
 where
     T: Sync,
     R: Send,
@@ -16,18 +37,19 @@ where
         .map(|p| p.get())
         .unwrap_or(4)
         .min(len.max(1));
+    let guarded = |i: &T| catch_unwind(AssertUnwindSafe(|| f(i))).map_err(panic_detail);
     // Tiny batches are not worth the thread handshake.
     if threads <= 1 || len < 4 {
-        return items.iter().map(&f).collect();
+        return items.iter().map(guarded).collect();
     }
     let chunk = len.div_ceil(threads);
-    let mut out: Vec<Option<R>> = Vec::with_capacity(len);
+    let mut out: Vec<Option<Result<R, String>>> = Vec::with_capacity(len);
     out.resize_with(len, || None);
     std::thread::scope(|s| {
         for (islice, oslice) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
             s.spawn(|| {
                 for (i, o) in islice.iter().zip(oslice.iter_mut()) {
-                    *o = Some(f(i));
+                    *o = Some(guarded(i));
                 }
             });
         }
@@ -35,6 +57,22 @@ where
     out.into_iter()
         .map(|r| r.expect("all slots filled"))
         .collect()
+}
+
+/// Infallible wrapper over [`try_par_map`] for call sites whose
+/// closures are known not to panic; re-panics (on the caller's thread,
+/// unwinding normally rather than aborting) if one does anyway.
+#[cfg(test)]
+pub(crate) fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    match try_par_map(items, f) {
+        Ok(out) => out,
+        Err(detail) => panic!("worker closure panicked: {detail}"),
+    }
 }
 
 #[cfg(test)]
@@ -52,5 +90,21 @@ mod tests {
     fn handles_small_batches_serially() {
         assert_eq!(par_map(&[1, 2], |i| i + 1), vec![2, 3]);
         assert_eq!(par_map::<i32, i32, _>(&[], |i| *i), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn catches_panics_instead_of_aborting() {
+        let items: Vec<usize> = (0..100).collect();
+        let err = try_par_map(&items, |i| {
+            if *i == 57 {
+                panic!("bad chunk {i}");
+            }
+            i * 2
+        })
+        .unwrap_err();
+        assert!(err.contains("bad chunk 57"), "got {err:?}");
+        // The serial path catches too.
+        let err = try_par_map(&[1, 2], |_| -> usize { panic!("small") }).unwrap_err();
+        assert!(err.contains("small"));
     }
 }

@@ -1,0 +1,574 @@
+//! Fault-tolerant plan execution: retries with bounded exponential
+//! backoff, per-vertex checkpointing, lineage replay, and degradation-
+//! aware re-planning.
+//!
+//! [`execute_fault_tolerant`] is [`crate::execute_plan`] wrapped in a
+//! recovery loop driven by a [`FaultInjector`]:
+//!
+//! * **transient kernel errors** retry the vertex after exponential
+//!   backoff with seeded jitter, up to [`RetryConfig::max_retries`];
+//! * **corrupted chunks** are caught by an FNV checksum over the
+//!   vertex's output (only computed while a corruption fault is
+//!   pending) and recomputed;
+//! * **worker crashes** lose the in-flight vertex plus a seeded random
+//!   subset of this plan epoch's materialized intermediates, then
+//!   recover per the [`RecoveryPolicy`]: restart-from-scratch replays
+//!   every lost vertex, per-vertex checkpointing restores from the
+//!   checkpoint store, lineage replay recomputes only the lost vertices
+//!   from their nearest surviving ancestors;
+//! * **resource exhaustion**, after [`FtConfig::degrade_after`]
+//!   repeats, shrinks the [`Cluster`](matopt_core::Cluster) and
+//!   re-optimizes the remaining suffix with the same machinery
+//!   [`crate::execute_adaptive`] uses — already-computed values become
+//!   plan inputs pinned in driver storage.
+//!
+//! Every fault, retry, and recovery emits a record under
+//! [`Subsystem::Faults`]. With a disabled injector the wrapper costs
+//! one branch and two `Instant::now` calls per vertex — pinned under 2%
+//! by the `recovery_overhead` bench.
+
+use crate::adaptive::rebuild_suffix;
+use crate::exec::missing_input;
+use crate::faults::{corrupt_chunk, relation_checksum, FaultInjector, FaultKind};
+use crate::impl_exec::{execute_impl, ExecError};
+use crate::value::DistRelation;
+use matopt_core::{
+    Annotation, ComputeGraph, FormatCatalog, ImplRegistry, NodeId, NodeKind, PlanContext,
+    RecoveryPolicy, TransformKind,
+};
+use matopt_cost::CostModel;
+use matopt_obs::{Obs, Subsystem};
+use matopt_opt::{frontier_dp_beam, OptContext};
+use std::borrow::Cow;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Bounded exponential backoff for transient faults.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryConfig {
+    /// Retries allowed per vertex before
+    /// [`ExecError::RetryBudgetExhausted`].
+    pub max_retries: u32,
+    /// First backoff delay, in milliseconds; doubles per retry.
+    pub base_backoff_ms: u64,
+    /// Backoff ceiling, in milliseconds (jitter of up to one base delay
+    /// is added on top, drawn from the injector's seeded PRNG).
+    pub max_backoff_ms: u64,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig {
+            max_retries: 4,
+            base_backoff_ms: 1,
+            max_backoff_ms: 8,
+        }
+    }
+}
+
+/// Configuration of the fault-tolerant executor.
+#[derive(Debug, Clone, Copy)]
+pub struct FtConfig {
+    /// How crashes are recovered.
+    pub policy: RecoveryPolicy,
+    /// Backoff/retry limits for transient faults.
+    pub retry: RetryConfig,
+    /// Resource-style failures at one vertex before the cluster is
+    /// degraded and the suffix re-planned.
+    pub degrade_after: u32,
+    /// Beam width for degradation re-planning.
+    pub beam: usize,
+}
+
+impl Default for FtConfig {
+    fn default() -> Self {
+        FtConfig {
+            policy: RecoveryPolicy::default(),
+            retry: RetryConfig::default(),
+            degrade_after: 2,
+            beam: 2000,
+        }
+    }
+}
+
+/// Per-vertex recovery bookkeeping, indexed like the graph.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VertexRecovery {
+    /// Retries spent at this vertex (transient faults, corruption
+    /// recomputes, resource failures).
+    pub retries: u32,
+    /// Crash recoveries that replayed this vertex.
+    pub recoveries: u32,
+    /// Seconds spent on backoff, straggling, and replay at this vertex.
+    pub recovery_seconds: f64,
+}
+
+/// A fault that actually fired during the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InjectedFault {
+    /// Compute-step index the fault fired at.
+    pub step: usize,
+    /// The vertex executing when it fired.
+    pub vertex: NodeId,
+    /// What went wrong.
+    pub kind: FaultKind,
+}
+
+/// The result of a fault-tolerant run.
+#[derive(Debug, Clone)]
+pub struct FtOutcome {
+    /// Values at the graph's sinks — identical to the fault-free run's
+    /// for any crash/transient/corruption schedule (degradation
+    /// re-plans may pick different implementations, which changes
+    /// floating-point rounding).
+    pub sinks: HashMap<NodeId, DistRelation>,
+    /// The value computed at every vertex.
+    pub values: HashMap<NodeId, DistRelation>,
+    /// Wall seconds per vertex for the *successful* attempt.
+    pub vertex_seconds: Vec<f64>,
+    /// Wall seconds per in-edge transform for the successful attempt.
+    pub transform_seconds: Vec<Vec<f64>>,
+    /// Total wall seconds including all recovery work.
+    pub total_seconds: f64,
+    /// Total retries across the run.
+    pub retries: u32,
+    /// Total crash recoveries.
+    pub recoveries: u32,
+    /// Degradation re-plans performed.
+    pub replans: u32,
+    /// Every fault that fired, in firing order.
+    pub faults: Vec<InjectedFault>,
+    /// Seconds spent recovering (backoff + straggling + replay).
+    pub recovery_seconds: f64,
+    /// Seconds spent writing checkpoints.
+    pub checkpoint_seconds: f64,
+    /// Per-vertex breakdown of the above.
+    pub per_vertex: Vec<VertexRecovery>,
+}
+
+/// Executes an annotated graph under fault injection, recovering every
+/// fault the injector fires.
+///
+/// With a [`FaultInjector::disabled`] injector this behaves exactly
+/// like [`crate::execute_plan`] (same values, near-zero overhead).
+/// `ctx`/`catalog`/`model` are only consulted when degradation forces a
+/// re-plan of the remaining suffix.
+///
+/// # Errors
+/// [`ExecError`] on malformed plans, and
+/// [`ExecError::RetryBudgetExhausted`] when one vertex's faults outrun
+/// [`RetryConfig::max_retries`].
+#[allow(clippy::too_many_arguments)]
+pub fn execute_fault_tolerant(
+    graph: &ComputeGraph,
+    annotation: &Annotation,
+    inputs: &HashMap<NodeId, DistRelation>,
+    ctx: &PlanContext<'_>,
+    catalog: &FormatCatalog,
+    model: &dyn CostModel,
+    mut injector: FaultInjector,
+    config: &FtConfig,
+    obs: &Obs,
+) -> Result<FtOutcome, ExecError> {
+    let _run = obs.span_with(Subsystem::Faults, "execute_fault_tolerant", || {
+        vec![
+            ("vertices", graph.len().into()),
+            ("policy", config.policy.as_str().into()),
+            ("scheduled_faults", injector.pending().len().into()),
+        ]
+    });
+    let start = Instant::now();
+    let registry = ctx.registry;
+    let mut cluster = ctx.cluster;
+
+    // Plan state; borrowed until degradation re-plans the suffix, so
+    // the fault-free path never pays for the clones.
+    let mut cur_graph: Cow<'_, ComputeGraph> = Cow::Borrowed(graph);
+    let mut cur_plan: Cow<'_, Annotation> = Cow::Borrowed(annotation);
+    let mut idmap: Vec<NodeId> = graph.iter().map(|(id, _)| id).collect();
+    // Vertices executed before the last re-plan are *inputs* of the
+    // current plan (pinned in driver storage), so crashes can only lose
+    // intermediates materialized at or after this position.
+    let mut epoch_start = 0usize;
+
+    let order: Vec<NodeId> = graph.iter().map(|(id, _)| id).collect();
+    let mut values: Vec<Option<DistRelation>> = vec![None; graph.len()];
+    let mut checkpoints: HashMap<usize, DistRelation> = HashMap::new();
+
+    let mut vertex_seconds = vec![0.0; graph.len()];
+    let mut transform_seconds: Vec<Vec<f64>> = vec![Vec::new(); graph.len()];
+    let mut per_vertex = vec![VertexRecovery::default(); graph.len()];
+    let mut faults: Vec<InjectedFault> = Vec::new();
+    let (mut retries, mut recoveries, mut replans) = (0u32, 0u32, 0u32);
+    let (mut recovery_seconds, mut checkpoint_seconds) = (0.0f64, 0.0f64);
+
+    let mut compute_step = 0usize;
+    for (pos, &v) in order.iter().enumerate() {
+        let node = graph.node(v);
+        match &node.kind {
+            NodeKind::Source { format } => {
+                let rel = inputs.get(&v).ok_or_else(|| missing_input(graph, v))?;
+                let rel = if rel.format == *format {
+                    rel.clone()
+                } else {
+                    rel.reformat(*format)
+                        .map_err(|e| ExecError::Internal(e.to_string()))?
+                };
+                values[v.index()] = Some(rel);
+            }
+            NodeKind::Compute { .. } => {
+                let step = compute_step;
+                compute_step += 1;
+
+                // Fault-free fast path: one branch when disabled.
+                let fired = injector.take(step);
+                let mut pending_transient = 0u32;
+                let mut corrupt_hints: Vec<usize> = Vec::new();
+                for kind in fired {
+                    obs.record(Subsystem::Faults, "fault_injected", || {
+                        vec![
+                            ("step", step.into()),
+                            ("vertex", v.index().into()),
+                            ("kind", kind.to_string().into()),
+                        ]
+                    });
+                    faults.push(InjectedFault {
+                        step,
+                        vertex: v,
+                        kind,
+                    });
+                    match kind {
+                        FaultKind::Straggler { slowdown } => {
+                            // A slow worker stretches the step; model it
+                            // with a capped real delay.
+                            let delay_ms = (slowdown.min(20.0) * 0.5).ceil() as u64;
+                            let t0 = Instant::now();
+                            std::thread::sleep(Duration::from_millis(delay_ms));
+                            let dt = t0.elapsed().as_secs_f64();
+                            recovery_seconds += dt;
+                            per_vertex[v.index()].recovery_seconds += dt;
+                        }
+                        FaultKind::TransientKernelError { failures } => {
+                            pending_transient += failures;
+                        }
+                        FaultKind::CorruptedChunk { chunk } => corrupt_hints.push(chunk),
+                        FaultKind::WorkerCrash => {
+                            let dt = recover_crash(
+                                graph,
+                                &order,
+                                pos,
+                                epoch_start,
+                                config.policy,
+                                &mut injector,
+                                &mut values,
+                                &checkpoints,
+                                |u, vals| {
+                                    run_vertex(
+                                        graph, u, &cur_graph, &idmap, &cur_plan, registry, vals,
+                                    )
+                                },
+                                &mut per_vertex,
+                                obs,
+                            )?;
+                            recoveries += 1;
+                            per_vertex[v.index()].recoveries += 1;
+                            recovery_seconds += dt;
+                            per_vertex[v.index()].recovery_seconds += dt;
+                        }
+                        FaultKind::ResourceExhaustion { repeats } => {
+                            for done in 1..=repeats {
+                                retries += 1;
+                                per_vertex[v.index()].retries += 1;
+                                let dt = backoff(
+                                    &config.retry,
+                                    done,
+                                    &mut injector,
+                                    v,
+                                    "resources",
+                                    obs,
+                                );
+                                recovery_seconds += dt;
+                                per_vertex[v.index()].recovery_seconds += dt;
+                                if done >= config.degrade_after {
+                                    // Degrade and re-plan the suffix on
+                                    // the shrunken cluster.
+                                    let before = cluster.workers;
+                                    cluster = cluster.degraded();
+                                    let consumers = graph.consumers();
+                                    let (g2, map2) =
+                                        rebuild_suffix(graph, &order[..pos], &values, &consumers);
+                                    let ctx2 = PlanContext::new(registry, cluster);
+                                    let plan2 = frontier_dp_beam(
+                                        &g2,
+                                        &OptContext::new(&ctx2, catalog, model),
+                                        config.beam,
+                                    )
+                                    .map_err(|e| {
+                                        ExecError::Internal(format!(
+                                            "re-planning after degradation failed: {e}"
+                                        ))
+                                    })?
+                                    .annotation;
+                                    cur_graph = Cow::Owned(g2);
+                                    idmap = map2;
+                                    cur_plan = Cow::Owned(plan2);
+                                    epoch_start = pos;
+                                    replans += 1;
+                                    obs.record(Subsystem::Faults, "degraded", || {
+                                        vec![
+                                            ("vertex", v.index().into()),
+                                            ("workers_before", (before as i64).into()),
+                                            ("workers_after", (cluster.workers as i64).into()),
+                                        ]
+                                    });
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+
+                // Attempt loop: transient failures and corruption
+                // recomputes burn the per-vertex retry budget.
+                let mut attempt = 0u32;
+                let out = loop {
+                    if attempt > config.retry.max_retries {
+                        return Err(ExecError::RetryBudgetExhausted {
+                            vertex: v,
+                            attempts: attempt,
+                        });
+                    }
+                    if pending_transient > 0 {
+                        pending_transient -= 1;
+                        attempt += 1;
+                        retries += 1;
+                        per_vertex[v.index()].retries += 1;
+                        let dt =
+                            backoff(&config.retry, attempt, &mut injector, v, "transient", obs);
+                        recovery_seconds += dt;
+                        per_vertex[v.index()].recovery_seconds += dt;
+                        continue;
+                    }
+                    let (out, tsecs, isecs) =
+                        run_vertex(graph, v, &cur_graph, &idmap, &cur_plan, registry, &values)?;
+                    if let Some(hint) = corrupt_hints.pop() {
+                        // Corruption "in transit": checksum the honest
+                        // output, corrupt a chunk, detect the mismatch.
+                        let want = relation_checksum(&out);
+                        let mut received = out;
+                        corrupt_chunk(&mut received, hint);
+                        if relation_checksum(&received) != want {
+                            attempt += 1;
+                            retries += 1;
+                            per_vertex[v.index()].retries += 1;
+                            obs.record(Subsystem::Faults, "corruption_detected", || {
+                                vec![("vertex", v.index().into()), ("chunk", hint.into())]
+                            });
+                            // The wasted attempt is recovery time.
+                            recovery_seconds += isecs;
+                            per_vertex[v.index()].recovery_seconds += isecs;
+                            continue;
+                        }
+                        // Corruption had no representable effect (e.g.
+                        // an empty chunk): the relation is intact.
+                        vertex_seconds[v.index()] = isecs;
+                        transform_seconds[v.index()] = tsecs;
+                        break received;
+                    }
+                    vertex_seconds[v.index()] = isecs;
+                    transform_seconds[v.index()] = tsecs;
+                    break out;
+                };
+
+                // Checkpoint completed vertices *after* fault handling,
+                // so a crash at this step never sees its own output
+                // checkpointed. Only pay for clones when injection is
+                // live.
+                if config.policy == RecoveryPolicy::Checkpoint && injector.is_enabled() {
+                    let t0 = Instant::now();
+                    checkpoints.insert(v.index(), out.clone());
+                    checkpoint_seconds += t0.elapsed().as_secs_f64();
+                }
+                values[v.index()] = Some(out);
+            }
+        }
+    }
+
+    let mut all = HashMap::new();
+    for (id, _) in graph.iter() {
+        all.insert(id, values[id.index()].take().expect("computed"));
+    }
+    let sinks = graph
+        .sinks()
+        .into_iter()
+        .map(|s| (s, all[&s].clone()))
+        .collect();
+    obs.counter(Subsystem::Faults, "faults_fired", faults.len() as f64);
+    obs.counter(Subsystem::Faults, "retries", f64::from(retries));
+    obs.counter(Subsystem::Faults, "recoveries", f64::from(recoveries));
+    Ok(FtOutcome {
+        sinks,
+        values: all,
+        vertex_seconds,
+        transform_seconds,
+        total_seconds: start.elapsed().as_secs_f64(),
+        retries,
+        recoveries,
+        replans,
+        faults,
+        recovery_seconds,
+        checkpoint_seconds,
+        per_vertex,
+    })
+}
+
+/// Sleeps the bounded-exponential-backoff delay for retry number
+/// `attempt` (1-based) with jitter from the injector's PRNG, emits the
+/// retry record, and returns the seconds slept.
+fn backoff(
+    retry: &RetryConfig,
+    attempt: u32,
+    injector: &mut FaultInjector,
+    vertex: NodeId,
+    cause: &str,
+    obs: &Obs,
+) -> f64 {
+    let exp = retry
+        .base_backoff_ms
+        .saturating_mul(1u64 << attempt.saturating_sub(1).min(16))
+        .min(retry.max_backoff_ms);
+    let jitter = injector.rng().below(retry.base_backoff_ms.max(1));
+    let delay = Duration::from_millis(exp + jitter);
+    obs.record(Subsystem::Faults, "retry", || {
+        vec![
+            ("vertex", vertex.index().into()),
+            ("attempt", attempt.into()),
+            ("backoff_ms", ((exp + jitter) as i64).into()),
+            ("cause", cause.to_string().into()),
+        ]
+    });
+    let t0 = Instant::now();
+    std::thread::sleep(delay);
+    t0.elapsed().as_secs_f64()
+}
+
+/// Loses the crash's victim set and brings every lost vertex back per
+/// `policy`, returning the seconds spent. `recompute` replays one
+/// vertex from the current values (its inputs are guaranteed present
+/// because replay runs in topological order).
+#[allow(clippy::too_many_arguments)]
+fn recover_crash(
+    graph: &ComputeGraph,
+    order: &[NodeId],
+    pos: usize,
+    epoch_start: usize,
+    policy: RecoveryPolicy,
+    injector: &mut FaultInjector,
+    values: &mut [Option<DistRelation>],
+    checkpoints: &HashMap<usize, DistRelation>,
+    recompute: impl Fn(
+        NodeId,
+        &[Option<DistRelation>],
+    ) -> Result<(DistRelation, Vec<f64>, f64), ExecError>,
+    per_vertex: &mut [VertexRecovery],
+    obs: &Obs,
+) -> Result<f64, ExecError> {
+    let t0 = Instant::now();
+    // Victims: this epoch's already-materialized compute vertices. The
+    // in-flight vertex isn't stored yet, so it is implicitly lost too.
+    let candidates: Vec<NodeId> = order[epoch_start..pos]
+        .iter()
+        .copied()
+        .filter(|u| {
+            matches!(graph.node(*u).kind, NodeKind::Compute { .. }) && values[u.index()].is_some()
+        })
+        .collect();
+    let lost: Vec<NodeId> = match policy {
+        // Restart-from-scratch throws the whole epoch away.
+        RecoveryPolicy::Restart => candidates,
+        // Otherwise one worker's memory is gone: a seeded coin flip per
+        // resident intermediate.
+        _ => candidates
+            .into_iter()
+            .filter(|_| injector.rng().next_f64() < 0.5)
+            .collect(),
+    };
+    for u in &lost {
+        values[u.index()] = None;
+    }
+    let mut restored = 0usize;
+    let mut recomputed = 0usize;
+    // Replay in topological order: each lost vertex's inputs are either
+    // survivors or lost-but-earlier (already brought back).
+    for u in &lost {
+        if policy == RecoveryPolicy::Checkpoint {
+            if let Some(ck) = checkpoints.get(&u.index()) {
+                values[u.index()] = Some(ck.clone());
+                restored += 1;
+                continue;
+            }
+        }
+        let (out, _, _) = recompute(*u, values)?;
+        values[u.index()] = Some(out);
+        per_vertex[u.index()].recoveries += 1;
+        recomputed += 1;
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    obs.record(Subsystem::Faults, "recovery", || {
+        vec![
+            ("policy", policy.as_str().into()),
+            ("lost", lost.len().into()),
+            ("restored_from_checkpoint", restored.into()),
+            ("recomputed", recomputed.into()),
+            ("seconds", dt.into()),
+        ]
+    });
+    Ok(dt)
+}
+
+/// Transforms a vertex's inputs per the current plan's choice and runs
+/// its implementation, returning the output, per-edge transform
+/// seconds, and implementation seconds.
+fn run_vertex(
+    graph: &ComputeGraph,
+    v: NodeId,
+    cur_graph: &ComputeGraph,
+    idmap: &[NodeId],
+    plan: &Annotation,
+    registry: &ImplRegistry,
+    values: &[Option<DistRelation>],
+) -> Result<(DistRelation, Vec<f64>, f64), ExecError> {
+    let node = graph.node(v);
+    let NodeKind::Compute { op } = &node.kind else {
+        return Err(ExecError::Internal(format!(
+            "vertex {v} is not a compute vertex"
+        )));
+    };
+    let cur_id = idmap[v.index()];
+    let choice = plan.choice(cur_id).ok_or(ExecError::MissingChoice(v))?;
+    let mut transformed = Vec::with_capacity(node.inputs.len());
+    let mut tsecs = Vec::with_capacity(node.inputs.len());
+    for (input, t) in node.inputs.iter().zip(choice.input_transforms.iter()) {
+        let src = values[input.index()].as_ref().ok_or_else(|| {
+            ExecError::Internal(format!(
+                "input {input} of vertex {v} unavailable during recovery"
+            ))
+        })?;
+        let t0 = Instant::now();
+        let moved = if t.kind == TransformKind::Identity {
+            src.clone()
+        } else {
+            src.reformat(t.to)
+                .map_err(|e| ExecError::Internal(e.to_string()))?
+        };
+        tsecs.push(t0.elapsed().as_secs_f64());
+        transformed.push(moved);
+    }
+    let refs: Vec<&DistRelation> = transformed.iter().collect();
+    let strategy = registry.get(choice.impl_id).strategy;
+    let out_type = cur_graph.node(cur_id).mtype;
+    let t0 = Instant::now();
+    let out = execute_impl(strategy, op, &refs, out_type, choice.output_format)
+        .map_err(|e| e.at_vertex(v))?;
+    Ok((out, tsecs, t0.elapsed().as_secs_f64()))
+}

@@ -9,7 +9,9 @@
 //! models (per-worker RAM for pinned data, per-worker scratch space for
 //! spilled intermediates).
 
-use matopt_core::{Annotation, ComputeGraph, NodeId, NodeKind, PlanContext, PlanError};
+use matopt_core::{
+    Annotation, ComputeGraph, NodeId, NodeKind, PlanContext, PlanError, RecoveryPolicy,
+};
 use matopt_cost::CostModel;
 use matopt_obs::{Obs, Subsystem};
 
@@ -282,6 +284,122 @@ pub fn simulate_plan_traced(
     Ok(SimReport {
         outcome: SimOutcome::Finished { seconds: total },
         steps,
+    })
+}
+
+/// The expected-runtime simulation under a cluster failure model.
+#[derive(Debug, Clone)]
+pub struct RecoverySimReport {
+    /// The recovery policy the expectation was computed for.
+    pub policy: RecoveryPolicy,
+    /// The fault-free simulation this builds on.
+    pub base: SimReport,
+    /// Expected outcome: [`SimOutcome::Finished`] carrying the expected
+    /// seconds *including recovery*, or the base run's failure
+    /// unchanged (resource crashes are terminal in the simulator).
+    pub outcome: SimOutcome,
+    /// Expected seconds lost to stragglers and crash recovery (the
+    /// expected total minus the fault-free total).
+    pub expected_overhead_seconds: f64,
+}
+
+/// Simulates an annotated plan and returns its *expected* runtime under
+/// the cluster's failure model ([`matopt_core::Cluster`] crash and
+/// straggler rates) and `policy`.
+///
+/// Per compute vertex with fault-free time `t`: stragglers inflate it
+/// to `t' = t × straggler_inflation`, and a crash during the vertex has
+/// probability `p = crash_probability(t')` (Poisson over the whole
+/// cluster). The policies then differ by what a crash costs:
+///
+/// * **restart** — the whole prefix is lost: `Tᵢ = (Tᵢ₋₁ + t'ᵢ)/(1−pᵢ)`;
+/// * **checkpoint** — only the vertex re-runs, plus a per-vertex
+///   checkpoint write of the output: `E = t'/(1−p) + write`;
+/// * **lineage** — the vertex re-runs plus the expected replay of lost
+///   ancestors (a crash loses half of one worker's resident
+///   intermediates): `E = t'/(1−p) + p/(1−p) × ½·Σ_anc t'ⱼ / workers`.
+///
+/// With zero fault rates every policy returns exactly the fault-free
+/// estimate, so enabling the machinery changes nothing until rates are
+/// configured — the optimizer can therefore always rank plans with
+/// [`matopt_cost::FaultAwareCostModel`] and validate the winner here.
+///
+/// # Errors
+/// Same contract as [`simulate_plan`].
+pub fn simulate_plan_with_recovery(
+    graph: &ComputeGraph,
+    annotation: &Annotation,
+    ctx: &PlanContext<'_>,
+    model: &dyn CostModel,
+    policy: RecoveryPolicy,
+) -> Result<RecoverySimReport, PlanError> {
+    let base = simulate_plan(graph, annotation, ctx, model)?;
+    let cluster = ctx.cluster;
+    if base.outcome.failed() {
+        let outcome = base.outcome;
+        return Ok(RecoverySimReport {
+            policy,
+            base,
+            outcome,
+            expected_overhead_seconds: 0.0,
+        });
+    }
+    let fault_free: f64 = base
+        .steps
+        .iter()
+        .map(|s| s.impl_seconds + s.transform_seconds)
+        .sum();
+    let ancestors = graph.ancestor_sets();
+    let inflation = cluster.straggler_inflation();
+    // Straggler-inflated per-vertex times, indexed by graph position
+    // (zero for sources).
+    let mut inflated = vec![0.0f64; graph.len()];
+    for s in &base.steps {
+        inflated[s.vertex.index()] = (s.impl_seconds + s.transform_seconds) * inflation;
+    }
+    let workers = cluster.workers as f64;
+    let mut expected = 0.0f64;
+    for s in &base.steps {
+        let t = inflated[s.vertex.index()];
+        let p = cluster.crash_probability(t).min(1.0 - 1e-12);
+        let survival = 1.0 - p;
+        expected = match policy {
+            // Every crash at this vertex restarts the whole plan: the
+            // prefix expectation and this vertex must both survive.
+            RecoveryPolicy::Restart => (expected + t) / survival,
+            RecoveryPolicy::Checkpoint => {
+                // Checkpoints are only written under a live failure
+                // model (mirroring the executor, which skips them with
+                // a disabled injector), so zero rates cost zero.
+                let write = if cluster.has_fault_model() {
+                    let out_bytes = annotation
+                        .choice(s.vertex)
+                        .map(|c| c.output_format.total_bytes(&graph.node(s.vertex).mtype))
+                        .unwrap_or(0.0);
+                    out_bytes / (cluster.inter_bytes_per_sec * workers).max(1.0)
+                } else {
+                    0.0
+                };
+                expected + t / survival + write
+            }
+            RecoveryPolicy::Lineage => {
+                let anc = &ancestors[s.vertex.index()];
+                let replay: f64 = (0..graph.len())
+                    .filter(|j| anc.contains(*j))
+                    .map(|j| inflated[j])
+                    .sum::<f64>()
+                    * 0.5
+                    / workers.max(1.0);
+                expected + t / survival + (p / survival) * replay
+            }
+        };
+    }
+    let outcome = SimOutcome::Finished { seconds: expected };
+    Ok(RecoverySimReport {
+        policy,
+        base,
+        outcome,
+        expected_overhead_seconds: (expected - fault_free).max(0.0),
     })
 }
 

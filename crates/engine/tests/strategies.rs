@@ -602,10 +602,17 @@ fn executor_error_paths() {
         ann
     };
     let empty_inputs: HashMap<matopt_core::NodeId, DistRelation> = HashMap::new();
-    assert!(matches!(
-        execute_plan(&g, &ann, &empty_inputs, &reg),
-        Err(ExecError::Internal(_))
-    ));
+    let err = execute_plan(&g, &ann, &empty_inputs, &reg).unwrap_err();
+    match &err {
+        ExecError::MissingInput { vertex, label } => {
+            assert_eq!(*vertex, a);
+            assert!(!label.is_empty());
+        }
+        other => panic!("expected MissingInput, got {other:?}"),
+    }
+    // The message names the vertex so fault logs are diagnosable.
+    let msg = err.to_string();
+    assert!(msg.contains("source vertex"), "got {msg:?}");
 
     // Missing annotation for the compute vertex.
     let mut inputs = HashMap::new();

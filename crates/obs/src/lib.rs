@@ -46,6 +46,8 @@ pub enum Subsystem {
     Calibration,
     /// The `matopt` command-line driver.
     Cli,
+    /// Fault injection and recovery (`execute_fault_tolerant`).
+    Faults,
 }
 
 impl Subsystem {
@@ -58,6 +60,7 @@ impl Subsystem {
             Subsystem::CostModel => "cost_model",
             Subsystem::Calibration => "calibration",
             Subsystem::Cli => "cli",
+            Subsystem::Faults => "faults",
         }
     }
 }
