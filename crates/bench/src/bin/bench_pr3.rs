@@ -1,0 +1,262 @@
+//! Execution-performance report for the pipelined-executor /
+//! packed-GEMM work: kernel GFLOP/s (reference vs packed), end-to-end
+//! executor wall clock (serial topological walk vs pipelined
+//! scheduler), and optimizer latency per workload.
+//!
+//! ```sh
+//! cargo run --release -p matopt-bench --bin bench_pr3            # table
+//! cargo run --release -p matopt-bench --bin bench_pr3 -- --json  # + BENCH_PR3.json
+//! ```
+//!
+//! With `--json [PATH]` the report is also written as JSON
+//! (default `BENCH_PR3.json`). All timings are best-of-N with the two
+//! variants interleaved, so machine drift hits both sides equally.
+
+use matopt_bench::{Env, Json};
+use matopt_core::{
+    Annotation, ComputeGraph, FormatCatalog, MatrixType, NodeId, NodeKind, Op, PhysFormat,
+};
+use matopt_engine::{execute_plan, execute_plan_serial, DistRelation};
+use matopt_graphs::{ffnn_w2_update_graph, two_level_inverse_graph, FfnnConfig};
+use matopt_kernels::{random_dense_normal, seeded_rng, set_gemm_mode, DenseMatrix, GemmMode};
+use std::collections::HashMap;
+use std::time::Instant;
+
+fn gflops(n: usize, secs: f64) -> f64 {
+    (2.0 * (n as f64).powi(3)) / secs / 1e9
+}
+
+/// One GEMM size: best-of-`reps` for each mode, modes interleaved.
+fn gemm_point(n: usize, reps: usize) -> (f64, f64) {
+    let a = DenseMatrix::from_fn(n, n, |r, c| ((r * 31 + c * 7) % 13) as f64 - 6.0);
+    let b = DenseMatrix::from_fn(n, n, |r, c| ((r * 17 + c * 3) % 11) as f64 - 5.0);
+    let (mut best_ref, mut best_packed) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        set_gemm_mode(GemmMode::Reference);
+        let t = Instant::now();
+        let x = a.matmul(&b);
+        best_ref = best_ref.min(t.elapsed().as_secs_f64());
+        set_gemm_mode(GemmMode::Packed);
+        let t = Instant::now();
+        let y = a.matmul(&b);
+        best_packed = best_packed.min(t.elapsed().as_secs_f64());
+        assert!(x.approx_eq(&y, 1e-6), "GEMM modes disagree at n={n}");
+    }
+    set_gemm_mode(GemmMode::Packed);
+    (best_ref, best_packed)
+}
+
+/// A laptop-scale version of the §8.2 multiplication chain (same
+/// sharing structure: T1 and T2 each feed two consumers). Sources are
+/// tiled at 128 so each tile product is large enough for the packed
+/// GEMM while the relations stay multi-chunk.
+fn laptop_chain(n: u64) -> ComputeGraph {
+    let mut g = ComputeGraph::new();
+    let mt = MatrixType::dense(n, n);
+    let fmt = PhysFormat::Tile { side: 128 };
+    let srcs: Vec<NodeId> = ["A", "B", "C", "D", "E", "F"]
+        .iter()
+        .map(|name| g.add_source_named(mt, fmt, Some(name)))
+        .collect();
+    let (a, b, c, d, e, f) = (srcs[0], srcs[1], srcs[2], srcs[3], srcs[4], srcs[5]);
+    let t1 = g.add_op_named(Op::MatMul, &[a, b], Some("T1")).unwrap();
+    let t2 = g.add_op_named(Op::MatMul, &[c, d], Some("T2")).unwrap();
+    let t1e = g.add_op(Op::MatMul, &[t1, e]).unwrap();
+    let t1t2 = g.add_op(Op::MatMul, &[t1, t2]).unwrap();
+    let left = g.add_op(Op::MatMul, &[t1e, t1t2]).unwrap();
+    let t2f = g.add_op(Op::MatMul, &[t2, f]).unwrap();
+    let _o = g.add_op_named(Op::MatMul, &[left, t2f], Some("O")).unwrap();
+    g
+}
+
+fn make_inputs(graph: &ComputeGraph, seed: u64) -> HashMap<NodeId, DistRelation> {
+    let mut rng = seeded_rng(seed);
+    let mut rels = HashMap::new();
+    for (id, node) in graph.iter() {
+        if let NodeKind::Source { format } = &node.kind {
+            let mut d =
+                random_dense_normal(node.mtype.rows as usize, node.mtype.cols as usize, &mut rng);
+            if node.mtype.is_square() {
+                for i in 0..node.mtype.rows as usize {
+                    let v = d.get(i, i) + node.mtype.rows as f64 * 2.0;
+                    d.set(i, i, v);
+                }
+            }
+            rels.insert(id, DistRelation::from_dense(&d, *format).unwrap());
+        }
+    }
+    rels
+}
+
+struct E2e {
+    name: &'static str,
+    serial_seconds: f64,
+    pipelined_seconds: f64,
+    opt_seconds: f64,
+}
+
+/// Optimizes the workload (recording optimizer latency), then times the
+/// pre-PR executor configuration against the current one, interleaved,
+/// best-of-N:
+///
+/// * **before**: the strictly serial topological walk with identity
+///   edges deep-copied and the blocked reference GEMM — the executor
+///   as it stood before the pipelined-scheduler/packed-GEMM work;
+/// * **after**: the pipelined pool scheduler with `Arc`-shared
+///   identity edges and the packed register-blocked GEMM.
+fn e2e_point(
+    env: &Env,
+    name: &'static str,
+    graph: &ComputeGraph,
+    catalog: &FormatCatalog,
+    reps: usize,
+) -> E2e {
+    let cluster = matopt_core::Cluster::simsql_like(4);
+    let mut opt_seconds = f64::INFINITY;
+    let mut annotation: Option<Annotation> = None;
+    for _ in 0..3 {
+        let plan = env.auto_plan(graph, cluster, catalog).expect("optimizable");
+        opt_seconds = opt_seconds.min(plan.opt_seconds);
+        annotation = Some(plan.annotation);
+    }
+    let annotation = annotation.expect("at least one optimizer run");
+    let inputs = make_inputs(graph, 0xC0FFEE);
+
+    let (mut best_serial, mut best_piped) = (f64::INFINITY, f64::INFINITY);
+    // Warm both paths once (pool spin-up, allocator warm-up) and check
+    // they agree; kernels are approx-compared because the two GEMMs
+    // accumulate in different orders.
+    let warm_s = execute_plan_serial(graph, &annotation, &inputs, &env.registry).expect("runs");
+    let warm_p = execute_plan(graph, &annotation, &inputs, &env.registry).expect("runs");
+    for (sink, rel) in &warm_s.sinks {
+        assert!(
+            warm_p.sinks[sink]
+                .to_dense()
+                .approx_eq(&rel.to_dense(), 1e-6),
+            "{name}: executors disagree"
+        );
+    }
+    for _ in 0..reps {
+        set_gemm_mode(GemmMode::Reference);
+        let t = Instant::now();
+        let _ = execute_plan_serial(graph, &annotation, &inputs, &env.registry).expect("runs");
+        best_serial = best_serial.min(t.elapsed().as_secs_f64());
+        set_gemm_mode(GemmMode::Packed);
+        let t = Instant::now();
+        let _ = execute_plan(graph, &annotation, &inputs, &env.registry).expect("runs");
+        best_piped = best_piped.min(t.elapsed().as_secs_f64());
+    }
+    set_gemm_mode(GemmMode::Packed);
+    E2e {
+        name,
+        serial_seconds: best_serial,
+        pipelined_seconds: best_piped,
+        opt_seconds,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = match args.first().map(String::as_str) {
+        Some("--json") => Some(
+            args.get(1)
+                .cloned()
+                .unwrap_or_else(|| "BENCH_PR3.json".to_string()),
+        ),
+        Some(other) => {
+            eprintln!("unknown argument {other:?}; usage: bench_pr3 [--json [PATH]]");
+            std::process::exit(2);
+        }
+        None => None,
+    };
+
+    let env = Env::new();
+
+    println!("== GEMM: reference vs packed (best-of-N, interleaved) ==");
+    let mut gemm_rows = Vec::new();
+    for (n, reps) in [(256usize, 15), (512, 11), (1024, 9)] {
+        let (t_ref, t_packed) = gemm_point(n, reps);
+        let (g_ref, g_packed) = (gflops(n, t_ref), gflops(n, t_packed));
+        println!(
+            "n={n:5}  reference {g_ref:7.2} GFLOP/s   packed {g_packed:7.2} GFLOP/s   speedup {:4.2}x",
+            t_ref / t_packed
+        );
+        gemm_rows.push(Json::obj([
+            ("n", Json::Int(n as i64)),
+            ("reference_seconds", Json::Num(t_ref)),
+            ("packed_seconds", Json::Num(t_packed)),
+            ("reference_gflops", Json::Num(g_ref)),
+            ("packed_gflops", Json::Num(g_packed)),
+            ("speedup", Json::Num(t_ref / t_packed)),
+        ]));
+    }
+
+    println!();
+    println!("== End-to-end: serial topological walk vs pipelined scheduler ==");
+    // "Small" here means laptop-runnable, not paper-scale — but the
+    // blocks are sized so matrix multiplies dominate the wall clock,
+    // which is what the pre-PR/post-PR comparison is about.
+    let ffnn_config = FfnnConfig {
+        input_format: PhysFormat::Tile { side: 128 },
+        w1_format: PhysFormat::Tile { side: 128 },
+        w_format: PhysFormat::Tile { side: 128 },
+        batch: 256,
+        features: 512,
+        hidden: 512,
+        ..FfnnConfig::laptop(512)
+    };
+    let ffnn = ffnn_w2_update_graph(ffnn_config).expect("well-typed").graph;
+    let inverse = two_level_inverse_graph(128, 32).expect("well-typed").graph;
+    let chain = laptop_chain(256);
+    let dense = FormatCatalog::paper_default().dense_only();
+    let small = FormatCatalog::new(vec![
+        PhysFormat::SingleTuple,
+        PhysFormat::Tile { side: 32 },
+        PhysFormat::Tile { side: 64 },
+        PhysFormat::RowStrip { height: 32 },
+        PhysFormat::ColStrip { width: 32 },
+    ]);
+    let chain_catalog = FormatCatalog::new(vec![
+        PhysFormat::SingleTuple,
+        PhysFormat::Tile { side: 128 },
+        PhysFormat::RowStrip { height: 128 },
+        PhysFormat::ColStrip { width: 128 },
+    ]);
+    let mut e2e_rows = Vec::new();
+    let mut opt_rows = Vec::new();
+    for e in [
+        e2e_point(&env, "ffnn-small", &ffnn, &dense, 9),
+        e2e_point(&env, "inverse", &inverse, &small, 9),
+        e2e_point(&env, "chain", &chain, &chain_catalog, 9),
+    ] {
+        println!(
+            "{:<12} serial {:8.4}s   pipelined {:8.4}s   speedup {:4.2}x   (opt {:6.3}s)",
+            e.name,
+            e.serial_seconds,
+            e.pipelined_seconds,
+            e.serial_seconds / e.pipelined_seconds,
+            e.opt_seconds
+        );
+        e2e_rows.push(Json::obj([
+            ("workload", Json::str(e.name)),
+            ("serial_seconds", Json::Num(e.serial_seconds)),
+            ("pipelined_seconds", Json::Num(e.pipelined_seconds)),
+            ("speedup", Json::Num(e.serial_seconds / e.pipelined_seconds)),
+        ]));
+        opt_rows.push(Json::obj([
+            ("workload", Json::str(e.name)),
+            ("opt_seconds", Json::Num(e.opt_seconds)),
+        ]));
+    }
+
+    if let Some(path) = json_path {
+        let report = Json::obj([
+            ("pr", Json::Int(3)),
+            ("gemm", Json::Arr(gemm_rows)),
+            ("e2e", Json::Arr(e2e_rows)),
+            ("optimizer", Json::Arr(opt_rows)),
+        ]);
+        std::fs::write(&path, report.pretty()).expect("write report");
+        println!("\nwrote {path}");
+    }
+}

@@ -1,0 +1,145 @@
+//! A minimal JSON value tree + serializer for benchmark reports.
+//!
+//! The container has no JSON dependency and the reports are small, so
+//! this hand-rolled writer (objects keep insertion order, floats render
+//! with enough digits to round-trip) is all the harness needs.
+
+/// A JSON value.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// A floating-point number (rendered with 17 significant digits;
+    /// non-finite values render as `null`).
+    Num(f64),
+    /// An integer.
+    Int(i64),
+    /// A string.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion-ordered.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from key/value pairs.
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Serializes with two-space indentation and a trailing newline.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent + 1);
+        let close = "  ".repeat(indent);
+        match self {
+            Json::Num(x) if x.is_finite() => out.push_str(&format_num(*x)),
+            Json::Num(_) => out.push_str("null"),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Str(s) => {
+                out.push('"');
+                for ch in s.chars() {
+                    match ch {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        '\r' => out.push_str("\\r"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) if items.is_empty() => out.push_str("[]"),
+            Json::Arr(items) => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad);
+                    item.write(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&close);
+                out.push(']');
+            }
+            Json::Obj(pairs) if pairs.is_empty() => out.push_str("{}"),
+            Json::Obj(pairs) => {
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    out.push_str(&pad);
+                    Json::Str(k.clone()).write(out, indent + 1);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                    out.push_str(if i + 1 < pairs.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&close);
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Shortest-ish float rendering that stays valid JSON (no `inf`/`nan`,
+/// always a numeric literal).
+fn format_num(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{x:.1}")
+    } else {
+        let s = format!("{x}");
+        if s.parse::<f64>() == Ok(x) {
+            s
+        } else {
+            format!("{x:.17e}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structures() {
+        let j = Json::obj([
+            ("name", Json::str("gemm")),
+            ("n", Json::Int(1024)),
+            ("gflops", Json::Num(3.25)),
+            ("ok", Json::Bool(true)),
+            (
+                "runs",
+                Json::Arr(vec![Json::Num(1.0), Json::Num(0.5), Json::Num(f64::NAN)]),
+            ),
+        ]);
+        let s = j.pretty();
+        assert!(s.contains("\"name\": \"gemm\""));
+        assert!(s.contains("\"n\": 1024"));
+        assert!(s.contains("3.25"));
+        assert!(s.contains("null"), "non-finite floats must become null");
+        assert!(s.ends_with('\n'));
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let s = Json::str("a\"b\\c\nd").pretty();
+        assert_eq!(s.trim(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn round_trips_floats() {
+        assert_eq!(format_num(2.0), "2.0");
+        assert!(format_num(0.1).parse::<f64>().unwrap() == 0.1);
+    }
+}

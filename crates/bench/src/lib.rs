@@ -10,5 +10,7 @@
 
 pub mod figures;
 pub mod harness;
+pub mod json;
 
 pub use harness::{cell, format_opt, hms, Env, FigTable, DEFAULT_BEAM};
+pub use json::Json;

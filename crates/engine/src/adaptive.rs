@@ -23,6 +23,7 @@ use matopt_core::{
 };
 use matopt_cost::CostModel;
 use matopt_opt::{frontier_dp_beam, OptContext, OptError};
+use std::borrow::Borrow;
 use std::collections::HashMap;
 
 /// Configuration of the adaptive executor.
@@ -217,10 +218,14 @@ pub fn execute_adaptive(
 /// Returns the new graph plus a map from original vertex ids to ids in
 /// the new graph (identity-sized; entries for fully-consumed prefixes
 /// keep their last known id but are never consulted again).
-pub(crate) fn rebuild_suffix(
+///
+/// Generic over how values are held so the adaptive executor (owned
+/// relations) and the fault-tolerant executor (`Arc`-shared relations)
+/// can both call it.
+pub(crate) fn rebuild_suffix<T: Borrow<DistRelation>>(
     graph: &ComputeGraph,
     executed: &[NodeId],
-    values: &[Option<DistRelation>],
+    values: &[Option<T>],
     consumers: &[Vec<NodeId>],
 ) -> (ComputeGraph, Vec<NodeId>) {
     let executed_set: Vec<bool> = {
@@ -239,7 +244,7 @@ pub(crate) fn rebuild_suffix(
                 .iter()
                 .any(|c| !executed_set[c.index()]);
             if needed {
-                let rel = values[id.index()].as_ref().expect("executed");
+                let rel = values[id.index()].as_ref().expect("executed").borrow();
                 let measured = MatrixType {
                     rows: rel.mtype.rows,
                     cols: rel.mtype.cols,

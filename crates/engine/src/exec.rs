@@ -5,12 +5,22 @@
 //! of a graph computes identical numbers, and (b) collect the
 //! installation-time calibration measurements the learned cost model is
 //! fitted from (§7).
+//!
+//! Since the pipelined-scheduler rework, [`execute_plan`] runs vertices
+//! through [`crate::schedule`]: ready vertices are pool jobs, identity
+//! edges are `Arc` bumps, and buffers can be retired as their last
+//! consumer finishes ([`ExecOptions::retain_values`]). The original
+//! topological walk survives as [`execute_plan_serial`] — it is the
+//! reference the pipelined path is property-tested bit-identical
+//! against.
 
-use crate::impl_exec::{execute_impl, ExecError};
+use crate::impl_exec::{execute_impl_shared, ExecError};
+use crate::schedule::run_pipelined;
 use crate::value::DistRelation;
 use matopt_core::{Annotation, ComputeGraph, ImplRegistry, NodeId, NodeKind, TransformKind};
 use matopt_obs::{Obs, Subsystem};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The result of executing an annotated plan.
@@ -18,19 +28,50 @@ use std::time::Instant;
 pub struct ExecOutcome {
     /// The values at every sink vertex.
     pub sinks: HashMap<NodeId, DistRelation>,
-    /// The value computed at every vertex (sources included) — useful
-    /// when intermediate results are themselves deliverables, as in the
-    /// blocked-inverse workload whose quadrants feed each other.
+    /// The value computed at every retained vertex (sources included) —
+    /// useful when intermediate results are themselves deliverables, as
+    /// in the blocked-inverse workload whose quadrants feed each other.
+    /// Holds every vertex under [`ExecOptions::retain_values`]
+    /// (the [`execute_plan`] default), sinks only otherwise.
     pub values: HashMap<NodeId, DistRelation>,
     /// Wall seconds each compute vertex's implementation took.
     pub vertex_seconds: Vec<f64>,
     /// Wall seconds each in-edge transformation took, per vertex.
     pub transform_seconds: Vec<Vec<f64>>,
+    /// Chunks in each vertex's output relation.
+    pub vertex_chunks: Vec<usize>,
+    /// Bytes of each vertex's output relation when it was materialized.
+    pub vertex_resident_bytes: Vec<u64>,
+    /// Worker parallelism of the pool the plan was scheduled on.
+    pub parallelism: usize,
+    /// Highest number of vertices in flight at once during the run.
+    pub max_concurrency: usize,
+    /// Peak bytes resident across all live vertex buffers.
+    pub peak_resident_bytes: u64,
     /// Total wall seconds.
     pub total_seconds: f64,
 }
 
-/// Executes an annotated graph on concrete inputs.
+/// Knobs for [`execute_plan_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions {
+    /// Keep every vertex's value alive for [`ExecOutcome::values`]
+    /// (default). When `false`, a vertex's buffer is dropped as soon as
+    /// its last consumer finishes — peak residency shrinks to the live
+    /// frontier and only sink values come back.
+    pub retain_values: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            retain_values: true,
+        }
+    }
+}
+
+/// Executes an annotated graph on concrete inputs through the pipelined
+/// scheduler.
 ///
 /// `inputs` must contain one relation per source vertex. A source whose
 /// relation arrives in a different format than the graph declares is
@@ -49,9 +90,10 @@ pub fn execute_plan(
 }
 
 /// [`execute_plan`] with observability: wraps the run in an
-/// `execute_plan` span and emits one `impl` span per compute vertex and
-/// one `transform` span per non-identity in-edge, all under
-/// [`Subsystem::Executor`]. With a disabled handle this is exactly
+/// `execute_plan` span and emits one `impl` span per compute vertex,
+/// one `transform` span per non-identity in-edge (both under
+/// [`Subsystem::Executor`]), and one [`Subsystem::Sched`] `pipeline`
+/// summary record. With a disabled handle this is exactly
 /// [`execute_plan`] (the instrumentation is a pointer check per site).
 ///
 /// # Errors
@@ -63,6 +105,28 @@ pub fn execute_plan_traced(
     registry: &ImplRegistry,
     obs: &Obs,
 ) -> Result<ExecOutcome, ExecError> {
+    execute_plan_with(
+        graph,
+        annotation,
+        inputs,
+        registry,
+        obs,
+        ExecOptions::default(),
+    )
+}
+
+/// [`execute_plan_traced`] with explicit [`ExecOptions`].
+///
+/// # Errors
+/// Same contract as [`execute_plan`].
+pub fn execute_plan_with(
+    graph: &ComputeGraph,
+    annotation: &Annotation,
+    inputs: &HashMap<NodeId, DistRelation>,
+    registry: &ImplRegistry,
+    obs: &Obs,
+    options: ExecOptions,
+) -> Result<ExecOutcome, ExecError> {
     let _run = obs.span_with(Subsystem::Executor, "execute_plan", || {
         vec![
             ("vertices", graph.len().into()),
@@ -70,9 +134,69 @@ pub fn execute_plan_traced(
         ]
     });
     let start = Instant::now();
+    let mut out = run_pipelined(
+        graph,
+        annotation,
+        inputs,
+        registry,
+        obs,
+        options.retain_values,
+    )?;
+
+    // Take each slot so the `Arc` is (normally) unique and `unshare`
+    // moves instead of deep-copying; only values still aliased by an
+    // identity edge's consumer pay a clone.
+    let mut values = HashMap::new();
+    for (id, _) in graph.iter() {
+        if let Some(rel) = out.values[id.index()].take() {
+            values.insert(id, unshare(rel));
+        }
+    }
+    let sinks = graph
+        .sinks()
+        .into_iter()
+        .map(|s| (s, values[&s].clone()))
+        .collect();
+    Ok(ExecOutcome {
+        sinks,
+        values,
+        vertex_seconds: out.vertex_seconds,
+        transform_seconds: out.transform_seconds,
+        vertex_chunks: out.vertex_chunks,
+        vertex_resident_bytes: out.vertex_resident_bytes,
+        parallelism: out.parallelism,
+        max_concurrency: out.max_concurrency,
+        peak_resident_bytes: out.peak_resident_bytes,
+        total_seconds: start.elapsed().as_secs_f64(),
+    })
+}
+
+/// Takes the relation out of a (normally unique) `Arc`, cloning only if
+/// it is still shared.
+pub(crate) fn unshare(rel: Arc<DistRelation>) -> DistRelation {
+    Arc::try_unwrap(rel).unwrap_or_else(|shared| (*shared).clone())
+}
+
+/// The original strictly-serial topological walk, retained as the
+/// reference implementation the pipelined scheduler is property-tested
+/// bit-identical against (and as the "before" executor in benchmark
+/// comparisons). Identity edges deep-copy their input, as the pre-pool
+/// executor did.
+///
+/// # Errors
+/// Same contract as [`execute_plan`].
+pub fn execute_plan_serial(
+    graph: &ComputeGraph,
+    annotation: &Annotation,
+    inputs: &HashMap<NodeId, DistRelation>,
+    registry: &ImplRegistry,
+) -> Result<ExecOutcome, ExecError> {
+    let start = Instant::now();
     let mut values: Vec<Option<DistRelation>> = vec![None; graph.len()];
     let mut vertex_seconds = vec![0.0; graph.len()];
     let mut transform_seconds: Vec<Vec<f64>> = vec![Vec::new(); graph.len()];
+    let mut vertex_chunks = vec![0usize; graph.len()];
+    let mut vertex_resident_bytes = vec![0u64; graph.len()];
 
     for (id, node) in graph.iter() {
         match &node.kind {
@@ -84,32 +208,16 @@ pub fn execute_plan_traced(
                     rel.reformat(*format)
                         .map_err(|e| ExecError::Internal(e.to_string()))?
                 };
+                vertex_chunks[id.index()] = rel.chunks.len();
+                vertex_resident_bytes[id.index()] = rel.total_bytes() as u64;
                 values[id.index()] = Some(rel);
             }
             NodeKind::Compute { op } => {
                 let choice = annotation.choice(id).ok_or(ExecError::MissingChoice(id))?;
                 // Apply the edge transformations.
-                let mut transformed: Vec<DistRelation> = Vec::with_capacity(node.inputs.len());
-                for (edge, (input, t)) in node
-                    .inputs
-                    .iter()
-                    .zip(choice.input_transforms.iter())
-                    .enumerate()
-                {
+                let mut transformed: Vec<Arc<DistRelation>> = Vec::with_capacity(node.inputs.len());
+                for (input, t) in node.inputs.iter().zip(choice.input_transforms.iter()) {
                     let src = values[input.index()].as_ref().expect("topological order");
-                    let _t_span = if t.kind == TransformKind::Identity {
-                        // Identity edges are free; keep the trace quiet.
-                        None
-                    } else {
-                        Some(obs.span_with(Subsystem::Executor, "transform", || {
-                            vec![
-                                ("vertex", id.index().into()),
-                                ("edge", edge.into()),
-                                ("kind", format!("{:?}", t.kind).into()),
-                                ("to", t.to.to_string().into()),
-                            ]
-                        }))
-                    };
                     let t0 = Instant::now();
                     let moved = if t.kind == TransformKind::Identity {
                         src.clone()
@@ -118,35 +226,27 @@ pub fn execute_plan_traced(
                             .map_err(|e| ExecError::Internal(e.to_string()))?
                     };
                     transform_seconds[id.index()].push(t0.elapsed().as_secs_f64());
-                    transformed.push(moved);
+                    transformed.push(Arc::new(moved));
                 }
                 let impl_def = registry.get(choice.impl_id);
-                let refs: Vec<&DistRelation> = transformed.iter().collect();
-                let _v_span = obs.span_with(Subsystem::Executor, "impl", || {
-                    let label = node.name.clone().unwrap_or_else(|| id.to_string());
-                    vec![
-                        ("vertex", id.index().into()),
-                        ("label", label.into()),
-                        ("op", format!("{op:?}").into()),
-                        ("impl", impl_def.name.into()),
-                        ("out_format", choice.output_format.to_string().into()),
-                    ]
-                });
                 let t0 = Instant::now();
-                let out = execute_impl(
+                let out = execute_impl_shared(
                     impl_def.strategy,
                     op,
-                    &refs,
+                    &transformed,
                     node.mtype,
                     choice.output_format,
                 )
                 .map_err(|e| e.at_vertex(id))?;
                 vertex_seconds[id.index()] = t0.elapsed().as_secs_f64();
+                vertex_chunks[id.index()] = out.chunks.len();
+                vertex_resident_bytes[id.index()] = out.total_bytes() as u64;
                 values[id.index()] = Some(out);
             }
         }
     }
 
+    let peak: u64 = vertex_resident_bytes.iter().sum();
     let mut all = HashMap::new();
     for (id, _) in graph.iter() {
         all.insert(id, values[id.index()].take().expect("computed"));
@@ -161,6 +261,11 @@ pub fn execute_plan_traced(
         values: all,
         vertex_seconds,
         transform_seconds,
+        vertex_chunks,
+        vertex_resident_bytes,
+        parallelism: 1,
+        max_concurrency: 1,
+        peak_resident_bytes: peak,
         total_seconds: start.elapsed().as_secs_f64(),
     })
 }

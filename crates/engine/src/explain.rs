@@ -208,32 +208,42 @@ impl std::fmt::Display for PlanAnalysis {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "EXPLAIN ANALYZE  (estimated: {}, measured: {:.3}s)",
-            self.outcome, self.measured_total_seconds
+            "EXPLAIN ANALYZE  (estimated: {}, measured: {:.3}s, parallelism: {}, \
+             max-concurrency: {}, peak-resident-bytes: {})",
+            self.outcome,
+            self.measured_total_seconds,
+            self.exec.parallelism,
+            self.exec.max_concurrency,
+            self.exec.peak_resident_bytes,
         )?;
         writeln!(
             f,
-            "  {:>5} {:<22} {:<28} {:>12} {:>12} {:>10} {:>8} {:>6} {:>10}",
+            "  {:>5} {:<22} {:<28} {:>12} {:>12} {:>10} {:>7} {:>12} {:>8} {:>6} {:>10}",
             "vertex",
             "label",
             "impl",
             "est (s)",
             "actual (s)",
             "est/act",
+            "chunks",
+            "res (B)",
             "retries",
             "recov",
             "rec (s)"
         )?;
         for s in &self.steps {
+            let v = s.estimate.vertex.index();
             writeln!(
                 f,
-                "  {:>5} {:<22} {:<28} {:>12.4} {:>12.4} {:>10.2} {:>8} {:>6} {:>10.4}",
+                "  {:>5} {:<22} {:<28} {:>12.4} {:>12.4} {:>10.2} {:>7} {:>12} {:>8} {:>6} {:>10.4}",
                 s.estimate.vertex.to_string(),
                 s.estimate.label,
                 s.estimate.impl_name,
                 s.estimated_total(),
                 s.actual_total(),
                 s.ratio(),
+                self.exec.vertex_chunks.get(v).copied().unwrap_or(0),
+                self.exec.vertex_resident_bytes.get(v).copied().unwrap_or(0),
                 s.retries,
                 s.recoveries,
                 s.recovery_seconds,
@@ -394,6 +404,11 @@ pub fn explain_analyze_with_faults(
         values: ft.values,
         vertex_seconds: ft.vertex_seconds,
         transform_seconds: ft.transform_seconds,
+        vertex_chunks: ft.vertex_chunks,
+        vertex_resident_bytes: ft.vertex_resident_bytes,
+        parallelism: ft.parallelism,
+        max_concurrency: ft.max_concurrency,
+        peak_resident_bytes: ft.peak_resident_bytes,
         total_seconds: ft.total_seconds,
     };
     let stats = RecoveryStats {

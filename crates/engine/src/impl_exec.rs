@@ -10,6 +10,7 @@ use crate::value::{Block, Chunk, DistRelation};
 use matopt_core::{MatrixType, NodeId, Op, OpKind, PhysFormat, Strategy};
 use matopt_kernels::{CooMatrix, DenseMatrix};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Errors during real execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -93,15 +94,16 @@ fn internal(msg: impl Into<String>) -> ExecError {
     ExecError::Internal(msg.into())
 }
 
-/// Ordered parallel map that converts a caught worker panic into a
-/// recoverable [`ExecError::KernelPanic`] (vertex attached upstream).
-fn par_map<T, R, F>(items: &[T], f: F) -> Result<Vec<R>, ExecError>
+/// Ordered parallel index map that converts a caught worker panic into
+/// a recoverable [`ExecError::KernelPanic`] (vertex attached upstream).
+/// Jobs run on the shared work-stealing pool and are `'static`, so
+/// closures capture `Arc` handles to the relations they read.
+fn par_map<R, F>(n: usize, f: F) -> Result<Vec<R>, ExecError>
 where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
+    R: Send + 'static,
+    F: Fn(usize) -> R + Send + Sync + 'static,
 {
-    try_par_map(items, f).map_err(|detail| ExecError::KernelPanic {
+    try_par_map(n, f).map_err(|detail| ExecError::KernelPanic {
         vertex: None,
         detail,
     })
@@ -110,12 +112,34 @@ where
 /// Executes one implementation strategy over concrete distributed
 /// relations, producing the output relation in `out_format`.
 ///
+/// Compatibility wrapper over [`execute_impl_shared`]: the executors
+/// share inputs by `Arc` (so a chunk batch can run on the pool without
+/// copying its inputs), and this entry point clones each borrowed
+/// relation once to enter that world.
+///
 /// # Errors
 /// [`ExecError::Internal`] on annotation/data inconsistencies.
 pub fn execute_impl(
     strategy: Strategy,
     op: &Op,
     inputs: &[&DistRelation],
+    out_type: MatrixType,
+    out_format: PhysFormat,
+) -> Result<DistRelation, ExecError> {
+    let shared: Vec<Arc<DistRelation>> = inputs.iter().map(|r| Arc::new((*r).clone())).collect();
+    execute_impl_shared(strategy, op, &shared, out_type, out_format)
+}
+
+/// [`execute_impl`] over `Arc`-shared inputs — the hot path used by the
+/// pipelined scheduler, where identity edges are reference bumps and
+/// chunk batches borrow their inputs through the `Arc` from pool jobs.
+///
+/// # Errors
+/// Same contract as [`execute_impl`].
+pub(crate) fn execute_impl_shared(
+    strategy: Strategy,
+    op: &Op,
+    inputs: &[Arc<DistRelation>],
     out_type: MatrixType,
     out_format: PhysFormat,
 ) -> Result<DistRelation, ExecError> {
@@ -134,14 +158,14 @@ pub fn execute_impl(
 fn run_strategy(
     strategy: Strategy,
     op: &Op,
-    inputs: &[&DistRelation],
+    inputs: &[Arc<DistRelation>],
     out_type: MatrixType,
 ) -> Result<DistRelation, ExecError> {
     use Strategy as S;
     match strategy {
         S::MmSingleLocal => {
-            let a = single_dense(inputs[0])?;
-            let b = single_dense(inputs[1])?;
+            let a = single_dense(&inputs[0])?;
+            let b = single_dense(&inputs[1])?;
             single_result(out_type, a.matmul(&b))
         }
         S::MmCsrSingleSingle => {
@@ -152,15 +176,19 @@ fn run_strategy(
                 .block
                 .as_csr()
                 .clone();
-            let b = single_dense(inputs[1])?;
+            let b = single_dense(&inputs[1])?;
             single_result(out_type, a.matmul_dense(&b))
         }
         S::MmBcastSingleColstrip => {
-            let a = single_dense(inputs[0])?;
-            let chunks = par_map(&inputs[1].chunks, |c| Chunk {
-                row: 0,
-                col: c.col,
-                block: Block::Dense(a.matmul(c.block.as_dense())),
+            let a = single_dense(&inputs[0])?;
+            let b = Arc::clone(&inputs[1]);
+            let chunks = par_map(b.chunks.len(), move |i| {
+                let c = &b.chunks[i];
+                Chunk {
+                    row: 0,
+                    col: c.col,
+                    block: Block::Dense(a.matmul(c.block.as_dense())),
+                }
             })?;
             Ok(DistRelation {
                 mtype: out_type,
@@ -169,11 +197,15 @@ fn run_strategy(
             })
         }
         S::MmRowstripBcastSingle => {
-            let b = single_dense(inputs[1])?;
-            let chunks = par_map(&inputs[0].chunks, |c| Chunk {
-                row: c.row,
-                col: 0,
-                block: Block::Dense(c.block.as_dense().matmul(&b)),
+            let b = single_dense(&inputs[1])?;
+            let a = Arc::clone(&inputs[0]);
+            let chunks = par_map(a.chunks.len(), move |i| {
+                let c = &a.chunks[i];
+                Chunk {
+                    row: c.row,
+                    col: 0,
+                    block: Block::Dense(c.block.as_dense().matmul(&b)),
+                }
             })?;
             Ok(DistRelation {
                 mtype: out_type,
@@ -186,18 +218,33 @@ fn run_strategy(
                 PhysFormat::RowStrip { height } => height,
                 _ => return Err(internal("cross join expects row strips")),
             };
-            let pairs: Vec<(u64, u64)> = inputs[0]
+            let a = Arc::clone(&inputs[0]);
+            let b = Arc::clone(&inputs[1]);
+            let a_at: HashMap<u64, usize> = a
                 .chunks
                 .iter()
-                .flat_map(|a| inputs[1].chunks.iter().map(move |b| (a.row, b.col)))
+                .enumerate()
+                .map(|(x, c)| (c.row, x))
                 .collect();
-            let chunks = par_map(&pairs, |(i, j)| {
-                let a = inputs[0].chunk_at(*i, 0).expect("strip present");
-                let b = inputs[1].chunk_at(0, *j).expect("strip present");
+            let b_at: HashMap<u64, usize> = b
+                .chunks
+                .iter()
+                .enumerate()
+                .map(|(x, c)| (c.col, x))
+                .collect();
+            let pairs: Vec<(u64, u64)> = a
+                .chunks
+                .iter()
+                .flat_map(|ac| b.chunks.iter().map(move |bc| (ac.row, bc.col)))
+                .collect();
+            let chunks = par_map(pairs.len(), move |p| {
+                let (i, j) = pairs[p];
+                let ac = &a.chunks[a_at[&i]];
+                let bc = &b.chunks[b_at[&j]];
                 Chunk {
-                    row: *i,
-                    col: *j,
-                    block: Block::Dense(a.block.as_dense().matmul(b.block.as_dense())),
+                    row: i,
+                    col: j,
+                    block: Block::Dense(ac.block.as_dense().matmul(bc.block.as_dense())),
                 }
             })?;
             Ok(DistRelation {
@@ -207,7 +254,7 @@ fn run_strategy(
             })
         }
         S::MmTileShuffle | S::MmTileBcast | S::MmCsrTileTile => {
-            tile_matmul(inputs[0], inputs[1], out_type)
+            tile_matmul(&inputs[0], &inputs[1], out_type)
         }
         S::MmColstripRowstripOuter => {
             // Co-partitioned join on the strip index; every pair is a
@@ -222,7 +269,7 @@ fn run_strategy(
             single_result(out_type, acc)
         }
         S::MmCooDenseShuffle => {
-            let coo = coo_of(inputs[0])?;
+            let coo = coo_of(&inputs[0])?;
             let side = match inputs[1].format {
                 PhysFormat::Tile { side } => side as usize,
                 _ => return Err(internal("coo matmul expects dense tiles")),
@@ -262,17 +309,21 @@ fn run_strategy(
         }
         S::EwCopart | S::EwSingleLocal => {
             let f = binary_fn(op.kind())?;
-            let rhs: HashMap<(u64, u64), &Chunk> = inputs[1]
+            let a = Arc::clone(&inputs[0]);
+            let b = Arc::clone(&inputs[1]);
+            let rhs: HashMap<(u64, u64), usize> = b
                 .chunks
                 .iter()
-                .map(|c| ((c.row, c.col), c))
+                .enumerate()
+                .map(|(x, c)| ((c.row, c.col), x))
                 .collect();
-            let chunks: Vec<Chunk> = par_map(&inputs[0].chunks, |a| {
-                let b = rhs[&(a.row, a.col)];
+            let chunks: Vec<Chunk> = par_map(a.chunks.len(), move |i| {
+                let ac = &a.chunks[i];
+                let bc = &b.chunks[rhs[&(ac.row, ac.col)]];
                 Chunk {
-                    row: a.row,
-                    col: a.col,
-                    block: Block::Dense(a.block.as_dense().zip_with(b.block.as_dense(), f)),
+                    row: ac.row,
+                    col: ac.col,
+                    block: Block::Dense(ac.block.as_dense().zip_with(bc.block.as_dense(), f)),
                 }
             })?;
             Ok(DistRelation {
@@ -282,7 +333,7 @@ fn run_strategy(
             })
         }
         S::AddCooDenseCopart => {
-            let coo = coo_of(inputs[0])?;
+            let coo = coo_of(&inputs[0])?;
             let (ch, cw) = inputs[1].chunk_strides();
             let mut chunks: Vec<Chunk> = inputs[1].chunks.clone();
             let index: HashMap<(u64, u64), usize> = chunks
@@ -309,17 +360,21 @@ fn run_strategy(
             })
         }
         S::HadamardCsrDenseCopart => {
-            let rhs: HashMap<(u64, u64), &Chunk> = inputs[1]
+            let a = Arc::clone(&inputs[0]);
+            let b = Arc::clone(&inputs[1]);
+            let rhs: HashMap<(u64, u64), usize> = b
                 .chunks
                 .iter()
-                .map(|c| ((c.row, c.col), c))
+                .enumerate()
+                .map(|(x, c)| ((c.row, c.col), x))
                 .collect();
-            let chunks: Vec<Chunk> = par_map(&inputs[0].chunks, |a| {
-                let b = rhs[&(a.row, a.col)];
+            let chunks: Vec<Chunk> = par_map(a.chunks.len(), move |i| {
+                let ac = &a.chunks[i];
+                let bc = &b.chunks[rhs[&(ac.row, ac.col)]];
                 Chunk {
-                    row: a.row,
-                    col: a.col,
-                    block: Block::Csr(a.block.as_csr().hadamard_dense(b.block.as_dense())),
+                    row: ac.row,
+                    col: ac.col,
+                    block: Block::Csr(ac.block.as_csr().hadamard_dense(bc.block.as_dense())),
                 }
             })?;
             Ok(DistRelation {
@@ -329,14 +384,16 @@ fn run_strategy(
             })
         }
         S::BiasBcast => {
-            let bias = single_dense(inputs[1])?;
+            let bias = single_dense(&inputs[1])?;
             let (_, cw) = inputs[0].chunk_strides();
-            let chunks: Vec<Chunk> = par_map(&inputs[0].chunks, |a| {
-                let d = a.block.as_dense();
-                let seg = bias.block(0, a.col as usize * cw, 1, d.cols());
+            let a = Arc::clone(&inputs[0]);
+            let chunks: Vec<Chunk> = par_map(a.chunks.len(), move |i| {
+                let ac = &a.chunks[i];
+                let d = ac.block.as_dense();
+                let seg = bias.block(0, ac.col as usize * cw, 1, d.cols());
                 Chunk {
-                    row: a.row,
-                    col: a.col,
+                    row: ac.row,
+                    col: ac.col,
                     block: Block::Dense(d.add_row_broadcast(&seg)),
                 }
             })?;
@@ -348,10 +405,12 @@ fn run_strategy(
         }
         S::UnaryMap => {
             let f = unary_fn(op)?;
-            let chunks: Vec<Chunk> = par_map(&inputs[0].chunks, |a| {
-                let block = match &a.block {
-                    Block::Dense(d) => Block::Dense(d.map(&f)),
-                    Block::Csr(s) => Block::Csr(s.map_stored(&f)),
+            let a = Arc::clone(&inputs[0]);
+            let chunks: Vec<Chunk> = par_map(a.chunks.len(), move |i| {
+                let ac = &a.chunks[i];
+                let block = match &ac.block {
+                    Block::Dense(d) => Block::Dense(d.map(&*f)),
+                    Block::Csr(s) => Block::Csr(s.map_stored(&*f)),
                     Block::Coo(c) => Block::Coo(CooMatrix::from_triples(
                         c.rows(),
                         c.cols(),
@@ -362,8 +421,8 @@ fn run_strategy(
                     )),
                 };
                 Chunk {
-                    row: a.row,
-                    col: a.col,
+                    row: ac.row,
+                    col: ac.col,
                     block,
                 }
             })?;
@@ -374,10 +433,14 @@ fn run_strategy(
             })
         }
         S::SoftmaxRowAligned => {
-            let chunks: Vec<Chunk> = par_map(&inputs[0].chunks, |a| Chunk {
-                row: a.row,
-                col: a.col,
-                block: Block::Dense(a.block.as_dense().softmax_rows()),
+            let a = Arc::clone(&inputs[0]);
+            let chunks: Vec<Chunk> = par_map(a.chunks.len(), move |i| {
+                let ac = &a.chunks[i];
+                Chunk {
+                    row: ac.row,
+                    col: ac.col,
+                    block: Block::Dense(ac.block.as_dense().softmax_rows()),
+                }
             })?;
             Ok(DistRelation {
                 mtype: out_type,
@@ -433,10 +496,14 @@ fn run_strategy(
                 PhysFormat::ColStrip { width } => PhysFormat::RowStrip { height: width },
                 _ => return Err(internal("chunkwise transpose expects dense")),
             };
-            let chunks: Vec<Chunk> = par_map(&inputs[0].chunks, |a| Chunk {
-                row: a.col,
-                col: a.row,
-                block: Block::Dense(a.block.as_dense().transpose()),
+            let a = Arc::clone(&inputs[0]);
+            let chunks: Vec<Chunk> = par_map(a.chunks.len(), move |i| {
+                let ac = &a.chunks[i];
+                Chunk {
+                    row: ac.col,
+                    col: ac.row,
+                    block: Block::Dense(ac.block.as_dense().transpose()),
+                }
             })?;
             Ok(DistRelation {
                 mtype: out_type,
@@ -445,7 +512,7 @@ fn run_strategy(
             })
         }
         S::TransposeCoo => {
-            let coo = coo_of(inputs[0])?;
+            let coo = coo_of(&inputs[0])?;
             Ok(DistRelation {
                 mtype: out_type,
                 format: PhysFormat::Coo,
@@ -462,10 +529,14 @@ fn run_strategy(
                 PhysFormat::CsrTile { side } => PhysFormat::CsrTile { side },
                 _ => return Err(internal("csr transpose expects a CSR layout")),
             };
-            let chunks: Vec<Chunk> = par_map(&inputs[0].chunks, |a| Chunk {
-                row: a.col,
-                col: a.row,
-                block: Block::Csr(a.block.as_csr().transpose()),
+            let a = Arc::clone(&inputs[0]);
+            let chunks: Vec<Chunk> = par_map(a.chunks.len(), move |i| {
+                let ac = &a.chunks[i];
+                Chunk {
+                    row: ac.col,
+                    col: ac.row,
+                    block: Block::Csr(ac.block.as_csr().transpose()),
+                }
             })?;
             Ok(DistRelation {
                 mtype: out_type,
@@ -474,10 +545,14 @@ fn run_strategy(
             })
         }
         S::ReduceRowAligned => {
-            let chunks: Vec<Chunk> = par_map(&inputs[0].chunks, |a| Chunk {
-                row: a.row,
-                col: 0,
-                block: Block::Dense(a.block.as_dense().row_sums()),
+            let a = Arc::clone(&inputs[0]);
+            let chunks: Vec<Chunk> = par_map(a.chunks.len(), move |i| {
+                let ac = &a.chunks[i];
+                Chunk {
+                    row: ac.row,
+                    col: 0,
+                    block: Block::Dense(ac.block.as_dense().row_sums()),
+                }
             })?;
             let format = match inputs[0].format {
                 PhysFormat::SingleTuple => PhysFormat::SingleTuple,
@@ -491,10 +566,14 @@ fn run_strategy(
             })
         }
         S::ReduceColAligned => {
-            let chunks: Vec<Chunk> = par_map(&inputs[0].chunks, |a| Chunk {
-                row: 0,
-                col: a.col,
-                block: Block::Dense(a.block.as_dense().col_sums()),
+            let a = Arc::clone(&inputs[0]);
+            let chunks: Vec<Chunk> = par_map(a.chunks.len(), move |i| {
+                let ac = &a.chunks[i];
+                Chunk {
+                    row: 0,
+                    col: ac.col,
+                    block: Block::Dense(ac.block.as_dense().col_sums()),
+                }
             })?;
             let format = match inputs[0].format {
                 PhysFormat::SingleTuple => PhysFormat::SingleTuple,
@@ -547,7 +626,7 @@ fn run_strategy(
             })
         }
         S::ReduceCoo => {
-            let coo = coo_of(inputs[0])?;
+            let coo = coo_of(&inputs[0])?;
             let block = if op.kind() == OpKind::RowSums {
                 coo.row_sums()
             } else {
@@ -556,7 +635,7 @@ fn run_strategy(
             single_result(out_type, block)
         }
         S::InvSingleLocal => {
-            let a = single_dense(inputs[0])?;
+            let a = single_dense(&inputs[0])?;
             let inv = a
                 .inverse()
                 .map_err(|e| internal(format!("singular input: {e}")))?;
@@ -674,8 +753,8 @@ fn single_result(out_type: MatrixType, d: DenseMatrix) -> Result<DistRelation, E
 /// Dense tile-based matmul (shuffle/broadcast share the same result):
 /// join on the contraction index + group-by SUM per output tile.
 fn tile_matmul(
-    a: &DistRelation,
-    b: &DistRelation,
+    a: &Arc<DistRelation>,
+    b: &Arc<DistRelation>,
     out_type: MatrixType,
 ) -> Result<DistRelation, ExecError> {
     let side = match (a.format, b.format) {
@@ -687,38 +766,49 @@ fn tile_matmul(
         }
         _ => return Err(internal("tile matmul expects equal tile sides")),
     };
-    let b_by_key: HashMap<(u64, u64), &Chunk> =
-        b.chunks.iter().map(|c| ((c.row, c.col), c)).collect();
+    let a = Arc::clone(a);
+    let b = Arc::clone(b);
+    let b_at: HashMap<(u64, u64), usize> = b
+        .chunks
+        .iter()
+        .enumerate()
+        .map(|(x, c)| ((c.row, c.col), x))
+        .collect();
+    let a_at: HashMap<(u64, u64), usize> = a
+        .chunks
+        .iter()
+        .enumerate()
+        .map(|(x, c)| ((c.row, c.col), x))
+        .collect();
     // Output tile grid.
     let rows_b = (out_type.rows as f64 / side as f64).ceil() as u64;
     let cols_b = (out_type.cols as f64 / side as f64).ceil() as u64;
     let k_b = (a.mtype.cols as f64 / side as f64).ceil() as u64;
-    let mut a_by_key: HashMap<(u64, u64), &Chunk> = HashMap::new();
-    for c in &a.chunks {
-        a_by_key.insert((c.row, c.col), c);
-    }
     let cells: Vec<(u64, u64)> = (0..rows_b)
         .flat_map(|i| (0..cols_b).map(move |j| (i, j)))
         .collect();
-    let chunks: Vec<Chunk> = par_map(&cells, |(i, j)| {
+    let chunks: Vec<Chunk> = par_map(cells.len(), move |cell| {
+        let (i, j) = cells[cell];
         let mut acc: Option<DenseMatrix> = None;
         for k in 0..k_b {
-            let (Some(ac), Some(bc)) = (a_by_key.get(&(*i, k)), b_by_key.get(&(k, *j))) else {
+            let (Some(&ax), Some(&bx)) = (a_at.get(&(i, k)), b_at.get(&(k, j))) else {
                 continue;
             };
+            let ac = &a.chunks[ax];
+            let bc = &b.chunks[bx];
             let partial = match &ac.block {
                 Block::Dense(d) => d.matmul(bc.block.as_dense()),
                 Block::Csr(s) => s.matmul_dense(bc.block.as_dense()),
                 Block::Coo(c) => c.to_dense().matmul(bc.block.as_dense()),
             };
-            acc = Some(match acc {
-                None => partial,
-                Some(prev) => prev.add(&partial),
-            });
+            match &mut acc {
+                None => acc = Some(partial),
+                Some(prev) => prev.add_assign(&partial),
+            }
         }
         Chunk {
-            row: *i,
-            col: *j,
+            row: i,
+            col: j,
             block: Block::Dense(acc.expect("contraction dimension non-empty")),
         }
     })?;
@@ -738,16 +828,16 @@ fn binary_fn(kind: OpKind) -> Result<fn(f64, f64) -> f64, ExecError> {
     })
 }
 
-fn unary_fn(op: &Op) -> Result<Box<dyn Fn(f64) -> f64 + Sync + Send>, ExecError> {
+fn unary_fn(op: &Op) -> Result<Arc<dyn Fn(f64) -> f64 + Sync + Send>, ExecError> {
     Ok(match op {
-        Op::Relu => Box::new(|v: f64| if v > 0.0 { v } else { 0.0 }),
-        Op::ReluGrad => Box::new(|v: f64| if v > 0.0 { 1.0 } else { 0.0 }),
-        Op::Sigmoid => Box::new(|v: f64| 1.0 / (1.0 + (-v).exp())),
-        Op::Exp => Box::new(f64::exp),
-        Op::Neg => Box::new(|v: f64| -v),
+        Op::Relu => Arc::new(|v: f64| if v > 0.0 { v } else { 0.0 }),
+        Op::ReluGrad => Arc::new(|v: f64| if v > 0.0 { 1.0 } else { 0.0 }),
+        Op::Sigmoid => Arc::new(|v: f64| 1.0 / (1.0 + (-v).exp())),
+        Op::Exp => Arc::new(f64::exp),
+        Op::Neg => Arc::new(|v: f64| -v),
         Op::ScalarMul(alpha) => {
             let a = *alpha;
-            Box::new(move |v: f64| v * a)
+            Arc::new(move |v: f64| v * a)
         }
         other => return Err(internal(format!("{other:?} is not a unary map"))),
     })

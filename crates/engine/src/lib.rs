@@ -10,7 +10,8 @@
 //!   scale, with every implementation strategy executed at the chunk
 //!   granularity its relational plan implies (tile shuffle joins,
 //!   strip broadcasts, group-by SUM aggregations, blocked Gauss–Jordan
-//!   rounds), thread-parallel via scoped threads;
+//!   rounds), pipelined across DAG vertices and thread-parallel within
+//!   chunk batches via the persistent `matopt-pool` work-stealing pool;
 //! * an **analytic simulator** ([`simulate_plan`]) that evaluates the
 //!   same plans at paper scale against the [`matopt_core::Cluster`]
 //!   model, reproducing wall-clock estimates and the runtime "Fail"
@@ -30,13 +31,17 @@ mod faults;
 mod impl_exec;
 mod parallel;
 mod recovery;
+mod schedule;
 mod sim;
 mod sql;
 mod value;
 
 pub use adaptive::{execute_adaptive, AdaptiveConfig, AdaptiveError, AdaptiveOutcome};
 pub use calibrate::{collect_samples, collect_samples_traced, fit_model_traced};
-pub use exec::{execute_plan, execute_plan_traced, reference_eval, ExecOutcome};
+pub use exec::{
+    execute_plan, execute_plan_serial, execute_plan_traced, execute_plan_with, reference_eval,
+    ExecOptions, ExecOutcome,
+};
 pub use explain::{
     explain_analyze, explain_analyze_with_faults, explain_plan, AnalyzedStep, ExplainStep,
     PlanAnalysis, PlanExplanation,

@@ -1,78 +1,33 @@
-//! A small ordered parallel-map over chunk work items, built on
-//! `std::thread::scope`. The real executor uses it to spread
-//! chunk-local kernels across cores, mimicking the per-worker
-//! parallelism of the simulated cluster.
+//! Ordered parallel map over chunk work items, delegated to the shared
+//! persistent work-stealing pool ([`matopt_pool::Pool`]).
 //!
-//! Worker closures are run under [`std::panic::catch_unwind`]: a panic
-//! in one chunk's kernel is captured and reported as an error for that
-//! item instead of aborting the process when the scope unwinds, so the
-//! fault-tolerant executor can treat a bad chunk as a recoverable
-//! fault.
+//! The pre-pool version spread fixed-size chunks over a fresh
+//! `std::thread::scope` per call, which paid a spawn/join handshake on
+//! every batch and serialized skewed batches behind whichever chunk
+//! held the heavy items. The pool keeps its workers parked between
+//! batches and steals *individual items*, so neither cost survives (see
+//! `matopt-pool`'s `steals_individual_items_under_skew` regression
+//! test).
+//!
+//! Worker closures still run under `catch_unwind` (inside the pool): a
+//! panic in one chunk's kernel is captured and reported as that item's
+//! error instead of aborting the process, so the fault-tolerant
+//! executor can treat a bad chunk as a recoverable fault. The former
+//! `par_map` re-panic wrapper lives on as [`matopt_pool::Pool::map`].
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
-
-/// Renders a panic payload (the `Box<dyn Any>` from `catch_unwind`)
-/// into a human-readable string.
-fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
-    }
-}
-
-/// Applies `f` to every item, in parallel when the batch is large
-/// enough, preserving order. Returns `Err(detail)` with the first
-/// panicking item's message if any worker closure panics.
-pub(crate) fn try_par_map<T, R, F>(items: &[T], f: F) -> Result<Vec<R>, String>
+/// Applies `f` to every index in `0..n`, in parallel when the batch is
+/// large enough, preserving index order. Returns `Err(detail)` with the
+/// first panicking item's message if any worker closure panics.
+///
+/// Call sites moved from slice iteration to index mapping when the pool
+/// landed: jobs are `'static`, so closures capture `Arc` handles to the
+/// input relations instead of borrowing them.
+pub(crate) fn try_par_map<R, F>(n: usize, f: F) -> Result<Vec<R>, String>
 where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
+    R: Send + 'static,
+    F: Fn(usize) -> R + Send + Sync + 'static,
 {
-    let len = items.len();
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(len.max(1));
-    let guarded = |i: &T| catch_unwind(AssertUnwindSafe(|| f(i))).map_err(panic_detail);
-    // Tiny batches are not worth the thread handshake.
-    if threads <= 1 || len < 4 {
-        return items.iter().map(guarded).collect();
-    }
-    let chunk = len.div_ceil(threads);
-    let mut out: Vec<Option<Result<R, String>>> = Vec::with_capacity(len);
-    out.resize_with(len, || None);
-    std::thread::scope(|s| {
-        for (islice, oslice) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
-            s.spawn(|| {
-                for (i, o) in islice.iter().zip(oslice.iter_mut()) {
-                    *o = Some(guarded(i));
-                }
-            });
-        }
-    });
-    out.into_iter()
-        .map(|r| r.expect("all slots filled"))
-        .collect()
-}
-
-/// Infallible wrapper over [`try_par_map`] for call sites whose
-/// closures are known not to panic; re-panics (on the caller's thread,
-/// unwinding normally rather than aborting) if one does anyway.
-#[cfg(test)]
-pub(crate) fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    match try_par_map(items, f) {
-        Ok(out) => out,
-        Err(detail) => panic!("worker closure panicked: {detail}"),
-    }
+    matopt_pool::Pool::global().try_map(n, f)
 }
 
 #[cfg(test)]
@@ -81,22 +36,20 @@ mod tests {
 
     #[test]
     fn preserves_order() {
-        let items: Vec<usize> = (0..1000).collect();
-        let out = par_map(&items, |i| i * 2);
+        let out = try_par_map(1000, |i| i * 2).unwrap();
         assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
     }
 
     #[test]
     fn handles_small_batches_serially() {
-        assert_eq!(par_map(&[1, 2], |i| i + 1), vec![2, 3]);
-        assert_eq!(par_map::<i32, i32, _>(&[], |i| *i), Vec::<i32>::new());
+        assert_eq!(try_par_map(2, |i| i + 1).unwrap(), vec![1, 2]);
+        assert_eq!(try_par_map(0, |i| i).unwrap(), Vec::<usize>::new());
     }
 
     #[test]
     fn catches_panics_instead_of_aborting() {
-        let items: Vec<usize> = (0..100).collect();
-        let err = try_par_map(&items, |i| {
-            if *i == 57 {
+        let err = try_par_map(100, |i| {
+            if i == 57 {
                 panic!("bad chunk {i}");
             }
             i * 2
@@ -104,7 +57,7 @@ mod tests {
         .unwrap_err();
         assert!(err.contains("bad chunk 57"), "got {err:?}");
         // The serial path catches too.
-        let err = try_par_map(&[1, 2], |_| -> usize { panic!("small") }).unwrap_err();
+        let err = try_par_map(2, |_| -> usize { panic!("small") }).unwrap_err();
         assert!(err.contains("small"));
     }
 }

@@ -22,15 +22,30 @@
 //!   [`crate::execute_adaptive`] uses — already-computed values become
 //!   plan inputs pinned in driver storage.
 //!
+//! Since the pipelined-scheduler rework the executor is no longer a
+//! strict topological walk:
+//!
+//! * with a **disabled injector** the run delegates wholesale to the
+//!   same pipelined scheduler [`crate::execute_plan`] uses, so the
+//!   fault-free path pays no per-vertex fault branches at all (pinned
+//!   under 2% by the `recovery_overhead` bench);
+//! * with a **live injector** vertices execute in *antichain waves*
+//!   (same-depth vertices have no mutual data dependencies). Within a
+//!   wave, vertices with scheduled faults run first, serially in id
+//!   order, so fault handling and PRNG draws stay deterministic per
+//!   seed; the remaining clean vertices of the wave then run as one
+//!   concurrent pool batch. Vertices therefore complete out of
+//!   topological order, and recovery tracks the *done set* explicitly
+//!   instead of assuming every lower-id vertex is materialized.
+//!
 //! Every fault, retry, and recovery emits a record under
-//! [`Subsystem::Faults`]. With a disabled injector the wrapper costs
-//! one branch and two `Instant::now` calls per vertex — pinned under 2%
-//! by the `recovery_overhead` bench.
+//! [`Subsystem::Faults`].
 
 use crate::adaptive::rebuild_suffix;
-use crate::exec::missing_input;
+use crate::exec::{missing_input, unshare};
 use crate::faults::{corrupt_chunk, relation_checksum, FaultInjector, FaultKind};
-use crate::impl_exec::{execute_impl, ExecError};
+use crate::impl_exec::{execute_impl_shared, ExecError};
+use crate::schedule::run_pipelined;
 use crate::value::DistRelation;
 use matopt_core::{
     Annotation, ComputeGraph, FormatCatalog, ImplRegistry, NodeId, NodeKind, PlanContext,
@@ -39,8 +54,9 @@ use matopt_core::{
 use matopt_cost::CostModel;
 use matopt_obs::{Obs, Subsystem};
 use matopt_opt::{frontier_dp_beam, OptContext};
-use std::borrow::Cow;
-use std::collections::HashMap;
+use matopt_pool::Pool;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Bounded exponential backoff for transient faults.
@@ -128,6 +144,18 @@ pub struct FtOutcome {
     pub vertex_seconds: Vec<f64>,
     /// Wall seconds per in-edge transform for the successful attempt.
     pub transform_seconds: Vec<Vec<f64>>,
+    /// Chunks in each vertex's output relation.
+    pub vertex_chunks: Vec<usize>,
+    /// Bytes of each vertex's output relation.
+    pub vertex_resident_bytes: Vec<u64>,
+    /// Worker parallelism of the pool the run was scheduled on.
+    pub parallelism: usize,
+    /// Highest number of vertices in flight at once.
+    pub max_concurrency: usize,
+    /// Peak bytes resident across all live vertex buffers (the
+    /// fault-tolerant executor retains everything, so this is the
+    /// total).
+    pub peak_resident_bytes: u64,
     /// Total wall seconds including all recovery work.
     pub total_seconds: f64,
     /// Total retries across the run.
@@ -179,224 +207,352 @@ pub fn execute_fault_tolerant(
     });
     let start = Instant::now();
     let registry = ctx.registry;
-    let mut cluster = ctx.cluster;
 
-    // Plan state; borrowed until degradation re-plans the suffix, so
-    // the fault-free path never pays for the clones.
-    let mut cur_graph: Cow<'_, ComputeGraph> = Cow::Borrowed(graph);
-    let mut cur_plan: Cow<'_, Annotation> = Cow::Borrowed(annotation);
-    let mut idmap: Vec<NodeId> = graph.iter().map(|(id, _)| id).collect();
-    // Vertices executed before the last re-plan are *inputs* of the
-    // current plan (pinned in driver storage), so crashes can only lose
-    // intermediates materialized at or after this position.
-    let mut epoch_start = 0usize;
+    // Fault-free fast path: the whole run is one pipelined-scheduler
+    // execution — identical to `execute_plan`, zero fault bookkeeping.
+    if !injector.is_enabled() {
+        let mut out = run_pipelined(graph, annotation, inputs, registry, obs, true)?;
+        // Take each slot so the `Arc` is unique and `unshare` moves
+        // instead of deep-copying every retained value.
+        let mut all = HashMap::new();
+        for (id, _) in graph.iter() {
+            if let Some(rel) = out.values[id.index()].take() {
+                all.insert(id, unshare(rel));
+            }
+        }
+        let sinks = graph
+            .sinks()
+            .into_iter()
+            .map(|s| (s, all[&s].clone()))
+            .collect();
+        return Ok(FtOutcome {
+            sinks,
+            values: all,
+            vertex_seconds: out.vertex_seconds,
+            transform_seconds: out.transform_seconds,
+            vertex_chunks: out.vertex_chunks,
+            vertex_resident_bytes: out.vertex_resident_bytes,
+            parallelism: out.parallelism,
+            max_concurrency: out.max_concurrency,
+            peak_resident_bytes: out.peak_resident_bytes,
+            total_seconds: start.elapsed().as_secs_f64(),
+            retries: 0,
+            recoveries: 0,
+            replans: 0,
+            faults: Vec::new(),
+            recovery_seconds: 0.0,
+            checkpoint_seconds: 0.0,
+            per_vertex: vec![VertexRecovery::default(); graph.len()],
+        });
+    }
+
+    let n = graph.len();
+    let mut cluster = ctx.cluster;
+    // `Arc`s so clean-wave pool closures can share the plan state.
+    let graph_arc = Arc::new(graph.clone());
+    let registry_arc = Arc::new(registry.clone());
+    let mut cur_graph: Arc<ComputeGraph> = Arc::clone(&graph_arc);
+    let mut cur_plan: Arc<Annotation> = Arc::new(annotation.clone());
+    let mut idmap: Arc<Vec<NodeId>> = Arc::new(graph.iter().map(|(id, _)| id).collect());
 
     let order: Vec<NodeId> = graph.iter().map(|(id, _)| id).collect();
-    let mut values: Vec<Option<DistRelation>> = vec![None; graph.len()];
-    let mut checkpoints: HashMap<usize, DistRelation> = HashMap::new();
+    let consumers = graph.consumers();
+    let mut values: Vec<Option<Arc<DistRelation>>> = vec![None; n];
+    // Compute vertices materialized in the *current* plan epoch — the
+    // crash victim pool. Reset on re-plan: earlier epochs' values are
+    // pinned in driver storage. A done-set (not a topological prefix)
+    // because waves complete vertices out of id order.
+    let mut epoch_done: Vec<bool> = vec![false; n];
+    let mut checkpoints: HashMap<usize, Arc<DistRelation>> = HashMap::new();
 
-    let mut vertex_seconds = vec![0.0; graph.len()];
-    let mut transform_seconds: Vec<Vec<f64>> = vec![Vec::new(); graph.len()];
-    let mut per_vertex = vec![VertexRecovery::default(); graph.len()];
+    let mut vertex_seconds = vec![0.0; n];
+    let mut transform_seconds: Vec<Vec<f64>> = vec![Vec::new(); n];
+    let mut vertex_chunks = vec![0usize; n];
+    let mut vertex_resident_bytes = vec![0u64; n];
+    let mut per_vertex = vec![VertexRecovery::default(); n];
     let mut faults: Vec<InjectedFault> = Vec::new();
     let (mut retries, mut recoveries, mut replans) = (0u32, 0u32, 0u32);
     let (mut recovery_seconds, mut checkpoint_seconds) = (0.0f64, 0.0f64);
+    let (mut resident, mut max_concurrency) = (0u64, 1usize);
 
-    let mut compute_step = 0usize;
-    for (pos, &v) in order.iter().enumerate() {
-        let node = graph.node(v);
-        match &node.kind {
-            NodeKind::Source { format } => {
-                let rel = inputs.get(&v).ok_or_else(|| missing_input(graph, v))?;
-                let rel = if rel.format == *format {
-                    rel.clone()
-                } else {
-                    rel.reformat(*format)
-                        .map_err(|e| ExecError::Internal(e.to_string()))?
-                };
-                values[v.index()] = Some(rel);
+    // Fault schedules address vertices by compute-step index in
+    // topological id order (the serial executor's numbering), not by
+    // completion order.
+    let mut step_of = vec![usize::MAX; n];
+    let mut level = vec![0usize; n];
+    {
+        let mut cs = 0usize;
+        for (id, node) in graph.iter() {
+            level[id.index()] = node
+                .inputs
+                .iter()
+                .map(|i| level[i.index()] + 1)
+                .max()
+                .unwrap_or(0);
+            if matches!(node.kind, NodeKind::Compute { .. }) {
+                step_of[id.index()] = cs;
+                cs += 1;
             }
-            NodeKind::Compute { .. } => {
-                let step = compute_step;
-                compute_step += 1;
+        }
+    }
 
-                // Fault-free fast path: one branch when disabled.
-                let fired = injector.take(step);
-                let mut pending_transient = 0u32;
-                let mut corrupt_hints: Vec<usize> = Vec::new();
-                for kind in fired {
-                    obs.record(Subsystem::Faults, "fault_injected", || {
-                        vec![
-                            ("step", step.into()),
-                            ("vertex", v.index().into()),
-                            ("kind", kind.to_string().into()),
-                        ]
-                    });
-                    faults.push(InjectedFault {
-                        step,
-                        vertex: v,
-                        kind,
-                    });
-                    match kind {
-                        FaultKind::Straggler { slowdown } => {
-                            // A slow worker stretches the step; model it
-                            // with a capped real delay.
-                            let delay_ms = (slowdown.min(20.0) * 0.5).ceil() as u64;
-                            let t0 = Instant::now();
-                            std::thread::sleep(Duration::from_millis(delay_ms));
-                            let dt = t0.elapsed().as_secs_f64();
+    // Seed the sources.
+    for (id, node) in graph.iter() {
+        if let NodeKind::Source { format } = &node.kind {
+            let rel = inputs.get(&id).ok_or_else(|| missing_input(graph, id))?;
+            let rel = if rel.format == *format {
+                rel.clone()
+            } else {
+                rel.reformat(*format)
+                    .map_err(|e| ExecError::Internal(e.to_string()))?
+            };
+            vertex_chunks[id.index()] = rel.chunks.len();
+            let bytes = rel.total_bytes() as u64;
+            vertex_resident_bytes[id.index()] = bytes;
+            resident += bytes;
+            values[id.index()] = Some(Arc::new(rel));
+        }
+    }
+
+    // Antichain waves of compute vertices, by dependency depth.
+    let max_level = level.iter().copied().max().unwrap_or(0);
+    let mut waves: Vec<Vec<NodeId>> = vec![Vec::new(); max_level + 1];
+    for (id, node) in graph.iter() {
+        if matches!(node.kind, NodeKind::Compute { .. }) {
+            waves[level[id.index()]].push(id);
+        }
+    }
+
+    for wave in waves.iter().filter(|w| !w.is_empty()) {
+        // Vertices with faults scheduled at their step run first,
+        // serially in id order: fault preambles, PRNG draws, and
+        // recovery all happen in a deterministic sequence. The clean
+        // remainder of the wave then runs as one concurrent batch.
+        let fault_steps: HashSet<usize> = injector.pending().iter().map(|e| e.step).collect();
+        let (faulted, clean): (Vec<NodeId>, Vec<NodeId>) = wave
+            .iter()
+            .copied()
+            .partition(|v| fault_steps.contains(&step_of[v.index()]));
+
+        for &v in &faulted {
+            let step = step_of[v.index()];
+            let fired = injector.take(step);
+            let mut pending_transient = 0u32;
+            let mut corrupt_hints: Vec<usize> = Vec::new();
+            for kind in fired {
+                obs.record(Subsystem::Faults, "fault_injected", || {
+                    vec![
+                        ("step", step.into()),
+                        ("vertex", v.index().into()),
+                        ("kind", kind.to_string().into()),
+                    ]
+                });
+                faults.push(InjectedFault {
+                    step,
+                    vertex: v,
+                    kind,
+                });
+                match kind {
+                    FaultKind::Straggler { slowdown } => {
+                        // A slow worker stretches the step; model it
+                        // with a capped real delay.
+                        let delay_ms = (slowdown.min(20.0) * 0.5).ceil() as u64;
+                        let t0 = Instant::now();
+                        std::thread::sleep(Duration::from_millis(delay_ms));
+                        let dt = t0.elapsed().as_secs_f64();
+                        recovery_seconds += dt;
+                        per_vertex[v.index()].recovery_seconds += dt;
+                    }
+                    FaultKind::TransientKernelError { failures } => {
+                        pending_transient += failures;
+                    }
+                    FaultKind::CorruptedChunk { chunk } => corrupt_hints.push(chunk),
+                    FaultKind::WorkerCrash => {
+                        let dt = recover_crash(
+                            graph,
+                            &epoch_done,
+                            config.policy,
+                            &mut injector,
+                            &mut values,
+                            &checkpoints,
+                            |u, vals| {
+                                run_vertex(graph, u, &cur_graph, &idmap, &cur_plan, registry, vals)
+                            },
+                            &mut per_vertex,
+                            obs,
+                        )?;
+                        recoveries += 1;
+                        per_vertex[v.index()].recoveries += 1;
+                        recovery_seconds += dt;
+                        per_vertex[v.index()].recovery_seconds += dt;
+                    }
+                    FaultKind::ResourceExhaustion { repeats } => {
+                        for done in 1..=repeats {
+                            retries += 1;
+                            per_vertex[v.index()].retries += 1;
+                            let dt =
+                                backoff(&config.retry, done, &mut injector, v, "resources", obs);
                             recovery_seconds += dt;
                             per_vertex[v.index()].recovery_seconds += dt;
-                        }
-                        FaultKind::TransientKernelError { failures } => {
-                            pending_transient += failures;
-                        }
-                        FaultKind::CorruptedChunk { chunk } => corrupt_hints.push(chunk),
-                        FaultKind::WorkerCrash => {
-                            let dt = recover_crash(
-                                graph,
-                                &order,
-                                pos,
-                                epoch_start,
-                                config.policy,
-                                &mut injector,
-                                &mut values,
-                                &checkpoints,
-                                |u, vals| {
-                                    run_vertex(
-                                        graph, u, &cur_graph, &idmap, &cur_plan, registry, vals,
-                                    )
-                                },
-                                &mut per_vertex,
-                                obs,
-                            )?;
-                            recoveries += 1;
-                            per_vertex[v.index()].recoveries += 1;
-                            recovery_seconds += dt;
-                            per_vertex[v.index()].recovery_seconds += dt;
-                        }
-                        FaultKind::ResourceExhaustion { repeats } => {
-                            for done in 1..=repeats {
-                                retries += 1;
-                                per_vertex[v.index()].retries += 1;
-                                let dt = backoff(
-                                    &config.retry,
-                                    done,
-                                    &mut injector,
-                                    v,
-                                    "resources",
-                                    obs,
-                                );
-                                recovery_seconds += dt;
-                                per_vertex[v.index()].recovery_seconds += dt;
-                                if done >= config.degrade_after {
-                                    // Degrade and re-plan the suffix on
-                                    // the shrunken cluster.
-                                    let before = cluster.workers;
-                                    cluster = cluster.degraded();
-                                    let consumers = graph.consumers();
-                                    let (g2, map2) =
-                                        rebuild_suffix(graph, &order[..pos], &values, &consumers);
-                                    let ctx2 = PlanContext::new(registry, cluster);
-                                    let plan2 = frontier_dp_beam(
-                                        &g2,
-                                        &OptContext::new(&ctx2, catalog, model),
-                                        config.beam,
-                                    )
-                                    .map_err(|e| {
-                                        ExecError::Internal(format!(
-                                            "re-planning after degradation failed: {e}"
-                                        ))
-                                    })?
-                                    .annotation;
-                                    cur_graph = Cow::Owned(g2);
-                                    idmap = map2;
-                                    cur_plan = Cow::Owned(plan2);
-                                    epoch_start = pos;
-                                    replans += 1;
-                                    obs.record(Subsystem::Faults, "degraded", || {
-                                        vec![
-                                            ("vertex", v.index().into()),
-                                            ("workers_before", (before as i64).into()),
-                                            ("workers_after", (cluster.workers as i64).into()),
-                                        ]
-                                    });
-                                    break;
-                                }
+                            if done >= config.degrade_after {
+                                // Degrade and re-plan the suffix on
+                                // the shrunken cluster. Everything
+                                // materialized so far (any wave) is a
+                                // pinned input of the new plan.
+                                let before = cluster.workers;
+                                cluster = cluster.degraded();
+                                let executed: Vec<NodeId> = order
+                                    .iter()
+                                    .copied()
+                                    .filter(|u| values[u.index()].is_some())
+                                    .collect();
+                                let (g2, map2) =
+                                    rebuild_suffix(graph, &executed, &values, &consumers);
+                                let ctx2 = PlanContext::new(registry, cluster);
+                                let plan2 = frontier_dp_beam(
+                                    &g2,
+                                    &OptContext::new(&ctx2, catalog, model),
+                                    config.beam,
+                                )
+                                .map_err(|e| {
+                                    ExecError::Internal(format!(
+                                        "re-planning after degradation failed: {e}"
+                                    ))
+                                })?
+                                .annotation;
+                                cur_graph = Arc::new(g2);
+                                idmap = Arc::new(map2);
+                                cur_plan = Arc::new(plan2);
+                                epoch_done = vec![false; n];
+                                replans += 1;
+                                obs.record(Subsystem::Faults, "degraded", || {
+                                    vec![
+                                        ("vertex", v.index().into()),
+                                        ("workers_before", (before as i64).into()),
+                                        ("workers_after", (cluster.workers as i64).into()),
+                                    ]
+                                });
+                                break;
                             }
                         }
                     }
                 }
+            }
 
-                // Attempt loop: transient failures and corruption
-                // recomputes burn the per-vertex retry budget.
-                let mut attempt = 0u32;
-                let out = loop {
-                    if attempt > config.retry.max_retries {
-                        return Err(ExecError::RetryBudgetExhausted {
-                            vertex: v,
-                            attempts: attempt,
-                        });
-                    }
-                    if pending_transient > 0 {
-                        pending_transient -= 1;
+            // Attempt loop: transient failures and corruption
+            // recomputes burn the per-vertex retry budget.
+            let mut attempt = 0u32;
+            let out = loop {
+                if attempt > config.retry.max_retries {
+                    return Err(ExecError::RetryBudgetExhausted {
+                        vertex: v,
+                        attempts: attempt,
+                    });
+                }
+                if pending_transient > 0 {
+                    pending_transient -= 1;
+                    attempt += 1;
+                    retries += 1;
+                    per_vertex[v.index()].retries += 1;
+                    let dt = backoff(&config.retry, attempt, &mut injector, v, "transient", obs);
+                    recovery_seconds += dt;
+                    per_vertex[v.index()].recovery_seconds += dt;
+                    continue;
+                }
+                let (out, tsecs, isecs) =
+                    run_vertex(graph, v, &cur_graph, &idmap, &cur_plan, registry, &values)?;
+                if let Some(hint) = corrupt_hints.pop() {
+                    // Corruption "in transit": checksum the honest
+                    // output, corrupt a chunk, detect the mismatch.
+                    let want = relation_checksum(&out);
+                    let mut received = out;
+                    corrupt_chunk(&mut received, hint);
+                    if relation_checksum(&received) != want {
                         attempt += 1;
                         retries += 1;
                         per_vertex[v.index()].retries += 1;
-                        let dt =
-                            backoff(&config.retry, attempt, &mut injector, v, "transient", obs);
-                        recovery_seconds += dt;
-                        per_vertex[v.index()].recovery_seconds += dt;
+                        obs.record(Subsystem::Faults, "corruption_detected", || {
+                            vec![("vertex", v.index().into()), ("chunk", hint.into())]
+                        });
+                        // The wasted attempt is recovery time.
+                        recovery_seconds += isecs;
+                        per_vertex[v.index()].recovery_seconds += isecs;
                         continue;
                     }
-                    let (out, tsecs, isecs) =
-                        run_vertex(graph, v, &cur_graph, &idmap, &cur_plan, registry, &values)?;
-                    if let Some(hint) = corrupt_hints.pop() {
-                        // Corruption "in transit": checksum the honest
-                        // output, corrupt a chunk, detect the mismatch.
-                        let want = relation_checksum(&out);
-                        let mut received = out;
-                        corrupt_chunk(&mut received, hint);
-                        if relation_checksum(&received) != want {
-                            attempt += 1;
-                            retries += 1;
-                            per_vertex[v.index()].retries += 1;
-                            obs.record(Subsystem::Faults, "corruption_detected", || {
-                                vec![("vertex", v.index().into()), ("chunk", hint.into())]
-                            });
-                            // The wasted attempt is recovery time.
-                            recovery_seconds += isecs;
-                            per_vertex[v.index()].recovery_seconds += isecs;
-                            continue;
-                        }
-                        // Corruption had no representable effect (e.g.
-                        // an empty chunk): the relation is intact.
-                        vertex_seconds[v.index()] = isecs;
-                        transform_seconds[v.index()] = tsecs;
-                        break received;
-                    }
+                    // Corruption had no representable effect (e.g.
+                    // an empty chunk): the relation is intact.
                     vertex_seconds[v.index()] = isecs;
                     transform_seconds[v.index()] = tsecs;
-                    break out;
-                };
-
-                // Checkpoint completed vertices *after* fault handling,
-                // so a crash at this step never sees its own output
-                // checkpointed. Only pay for clones when injection is
-                // live.
-                if config.policy == RecoveryPolicy::Checkpoint && injector.is_enabled() {
-                    let t0 = Instant::now();
-                    checkpoints.insert(v.index(), out.clone());
-                    checkpoint_seconds += t0.elapsed().as_secs_f64();
+                    break received;
                 }
-                values[v.index()] = Some(out);
+                vertex_seconds[v.index()] = isecs;
+                transform_seconds[v.index()] = tsecs;
+                break out;
+            };
+
+            // Checkpoint completed vertices *after* fault handling,
+            // so a crash at this step never sees its own output
+            // checkpointed.
+            let out = Arc::new(out);
+            if config.policy == RecoveryPolicy::Checkpoint {
+                let t0 = Instant::now();
+                checkpoints.insert(v.index(), Arc::clone(&out));
+                checkpoint_seconds += t0.elapsed().as_secs_f64();
             }
+            vertex_chunks[v.index()] = out.chunks.len();
+            let bytes = out.total_bytes() as u64;
+            vertex_resident_bytes[v.index()] = bytes;
+            resident += bytes;
+            values[v.index()] = Some(out);
+            epoch_done[v.index()] = true;
+        }
+
+        if clean.is_empty() {
+            continue;
+        }
+        max_concurrency = max_concurrency.max(clean.len());
+        // One concurrent batch over the wave's clean vertices: inputs
+        // all live in earlier waves, so a snapshot of the value slots
+        // (reference bumps) is a consistent read view.
+        let snapshot: Arc<Vec<Option<Arc<DistRelation>>>> = Arc::new(values.clone());
+        let batch: Arc<Vec<NodeId>> = Arc::new(clean.clone());
+        let (g, cg, im, pl, rg) = (
+            Arc::clone(&graph_arc),
+            Arc::clone(&cur_graph),
+            Arc::clone(&idmap),
+            Arc::clone(&cur_plan),
+            Arc::clone(&registry_arc),
+        );
+        let results = Pool::global()
+            .try_map(clean.len(), move |i| {
+                run_vertex(&g, batch[i], &cg, &im, &pl, &rg, &snapshot)
+            })
+            .map_err(|detail| ExecError::KernelPanic {
+                vertex: None,
+                detail,
+            })?;
+        for (&v, res) in clean.iter().zip(results) {
+            let (out, tsecs, isecs) = res?;
+            vertex_seconds[v.index()] = isecs;
+            transform_seconds[v.index()] = tsecs;
+            let out = Arc::new(out);
+            if config.policy == RecoveryPolicy::Checkpoint {
+                let t0 = Instant::now();
+                checkpoints.insert(v.index(), Arc::clone(&out));
+                checkpoint_seconds += t0.elapsed().as_secs_f64();
+            }
+            vertex_chunks[v.index()] = out.chunks.len();
+            let bytes = out.total_bytes() as u64;
+            vertex_resident_bytes[v.index()] = bytes;
+            resident += bytes;
+            values[v.index()] = Some(out);
+            epoch_done[v.index()] = true;
         }
     }
 
     let mut all = HashMap::new();
     for (id, _) in graph.iter() {
-        all.insert(id, values[id.index()].take().expect("computed"));
+        all.insert(id, unshare(values[id.index()].take().expect("computed")));
     }
     let sinks = graph
         .sinks()
@@ -411,6 +567,11 @@ pub fn execute_fault_tolerant(
         values: all,
         vertex_seconds,
         transform_seconds,
+        vertex_chunks,
+        vertex_resident_bytes,
+        parallelism: Pool::global().parallelism(),
+        max_concurrency,
+        peak_resident_bytes: resident,
         total_seconds: start.elapsed().as_secs_f64(),
         retries,
         recoveries,
@@ -455,20 +616,23 @@ fn backoff(
 /// Loses the crash's victim set and brings every lost vertex back per
 /// `policy`, returning the seconds spent. `recompute` replays one
 /// vertex from the current values (its inputs are guaranteed present
-/// because replay runs in topological order).
+/// because replay runs in id — hence topological — order).
+///
+/// The victim pool is the *done set* of this plan epoch: with wave
+/// execution the crashing vertex may be handled while lower-id vertices
+/// of its wave are still unexecuted, so "materialized" is tracked
+/// explicitly rather than inferred from topological position.
 #[allow(clippy::too_many_arguments)]
 fn recover_crash(
     graph: &ComputeGraph,
-    order: &[NodeId],
-    pos: usize,
-    epoch_start: usize,
+    epoch_done: &[bool],
     policy: RecoveryPolicy,
     injector: &mut FaultInjector,
-    values: &mut [Option<DistRelation>],
-    checkpoints: &HashMap<usize, DistRelation>,
+    values: &mut [Option<Arc<DistRelation>>],
+    checkpoints: &HashMap<usize, Arc<DistRelation>>,
     recompute: impl Fn(
         NodeId,
-        &[Option<DistRelation>],
+        &[Option<Arc<DistRelation>>],
     ) -> Result<(DistRelation, Vec<f64>, f64), ExecError>,
     per_vertex: &mut [VertexRecovery],
     obs: &Obs,
@@ -476,11 +640,13 @@ fn recover_crash(
     let t0 = Instant::now();
     // Victims: this epoch's already-materialized compute vertices. The
     // in-flight vertex isn't stored yet, so it is implicitly lost too.
-    let candidates: Vec<NodeId> = order[epoch_start..pos]
+    let candidates: Vec<NodeId> = graph
         .iter()
-        .copied()
+        .map(|(id, _)| id)
         .filter(|u| {
-            matches!(graph.node(*u).kind, NodeKind::Compute { .. }) && values[u.index()].is_some()
+            epoch_done[u.index()]
+                && matches!(graph.node(*u).kind, NodeKind::Compute { .. })
+                && values[u.index()].is_some()
         })
         .collect();
     let lost: Vec<NodeId> = match policy {
@@ -498,18 +664,18 @@ fn recover_crash(
     }
     let mut restored = 0usize;
     let mut recomputed = 0usize;
-    // Replay in topological order: each lost vertex's inputs are either
+    // Replay in id order: each lost vertex's inputs are either
     // survivors or lost-but-earlier (already brought back).
     for u in &lost {
         if policy == RecoveryPolicy::Checkpoint {
             if let Some(ck) = checkpoints.get(&u.index()) {
-                values[u.index()] = Some(ck.clone());
+                values[u.index()] = Some(Arc::clone(ck));
                 restored += 1;
                 continue;
             }
         }
         let (out, _, _) = recompute(*u, values)?;
-        values[u.index()] = Some(out);
+        values[u.index()] = Some(Arc::new(out));
         per_vertex[u.index()].recoveries += 1;
         recomputed += 1;
     }
@@ -528,7 +694,8 @@ fn recover_crash(
 
 /// Transforms a vertex's inputs per the current plan's choice and runs
 /// its implementation, returning the output, per-edge transform
-/// seconds, and implementation seconds.
+/// seconds, and implementation seconds. Identity edges share the input
+/// by reference (`Arc` bump) instead of deep-copying it.
 fn run_vertex(
     graph: &ComputeGraph,
     v: NodeId,
@@ -536,7 +703,7 @@ fn run_vertex(
     idmap: &[NodeId],
     plan: &Annotation,
     registry: &ImplRegistry,
-    values: &[Option<DistRelation>],
+    values: &[Option<Arc<DistRelation>>],
 ) -> Result<(DistRelation, Vec<f64>, f64), ExecError> {
     let node = graph.node(v);
     let NodeKind::Compute { op } = &node.kind else {
@@ -546,7 +713,7 @@ fn run_vertex(
     };
     let cur_id = idmap[v.index()];
     let choice = plan.choice(cur_id).ok_or(ExecError::MissingChoice(v))?;
-    let mut transformed = Vec::with_capacity(node.inputs.len());
+    let mut transformed: Vec<Arc<DistRelation>> = Vec::with_capacity(node.inputs.len());
     let mut tsecs = Vec::with_capacity(node.inputs.len());
     for (input, t) in node.inputs.iter().zip(choice.input_transforms.iter()) {
         let src = values[input.index()].as_ref().ok_or_else(|| {
@@ -556,19 +723,20 @@ fn run_vertex(
         })?;
         let t0 = Instant::now();
         let moved = if t.kind == TransformKind::Identity {
-            src.clone()
+            Arc::clone(src)
         } else {
-            src.reformat(t.to)
-                .map_err(|e| ExecError::Internal(e.to_string()))?
+            Arc::new(
+                src.reformat(t.to)
+                    .map_err(|e| ExecError::Internal(e.to_string()))?,
+            )
         };
         tsecs.push(t0.elapsed().as_secs_f64());
         transformed.push(moved);
     }
-    let refs: Vec<&DistRelation> = transformed.iter().collect();
     let strategy = registry.get(choice.impl_id).strategy;
     let out_type = cur_graph.node(cur_id).mtype;
     let t0 = Instant::now();
-    let out = execute_impl(strategy, op, &refs, out_type, choice.output_format)
+    let out = execute_impl_shared(strategy, op, &transformed, out_type, choice.output_format)
         .map_err(|e| e.at_vertex(v))?;
     Ok((out, tsecs, t0.elapsed().as_secs_f64()))
 }

@@ -1,0 +1,393 @@
+//! The pipelined DAG scheduler: ready-queue execution of an annotated
+//! plan on the shared work-stealing pool.
+//!
+//! The serial executor walks vertices in topological order, so
+//! independent branches of a plan (the two weight updates of the FFNN
+//! graph, the four quadrants of the blocked inverse) serialize even
+//! though nothing orders them. This module replaces that walk with
+//! indegree-counter scheduling:
+//!
+//! * every vertex carries a `pending` counter of unfinished inputs;
+//!   when a vertex finishes it decrements each consumer's counter and
+//!   spawns any consumer that reaches zero as a pool job — vertices
+//!   run as soon as their inputs exist, not when the topological walk
+//!   reaches them;
+//! * identity edges are `Arc` reference bumps instead of deep clones of
+//!   the input relation (the dominant per-vertex cost of the old
+//!   executor on laptop-scale graphs);
+//! * a refcount per vertex counts un-executed consumer edges; when the
+//!   last consumer finishes, the vertex's buffer is retired (dropped)
+//!   unless the caller asked to retain all values — peak resident bytes
+//!   are tracked either way and surfaced through
+//!   [`ExecOutcome::peak_resident_bytes`](crate::ExecOutcome);
+//! * scheduler concurrency and pool counters are emitted as a
+//!   [`Subsystem::Sched`] `pipeline` record per run.
+//!
+//! Determinism: every vertex reads fully-materialized inputs and every
+//! chunk batch preserves item order, so the pipelined executor is
+//! bit-identical to the serial walk regardless of completion order (the
+//! `pipeline.rs` property test pins this on random DAGs).
+
+use crate::exec::missing_input;
+use crate::impl_exec::{execute_impl_shared, ExecError};
+use crate::value::DistRelation;
+use matopt_core::{Annotation, ComputeGraph, ImplRegistry, NodeId, NodeKind, TransformKind};
+use matopt_obs::{Obs, Subsystem};
+use matopt_pool::{Pool, TaskGroup};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Everything the pipelined run measured, with values still shared.
+pub(crate) struct PipelineOutput {
+    /// Slot per vertex; `None` for retired buffers when retention is
+    /// off.
+    pub values: Vec<Option<Arc<DistRelation>>>,
+    /// Wall seconds of each compute vertex's implementation.
+    pub vertex_seconds: Vec<f64>,
+    /// Wall seconds per in-edge transform, per vertex.
+    pub transform_seconds: Vec<Vec<f64>>,
+    /// Chunks in each vertex's output relation.
+    pub vertex_chunks: Vec<usize>,
+    /// Bytes of each vertex's output relation.
+    pub vertex_resident_bytes: Vec<u64>,
+    /// Worker parallelism of the pool the run was scheduled on.
+    pub parallelism: usize,
+    /// Highest number of vertices in flight at once.
+    pub max_concurrency: usize,
+    /// Peak bytes resident across all live vertex buffers.
+    pub peak_resident_bytes: u64,
+}
+
+/// Per-vertex measurements, written once by the job that ran the
+/// vertex.
+#[derive(Default)]
+struct VertexMeta {
+    seconds: f64,
+    transform_seconds: Vec<f64>,
+    chunks: usize,
+    bytes: u64,
+}
+
+struct RunState {
+    graph: Arc<ComputeGraph>,
+    annotation: Arc<Annotation>,
+    registry: Arc<ImplRegistry>,
+    obs: Obs,
+    /// One entry per in-edge of each consumer (duplicates kept so a
+    /// vertex feeding the same consumer twice decrements twice).
+    consumer_edges: Vec<Vec<NodeId>>,
+    /// Vertices whose buffers are never retired.
+    retained: Vec<bool>,
+    slots: Vec<Mutex<Option<Arc<DistRelation>>>>,
+    /// Unfinished inputs per vertex; a vertex is spawned on the 1 → 0
+    /// transition.
+    pending: Vec<AtomicUsize>,
+    /// Un-executed consumer edges per vertex; the buffer is retired on
+    /// the 1 → 0 transition.
+    uses: Vec<AtomicUsize>,
+    meta: Vec<Mutex<VertexMeta>>,
+    /// First failure by lowest vertex id (deterministic across
+    /// completion orders); `failed` lets in-flight jobs stop early.
+    error: Mutex<Option<(NodeId, ExecError)>>,
+    failed: AtomicBool,
+    resident: AtomicU64,
+    peak: AtomicU64,
+    running: AtomicUsize,
+    max_running: AtomicUsize,
+}
+
+/// Runs the annotated graph through the pipelined scheduler.
+///
+/// With `retain_all` every vertex's value survives the run; otherwise
+/// buffers are retired as their last consumer finishes and only sink
+/// values come back.
+pub(crate) fn run_pipelined(
+    graph: &ComputeGraph,
+    annotation: &Annotation,
+    inputs: &HashMap<NodeId, DistRelation>,
+    registry: &ImplRegistry,
+    obs: &Obs,
+    retain_all: bool,
+) -> Result<PipelineOutput, ExecError> {
+    let n = graph.len();
+    // Fail on the first unannotated compute vertex in topological
+    // order, exactly like the serial walk, before any job runs.
+    for (id, node) in graph.iter() {
+        if matches!(node.kind, NodeKind::Compute { .. }) && annotation.choice(id).is_none() {
+            return Err(ExecError::MissingChoice(id));
+        }
+    }
+
+    let mut consumer_edges: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let mut indegree = vec![0usize; n];
+    let mut uses = vec![0usize; n];
+    for (id, node) in graph.iter() {
+        indegree[id.index()] = node.inputs.len();
+        for input in &node.inputs {
+            consumer_edges[input.index()].push(id);
+            uses[input.index()] += 1;
+        }
+    }
+    let mut retained = vec![retain_all; n];
+    for s in graph.sinks() {
+        retained[s.index()] = true;
+    }
+
+    let pool = Pool::global();
+    let pool_before = pool.stats();
+    let state = Arc::new(RunState {
+        graph: Arc::new(graph.clone()),
+        annotation: Arc::new(annotation.clone()),
+        registry: Arc::new(registry.clone()),
+        obs: obs.clone(),
+        consumer_edges,
+        retained,
+        slots: (0..n).map(|_| Mutex::new(None)).collect(),
+        pending: indegree.into_iter().map(AtomicUsize::new).collect(),
+        uses: uses.into_iter().map(AtomicUsize::new).collect(),
+        meta: (0..n).map(|_| Mutex::new(VertexMeta::default())).collect(),
+        error: Mutex::new(None),
+        failed: AtomicBool::new(false),
+        resident: AtomicU64::new(0),
+        peak: AtomicU64::new(0),
+        running: AtomicUsize::new(0),
+        max_running: AtomicUsize::new(0),
+    });
+
+    // Seed the sources inline (they are the caller's inputs, possibly
+    // re-materialized into the declared format), then sweep the
+    // vertices that are ready before any compute ran.
+    for (id, node) in graph.iter() {
+        if let NodeKind::Source { format } = &node.kind {
+            let rel = inputs.get(&id).ok_or_else(|| missing_input(graph, id))?;
+            let rel = if rel.format == *format {
+                rel.clone()
+            } else {
+                rel.reformat(*format)
+                    .map_err(|e| ExecError::Internal(e.to_string()))?
+            };
+            store_output(&state, id, Arc::new(rel), 0.0, Vec::new());
+            for c in &state.consumer_edges[id.index()] {
+                state.pending[c.index()].fetch_sub(1, Ordering::AcqRel);
+            }
+        }
+    }
+    let group = pool.group();
+    for (id, node) in graph.iter() {
+        if matches!(node.kind, NodeKind::Compute { .. })
+            && state.pending[id.index()].load(Ordering::Acquire) == 0
+        {
+            spawn_vertex(&state, &group, id);
+        }
+    }
+    let waited = group.wait();
+
+    if let Some((_, e)) = state.error.lock().unwrap().take() {
+        return Err(e);
+    }
+    if let Err(detail) = waited {
+        return Err(ExecError::Internal(format!(
+            "scheduler job panicked: {detail}"
+        )));
+    }
+
+    let max_concurrency = state.max_running.load(Ordering::Acquire).max(1);
+    let peak = state.peak.load(Ordering::Acquire);
+    let delta = pool.stats().since(&pool_before);
+    obs.record(Subsystem::Sched, "pipeline", || {
+        vec![
+            ("vertices", n.into()),
+            ("parallelism", pool.parallelism().into()),
+            ("max_concurrency", max_concurrency.into()),
+            ("peak_resident_bytes", (peak as i64).into()),
+            ("retain_all", retain_all.into()),
+            ("pool_tasks", (delta.tasks as i64).into()),
+            ("pool_steals", (delta.steals as i64).into()),
+            ("pool_batches", (delta.batches as i64).into()),
+        ]
+    });
+
+    let state = Arc::try_unwrap(state)
+        .map_err(|_| ExecError::Internal("scheduler state still shared after wait".to_string()))?;
+    let mut vertex_seconds = vec![0.0; n];
+    let mut transform_seconds: Vec<Vec<f64>> = vec![Vec::new(); n];
+    let mut vertex_chunks = vec![0usize; n];
+    let mut vertex_resident_bytes = vec![0u64; n];
+    for (i, meta) in state.meta.into_iter().enumerate() {
+        let m = meta.into_inner().unwrap();
+        vertex_seconds[i] = m.seconds;
+        transform_seconds[i] = m.transform_seconds;
+        vertex_chunks[i] = m.chunks;
+        vertex_resident_bytes[i] = m.bytes;
+    }
+    let values = state
+        .slots
+        .into_iter()
+        .map(|s| s.into_inner().unwrap())
+        .collect();
+    Ok(PipelineOutput {
+        values,
+        vertex_seconds,
+        transform_seconds,
+        vertex_chunks,
+        vertex_resident_bytes,
+        parallelism: pool.parallelism(),
+        max_concurrency,
+        peak_resident_bytes: peak,
+    })
+}
+
+/// Queues vertex `v` as a pool job in `group`; the job spawns follow-on
+/// ready consumers into the same group.
+fn spawn_vertex(state: &Arc<RunState>, group: &TaskGroup, v: NodeId) {
+    let st = Arc::clone(state);
+    let g = group.clone();
+    group.spawn(move || run_vertex_job(&st, &g, v));
+}
+
+fn run_vertex_job(state: &Arc<RunState>, group: &TaskGroup, v: NodeId) {
+    if state.failed.load(Ordering::Acquire) {
+        return;
+    }
+    let running = state.running.fetch_add(1, Ordering::AcqRel) + 1;
+    state.max_running.fetch_max(running, Ordering::AcqRel);
+    let result = compute_vertex(state, v);
+    state.running.fetch_sub(1, Ordering::AcqRel);
+    match result {
+        Ok(()) => {
+            retire_inputs(state, v);
+            for &c in &state.consumer_edges[v.index()] {
+                if state.pending[c.index()].fetch_sub(1, Ordering::AcqRel) == 1 {
+                    spawn_vertex(state, group, c);
+                }
+            }
+        }
+        Err(e) => {
+            state.failed.store(true, Ordering::Release);
+            let mut slot = state.error.lock().unwrap();
+            // Lowest vertex id wins so concurrent failures surface the
+            // same error the serial walk would have hit first.
+            match &*slot {
+                Some((u, _)) if u.index() <= v.index() => {}
+                _ => *slot = Some((v, e)),
+            }
+        }
+    }
+}
+
+/// Transforms the inputs per the plan's choice and runs the chosen
+/// implementation, mirroring the serial walk's spans and timings.
+fn compute_vertex(state: &Arc<RunState>, v: NodeId) -> Result<(), ExecError> {
+    let node = state.graph.node(v);
+    let NodeKind::Compute { op } = &node.kind else {
+        return Err(ExecError::Internal(format!(
+            "scheduled non-compute vertex {v}"
+        )));
+    };
+    let choice = state
+        .annotation
+        .choice(v)
+        .ok_or(ExecError::MissingChoice(v))?;
+    let mut transformed: Vec<Arc<DistRelation>> = Vec::with_capacity(node.inputs.len());
+    let mut tsecs = Vec::with_capacity(node.inputs.len());
+    for (edge, (input, t)) in node
+        .inputs
+        .iter()
+        .zip(choice.input_transforms.iter())
+        .enumerate()
+    {
+        let src: Arc<DistRelation> = state.slots[input.index()]
+            .lock()
+            .unwrap()
+            .clone()
+            .ok_or_else(|| {
+                ExecError::Internal(format!("input {input} of vertex {v} not materialized"))
+            })?;
+        let _t_span = if t.kind == TransformKind::Identity {
+            // Identity edges are free `Arc` bumps; keep the trace quiet.
+            None
+        } else {
+            Some(state.obs.span_with(Subsystem::Executor, "transform", || {
+                vec![
+                    ("vertex", v.index().into()),
+                    ("edge", edge.into()),
+                    ("kind", format!("{:?}", t.kind).into()),
+                    ("to", t.to.to_string().into()),
+                ]
+            }))
+        };
+        let t0 = Instant::now();
+        let moved = if t.kind == TransformKind::Identity {
+            src
+        } else {
+            Arc::new(
+                src.reformat(t.to)
+                    .map_err(|e| ExecError::Internal(e.to_string()))?,
+            )
+        };
+        tsecs.push(t0.elapsed().as_secs_f64());
+        transformed.push(moved);
+    }
+    let impl_def = state.registry.get(choice.impl_id);
+    let _v_span = state.obs.span_with(Subsystem::Executor, "impl", || {
+        let label = node.name.clone().unwrap_or_else(|| v.to_string());
+        vec![
+            ("vertex", v.index().into()),
+            ("label", label.into()),
+            ("op", format!("{op:?}").into()),
+            ("impl", impl_def.name.into()),
+            ("out_format", choice.output_format.to_string().into()),
+        ]
+    });
+    let t0 = Instant::now();
+    let out = execute_impl_shared(
+        impl_def.strategy,
+        op,
+        &transformed,
+        node.mtype,
+        choice.output_format,
+    )
+    .map_err(|e| e.at_vertex(v))?;
+    store_output(state, v, Arc::new(out), t0.elapsed().as_secs_f64(), tsecs);
+    Ok(())
+}
+
+fn store_output(
+    state: &Arc<RunState>,
+    v: NodeId,
+    rel: Arc<DistRelation>,
+    isecs: f64,
+    tsecs: Vec<f64>,
+) {
+    let bytes = rel.total_bytes() as u64;
+    let chunks = rel.chunks.len();
+    *state.slots[v.index()].lock().unwrap() = Some(rel);
+    let resident = state.resident.fetch_add(bytes, Ordering::AcqRel) + bytes;
+    state.peak.fetch_max(resident, Ordering::AcqRel);
+    let mut m = state.meta[v.index()].lock().unwrap();
+    m.seconds = isecs;
+    m.transform_seconds = tsecs;
+    m.chunks = chunks;
+    m.bytes = bytes;
+}
+
+/// Drops each input buffer whose last consumer edge just finished,
+/// unless the vertex is retained (a sink, or everything under
+/// `retain_all`).
+fn retire_inputs(state: &Arc<RunState>, v: NodeId) {
+    for input in &state.graph.node(v).inputs {
+        let u = input.index();
+        if state.retained[u] {
+            continue;
+        }
+        if state.uses[u].fetch_sub(1, Ordering::AcqRel) == 1 {
+            if let Some(rel) = state.slots[u].lock().unwrap().take() {
+                state
+                    .resident
+                    .fetch_sub(rel.total_bytes() as u64, Ordering::AcqRel);
+            }
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Pipelined-scheduler equivalence harness: the pool-driven,
+//! out-of-topological-order executor ([`execute_plan`]) must produce
+//! sink values **bit-identical** to the strictly serial topological
+//! walk ([`execute_plan_serial`]) on every plan — completion order,
+//! `Arc`-shared identity edges, and buffer retirement must never leak
+//! into the numbers.
+//!
+//! The harness optimizes and runs 64 seeded random DAGs (square dense
+//! matrices; matmuls, elementwise ops, transposes, scalings) plus the
+//! two named workloads the rest of the suite leans on, comparing every
+//! sink elementwise with exact `f64` equality. The chaos harness in
+//! `chaos.rs` covers the fault-injection side of the pipelined path:
+//! its fault-free baselines run through this same scheduler.
+
+use matopt_core::{
+    Cluster, ComputeGraph, FormatCatalog, ImplRegistry, MatrixType, NodeId, NodeKind, Op,
+    PhysFormat, PlanContext,
+};
+use matopt_cost::AnalyticalCostModel;
+use matopt_engine::{
+    execute_plan, execute_plan_serial, execute_plan_with, DistRelation, ExecOptions,
+};
+use matopt_graphs::{ffnn_w2_update_graph, two_level_inverse_graph, FfnnConfig};
+use matopt_kernels::{random_dense_normal, seeded_rng};
+use matopt_obs::Obs;
+use matopt_opt::{frontier_dp_beam, OptContext};
+use std::collections::HashMap;
+
+/// SplitMix64, locally: the structural draws must not depend on any
+/// library's RNG evolution.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// A random DAG over square dense matrices: every vertex is `n`×`n`, so
+/// any operand combination type-checks and the structure can be drawn
+/// freely. Ops are limited to kernels whose chunk accumulation order is
+/// fixed, because the harness demands bit equality, not approximation.
+fn random_square_dag(seed: u64, n: u64) -> ComputeGraph {
+    let mut rng = Mix(seed.wrapping_mul(0x9e37_79b9).wrapping_add(1));
+    let mut g = ComputeGraph::new();
+    let mtype = MatrixType::dense(n, n);
+    let n_sources = 2 + rng.below(2);
+    let mut pool: Vec<NodeId> = (0..n_sources)
+        .map(|_| g.add_source(mtype, PhysFormat::Tile { side: 4 }))
+        .collect();
+    let n_computes = 5 + rng.below(6);
+    for _ in 0..n_computes {
+        let a = pool[rng.below(pool.len())];
+        let b = pool[rng.below(pool.len())];
+        let v = match rng.below(8) {
+            0 => g.add_op(Op::MatMul, &[a, b]),
+            1 => g.add_op(Op::Add, &[a, b]),
+            2 => g.add_op(Op::Sub, &[a, b]),
+            3 => g.add_op(Op::Hadamard, &[a, b]),
+            4 => g.add_op(Op::Transpose, &[a]),
+            5 => g.add_op(Op::Relu, &[a]),
+            6 => g.add_op(Op::Sigmoid, &[a]),
+            _ => g.add_op(Op::ScalarMul(0.5), &[a]),
+        }
+        .expect("square dense ops are always well-typed");
+        pool.push(v);
+    }
+    g
+}
+
+fn dense_inputs(graph: &ComputeGraph, seed: u64) -> HashMap<NodeId, DistRelation> {
+    let mut rng = seeded_rng(seed);
+    let mut rels = HashMap::new();
+    for (id, node) in graph.iter() {
+        if let NodeKind::Source { format } = &node.kind {
+            let mut d =
+                random_dense_normal(node.mtype.rows as usize, node.mtype.cols as usize, &mut rng);
+            if node.mtype.is_square() {
+                for i in 0..node.mtype.rows as usize {
+                    let v = d.get(i, i) + node.mtype.rows as f64 * 2.0;
+                    d.set(i, i, v);
+                }
+            }
+            rels.insert(id, DistRelation::from_dense(&d, *format).unwrap());
+        }
+    }
+    rels
+}
+
+/// Asserts every sink of `graph` is elementwise bit-identical between
+/// the pipelined and the serial executor under `annotation`.
+fn assert_pipeline_matches_serial(
+    tag: &str,
+    graph: &ComputeGraph,
+    annotation: &matopt_core::Annotation,
+    inputs: &HashMap<NodeId, DistRelation>,
+    registry: &ImplRegistry,
+) {
+    let piped = execute_plan(graph, annotation, inputs, registry)
+        .unwrap_or_else(|e| panic!("{tag}: pipelined run failed: {e}"));
+    let serial = execute_plan_serial(graph, annotation, inputs, registry)
+        .unwrap_or_else(|e| panic!("{tag}: serial run failed: {e}"));
+    assert_eq!(
+        piped.sinks.len(),
+        serial.sinks.len(),
+        "{tag}: sink sets differ"
+    );
+    for (sink, rel) in &serial.sinks {
+        let s = rel.to_dense();
+        let p = piped.sinks[sink].to_dense();
+        assert_eq!(
+            p.data(),
+            s.data(),
+            "{tag}: sink {sink} differs between pipelined and serial executor"
+        );
+    }
+    // The pipelined run retains every vertex by default, like the
+    // serial walk.
+    assert_eq!(piped.values.len(), serial.values.len(), "{tag}: values");
+    assert!(piped.max_concurrency >= 1);
+    assert!(piped.peak_resident_bytes > 0);
+}
+
+fn optimize(
+    graph: &ComputeGraph,
+    registry: &ImplRegistry,
+    catalog: &FormatCatalog,
+) -> matopt_core::Annotation {
+    let ctx = PlanContext::new(registry, Cluster::simsql_like(4));
+    let model = AnalyticalCostModel;
+    frontier_dp_beam(graph, &OptContext::new(&ctx, catalog, &model), 400)
+        .expect("optimizable")
+        .annotation
+}
+
+#[test]
+fn pipelined_executor_is_bit_identical_on_64_random_dags() {
+    let registry = ImplRegistry::paper_default();
+    let catalog = FormatCatalog::new(vec![
+        PhysFormat::SingleTuple,
+        PhysFormat::Tile { side: 4 },
+        PhysFormat::Tile { side: 8 },
+        PhysFormat::RowStrip { height: 4 },
+        PhysFormat::ColStrip { width: 4 },
+    ]);
+    for seed in 0..64u64 {
+        let graph = random_square_dag(seed, 12);
+        let annotation = optimize(&graph, &registry, &catalog);
+        let inputs = dense_inputs(&graph, 0xDA6 ^ seed);
+        assert_pipeline_matches_serial(
+            &format!("dag#{seed}"),
+            &graph,
+            &annotation,
+            &inputs,
+            &registry,
+        );
+    }
+}
+
+#[test]
+fn pipelined_executor_matches_serial_on_named_workloads() {
+    let registry = ImplRegistry::paper_default();
+    let ffnn = ffnn_w2_update_graph(FfnnConfig::laptop(16))
+        .expect("well-typed")
+        .graph;
+    let inverse = two_level_inverse_graph(16, 4).expect("well-typed").graph;
+    let dense = FormatCatalog::paper_default().dense_only();
+    let small = FormatCatalog::new(vec![
+        PhysFormat::SingleTuple,
+        PhysFormat::Tile { side: 4 },
+        PhysFormat::Tile { side: 8 },
+        PhysFormat::RowStrip { height: 4 },
+        PhysFormat::ColStrip { width: 4 },
+    ]);
+    for (tag, graph, catalog) in [("ffnn", ffnn, dense), ("inverse", inverse, small)] {
+        let annotation = optimize(&graph, &registry, &catalog);
+        let inputs = dense_inputs(&graph, 0xC0FFEE);
+        assert_pipeline_matches_serial(tag, &graph, &annotation, &inputs, &registry);
+    }
+}
+
+/// With retention off, non-sink buffers are retired as their consumers
+/// finish: the outcome exposes only sink values, the sinks still match
+/// the serial run exactly, and peak residency never exceeds the
+/// retain-everything run's.
+#[test]
+fn streaming_retirement_keeps_sinks_exact_and_shrinks_residency() {
+    let registry = ImplRegistry::paper_default();
+    let catalog = FormatCatalog::new(vec![
+        PhysFormat::SingleTuple,
+        PhysFormat::Tile { side: 4 },
+        PhysFormat::RowStrip { height: 4 },
+    ]);
+    for seed in [3u64, 17, 40] {
+        let graph = random_square_dag(seed, 12);
+        let annotation = optimize(&graph, &registry, &catalog);
+        let inputs = dense_inputs(&graph, 0xBEEF ^ seed);
+        let retained = execute_plan(&graph, &annotation, &inputs, &registry).expect("runs");
+        let streamed = execute_plan_with(
+            &graph,
+            &annotation,
+            &inputs,
+            &registry,
+            &Obs::disabled(),
+            ExecOptions {
+                retain_values: false,
+            },
+        )
+        .expect("runs");
+        assert_eq!(streamed.values.len(), streamed.sinks.len());
+        for (sink, rel) in &retained.sinks {
+            assert_eq!(
+                streamed.sinks[sink].to_dense().data(),
+                rel.to_dense().data(),
+                "seed {seed}: sink {sink} differs under streaming retirement"
+            );
+        }
+        assert!(
+            streamed.peak_resident_bytes <= retained.peak_resident_bytes,
+            "seed {seed}: streaming peak {} exceeds retained peak {}",
+            streamed.peak_resident_bytes,
+            retained.peak_resident_bytes
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Quick GFLOP/s probe comparing the packed microkernel against the
+//! blocked reference kernel. Run with:
+//!
+//! ```sh
+//! cargo run --release -p matopt-kernels --example gemm_probe
+//! ```
+
+use std::time::Instant;
+
+use matopt_kernels::DenseMatrix;
+
+fn gflops(n: usize, secs: f64) -> f64 {
+    (2.0 * (n as f64).powi(3)) / secs / 1e9
+}
+
+fn best_of(reps: usize, mut f: impl FnMut() -> DenseMatrix) -> (f64, DenseMatrix) {
+    let mut best = f64::INFINITY;
+    let mut out = f();
+    for _ in 0..reps {
+        let t = Instant::now();
+        out = f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    (best, out)
+}
+
+fn main() {
+    for n in [256usize, 512, 1024] {
+        let a = DenseMatrix::from_fn(n, n, |r, c| ((r * 31 + c * 7) % 13) as f64 - 6.0);
+        let b = DenseMatrix::from_fn(n, n, |r, c| ((r * 17 + c * 3) % 11) as f64 - 5.0);
+        let reps = (512 / n).max(1) + 1;
+        let (t_ref, _) = best_of(reps, || a.matmul_reference(&b));
+        let (t_packed, _) = best_of(reps, || a.matmul_packed(&b));
+        println!(
+            "n={n:5}  reference {:7.2} GFLOP/s   packed {:7.2} GFLOP/s   speedup {:4.2}x",
+            gflops(n, t_ref),
+            gflops(n, t_packed),
+            t_ref / t_packed
+        );
+    }
+}

@@ -48,6 +48,8 @@ pub enum Subsystem {
     Cli,
     /// Fault injection and recovery (`execute_fault_tolerant`).
     Faults,
+    /// The pipelined DAG scheduler and its work-stealing pool.
+    Sched,
 }
 
 impl Subsystem {
@@ -61,6 +63,7 @@ impl Subsystem {
             Subsystem::Calibration => "calibration",
             Subsystem::Cli => "cli",
             Subsystem::Faults => "faults",
+            Subsystem::Sched => "sched",
         }
     }
 }

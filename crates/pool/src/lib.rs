@@ -1,0 +1,633 @@
+//! # matopt-pool
+//!
+//! A persistent work-stealing thread pool shared by the real executor
+//! (`matopt-engine`) and, behind a feature gate, the dense kernels
+//! (`matopt-kernels`).
+//!
+//! The pre-pool executor spread chunk batches over a fresh
+//! `std::thread::scope` per call with fixed-size chunking, which pays a
+//! thread spawn/join handshake on every batch and serializes the tail
+//! behind whichever fixed chunk happens to hold the heavy items. This
+//! pool replaces both costs:
+//!
+//! * **Persistent workers.** Workers are spawned once (lazily, on first
+//!   use of [`Pool::global`]) and parked on a condition variable when
+//!   idle; a batch costs queue pushes, not thread spawns.
+//! * **Per-item stealing.** Every item of a [`Pool::try_map`] batch is
+//!   an individually stealable task, distributed round-robin over the
+//!   per-worker deques. An idle worker steals single items from its
+//!   peers, so a pathologically skewed batch (one heavy item among many
+//!   light ones) no longer serializes behind a fixed chunk — see the
+//!   `steals_individual_items_under_skew` regression test.
+//! * **Help-while-wait.** A thread blocked on a batch or a
+//!   [`TaskGroup`] drains queued jobs itself instead of sleeping. This
+//!   makes nested parallelism (a parallel kernel inside a pool task)
+//!   deadlock-free by construction: every waiter makes progress.
+//!
+//! The whole crate is `forbid(unsafe_code)`, like the rest of the
+//! workspace: jobs are `'static` boxed closures, batches share state
+//! through `Arc`, and the deques are mutex-guarded `VecDeque`s rather
+//! than lock-free Chase–Lev deques. At chunk granularity (kernels run
+//! for micro- to milliseconds) the mutex cost is noise.
+//!
+//! Worker closures run under [`std::panic::catch_unwind`]: a panic in
+//! one item is captured and reported as that item's error instead of
+//! poisoning the pool, preserving the executor's panic → recoverable
+//! fault contract. [`Pool::map`] re-panics the first captured panic on
+//! the caller's thread, for call sites whose closures are known not to
+//! panic.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// A queued unit of work.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Batches smaller than this run inline on the caller: the queue
+/// handshake is not worth it (matches the pre-pool executor's serial
+/// cutoff).
+const MIN_PARALLEL_ITEMS: usize = 4;
+
+/// How long an idle worker sleeps between queue scans. Wakeups are
+/// notified eagerly; the timeout only bounds the cost of a lost wakeup.
+const IDLE_WAIT: Duration = Duration::from_millis(10);
+
+/// How long a waiting caller sleeps when there is nothing to help with.
+const HELP_WAIT: Duration = Duration::from_micros(500);
+
+static POOL_IDS: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// `(pool id, queue index)` when the current thread is a pool
+    /// worker — lets nested batches push/pop the worker's own deque.
+    static WORKER: Cell<Option<(u64, usize)>> = const { Cell::new(None) };
+}
+
+/// Renders a panic payload (the `Box<dyn Any>` from `catch_unwind`)
+/// into a human-readable string.
+fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Cumulative pool counters, readable at any time via [`Pool::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Jobs executed (by workers and by helping callers).
+    pub tasks: u64,
+    /// Jobs taken from a deque owned by another worker.
+    pub steals: u64,
+    /// Parallel batches submitted through [`Pool::try_map`].
+    pub batches: u64,
+}
+
+impl PoolStats {
+    /// Counter-wise difference `self - earlier` (for per-run deltas).
+    #[must_use]
+    pub fn since(&self, earlier: &PoolStats) -> PoolStats {
+        PoolStats {
+            tasks: self.tasks.saturating_sub(earlier.tasks),
+            steals: self.steals.saturating_sub(earlier.steals),
+            batches: self.batches.saturating_sub(earlier.batches),
+        }
+    }
+}
+
+struct PoolShared {
+    /// `queues[0]` is the shared injector; `queues[1..=threads]` are the
+    /// per-worker deques (owners pop newest-first, thieves steal
+    /// oldest-first).
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    lock: Mutex<()>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+    rr: AtomicUsize,
+    tasks: AtomicU64,
+    steals: AtomicU64,
+    batches: AtomicU64,
+    threads: usize,
+    id: u64,
+}
+
+impl PoolShared {
+    fn notify_all(&self) {
+        // Lock/unlock pairs the notification with waiters' rechecks.
+        drop(self.lock.lock().unwrap());
+        self.cv.notify_all();
+    }
+
+    /// Pops one job: the caller's own deque first (newest-first, for
+    /// locality), then the injector, then steals oldest-first from the
+    /// other workers.
+    fn find_job(&self, me: Option<usize>) -> Option<Job> {
+        if let Some(me) = me {
+            if let Some(job) = self.queues[me].lock().unwrap().pop_back() {
+                return Some(job);
+            }
+        }
+        if let Some(job) = self.queues[0].lock().unwrap().pop_front() {
+            return Some(job);
+        }
+        let start = me.unwrap_or(0);
+        for off in 1..self.queues.len() {
+            let q = 1 + (start + off - 1) % (self.queues.len() - 1);
+            if Some(q) == me {
+                continue;
+            }
+            if let Some(job) = self.queues[q].lock().unwrap().pop_front() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    fn run(&self, job: Job) {
+        self.tasks.fetch_add(1, Ordering::Relaxed);
+        job();
+    }
+
+    /// Pushes one job to the injector.
+    fn submit_one(&self, job: Job) {
+        self.queues[0].lock().unwrap().push_back(job);
+        self.notify_all();
+    }
+
+    /// Distributes a batch round-robin over the worker deques so idle
+    /// workers start stealing immediately.
+    fn submit_many(&self, jobs: Vec<Job>) {
+        if self.threads <= 1 {
+            let mut q = self.queues[0].lock().unwrap();
+            q.extend(jobs);
+        } else {
+            for job in jobs {
+                let w = 1 + self.rr.fetch_add(1, Ordering::Relaxed) % self.threads;
+                self.queues[w].lock().unwrap().push_back(job);
+            }
+        }
+        self.notify_all();
+    }
+
+    fn has_job(&self) -> bool {
+        self.queues.iter().any(|q| !q.lock().unwrap().is_empty())
+    }
+
+    fn worker_loop(self: Arc<Self>, me: usize) {
+        WORKER.with(|w| w.set(Some((self.id, me))));
+        loop {
+            if let Some(job) = self.find_job(Some(me)) {
+                self.run(job);
+                continue;
+            }
+            if self.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            let guard = self.lock.lock().unwrap();
+            if self.has_job() || self.shutdown.load(Ordering::Acquire) {
+                continue;
+            }
+            let _ = self.cv.wait_timeout(guard, IDLE_WAIT).unwrap();
+        }
+    }
+
+    /// The current thread's deque index in this pool, if it is one of
+    /// this pool's workers.
+    fn my_queue(&self) -> Option<usize> {
+        WORKER.with(|w| match w.get() {
+            Some((id, q)) if id == self.id => Some(q),
+            _ => None,
+        })
+    }
+
+    /// Runs queued jobs until `done()` holds, sleeping briefly only
+    /// when there is nothing to help with.
+    fn help_until(&self, done: impl Fn() -> bool) {
+        let me = self.my_queue();
+        loop {
+            if done() {
+                return;
+            }
+            if let Some(job) = self.find_job(me) {
+                self.run(job);
+                continue;
+            }
+            let guard = self.lock.lock().unwrap();
+            if done() || self.has_job() {
+                continue;
+            }
+            let _ = self.cv.wait_timeout(guard, HELP_WAIT).unwrap();
+        }
+    }
+}
+
+/// A handle to a work-stealing pool. Cheap to clone; all clones share
+/// the same workers. Most callers want [`Pool::global`].
+#[derive(Clone)]
+pub struct Pool {
+    shared: Arc<PoolShared>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("threads", &self.shared.threads)
+            .finish()
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        // The last handle (workers hold `Arc<PoolShared>`, not `Pool`)
+        // shuts the workers down so short-lived pools in tests don't
+        // leak threads. The global pool is never dropped.
+        if Arc::strong_count(&self.shared) == 1 + self.shared.threads {
+            self.shared.shutdown.store(true, Ordering::Release);
+            self.shared.notify_all();
+        }
+    }
+}
+
+static GLOBAL: OnceLock<Pool> = OnceLock::new();
+
+impl Pool {
+    /// Creates a standalone pool with `threads` workers (`0` and `1`
+    /// both mean "no worker threads": batches run inline and spawned
+    /// jobs run on whichever thread waits on them).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        let workers = if threads <= 1 { 0 } else { threads };
+        let shared = Arc::new(PoolShared {
+            queues: (0..=workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            rr: AtomicUsize::new(0),
+            tasks: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            threads: workers,
+            id: POOL_IDS.fetch_add(1, Ordering::Relaxed),
+        });
+        for w in 1..=workers {
+            let s = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("matopt-pool-{w}"))
+                .spawn(move || s.worker_loop(w))
+                .expect("spawn pool worker");
+        }
+        Pool { shared }
+    }
+
+    /// The process-wide pool, created on first use. Sized by the
+    /// `MATOPT_POOL_THREADS` environment variable when set (useful for
+    /// benchmarks and reproducible tests), otherwise by
+    /// [`std::thread::available_parallelism`].
+    pub fn global() -> &'static Pool {
+        GLOBAL.get_or_init(|| {
+            let threads = std::env::var("MATOPT_POOL_THREADS")
+                .ok()
+                .and_then(|s| s.trim().parse::<usize>().ok())
+                .filter(|n| *n >= 1)
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(std::num::NonZeroUsize::get)
+                        .unwrap_or(4)
+                });
+            Pool::new(threads)
+        })
+    }
+
+    /// Worker threads backing this pool (0 ⇒ everything runs inline).
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.shared.threads
+    }
+
+    /// The effective parallelism of a batch: workers plus the helping
+    /// caller, at least 1.
+    #[must_use]
+    pub fn parallelism(&self) -> usize {
+        self.shared.threads.max(1)
+    }
+
+    /// Snapshot of the cumulative counters.
+    #[must_use]
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            tasks: self.shared.tasks.load(Ordering::Relaxed),
+            steals: self.shared.steals.load(Ordering::Relaxed),
+            batches: self.shared.batches.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Ordered parallel map: applies `f` to `0..n`, each item an
+    /// individually stealable task, and returns the results in index
+    /// order. Panics inside `f` are caught per item; the first
+    /// panicking index (in item order) is reported as `Err(detail)`.
+    ///
+    /// Small batches (and every batch on a single-threaded pool) run
+    /// inline on the caller, short-circuiting at the first panic —
+    /// exactly the pre-pool serial contract.
+    ///
+    /// # Errors
+    /// `Err(detail)` with the first panicking item's rendered payload.
+    pub fn try_map<R, F>(&self, n: usize, f: F) -> Result<Vec<R>, String>
+    where
+        R: Send + 'static,
+        F: Fn(usize) -> R + Send + Sync + 'static,
+    {
+        if self.shared.threads <= 1 || n < MIN_PARALLEL_ITEMS {
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                out.push(catch_unwind(AssertUnwindSafe(|| f(i))).map_err(panic_detail)?);
+            }
+            return Ok(out);
+        }
+
+        struct Batch<R, F> {
+            f: F,
+            slots: Vec<Mutex<Option<Result<R, String>>>>,
+            remaining: AtomicUsize,
+        }
+        let batch = Arc::new(Batch {
+            f,
+            slots: (0..n).map(|_| Mutex::new(None)).collect(),
+            remaining: AtomicUsize::new(n),
+        });
+        self.shared.batches.fetch_add(1, Ordering::Relaxed);
+        let mut jobs: Vec<Job> = Vec::with_capacity(n);
+        for i in 0..n {
+            let b = Arc::clone(&batch);
+            let ps = Arc::clone(&self.shared);
+            jobs.push(Box::new(move || {
+                let r = catch_unwind(AssertUnwindSafe(|| (b.f)(i))).map_err(panic_detail);
+                *b.slots[i].lock().unwrap() = Some(r);
+                if b.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    ps.notify_all();
+                }
+            }));
+        }
+        self.shared.submit_many(jobs);
+        self.shared
+            .help_until(|| batch.remaining.load(Ordering::Acquire) == 0);
+
+        let mut out = Vec::with_capacity(n);
+        for slot in &batch.slots {
+            out.push(slot.lock().unwrap().take().expect("batch slot filled")?);
+        }
+        Ok(out)
+    }
+
+    /// Infallible [`Pool::try_map`] for closures known not to panic:
+    /// re-panics the first captured panic on the caller's thread
+    /// (unwinding normally rather than aborting the process).
+    pub fn map<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: Fn(usize) -> R + Send + Sync + 'static,
+    {
+        match self.try_map(n, f) {
+            Ok(out) => out,
+            Err(detail) => panic!("pool worker closure panicked: {detail}"),
+        }
+    }
+
+    /// Creates a task group for dynamically spawned jobs (the DAG
+    /// scheduler's unit of orchestration).
+    #[must_use]
+    pub fn group(&self) -> TaskGroup {
+        TaskGroup {
+            pool: self.clone(),
+            shared: Arc::new(GroupShared {
+                active: AtomicUsize::new(0),
+                failure: Mutex::new(None),
+            }),
+        }
+    }
+}
+
+struct GroupShared {
+    active: AtomicUsize,
+    failure: Mutex<Option<String>>,
+}
+
+/// A set of dynamically spawned jobs that can be awaited together.
+/// Clones share the group, so a job can spawn follow-on jobs into its
+/// own group (how the pipelined scheduler releases ready vertices).
+#[derive(Clone)]
+pub struct TaskGroup {
+    pool: Pool,
+    shared: Arc<GroupShared>,
+}
+
+impl TaskGroup {
+    /// Spawns one job into the group. Panics are captured (first one
+    /// wins) and surfaced by [`TaskGroup::wait`].
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        self.shared.active.fetch_add(1, Ordering::AcqRel);
+        let g = Arc::clone(&self.shared);
+        let ps = Arc::clone(&self.pool.shared);
+        self.pool.shared.submit_one(Box::new(move || {
+            if let Err(p) = catch_unwind(AssertUnwindSafe(job)) {
+                let mut f = g.failure.lock().unwrap();
+                if f.is_none() {
+                    *f = Some(panic_detail(p));
+                }
+            }
+            if g.active.fetch_sub(1, Ordering::AcqRel) == 1 {
+                ps.notify_all();
+            }
+        }));
+    }
+
+    /// Helps run queued jobs until every job of this group (including
+    /// jobs spawned by jobs) has finished.
+    ///
+    /// # Errors
+    /// `Err(detail)` when any job panicked (first panic wins).
+    pub fn wait(&self) -> Result<(), String> {
+        self.pool
+            .shared
+            .help_until(|| self.shared.active.load(Ordering::Acquire) == 0);
+        match self.shared.failure.lock().unwrap().take() {
+            Some(detail) => Err(detail),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+    use std::time::Instant;
+
+    #[test]
+    fn preserves_order() {
+        let pool = Pool::new(4);
+        let out = pool.try_map(1000, |i| i * 2).unwrap();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn small_batches_and_single_thread_run_inline() {
+        let pool = Pool::new(1);
+        assert_eq!(pool.workers(), 0);
+        assert_eq!(pool.try_map(2, |i| i + 1).unwrap(), vec![1, 2]);
+        assert_eq!(pool.try_map(0, |i| i).unwrap(), Vec::<usize>::new());
+        let before = pool.stats();
+        assert_eq!(pool.try_map(100, |i| i).unwrap().len(), 100);
+        // Inline batches never touch the queues.
+        assert_eq!(pool.stats().since(&before).tasks, 0);
+    }
+
+    #[test]
+    fn catches_panics_instead_of_aborting() {
+        let pool = Pool::new(4);
+        let err = pool
+            .try_map(100, |i| {
+                if i == 57 {
+                    panic!("bad chunk {i}");
+                }
+                i * 2
+            })
+            .unwrap_err();
+        assert!(err.contains("bad chunk 57"), "got {err:?}");
+        // The serial path catches too.
+        let err = pool
+            .try_map(2, |_| -> usize { panic!("small") })
+            .unwrap_err();
+        assert!(err.contains("small"));
+    }
+
+    #[test]
+    fn reports_first_panicking_index_in_item_order() {
+        let pool = Pool::new(4);
+        let err = pool
+            .try_map(64, |i| {
+                if i % 20 == 7 {
+                    panic!("boom at {i}");
+                }
+                i
+            })
+            .unwrap_err();
+        assert!(err.contains("boom at 7"), "got {err:?}");
+    }
+
+    #[test]
+    fn map_re_panics_on_worker_panic() {
+        let pool = Pool::new(2);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.map(50, |i| {
+                if i == 3 {
+                    panic!("expected");
+                }
+                i
+            })
+        }));
+        let detail = panic_detail(caught.unwrap_err());
+        assert!(detail.contains("expected"), "got {detail:?}");
+    }
+
+    /// Regression test for the fixed-chunk load imbalance the pool
+    /// replaces: with `try_par_map`'s old fixed chunking (16 items, 4
+    /// threads ⇒ 4-item chunks), the four heavy items below land in one
+    /// chunk and serialize: ≥ 4 × 60 ms = 240 ms wall. With per-item
+    /// stealing they spread across workers: ≈ 60–90 ms wall. Sleeps
+    /// overlap regardless of core count, so this holds on any machine.
+    #[test]
+    fn steals_individual_items_under_skew() {
+        let pool = Pool::new(4);
+        let t0 = Instant::now();
+        let out = pool
+            .try_map(16, |i| {
+                let ms = if i < 4 { 60 } else { 1 };
+                std::thread::sleep(Duration::from_millis(ms));
+                i
+            })
+            .unwrap();
+        let elapsed = t0.elapsed();
+        assert_eq!(out, (0..16).collect::<Vec<_>>());
+        assert!(
+            elapsed < Duration::from_millis(200),
+            "skewed batch serialized: {elapsed:?}"
+        );
+        let stats = pool.stats();
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.tasks, 16, "every item must be its own task");
+    }
+
+    #[test]
+    fn nested_maps_do_not_deadlock() {
+        let pool = Pool::new(2);
+        let inner = pool.clone();
+        let out = pool
+            .try_map(8, move |i| inner.try_map(8, move |j| i * 8 + j).unwrap())
+            .unwrap();
+        let flat: Vec<usize> = out.into_iter().flatten().collect();
+        assert_eq!(flat, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn task_group_runs_dynamically_spawned_jobs() {
+        let pool = Pool::new(2);
+        let group = pool.group();
+        let count = Arc::new(AtomicU32::new(0));
+        for _ in 0..4 {
+            let g = group.clone();
+            let c = Arc::clone(&count);
+            group.spawn(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+                // Jobs spawn follow-on jobs into their own group.
+                let c2 = Arc::clone(&c);
+                g.spawn(move || {
+                    c2.fetch_add(10, Ordering::Relaxed);
+                });
+            });
+        }
+        group.wait().unwrap();
+        assert_eq!(count.load(Ordering::Relaxed), 44);
+    }
+
+    #[test]
+    fn task_group_runs_inline_on_single_threaded_pool() {
+        let pool = Pool::new(1);
+        let group = pool.group();
+        let count = Arc::new(AtomicU32::new(0));
+        let c = Arc::clone(&count);
+        group.spawn(move || {
+            c.fetch_add(7, Ordering::Relaxed);
+        });
+        group.wait().unwrap();
+        assert_eq!(count.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn task_group_surfaces_panics() {
+        let pool = Pool::new(2);
+        let group = pool.group();
+        group.spawn(|| panic!("group job failed"));
+        let err = group.wait().unwrap_err();
+        assert!(err.contains("group job failed"), "got {err:?}");
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_sized() {
+        let p1 = Pool::global();
+        let p2 = Pool::global();
+        assert_eq!(p1.shared.id, p2.shared.id);
+        assert!(p1.parallelism() >= 1);
+    }
+}

@@ -76,11 +76,25 @@ pub struct Bencher<'a> {
     label: String,
 }
 
+/// True when `MATOPT_BENCH_QUICK` is set (and not `0`): smoke-test
+/// mode for CI, clamping every benchmark's measurement budget and
+/// sample count so the whole suite exercises each payload a handful of
+/// times rather than producing stable statistics.
+fn quick_mode() -> bool {
+    std::env::var("MATOPT_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
 impl Bencher<'_> {
     /// Measures `f`, printing mean and min per-iteration times.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let mut budget_secs = self.group.measurement_time.as_secs_f64();
+        let mut samples = self.group.sample_size.max(2);
+        if quick_mode() {
+            budget_secs = budget_secs.min(0.2);
+            samples = samples.min(2);
+        }
         // Warmup: run until ~10% of the budget or 3 iterations.
-        let warmup_budget = self.group.measurement_time.as_secs_f64() * 0.1;
+        let warmup_budget = budget_secs * 0.1;
         let mut one = f64::INFINITY;
         let w0 = Instant::now();
         let mut warm_iters = 0u64;
@@ -94,10 +108,8 @@ impl Bencher<'_> {
             }
         }
 
-        let samples = self.group.sample_size.max(2);
-        let budget = self.group.measurement_time.as_secs_f64();
         // Iterations per sample so the whole run roughly fits the budget.
-        let iters = ((budget / samples as f64) / one.max(1e-9)).max(1.0) as u64;
+        let iters = ((budget_secs / samples as f64) / one.max(1e-9)).max(1.0) as u64;
         let mut mean_total = 0.0;
         let mut best = f64::INFINITY;
         for _ in 0..samples {
