@@ -1,0 +1,141 @@
+//! Overhead of the resource governor when it is disabled.
+//!
+//! The acceptance bar is that [`execute_plan_with`] with no memory
+//! budget and no hedging costs < 2% versus the plain [`execute_plan`]
+//! path. With the governor off the scheduler takes one `Option` branch
+//! per admission and never touches the spill manager or the hedge
+//! monitor — the machinery must be free when unused.
+//!
+//! * `execute/plain` — the laptop FFNN weight update through the
+//!   ordinary executor;
+//! * `execute/governor_disabled` — the same run through
+//!   `execute_plan_with` with default options (no budget, no hedge),
+//!   which is what every caller pays for the governor living
+//!   permanently in the pipelined scheduler;
+//! * `execute/governor_unbounded_budget` — the same with a `u64::MAX`
+//!   budget, pinning the cost of the admission accounting itself.
+//!
+//! The final `governor overhead budget` line compares best-of-N run
+//! times directly and reports OK/OVER against the 2% budget.
+
+use criterion::{criterion_group, Criterion};
+use matopt_core::{Cluster, FormatCatalog, ImplRegistry, NodeKind, PlanContext};
+use matopt_cost::AnalyticalCostModel;
+use matopt_engine::{execute_plan, execute_plan_with, DistRelation, ExecOptions};
+use matopt_graphs::{ffnn_w2_update_graph, FfnnConfig};
+use matopt_kernels::{random_dense_normal, seeded_rng};
+use matopt_obs::Obs;
+use matopt_opt::{frontier_dp_beam, OptContext};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+struct Fixture {
+    graph: matopt_core::ComputeGraph,
+    annotation: matopt_core::Annotation,
+    registry: ImplRegistry,
+    inputs: HashMap<matopt_core::NodeId, DistRelation>,
+}
+
+fn fixture() -> Fixture {
+    let registry = ImplRegistry::paper_default();
+    let ffnn = ffnn_w2_update_graph(FfnnConfig::laptop(32)).expect("type-correct");
+    let cluster = Cluster::simsql_like(10);
+    let ctx = PlanContext::new(&registry, cluster);
+    let catalog = FormatCatalog::paper_default().dense_only();
+    let model = AnalyticalCostModel;
+    let octx = OptContext::new(&ctx, &catalog, &model);
+    let opt = frontier_dp_beam(&ffnn.graph, &octx, 4000).expect("optimizes");
+
+    let mut rng = seeded_rng(42);
+    let mut inputs = HashMap::new();
+    for (id, node) in ffnn.graph.iter() {
+        if let NodeKind::Source { format } = &node.kind {
+            let d =
+                random_dense_normal(node.mtype.rows as usize, node.mtype.cols as usize, &mut rng);
+            inputs.insert(
+                id,
+                DistRelation::from_dense(&d, *format).expect("chunkable"),
+            );
+        }
+    }
+    Fixture {
+        graph: ffnn.graph,
+        annotation: opt.annotation,
+        registry,
+        inputs,
+    }
+}
+
+fn run_governed(fx: &Fixture, budget: Option<u64>) {
+    execute_plan_with(
+        &fx.graph,
+        &fx.annotation,
+        &fx.inputs,
+        &fx.registry,
+        &Obs::disabled(),
+        ExecOptions {
+            mem_budget: budget,
+            ..Default::default()
+        },
+    )
+    .expect("executes");
+}
+
+fn bench_execute(c: &mut Criterion) {
+    let fx = fixture();
+    let mut g = c.benchmark_group("governor_overhead");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    g.bench_function("execute/plain", |b| {
+        b.iter(|| {
+            execute_plan(&fx.graph, &fx.annotation, &fx.inputs, &fx.registry).expect("executes")
+        })
+    });
+    g.bench_function("execute/governor_disabled", |b| {
+        b.iter(|| run_governed(&fx, None))
+    });
+    g.bench_function("execute/governor_unbounded_budget", |b| {
+        b.iter(|| run_governed(&fx, Some(u64::MAX)))
+    });
+    g.finish();
+}
+
+/// Direct budget check: best-of-N governor-disabled run time against
+/// the best-of-N plain run time, interleaved so machine drift hits
+/// both equally. The minimum is the right estimator: scheduler noise
+/// only ever *adds* time, so the floor is the honest cost of each path.
+fn overhead_budget_report() {
+    let fx = fixture();
+    let reps = 40;
+    // Warm both paths once so neither pays first-touch costs.
+    execute_plan(&fx.graph, &fx.annotation, &fx.inputs, &fx.registry).expect("executes");
+    run_governed(&fx, None);
+
+    let mut plain = f64::INFINITY;
+    let mut governed = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        execute_plan(&fx.graph, &fx.annotation, &fx.inputs, &fx.registry).expect("executes");
+        plain = plain.min(t.elapsed().as_secs_f64());
+
+        let t = Instant::now();
+        run_governed(&fx, None);
+        governed = governed.min(t.elapsed().as_secs_f64());
+    }
+
+    let overhead = governed / plain - 1.0;
+    println!(
+        "governor overhead budget: plain {:.3} ms, governor(disabled) {:.3} ms -> {:+.3}% (budget 2%) -> {}",
+        plain * 1e3,
+        governed * 1e3,
+        overhead * 100.0,
+        if overhead < 0.02 { "OK" } else { "OVER" }
+    );
+}
+
+criterion_group!(benches, bench_execute);
+
+fn main() {
+    benches();
+    overhead_budget_report();
+}

@@ -1,0 +1,276 @@
+//! Resource-governor report: memory-pressure behaviour (spill-to-disk
+//! under a 50%-of-peak budget) and hedged straggler re-execution.
+//!
+//! ```sh
+//! cargo run --release -p matopt-bench --bin bench_pr4            # table
+//! cargo run --release -p matopt-bench --bin bench_pr4 -- --json  # + BENCH_PR4.json
+//! ```
+//!
+//! Two experiments:
+//!
+//! 1. **Memory pressure** — the laptop-scale FFNN workload runs
+//!    unbounded to measure its resident peak `R`, then again under a
+//!    `0.5·R` budget. The governed run must finish with bit-identical
+//!    sinks (spilled buffers round-trip through checksummed scratch
+//!    files); the report records the slowdown and the spill traffic.
+//! 2. **Hedged stragglers** — one vertex is delayed to 8× the mean
+//!    vertex runtime; the run repeats with hedging armed at 2× the
+//!    prediction. First-completion-wins discards the straggling
+//!    primary, so the hedged run's wall clock approaches the clean
+//!    run's. A single-threaded pool cannot overtake its own straggler,
+//!    so the hedging comparison needs `MATOPT_POOL_THREADS >= 2`.
+//!
+//! All timings are best-of-N with variants interleaved, so machine
+//! drift hits both sides equally.
+
+use matopt_bench::{Env, Json};
+use matopt_core::{Annotation, ComputeGraph, FormatCatalog, NodeId, NodeKind, PhysFormat};
+use matopt_engine::{execute_plan_with, DistRelation, ExecOptions, ExecOutcome, HedgeConfig};
+use matopt_graphs::{ffnn_w2_update_graph, FfnnConfig};
+use matopt_kernels::{random_dense_normal, seeded_rng};
+use matopt_obs::Obs;
+use matopt_pool::Pool;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn make_inputs(graph: &ComputeGraph, seed: u64) -> HashMap<NodeId, DistRelation> {
+    let mut rng = seeded_rng(seed);
+    let mut rels = HashMap::new();
+    for (id, node) in graph.iter() {
+        if let NodeKind::Source { format } = &node.kind {
+            let d =
+                random_dense_normal(node.mtype.rows as usize, node.mtype.cols as usize, &mut rng);
+            rels.insert(id, DistRelation::from_dense(&d, *format).unwrap());
+        }
+    }
+    rels
+}
+
+struct Bench {
+    env: Env,
+    graph: ComputeGraph,
+    annotation: Annotation,
+    inputs: HashMap<NodeId, DistRelation>,
+}
+
+impl Bench {
+    fn run(&self, options: ExecOptions) -> ExecOutcome {
+        execute_plan_with(
+            &self.graph,
+            &self.annotation,
+            &self.inputs,
+            &self.env.registry,
+            &Obs::disabled(),
+            options,
+        )
+        .expect("governed run succeeds")
+    }
+
+    /// Best-of-`reps` wall clock; returns the last outcome too so the
+    /// caller can inspect sinks and governor counters.
+    fn time(&self, reps: usize, options: &ExecOptions) -> (f64, ExecOutcome) {
+        let mut best = f64::INFINITY;
+        let mut last = None;
+        for _ in 0..reps {
+            let t = Instant::now();
+            let out = self.run(options.clone());
+            best = best.min(t.elapsed().as_secs_f64());
+            last = Some(out);
+        }
+        (best, last.expect("reps >= 1"))
+    }
+}
+
+fn assert_bit_exact(a: &ExecOutcome, b: &ExecOutcome, tag: &str) -> bool {
+    for (sink, rel) in &a.sinks {
+        assert_eq!(
+            b.sinks[sink].to_dense().data(),
+            rel.to_dense().data(),
+            "{tag}: sink {sink} differs"
+        );
+    }
+    true
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = match args.first().map(String::as_str) {
+        Some("--json") => Some(
+            args.get(1)
+                .cloned()
+                .unwrap_or_else(|| "BENCH_PR4.json".to_string()),
+        ),
+        Some(other) => {
+            eprintln!("unknown argument {other:?}; usage: bench_pr4 [--json [PATH]]");
+            std::process::exit(2);
+        }
+        None => None,
+    };
+
+    let env = Env::new();
+    let ffnn_config = FfnnConfig {
+        input_format: PhysFormat::Tile { side: 64 },
+        w1_format: PhysFormat::Tile { side: 64 },
+        w_format: PhysFormat::Tile { side: 64 },
+        batch: 128,
+        features: 256,
+        hidden: 256,
+        ..FfnnConfig::laptop(256)
+    };
+    let graph = ffnn_w2_update_graph(ffnn_config).expect("well-typed").graph;
+    let cluster = matopt_core::Cluster::simsql_like(4);
+    let dense = FormatCatalog::paper_default().dense_only();
+    let annotation = env
+        .auto_plan(&graph, cluster, &dense)
+        .expect("optimizable")
+        .annotation;
+    let inputs = make_inputs(&graph, 0xC0FFEE);
+    let bench = Bench {
+        env,
+        graph,
+        annotation,
+        inputs,
+    };
+
+    println!("== Memory pressure: unbounded vs 50%-of-peak budget (best-of-N) ==");
+    let reps = 5;
+    let (unbounded_secs, unbounded) = bench.time(reps, &ExecOptions::default());
+    let peak = unbounded.peak_resident_bytes;
+    let budget = peak / 2;
+    let governed_opts = ExecOptions {
+        mem_budget: Some(budget),
+        ..Default::default()
+    };
+    let (governed_secs, governed) = bench.time(reps, &governed_opts);
+    let bit_exact = assert_bit_exact(&unbounded, &governed, "50% budget");
+    let slowdown = governed_secs / unbounded_secs;
+    assert!(
+        governed.governor.spills > 0,
+        "a 50%-of-peak budget must engage the spill path"
+    );
+    println!(
+        "ffnn  peak {peak} B  budget {budget} B  unbounded {unbounded_secs:.4}s  \
+         governed {governed_secs:.4}s  slowdown {slowdown:.2}x"
+    );
+    println!(
+        "      spilled {} buffers ({} B), reloaded {} ({} B), admission-waits {}, bit-exact: {bit_exact}",
+        governed.governor.spills,
+        governed.governor.spilled_bytes,
+        governed.governor.reloads,
+        governed.governor.reloaded_bytes,
+        governed.governor.admission_waits,
+    );
+
+    println!();
+    println!("== Hedged straggler re-execution (8x straggler, hedge at 2x) ==");
+    let parallelism = Pool::global().parallelism();
+    let computes: Vec<NodeId> = bench
+        .graph
+        .iter()
+        .filter(|(_, n)| matches!(n.kind, NodeKind::Compute { .. }))
+        .map(|(id, _)| id)
+        .collect();
+    let mean_secs = unbounded_secs / computes.len() as f64;
+    let straggler_ms = ((8.0 * mean_secs * 1e3).ceil() as u64).max(100);
+    let mut delays = vec![0u64; bench.graph.len()];
+    delays[computes[0].index()] = straggler_ms;
+    let delays = Arc::new(delays);
+    let unhedged_opts = ExecOptions {
+        straggler_delays_ms: Some(Arc::clone(&delays)),
+        ..Default::default()
+    };
+    let hedge = HedgeConfig {
+        factor: 2.0,
+        predicted_seconds: Some(Arc::new(vec![mean_secs; bench.graph.len()])),
+        min_deadline_ms: 1,
+    };
+    let hedged_opts = ExecOptions {
+        straggler_delays_ms: Some(Arc::clone(&delays)),
+        hedge: Some(hedge),
+        ..Default::default()
+    };
+    // Interleave the two variants, best-of-N each.
+    let (mut unhedged_secs, mut hedged_secs) = (f64::INFINITY, f64::INFINITY);
+    let mut hedged_out = None;
+    for _ in 0..3 {
+        let t = Instant::now();
+        let u = bench.run(unhedged_opts.clone());
+        unhedged_secs = unhedged_secs.min(t.elapsed().as_secs_f64());
+        assert_bit_exact(&unbounded, &u, "unhedged straggler");
+        let t = Instant::now();
+        let h = bench.run(hedged_opts.clone());
+        hedged_secs = hedged_secs.min(t.elapsed().as_secs_f64());
+        assert_bit_exact(&unbounded, &h, "hedged straggler");
+        hedged_out = Some(h);
+    }
+    let hedged_out = hedged_out.expect("at least one rep");
+    let speedup = unhedged_secs / hedged_secs;
+    println!(
+        "ffnn  straggler {straggler_ms}ms  unhedged {unhedged_secs:.4}s  hedged {hedged_secs:.4}s  \
+         speedup {speedup:.2}x  (launched {}, won {}, pool parallelism {parallelism})",
+        hedged_out.governor.hedges_launched, hedged_out.governor.hedges_won,
+    );
+    if parallelism >= 2 {
+        assert!(
+            hedged_out.governor.hedges_launched >= 1,
+            "the 8x straggler must trip the 2x hedge deadline"
+        );
+        assert!(
+            speedup > 1.0,
+            "hedging must beat the straggler with >= 2 pool threads \
+             (unhedged {unhedged_secs:.4}s, hedged {hedged_secs:.4}s)"
+        );
+    } else {
+        println!("      (single-threaded pool: duplicates cannot overtake; speedup not asserted)");
+    }
+
+    if let Some(path) = json_path {
+        let report = Json::obj([
+            ("pr", Json::Int(4)),
+            (
+                "memory_pressure",
+                Json::obj([
+                    ("workload", Json::str("ffnn-small")),
+                    ("peak_bytes", Json::Int(peak as i64)),
+                    ("budget_bytes", Json::Int(budget as i64)),
+                    ("unbounded_seconds", Json::Num(unbounded_secs)),
+                    ("governed_seconds", Json::Num(governed_secs)),
+                    ("slowdown", Json::Num(slowdown)),
+                    ("spills", Json::Int(governed.governor.spills as i64)),
+                    (
+                        "spilled_bytes",
+                        Json::Int(governed.governor.spilled_bytes as i64),
+                    ),
+                    ("reloads", Json::Int(governed.governor.reloads as i64)),
+                    (
+                        "admission_waits",
+                        Json::Int(governed.governor.admission_waits as i64),
+                    ),
+                    ("bit_exact", Json::Bool(bit_exact)),
+                ]),
+            ),
+            (
+                "hedging",
+                Json::obj([
+                    ("workload", Json::str("ffnn-small")),
+                    ("straggler_ms", Json::Int(straggler_ms as i64)),
+                    ("unhedged_seconds", Json::Num(unhedged_secs)),
+                    ("hedged_seconds", Json::Num(hedged_secs)),
+                    ("speedup", Json::Num(speedup)),
+                    (
+                        "hedges_launched",
+                        Json::Int(hedged_out.governor.hedges_launched as i64),
+                    ),
+                    (
+                        "hedges_won",
+                        Json::Int(hedged_out.governor.hedges_won as i64),
+                    ),
+                    ("pool_parallelism", Json::Int(parallelism as i64)),
+                ]),
+            ),
+        ]);
+        std::fs::write(&path, report.pretty()).expect("write report");
+        println!("\nwrote {path}");
+    }
+}

@@ -38,13 +38,21 @@
 //!   --crash-rate R           expected worker crashes per worker-hour; adds
 //!                            an expected-runtime-under-recovery report
 //!   --straggler-rate R       fraction of vertices hit by stragglers
+//!   --mem-budget SIZE        resident-byte budget for --analyze (e.g.
+//!                            512M, 2G); the scheduler throttles
+//!                            admission and spills cold buffers to
+//!                            scratch files when the run would exceed it
+//!   --hedge FACTOR           launch a duplicate of any vertex running
+//!                            longer than FACTOR x its predicted time;
+//!                            first finisher wins (requires --analyze)
 //! ```
 
 use matopt_bench::Env;
 use matopt_core::{Cluster, ComputeGraph, FormatCatalog, NodeKind, RecoveryPolicy};
 use matopt_engine::{
-    explain_analyze, explain_analyze_with_faults, explain_plan, parse_fault_spec, render_sql,
-    simulate_plan_traced, simulate_plan_with_recovery, DistRelation, FtConfig, SimOutcome,
+    explain_analyze, explain_analyze_with_faults, explain_analyze_with_options, explain_plan,
+    parse_fault_spec, render_sql, simulate_plan_traced, simulate_plan_with_recovery, DistRelation,
+    ExecOptions, FtConfig, HedgeConfig, SimOutcome,
 };
 use matopt_graphs::{
     ffnn_full_pass_graph, ffnn_train_step_graph, ffnn_w2_update_graph, matmul_chain_graph,
@@ -110,6 +118,8 @@ fn cmd_plan(args: &[String]) -> i32 {
     let mut recovery = RecoveryPolicy::default();
     let mut crash_rate = 0.0f64;
     let mut straggler_rate = 0.0f64;
+    let mut mem_budget: Option<u64> = None;
+    let mut hedge: Option<f64> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -171,6 +181,30 @@ fn cmd_plan(args: &[String]) -> i32 {
                 i += 1;
                 straggler_rate = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(0.0);
             }
+            "--mem-budget" => {
+                i += 1;
+                match args.get(i).map(|s| matopt_core::parse_byte_size(s)) {
+                    Some(Ok(b)) => mem_budget = Some(b),
+                    Some(Err(e)) => {
+                        eprintln!("plan: --mem-budget: {e}");
+                        return 2;
+                    }
+                    None => {
+                        eprintln!("plan: --mem-budget expects a size, e.g. 512M");
+                        return 2;
+                    }
+                }
+            }
+            "--hedge" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<f64>().ok()) {
+                    Some(f) if f.is_finite() && f > 1.0 => hedge = Some(f),
+                    _ => {
+                        eprintln!("plan: --hedge expects a finite factor > 1, e.g. 3.0");
+                        return 2;
+                    }
+                }
+            }
             other => {
                 eprintln!("plan: unknown option {other}");
                 return 2;
@@ -200,9 +234,9 @@ fn cmd_plan(args: &[String]) -> i32 {
         }
     };
 
-    // `--inject` only has an effect on the real executor, so it
-    // implies `--analyze`.
-    if inject.is_some() {
+    // `--inject`, `--mem-budget` and `--hedge` only have an effect on
+    // the real executor, so they imply `--analyze`.
+    if inject.is_some() || mem_budget.is_some() || hedge.is_some() {
         analyze = true;
     }
 
@@ -273,8 +307,17 @@ fn cmd_plan(args: &[String]) -> i32 {
     }
     if analyze {
         let faults = inject.as_deref().map(|spec| (spec, fault_seed, recovery));
-        if let Err(msg) = run_analyze(&graph, &plan.annotation, &env, &ctx, &catalog, faults, &obs)
-        {
+        let governor = Governor { mem_budget, hedge };
+        if let Err(msg) = run_analyze(
+            &graph,
+            &plan.annotation,
+            &env,
+            &ctx,
+            &catalog,
+            faults,
+            governor,
+            &obs,
+        ) {
             eprintln!("analyze: {msg}");
             return 1;
         }
@@ -309,10 +352,18 @@ fn cmd_plan(args: &[String]) -> i32 {
     0
 }
 
+/// Resource-governor knobs forwarded from the command line.
+#[derive(Clone, Copy)]
+struct Governor {
+    mem_budget: Option<u64>,
+    hedge: Option<f64>,
+}
+
 /// `--analyze`: materialise random dense inputs for every source, run
 /// the plan on the real executor, and print the estimate/measurement
 /// join. Guarded so paper-scale workloads fail fast instead of
 /// allocating hundreds of gigabytes.
+#[allow(clippy::too_many_arguments)]
 fn run_analyze(
     graph: &ComputeGraph,
     annotation: &matopt_core::Annotation,
@@ -320,6 +371,7 @@ fn run_analyze(
     ctx: &matopt_core::PlanContext<'_>,
     catalog: &FormatCatalog,
     faults: Option<(&str, u64, RecoveryPolicy)>,
+    governor: Governor,
     obs: &Obs,
 ) -> Result<(), String> {
     let mut bytes = 0u64;
@@ -358,11 +410,20 @@ fn run_analyze(
             inputs.insert(id, rel);
         }
     }
+    if let Some(budget) = governor.mem_budget {
+        println!("memory budget: {budget} bytes (spilling to scratch when exceeded)");
+    }
+    if let Some(factor) = governor.hedge {
+        println!("hedging stragglers at {factor}x the predicted per-vertex runtime");
+    }
+    let hedge_config = governor.hedge.map(HedgeConfig::with_factor);
     let analysis = match faults {
         Some((spec, seed, policy)) => {
             let injector = parse_fault_spec(spec, seed, graph.compute_count())?;
             let config = FtConfig {
                 policy,
+                mem_budget: governor.mem_budget,
+                hedge: hedge_config,
                 ..FtConfig::default()
             };
             println!("injecting faults ({spec}, seed {seed}) under the {policy} recovery policy:");
@@ -370,6 +431,15 @@ fn run_analyze(
                 graph, annotation, &inputs, ctx, catalog, &env.model, injector, &config, obs,
             )
             .map_err(|e| format!("fault-tolerant execution failed: {e}"))?
+        }
+        None if governor.mem_budget.is_some() || governor.hedge.is_some() => {
+            let options = ExecOptions {
+                mem_budget: governor.mem_budget,
+                hedge: hedge_config,
+                ..ExecOptions::default()
+            };
+            explain_analyze_with_options(graph, annotation, &inputs, ctx, &env.model, options, obs)
+                .map_err(|e| format!("execution failed: {e}"))?
         }
         None => explain_analyze(graph, annotation, &inputs, ctx, &env.model, obs)
             .map_err(|e| format!("execution failed: {e}"))?,

@@ -783,6 +783,10 @@ pub fn fig13(env: &Env, brute_budget: Duration) -> FigTable {
                 let brute = brute_force(&g, &octx, Some(brute_budget));
                 let brute_time = t0.elapsed().as_secs_f64();
                 row.push(match brute {
+                    // A budget-truncated partial result is still a
+                    // "Fail" for the paper's table: brute force did not
+                    // finish within the budget.
+                    Ok(o) if o.timed_out => "Fail".into(),
                     Ok(_) => format!("{:.2}s", brute_time),
                     Err(OptError::Timeout) => "Fail".into(),
                     Err(e) => format!("{e}"),

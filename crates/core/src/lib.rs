@@ -34,6 +34,7 @@ mod format;
 mod graph;
 mod impls;
 mod ops;
+mod resource;
 mod transforms;
 mod types;
 
@@ -47,5 +48,6 @@ pub use format::{
 pub use graph::{Annotation, BitSet, ComputeGraph, Node, NodeId, NodeKind, VertexChoice};
 pub use impls::{ImplEval, ImplId, ImplRegistry, OpImplDef, Strategy};
 pub use ops::{Op, OpKind, TypeError, ALL_OP_KINDS};
+pub use resource::{default_scratch_dir, parse_byte_size};
 pub use transforms::{Transform, TransformCatalog, TransformKind, ALL_TRANSFORM_KINDS};
 pub use types::{MatrixType, DENSE_ENTRY_BYTES, SPARSE_ENTRY_BYTES, TRIPLE_ENTRY_BYTES};

@@ -154,7 +154,7 @@ pub fn execute_adaptive(
                 let cur_id = idmap[v.index()];
                 let choice = plan
                     .choice(cur_id)
-                    .ok_or(AdaptiveError::Exec(ExecError::MissingChoice(v)))?
+                    .ok_or_else(|| AdaptiveError::Exec(crate::exec::missing_choice(graph, v)))?
                     .clone();
                 // Transform inputs per the plan.
                 let mut transformed = Vec::with_capacity(node.inputs.len());
@@ -172,7 +172,9 @@ pub fn execute_adaptive(
                 let strategy = ctx.registry.get(choice.impl_id).strategy;
                 let cur_type = cur_graph.node(cur_id).mtype;
                 let out = execute_impl(strategy, op, &refs, cur_type, choice.output_format)
-                    .map_err(|e| AdaptiveError::Exec(e.at_vertex(v)))?;
+                    .map_err(|e| {
+                        AdaptiveError::Exec(e.at_vertex(v, &crate::exec::vertex_label(graph, v)))
+                    })?;
 
                 // Measure and compare.
                 let est = cur_type.sparsity;

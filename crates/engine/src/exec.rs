@@ -20,6 +20,7 @@ use crate::value::DistRelation;
 use matopt_core::{Annotation, ComputeGraph, ImplRegistry, NodeId, NodeKind, TransformKind};
 use matopt_obs::{Obs, Subsystem};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -48,24 +49,117 @@ pub struct ExecOutcome {
     pub max_concurrency: usize,
     /// Peak bytes resident across all live vertex buffers.
     pub peak_resident_bytes: u64,
+    /// What the resource governor did during the run (all zero when no
+    /// budget or hedging was configured).
+    pub governor: GovernorStats,
     /// Total wall seconds.
     pub total_seconds: f64,
 }
 
+/// Hedged straggler re-execution: when a running vertex exceeds
+/// `factor ×` its predicted runtime, a duplicate task is spawned on the
+/// pool; first completion wins, the loser's result is discarded.
+/// Kernels are bit-deterministic, so either copy produces identical
+/// bits and the race cannot change results.
+#[derive(Debug, Clone)]
+pub struct HedgeConfig {
+    /// Deadline multiplier over the predicted per-vertex runtime (the
+    /// paper-style quantile multiplier; e.g. `4.0` hedges tasks running
+    /// 4× over prediction).
+    pub factor: f64,
+    /// Predicted seconds per vertex (indexed by vertex id), typically
+    /// from the cost model's per-step estimates. When absent the
+    /// scheduler falls back to the running mean of completed vertices.
+    pub predicted_seconds: Option<Arc<Vec<f64>>>,
+    /// Floor on the armed deadline, so microsecond-scale predictions
+    /// don't hedge every task (milliseconds; min 1).
+    pub min_deadline_ms: u64,
+}
+
+impl HedgeConfig {
+    /// A hedging config with the given factor and no per-vertex
+    /// predictions (adaptive mean fallback).
+    #[must_use]
+    pub fn with_factor(factor: f64) -> Self {
+        HedgeConfig {
+            factor,
+            predicted_seconds: None,
+            min_deadline_ms: 1,
+        }
+    }
+}
+
+/// Whether a vertex was hedged during a run, and who won.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HedgeMark {
+    /// Never hedged.
+    #[default]
+    None,
+    /// A duplicate was launched but the primary still won.
+    Launched,
+    /// A duplicate was launched and finished first.
+    Won,
+}
+
+/// Counters from the resource governor: spill/reload traffic, admission
+/// backpressure, and hedging activity. All zero (and the per-vertex
+/// vectors empty) when the governor is disabled.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GovernorStats {
+    /// Buffers written to scratch under memory pressure.
+    pub spills: u64,
+    /// Resident bytes freed by those spills.
+    pub spilled_bytes: u64,
+    /// Spilled buffers read back for an admitted consumer.
+    pub reloads: u64,
+    /// Bytes re-charged by those reloads.
+    pub reloaded_bytes: u64,
+    /// Times the scheduler had ready vertices but admitted none because
+    /// nothing fit the budget (it waited for completions instead).
+    pub admission_waits: u64,
+    /// Duplicate tasks launched by the straggler hedge.
+    pub hedges_launched: u64,
+    /// Hedged duplicates that finished before their primary.
+    pub hedges_won: u64,
+    /// Spill count per vertex (empty when the budget is off).
+    pub vertex_spills: Vec<u32>,
+    /// Hedge outcome per vertex (empty when hedging is off).
+    pub vertex_hedges: Vec<HedgeMark>,
+}
+
 /// Knobs for [`execute_plan_with`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExecOptions {
     /// Keep every vertex's value alive for [`ExecOutcome::values`]
     /// (default). When `false`, a vertex's buffer is dropped as soon as
     /// its last consumer finishes — peak residency shrinks to the live
     /// frontier and only sink values come back.
     pub retain_values: bool,
+    /// Resident-byte budget for the run (`None` = unbounded). With a
+    /// budget the scheduler stops admitting ready vertices whose
+    /// input+output footprint would overflow it and spills cold
+    /// retained buffers to scratch; see the `schedule` module docs.
+    pub mem_budget: Option<u64>,
+    /// Where spill files go. `None` uses
+    /// [`matopt_core::default_scratch_dir`].
+    pub scratch_dir: Option<PathBuf>,
+    /// Hedged straggler re-execution (`None` = off).
+    pub hedge: Option<HedgeConfig>,
+    /// Test/chaos hook: per-vertex artificial delay (milliseconds)
+    /// applied to the *primary* attempt only — how straggler schedules
+    /// are injected into the pipelined scheduler. Hedged duplicates
+    /// skip the delay, which is exactly what makes hedging win.
+    pub straggler_delays_ms: Option<Arc<Vec<u64>>>,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
         ExecOptions {
             retain_values: true,
+            mem_budget: None,
+            scratch_dir: None,
+            hedge: None,
+            straggler_delays_ms: None,
         }
     }
 }
@@ -141,6 +235,7 @@ pub fn execute_plan_with(
         registry,
         obs,
         options.retain_values,
+        &options,
     )?;
 
     // Take each slot so the `Arc` is (normally) unique and `unshare`
@@ -167,6 +262,7 @@ pub fn execute_plan_with(
         parallelism: out.parallelism,
         max_concurrency: out.max_concurrency,
         peak_resident_bytes: out.peak_resident_bytes,
+        governor: out.governor,
         total_seconds: start.elapsed().as_secs_f64(),
     })
 }
@@ -213,7 +309,9 @@ pub fn execute_plan_serial(
                 values[id.index()] = Some(rel);
             }
             NodeKind::Compute { op } => {
-                let choice = annotation.choice(id).ok_or(ExecError::MissingChoice(id))?;
+                let choice = annotation
+                    .choice(id)
+                    .ok_or_else(|| missing_choice(graph, id))?;
                 // Apply the edge transformations.
                 let mut transformed: Vec<Arc<DistRelation>> = Vec::with_capacity(node.inputs.len());
                 for (input, t) in node.inputs.iter().zip(choice.input_transforms.iter()) {
@@ -237,7 +335,7 @@ pub fn execute_plan_serial(
                     node.mtype,
                     choice.output_format,
                 )
-                .map_err(|e| e.at_vertex(id))?;
+                .map_err(|e| e.at_vertex(id, &vertex_label(graph, id)))?;
                 vertex_seconds[id.index()] = t0.elapsed().as_secs_f64();
                 vertex_chunks[id.index()] = out.chunks.len();
                 vertex_resident_bytes[id.index()] = out.total_bytes() as u64;
@@ -266,6 +364,7 @@ pub fn execute_plan_serial(
         parallelism: 1,
         max_concurrency: 1,
         peak_resident_bytes: peak,
+        governor: GovernorStats::default(),
         total_seconds: start.elapsed().as_secs_f64(),
     })
 }
@@ -332,4 +431,22 @@ pub(crate) fn missing_input(graph: &ComputeGraph, id: NodeId) -> ExecError {
         .clone()
         .unwrap_or_else(|| format!("source {}", id.index()));
     ExecError::MissingInput { vertex: id, label }
+}
+
+/// The vertex's graph label, falling back to the vertex id's rendering
+/// when the graph left it unnamed.
+pub(crate) fn vertex_label(graph: &ComputeGraph, id: NodeId) -> String {
+    graph
+        .node(id)
+        .name
+        .clone()
+        .unwrap_or_else(|| id.to_string())
+}
+
+/// Builds the unannotated-vertex error with both id and label.
+pub(crate) fn missing_choice(graph: &ComputeGraph, id: NodeId) -> ExecError {
+    ExecError::MissingChoice {
+        vertex: id,
+        label: vertex_label(graph, id),
+    }
 }

@@ -7,7 +7,7 @@
 //! `explain`-style binaries in `matopt-bench` are thin wrappers over
 //! [`explain_plan`].
 
-use crate::exec::{execute_plan_traced, ExecOutcome};
+use crate::exec::{execute_plan_traced, execute_plan_with, ExecOptions, ExecOutcome, HedgeMark};
 use crate::faults::FaultInjector;
 use crate::impl_exec::ExecError;
 use crate::recovery::{execute_fault_tolerant, FtConfig, InjectedFault};
@@ -216,9 +216,24 @@ impl std::fmt::Display for PlanAnalysis {
             self.exec.max_concurrency,
             self.exec.peak_resident_bytes,
         )?;
+        let gov = &self.exec.governor;
+        if gov.spills > 0 || gov.reloads > 0 || gov.admission_waits > 0 || gov.hedges_launched > 0 {
+            writeln!(
+                f,
+                "  governor: spilled {} buffers ({} B), reloaded {} ({} B), \
+                 admission-waits {}, hedges launched {}, won {}",
+                gov.spills,
+                gov.spilled_bytes,
+                gov.reloads,
+                gov.reloaded_bytes,
+                gov.admission_waits,
+                gov.hedges_launched,
+                gov.hedges_won,
+            )?;
+        }
         writeln!(
             f,
-            "  {:>5} {:<22} {:<28} {:>12} {:>12} {:>10} {:>7} {:>12} {:>8} {:>6} {:>10}",
+            "  {:>5} {:<22} {:<28} {:>12} {:>12} {:>10} {:>7} {:>12} {:>8} {:>6} {:>10} {:>7} {:>6}",
             "vertex",
             "label",
             "impl",
@@ -229,13 +244,20 @@ impl std::fmt::Display for PlanAnalysis {
             "res (B)",
             "retries",
             "recov",
-            "rec (s)"
+            "rec (s)",
+            "spills",
+            "hedge"
         )?;
         for s in &self.steps {
             let v = s.estimate.vertex.index();
+            let hedge = match gov.vertex_hedges.get(v).copied().unwrap_or_default() {
+                HedgeMark::None => "-",
+                HedgeMark::Launched => "dup",
+                HedgeMark::Won => "won",
+            };
             writeln!(
                 f,
-                "  {:>5} {:<22} {:<28} {:>12.4} {:>12.4} {:>10.2} {:>7} {:>12} {:>8} {:>6} {:>10.4}",
+                "  {:>5} {:<22} {:<28} {:>12.4} {:>12.4} {:>10.2} {:>7} {:>12} {:>8} {:>6} {:>10.4} {:>7} {:>6}",
                 s.estimate.vertex.to_string(),
                 s.estimate.label,
                 s.estimate.impl_name,
@@ -247,6 +269,8 @@ impl std::fmt::Display for PlanAnalysis {
                 s.retries,
                 s.recoveries,
                 s.recovery_seconds,
+                gov.vertex_spills.get(v).copied().unwrap_or(0),
+                hedge,
             )?;
             for t in &s.estimate.transforms {
                 if t.kind != TransformKind::Identity {
@@ -301,6 +325,32 @@ pub fn explain_analyze(
     let explanation = explain_plan(graph, annotation, ctx, model)
         .map_err(|e| ExecError::Internal(format!("plan error: {e}")))?;
     let exec = execute_plan_traced(graph, annotation, inputs, ctx.registry, obs)?;
+    Ok(join_analysis(explanation, exec, None, obs))
+}
+
+/// [`explain_analyze`] with execution options: the run goes through
+/// [`execute_plan_with`], so memory budgets, spill-to-disk, and hedged
+/// straggler re-execution all apply, and the analysis carries the
+/// governor's counters (spilled/reloaded bytes, admission waits, hedges
+/// launched/won) plus per-vertex spill and hedge columns in the
+/// rendered table.
+///
+/// # Errors
+/// Same contract as [`explain_analyze`], plus
+/// [`ExecError::MemBudgetInfeasible`] when one vertex cannot fit the
+/// budget even with everything else spilled.
+pub fn explain_analyze_with_options(
+    graph: &ComputeGraph,
+    annotation: &Annotation,
+    inputs: &HashMap<NodeId, DistRelation>,
+    ctx: &PlanContext<'_>,
+    model: &dyn CostModel,
+    options: ExecOptions,
+    obs: &Obs,
+) -> Result<PlanAnalysis, ExecError> {
+    let explanation = explain_plan(graph, annotation, ctx, model)
+        .map_err(|e| ExecError::Internal(format!("plan error: {e}")))?;
+    let exec = execute_plan_with(graph, annotation, inputs, ctx.registry, obs, options)?;
     Ok(join_analysis(explanation, exec, None, obs))
 }
 
@@ -409,6 +459,7 @@ pub fn explain_analyze_with_faults(
         parallelism: ft.parallelism,
         max_concurrency: ft.max_concurrency,
         peak_resident_bytes: ft.peak_resident_bytes,
+        governor: ft.governor,
         total_seconds: ft.total_seconds,
     };
     let stats = RecoveryStats {

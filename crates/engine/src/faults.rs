@@ -234,7 +234,7 @@ pub fn parse_fault_spec(spec: &str, seed: u64, n_steps: usize) -> Result<FaultIn
         if let Some(n) = term.strip_prefix("random:") {
             randoms += n
                 .parse::<usize>()
-                .map_err(|_| format!("bad fault count in {term:?}"))?;
+                .map_err(|_| format!("bad fault count {n:?} in {term:?}"))?;
             continue;
         }
         let (name, rest) = term
@@ -243,7 +243,7 @@ pub fn parse_fault_spec(spec: &str, seed: u64, n_steps: usize) -> Result<FaultIn
         let parse_step = |s: &str| -> Result<usize, String> {
             let step = s
                 .parse::<usize>()
-                .map_err(|_| format!("bad step in {term:?}"))?;
+                .map_err(|_| format!("bad step {s:?} in {term:?}"))?;
             if step >= n_steps {
                 return Err(format!(
                     "step {step} out of range in {term:?} (plan has {n_steps} compute steps)"
@@ -263,14 +263,20 @@ pub fn parse_fault_spec(spec: &str, seed: u64, n_steps: usize) -> Result<FaultIn
                 let (s, f) = rest
                     .split_once('x')
                     .ok_or_else(|| format!("bad straggler term {term:?} (expected slow@SxF)"))?;
+                let step = parse_step(s)?;
                 let slowdown = f
                     .parse::<f64>()
-                    .map_err(|_| format!("bad slowdown in {term:?}"))?;
-                if slowdown < 1.0 {
-                    return Err(format!("slowdown must be >= 1 in {term:?}"));
+                    .map_err(|_| format!("bad slowdown {f:?} in {term:?}"))?;
+                // `parse::<f64>` accepts "NaN"/"inf", and `NaN < 1.0`
+                // is false — check finiteness explicitly so neither
+                // slips through as a legal factor.
+                if !slowdown.is_finite() || slowdown < 1.0 {
+                    return Err(format!(
+                        "slowdown {f:?} must be a finite factor >= 1 in {term:?}"
+                    ));
                 }
                 FaultEvent {
-                    step: parse_step(s)?,
+                    step,
                     kind: FaultKind::Straggler { slowdown },
                 }
             }
@@ -283,7 +289,7 @@ pub fn parse_fault_spec(spec: &str, seed: u64, n_steps: usize) -> Result<FaultIn
                     kind: FaultKind::TransientKernelError {
                         failures: n
                             .parse::<u32>()
-                            .map_err(|_| format!("bad failure count in {term:?}"))?,
+                            .map_err(|_| format!("bad failure count {n:?} in {term:?}"))?,
                     },
                 }
             }
@@ -292,7 +298,7 @@ pub fn parse_fault_spec(spec: &str, seed: u64, n_steps: usize) -> Result<FaultIn
                     Some((s, c)) => (
                         s,
                         c.parse::<usize>()
-                            .map_err(|_| format!("bad chunk index in {term:?}"))?,
+                            .map_err(|_| format!("bad chunk index {c:?} in {term:?}"))?,
                     ),
                     None => (rest, 0),
                 };
@@ -310,7 +316,7 @@ pub fn parse_fault_spec(spec: &str, seed: u64, n_steps: usize) -> Result<FaultIn
                     kind: FaultKind::ResourceExhaustion {
                         repeats: n
                             .parse::<u32>()
-                            .map_err(|_| format!("bad repeat count in {term:?}"))?,
+                            .map_err(|_| format!("bad repeat count {n:?} in {term:?}"))?,
                     },
                 }
             }
@@ -477,6 +483,52 @@ mod tests {
         assert!(parse_fault_spec("crash@9", 0, 6).is_err());
         assert!(parse_fault_spec("meteor@1", 0, 6).is_err());
         assert!(parse_fault_spec("slow@1x0.5", 0, 6).is_err());
+    }
+
+    #[test]
+    fn malformed_specs_error_naming_the_offending_token() {
+        // (spec, substring the error must contain) — every row is a
+        // descriptive parse error, never a panic or a silent default.
+        let table: &[(&str, &str)] = &[
+            ("slow@x", "bad step \"\" in \"slow@x\""),
+            ("slow@1", "bad straggler term \"slow@1\""),
+            ("slow@ax2", "bad step \"a\" in \"slow@ax2\""),
+            ("slow@1x", "bad slowdown \"\" in \"slow@1x\""),
+            ("slow@1xfast", "bad slowdown \"fast\" in \"slow@1xfast\""),
+            ("slow@1x-3", "slowdown \"-3\" must be a finite factor >= 1"),
+            (
+                "slow@1x0.5",
+                "slowdown \"0.5\" must be a finite factor >= 1",
+            ),
+            (
+                "slow@1xNaN",
+                "slowdown \"NaN\" must be a finite factor >= 1",
+            ),
+            (
+                "slow@1xinf",
+                "slowdown \"inf\" must be a finite factor >= 1",
+            ),
+            ("corrupt@3:", "bad chunk index \"\" in \"corrupt@3:\""),
+            ("corrupt@3:x", "bad chunk index \"x\" in \"corrupt@3:x\""),
+            ("flaky@1x-2", "bad failure count \"-2\" in \"flaky@1x-2\""),
+            ("flaky@1", "bad flaky term \"flaky@1\""),
+            ("oom@1x1.5", "bad repeat count \"1.5\" in \"oom@1x1.5\""),
+            ("oom@1", "bad oom term \"oom@1\""),
+            ("crash@", "bad step \"\" in \"crash@\""),
+            ("crash@-1", "bad step \"-1\" in \"crash@-1\""),
+            ("crash@9", "step 9 out of range"),
+            ("random:x", "bad fault count \"x\" in \"random:x\""),
+            ("random:-1", "bad fault count \"-1\" in \"random:-1\""),
+            ("meteor@1", "unknown fault kind \"meteor\""),
+            ("crash", "bad fault term \"crash\" (expected kind@step)"),
+        ];
+        for (spec, want) in table {
+            let err = parse_fault_spec(spec, 0, 6).expect_err(spec);
+            assert!(
+                err.contains(want),
+                "spec {spec:?}: error {err:?} does not name the token ({want:?})"
+            );
+        }
     }
 
     #[test]

@@ -13,10 +13,20 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Errors during real execution.
+///
+/// Every vertex-scoped variant carries both the vertex id *and* its
+/// graph label, so fault logs and chaos-test failures name the matrix
+/// involved without a graph in hand (the `error_display_snapshots` test
+/// pins the rendered strings).
 #[derive(Debug, Clone, PartialEq)]
 pub enum ExecError {
     /// A vertex lacked an annotation choice.
-    MissingChoice(NodeId),
+    MissingChoice {
+        /// The unannotated compute vertex.
+        vertex: NodeId,
+        /// The vertex's label in the compute graph.
+        label: String,
+    },
     /// The caller's input map has no relation for a source vertex.
     MissingInput {
         /// The source vertex id.
@@ -30,6 +40,8 @@ pub enum ExecError {
         /// The vertex being executed, once known (`execute_impl` callers
         /// attach it via [`ExecError::at_vertex`]).
         vertex: Option<NodeId>,
+        /// The vertex's label, attached together with the id.
+        label: Option<String>,
         /// The panic message.
         detail: String,
     },
@@ -37,8 +49,33 @@ pub enum ExecError {
     RetryBudgetExhausted {
         /// The vertex that kept failing.
         vertex: NodeId,
+        /// The vertex's label in the compute graph.
+        label: String,
         /// Attempts made (including the first).
         attempts: u32,
+    },
+    /// Under a memory budget, even the cheapest ready vertex cannot fit
+    /// after spilling everything spillable: its inputs plus its output
+    /// exceed the budget outright.
+    MemBudgetInfeasible {
+        /// The minimal-footprint vertex that still did not fit.
+        vertex: NodeId,
+        /// The vertex's label in the compute graph.
+        label: String,
+        /// Bytes the vertex needs resident (inputs + estimated output).
+        need: u64,
+        /// The configured budget in bytes.
+        budget: u64,
+    },
+    /// A spilled buffer failed checksum or structural verification when
+    /// reloaded from scratch.
+    SpillCorrupted {
+        /// The vertex whose spilled buffer failed verification.
+        vertex: NodeId,
+        /// The vertex's label in the compute graph.
+        label: String,
+        /// What the spill layer detected.
+        detail: String,
     },
     /// The runtime hit an inconsistency between the annotation and the
     /// data (should be impossible for validated plans).
@@ -46,16 +83,19 @@ pub enum ExecError {
 }
 
 impl ExecError {
-    /// Attaches a vertex id to errors that are raised below the
-    /// per-vertex loop (currently kernel panics), leaving others as-is.
+    /// Attaches a vertex id and label to errors that are raised below
+    /// the per-vertex loop (currently kernel panics), leaving others
+    /// as-is.
     #[must_use]
-    pub fn at_vertex(self, v: NodeId) -> Self {
+    pub fn at_vertex(self, v: NodeId, label: &str) -> Self {
         match self {
             ExecError::KernelPanic {
                 vertex: None,
+                label: None,
                 detail,
             } => ExecError::KernelPanic {
                 vertex: Some(v),
+                label: Some(label.to_string()),
                 detail,
             },
             other => other,
@@ -66,21 +106,55 @@ impl ExecError {
 impl std::fmt::Display for ExecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ExecError::MissingChoice(v) => write!(f, "vertex {v} has no annotation"),
+            ExecError::MissingChoice { vertex, label } => {
+                write!(f, "vertex {vertex} ({label:?}) has no annotation")
+            }
             ExecError::MissingInput { vertex, label } => {
                 write!(
                     f,
                     "no input relation provided for source vertex {vertex} ({label:?})"
                 )
             }
-            ExecError::KernelPanic { vertex, detail } => match vertex {
-                Some(v) => write!(f, "kernel panicked at vertex {v}: {detail}"),
-                None => write!(f, "kernel panicked: {detail}"),
+            ExecError::KernelPanic {
+                vertex,
+                label,
+                detail,
+            } => match (vertex, label) {
+                (Some(v), Some(l)) => {
+                    write!(f, "kernel panicked at vertex {v} ({l:?}): {detail}")
+                }
+                (Some(v), None) => write!(f, "kernel panicked at vertex {v}: {detail}"),
+                _ => write!(f, "kernel panicked: {detail}"),
             },
-            ExecError::RetryBudgetExhausted { vertex, attempts } => {
+            ExecError::RetryBudgetExhausted {
+                vertex,
+                label,
+                attempts,
+            } => {
                 write!(
                     f,
-                    "vertex {vertex} failed after {attempts} attempts, retry budget exhausted"
+                    "vertex {vertex} ({label:?}) failed after {attempts} attempts, retry budget exhausted"
+                )
+            }
+            ExecError::MemBudgetInfeasible {
+                vertex,
+                label,
+                need,
+                budget,
+            } => {
+                write!(
+                    f,
+                    "vertex {vertex} ({label:?}) needs {need} resident bytes but the memory budget is {budget} — infeasible even with everything else spilled"
+                )
+            }
+            ExecError::SpillCorrupted {
+                vertex,
+                label,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "spilled buffer of vertex {vertex} ({label:?}) failed verification on reload: {detail}"
                 )
             }
             ExecError::Internal(m) => write!(f, "executor invariant violated: {m}"),
@@ -105,6 +179,7 @@ where
 {
     try_par_map(n, f).map_err(|detail| ExecError::KernelPanic {
         vertex: None,
+        label: None,
         detail,
     })
 }
@@ -841,4 +916,81 @@ fn unary_fn(op: &Op) -> Result<Arc<dyn Fn(f64) -> f64 + Sync + Send>, ExecError>
         }
         other => return Err(internal(format!("{other:?} is not a unary map"))),
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pins the rendered form of every `ExecError` variant: each
+    /// vertex-scoped error must name both the vertex id and its graph
+    /// label.
+    #[test]
+    fn error_display_snapshots() {
+        let v = NodeId(3);
+        let cases: Vec<(ExecError, &str)> = vec![
+            (
+                ExecError::MissingChoice {
+                    vertex: v,
+                    label: "dW1".to_string(),
+                },
+                "vertex v3 (\"dW1\") has no annotation",
+            ),
+            (
+                ExecError::MissingInput {
+                    vertex: v,
+                    label: "X".to_string(),
+                },
+                "no input relation provided for source vertex v3 (\"X\")",
+            ),
+            (
+                ExecError::KernelPanic {
+                    vertex: Some(v),
+                    label: Some("dW1".to_string()),
+                    detail: "boom".to_string(),
+                },
+                "kernel panicked at vertex v3 (\"dW1\"): boom",
+            ),
+            (
+                ExecError::KernelPanic {
+                    vertex: None,
+                    label: None,
+                    detail: "boom".to_string(),
+                },
+                "kernel panicked: boom",
+            ),
+            (
+                ExecError::RetryBudgetExhausted {
+                    vertex: v,
+                    label: "dW1".to_string(),
+                    attempts: 5,
+                },
+                "vertex v3 (\"dW1\") failed after 5 attempts, retry budget exhausted",
+            ),
+            (
+                ExecError::MemBudgetInfeasible {
+                    vertex: v,
+                    label: "dW1".to_string(),
+                    need: 4096,
+                    budget: 1024,
+                },
+                "vertex v3 (\"dW1\") needs 4096 resident bytes but the memory budget is 1024 — infeasible even with everything else spilled",
+            ),
+            (
+                ExecError::SpillCorrupted {
+                    vertex: v,
+                    label: "dW1".to_string(),
+                    detail: "stream checksum mismatch".to_string(),
+                },
+                "spilled buffer of vertex v3 (\"dW1\") failed verification on reload: stream checksum mismatch",
+            ),
+            (
+                ExecError::Internal("oops".to_string()),
+                "executor invariant violated: oops",
+            ),
+        ];
+        for (err, expected) in cases {
+            assert_eq!(err.to_string(), expected);
+        }
+    }
 }

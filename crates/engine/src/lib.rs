@@ -33,6 +33,7 @@ mod parallel;
 mod recovery;
 mod schedule;
 mod sim;
+mod spill;
 mod sql;
 mod value;
 
@@ -40,11 +41,11 @@ pub use adaptive::{execute_adaptive, AdaptiveConfig, AdaptiveError, AdaptiveOutc
 pub use calibrate::{collect_samples, collect_samples_traced, fit_model_traced};
 pub use exec::{
     execute_plan, execute_plan_serial, execute_plan_traced, execute_plan_with, reference_eval,
-    ExecOptions, ExecOutcome,
+    ExecOptions, ExecOutcome, GovernorStats, HedgeConfig, HedgeMark,
 };
 pub use explain::{
-    explain_analyze, explain_analyze_with_faults, explain_plan, AnalyzedStep, ExplainStep,
-    PlanAnalysis, PlanExplanation,
+    explain_analyze, explain_analyze_with_faults, explain_analyze_with_options, explain_plan,
+    AnalyzedStep, ExplainStep, PlanAnalysis, PlanExplanation,
 };
 pub use faults::{parse_fault_spec, FaultEvent, FaultInjector, FaultKind};
 pub use impl_exec::{execute_impl, ExecError};
@@ -55,5 +56,6 @@ pub use sim::{
     format_hms, simulate_plan, simulate_plan_traced, simulate_plan_with_recovery, FailReason,
     RecoverySimReport, SimOutcome, SimReport, SimStep,
 };
+pub use spill::{SpillError, SpillManager, SpillTicket};
 pub use sql::render_sql;
 pub use value::{Block, Chunk, DistRelation, ValueError};

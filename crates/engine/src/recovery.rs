@@ -42,7 +42,9 @@
 //! [`Subsystem::Faults`].
 
 use crate::adaptive::rebuild_suffix;
-use crate::exec::{missing_input, unshare};
+use crate::exec::{
+    missing_choice, missing_input, unshare, vertex_label, ExecOptions, GovernorStats, HedgeConfig,
+};
 use crate::faults::{corrupt_chunk, relation_checksum, FaultInjector, FaultKind};
 use crate::impl_exec::{execute_impl_shared, ExecError};
 use crate::schedule::run_pipelined;
@@ -56,6 +58,7 @@ use matopt_obs::{Obs, Subsystem};
 use matopt_opt::{frontier_dp_beam, OptContext};
 use matopt_pool::Pool;
 use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -83,7 +86,7 @@ impl Default for RetryConfig {
 }
 
 /// Configuration of the fault-tolerant executor.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct FtConfig {
     /// How crashes are recovered.
     pub policy: RecoveryPolicy,
@@ -94,6 +97,19 @@ pub struct FtConfig {
     pub degrade_after: u32,
     /// Beam width for degradation re-planning.
     pub beam: usize,
+    /// Memory budget in bytes (`None` = unbounded). The fault-free fast
+    /// path governs with spill-to-disk exactly like
+    /// [`crate::execute_plan_with`]; the live-injector path retains
+    /// every value for crash recovery, so it instead throttles wave
+    /// admission to keep projected residency within budget.
+    pub mem_budget: Option<u64>,
+    /// Scratch directory for spilled buffers (fast path only; `None` =
+    /// [`matopt_core::default_scratch_dir`]).
+    pub scratch_dir: Option<PathBuf>,
+    /// Hedged straggler re-execution (`None` = off). Composes with
+    /// retries: a hedge bounds the straggler delay, while transient
+    /// faults still burn the retry budget.
+    pub hedge: Option<HedgeConfig>,
 }
 
 impl Default for FtConfig {
@@ -103,6 +119,9 @@ impl Default for FtConfig {
             retry: RetryConfig::default(),
             degrade_after: 2,
             beam: 2000,
+            mem_budget: None,
+            scratch_dir: None,
+            hedge: None,
         }
     }
 }
@@ -172,6 +191,10 @@ pub struct FtOutcome {
     pub checkpoint_seconds: f64,
     /// Per-vertex breakdown of the above.
     pub per_vertex: Vec<VertexRecovery>,
+    /// Spill/backpressure/hedging counters. The fast path reports the
+    /// pipelined governor's full stats; the live-injector path fills
+    /// the admission-wait and hedge counters.
+    pub governor: GovernorStats,
 }
 
 /// Executes an annotated graph under fault injection, recovering every
@@ -211,7 +234,14 @@ pub fn execute_fault_tolerant(
     // Fault-free fast path: the whole run is one pipelined-scheduler
     // execution — identical to `execute_plan`, zero fault bookkeeping.
     if !injector.is_enabled() {
-        let mut out = run_pipelined(graph, annotation, inputs, registry, obs, true)?;
+        let options = ExecOptions {
+            retain_values: true,
+            mem_budget: config.mem_budget,
+            scratch_dir: config.scratch_dir.clone(),
+            hedge: config.hedge.clone(),
+            straggler_delays_ms: None,
+        };
+        let mut out = run_pipelined(graph, annotation, inputs, registry, obs, true, &options)?;
         // Take each slot so the `Arc` is unique and `unshare` moves
         // instead of deep-copying every retained value.
         let mut all = HashMap::new();
@@ -243,6 +273,7 @@ pub fn execute_fault_tolerant(
             recovery_seconds: 0.0,
             checkpoint_seconds: 0.0,
             per_vertex: vec![VertexRecovery::default(); graph.len()],
+            governor: out.governor,
         });
     }
 
@@ -274,6 +305,7 @@ pub fn execute_fault_tolerant(
     let (mut retries, mut recoveries, mut replans) = (0u32, 0u32, 0u32);
     let (mut recovery_seconds, mut checkpoint_seconds) = (0.0f64, 0.0f64);
     let (mut resident, mut max_concurrency) = (0u64, 1usize);
+    let mut governor = GovernorStats::default();
 
     // Fault schedules address vertices by compute-step index in
     // topological id order (the serial executor's numbering), not by
@@ -355,10 +387,35 @@ pub fn execute_fault_tolerant(
                 match kind {
                     FaultKind::Straggler { slowdown } => {
                         // A slow worker stretches the step; model it
-                        // with a capped real delay.
+                        // with a capped real delay. With hedging on,
+                        // the duplicate completes at the hedge deadline
+                        // (factor × the 0.5 ms unit step time) and the
+                        // straggler is abandoned — the delay shrinks to
+                        // the deadline when that beats waiting out the
+                        // slowdown.
                         let delay_ms = (slowdown.min(20.0) * 0.5).ceil() as u64;
+                        let slept_ms = match &config.hedge {
+                            Some(h) => {
+                                let deadline_ms = ((h.factor * 0.5).ceil() as u64).max(1);
+                                if deadline_ms < delay_ms {
+                                    governor.hedges_launched += 1;
+                                    governor.hedges_won += 1;
+                                    obs.record(Subsystem::Faults, "hedge_won", || {
+                                        vec![
+                                            ("vertex", v.index().into()),
+                                            ("straggler_ms", (delay_ms as i64).into()),
+                                            ("hedged_ms", (deadline_ms as i64).into()),
+                                        ]
+                                    });
+                                    deadline_ms
+                                } else {
+                                    delay_ms
+                                }
+                            }
+                            None => delay_ms,
+                        };
                         let t0 = Instant::now();
-                        std::thread::sleep(Duration::from_millis(delay_ms));
+                        std::thread::sleep(Duration::from_millis(slept_ms));
                         let dt = t0.elapsed().as_secs_f64();
                         recovery_seconds += dt;
                         per_vertex[v.index()].recovery_seconds += dt;
@@ -446,6 +503,7 @@ pub fn execute_fault_tolerant(
                 if attempt > config.retry.max_retries {
                     return Err(ExecError::RetryBudgetExhausted {
                         vertex: v,
+                        label: vertex_label(graph, v),
                         attempts: attempt,
                     });
                 }
@@ -510,43 +568,84 @@ pub fn execute_fault_tolerant(
         if clean.is_empty() {
             continue;
         }
-        max_concurrency = max_concurrency.max(clean.len());
-        // One concurrent batch over the wave's clean vertices: inputs
-        // all live in earlier waves, so a snapshot of the value slots
-        // (reference bumps) is a consistent read view.
-        let snapshot: Arc<Vec<Option<Arc<DistRelation>>>> = Arc::new(values.clone());
-        let batch: Arc<Vec<NodeId>> = Arc::new(clean.clone());
-        let (g, cg, im, pl, rg) = (
-            Arc::clone(&graph_arc),
-            Arc::clone(&cur_graph),
-            Arc::clone(&idmap),
-            Arc::clone(&cur_plan),
-            Arc::clone(&registry_arc),
-        );
-        let results = Pool::global()
-            .try_map(clean.len(), move |i| {
-                run_vertex(&g, batch[i], &cg, &im, &pl, &rg, &snapshot)
-            })
-            .map_err(|detail| ExecError::KernelPanic {
-                vertex: None,
-                detail,
-            })?;
-        for (&v, res) in clean.iter().zip(results) {
-            let (out, tsecs, isecs) = res?;
-            vertex_seconds[v.index()] = isecs;
-            transform_seconds[v.index()] = tsecs;
-            let out = Arc::new(out);
-            if config.policy == RecoveryPolicy::Checkpoint {
-                let t0 = Instant::now();
-                checkpoints.insert(v.index(), Arc::clone(&out));
-                checkpoint_seconds += t0.elapsed().as_secs_f64();
+        // Concurrent batches over the wave's clean vertices: inputs all
+        // live in earlier waves, so a snapshot of the value slots
+        // (reference bumps) is a consistent read view. With a memory
+        // budget, each batch is the longest prefix whose *estimated*
+        // output bytes keep projected residency within budget (always
+        // at least one vertex so the wave progresses) — the
+        // fault-tolerant path retains every value for crash recovery,
+        // so it throttles admission instead of spilling.
+        let mut rest: &[NodeId] = &clean;
+        while !rest.is_empty() {
+            let take = match config.mem_budget {
+                None => rest.len(),
+                Some(budget) => {
+                    let mut take = 0usize;
+                    let mut projected = resident;
+                    for &v in rest {
+                        let cur_id = idmap[v.index()];
+                        let est = cur_plan.choice(cur_id).map_or(0u64, |c| {
+                            c.output_format
+                                .total_bytes(&cur_graph.node(cur_id).mtype)
+                                .max(0.0) as u64
+                        });
+                        if take > 0 && projected.saturating_add(est) > budget {
+                            break;
+                        }
+                        projected = projected.saturating_add(est);
+                        take += 1;
+                    }
+                    take
+                }
+            };
+            let batch_ids = rest[..take].to_vec();
+            rest = &rest[take..];
+            if !rest.is_empty() {
+                governor.admission_waits += 1;
+                obs.record(Subsystem::Sched, "admission_wait", || {
+                    vec![
+                        ("ready", rest.len().into()),
+                        ("resident_plus_reserved", (resident as i64).into()),
+                    ]
+                });
             }
-            vertex_chunks[v.index()] = out.chunks.len();
-            let bytes = out.total_bytes() as u64;
-            vertex_resident_bytes[v.index()] = bytes;
-            resident += bytes;
-            values[v.index()] = Some(out);
-            epoch_done[v.index()] = true;
+            max_concurrency = max_concurrency.max(batch_ids.len());
+            let snapshot: Arc<Vec<Option<Arc<DistRelation>>>> = Arc::new(values.clone());
+            let batch: Arc<Vec<NodeId>> = Arc::new(batch_ids.clone());
+            let (g, cg, im, pl, rg) = (
+                Arc::clone(&graph_arc),
+                Arc::clone(&cur_graph),
+                Arc::clone(&idmap),
+                Arc::clone(&cur_plan),
+                Arc::clone(&registry_arc),
+            );
+            let results = Pool::global()
+                .try_map(batch_ids.len(), move |i| {
+                    run_vertex(&g, batch[i], &cg, &im, &pl, &rg, &snapshot)
+                })
+                .map_err(|detail| ExecError::KernelPanic {
+                    vertex: None,
+                    label: None,
+                    detail,
+                })?;
+            for (&v, res) in batch_ids.iter().zip(results) {
+                let (out, tsecs, isecs) = res?;
+                vertex_seconds[v.index()] = isecs;
+                transform_seconds[v.index()] = tsecs;
+                let out = Arc::new(out);
+                if config.policy == RecoveryPolicy::Checkpoint {
+                    let t0 = Instant::now();
+                    checkpoints.insert(v.index(), Arc::clone(&out));
+                    checkpoint_seconds += t0.elapsed().as_secs_f64();
+                }
+                vertex_chunks[v.index()] = out.chunks.len();
+                let bytes = out.total_bytes() as u64;
+                vertex_resident_bytes[v.index()] = bytes;
+                resident += bytes;
+                values[v.index()] = Some(out);
+                epoch_done[v.index()] = true;
+            }
         }
     }
 
@@ -580,6 +679,7 @@ pub fn execute_fault_tolerant(
         recovery_seconds,
         checkpoint_seconds,
         per_vertex,
+        governor,
     })
 }
 
@@ -712,7 +812,9 @@ fn run_vertex(
         )));
     };
     let cur_id = idmap[v.index()];
-    let choice = plan.choice(cur_id).ok_or(ExecError::MissingChoice(v))?;
+    let choice = plan
+        .choice(cur_id)
+        .ok_or_else(|| missing_choice(graph, v))?;
     let mut transformed: Vec<Arc<DistRelation>> = Vec::with_capacity(node.inputs.len());
     let mut tsecs = Vec::with_capacity(node.inputs.len());
     for (input, t) in node.inputs.iter().zip(choice.input_transforms.iter()) {
@@ -737,6 +839,6 @@ fn run_vertex(
     let out_type = cur_graph.node(cur_id).mtype;
     let t0 = Instant::now();
     let out = execute_impl_shared(strategy, op, &transformed, out_type, choice.output_format)
-        .map_err(|e| e.at_vertex(v))?;
+        .map_err(|e| e.at_vertex(v, &vertex_label(graph, v)))?;
     Ok((out, tsecs, t0.elapsed().as_secs_f64()))
 }

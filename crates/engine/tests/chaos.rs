@@ -16,8 +16,8 @@ use matopt_core::{
 };
 use matopt_cost::AnalyticalCostModel;
 use matopt_engine::{
-    execute_fault_tolerant, execute_plan, parse_fault_spec, DistRelation, FaultInjector, FtConfig,
-    FtOutcome, RetryConfig,
+    execute_fault_tolerant, execute_plan, execute_plan_with, parse_fault_spec, DistRelation,
+    ExecOptions, FaultInjector, FtConfig, FtOutcome, HedgeConfig, RetryConfig,
 };
 use matopt_graphs::{ffnn_w2_update_graph, two_level_inverse_graph, FfnnConfig};
 use matopt_kernels::{random_dense_normal, seeded_rng, DenseMatrix};
@@ -25,7 +25,7 @@ use matopt_obs::Obs;
 use matopt_opt::{frontier_dp_beam, OptContext};
 use proptest::prelude::*;
 use std::collections::HashMap;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// One chaos workload: an optimized plan, its inputs, and the sink
 /// values of a fault-free run — the ground truth every chaotic run
@@ -308,6 +308,156 @@ fn retry_budget_exhaustion_is_a_clean_error() {
         msg.contains("retry budget exhausted"),
         "unexpected error: {msg}"
     );
+}
+
+/// SplitMix64 for drawing straggler schedules without depending on any
+/// library RNG's evolution.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A seeded straggler schedule: one or two compute vertices delayed by
+/// 2–17ms (primary attempt only).
+fn straggler_schedule(graph: &ComputeGraph, seed: u64) -> Arc<Vec<u64>> {
+    let mut s = seed.wrapping_mul(0x51AC).wrapping_add(7);
+    let computes: Vec<usize> = graph
+        .iter()
+        .filter(|(_, n)| matches!(n.kind, NodeKind::Compute { .. }))
+        .map(|(id, _)| id.index())
+        .collect();
+    let mut delays = vec![0u64; graph.len()];
+    let hits = 1 + (splitmix(&mut s) % 2) as usize;
+    for _ in 0..hits {
+        let v = computes[(splitmix(&mut s) % computes.len() as u64) as usize];
+        delays[v] = 2 + splitmix(&mut s) % 16;
+    }
+    Arc::new(delays)
+}
+
+fn run_with_options(w: &Workload, options: ExecOptions) -> matopt_engine::ExecOutcome {
+    let registry = ImplRegistry::paper_default();
+    execute_plan_with(
+        &w.graph,
+        &w.annotation,
+        &w.inputs,
+        &registry,
+        &Obs::disabled(),
+        options,
+    )
+    .expect("governed run succeeds")
+}
+
+fn assert_sinks_bit_exact(w: &Workload, out: &matopt_engine::ExecOutcome, tag: &str) {
+    assert_eq!(out.sinks.len(), w.baseline.len(), "{tag}: sink set changed");
+    for (sink, rel) in &out.sinks {
+        assert!(
+            rel.to_dense() == w.baseline[sink],
+            "{tag}: sink {sink} diverged from the fault-free run"
+        );
+    }
+}
+
+/// 128 seeded straggler schedules (64 per workload) through the
+/// pipelined scheduler with hedging armed: first-completion-wins must
+/// never change a sink bit, and aggressive deadlines must actually
+/// launch duplicates somewhere in the sweep.
+#[test]
+fn hedged_straggler_schedules_keep_sinks_bit_exact() {
+    let mut launched = 0u64;
+    for w in workloads() {
+        for seed in 0..64u64 {
+            let hedge = HedgeConfig {
+                factor: 2.0,
+                predicted_seconds: Some(Arc::new(vec![0.001; w.graph.len()])),
+                min_deadline_ms: 1,
+            };
+            let out = run_with_options(
+                w,
+                ExecOptions {
+                    straggler_delays_ms: Some(straggler_schedule(&w.graph, seed)),
+                    hedge: Some(hedge),
+                    ..Default::default()
+                },
+            );
+            assert_sinks_bit_exact(w, &out, &format!("{} straggler seed {seed}", w.name));
+            launched += out.governor.hedges_launched;
+        }
+    }
+    assert!(
+        launched > 0,
+        "no duplicate launched across 128 straggler schedules"
+    );
+}
+
+/// The memory-pressure matrix: budget ∈ {unbounded, 75%, 50% of the
+/// measured unbounded peak} × seeded straggler schedules, all with
+/// hedging armed. Every cell must reproduce the fault-free sinks bit
+/// for bit, and the 50% column must provably engage the spill path.
+#[test]
+fn memory_pressure_matrix_with_stragglers_is_bit_exact() {
+    for w in workloads() {
+        let peak = run_with_options(w, ExecOptions::default()).peak_resident_bytes;
+        let mut tight_spills = 0u64;
+        for (col, budget) in [
+            ("unbounded", None),
+            ("75%", Some((peak as f64 * 0.75) as u64)),
+            ("50%", Some((peak as f64 * 0.5) as u64)),
+        ] {
+            for seed in 0..4u64 {
+                let out = run_with_options(
+                    w,
+                    ExecOptions {
+                        mem_budget: budget,
+                        straggler_delays_ms: Some(straggler_schedule(&w.graph, 0xA11 ^ seed)),
+                        hedge: Some(HedgeConfig::with_factor(3.0)),
+                        ..Default::default()
+                    },
+                );
+                assert_sinks_bit_exact(w, &out, &format!("{} {col} seed {seed}", w.name));
+                if col == "50%" {
+                    tight_spills += out.governor.spills;
+                } else if col == "unbounded" {
+                    assert_eq!(
+                        out.governor.spills, 0,
+                        "{}: spilled without a budget",
+                        w.name
+                    );
+                }
+            }
+        }
+        assert!(
+            tight_spills > 0,
+            "{}: the 50% budget column never spilled",
+            w.name
+        );
+    }
+}
+
+/// Hedging composes with transient-fault retries in the fault-tolerant
+/// driver: a straggler gets hedged (bounding its delay) while a flaky
+/// vertex retries, and the sinks still match exactly.
+#[test]
+fn hedging_composes_with_retries_under_faults() {
+    for w in workloads() {
+        let injector =
+            parse_fault_spec("slow@1x8,flaky@2x2", 13, w.graph.compute_count()).expect("parses");
+        let config = FtConfig {
+            hedge: Some(HedgeConfig::with_factor(4.0)),
+            ..chaos_config(RecoveryPolicy::Lineage)
+        };
+        let out = run_chaotic(w, injector, &config);
+        assert_recovered_exactly(w, &out, &config, 13);
+        assert!(
+            out.governor.hedges_launched >= 1,
+            "{}: the 8x straggler must trip the 4x hedge deadline",
+            w.name
+        );
+        assert!(out.retries >= 2, "{}: the flaky vertex must retry", w.name);
+    }
 }
 
 proptest! {

@@ -212,6 +212,7 @@ fn streaming_retirement_keeps_sinks_exact_and_shrinks_residency() {
             &Obs::disabled(),
             ExecOptions {
                 retain_values: false,
+                ..Default::default()
             },
         )
         .expect("runs");

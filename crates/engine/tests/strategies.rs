@@ -623,7 +623,7 @@ fn executor_error_paths() {
     let unannotated = matopt_core::Annotation::empty(&g);
     assert!(matches!(
         execute_plan(&g, &unannotated, &inputs, &reg),
-        Err(ExecError::MissingChoice(_))
+        Err(ExecError::MissingChoice { .. })
     ));
 }
 

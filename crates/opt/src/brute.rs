@@ -18,9 +18,14 @@ use std::time::{Duration, Instant};
 
 /// Runs Algorithm 2 with an optional wall-clock budget.
 ///
+/// When the budget elapses after at least one complete plan was found,
+/// the best plan so far comes back with [`Optimized::timed_out`] set
+/// (so [`Optimized::exactness`] reports `"budget-exceeded"`) — the
+/// annotation is valid, just not proven optimal.
+///
 /// # Errors
-/// * [`OptError::Timeout`] when the budget elapses before the search
-///   completes;
+/// * [`OptError::Timeout`] when the budget elapses before *any*
+///   complete plan exists;
 /// * [`OptError::NoFeasiblePlan`] when no type-correct annotation
 ///   exists.
 pub fn brute_force(
@@ -74,7 +79,13 @@ pub fn brute_force(
         deadline: budget.map(|b| Instant::now() + b),
         ticks: 0,
     };
-    search.recurse(0, 0.0)?;
+    let timed_out = match search.recurse(0, 0.0) {
+        Ok(()) => false,
+        // Budget expired with a complete plan in hand: return it as a
+        // best-effort partial result instead of discarding the work.
+        Err(OptError::Timeout) if search.best.is_some() => true,
+        Err(e) => return Err(e),
+    };
     let annotation = search.best.ok_or(OptError::NoFeasiblePlan(
         *compute_order.last().expect("at least one compute vertex"),
     ))?;
@@ -82,6 +93,7 @@ pub fn brute_force(
         annotation,
         cost: search.best_cost,
         beam_truncated: 0,
+        timed_out,
     })
 }
 
@@ -102,9 +114,12 @@ struct Search<'a> {
 
 impl Search<'_> {
     fn recurse(&mut self, depth: usize, cost_so_far: f64) -> Result<(), OptError> {
-        // Check the wall-clock budget occasionally, not on every call.
+        // Check the wall-clock budget occasionally, not on every call —
+        // but also on the very first call, so an already-expired budget
+        // trips before any work (a large per-vertex option count can
+        // take whole seconds to reach tick 1024).
         self.ticks = self.ticks.wrapping_add(1);
-        if self.ticks.is_multiple_of(1024) {
+        if self.ticks == 1 || self.ticks.is_multiple_of(1024) {
             if let Some(d) = self.deadline {
                 if Instant::now() > d {
                     return Err(OptError::Timeout);

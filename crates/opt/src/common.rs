@@ -46,13 +46,22 @@ pub struct Optimized {
     /// tree DP always report 0, and [`crate::frontier_dp_beam`] reports
     /// 0 whenever no table exceeded the cap.
     pub beam_truncated: usize,
+    /// True when the optimizer's wall-clock budget expired mid-search:
+    /// the annotation is the best *complete* plan found before the
+    /// deadline, not a proven optimum. Always false for the DP
+    /// algorithms (they have no budget).
+    pub timed_out: bool,
 }
 
 impl Optimized {
-    /// `"exact"` when no beam truncation occurred, `"beamed"` otherwise
-    /// — the label experiment harnesses report next to plan costs.
+    /// `"exact"` when the search ran to completion without truncation,
+    /// `"beamed"` when the beam cap dropped states, `"budget-exceeded"`
+    /// when the time budget cut the search short — the label experiment
+    /// harnesses report next to plan costs.
     pub fn exactness(&self) -> &'static str {
-        if self.beam_truncated == 0 {
+        if self.timed_out {
+            "budget-exceeded"
+        } else if self.beam_truncated == 0 {
             "exact"
         } else {
             "beamed"

@@ -213,6 +213,7 @@ fn frontier_dp_inner(
         annotation,
         cost: total,
         beam_truncated,
+        timed_out: false,
     })
 }
 

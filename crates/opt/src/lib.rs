@@ -163,6 +163,36 @@ mod tests {
     }
 
     #[test]
+    fn brute_force_tiny_budget_returns_valid_partial_result() {
+        let (reg, cat, model) = ctx_bits();
+        let plan_ctx = PlanContext::new(&reg, Cluster::simsql_like(10));
+        let octx = OptContext::new(&plan_ctx, &cat, &model);
+        // A chain long enough that full enumeration takes far longer
+        // than the budget, while the first depth-first descent (which
+        // yields a complete plan) finishes within it.
+        let mut g = ComputeGraph::new();
+        let mut cur = g.add_source(MatrixType::dense(2000, 2000), PhysFormat::SingleTuple);
+        for _ in 0..9 {
+            let m = g.add_source(MatrixType::dense(2000, 2000), PhysFormat::SingleTuple);
+            cur = g.add_op(Op::MatMul, &[cur, m]).unwrap();
+        }
+        let opt = brute_force(&g, &octx, Some(std::time::Duration::from_millis(5)))
+            .expect("budget-exceeded path returns the best plan so far, not a hang or error");
+        assert!(opt.timed_out, "a 5 ms budget cannot finish a 9-chain");
+        assert_eq!(opt.exactness(), "budget-exceeded");
+        assert!(opt.cost.is_finite() && opt.cost > 0.0);
+        // The partial result is a complete, type-correct annotation.
+        validate(&g, &opt.annotation, &plan_ctx).unwrap();
+        let recost = plan_cost(&g, &opt.annotation, &plan_ctx, &model).unwrap();
+        assert!(
+            (recost - opt.cost).abs() < 1e-6 * opt.cost.max(1.0),
+            "claimed {} recosted {}",
+            opt.cost,
+            recost
+        );
+    }
+
+    #[test]
     fn infeasible_vertex_is_reported() {
         let (reg, cat, model) = ctx_bits();
         // A cluster so tiny nothing fits.

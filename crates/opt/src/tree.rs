@@ -166,6 +166,7 @@ pub fn tree_dp(graph: &ComputeGraph, octx: &OptContext<'_>) -> Result<Optimized,
         annotation,
         cost: total,
         beam_truncated: 0,
+        timed_out: false,
     })
 }
 
