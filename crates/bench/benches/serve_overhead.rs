@@ -1,0 +1,117 @@
+//! Overhead of going through the plan service when the cache is off.
+//!
+//! The acceptance bar: `PlanService::plan` with `cache_enabled: false`
+//! costs < 2% versus calling `frontier_dp_beam` directly. The uncached
+//! serve path skips fingerprinting entirely (nothing consumes one) and
+//! adds only a handful of atomic counter bumps on top of the same
+//! optimizer run — the serving machinery must be free for anyone who
+//! opts out of the cache.
+//!
+//! * `plan/direct` — the frontier DP called as a library function;
+//! * `plan/serve_uncached` — the same optimization through the service
+//!   with the cache disabled (what the overhead budget gates);
+//! * `plan/serve_hit` — the cached path, for scale: this is what the
+//!   cache turns every repeat request into.
+//!
+//! The final `serve overhead budget` line compares best-of-N times
+//! directly and reports OK/OVER against the 2% budget.
+
+use criterion::{criterion_group, Criterion};
+use matopt_core::{Cluster, ComputeGraph, FormatCatalog, ImplRegistry, PlanContext};
+use matopt_cost::AnalyticalCostModel;
+use matopt_graphs::{ffnn_w2_update_graph, FfnnConfig};
+use matopt_opt::{frontier_dp_beam, OptContext};
+use matopt_serve::{PlanService, ServeConfig};
+use std::time::{Duration, Instant};
+
+const BEAM: usize = 4000;
+
+fn workload() -> ComputeGraph {
+    ffnn_w2_update_graph(FfnnConfig::laptop(32))
+        .expect("type-correct")
+        .graph
+}
+
+fn direct_plan(graph: &ComputeGraph, registry: &ImplRegistry, catalog: &FormatCatalog) {
+    let ctx = PlanContext::new(registry, Cluster::simsql_like(10));
+    let octx = OptContext::new(&ctx, catalog, &AnalyticalCostModel);
+    frontier_dp_beam(graph, &octx, BEAM).expect("optimizes");
+}
+
+fn service(cache_enabled: bool) -> PlanService {
+    PlanService::new(
+        ImplRegistry::paper_default(),
+        FormatCatalog::paper_default().dense_only(),
+        Cluster::simsql_like(10),
+        Box::new(AnalyticalCostModel),
+        ServeConfig {
+            cache_enabled,
+            beam: BEAM,
+            ..ServeConfig::default()
+        },
+    )
+}
+
+fn bench_plan(c: &mut Criterion) {
+    let graph = workload();
+    let registry = ImplRegistry::paper_default();
+    let catalog = FormatCatalog::paper_default().dense_only();
+    let uncached = service(false);
+    let cached = service(true);
+    cached.plan(&graph).expect("warms the cache");
+
+    let mut g = c.benchmark_group("serve_overhead");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    g.bench_function("plan/direct", |b| {
+        b.iter(|| direct_plan(&graph, &registry, &catalog))
+    });
+    g.bench_function("plan/serve_uncached", |b| {
+        b.iter(|| uncached.plan(&graph).expect("plans"))
+    });
+    g.bench_function("plan/serve_hit", |b| {
+        b.iter(|| cached.plan(&graph).expect("plans"))
+    });
+    g.finish();
+}
+
+/// Direct budget check: best-of-N uncached-serve time against best-of-N
+/// direct-optimizer time, interleaved so machine drift hits both
+/// equally. The minimum is the right estimator — noise only adds time.
+fn overhead_budget_report() {
+    let graph = workload();
+    let registry = ImplRegistry::paper_default();
+    let catalog = FormatCatalog::paper_default().dense_only();
+    let uncached = service(false);
+    let reps = 40;
+    // Warm both paths once so neither pays first-touch costs.
+    direct_plan(&graph, &registry, &catalog);
+    uncached.plan(&graph).expect("plans");
+
+    let mut direct = f64::INFINITY;
+    let mut served = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        direct_plan(&graph, &registry, &catalog);
+        direct = direct.min(t.elapsed().as_secs_f64());
+
+        let t = Instant::now();
+        uncached.plan(&graph).expect("plans");
+        served = served.min(t.elapsed().as_secs_f64());
+    }
+
+    let overhead = served / direct - 1.0;
+    println!(
+        "serve overhead budget: direct {:.3} ms, serve(cache-disabled) {:.3} ms -> {:+.3}% (budget 2%) -> {}",
+        direct * 1e3,
+        served * 1e3,
+        overhead * 100.0,
+        if overhead < 0.02 { "OK" } else { "OVER" }
+    );
+}
+
+criterion_group!(benches, bench_plan);
+
+fn main() {
+    benches();
+    overhead_budget_report();
+}

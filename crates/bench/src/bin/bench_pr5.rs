@@ -1,0 +1,301 @@
+//! Plan-serving report: cache hit rate, request latency, and optimizer
+//! time saved when concurrent clients hammer the plan service with a
+//! repeating workload mix.
+//!
+//! ```sh
+//! cargo run --release -p matopt-bench --bin bench_pr5            # table
+//! cargo run --release -p matopt-bench --bin bench_pr5 -- --json  # + BENCH_PR5.json
+//! ```
+//!
+//! Eight client threads issue 1024 plan requests spread round-robin
+//! over 32 distinct laptop-scale FFNN workloads (distinct hidden-layer
+//! widths, so distinct fingerprints). The same request stream runs
+//! twice: once against a cache-enabled service and once against a
+//! cache-disabled one where every request pays the optimizer. The
+//! report asserts the serving contract:
+//!
+//! * zero errored responses and a >= 90% hit rate under concurrency
+//!   (only the first request per workload can miss; coalesced requests
+//!   share the leader's run);
+//! * every cached response carries bit-identical plan cost to the
+//!   uncached response for the same workload;
+//! * total optimizer time drops >= 10x versus the uncached service;
+//! * executing a cached plan produces bit-identical sinks to executing
+//!   the uncached plan on the same inputs.
+//!
+//! `MATOPT_BENCH_QUICK=1` shrinks the stream to 256 requests over 8
+//! workloads (same client count, same assertions) for CI smoke runs.
+
+use matopt_bench::Json;
+use matopt_core::{Cluster, ComputeGraph, FormatCatalog, ImplRegistry, NodeId, NodeKind};
+use matopt_cost::AnalyticalCostModel;
+use matopt_engine::DistRelation;
+use matopt_graphs::{ffnn_w2_update_graph, FfnnConfig};
+use matopt_kernels::{random_dense_normal, seeded_rng};
+use matopt_serve::{PlanService, PlanSource, ServeConfig};
+use std::collections::HashMap;
+use std::time::Instant;
+
+const CLIENTS: usize = 8;
+
+fn service(cache_enabled: bool) -> PlanService {
+    PlanService::new(
+        ImplRegistry::paper_default(),
+        FormatCatalog::paper_default().dense_only(),
+        Cluster::simsql_like(4),
+        Box::new(AnalyticalCostModel),
+        ServeConfig {
+            cache_enabled,
+            ..ServeConfig::default()
+        },
+    )
+}
+
+/// The 32 distinct workloads: laptop-scale FFNN weight updates whose
+/// hidden widths differ, so their fingerprints differ.
+fn workloads(n: usize) -> Vec<ComputeGraph> {
+    (0..n)
+        .map(|i| {
+            ffnn_w2_update_graph(FfnnConfig::laptop(8 + 2 * i as u64))
+                .expect("well-typed")
+                .graph
+        })
+        .collect()
+}
+
+/// One answered request. Workloads and fingerprints are in bijection
+/// here (distinct matrix dimensions), so the cost-identity check keys
+/// by workload index — the uncached service skips fingerprinting.
+struct Sample {
+    workload: usize,
+    cost: f64,
+    source: PlanSource,
+    latency_us: u64,
+}
+
+struct Phase {
+    samples: Vec<Sample>,
+    errors: u64,
+    wall_secs: f64,
+}
+
+impl Phase {
+    fn count(&self, source: PlanSource) -> u64 {
+        self.samples.iter().filter(|s| s.source == source).count() as u64
+    }
+
+    fn hit_rate(&self) -> f64 {
+        // Coalesced requests rode a leader's single optimizer run: for
+        // the "did the service avoid re-optimizing" question they count
+        // with hits.
+        (self.count(PlanSource::Hit) + self.count(PlanSource::Coalesced)) as f64
+            / self.samples.len() as f64
+    }
+
+    fn latency_us(&self, quantile: f64) -> u64 {
+        let mut v: Vec<u64> = self.samples.iter().map(|s| s.latency_us).collect();
+        v.sort_unstable();
+        v[((v.len() - 1) as f64 * quantile).round() as usize]
+    }
+
+    fn throughput_rps(&self) -> f64 {
+        self.samples.len() as f64 / self.wall_secs
+    }
+}
+
+/// Replays the request stream (`total` requests round-robin over
+/// `graphs`) from [`CLIENTS`] threads against `service`.
+fn run_phase(service: &PlanService, graphs: &[ComputeGraph], total: usize) -> Phase {
+    let t0 = Instant::now();
+    let mut samples = Vec::with_capacity(total);
+    let mut errors = 0u64;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|client| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut errs = 0u64;
+                    let mut i = client;
+                    while i < total {
+                        let workload = i % graphs.len();
+                        let t = Instant::now();
+                        match service.plan(&graphs[workload]) {
+                            Ok(p) => out.push(Sample {
+                                workload,
+                                cost: p.plan.cost,
+                                source: p.source,
+                                latency_us: t.elapsed().as_micros() as u64,
+                            }),
+                            Err(_) => errs += 1,
+                        }
+                        i += CLIENTS;
+                    }
+                    (out, errs)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (out, errs) = h.join().expect("client thread");
+            samples.extend(out);
+            errors += errs;
+        }
+    });
+    Phase {
+        samples,
+        errors,
+        wall_secs: t0.elapsed().as_secs_f64(),
+    }
+}
+
+fn make_inputs(graph: &ComputeGraph, seed: u64) -> HashMap<NodeId, DistRelation> {
+    let mut rng = seeded_rng(seed);
+    let mut rels = HashMap::new();
+    for (id, node) in graph.iter() {
+        if let NodeKind::Source { format } = &node.kind {
+            let d =
+                random_dense_normal(node.mtype.rows as usize, node.mtype.cols as usize, &mut rng);
+            rels.insert(id, DistRelation::from_dense(&d, *format).unwrap());
+        }
+    }
+    rels
+}
+
+/// Executes the same workload through both services and compares every
+/// sink bit for bit.
+fn assert_execution_bit_exact(cached: &PlanService, uncached: &PlanService, graph: &ComputeGraph) {
+    let inputs = make_inputs(graph, 0xC0FFEE);
+    let via_cache = cached.plan(graph).expect("cached plan");
+    let via_opt = uncached.plan(graph).expect("uncached plan");
+    assert_eq!(via_cache.source, PlanSource::Hit, "stream warmed this fp");
+    let a = cached
+        .execute(graph, &via_cache, &inputs)
+        .expect("cached execution");
+    let b = uncached
+        .execute(graph, &via_opt, &inputs)
+        .expect("uncached execution");
+    assert_eq!(a.sinks.len(), b.sinks.len());
+    for (sink, rel) in &a.sinks {
+        assert_eq!(
+            b.sinks[sink].to_dense().data(),
+            rel.to_dense().data(),
+            "sink {sink} differs between cached and uncached plans"
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = match args.first().map(String::as_str) {
+        Some("--json") => Some(
+            args.get(1)
+                .cloned()
+                .unwrap_or_else(|| "BENCH_PR5.json".to_string()),
+        ),
+        Some(other) => {
+            eprintln!("unknown argument {other:?}; usage: bench_pr5 [--json [PATH]]");
+            std::process::exit(2);
+        }
+        None => None,
+    };
+    let quick = std::env::var("MATOPT_BENCH_QUICK").is_ok();
+    let (n_workloads, total) = if quick { (8, 256) } else { (32, 1024) };
+    let graphs = workloads(n_workloads);
+
+    println!(
+        "== Plan serving: {total} requests over {n_workloads} workloads, {CLIENTS} clients =="
+    );
+    let uncached = service(false);
+    let u = run_phase(&uncached, &graphs, total);
+    let cached = service(true);
+    let c = run_phase(&cached, &graphs, total);
+    let (cs, us) = (cached.stats(), uncached.stats());
+
+    assert_eq!(c.errors + u.errors, 0, "no request may error");
+    assert_eq!(c.samples.len() + u.samples.len(), 2 * total);
+    let hit_rate = c.hit_rate();
+    assert!(
+        hit_rate >= 0.90,
+        "hit rate {hit_rate:.3} under concurrency must reach 0.90"
+    );
+
+    // Identical plan costs per workload (= per fingerprint): the cache
+    // must never serve a plan that differs from what the optimizer
+    // would produce.
+    let mut reference: HashMap<usize, f64> = HashMap::new();
+    for s in &u.samples {
+        let prev = reference.insert(s.workload, s.cost);
+        assert!(
+            prev.is_none_or(|p| p == s.cost),
+            "uncached optimizer must be deterministic per workload"
+        );
+    }
+    for s in &c.samples {
+        assert_eq!(
+            reference[&s.workload], s.cost,
+            "cached cost differs from the optimizer's for workload {}",
+            s.workload
+        );
+    }
+
+    let speedup = us.optimize_seconds / cs.optimize_seconds;
+    assert!(
+        speedup >= 10.0,
+        "caching must cut total optimizer time >= 10x (uncached {:.3}s / cached {:.3}s = {speedup:.1}x)",
+        us.optimize_seconds,
+        cs.optimize_seconds
+    );
+
+    // Cached and uncached plans execute to bit-identical results.
+    for graph in graphs.iter().take(3) {
+        assert_execution_bit_exact(&cached, &uncached, graph);
+    }
+
+    for (name, phase, stats) in [("uncached", &u, &us), ("cached", &c, &cs)] {
+        println!(
+            "{name:>9}  hit rate {:>5.1}%  p50 {:>6} us  p99 {:>6} us  {:>7.0} req/s  \
+             {} optimizer runs totalling {:.3}s",
+            phase.hit_rate() * 100.0,
+            phase.latency_us(0.50),
+            phase.latency_us(0.99),
+            phase.throughput_rps(),
+            stats.optimize_runs,
+            stats.optimize_seconds,
+        );
+    }
+    println!(
+        "   serving  {} hits, {} coalesced, {} misses; optimizer time cut {speedup:.1}x; \
+         execution bit-exact on {} workloads",
+        c.count(PlanSource::Hit),
+        c.count(PlanSource::Coalesced),
+        c.count(PlanSource::Miss),
+        3.min(n_workloads)
+    );
+
+    if let Some(path) = json_path {
+        let phase_json = |phase: &Phase, stats: &matopt_serve::ServeStats| {
+            Json::obj([
+                ("requests", Json::Int(phase.samples.len() as i64)),
+                ("errors", Json::Int(phase.errors as i64)),
+                ("hit_rate", Json::Num(phase.hit_rate())),
+                ("p50_latency_us", Json::Int(phase.latency_us(0.50) as i64)),
+                ("p99_latency_us", Json::Int(phase.latency_us(0.99) as i64)),
+                ("throughput_rps", Json::Num(phase.throughput_rps())),
+                ("optimizer_runs", Json::Int(stats.optimize_runs as i64)),
+                ("optimizer_seconds", Json::Num(stats.optimize_seconds)),
+            ])
+        };
+        let report = Json::obj([
+            ("pr", Json::Int(5)),
+            ("workloads", Json::Int(n_workloads as i64)),
+            ("clients", Json::Int(CLIENTS as i64)),
+            ("requests_per_phase", Json::Int(total as i64)),
+            ("uncached", phase_json(&u, &us)),
+            ("cached", phase_json(&c, &cs)),
+            ("optimizer_time_speedup", Json::Num(speedup)),
+            ("plan_costs_identical", Json::Bool(true)),
+            ("execution_bit_exact", Json::Bool(true)),
+        ]);
+        std::fs::write(&path, report.pretty()).expect("write report");
+        println!("\nwrote {path}");
+    }
+}

@@ -4,6 +4,7 @@
 //! matopt formats                         list the physical-format catalog
 //! matopt impls                           list the 38 operator implementations
 //! matopt plan <workload> [options]       optimize a workload and report the plan
+//! matopt serve [options]                 serve plan requests over stdin/stdout
 //!
 //! workloads:
 //!   ffnn:<hidden>            FFNN fwd + backprop-to-W2 (SimSQL experiments)
@@ -45,23 +46,44 @@
 //!   --hedge FACTOR           launch a duplicate of any vertex running
 //!                            longer than FACTOR x its predicted time;
 //!                            first finisher wins (requires --analyze)
+//!   --cache-dir <path>       reuse plans across invocations: warm the
+//!                            plan cache from <path>/plans.mcache before
+//!                            optimizing and persist it back afterwards
+//!
+//! serve options:
+//!   --workers N / --engine / --catalog    as for plan
+//!   --deadline-ms N          reject requests that would wait longer
+//!   --max-queue N            admission cap on concurrent optimizer runs
+//!                            (default 64)
+//!   --beam N                 optimizer beam width (default 4000)
+//!   --cache-dir <path>       warm the cache on start, persist on EOF
+//!   --no-cache               disable the plan cache (every request
+//!                            runs the optimizer; responses carry a
+//!                            zero fingerprint)
+//!
+//! `matopt serve` reads one JSON request per line from stdin and writes
+//! one JSON response per line to stdout. A request either names a
+//! workload ({"id": 1, "workload": "ffnn-small:32"}) or inlines a graph
+//! ({"id": 2, "graph": {"sources": [...], "ops": [...]}}); the response
+//! carries the plan fingerprint, cost, and cache source (hit, miss, or
+//! coalesced). Statistics go to stderr on EOF.
 //! ```
 
-use matopt_bench::Env;
-use matopt_core::{Cluster, ComputeGraph, FormatCatalog, NodeKind, RecoveryPolicy};
+use matopt_bench::{AutoPlan, Env, DEFAULT_BEAM};
+use matopt_core::{Cluster, ComputeGraph, FormatCatalog, ImplRegistry, NodeKind, RecoveryPolicy};
+use matopt_cost::AnalyticalCostModel;
 use matopt_engine::{
     explain_analyze, explain_analyze_with_faults, explain_analyze_with_options, explain_plan,
     parse_fault_spec, render_sql, simulate_plan_traced, simulate_plan_with_recovery, DistRelation,
     ExecOptions, FtConfig, HedgeConfig, SimOutcome,
 };
-use matopt_graphs::{
-    ffnn_full_pass_graph, ffnn_train_step_graph, ffnn_w2_update_graph, matmul_chain_graph,
-    motivating_graph, two_level_inverse_graph, FfnnConfig, SizeSet,
-};
 use matopt_kernels::{random_dense_normal, seeded_rng};
 use matopt_obs::{export, MemorySink, Obs};
+use matopt_serve::{serve_lines, PlanService, ServeConfig};
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// `--analyze` actually executes the plan, so refuse workloads whose
 /// sources alone would exceed this many bytes of dense payload.
@@ -73,8 +95,11 @@ fn main() {
         Some("formats") => cmd_formats(),
         Some("impls") => cmd_impls(),
         Some("plan") => cmd_plan(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         _ => {
-            eprintln!("usage: matopt <formats|impls|plan> ...  (see --help in the source header)");
+            eprintln!(
+                "usage: matopt <formats|impls|plan|serve> ...  (see --help in the source header)"
+            );
             2
         }
     };
@@ -120,6 +145,7 @@ fn cmd_plan(args: &[String]) -> i32 {
     let mut straggler_rate = 0.0f64;
     let mut mem_budget: Option<u64> = None;
     let mut hedge: Option<f64> = None;
+    let mut cache_dir: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -205,6 +231,16 @@ fn cmd_plan(args: &[String]) -> i32 {
                     }
                 }
             }
+            "--cache-dir" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => cache_dir = Some(p.clone()),
+                    None => {
+                        eprintln!("plan: --cache-dir expects a directory path");
+                        return 2;
+                    }
+                }
+            }
             other => {
                 eprintln!("plan: unknown option {other}");
                 return 2;
@@ -250,14 +286,23 @@ fn cmd_plan(args: &[String]) -> i32 {
     };
 
     let env = Env::new();
-    let plan = match env.auto_plan_traced(&graph, cluster, &catalog, obs.clone()) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("plan: optimization failed: {e}");
-            return 1;
-        }
-    };
     let ctx = env.ctx(cluster);
+    let plan = match &cache_dir {
+        Some(dir) => match plan_with_cache(dir, &graph, cluster, &catalog, &ctx, obs.clone()) {
+            Ok(p) => p,
+            Err(msg) => {
+                eprintln!("plan: {msg}");
+                return 1;
+            }
+        },
+        None => match env.auto_plan_traced(&graph, cluster, &catalog, obs.clone()) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("plan: optimization failed: {e}");
+                return 1;
+            }
+        },
+    };
     let outcome = match simulate_plan_traced(&graph, &plan.annotation, &ctx, &env.model, &obs) {
         Ok(report) => report.outcome,
         Err(_) => SimOutcome::Failed {
@@ -350,6 +395,211 @@ fn cmd_plan(args: &[String]) -> i32 {
         }
     }
     0
+}
+
+/// `plan --cache-dir`: answer from a persisted plan cache when the
+/// workload's fingerprint matches, falling back to (and recording) a
+/// fresh optimizer run otherwise. A warmed annotation is re-validated
+/// against the graph before use; a failing one is poisoned and
+/// re-planned rather than trusted.
+fn plan_with_cache(
+    dir: &str,
+    graph: &ComputeGraph,
+    cluster: Cluster,
+    catalog: &FormatCatalog,
+    ctx: &matopt_core::PlanContext<'_>,
+    obs: Obs,
+) -> Result<AutoPlan, String> {
+    let service = PlanService::with_obs(
+        ImplRegistry::paper_default(),
+        catalog.clone(),
+        cluster,
+        Box::new(AnalyticalCostModel),
+        ServeConfig {
+            beam: DEFAULT_BEAM,
+            ..ServeConfig::default()
+        },
+        obs,
+    );
+    let dir = Path::new(dir);
+    let report = service
+        .warm_from_dir(dir)
+        .map_err(|e| format!("--cache-dir {}: {e}", dir.display()))?;
+    if report.loaded > 0 || report.corrupt > 0 {
+        eprintln!(
+            "plan cache: warmed {} entries from {} ({} corrupt skipped)",
+            report.loaded,
+            dir.display(),
+            report.corrupt
+        );
+    }
+    let mut planned = service
+        .plan(graph)
+        .map_err(|e| format!("optimization failed: {e}"))?;
+    if matopt_core::validate(graph, &planned.plan.annotation, ctx).is_err() {
+        service.cache().poison(planned.fingerprint);
+        planned = service
+            .plan(graph)
+            .map_err(|e| format!("re-optimization failed: {e}"))?;
+    }
+    eprintln!(
+        "plan cache: {} (fingerprint {})",
+        planned.source.as_str(),
+        planned.fingerprint
+    );
+    match service.persist_to_dir(dir) {
+        Ok(n) => eprintln!("plan cache: persisted {n} entries to {}", dir.display()),
+        Err(e) => eprintln!("plan cache: could not persist to {}: {e}", dir.display()),
+    }
+    Ok(AutoPlan {
+        annotation: planned.plan.annotation.clone(),
+        est_cost: planned.plan.cost,
+        opt_seconds: planned.plan.opt_seconds,
+        beam_truncated: planned.plan.beam_truncated,
+    })
+}
+
+fn cmd_serve(args: &[String]) -> i32 {
+    let mut workers = 10usize;
+    let mut engine = "simsql".to_string();
+    let mut catalog_name = "dense".to_string();
+    let mut deadline_ms: Option<u64> = None;
+    let mut max_queue = 64usize;
+    let mut beam = DEFAULT_BEAM;
+    let mut cache_dir: Option<String> = None;
+    let mut cache_enabled = true;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workers" => {
+                i += 1;
+                workers = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(10);
+            }
+            "--engine" => {
+                i += 1;
+                engine = args.get(i).cloned().unwrap_or_default();
+            }
+            "--catalog" => {
+                i += 1;
+                catalog_name = args.get(i).cloned().unwrap_or_default();
+            }
+            "--deadline-ms" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(ms) => deadline_ms = Some(ms),
+                    None => {
+                        eprintln!("serve: --deadline-ms expects milliseconds");
+                        return 2;
+                    }
+                }
+            }
+            "--max-queue" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) => max_queue = n,
+                    None => {
+                        eprintln!("serve: --max-queue expects a count");
+                        return 2;
+                    }
+                }
+            }
+            "--beam" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) => beam = n,
+                    None => {
+                        eprintln!("serve: --beam expects a width");
+                        return 2;
+                    }
+                }
+            }
+            "--cache-dir" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => cache_dir = Some(p.clone()),
+                    None => {
+                        eprintln!("serve: --cache-dir expects a directory path");
+                        return 2;
+                    }
+                }
+            }
+            "--no-cache" => cache_enabled = false,
+            other => {
+                eprintln!("serve: unknown option {other}");
+                return 2;
+            }
+        }
+        i += 1;
+    }
+
+    let cluster = match engine.as_str() {
+        "pc" | "plinycompute" => Cluster::plinycompute_like(workers),
+        _ => Cluster::simsql_like(workers),
+    };
+    let catalog = match catalog_name.as_str() {
+        "all" => FormatCatalog::paper_default(),
+        "ssb" => FormatCatalog::single_strip_block(),
+        "sb" => FormatCatalog::single_block(),
+        _ => FormatCatalog::paper_default().dense_only(),
+    };
+    let config = ServeConfig {
+        cache_enabled,
+        deadline: deadline_ms.map(Duration::from_millis),
+        max_queue_depth: max_queue,
+        beam,
+        ..ServeConfig::default()
+    };
+    let service = PlanService::new(
+        ImplRegistry::paper_default(),
+        catalog,
+        cluster,
+        Box::new(AnalyticalCostModel),
+        config,
+    );
+    if let Some(dir) = &cache_dir {
+        match service.warm_from_dir(Path::new(dir)) {
+            Ok(report) => eprintln!(
+                "serve: warmed {} cached plans from {dir} ({} corrupt skipped)",
+                report.loaded, report.corrupt
+            ),
+            Err(e) => {
+                eprintln!("serve: --cache-dir {dir}: {e}");
+                return 1;
+            }
+        }
+    }
+
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let summary = match serve_lines(&service, stdin.lock(), &mut stdout.lock()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: I/O error: {e}");
+            return 1;
+        }
+    };
+    if let Some(dir) = &cache_dir {
+        match service.persist_to_dir(Path::new(dir)) {
+            Ok(n) => eprintln!("serve: persisted {n} cached plans to {dir}"),
+            Err(e) => eprintln!("serve: could not persist cache to {dir}: {e}"),
+        }
+    }
+    let stats = service.stats();
+    eprintln!(
+        "serve: {} requests ({} ok, {} errors); {} hits, {} misses, {} coalesced; \
+         {} optimizer runs totalling {:.3}s; cache holds {} plans ({} bytes)",
+        summary.requests,
+        summary.ok,
+        summary.errors,
+        stats.hits,
+        stats.misses,
+        stats.coalesced,
+        stats.optimize_runs,
+        stats.optimize_seconds,
+        stats.cache_entries,
+        stats.cache_bytes
+    );
+    i32::from(summary.errors > 0)
 }
 
 /// Resource-governor knobs forwarded from the command line.
@@ -448,67 +698,9 @@ fn run_analyze(
     Ok(())
 }
 
+/// Workload specs are shared with the serving protocol so a `plan`
+/// invocation and a `{"workload": ...}` request build identical graphs
+/// (and therefore identical cache fingerprints).
 fn build_workload(spec: &str, cluster: &Cluster) -> Result<ComputeGraph, String> {
-    let parts: Vec<&str> = spec.split(':').collect();
-    match parts[0] {
-        "ffnn" => {
-            let hidden = parts
-                .get(1)
-                .and_then(|s| s.parse().ok())
-                .ok_or("ffnn:<hidden> expects a size, e.g. ffnn:80000")?;
-            Ok(ffnn_w2_update_graph(FfnnConfig::simsql_experiment(hidden))
-                .map_err(|e| e.to_string())?
-                .graph)
-        }
-        "ffnn-full" => {
-            let hidden = parts
-                .get(1)
-                .and_then(|s| s.parse().ok())
-                .ok_or("ffnn-full:<hidden> expects a size")?;
-            Ok(ffnn_full_pass_graph(FfnnConfig::simsql_experiment(hidden))
-                .map_err(|e| e.to_string())?
-                .graph)
-        }
-        "ffnn-small" => {
-            let hidden = parts
-                .get(1)
-                .and_then(|s| s.parse().ok())
-                .ok_or("ffnn-small:<hidden> expects a size, e.g. ffnn-small:32")?;
-            Ok(ffnn_w2_update_graph(FfnnConfig::laptop(hidden))
-                .map_err(|e| e.to_string())?
-                .graph)
-        }
-        "amazoncat" => {
-            let batch = parts
-                .get(1)
-                .and_then(|s| s.parse().ok())
-                .ok_or("amazoncat:<batch>:<layer>[:sparse]")?;
-            let layer = parts
-                .get(2)
-                .and_then(|s| s.parse().ok())
-                .ok_or("amazoncat:<batch>:<layer>[:sparse]")?;
-            let sparse = parts.get(3) == Some(&"sparse");
-            Ok(
-                ffnn_train_step_graph(FfnnConfig::amazoncat(batch, layer, sparse))
-                    .map_err(|e| e.to_string())?
-                    .graph,
-            )
-        }
-        "chain" => {
-            let set = match parts.get(1) {
-                Some(&"1") => SizeSet::Set1,
-                Some(&"2") => SizeSet::Set2,
-                Some(&"3") => SizeSet::Set3,
-                _ => return Err("chain:<1|2|3>".into()),
-            };
-            Ok(matmul_chain_graph(set, cluster)
-                .map_err(|e| e.to_string())?
-                .graph)
-        }
-        "inverse" => Ok(two_level_inverse_graph(10_000, 2_000)
-            .map_err(|e| e.to_string())?
-            .graph),
-        "motivating" => Ok(motivating_graph().map_err(|e| e.to_string())?.graph),
-        other => Err(format!("unknown workload {other}")),
-    }
+    matopt_serve::protocol::workload_graph(spec, cluster)
 }

@@ -7,7 +7,6 @@ use matopt_cost::AnalyticalCostModel;
 use matopt_engine::{format_hms, simulate_plan, SimOutcome};
 use matopt_obs::Obs;
 use matopt_opt::{frontier_dp_beam, OptContext, OptError};
-use std::time::Instant;
 
 /// Beam width used for the evaluation plans. The beam only truncates
 /// joint frontier tables past this many entries; the DAGs of §8.4 stay
@@ -98,12 +97,13 @@ impl Env {
     ) -> Result<AutoPlan, OptError> {
         let ctx = self.ctx(cluster);
         let octx = OptContext::with_obs(&ctx, catalog, &self.model, obs);
-        let t0 = Instant::now();
         let opt = frontier_dp_beam(graph, &octx, DEFAULT_BEAM)?;
         Ok(AutoPlan {
             annotation: opt.annotation,
             est_cost: opt.cost,
-            opt_seconds: t0.elapsed().as_secs_f64(),
+            // The optimizer's own measurement — the same number a plan
+            // cache weights entries by, so tables and cache agree.
+            opt_seconds: opt.opt_seconds,
             beam_truncated: opt.beam_truncated,
         })
     }

@@ -1,0 +1,491 @@
+//! Canonical topological labeling of compute graphs.
+//!
+//! [`ComputeGraph`] vertex ids are construction order, so two graphs
+//! built by different code paths (or by [`crate::ComputeGraph::add_op`]
+//! calls in a different order) describe the *same* computation while
+//! comparing unequal vertex-by-vertex. A plan cache keyed on the raw
+//! vertex list would miss on every such relabeling. This module
+//! computes an isomorphism-stable canonical form:
+//!
+//! 1. every vertex gets a six-word **structural token** — kind, op (or
+//!    source format), payload bits, rows, cols, and a caller-supplied
+//!    statistics token (the hook used by `matopt-serve` to bucket
+//!    sparsity to the cost model's sensitivity);
+//! 2. tokens are refined Weisfeiler–Lehman style: each round rehashes a
+//!    vertex from its own label, its inputs' labels (in argument
+//!    order), and the value-sorted multiset of `(consumer label,
+//!    argument position)` pairs, until the label partition stops
+//!    splitting. Labels look both down (inputs) and up (consumers), so
+//!    structurally different vertices separate even when their subtrees
+//!    agree;
+//! 3. vertices are placed greedily in Kahn order, always taking the
+//!    ready vertex with the smallest id-free key `(token, canonical
+//!    input positions, refined label)`. Ties mean the candidates are
+//!    interchangeable under every refinement we computed, so either
+//!    placement yields the same canonical **encoding**: a word stream
+//!    that fully describes the graph up to vertex renaming.
+//!
+//! Equal encodings therefore come from isomorphic graphs (no false
+//! cache hits short of a 128-bit hash collision); a relabeled copy of
+//! a graph always produces the identical encoding unless WL refinement
+//! fails to separate genuinely distinct orbits — which for these
+//! DAG-shaped, shape-annotated graphs does not occur, and would only
+//! cost a spurious cache miss, never a wrong plan.
+//!
+//! Display names ([`crate::graph::Node::name`]) are deliberately
+//! excluded: they annotate reports, not semantics.
+
+use crate::graph::{ComputeGraph, NodeId, NodeKind};
+use crate::ops::Op;
+use crate::types::MatrixType;
+use crate::PhysFormat;
+
+/// 64-bit FNV-1a offset basis.
+const FNV64_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// 64-bit FNV-1a prime.
+const FNV64_PRIME: u64 = 0x0000_0100_0000_01b3;
+/// 128-bit FNV-1a offset basis.
+const FNV128_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+/// 128-bit FNV-1a prime (2^88 + 2^8 + 0x3b).
+const FNV128_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+/// 64-bit FNV-1a over a word stream (each word fed little-endian).
+pub fn fnv1a_64(words: &[u64]) -> u64 {
+    let mut h = FNV64_OFFSET;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV64_PRIME);
+        }
+    }
+    h
+}
+
+/// 128-bit FNV-1a over a word stream (each word fed little-endian).
+pub fn fnv1a_128(words: &[u64]) -> u128 {
+    let mut h = FNV128_OFFSET;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u128;
+            h = h.wrapping_mul(FNV128_PRIME);
+        }
+    }
+    h
+}
+
+/// Encodes a physical format as two id-free words `(tag, parameter)`.
+pub fn format_words(format: PhysFormat) -> [u64; 2] {
+    match format {
+        PhysFormat::SingleTuple => [0, 0],
+        PhysFormat::RowStrip { height } => [1, height],
+        PhysFormat::ColStrip { width } => [2, width],
+        PhysFormat::Tile { side } => [3, side],
+        PhysFormat::Coo => [4, 0],
+        PhysFormat::CsrSingle => [5, 0],
+        PhysFormat::CsrTile { side } => [6, side],
+    }
+}
+
+/// Encodes an op as two words `(kind tag, payload bits)`.
+fn op_words(op: Op) -> [u64; 2] {
+    let payload = match op {
+        Op::ScalarMul(alpha) => alpha.to_bits(),
+        _ => 0,
+    };
+    [op.kind() as u64, payload]
+}
+
+/// The six-word structural token of one vertex, excluding anything that
+/// depends on vertex ids or display names.
+fn token(kind: &NodeKind, mtype: &MatrixType, stat: u64) -> [u64; 6] {
+    match kind {
+        NodeKind::Source { format } => {
+            let [tag, param] = format_words(*format);
+            [0, tag, param, mtype.rows, mtype.cols, stat]
+        }
+        NodeKind::Compute { op } => {
+            let [tag, payload] = op_words(*op);
+            [1, tag, payload, mtype.rows, mtype.cols, stat]
+        }
+    }
+}
+
+/// The canonical form of a compute graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonicalForm {
+    /// Canonical position → original vertex id (a topological order).
+    pub order: Vec<NodeId>,
+    /// The canonical word encoding: for each vertex in canonical order,
+    /// its structural token followed by its input count and the
+    /// canonical positions of its inputs in argument order. Two graphs
+    /// with equal encodings are isomorphic (the encoding is a full,
+    /// id-free description of the graph).
+    pub words: Vec<u64>,
+    /// 128-bit FNV-1a hash of [`CanonicalForm::words`].
+    pub hash: u128,
+}
+
+impl CanonicalForm {
+    /// The hash as 32 lowercase hex digits.
+    pub fn hash_hex(&self) -> String {
+        format!("{:032x}", self.hash)
+    }
+}
+
+/// Canonical form with exact statistics: the stat token is the raw bit
+/// pattern of each vertex's sparsity. Callers that want drift-stable
+/// fingerprints should use [`canonical_form_with`] and bucket instead.
+pub fn canonical_form(graph: &ComputeGraph) -> CanonicalForm {
+    canonical_form_with(graph, &|m| m.sparsity.to_bits())
+}
+
+/// Canonical form with a caller-supplied statistics token per vertex.
+///
+/// The token feeds the structural label of every vertex, so two graphs
+/// are canonically equal iff they are isomorphic *and* agree on every
+/// vertex's token — pass a bucketing function to make the form stable
+/// under small statistics drift.
+pub fn canonical_form_with(
+    graph: &ComputeGraph,
+    stat_token: &dyn Fn(&MatrixType) -> u64,
+) -> CanonicalForm {
+    let n = graph.len();
+    let tokens: Vec<[u64; 6]> = graph
+        .iter()
+        .map(|(_, node)| token(&node.kind, &node.mtype, stat_token(&node.mtype)))
+        .collect();
+
+    // Weisfeiler–Lehman refinement over 64-bit labels. Refinement only
+    // ever splits label classes, so a round that does not increase the
+    // number of distinct labels has reached the stable partition.
+    let mut labels: Vec<u64> = tokens.iter().map(|t| fnv1a_64(t)).collect();
+    let mut distinct = count_distinct(&labels);
+    for _ in 0..n {
+        if distinct == n {
+            break;
+        }
+        // (consumer label, argument position) pairs per producer.
+        let mut uses: Vec<Vec<(u64, u64)>> = vec![Vec::new(); n];
+        for (cid, cnode) in graph.iter() {
+            for (pos, input) in cnode.inputs.iter().enumerate() {
+                uses[input.index()].push((labels[cid.index()], pos as u64));
+            }
+        }
+        let mut next = Vec::with_capacity(n);
+        for (id, node) in graph.iter() {
+            let v = id.index();
+            let mut words = Vec::with_capacity(2 + node.inputs.len() + 2 * uses[v].len());
+            words.push(labels[v]);
+            words.push(node.inputs.len() as u64);
+            for input in &node.inputs {
+                words.push(labels[input.index()]);
+            }
+            // The consumer multiset is sorted by value so the label
+            // never depends on consumer construction order.
+            uses[v].sort_unstable();
+            for (label, pos) in &uses[v] {
+                words.push(*label);
+                words.push(*pos);
+            }
+            next.push(fnv1a_64(&words));
+        }
+        let next_distinct = count_distinct(&next);
+        if next_distinct == distinct {
+            break;
+        }
+        labels = next;
+        distinct = next_distinct;
+    }
+
+    // Greedy canonical Kahn placement. A vertex's key is fixed the
+    // moment it becomes ready (all inputs placed), and contains no
+    // original vertex ids, so the placement is relabeling-invariant.
+    let mut indegree: Vec<usize> = graph.iter().map(|(_, node)| node.inputs.len()).collect();
+    let consumers = graph.consumers();
+    let mut ready: Vec<usize> = (0..n).filter(|&v| indegree[v] == 0).collect();
+    let mut position: Vec<u64> = vec![u64::MAX; n];
+    let mut order = Vec::with_capacity(n);
+    let mut words = Vec::with_capacity(n * 8);
+    while let Some(slot) = pick_min(graph, &tokens, &labels, &position, &ready) {
+        let v = ready.swap_remove(slot);
+        position[v] = order.len() as u64;
+        let id = NodeId(v as u32);
+        let node = graph.node(id);
+        words.extend_from_slice(&tokens[v]);
+        words.push(node.inputs.len() as u64);
+        for input in &node.inputs {
+            words.push(position[input.index()]);
+        }
+        order.push(id);
+        for consumer in &consumers[v] {
+            let c = consumer.index();
+            indegree[c] -= 1;
+            if indegree[c] == 0 {
+                ready.push(c);
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n, "compute graphs are acyclic");
+
+    let hash = fnv1a_128(&words);
+    CanonicalForm { order, words, hash }
+}
+
+/// Index into `ready` of the vertex with the smallest id-free key
+/// `(token, canonical input positions, refined label)`.
+fn pick_min(
+    graph: &ComputeGraph,
+    tokens: &[[u64; 6]],
+    labels: &[u64],
+    position: &[u64],
+    ready: &[usize],
+) -> Option<usize> {
+    type TieKey = ([u64; 6], Vec<u64>, u64);
+    let mut best: Option<(usize, TieKey)> = None;
+    for (slot, &v) in ready.iter().enumerate() {
+        let inputs: Vec<u64> = graph
+            .node(NodeId(v as u32))
+            .inputs
+            .iter()
+            .map(|i| position[i.index()])
+            .collect();
+        let key = (tokens[v], inputs, labels[v]);
+        if best.as_ref().is_none_or(|(_, k)| key < *k) {
+            best = Some((slot, key));
+        }
+    }
+    best.map(|(slot, _)| slot)
+}
+
+fn count_distinct(labels: &[u64]) -> usize {
+    let mut sorted = labels.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    sorted.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ComputeGraph, MatrixType, Op, PhysFormat};
+
+    fn m(rows: u64, cols: u64) -> MatrixType {
+        MatrixType::dense(rows, cols)
+    }
+
+    /// `relu(A×B) + relu(A×B)`-shaped diamond, built source-first.
+    fn diamond_forward() -> ComputeGraph {
+        let mut g = ComputeGraph::new();
+        let a = g.add_source(m(8, 4), PhysFormat::SingleTuple);
+        let b = g.add_source(m(4, 8), PhysFormat::SingleTuple);
+        let mm = g.add_op(Op::MatMul, &[a, b]).unwrap();
+        let r = g.add_op(Op::Relu, &[mm]).unwrap();
+        let e = g.add_op(Op::Exp, &[mm]).unwrap();
+        g.add_op(Op::Add, &[r, e]).unwrap();
+        g
+    }
+
+    /// The same graph with sources interleaved differently and the two
+    /// middle branches created in the opposite order.
+    fn diamond_relabeled() -> ComputeGraph {
+        let mut g = ComputeGraph::new();
+        let b = g.add_source_named(m(4, 8), PhysFormat::SingleTuple, Some("rhs"));
+        let a = g.add_source_named(m(8, 4), PhysFormat::SingleTuple, Some("lhs"));
+        let mm = g.add_op(Op::MatMul, &[a, b]).unwrap();
+        let e = g.add_op(Op::Exp, &[mm]).unwrap();
+        let r = g.add_op(Op::Relu, &[mm]).unwrap();
+        g.add_op(Op::Add, &[r, e]).unwrap();
+        g
+    }
+
+    #[test]
+    fn relabeled_graph_hashes_equal() {
+        let a = canonical_form(&diamond_forward());
+        let b = canonical_form(&diamond_relabeled());
+        assert_eq!(a.words, b.words);
+        assert_eq!(a.hash, b.hash);
+    }
+
+    #[test]
+    fn order_is_a_topological_permutation() {
+        let g = diamond_forward();
+        let form = canonical_form(&g);
+        let mut seen = vec![false; g.len()];
+        let mut placed = vec![false; g.len()];
+        for id in &form.order {
+            assert!(!seen[id.index()], "duplicate {id}");
+            seen[id.index()] = true;
+            for input in &g.node(*id).inputs {
+                assert!(placed[input.index()], "{id} placed before input {input}");
+            }
+            placed[id.index()] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn names_do_not_affect_the_hash() {
+        let plain = canonical_form(&diamond_forward());
+        let mut named = diamond_forward();
+        named.rename(crate::NodeId(3), "hidden");
+        assert_eq!(plain.hash, canonical_form(&named).hash);
+    }
+
+    #[test]
+    fn structure_changes_the_hash() {
+        let base = canonical_form(&diamond_forward()).hash;
+
+        // Different op on one branch.
+        let mut g = ComputeGraph::new();
+        let a = g.add_source(m(8, 4), PhysFormat::SingleTuple);
+        let b = g.add_source(m(4, 8), PhysFormat::SingleTuple);
+        let mm = g.add_op(Op::MatMul, &[a, b]).unwrap();
+        let r = g.add_op(Op::Relu, &[mm]).unwrap();
+        let e = g.add_op(Op::Neg, &[mm]).unwrap();
+        g.add_op(Op::Add, &[r, e]).unwrap();
+        assert_ne!(base, canonical_form(&g).hash);
+
+        // Different shape.
+        let mut g = ComputeGraph::new();
+        let a = g.add_source(m(16, 4), PhysFormat::SingleTuple);
+        let b = g.add_source(m(4, 8), PhysFormat::SingleTuple);
+        let mm = g.add_op(Op::MatMul, &[a, b]).unwrap();
+        let r = g.add_op(Op::Relu, &[mm]).unwrap();
+        let e = g.add_op(Op::Exp, &[mm]).unwrap();
+        g.add_op(Op::Add, &[r, e]).unwrap();
+        assert_ne!(base, canonical_form(&g).hash);
+
+        // Different source format.
+        let mut g = ComputeGraph::new();
+        let a = g.add_source(m(8, 4), PhysFormat::Tile { side: 4 });
+        let b = g.add_source(m(4, 8), PhysFormat::SingleTuple);
+        let mm = g.add_op(Op::MatMul, &[a, b]).unwrap();
+        let r = g.add_op(Op::Relu, &[mm]).unwrap();
+        let e = g.add_op(Op::Exp, &[mm]).unwrap();
+        g.add_op(Op::Add, &[r, e]).unwrap();
+        assert_ne!(base, canonical_form(&g).hash);
+    }
+
+    #[test]
+    fn scalar_payload_changes_the_hash() {
+        let build = |alpha: f64| {
+            let mut g = ComputeGraph::new();
+            let a = g.add_source(m(4, 4), PhysFormat::SingleTuple);
+            g.add_op(Op::ScalarMul(alpha), &[a]).unwrap();
+            g
+        };
+        assert_ne!(
+            canonical_form(&build(0.5)).hash,
+            canonical_form(&build(0.25)).hash
+        );
+        assert_eq!(
+            canonical_form(&build(0.5)).hash,
+            canonical_form(&build(0.5)).hash
+        );
+    }
+
+    #[test]
+    fn argument_order_is_preserved() {
+        // A − B is not B − A even though the vertex multiset matches.
+        let build = |swap: bool| {
+            let mut g = ComputeGraph::new();
+            let a = g.add_source(m(4, 4), PhysFormat::SingleTuple);
+            let b = g.add_source(m(4, 4), PhysFormat::Coo);
+            let (x, y) = if swap { (b, a) } else { (a, b) };
+            g.add_op(Op::Sub, &[x, y]).unwrap();
+            g
+        };
+        assert_ne!(
+            canonical_form(&build(false)).hash,
+            canonical_form(&build(true)).hash
+        );
+    }
+
+    #[test]
+    fn symmetric_twins_are_stable_under_relabeling() {
+        // Two interchangeable relu branches off the same source: any
+        // placement of the twins must produce the same encoding.
+        let build = |flip: bool| {
+            let mut g = ComputeGraph::new();
+            let a = g.add_source(m(8, 8), PhysFormat::SingleTuple);
+            let (r1, r2) = if flip {
+                let x = g.add_op(Op::Relu, &[a]).unwrap();
+                let y = g.add_op(Op::Relu, &[a]).unwrap();
+                (y, x)
+            } else {
+                let x = g.add_op(Op::Relu, &[a]).unwrap();
+                let y = g.add_op(Op::Relu, &[a]).unwrap();
+                (x, y)
+            };
+            g.add_op(Op::Hadamard, &[r1, r2]).unwrap();
+            g
+        };
+        assert_eq!(
+            canonical_form(&build(false)).words,
+            canonical_form(&build(true)).words
+        );
+    }
+
+    #[test]
+    fn asymmetric_consumers_separate_equal_subtrees() {
+        // Both relu branches have identical *down* structure; only the
+        // consumer side (argument position of a Sub) distinguishes
+        // them. The downward WL pass must keep the two graphs equal
+        // under relabeling while argument order stays significant.
+        let build = |branch_order: bool| {
+            let mut g = ComputeGraph::new();
+            let a = g.add_source(m(8, 8), PhysFormat::SingleTuple);
+            let (r1, r2) = if branch_order {
+                let x = g.add_op(Op::Relu, &[a]).unwrap();
+                let y = g.add_op(Op::Relu, &[a]).unwrap();
+                (x, y)
+            } else {
+                let y = g.add_op(Op::Relu, &[a]).unwrap();
+                let x = g.add_op(Op::Relu, &[a]).unwrap();
+                (x, y)
+            };
+            let s = g.add_op(Op::Sub, &[r1, r2]).unwrap();
+            g.add_op(Op::Exp, &[r2]).unwrap();
+            g.add_op(Op::Neg, &[s]).unwrap();
+            g
+        };
+        assert_eq!(
+            canonical_form(&build(true)).words,
+            canonical_form(&build(false)).words
+        );
+    }
+
+    #[test]
+    fn stat_token_hook_buckets_sparsity() {
+        let build = |s: f64| {
+            let mut g = ComputeGraph::new();
+            let a = g.add_source(MatrixType::sparse(64, 64, s), PhysFormat::Coo);
+            g.add_op(Op::Neg, &[a]).unwrap();
+            g
+        };
+        let bucket = |m: &MatrixType| if m.sparsity < 0.05 { 0 } else { 1 };
+        // Exact stats differ...
+        assert_ne!(
+            canonical_form(&build(0.01)).hash,
+            canonical_form(&build(0.02)).hash
+        );
+        // ...but the bucketed forms agree within a bucket and split
+        // across the boundary.
+        assert_eq!(
+            canonical_form_with(&build(0.01), &bucket).hash,
+            canonical_form_with(&build(0.02), &bucket).hash
+        );
+        assert_ne!(
+            canonical_form_with(&build(0.01), &bucket).hash,
+            canonical_form_with(&build(0.10), &bucket).hash
+        );
+    }
+
+    #[test]
+    fn hash_hex_is_stable_width() {
+        let form = canonical_form(&diamond_forward());
+        let hex = form.hash_hex();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(u128::from_str_radix(&hex, 16).unwrap(), form.hash);
+    }
+}

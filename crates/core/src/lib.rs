@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 
 mod annotate;
+mod canon;
 mod cluster;
 mod dot;
 mod features;
@@ -39,6 +40,9 @@ mod transforms;
 mod types;
 
 pub use annotate::{plan_features, validate, PlanContext, PlanError, PlanFeatures};
+pub use canon::{
+    canonical_form, canonical_form_with, fnv1a_128, fnv1a_64, format_words, CanonicalForm,
+};
 pub use cluster::{Cluster, RecoveryPolicy};
 pub use dot::{annotated_to_dot, graph_to_dot};
 pub use features::CostFeatures;

@@ -123,6 +123,31 @@ pub fn execute_adaptive(
     model: &dyn CostModel,
     config: AdaptiveConfig,
 ) -> Result<AdaptiveOutcome, AdaptiveError> {
+    execute_adaptive_with_hook(graph, inputs, ctx, catalog, model, config, None)
+}
+
+/// A callback invoked each time the adaptive executor halts and
+/// re-plans, with the vertex whose sparsity misestimate triggered it.
+///
+/// Plan caches hook this to poison the stale cache entry: a re-planned
+/// suffix is proof that the cached annotation's statistics were wrong
+/// for this workload.
+pub type ReplanHook<'h> = &'h (dyn Fn(NodeId) + 'h);
+
+/// [`execute_adaptive`] with a re-plan callback.
+///
+/// # Errors
+/// [`AdaptiveError`] when execution fails or a re-optimization finds no
+/// plan.
+pub fn execute_adaptive_with_hook(
+    graph: &ComputeGraph,
+    inputs: &HashMap<NodeId, DistRelation>,
+    ctx: &PlanContext<'_>,
+    catalog: &FormatCatalog,
+    model: &dyn CostModel,
+    config: AdaptiveConfig,
+    on_replan: Option<ReplanHook<'_>>,
+) -> Result<AdaptiveOutcome, AdaptiveError> {
     let octx = OptContext::new(ctx, catalog, model);
     let mut plan: Annotation = frontier_dp_beam(graph, &octx, config.beam)
         .map_err(AdaptiveError::Opt)?
@@ -188,6 +213,9 @@ pub fn execute_adaptive(
                     // Halt and re-plan the suffix with corrected stats.
                     triggered_at.push(v);
                     reoptimizations += 1;
+                    if let Some(hook) = on_replan {
+                        hook(v);
+                    }
                     let (g2, map2) = rebuild_suffix(graph, &order[..=pos], &values, &consumers);
                     let plan2 =
                         frontier_dp_beam(&g2, &OptContext::new(ctx, catalog, model), config.beam)

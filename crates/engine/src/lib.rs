@@ -37,7 +37,10 @@ mod spill;
 mod sql;
 mod value;
 
-pub use adaptive::{execute_adaptive, AdaptiveConfig, AdaptiveError, AdaptiveOutcome};
+pub use adaptive::{
+    execute_adaptive, execute_adaptive_with_hook, AdaptiveConfig, AdaptiveError, AdaptiveOutcome,
+    ReplanHook,
+};
 pub use calibrate::{collect_samples, collect_samples_traced, fit_model_traced};
 pub use exec::{
     execute_plan, execute_plan_serial, execute_plan_traced, execute_plan_with, reference_eval,

@@ -21,7 +21,7 @@
 //! assert_eq!(graph.compute_count(), 3);
 //! ```
 
-use matopt_core::{ComputeGraph, MatrixType, NodeId, Op, PhysFormat};
+use matopt_core::{ComputeGraph, MatrixType, NodeId, Op, PhysFormat, TypeError};
 use std::cell::RefCell;
 
 /// Builds a [`ComputeGraph`] through [`Expr`] handles.
@@ -65,10 +65,17 @@ impl ExprBuilder {
     }
 
     fn apply(&self, op: Op, inputs: &[NodeId], name: Option<&str>) -> NodeId {
-        self.graph
-            .borrow_mut()
-            .add_op_named(op, inputs, name)
+        self.try_apply(op, inputs, name)
             .unwrap_or_else(|e| panic!("expression DSL type error: {e}"))
+    }
+
+    fn try_apply(
+        &self,
+        op: Op,
+        inputs: &[NodeId],
+        name: Option<&str>,
+    ) -> Result<NodeId, TypeError> {
+        self.graph.borrow_mut().add_op_named(op, inputs, name)
     }
 }
 
@@ -166,6 +173,79 @@ impl<'b> Expr<'b> {
     pub fn named(self, name: &str) -> Expr<'b> {
         self.builder.graph.borrow_mut().rename(self.id, name);
         self
+    }
+
+    /// Applies `op` to this expression and any further inputs without
+    /// panicking — the fallible entry point the panicking wrappers and
+    /// every `try_*` method funnel through. Servers building graphs
+    /// from untrusted requests use these so a malformed request becomes
+    /// an error response instead of a dead worker thread.
+    ///
+    /// # Errors
+    /// [`TypeError`] when the op rejects the input shapes.
+    pub fn try_apply(self, op: Op, rest: &[Expr<'b>]) -> Result<Expr<'b>, TypeError> {
+        let mut inputs = Vec::with_capacity(1 + rest.len());
+        inputs.push(self.id);
+        for e in rest {
+            assert!(
+                std::ptr::eq(self.builder, e.builder),
+                "expressions belong to different builders"
+            );
+            inputs.push(e.id);
+        }
+        Ok(Expr {
+            builder: self.builder,
+            id: self.builder.try_apply(op, &inputs, None)?,
+        })
+    }
+
+    /// Fallible [`Expr::mm`].
+    ///
+    /// # Errors
+    /// [`TypeError`] when the inner dimensions disagree.
+    pub fn try_mm(self, rhs: Expr<'b>) -> Result<Expr<'b>, TypeError> {
+        self.try_apply(Op::MatMul, &[rhs])
+    }
+
+    /// Fallible elementwise sum (the `+` operator panics instead).
+    ///
+    /// # Errors
+    /// [`TypeError`] when the shapes disagree.
+    pub fn try_add(self, rhs: Expr<'b>) -> Result<Expr<'b>, TypeError> {
+        self.try_apply(Op::Add, &[rhs])
+    }
+
+    /// Fallible elementwise difference (the `-` operator panics
+    /// instead).
+    ///
+    /// # Errors
+    /// [`TypeError`] when the shapes disagree.
+    pub fn try_sub(self, rhs: Expr<'b>) -> Result<Expr<'b>, TypeError> {
+        self.try_apply(Op::Sub, &[rhs])
+    }
+
+    /// Fallible [`Expr::hadamard`].
+    ///
+    /// # Errors
+    /// [`TypeError`] when the shapes disagree.
+    pub fn try_hadamard(self, rhs: Expr<'b>) -> Result<Expr<'b>, TypeError> {
+        self.try_apply(Op::Hadamard, &[rhs])
+    }
+
+    /// Fallible [`Expr::bias_add`].
+    ///
+    /// # Errors
+    /// [`TypeError`] when the bias is not a `1 × c` row vector.
+    pub fn try_bias_add(self, bias: Expr<'b>) -> Result<Expr<'b>, TypeError> {
+        self.try_apply(Op::BroadcastAddRow, &[bias])
+    }
+
+    /// Fallible [`Expr::inverse`].
+    ///
+    /// # Errors
+    /// [`TypeError`] when the matrix is not square.
+    pub fn try_inverse(self) -> Result<Expr<'b>, TypeError> {
+        self.try_apply(Op::Inverse, &[])
     }
 }
 
@@ -278,6 +358,31 @@ mod tests {
         let x = b.source("x", MatrixType::dense(8, 32), PhysFormat::SingleTuple);
         let y = b.source("y", MatrixType::dense(8, 32), PhysFormat::SingleTuple);
         let _ = x * y; // 8x32 times 8x32 is not multiplicable
+    }
+
+    #[test]
+    fn try_variants_return_errors_instead_of_panicking() {
+        let b = ExprBuilder::new();
+        let x = b.source("x", MatrixType::dense(8, 32), PhysFormat::SingleTuple);
+        let y = b.source("y", MatrixType::dense(8, 32), PhysFormat::SingleTuple);
+        assert!(x.try_mm(y).is_err()); // inner dims 32 vs 8
+        assert!(x.try_inverse().is_err()); // not square
+        assert!(x.try_bias_add(y).is_err()); // bias must be 1 x c
+        let yt = y.t();
+        let p = x.try_mm(yt).expect("8x32 times 32x8 multiplies");
+        assert_eq!(
+            (b.type_of(p).rows, b.type_of(p).cols),
+            (8, 8),
+            "fallible and panicking paths infer the same types"
+        );
+        assert!(p.try_add(p).is_ok());
+        assert!(p.try_sub(p).is_ok());
+        assert!(p.try_hadamard(p).is_ok());
+        assert!(p.try_inverse().is_ok());
+        // A failed try_ call leaves no orphan vertex behind.
+        let before = b.graph.borrow().len();
+        assert!(x.try_mm(x).is_err());
+        assert_eq!(b.graph.borrow().len(), before);
     }
 
     #[test]

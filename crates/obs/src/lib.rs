@@ -50,6 +50,9 @@ pub enum Subsystem {
     Faults,
     /// The pipelined DAG scheduler and its work-stealing pool.
     Sched,
+    /// The concurrent plan service and its fingerprint cache
+    /// (`matopt-serve`).
+    Serve,
 }
 
 impl Subsystem {
@@ -64,6 +67,7 @@ impl Subsystem {
             Subsystem::Cli => "cli",
             Subsystem::Faults => "faults",
             Subsystem::Sched => "sched",
+            Subsystem::Serve => "serve",
         }
     }
 }

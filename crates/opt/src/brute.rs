@@ -33,6 +33,7 @@ pub fn brute_force(
     octx: &OptContext<'_>,
     budget: Option<Duration>,
 ) -> Result<Optimized, OptError> {
+    let started = Instant::now();
     let _phase = octx
         .obs
         .span_with(matopt_obs::Subsystem::Optimizer, "brute_force", || {
@@ -94,6 +95,7 @@ pub fn brute_force(
         cost: search.best_cost,
         beam_truncated: 0,
         timed_out,
+        opt_seconds: started.elapsed().as_secs_f64(),
     })
 }
 

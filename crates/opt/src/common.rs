@@ -51,6 +51,10 @@ pub struct Optimized {
     /// deadline, not a proven optimum. Always false for the DP
     /// algorithms (they have no budget).
     pub timed_out: bool,
+    /// Wall-clock seconds the search itself took. Plan caches weight
+    /// entries by the optimizer time a hit saves, so every algorithm
+    /// measures and reports its own cost of planning.
+    pub opt_seconds: f64,
 }
 
 impl Optimized {

@@ -127,6 +127,7 @@ fn frontier_dp_inner(
     octx: &OptContext<'_>,
     beam: usize,
 ) -> Result<Optimized, OptError> {
+    let started = std::time::Instant::now();
     let _phase = octx.obs.span_with(Subsystem::Optimizer, "frontier_dp", || {
         vec![
             ("vertices", graph.len().into()),
@@ -214,6 +215,7 @@ fn frontier_dp_inner(
         cost: total,
         beam_truncated,
         timed_out: false,
+        opt_seconds: started.elapsed().as_secs_f64(),
     })
 }
 

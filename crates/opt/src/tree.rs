@@ -34,6 +34,7 @@ struct TreeEntry {
 /// * [`OptError::NoFeasiblePlan`] when some vertex admits no
 ///   type-correct implementation on this cluster.
 pub fn tree_dp(graph: &ComputeGraph, octx: &OptContext<'_>) -> Result<Optimized, OptError> {
+    let started = std::time::Instant::now();
     if !graph.is_tree_shaped() {
         return Err(OptError::NotTreeShaped);
     }
@@ -167,6 +168,7 @@ pub fn tree_dp(graph: &ComputeGraph, octx: &OptContext<'_>) -> Result<Optimized,
         cost: total,
         beam_truncated: 0,
         timed_out: false,
+        opt_seconds: started.elapsed().as_secs_f64(),
     })
 }
 

@@ -1,0 +1,184 @@
+//! Workload fingerprints: an isomorphism-stable 128-bit key over
+//! (compute graph, cluster configuration, bucketed sparsity
+//! statistics, format catalog).
+//!
+//! The graph contribution comes from
+//! [`matopt_core::canonical_form_with`], so relabeled-but-equal graphs
+//! — the same expression built by different `ExprBuilder` call orders —
+//! collapse onto one fingerprint. Sparsity statistics are bucketed to
+//! the cost model's sensitivity before hashing: the adaptive executor
+//! re-plans at a relative sparsity error of ~1.2×, so the fingerprint
+//! uses eighth-decade buckets (each spanning a 10^(1/8) ≈ 1.33× density
+//! range). Statistics drifting within a bucket keep hitting the cached
+//! plan; drifting past a bucket boundary re-plans — exactly the
+//! granularity at which the cost model would start choosing different
+//! implementations.
+//!
+//! The cluster and catalog are hashed exactly (every rate, every
+//! format): a plan optimized for one machine budget is never served to
+//! another.
+
+use matopt_core::{
+    canonical_form_with, fnv1a_128, format_words, Cluster, ComputeGraph, FormatCatalog,
+};
+
+/// Version word mixed into every fingerprint; bump when the encoding
+/// changes so persisted caches from older layouts miss instead of
+/// colliding.
+const FP_VERSION: u64 = 1;
+
+/// A 128-bit workload fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u128);
+
+impl Fingerprint {
+    /// The fingerprint as 32 lowercase hex digits.
+    pub fn hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parses the [`Fingerprint::hex`] form back.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        if s.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(Fingerprint)
+    }
+
+    /// Which of `n` shards this fingerprint belongs to.
+    pub(crate) fn shard(self, n: usize) -> usize {
+        // The low bits are well-mixed FNV output; fold in some high
+        // bits anyway so shard counts that divide 2^64 stay balanced.
+        (((self.0 >> 64) as u64 ^ self.0 as u64) % n as u64) as usize
+    }
+}
+
+impl std::fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// Buckets a density to the cost model's sensitivity: eighth-decade
+/// log-scale buckets (ratio 10^(1/8) ≈ 1.33 between boundaries, on the
+/// order of the 1.2× relative error at which adaptive execution
+/// re-plans), with exact endpoints for the two values the optimizer
+/// treats specially — fully dense (`1.0`, where dense-only kernels
+/// apply) and empty (`0.0`).
+pub fn sparsity_bucket(sparsity: f64) -> u64 {
+    if sparsity >= 1.0 {
+        return u64::MAX;
+    }
+    if sparsity <= 0.0 || !sparsity.is_finite() {
+        return 0;
+    }
+    // log10 of the smallest positive f64 is ≈ −323.6, so the bucket
+    // index is ≥ −2590 and the +10_000 bias keeps it positive.
+    let bucket = (sparsity.log10() * 8.0).floor() as i64;
+    (10_000 + bucket).max(1) as u64
+}
+
+/// Words describing the cluster exactly — every rate bit-for-bit, so
+/// any reconfiguration (including [`Cluster::degraded`]) changes the
+/// fingerprint.
+fn cluster_words(c: &Cluster) -> Vec<u64> {
+    vec![
+        c.workers as u64,
+        c.worker_ram_bytes.to_bits(),
+        c.flops_per_sec.to_bits(),
+        c.single_thread_flops_per_sec.to_bits(),
+        c.net_bytes_per_sec.to_bits(),
+        c.inter_bytes_per_sec.to_bits(),
+        c.tuple_overhead_sec.to_bits(),
+        c.op_setup_sec.to_bits(),
+        c.max_tuple_bytes.to_bits(),
+        c.worker_disk_bytes.to_bits(),
+        u64::from(c.reclaim_scratch),
+        c.crash_rate_per_hour.to_bits(),
+        c.straggler_rate.to_bits(),
+        c.straggler_slowdown.to_bits(),
+    ]
+}
+
+/// The fingerprint of planning `graph` on `cluster` over `catalog`.
+pub fn fingerprint(
+    graph: &ComputeGraph,
+    cluster: &Cluster,
+    catalog: &FormatCatalog,
+) -> Fingerprint {
+    let form = canonical_form_with(graph, &|m| sparsity_bucket(m.sparsity));
+    let mut words = form.words;
+    words.push(FP_VERSION);
+    let cw = cluster_words(cluster);
+    words.push(cw.len() as u64);
+    words.extend_from_slice(&cw);
+    words.push(catalog.len() as u64);
+    for f in catalog.formats() {
+        words.extend_from_slice(&format_words(*f));
+    }
+    Fingerprint(fnv1a_128(&words))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matopt_core::{MatrixType, Op, PhysFormat};
+
+    fn graph(sparsity: f64) -> ComputeGraph {
+        let mut g = ComputeGraph::new();
+        let a = g.add_source(MatrixType::sparse(64, 64, sparsity), PhysFormat::CsrSingle);
+        let b = g.add_source(MatrixType::dense(64, 16), PhysFormat::Tile { side: 8 });
+        let p = g.add_op(Op::MatMul, &[a, b]).unwrap();
+        g.add_op(Op::Relu, &[p]).unwrap();
+        g
+    }
+
+    #[test]
+    fn bucket_is_monotone_and_pins_endpoints() {
+        assert_eq!(sparsity_bucket(1.0), u64::MAX);
+        assert_eq!(sparsity_bucket(0.0), 0);
+        assert_eq!(sparsity_bucket(-0.5), 0);
+        let mut prev = 0;
+        for s in [1e-300, 1e-9, 1e-4, 0.01, 0.1, 0.5, 0.999] {
+            let b = sparsity_bucket(s);
+            assert!(b > prev, "bucket({s}) = {b} not above {prev}");
+            prev = b;
+        }
+        assert!(sparsity_bucket(0.999) < u64::MAX);
+    }
+
+    #[test]
+    fn bucket_width_matches_replan_sensitivity() {
+        // Within a 1.33x band the bucket holds; past it, it moves.
+        assert_eq!(sparsity_bucket(0.101), sparsity_bucket(0.12));
+        assert_ne!(sparsity_bucket(0.09), sparsity_bucket(0.12));
+    }
+
+    #[test]
+    fn cluster_and_catalog_feed_the_fingerprint() {
+        let g = graph(0.05);
+        let cat = FormatCatalog::paper_default();
+        let base = fingerprint(&g, &Cluster::simsql_like(4), &cat);
+        assert_ne!(base, fingerprint(&g, &Cluster::simsql_like(5), &cat));
+        assert_ne!(
+            base,
+            fingerprint(&g, &Cluster::simsql_like(4).degraded(), &cat)
+        );
+        assert_ne!(
+            base,
+            fingerprint(&g, &Cluster::simsql_like(4), &cat.clone().dense_only())
+        );
+        assert_eq!(base, fingerprint(&g, &Cluster::simsql_like(4), &cat));
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        let fp = fingerprint(
+            &graph(0.05),
+            &Cluster::simsql_like(4),
+            &FormatCatalog::paper_default(),
+        );
+        assert_eq!(Fingerprint::from_hex(&fp.hex()), Some(fp));
+        assert_eq!(Fingerprint::from_hex("zz"), None);
+    }
+}

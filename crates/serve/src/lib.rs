@@ -1,0 +1,88 @@
+//! # matopt-serve
+//!
+//! The concurrent plan-serving subsystem: the optimizer and engine of
+//! the paper, repackaged as a long-lived service that answers "plan
+//! this graph on this cluster" requests from many clients at once.
+//!
+//! Optimizing a plan costs real time (the frontier DP over a 57-vertex
+//! FFNN graph is milliseconds to seconds depending on catalog and
+//! beam), while *serving* an already-optimized plan costs microseconds
+//! — so the subsystem is built around recognizing that two requests are
+//! the same planning problem:
+//!
+//! * [`fingerprint`] — an isomorphism-stable 128-bit key over (graph,
+//!   cluster, bucketed sparsity statistics, format catalog), built on
+//!   the canonical labeling in `matopt-core`. Two `ExprBuilder`
+//!   programs that build the same DAG in different vertex orders hit
+//!   the same cache line.
+//! * [`PlanCache`] — a sharded concurrent map fingerprint →
+//!   `Arc<Optimized>` with cost-aware eviction (entries are weighted by
+//!   the optimizer seconds a hit saves, decayed by recency) and
+//!   epoch-based invalidation (calibration updates and cluster changes
+//!   bump an epoch instead of walking the cache; adaptive-execution
+//!   re-plans poison single entries).
+//! * [`PlanService`] — the request pipeline: single-flight coalescing
+//!   (concurrent misses on one fingerprint run the optimizer exactly
+//!   once), deadline and queue-depth backpressure in the PR 4
+//!   governor's admission vocabulary, and execution fan-out onto the
+//!   existing pipelined executor.
+//! * [`serve_lines`] — the `matopt serve` front end: JSON-lines over
+//!   stdin/stdout ([`protocol`] documents the request grammar), plus
+//!   the same service as an in-process API.
+//! * [`save_cache`]/[`load_cache`] — `matopt plan --cache-dir`
+//!   persistence with dual FNV-1a checksums; a corrupt entry is a
+//!   cache miss, never a wrong plan.
+//!
+//! Everything is observable under [`matopt_obs::Subsystem::Serve`]:
+//! hit/miss/coalesced counters, queue-depth gauges, per-request latency
+//! records, eviction and poison events.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cache;
+mod fingerprint;
+mod persist;
+pub mod protocol;
+mod server;
+mod service;
+
+pub use cache::{plan_bytes, CacheConfig, CacheCounters, PlanCache};
+pub use fingerprint::{fingerprint, sparsity_bucket, Fingerprint};
+pub use persist::{load_cache, save_cache, LoadReport, CACHE_FILE};
+pub use server::{respond, serve_lines, ServeSummary};
+pub use service::{PlanService, PlanSource, Planned, ServeError, ServeStats};
+
+/// Configuration of a [`PlanService`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Plan-cache sizing.
+    pub cache: CacheConfig,
+    /// `false` disables the cache *and* single-flight coalescing —
+    /// every request pays the optimizer. The honest uncached baseline
+    /// for benchmarks, and an escape hatch if a cache bug is ever
+    /// suspected in production.
+    pub cache_enabled: bool,
+    /// Per-request deadline (`None` = wait forever). Applies to time
+    /// parked behind another request's optimizer run as well as to a
+    /// request's own run.
+    pub deadline: Option<std::time::Duration>,
+    /// Admission cap: a miss that would start more than this many
+    /// concurrent optimizer runs is rejected with
+    /// [`ServeError::Overloaded`] instead of queued.
+    pub max_queue_depth: usize,
+    /// Beam width for the frontier DP (the CLI default).
+    pub beam: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            cache: CacheConfig::default(),
+            cache_enabled: true,
+            deadline: None,
+            max_queue_depth: 64,
+            beam: 4000,
+        }
+    }
+}

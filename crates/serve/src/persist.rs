@@ -1,0 +1,435 @@
+//! On-disk plan-cache persistence: `matopt plan --cache-dir <path>`
+//! survives process restarts by spilling the cache snapshot to
+//! `<dir>/plans.mcache` and warming from it on the next start.
+//!
+//! The format follows the engine's spill files: a little-endian `u64`
+//! word stream with a magic header, and *two* checksums per entry —
+//! a **stream** FNV-1a over the entry's raw bytes (catches disk rot and
+//! truncation) and a **value** FNV-1a that the loader verifies by
+//! re-encoding the decoded entry (catches encoder/decoder asymmetry).
+//! Every read is bounds-checked; a corrupt entry is *skipped and
+//! counted*, never decoded into a wrong plan — a damaged cache file
+//! degrades to cache misses, not to serving garbage.
+
+use crate::{Fingerprint, PlanService};
+use matopt_core::{
+    fnv1a_64, Annotation, ImplId, PhysFormat, Transform, VertexChoice, ALL_TRANSFORM_KINDS,
+};
+use matopt_opt::Optimized;
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+/// `b"MPLN0001"` as a little-endian word.
+const MAGIC: u64 = u64::from_le_bytes(*b"MPLN0001");
+
+/// File name inside the cache directory.
+pub const CACHE_FILE: &str = "plans.mcache";
+
+/// What a warm/load pass found.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Entries decoded and verified.
+    pub loaded: usize,
+    /// Entries (or whole files) rejected by the checksums or bounds
+    /// checks.
+    pub corrupt: usize,
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn encode_format(words: &mut Vec<u64>, f: PhysFormat) {
+    words.extend_from_slice(&matopt_core::format_words(f));
+}
+
+/// The body of one entry, as words.
+fn encode_entry(fp: Fingerprint, plan: &Optimized) -> Vec<u64> {
+    let mut w = vec![
+        (fp.0 >> 64) as u64,
+        fp.0 as u64,
+        plan.cost.to_bits(),
+        plan.opt_seconds.to_bits(),
+        plan.beam_truncated as u64,
+        u64::from(plan.timed_out),
+        plan.annotation.choices.len() as u64,
+    ];
+    for choice in &plan.annotation.choices {
+        match choice {
+            None => w.push(0),
+            Some(c) => {
+                w.push(1);
+                w.push(c.impl_id.0 as u64);
+                encode_format(&mut w, c.output_format);
+                w.push(c.input_transforms.len() as u64);
+                for t in &c.input_transforms {
+                    let kind = ALL_TRANSFORM_KINDS
+                        .iter()
+                        .position(|k| *k == t.kind)
+                        .expect("every TransformKind is in ALL_TRANSFORM_KINDS");
+                    w.push(kind as u64);
+                    encode_format(&mut w, t.to);
+                }
+            }
+        }
+    }
+    w
+}
+
+fn words_to_bytes(words: &[u64]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(words.len() * 8);
+    for w in words {
+        bytes.extend_from_slice(&w.to_le_bytes());
+    }
+    bytes
+}
+
+/// Serializes `entries` to the cache-file byte format.
+fn encode_file(entries: &[(Fingerprint, Arc<Optimized>)]) -> Vec<u8> {
+    let mut words = vec![MAGIC, entries.len() as u64];
+    for (fp, plan) in entries {
+        let body = encode_entry(*fp, plan);
+        let body_bytes = words_to_bytes(&body);
+        words.push(body.len() as u64);
+        words.push(fnv1a_bytes(&body_bytes));
+        words.push(fnv1a_64(&body));
+        words.extend_from_slice(&body);
+    }
+    words_to_bytes(&words)
+}
+
+/// FNV-1a over raw bytes (the stream checksum — same fold the engine's
+/// spill files use).
+fn fnv1a_bytes(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+/// Bounds-checked word reader: every `take` can fail, nothing panics on
+/// hostile input.
+struct Reader<'a> {
+    words: &'a [u64],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self) -> Option<u64> {
+        let w = *self.words.get(self.pos)?;
+        self.pos += 1;
+        Some(w)
+    }
+
+    /// A length/count field, rejected above `max`.
+    fn take_len(&mut self, max: usize) -> Option<usize> {
+        let w = self.take()?;
+        let n = usize::try_from(w).ok()?;
+        (n <= max).then_some(n)
+    }
+}
+
+fn decode_format(r: &mut Reader<'_>) -> Option<PhysFormat> {
+    let tag = r.take()?;
+    let arg = r.take()?;
+    Some(match tag {
+        0 => PhysFormat::SingleTuple,
+        1 => PhysFormat::RowStrip { height: arg },
+        2 => PhysFormat::ColStrip { width: arg },
+        3 => PhysFormat::Tile { side: arg },
+        4 => PhysFormat::Coo,
+        5 => PhysFormat::CsrSingle,
+        6 => PhysFormat::CsrTile { side: arg },
+        _ => return None,
+    })
+}
+
+/// Graphs and fan-ins far beyond anything the workspace builds; a
+/// length field past these is corruption, not a big plan.
+const MAX_CHOICES: usize = 1 << 20;
+const MAX_TRANSFORMS: usize = 1 << 10;
+
+fn decode_entry(body: &[u64]) -> Option<(Fingerprint, Optimized)> {
+    let mut r = Reader {
+        words: body,
+        pos: 0,
+    };
+    let fp = Fingerprint(((r.take()? as u128) << 64) | r.take()? as u128);
+    let cost = f64::from_bits(r.take()?);
+    let opt_seconds = f64::from_bits(r.take()?);
+    let beam_truncated = usize::try_from(r.take()?).ok()?;
+    let timed_out = match r.take()? {
+        0 => false,
+        1 => true,
+        _ => return None,
+    };
+    let n_choices = r.take_len(MAX_CHOICES)?;
+    let mut choices = Vec::with_capacity(n_choices);
+    for _ in 0..n_choices {
+        match r.take()? {
+            0 => choices.push(None),
+            1 => {
+                let impl_id = ImplId(u16::try_from(r.take()?).ok()?);
+                let output_format = decode_format(&mut r)?;
+                let n_transforms = r.take_len(MAX_TRANSFORMS)?;
+                let mut input_transforms = Vec::with_capacity(n_transforms);
+                for _ in 0..n_transforms {
+                    let kind = *ALL_TRANSFORM_KINDS.get(usize::try_from(r.take()?).ok()?)?;
+                    let to = decode_format(&mut r)?;
+                    input_transforms.push(Transform { kind, to });
+                }
+                choices.push(Some(VertexChoice {
+                    impl_id,
+                    input_transforms,
+                    output_format,
+                }));
+            }
+            _ => return None,
+        }
+    }
+    if r.pos != body.len() {
+        return None; // trailing garbage inside the entry
+    }
+    Some((
+        fp,
+        Optimized {
+            annotation: Annotation { choices },
+            cost,
+            beam_truncated,
+            timed_out,
+            opt_seconds,
+        },
+    ))
+}
+
+/// Decodes a cache file, skipping (and counting) corrupt entries.
+fn decode_file(bytes: &[u8]) -> (Vec<(Fingerprint, Optimized)>, usize) {
+    if !bytes.len().is_multiple_of(8) {
+        return (Vec::new(), 1);
+    }
+    let words: Vec<u64> = bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+        .collect();
+    let mut r = Reader {
+        words: &words,
+        pos: 0,
+    };
+    if r.take() != Some(MAGIC) {
+        return (Vec::new(), 1);
+    }
+    let Some(count) = r.take_len(MAX_CHOICES) else {
+        return (Vec::new(), 1);
+    };
+    let mut out = Vec::new();
+    let mut corrupt = 0usize;
+    for _ in 0..count {
+        let Some(body_len) = r.take_len(words.len().saturating_sub(r.pos)) else {
+            // Header truncated: nothing after this point is framed.
+            corrupt += 1;
+            break;
+        };
+        let (Some(stream_fnv), Some(value_fnv)) = (r.take(), r.take()) else {
+            corrupt += 1;
+            break;
+        };
+        let Some(body) = words.get(r.pos..r.pos + body_len) else {
+            corrupt += 1;
+            break;
+        };
+        r.pos += body_len;
+        // Checksum 1: the stream, over the raw bytes as stored.
+        if fnv1a_bytes(&words_to_bytes(body)) != stream_fnv {
+            corrupt += 1;
+            continue;
+        }
+        // Checksum 2: the value — decode, re-encode, and demand the
+        // round trip reproduce the recorded word hash.
+        let Some((fp, plan)) = decode_entry(body) else {
+            corrupt += 1;
+            continue;
+        };
+        if fnv1a_64(&encode_entry(fp, &plan)) != value_fnv {
+            corrupt += 1;
+            continue;
+        }
+        out.push((fp, plan));
+    }
+    (out, corrupt)
+}
+
+// ---------------------------------------------------------------------
+// Files + service wiring
+// ---------------------------------------------------------------------
+
+/// Writes `entries` to `<dir>/plans.mcache` atomically (temp file +
+/// rename), creating `dir` if needed.
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn save_cache(dir: &Path, entries: &[(Fingerprint, Arc<Optimized>)]) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let tmp = dir.join(format!("{CACHE_FILE}.tmp.{}", std::process::id()));
+    std::fs::write(&tmp, encode_file(entries))?;
+    std::fs::rename(&tmp, dir.join(CACHE_FILE))
+}
+
+/// Reads `<dir>/plans.mcache`. A missing file is an empty cache; a
+/// damaged file yields whatever entries survive both checksums.
+///
+/// # Errors
+/// Propagates filesystem errors other than "not found".
+pub fn load_cache(dir: &Path) -> io::Result<(Vec<(Fingerprint, Optimized)>, LoadReport)> {
+    let bytes = match std::fs::read(dir.join(CACHE_FILE)) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            return Ok((Vec::new(), LoadReport::default()))
+        }
+        Err(e) => return Err(e),
+    };
+    let (entries, corrupt) = decode_file(&bytes);
+    let report = LoadReport {
+        loaded: entries.len(),
+        corrupt,
+    };
+    Ok((entries, report))
+}
+
+impl PlanService {
+    /// Warms the cache from `<dir>/plans.mcache`. Entries enter at the
+    /// *current* epoch — a cluster or model change after warming
+    /// invalidates them like any live entry. Corrupt entries become
+    /// misses and a `cache_corrupt` obs record, never a served plan.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn warm_from_dir(&self, dir: &Path) -> io::Result<LoadReport> {
+        let (entries, report) = load_cache(dir)?;
+        let epoch = self.cache().epoch();
+        for (fp, plan) in entries {
+            self.cache().insert(fp, Arc::new(plan), epoch);
+        }
+        if report.corrupt > 0 {
+            self.obs()
+                .record(matopt_obs::Subsystem::Serve, "cache_corrupt", || {
+                    vec![
+                        ("dir", dir.display().to_string().into()),
+                        ("corrupt", report.corrupt.into()),
+                        ("loaded", report.loaded.into()),
+                    ]
+                });
+        }
+        Ok(report)
+    }
+
+    /// Persists every live current-epoch entry to `<dir>/plans.mcache`.
+    /// Returns how many entries were written.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn persist_to_dir(&self, dir: &Path) -> io::Result<usize> {
+        let snapshot = self.cache().snapshot();
+        save_cache(dir, &snapshot)?;
+        Ok(snapshot.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matopt_core::TransformKind;
+
+    fn sample() -> (Fingerprint, Arc<Optimized>) {
+        let choices = vec![
+            None,
+            Some(VertexChoice {
+                impl_id: ImplId(7),
+                input_transforms: vec![
+                    Transform::identity(PhysFormat::Tile { side: 500 }),
+                    Transform {
+                        kind: TransformKind::RowStripToTile,
+                        to: PhysFormat::Tile { side: 500 },
+                    },
+                ],
+                output_format: PhysFormat::Tile { side: 500 },
+            }),
+        ];
+        (
+            Fingerprint(0xdead_beef_0123_4567_89ab_cdef_0000_0001),
+            Arc::new(Optimized {
+                annotation: Annotation { choices },
+                cost: 12.5,
+                beam_truncated: 3,
+                timed_out: false,
+                opt_seconds: 0.042,
+            }),
+        )
+    }
+
+    #[test]
+    fn entry_round_trips() {
+        let (fp, plan) = sample();
+        let (got_fp, got) = decode_entry(&encode_entry(fp, &plan)).expect("decodes");
+        assert_eq!(got_fp, fp);
+        assert_eq!(got.cost, plan.cost);
+        assert_eq!(got.opt_seconds, plan.opt_seconds);
+        assert_eq!(got.beam_truncated, plan.beam_truncated);
+        assert_eq!(got.annotation.choices.len(), 2);
+        let c = got.annotation.choices[1].as_ref().expect("choice");
+        assert_eq!(c.impl_id, ImplId(7));
+        assert_eq!(c.input_transforms.len(), 2);
+        assert_eq!(c.input_transforms[1].kind, TransformKind::RowStripToTile);
+    }
+
+    #[test]
+    fn file_round_trips() {
+        let (fp, plan) = sample();
+        let bytes = encode_file(&[(fp, Arc::clone(&plan)), (Fingerprint(2), plan)]);
+        let (entries, corrupt) = decode_file(&bytes);
+        assert_eq!(corrupt, 0);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].0, fp);
+        assert_eq!(entries[1].0, Fingerprint(2));
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_caught_or_harmless() {
+        let (fp, plan) = sample();
+        let clean_entry = encode_entry(fp, &plan);
+        let clean = encode_file(&[(fp, plan)]);
+        for i in 0..clean.len() {
+            let mut dirty = clean.clone();
+            dirty[i] ^= 0x40;
+            let (entries, _corrupt) = decode_file(&dirty);
+            // The safety property: a flip may *lose* entries (they
+            // become misses), but any entry that survives decoding must
+            // be byte-identical to what was written — never a plan the
+            // flip altered.
+            for (got_fp, got) in &entries {
+                assert_eq!(
+                    encode_entry(*got_fp, got),
+                    clean_entry,
+                    "flip at byte {i} surfaced an altered plan"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_corrupt_not_panic() {
+        let (fp, plan) = sample();
+        let clean = encode_file(&[(fp, plan)]);
+        for end in 0..clean.len() {
+            let (entries, corrupt) = decode_file(&clean[..end]);
+            assert!(entries.is_empty());
+            assert!(corrupt >= 1 || end < 16, "truncated at {end} not flagged");
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! The `matopt serve` loop: JSON-lines over any `BufRead`/`Write`
+//! pair (stdin/stdout in the CLI; in-memory buffers in tests).
+//!
+//! One request per line in, one response per line out, in order:
+//!
+//! ```json
+//! {"id": "r1", "status": "ok", "fingerprint": "6b0f…", "source": "hit",
+//!  "cost": 12.25, "opt_seconds": 0.004, "exactness": "exact",
+//!  "vertices": 11, "latency_us": 180}
+//! {"id": "r2", "status": "error", "error": "bad request: …"}
+//! ```
+//!
+//! Errors are *responses*, never process exits: a malformed line, a
+//! type-incorrect graph, or an overloaded service answers the client
+//! and keeps serving. The output is flushed after every response so
+//! piped clients see answers immediately.
+
+use crate::protocol::{json_escape, parse_request, Json};
+use crate::PlanService;
+use std::io::{self, BufRead, Write};
+
+/// What a [`serve_lines`] session handled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Non-empty request lines read.
+    pub requests: u64,
+    /// `"status": "ok"` responses written.
+    pub ok: u64,
+    /// `"status": "error"` responses written.
+    pub errors: u64,
+}
+
+/// Serves requests from `input` until EOF, writing one response line
+/// each to `output`.
+///
+/// # Errors
+/// Propagates I/O errors from the transport (request-level failures are
+/// error *responses*, not `Err`).
+pub fn serve_lines<R: BufRead, W: Write>(
+    service: &PlanService,
+    input: R,
+    output: &mut W,
+) -> io::Result<ServeSummary> {
+    let mut summary = ServeSummary::default();
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        summary.requests += 1;
+        let response = respond(service, &line);
+        let ok = response.contains("\"status\": \"ok\"");
+        if ok {
+            summary.ok += 1;
+        } else {
+            summary.errors += 1;
+        }
+        output.write_all(response.as_bytes())?;
+        output.write_all(b"\n")?;
+        output.flush()?;
+    }
+    Ok(summary)
+}
+
+/// The response line (no trailing newline) for one request line.
+pub fn respond(service: &PlanService, line: &str) -> String {
+    let cluster = service.cluster();
+    match parse_request(line, &cluster) {
+        Ok(req) => match service.plan(&req.graph) {
+            Ok(planned) => format!(
+                "{{\"id\": \"{}\", \"status\": \"ok\", \"fingerprint\": \"{}\", \
+                 \"source\": \"{}\", \"cost\": {}, \"opt_seconds\": {}, \
+                 \"exactness\": \"{}\", \"vertices\": {}, \"latency_us\": {}}}",
+                json_escape(&req.id),
+                planned.fingerprint.hex(),
+                planned.source.as_str(),
+                planned.plan.cost,
+                planned.plan.opt_seconds,
+                planned.plan.exactness(),
+                req.graph.len(),
+                planned.latency.as_micros(),
+            ),
+            Err(err) => error_line(Some(&req.id), &err.to_string()),
+        },
+        Err(err) => {
+            // Best-effort id echo so the client can correlate the
+            // failure even though the request didn't parse as a whole.
+            let id = Json::parse(line)
+                .ok()
+                .and_then(|d| d.get("id").and_then(Json::as_str).map(str::to_string));
+            error_line(id.as_deref(), &err.to_string())
+        }
+    }
+}
+
+fn error_line(id: Option<&str>, message: &str) -> String {
+    match id {
+        Some(id) => format!(
+            "{{\"id\": \"{}\", \"status\": \"error\", \"error\": \"{}\"}}",
+            json_escape(id),
+            json_escape(message)
+        ),
+        None => format!(
+            "{{\"id\": null, \"status\": \"error\", \"error\": \"{}\"}}",
+            json_escape(message)
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServeConfig;
+    use matopt_core::{Cluster, FormatCatalog, ImplRegistry};
+    use matopt_cost::AnalyticalCostModel;
+
+    fn service() -> PlanService {
+        PlanService::new(
+            ImplRegistry::paper_default(),
+            FormatCatalog::paper_default().dense_only(),
+            Cluster::simsql_like(4),
+            Box::new(AnalyticalCostModel),
+            ServeConfig::default(),
+        )
+    }
+
+    #[test]
+    fn session_serves_hits_and_errors_in_order() {
+        let service = service();
+        let input = concat!(
+            r#"{"id": "a", "workload": "motivating"}"#,
+            "\n\n",
+            r#"{"id": "b", "workload": "motivating"}"#,
+            "\n",
+            "garbage\n",
+            r#"{"id": "c", "workload": "nope"}"#,
+            "\n",
+        );
+        let mut out = Vec::new();
+        let summary = serve_lines(&service, input.as_bytes(), &mut out).expect("io");
+        assert_eq!(
+            summary,
+            ServeSummary {
+                requests: 4,
+                ok: 2,
+                errors: 2
+            }
+        );
+        let lines: Vec<&str> = std::str::from_utf8(&out).expect("utf8").lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("\"source\": \"miss\""), "{}", lines[0]);
+        assert!(lines[1].contains("\"source\": \"hit\""), "{}", lines[1]);
+        assert!(lines[2].contains("\"id\": null"), "{}", lines[2]);
+        assert!(lines[3].contains("\"id\": \"c\""), "{}", lines[3]);
+        // Responses are themselves valid JSON.
+        for line in &lines {
+            Json::parse(line).expect("response is valid JSON");
+        }
+        // And the two identical requests produced identical fingerprints.
+        let fp = |l: &str| {
+            Json::parse(l)
+                .unwrap()
+                .get("fingerprint")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+        };
+        assert_eq!(fp(lines[0]), fp(lines[1]));
+    }
+}

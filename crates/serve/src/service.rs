@@ -1,0 +1,525 @@
+//! [`PlanService`]: the long-lived concurrent planning front end.
+//!
+//! A request is a compute graph; the response is an optimized plan.
+//! The service fingerprints the request ([`crate::fingerprint`]),
+//! consults the shared [`PlanCache`], and on a miss runs the frontier
+//! DP exactly once per fingerprint no matter how many clients ask
+//! concurrently — the *single-flight* discipline: the first miss
+//! becomes the leader and optimizes; every concurrent miss on the same
+//! fingerprint parks on the leader's flight and receives the same
+//! `Arc<Optimized>` (or the same error) when it lands.
+//!
+//! Backpressure reuses the admission vocabulary of the PR 4 governor:
+//! a request that would push the number of in-flight optimizations past
+//! [`ServeConfig::max_queue_depth`] is rejected up front with
+//! [`ServeError::Overloaded`] rather than queued unboundedly, and a
+//! request whose [`ServeConfig::deadline`] expires while parked returns
+//! [`ServeError::DeadlineExceeded`] without cancelling the leader (the
+//! plan still lands in the cache for the next asker).
+
+use crate::{fingerprint, Fingerprint, PlanCache, ServeConfig};
+use matopt_core::{Cluster, ComputeGraph, FormatCatalog, ImplRegistry, NodeId, PlanContext};
+use matopt_cost::CostModel;
+use matopt_engine::{
+    execute_adaptive_with_hook, execute_plan_with, AdaptiveConfig, AdaptiveError, AdaptiveOutcome,
+    DistRelation, ExecError, ExecOptions, ExecOutcome,
+};
+use matopt_obs::{Obs, Subsystem};
+use matopt_opt::{frontier_dp_beam, OptContext, OptError, Optimized};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+/// Why a request failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// Admission control rejected the request: `depth` optimizations
+    /// were already in flight, at the configured queue-depth cap.
+    Overloaded {
+        /// In-flight optimizations at rejection time.
+        depth: usize,
+    },
+    /// The request's deadline expired before a plan landed.
+    DeadlineExceeded,
+    /// The optimizer itself failed.
+    Opt(OptError),
+    /// The request was malformed (protocol front end).
+    BadRequest(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { depth } => {
+                write!(f, "overloaded: {depth} optimizations in flight")
+            }
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            ServeError::Opt(e) => write!(f, "optimization failed: {e}"),
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// How a plan was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanSource {
+    /// Straight out of the cache.
+    Hit,
+    /// This request ran the optimizer.
+    Miss,
+    /// Another in-flight request ran the optimizer; this one waited.
+    Coalesced,
+}
+
+impl PlanSource {
+    /// Stable lowercase label (obs attributes, protocol responses).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PlanSource::Hit => "hit",
+            PlanSource::Miss => "miss",
+            PlanSource::Coalesced => "coalesced",
+        }
+    }
+}
+
+/// A served plan.
+#[derive(Debug, Clone)]
+pub struct Planned {
+    /// The optimized plan (shared with the cache and with every
+    /// coalesced requester).
+    pub plan: Arc<Optimized>,
+    /// The request's fingerprint. Zero when the service runs with the
+    /// cache disabled: nothing consumes it there, and skipping the
+    /// canonicalization keeps the uncached path as cheap as calling
+    /// the optimizer directly (compute one on demand with
+    /// [`PlanService::fingerprint`] if needed).
+    pub fingerprint: Fingerprint,
+    /// Hit, miss, or coalesced.
+    pub source: PlanSource,
+    /// Wall-clock service latency for this request.
+    pub latency: Duration,
+}
+
+/// Counter snapshot from [`PlanService::stats`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeStats {
+    /// Plan requests received.
+    pub requests: u64,
+    /// Requests answered from the cache.
+    pub hits: u64,
+    /// Requests that ran the optimizer.
+    pub misses: u64,
+    /// Requests that waited on another request's optimizer run.
+    pub coalesced: u64,
+    /// Requests rejected by queue-depth admission control.
+    pub admission_rejects: u64,
+    /// Requests that timed out waiting for a plan.
+    pub deadline_expired: u64,
+    /// Times the optimizer actually ran.
+    pub optimize_runs: u64,
+    /// Total wall-clock seconds spent inside the optimizer.
+    pub optimize_seconds: f64,
+    /// Cache-level counters (evictions, stale drops, poisons, ...).
+    pub cache: crate::CacheCounters,
+    /// Live cached plans.
+    pub cache_entries: usize,
+    /// Estimated cached bytes.
+    pub cache_bytes: u64,
+}
+
+/// One in-flight optimization: concurrent misses on the same
+/// fingerprint park on the condvar until the leader publishes.
+struct Flight {
+    result: Mutex<Option<Result<Arc<Optimized>, ServeError>>>,
+    done: Condvar,
+}
+
+/// The concurrent plan service. See the module docs for the request
+/// pipeline; construction takes ownership of the registry, catalog,
+/// cluster, and cost model so the service can outlive any caller and be
+/// shared across threads (`&PlanService` is `Sync`).
+pub struct PlanService {
+    registry: ImplRegistry,
+    catalog: FormatCatalog,
+    cluster: RwLock<Cluster>,
+    model: RwLock<Box<dyn CostModel + Send + Sync>>,
+    cache: PlanCache,
+    inflight: Mutex<HashMap<Fingerprint, Arc<Flight>>>,
+    config: ServeConfig,
+    obs: Obs,
+    requests: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+    admission_rejects: AtomicU64,
+    deadline_expired: AtomicU64,
+    optimize_runs: AtomicU64,
+    optimize_micros: AtomicU64,
+}
+
+impl PlanService {
+    /// Builds a service with observability disabled.
+    pub fn new(
+        registry: ImplRegistry,
+        catalog: FormatCatalog,
+        cluster: Cluster,
+        model: Box<dyn CostModel + Send + Sync>,
+        config: ServeConfig,
+    ) -> Self {
+        Self::with_obs(registry, catalog, cluster, model, config, Obs::disabled())
+    }
+
+    /// Builds a service that emits [`Subsystem::Serve`] events to `obs`.
+    pub fn with_obs(
+        registry: ImplRegistry,
+        catalog: FormatCatalog,
+        cluster: Cluster,
+        model: Box<dyn CostModel + Send + Sync>,
+        config: ServeConfig,
+        obs: Obs,
+    ) -> Self {
+        PlanService {
+            registry,
+            catalog,
+            cluster: RwLock::new(cluster),
+            model: RwLock::new(model),
+            cache: PlanCache::new(config.cache),
+            inflight: Mutex::new(HashMap::new()),
+            config,
+            obs,
+            requests: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            admission_rejects: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            optimize_runs: AtomicU64::new(0),
+            optimize_micros: AtomicU64::new(0),
+        }
+    }
+
+    /// The service's implementation registry.
+    pub fn registry(&self) -> &ImplRegistry {
+        &self.registry
+    }
+
+    /// The service's format catalog.
+    pub fn catalog(&self) -> &FormatCatalog {
+        &self.catalog
+    }
+
+    /// The cluster requests are currently planned against.
+    pub fn cluster(&self) -> Cluster {
+        *self.cluster.read().expect("cluster lock")
+    }
+
+    /// The configuration the service was built with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The plan cache (for persistence and inspection).
+    pub fn cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// The service's observability handle.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// The fingerprint `plan` would use for `graph` right now.
+    pub fn fingerprint(&self, graph: &ComputeGraph) -> Fingerprint {
+        let cluster = self.cluster.read().expect("cluster lock");
+        fingerprint(graph, &cluster, &self.catalog)
+    }
+
+    /// Swaps the cost model (a calibration update landed) and starts a
+    /// new cache epoch: every plan costed under the old model is stale.
+    pub fn recalibrate(&self, model: Box<dyn CostModel + Send + Sync>) {
+        *self.model.write().expect("model lock") = model;
+        let epoch = self.cache.bump_epoch();
+        self.obs.record(Subsystem::Serve, "invalidate", || {
+            vec![
+                ("reason", "recalibrate".into()),
+                ("epoch", (epoch as i64).into()),
+            ]
+        });
+    }
+
+    /// Replaces the cluster (reconfiguration) and starts a new cache
+    /// epoch.
+    pub fn set_cluster(&self, cluster: Cluster) {
+        *self.cluster.write().expect("cluster lock") = cluster;
+        let epoch = self.cache.bump_epoch();
+        self.obs.record(Subsystem::Serve, "invalidate", || {
+            vec![
+                ("reason", "set_cluster".into()),
+                ("epoch", (epoch as i64).into()),
+            ]
+        });
+    }
+
+    /// Halves the cluster ([`Cluster::degraded`]) and starts a new
+    /// cache epoch — the serving-side mirror of the degraded-cluster
+    /// re-planning experiment.
+    pub fn degrade(&self) {
+        let degraded = self.cluster().degraded();
+        self.set_cluster(degraded);
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            admission_rejects: self.admission_rejects.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            optimize_runs: self.optimize_runs.load(Ordering::Relaxed),
+            optimize_seconds: self.optimize_micros.load(Ordering::Relaxed) as f64 / 1e6,
+            cache: self.cache.counters(),
+            cache_entries: self.cache.entries(),
+            cache_bytes: self.cache.bytes(),
+        }
+    }
+
+    /// Serves a plan for `graph`: fingerprint → cache → single-flight
+    /// optimize.
+    ///
+    /// # Errors
+    /// [`ServeError::Overloaded`] under admission control,
+    /// [`ServeError::DeadlineExceeded`] past the configured deadline,
+    /// [`ServeError::Opt`] when the optimizer fails.
+    pub fn plan(&self, graph: &ComputeGraph) -> Result<Planned, ServeError> {
+        let started = Instant::now();
+        let deadline_at = self.config.deadline.map(|d| started + d);
+        self.requests.fetch_add(1, Ordering::Relaxed);
+
+        let (fp, result) = if self.config.cache_enabled {
+            let fp = self.fingerprint(graph);
+            (fp, self.plan_cached(graph, fp, deadline_at))
+        } else {
+            // Cache disabled: the honest uncached baseline — every
+            // request pays the optimizer, with no coalescing to hide
+            // behind. Nothing consumes a fingerprint on this path and
+            // canonicalization is not free, so none is computed: the
+            // serve_overhead bench gates this path at < 2% over calling
+            // the optimizer directly.
+            let result = self.optimize(graph).map(|plan| (plan, PlanSource::Miss));
+            (Fingerprint(0), result)
+        };
+
+        let latency = started.elapsed();
+        match result {
+            Ok((plan, source)) => {
+                let counter = match source {
+                    PlanSource::Hit => &self.hits,
+                    PlanSource::Miss => &self.misses,
+                    PlanSource::Coalesced => &self.coalesced,
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
+                self.obs.counter(Subsystem::Serve, source.as_str(), 1.0);
+                self.obs.record(Subsystem::Serve, "request", || {
+                    vec![
+                        ("fingerprint", fp.hex().into()),
+                        ("source", source.as_str().into()),
+                        ("latency_us", (latency.as_micros() as i64).into()),
+                        ("cost", plan.cost.into()),
+                    ]
+                });
+                Ok(Planned {
+                    plan,
+                    fingerprint: fp,
+                    source,
+                    latency,
+                })
+            }
+            Err(err) => {
+                match &err {
+                    ServeError::Overloaded { .. } => {
+                        self.admission_rejects.fetch_add(1, Ordering::Relaxed);
+                        self.obs.counter(Subsystem::Serve, "admission_reject", 1.0);
+                    }
+                    ServeError::DeadlineExceeded => {
+                        self.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                        self.obs.counter(Subsystem::Serve, "deadline_expired", 1.0);
+                    }
+                    _ => {}
+                }
+                self.obs.record(Subsystem::Serve, "request_error", || {
+                    vec![
+                        ("fingerprint", fp.hex().into()),
+                        ("error", err.to_string().into()),
+                    ]
+                });
+                Err(err)
+            }
+        }
+    }
+
+    fn plan_cached(
+        &self,
+        graph: &ComputeGraph,
+        fp: Fingerprint,
+        deadline_at: Option<Instant>,
+    ) -> Result<(Arc<Optimized>, PlanSource), ServeError> {
+        if let Some(plan) = self.cache.get(fp) {
+            return Ok((plan, PlanSource::Hit));
+        }
+
+        // Single flight: first miss on a fingerprint leads, the rest
+        // park on its flight.
+        let (flight, leader) = {
+            let mut inflight = self.inflight.lock().expect("inflight lock");
+            if let Some(flight) = inflight.get(&fp) {
+                (Arc::clone(flight), false)
+            } else {
+                let depth = inflight.len();
+                if depth >= self.config.max_queue_depth {
+                    return Err(ServeError::Overloaded { depth });
+                }
+                let flight = Arc::new(Flight {
+                    result: Mutex::new(None),
+                    done: Condvar::new(),
+                });
+                inflight.insert(fp, Arc::clone(&flight));
+                self.obs
+                    .gauge(Subsystem::Serve, "queue_depth", (depth + 1) as f64);
+                (flight, true)
+            }
+        };
+
+        if !leader {
+            return self
+                .wait_for(&flight, deadline_at)
+                .map(|plan| (plan, PlanSource::Coalesced));
+        }
+
+        // Leader path. Capture the epoch *before* optimizing: if an
+        // invalidation lands mid-optimize, the inserted entry is born
+        // stale instead of outliving the event it should have died to.
+        let epoch = self.cache.epoch();
+        let outcome = if deadline_at.is_some_and(|at| Instant::now() >= at) {
+            Err(ServeError::DeadlineExceeded)
+        } else {
+            self.optimize(graph)
+        };
+        if let Ok(plan) = &outcome {
+            let evicted = self.cache.insert(fp, Arc::clone(plan), epoch);
+            if evicted > 0 {
+                self.obs
+                    .counter(Subsystem::Serve, "evicted", evicted as f64);
+            }
+        }
+        // Publish, wake the waiters, and only then retire the flight:
+        // a requester that finds the flight gone sees the cache entry
+        // instead (publish-then-remove keeps the window closed).
+        *flight.result.lock().expect("flight lock") = Some(outcome.clone());
+        flight.done.notify_all();
+        self.inflight.lock().expect("inflight lock").remove(&fp);
+        outcome.map(|plan| (plan, PlanSource::Miss))
+    }
+
+    fn wait_for(
+        &self,
+        flight: &Flight,
+        deadline_at: Option<Instant>,
+    ) -> Result<Arc<Optimized>, ServeError> {
+        let mut slot = flight.result.lock().expect("flight lock");
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return result.clone();
+            }
+            match deadline_at {
+                None => slot = flight.done.wait(slot).expect("flight lock"),
+                Some(at) => {
+                    let Some(remaining) = at.checked_duration_since(Instant::now()) else {
+                        return Err(ServeError::DeadlineExceeded);
+                    };
+                    let (guard, _timeout) = flight
+                        .done
+                        .wait_timeout(slot, remaining)
+                        .expect("flight lock");
+                    slot = guard;
+                }
+            }
+        }
+    }
+
+    /// Runs the frontier DP under the current model + cluster.
+    fn optimize(&self, graph: &ComputeGraph) -> Result<Arc<Optimized>, ServeError> {
+        let cluster = self.cluster();
+        let model = self.model.read().expect("model lock");
+        let ctx = PlanContext::new(&self.registry, cluster);
+        let octx = OptContext::with_obs(&ctx, &self.catalog, &**model, self.obs.clone());
+        let opt = frontier_dp_beam(graph, &octx, self.config.beam).map_err(ServeError::Opt)?;
+        self.optimize_runs.fetch_add(1, Ordering::Relaxed);
+        self.optimize_micros
+            .fetch_add((opt.opt_seconds * 1e6) as u64, Ordering::Relaxed);
+        Ok(Arc::new(opt))
+    }
+
+    /// Executes a served plan on concrete inputs through the pipelined
+    /// executor (the `matopt-pool` fan-out).
+    ///
+    /// # Errors
+    /// [`ExecError`] from the executor.
+    pub fn execute(
+        &self,
+        graph: &ComputeGraph,
+        planned: &Planned,
+        inputs: &HashMap<NodeId, DistRelation>,
+    ) -> Result<ExecOutcome, ExecError> {
+        execute_plan_with(
+            graph,
+            &planned.plan.annotation,
+            inputs,
+            &self.registry,
+            &self.obs,
+            ExecOptions::default(),
+        )
+    }
+
+    /// Adaptive execution with cache feedback: when measured statistics
+    /// force a suffix re-plan, the plan the service cached was planned
+    /// from statistics now proven wrong, so the entry is poisoned — the
+    /// next request re-optimizes instead of inheriting the misestimate.
+    ///
+    /// # Errors
+    /// [`AdaptiveError`] from the adaptive executor.
+    pub fn execute_adaptive(
+        &self,
+        graph: &ComputeGraph,
+        inputs: &HashMap<NodeId, DistRelation>,
+        config: AdaptiveConfig,
+    ) -> Result<AdaptiveOutcome, AdaptiveError> {
+        let fp = self.fingerprint(graph);
+        let cluster = self.cluster();
+        let model = self.model.read().expect("model lock");
+        let ctx = PlanContext::new(&self.registry, cluster);
+        let hook = |vertex: NodeId| {
+            if self.cache.poison(fp) {
+                self.obs.record(Subsystem::Serve, "poisoned", || {
+                    vec![
+                        ("fingerprint", fp.hex().into()),
+                        ("vertex", vertex.index().into()),
+                    ]
+                });
+            }
+        };
+        execute_adaptive_with_hook(
+            graph,
+            inputs,
+            &ctx,
+            &self.catalog,
+            &**model,
+            config,
+            Some(&hook),
+        )
+    }
+}

@@ -1,0 +1,150 @@
+//! Single-flight coalescing: N concurrent misses on one fingerprint
+//! run the optimizer exactly once, and everyone shares the same
+//! `Arc<Optimized>`.
+
+use matopt_core::{Cluster, FormatCatalog, ImplRegistry};
+use matopt_cost::AnalyticalCostModel;
+use matopt_obs::{EventKind, MemorySink, Obs, Subsystem};
+use matopt_serve::{PlanService, PlanSource, ServeConfig};
+use std::sync::{Arc, Barrier};
+
+fn service(sink: &Arc<MemorySink>, config: ServeConfig) -> PlanService {
+    PlanService::with_obs(
+        ImplRegistry::paper_default(),
+        FormatCatalog::paper_default(),
+        Cluster::simsql_like(4),
+        Box::new(AnalyticalCostModel),
+        config,
+        Obs::new(Arc::clone(sink)),
+    )
+}
+
+#[test]
+fn concurrent_misses_coalesce_onto_one_optimizer_run() {
+    const CLIENTS: usize = 8;
+    let sink = Arc::new(MemorySink::new());
+    let service = service(&sink, ServeConfig::default());
+    let graph = matopt_graphs::motivating_graph().expect("builds").graph;
+    let barrier = Barrier::new(CLIENTS);
+
+    let planned: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                scope.spawn(|| {
+                    barrier.wait();
+                    service.plan(&graph).expect("plan succeeds")
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panic"))
+            .collect()
+    });
+
+    // Exactly one optimizer run, observable three independent ways.
+    let stats = service.stats();
+    assert_eq!(stats.optimize_runs, 1, "optimizer ran more than once");
+    assert_eq!(stats.misses, 1, "more than one leader");
+    assert_eq!(
+        stats.hits + stats.coalesced,
+        (CLIENTS - 1) as u64,
+        "every non-leader must be served from the flight or the cache"
+    );
+    assert_eq!(stats.requests, CLIENTS as u64);
+
+    // The obs stream agrees: one frontier_dp span began.
+    let frontier_runs = sink
+        .snapshot()
+        .iter()
+        .filter(|e| {
+            e.subsystem == Subsystem::Optimizer
+                && e.name == "frontier_dp"
+                && matches!(e.kind, EventKind::SpanBegin)
+        })
+        .count();
+    assert_eq!(frontier_runs, 1, "obs saw {frontier_runs} optimizer runs");
+
+    // Everyone holds literally the same plan.
+    let first = &planned[0].plan;
+    for p in &planned {
+        assert!(Arc::ptr_eq(first, &p.plan), "plans are not shared");
+        assert_eq!(p.fingerprint, planned[0].fingerprint);
+    }
+    // And exactly one of them was the leader.
+    let leaders = planned
+        .iter()
+        .filter(|p| p.source == PlanSource::Miss)
+        .count();
+    assert_eq!(leaders, 1);
+
+    // A later request is a plain cache hit.
+    let again = service.plan(&graph).expect("plan succeeds");
+    assert_eq!(again.source, PlanSource::Hit);
+    assert!(Arc::ptr_eq(first, &again.plan));
+}
+
+#[test]
+fn cache_disabled_runs_the_optimizer_every_time() {
+    let sink = Arc::new(MemorySink::new());
+    let service = service(
+        &sink,
+        ServeConfig {
+            cache_enabled: false,
+            ..ServeConfig::default()
+        },
+    );
+    let graph = matopt_graphs::motivating_graph().expect("builds").graph;
+    for _ in 0..3 {
+        let planned = service.plan(&graph).expect("plan succeeds");
+        assert_eq!(planned.source, PlanSource::Miss);
+    }
+    let stats = service.stats();
+    assert_eq!(stats.optimize_runs, 3);
+    assert_eq!(stats.hits, 0);
+    assert_eq!(stats.cache_entries, 0, "disabled cache must stay empty");
+}
+
+#[test]
+fn queue_depth_admission_rejects_excess_misses() {
+    // Depth 0 means no optimization may even start.
+    let sink = Arc::new(MemorySink::new());
+    let service = service(
+        &sink,
+        ServeConfig {
+            max_queue_depth: 0,
+            ..ServeConfig::default()
+        },
+    );
+    let graph = matopt_graphs::motivating_graph().expect("builds").graph;
+    let err = service.plan(&graph).expect_err("must be rejected");
+    assert!(matches!(
+        err,
+        matopt_serve::ServeError::Overloaded { depth: 0 }
+    ));
+    assert_eq!(service.stats().admission_rejects, 1);
+}
+
+#[test]
+fn invalidation_epochs_force_replans() {
+    let sink = Arc::new(MemorySink::new());
+    let service = service(&sink, ServeConfig::default());
+    let graph = matopt_graphs::motivating_graph().expect("builds").graph;
+
+    let a = service.plan(&graph).expect("plan");
+    assert_eq!(a.source, PlanSource::Miss);
+    assert_eq!(service.plan(&graph).expect("plan").source, PlanSource::Hit);
+
+    // A calibration update starts a new epoch; same cluster, same
+    // fingerprint, but the cached plan may no longer be optimal.
+    service.recalibrate(Box::new(AnalyticalCostModel));
+    let b = service.plan(&graph).expect("plan");
+    assert_eq!(b.source, PlanSource::Miss, "stale epoch must re-plan");
+
+    // Degrading the cluster changes the fingerprint itself.
+    service.degrade();
+    let c = service.plan(&graph).expect("plan");
+    assert_eq!(c.source, PlanSource::Miss);
+    assert_ne!(c.fingerprint, b.fingerprint);
+    assert_eq!(service.stats().optimize_runs, 3);
+}

@@ -350,6 +350,12 @@ macro_rules! prop_assert_eq {
     ($($tt:tt)*) => { assert_eq!($($tt)*) };
 }
 
+/// Asserts inequality inside a property (shim: plain `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
 /// Skips the current case when the condition does not hold.
 #[macro_export]
 macro_rules! prop_assume {
@@ -375,7 +381,9 @@ pub mod prelude {
 
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 
     pub mod prop {
         //! The `prop::` path alias (`prop::collection::vec`).
