@@ -1,0 +1,322 @@
+//! Observability report: live metrics under a concurrent serve soak,
+//! and the cost-model drift monitor closing the predict → measure →
+//! re-plan loop.
+//!
+//! ```sh
+//! cargo run --release -p matopt-bench --bin bench_pr6            # table
+//! cargo run --release -p matopt-bench --bin bench_pr6 -- --json  # + BENCH_PR6.json
+//! ```
+//!
+//! Phase 1 (soak): eight client threads replay 1024 plan requests over
+//! 32 distinct laptop-scale FFNN workloads against a metrics-enabled
+//! service, then the report reads everything back *from the registry
+//! snapshot* — p50/p95/p99 request latency from the merged
+//! hit/miss/coalesced histograms, hit/miss counters reconciled against
+//! the service's own accounting. The registry must agree with the
+//! service exactly: it is the same events, counted wait-free.
+//!
+//! Phase 2 (drift): a seeded drift scenario feeds the monitor a stable
+//! baseline, then shifts measured/predicted by 3x. The service must
+//! bump the plan-cache epoch exactly once (the latch), the next
+//! request must re-plan to an identical-cost plan, and executing the
+//! pre-drift and post-drift plans on the same inputs must produce
+//! bit-identical sinks — re-planning is an optimization event, never a
+//! semantic one.
+//!
+//! `MATOPT_BENCH_QUICK=1` shrinks the soak to 256 requests over 8
+//! workloads (same clients, same assertions) for CI smoke runs.
+
+use matopt_bench::Json;
+use matopt_core::{Cluster, ComputeGraph, FormatCatalog, ImplRegistry, NodeId, NodeKind};
+use matopt_cost::{AnalyticalCostModel, DriftConfig};
+use matopt_engine::DistRelation;
+use matopt_graphs::{ffnn_w2_update_graph, FfnnConfig};
+use matopt_kernels::{random_dense_normal, seeded_rng};
+use matopt_obs::{HistogramSnapshot, MetricsRegistry, Obs, RingSink, Subsystem};
+use matopt_serve::{PlanService, PlanSource, ServeConfig};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+const CLIENTS: usize = 8;
+
+fn metered_service(drift: DriftConfig) -> (PlanService, Arc<RingSink>) {
+    let ring = Arc::new(RingSink::new(4096));
+    let obs = Obs::with_metrics(Arc::clone(&ring), MetricsRegistry::new());
+    let service = PlanService::with_obs(
+        ImplRegistry::paper_default(),
+        FormatCatalog::paper_default().dense_only(),
+        Cluster::simsql_like(4),
+        Box::new(AnalyticalCostModel),
+        ServeConfig {
+            drift,
+            ..ServeConfig::default()
+        },
+        obs,
+    );
+    (service, ring)
+}
+
+/// Distinct laptop-scale FFNN weight updates: distinct hidden widths,
+/// distinct fingerprints.
+fn workloads(n: usize) -> Vec<ComputeGraph> {
+    (0..n)
+        .map(|i| {
+            ffnn_w2_update_graph(FfnnConfig::laptop(8 + 2 * i as u64))
+                .expect("well-typed")
+                .graph
+        })
+        .collect()
+}
+
+fn make_inputs(graph: &ComputeGraph, seed: u64) -> HashMap<NodeId, DistRelation> {
+    let mut rng = seeded_rng(seed);
+    let mut rels = HashMap::new();
+    for (id, node) in graph.iter() {
+        if let NodeKind::Source { format } = &node.kind {
+            let d =
+                random_dense_normal(node.mtype.rows as usize, node.mtype.cols as usize, &mut rng);
+            rels.insert(id, DistRelation::from_dense(&d, *format).unwrap());
+        }
+    }
+    rels
+}
+
+struct Soak {
+    requests: u64,
+    hits: u64,
+    misses: u64,
+    coalesced: u64,
+    p50_us: u64,
+    p95_us: u64,
+    p99_us: u64,
+    wall_secs: f64,
+    dropped_events: u64,
+}
+
+/// Replays the request stream from [`CLIENTS`] threads, then reads the
+/// outcome back from the metrics registry.
+fn run_soak(graphs: &[ComputeGraph], total: usize) -> Soak {
+    let (service, ring) = metered_service(DriftConfig::default());
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..CLIENTS {
+            let service = &service;
+            scope.spawn(move || {
+                let mut i = client;
+                while i < total {
+                    service.plan(&graphs[i % graphs.len()]).expect("plan");
+                    i += CLIENTS;
+                }
+            });
+        }
+    });
+    let wall_secs = t0.elapsed().as_secs_f64();
+
+    let snap = service.metrics_snapshot().expect("metrics enabled");
+    let counter = |name: &str| snap.counter(Subsystem::Serve, name).unwrap_or(0);
+    let mut merged = HistogramSnapshot::default();
+    for name in ["latency_hit_us", "latency_miss_us", "latency_coalesced_us"] {
+        if let Some(h) = snap.histogram(Subsystem::Serve, name) {
+            merged.merge(h);
+        }
+    }
+
+    // The wait-free counters and the service's locked accounting are
+    // two views of the same requests; they must agree exactly.
+    let stats = service.stats();
+    assert_eq!(counter("requests"), total as u64);
+    assert_eq!(counter("requests"), stats.requests);
+    assert_eq!(counter("hits"), stats.hits);
+    assert_eq!(counter("misses"), stats.misses);
+    assert_eq!(merged.count(), total as u64, "every request is timed");
+
+    Soak {
+        requests: counter("requests"),
+        hits: counter("hits"),
+        misses: counter("misses"),
+        coalesced: counter("coalesced"),
+        p50_us: merged.quantile(0.50),
+        p95_us: merged.quantile(0.95),
+        p99_us: merged.quantile(0.99),
+        wall_secs,
+        dropped_events: ring.dropped(),
+    }
+}
+
+struct Drift {
+    epoch_bumps: u64,
+    observations_to_fire: u64,
+    replan_source: PlanSource,
+    drift_events_counter: u64,
+}
+
+/// The seeded drift scenario. Returns the report plus the assertion
+/// that pre- and post-drift executions are bit-identical.
+fn run_drift(graph: &ComputeGraph) -> Drift {
+    let (service, _ring) = metered_service(DriftConfig {
+        ewma_alpha: 0.5,
+        baseline_window: 3,
+        min_observations: 4,
+        band: 0.5,
+    });
+    let planned = service.plan(graph).expect("plan");
+    assert_eq!(planned.source, PlanSource::Miss);
+    let epoch0 = service.cache().epoch();
+    let inputs = make_inputs(graph, 0xC0FFEE);
+
+    // Execute the pre-drift plan; this also feeds the monitor one real
+    // (tiny, laptop-vs-modeled-cluster) observation that seeds the
+    // baseline window.
+    let before = service
+        .execute(graph, &planned, &inputs)
+        .expect("pre-drift execution");
+
+    // Finish the baseline at a stable 2x, then shift to 6x: out of the
+    // +-50% band around any baseline the first three observations can
+    // have formed, so the latch must fire — exactly once.
+    let predicted = planned.plan.cost;
+    for _ in 0..2 {
+        assert!(!service.observe_runtime(planned.fingerprint, predicted, predicted * 2.0));
+    }
+    assert_eq!(service.cache().epoch(), epoch0, "in-band never bumps");
+    let mut bumps = 0u64;
+    let mut observations_to_fire = 0u64;
+    for i in 0..40u64 {
+        if service.observe_runtime(planned.fingerprint, predicted, predicted * 6.0) {
+            bumps += 1;
+            if observations_to_fire == 0 {
+                observations_to_fire = i + 1;
+            }
+        }
+    }
+    assert_eq!(bumps, 1, "sustained drift must bump the epoch exactly once");
+    assert_eq!(service.cache().epoch(), epoch0 + 1);
+
+    // The cached plan is stale: the next request re-plans, to a plan
+    // with identical cost (same graph, same model) ...
+    let replanned = service.plan(graph).expect("re-plan");
+    assert_eq!(replanned.source, PlanSource::Miss, "epoch bump evicts");
+    assert_eq!(replanned.fingerprint, planned.fingerprint);
+    assert_eq!(replanned.plan.cost, planned.plan.cost);
+
+    // ... and to bit-identical execution on the same inputs.
+    let after = service
+        .execute(graph, &replanned, &inputs)
+        .expect("post-drift execution");
+    assert_eq!(before.sinks.len(), after.sinks.len());
+    for (sink, rel) in &before.sinks {
+        assert_eq!(
+            after.sinks[sink].to_dense().data(),
+            rel.to_dense().data(),
+            "sink {sink} differs across the drift-induced re-plan"
+        );
+    }
+
+    let snap = service.metrics_snapshot().expect("metrics enabled");
+    let drift_events_counter = snap
+        .counter(Subsystem::CostModel, "drift_events")
+        .unwrap_or(0);
+    assert_eq!(drift_events_counter, 1);
+
+    Drift {
+        epoch_bumps: bumps,
+        observations_to_fire,
+        replan_source: replanned.source,
+        drift_events_counter,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = match args.first().map(String::as_str) {
+        Some("--json") => Some(
+            args.get(1)
+                .cloned()
+                .unwrap_or_else(|| "BENCH_PR6.json".to_string()),
+        ),
+        Some(other) => {
+            eprintln!("unknown argument {other:?}; usage: bench_pr6 [--json [PATH]]");
+            std::process::exit(2);
+        }
+        None => None,
+    };
+    let quick = std::env::var("MATOPT_BENCH_QUICK").is_ok();
+    let (n_workloads, total) = if quick { (8, 256) } else { (32, 1024) };
+    let graphs = workloads(n_workloads);
+
+    println!(
+        "== Metrics soak: {total} requests over {n_workloads} workloads, {CLIENTS} clients =="
+    );
+    let soak = run_soak(&graphs, total);
+    println!(
+        "  registry  {} requests ({} hits, {} misses, {} coalesced)  \
+         p50 {} us  p95 {} us  p99 {} us  {:.0} req/s  {} events dropped",
+        soak.requests,
+        soak.hits,
+        soak.misses,
+        soak.coalesced,
+        soak.p50_us,
+        soak.p95_us,
+        soak.p99_us,
+        soak.requests as f64 / soak.wall_secs,
+        soak.dropped_events,
+    );
+
+    println!("== Seeded drift: baseline, then a sustained 3x shift ==");
+    let drift = run_drift(&graphs[0]);
+    println!(
+        "  drift     latched after {} out-of-band observations; epoch bumps {}; \
+         re-plan source {}; drift_events counter {}; execution bit-exact",
+        drift.observations_to_fire,
+        drift.epoch_bumps,
+        drift.replan_source.as_str(),
+        drift.drift_events_counter,
+    );
+
+    if let Some(path) = json_path {
+        let report = Json::obj([
+            ("pr", Json::Int(6)),
+            ("workloads", Json::Int(n_workloads as i64)),
+            ("clients", Json::Int(CLIENTS as i64)),
+            (
+                "soak",
+                Json::obj([
+                    ("requests", Json::Int(soak.requests as i64)),
+                    ("hits", Json::Int(soak.hits as i64)),
+                    ("misses", Json::Int(soak.misses as i64)),
+                    ("coalesced", Json::Int(soak.coalesced as i64)),
+                    ("p50_latency_us", Json::Int(soak.p50_us as i64)),
+                    ("p95_latency_us", Json::Int(soak.p95_us as i64)),
+                    ("p99_latency_us", Json::Int(soak.p99_us as i64)),
+                    (
+                        "throughput_rps",
+                        Json::Num(soak.requests as f64 / soak.wall_secs),
+                    ),
+                    ("dropped_events", Json::Int(soak.dropped_events as i64)),
+                ]),
+            ),
+            (
+                "drift",
+                Json::obj([
+                    ("epoch_bumps", Json::Int(drift.epoch_bumps as i64)),
+                    (
+                        "observations_to_fire",
+                        Json::Int(drift.observations_to_fire as i64),
+                    ),
+                    (
+                        "replan_source",
+                        Json::Str(drift.replan_source.as_str().to_string()),
+                    ),
+                    (
+                        "drift_events_counter",
+                        Json::Int(drift.drift_events_counter as i64),
+                    ),
+                    ("execution_bit_exact", Json::Bool(true)),
+                ]),
+            ),
+        ]);
+        std::fs::write(&path, report.pretty()).expect("write report");
+        println!("\nwrote {path}");
+    }
+}

@@ -5,6 +5,9 @@
 //! matopt impls                           list the 38 operator implementations
 //! matopt plan <workload> [options]       optimize a workload and report the plan
 //! matopt serve [options]                 serve plan requests over stdin/stdout
+//! matopt stats <workload> [options]      run a workload with the metrics
+//!                                        registry enabled and print the
+//!                                        Prometheus exposition (or --json)
 //!
 //! workloads:
 //!   ffnn:<hidden>            FFNN fwd + backprop-to-W2 (SimSQL experiments)
@@ -49,6 +52,9 @@
 //!   --cache-dir <path>       reuse plans across invocations: warm the
 //!                            plan cache from <path>/plans.mcache before
 //!                            optimizing and persist it back afterwards
+//!   --metrics-dump <path>    write the metrics-registry snapshot after
+//!                            the run: Prometheus text, or JSON if
+//!                            <path> ends .json
 //!
 //! serve options:
 //!   --workers N / --engine / --catalog    as for plan
@@ -60,13 +66,19 @@
 //!   --no-cache               disable the plan cache (every request
 //!                            runs the optimizer; responses carry a
 //!                            zero fingerprint)
+//!   --metrics-dump <path>    periodically (and on EOF) write the live
+//!                            metrics snapshot: Prometheus text, or
+//!                            JSON if <path> ends .json
 //!
 //! `matopt serve` reads one JSON request per line from stdin and writes
 //! one JSON response per line to stdout. A request either names a
 //! workload ({"id": 1, "workload": "ffnn-small:32"}) or inlines a graph
 //! ({"id": 2, "graph": {"sources": [...], "ops": [...]}}); the response
 //! carries the plan fingerprint, cost, and cache source (hit, miss, or
-//! coalesced). Statistics go to stderr on EOF.
+//! coalesced). A `{"op": "stats"}` line answers with live counters and
+//! latency percentiles. The server always runs with the metrics
+//! registry enabled, buffering events in a bounded ring (old events are
+//! dropped, never the request path). Statistics go to stderr on EOF.
 //! ```
 
 use matopt_bench::{AutoPlan, Env, DEFAULT_BEAM};
@@ -78,7 +90,7 @@ use matopt_engine::{
     ExecOptions, FtConfig, HedgeConfig, SimOutcome,
 };
 use matopt_kernels::{random_dense_normal, seeded_rng};
-use matopt_obs::{export, MemorySink, Obs};
+use matopt_obs::{export, MemorySink, MetricsRegistry, Obs, RingSink};
 use matopt_serve::{serve_lines, PlanService, ServeConfig};
 use std::collections::HashMap;
 use std::path::Path;
@@ -89,6 +101,10 @@ use std::time::Duration;
 /// sources alone would exceed this many bytes of dense payload.
 const ANALYZE_BYTE_BUDGET: u64 = 2 << 30;
 
+/// Event-ring capacity for `matopt serve`: enough recent events for a
+/// post-mortem without letting a long-lived server grow without bound.
+const SERVE_RING_CAPACITY: usize = 8192;
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
@@ -96,9 +112,10 @@ fn main() {
         Some("impls") => cmd_impls(),
         Some("plan") => cmd_plan(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
         _ => {
             eprintln!(
-                "usage: matopt <formats|impls|plan|serve> ...  (see --help in the source header)"
+                "usage: matopt <formats|impls|plan|serve|stats> ...  (see --help in the source header)"
             );
             2
         }
@@ -146,6 +163,7 @@ fn cmd_plan(args: &[String]) -> i32 {
     let mut mem_budget: Option<u64> = None;
     let mut hedge: Option<f64> = None;
     let mut cache_dir: Option<String> = None;
+    let mut metrics_dump: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -241,6 +259,16 @@ fn cmd_plan(args: &[String]) -> i32 {
                     }
                 }
             }
+            "--metrics-dump" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => metrics_dump = Some(p.clone()),
+                    None => {
+                        eprintln!("plan: --metrics-dump expects a path");
+                        return 2;
+                    }
+                }
+            }
             other => {
                 eprintln!("plan: unknown option {other}");
                 return 2;
@@ -278,11 +306,13 @@ fn cmd_plan(args: &[String]) -> i32 {
 
     // One in-memory sink feeds every subsystem; `--analyze` without
     // `--trace-out` still runs traced, the events just stay unread.
+    // `--metrics-dump` additionally attaches the aggregate registry.
     let sink = Arc::new(MemorySink::new());
-    let obs = if trace_out.is_some() || analyze {
-        Obs::new(Arc::clone(&sink))
-    } else {
-        Obs::disabled()
+    let registry = metrics_dump.is_some().then(MetricsRegistry::new);
+    let obs = match &registry {
+        Some(r) => Obs::with_metrics(Arc::clone(&sink), Arc::clone(r)),
+        None if trace_out.is_some() || analyze => Obs::new(Arc::clone(&sink)),
+        None => Obs::disabled(),
     };
 
     let env = Env::new();
@@ -394,7 +424,25 @@ fn cmd_plan(args: &[String]) -> i32 {
             }
         }
     }
+    if let (Some(path), Some(r)) = (&metrics_dump, &registry) {
+        if let Err(msg) = write_metrics_dump(&r.snapshot(), path) {
+            eprintln!("plan: {msg}");
+            return 1;
+        }
+        println!("wrote metrics snapshot to {path}");
+    }
     0
+}
+
+/// Writes a registry snapshot to `path`: JSON when the path ends
+/// `.json`, Prometheus text otherwise.
+fn write_metrics_dump(snapshot: &matopt_obs::MetricsSnapshot, path: &str) -> Result<(), String> {
+    let body = if path.ends_with(".json") {
+        snapshot.to_json()
+    } else {
+        snapshot.prometheus()
+    };
+    std::fs::write(path, body).map_err(|e| format!("cannot write {path}: {e}"))
 }
 
 /// `plan --cache-dir`: answer from a persisted plan cache when the
@@ -468,6 +516,7 @@ fn cmd_serve(args: &[String]) -> i32 {
     let mut beam = DEFAULT_BEAM;
     let mut cache_dir: Option<String> = None;
     let mut cache_enabled = true;
+    let mut metrics_dump: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -524,6 +573,16 @@ fn cmd_serve(args: &[String]) -> i32 {
                 }
             }
             "--no-cache" => cache_enabled = false,
+            "--metrics-dump" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => metrics_dump = Some(p.clone()),
+                    None => {
+                        eprintln!("serve: --metrics-dump expects a path");
+                        return 2;
+                    }
+                }
+            }
             other => {
                 eprintln!("serve: unknown option {other}");
                 return 2;
@@ -549,12 +608,18 @@ fn cmd_serve(args: &[String]) -> i32 {
         beam,
         ..ServeConfig::default()
     };
-    let service = PlanService::new(
+    // The server is long-lived, so events go to a bounded ring (old
+    // events are dropped, never the request path) and the aggregate
+    // metrics registry is always on — it is what answers `stats` ops.
+    let ring = Arc::new(RingSink::new(SERVE_RING_CAPACITY));
+    let obs = Obs::with_metrics(Arc::clone(&ring), MetricsRegistry::new());
+    let service = PlanService::with_obs(
         ImplRegistry::paper_default(),
         catalog,
         cluster,
         Box::new(AnalyticalCostModel),
         config,
+        obs,
     );
     if let Some(dir) = &cache_dir {
         match service.warm_from_dir(Path::new(dir)) {
@@ -569,9 +634,33 @@ fn cmd_serve(args: &[String]) -> i32 {
         }
     }
 
-    let stdin = std::io::stdin();
-    let stdout = std::io::stdout();
-    let summary = match serve_lines(&service, stdin.lock(), &mut stdout.lock()) {
+    // `--metrics-dump` runs a sidecar thread that rewrites the dump
+    // file every few seconds while the serve loop owns stdin/stdout.
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let result = std::thread::scope(|scope| {
+        if let Some(path) = &metrics_dump {
+            scope.spawn(|| {
+                let mut ticks = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(250));
+                    ticks += 1;
+                    if ticks.is_multiple_of(20) {
+                        if let Some(snap) = service.metrics_snapshot() {
+                            if let Err(msg) = write_metrics_dump(&snap, path) {
+                                eprintln!("serve: {msg}");
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        let result = serve_lines(&service, stdin.lock(), &mut stdout.lock());
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        result
+    });
+    let summary = match result {
         Ok(s) => s,
         Err(e) => {
             eprintln!("serve: I/O error: {e}");
@@ -582,6 +671,14 @@ fn cmd_serve(args: &[String]) -> i32 {
         match service.persist_to_dir(Path::new(dir)) {
             Ok(n) => eprintln!("serve: persisted {n} cached plans to {dir}"),
             Err(e) => eprintln!("serve: could not persist cache to {dir}: {e}"),
+        }
+    }
+    if let Some(path) = &metrics_dump {
+        if let Some(snap) = service.metrics_snapshot() {
+            match write_metrics_dump(&snap, path) {
+                Ok(()) => eprintln!("serve: wrote final metrics snapshot to {path}"),
+                Err(msg) => eprintln!("serve: {msg}"),
+            }
         }
     }
     let stats = service.stats();
@@ -599,6 +696,12 @@ fn cmd_serve(args: &[String]) -> i32 {
         stats.cache_entries,
         stats.cache_bytes
     );
+    if ring.dropped() > 0 {
+        eprintln!(
+            "serve: event ring (capacity {SERVE_RING_CAPACITY}) dropped {} old events",
+            ring.dropped()
+        );
+    }
     i32::from(summary.errors > 0)
 }
 
@@ -624,42 +727,7 @@ fn run_analyze(
     governor: Governor,
     obs: &Obs,
 ) -> Result<(), String> {
-    let mut bytes = 0u64;
-    for (id, node) in graph.iter() {
-        if let NodeKind::Source { format } = &node.kind {
-            if format.is_sparse() {
-                return Err(format!(
-                    "source {} uses sparse format {format}; --analyze generates dense \
-                     payloads only (try ffnn-small:<hidden>)",
-                    node.name.as_deref().unwrap_or(&id.to_string()),
-                ));
-            }
-        }
-        bytes = bytes.saturating_add(node.mtype.rows.saturating_mul(node.mtype.cols) * 8);
-    }
-    if bytes > ANALYZE_BYTE_BUDGET {
-        return Err(format!(
-            "workload holds ~{} GiB of dense matrices; --analyze runs the plan for real \
-             and only accepts laptop-scale graphs (try ffnn-small:<hidden>)",
-            bytes >> 30
-        ));
-    }
-
-    let mut rng = seeded_rng(42);
-    let mut inputs = HashMap::new();
-    for (id, node) in graph.iter() {
-        if let NodeKind::Source { format } = &node.kind {
-            let d =
-                random_dense_normal(node.mtype.rows as usize, node.mtype.cols as usize, &mut rng);
-            let rel = DistRelation::from_dense(&d, *format).map_err(|e| {
-                format!(
-                    "cannot chunk source {}: {e}",
-                    node.name.as_deref().unwrap_or(&id.to_string()),
-                )
-            })?;
-            inputs.insert(id, rel);
-        }
-    }
+    let inputs = dense_inputs(graph)?;
     if let Some(budget) = governor.mem_budget {
         println!("memory budget: {budget} bytes (spilling to scratch when exceeded)");
     }
@@ -696,6 +764,146 @@ fn run_analyze(
     };
     print!("{analysis}");
     Ok(())
+}
+
+/// Materialises a random dense input relation per source, refusing
+/// sparse sources and paper-scale payloads (real execution only
+/// accepts laptop-scale graphs).
+fn dense_inputs(
+    graph: &ComputeGraph,
+) -> Result<HashMap<matopt_core::NodeId, DistRelation>, String> {
+    let mut bytes = 0u64;
+    for (id, node) in graph.iter() {
+        if let NodeKind::Source { format } = &node.kind {
+            if format.is_sparse() {
+                return Err(format!(
+                    "source {} uses sparse format {format}; --analyze generates dense \
+                     payloads only (try ffnn-small:<hidden>)",
+                    node.name.as_deref().unwrap_or(&id.to_string()),
+                ));
+            }
+        }
+        bytes = bytes.saturating_add(node.mtype.rows.saturating_mul(node.mtype.cols) * 8);
+    }
+    if bytes > ANALYZE_BYTE_BUDGET {
+        return Err(format!(
+            "workload holds ~{} GiB of dense matrices; --analyze runs the plan for real \
+             and only accepts laptop-scale graphs (try ffnn-small:<hidden>)",
+            bytes >> 30
+        ));
+    }
+
+    let mut rng = seeded_rng(42);
+    let mut inputs = HashMap::new();
+    for (id, node) in graph.iter() {
+        if let NodeKind::Source { format } = &node.kind {
+            let d =
+                random_dense_normal(node.mtype.rows as usize, node.mtype.cols as usize, &mut rng);
+            let rel = DistRelation::from_dense(&d, *format).map_err(|e| {
+                format!(
+                    "cannot chunk source {}: {e}",
+                    node.name.as_deref().unwrap_or(&id.to_string()),
+                )
+            })?;
+            inputs.insert(id, rel);
+        }
+    }
+    Ok(inputs)
+}
+
+/// `matopt stats <workload>`: optimize and execute the workload with
+/// the metrics registry attached, print the human-readable analysis to
+/// stderr, and emit the registry snapshot on stdout (Prometheus text,
+/// or JSON with `--json`) — a one-shot, pipe-friendly view of exactly
+/// what a metered `matopt serve` would expose.
+fn cmd_stats(args: &[String]) -> i32 {
+    let Some(workload) = args.first() else {
+        eprintln!("stats: missing workload (try ffnn-small:16)");
+        return 2;
+    };
+    let mut workers = 10usize;
+    let mut engine = "simsql".to_string();
+    let mut catalog_name = "dense".to_string();
+    let mut json = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workers" => {
+                i += 1;
+                workers = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(10);
+            }
+            "--engine" => {
+                i += 1;
+                engine = args.get(i).cloned().unwrap_or_default();
+            }
+            "--catalog" => {
+                i += 1;
+                catalog_name = args.get(i).cloned().unwrap_or_default();
+            }
+            "--json" => json = true,
+            other => {
+                eprintln!("stats: unknown option {other}");
+                return 2;
+            }
+        }
+        i += 1;
+    }
+
+    let cluster = match engine.as_str() {
+        "pc" | "plinycompute" => Cluster::plinycompute_like(workers),
+        _ => Cluster::simsql_like(workers),
+    };
+    let catalog = match catalog_name.as_str() {
+        "all" => FormatCatalog::paper_default(),
+        "ssb" => FormatCatalog::single_strip_block(),
+        "sb" => FormatCatalog::single_block(),
+        _ => FormatCatalog::paper_default().dense_only(),
+    };
+    let graph = match build_workload(workload, &cluster) {
+        Ok(g) => g,
+        Err(msg) => {
+            eprintln!("stats: {msg}");
+            return 2;
+        }
+    };
+
+    let registry = MetricsRegistry::new();
+    let ring = Arc::new(RingSink::new(4096));
+    let obs = Obs::with_metrics(Arc::clone(&ring), Arc::clone(&registry));
+    let env = Env::new();
+    let ctx = env.ctx(cluster);
+    let plan = match env.auto_plan_traced(&graph, cluster, &catalog, obs.clone()) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("stats: optimization failed: {e}");
+            return 1;
+        }
+    };
+    let inputs = match dense_inputs(&graph) {
+        Ok(m) => m,
+        Err(msg) => {
+            eprintln!("stats: {msg}");
+            return 1;
+        }
+    };
+    let analysis = match explain_analyze(&graph, &plan.annotation, &inputs, &ctx, &env.model, &obs)
+    {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("stats: execution failed: {e}");
+            return 1;
+        }
+    };
+    // Human-readable join to stderr; machine-readable exposition on
+    // stdout so `matopt stats ... | promtool check metrics` works.
+    eprint!("{analysis}");
+    let snapshot = registry.snapshot();
+    if json {
+        println!("{}", snapshot.to_json());
+    } else {
+        print!("{}", snapshot.prometheus());
+    }
+    0
 }
 
 /// Workload specs are shared with the serving protocol so a `plan`

@@ -1,0 +1,313 @@
+//! Cost-model drift detection: the measure half of the
+//! predict → measure → recalibrate loop.
+//!
+//! The optimizer picks implementations because the cost model says
+//! they are cheapest; if the model's predictions stop matching measured
+//! reality (data distribution shifted, hardware degraded, a kernel
+//! regressed), every cached plan quietly becomes the wrong plan. The
+//! [`DriftMonitor`] watches the measured/predicted runtime ratio per
+//! plan key (the serving layer keys it by plan fingerprint) and reports
+//! when that ratio has drifted out of band, so the caller can
+//! invalidate stale plans and re-optimize.
+//!
+//! Absolute ratios are deliberately *not* compared against 1.0: the
+//! analytic model predicts seconds on the modeled cluster while
+//! measurements come from wherever the plan actually ran, so a large
+//! constant factor is expected and healthy. Instead the monitor learns
+//! each key's **baseline** ratio from its first
+//! [`DriftConfig::baseline_window`] observations and then tracks an
+//! EWMA of the ratio relative to that baseline. Systematic scaling
+//! cancels; *changes* do not.
+//!
+//! Firing discipline: a key fires after
+//! [`DriftConfig::min_observations`] consecutive out-of-band samples
+//! with the EWMA itself out of band, and then **latches** — persistent
+//! drift produces exactly one event (and therefore exactly one
+//! plan-cache epoch bump downstream), not an invalidation storm.
+//! [`DriftMonitor::reset`] re-arms every key; callers invoke it when a
+//! recalibrated model lands, because new predictions deserve a fresh
+//! baseline.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Tuning for a [`DriftMonitor`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftConfig {
+    /// EWMA smoothing factor in `(0, 1]`; higher weighs recent
+    /// observations more.
+    pub ewma_alpha: f64,
+    /// Observations used to establish a key's baseline ratio before
+    /// drift is judged at all.
+    pub baseline_window: u32,
+    /// Consecutive out-of-band observations (with the EWMA also out of
+    /// band) required before a key fires — the K of "after K
+    /// out-of-band observations".
+    pub min_observations: u32,
+    /// Relative band half-width: a ratio is in band while it stays
+    /// within `[baseline / (1 + band), baseline * (1 + band)]`.
+    pub band: f64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            ewma_alpha: 0.3,
+            baseline_window: 4,
+            min_observations: 8,
+            band: 0.5,
+        }
+    }
+}
+
+/// One detected drift: emitted at most once per key between resets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftEvent {
+    /// The key that drifted (the serving layer uses the plan
+    /// fingerprint).
+    pub key: u128,
+    /// The learned baseline measured/predicted ratio.
+    pub baseline: f64,
+    /// The EWMA ratio at firing time.
+    pub ewma: f64,
+    /// `ewma / baseline` — how far reality moved from the calibrated
+    /// relationship (&gt; 1: slower than predicted, &lt; 1: faster).
+    pub drift: f64,
+    /// Total observations for the key when it fired.
+    pub observations: u32,
+}
+
+/// Per-key tracking state.
+#[derive(Debug, Clone, Copy, Default)]
+struct KeyState {
+    baseline_sum: f64,
+    baseline: f64,
+    ewma: f64,
+    observations: u32,
+    consecutive_out: u32,
+    fired: bool,
+}
+
+/// Tracks measured/predicted runtime ratios per key and reports
+/// out-of-band drift. Thread-safe; observation is a short mutex hold
+/// on a small map (this sits on the once-per-execution path, not the
+/// per-event hot path).
+#[derive(Debug, Default)]
+pub struct DriftMonitor {
+    config: DriftConfig,
+    keys: Mutex<HashMap<u128, KeyState>>,
+}
+
+impl DriftMonitor {
+    /// A monitor with the given tuning.
+    pub fn new(config: DriftConfig) -> Self {
+        DriftMonitor {
+            config,
+            keys: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The monitor's configuration.
+    pub fn config(&self) -> DriftConfig {
+        self.config
+    }
+
+    /// Feeds one measurement for `key`. Returns a [`DriftEvent`] the
+    /// single time the key's ratio is judged to have drifted out of
+    /// band (see the module docs for the firing discipline).
+    ///
+    /// Non-finite or non-positive inputs are ignored: a failed or
+    /// zero-cost run says nothing about model quality.
+    pub fn observe(
+        &self,
+        key: u128,
+        predicted_seconds: f64,
+        measured_seconds: f64,
+    ) -> Option<DriftEvent> {
+        let usable = predicted_seconds > 0.0
+            && measured_seconds > 0.0
+            && predicted_seconds.is_finite()
+            && measured_seconds.is_finite();
+        if !usable {
+            return None;
+        }
+        let ratio = measured_seconds / predicted_seconds;
+        let mut keys = self.keys.lock().expect("drift monitor");
+        let s = keys.entry(key).or_default();
+        s.observations += 1;
+
+        if s.observations <= self.config.baseline_window {
+            s.baseline_sum += ratio;
+            s.baseline = s.baseline_sum / f64::from(s.observations);
+            s.ewma = s.baseline;
+            return None;
+        }
+
+        s.ewma = self.config.ewma_alpha * ratio + (1.0 - self.config.ewma_alpha) * s.ewma;
+        let hi = s.baseline * (1.0 + self.config.band);
+        let lo = s.baseline / (1.0 + self.config.band);
+        if ratio > hi || ratio < lo {
+            s.consecutive_out += 1;
+        } else {
+            s.consecutive_out = 0;
+        }
+        let ewma_out = s.ewma > hi || s.ewma < lo;
+        if !s.fired && ewma_out && s.consecutive_out >= self.config.min_observations {
+            s.fired = true;
+            return Some(DriftEvent {
+                key,
+                baseline: s.baseline,
+                ewma: s.ewma,
+                drift: s.ewma / s.baseline,
+                observations: s.observations,
+            });
+        }
+        None
+    }
+
+    /// The current EWMA ratio for `key`, once its baseline exists.
+    pub fn ratio(&self, key: u128) -> Option<f64> {
+        self.keys
+            .lock()
+            .expect("drift monitor")
+            .get(&key)
+            .filter(|s| s.observations > 0)
+            .map(|s| s.ewma)
+    }
+
+    /// True when `key` has fired and not been reset.
+    pub fn is_latched(&self, key: u128) -> bool {
+        self.keys
+            .lock()
+            .expect("drift monitor")
+            .get(&key)
+            .is_some_and(|s| s.fired)
+    }
+
+    /// Keys currently tracked.
+    pub fn len(&self) -> usize {
+        self.keys.lock().expect("drift monitor").len()
+    }
+
+    /// True when no key has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Forgets every key: baselines, EWMAs, and latches. Call when a
+    /// recalibrated cost model replaces the one the baselines were
+    /// learned against.
+    pub fn reset(&self) {
+        self.keys.lock().expect("drift monitor").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> DriftConfig {
+        DriftConfig {
+            ewma_alpha: 0.5,
+            baseline_window: 4,
+            min_observations: 3,
+            band: 0.5,
+        }
+    }
+
+    #[test]
+    fn stable_ratios_never_fire_even_far_from_one() {
+        // A constant 40x measured/predicted gap (cluster model vs
+        // laptop) is calibration, not drift.
+        let m = DriftMonitor::new(quick());
+        for _ in 0..100 {
+            assert_eq!(m.observe(1, 1.0, 40.0), None);
+        }
+        assert!(!m.is_latched(1));
+        let r = m.ratio(1).unwrap();
+        assert!((r - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sustained_drift_fires_exactly_once() {
+        let m = DriftMonitor::new(quick());
+        // Baseline at ratio 2.0.
+        for _ in 0..4 {
+            assert_eq!(m.observe(7, 1.0, 2.0), None);
+        }
+        // Kernels suddenly 3x slower than the calibrated relationship.
+        let mut events = Vec::new();
+        for _ in 0..50 {
+            if let Some(e) = m.observe(7, 1.0, 6.0) {
+                events.push(e);
+            }
+        }
+        assert_eq!(events.len(), 1, "persistent drift must latch");
+        let e = events[0];
+        assert_eq!(e.key, 7);
+        assert!((e.baseline - 2.0).abs() < 1e-9);
+        assert!(e.drift > 1.5, "drift {} should be out of band", e.drift);
+        assert!(m.is_latched(7));
+    }
+
+    #[test]
+    fn transient_spikes_do_not_fire() {
+        let m = DriftMonitor::new(quick());
+        for _ in 0..4 {
+            m.observe(1, 1.0, 2.0);
+        }
+        // Two out-of-band samples (below min_observations = 3), then
+        // recovery — consecutive counter resets.
+        for _ in 0..10 {
+            assert_eq!(m.observe(1, 1.0, 9.0), None);
+            assert_eq!(m.observe(1, 1.0, 9.0), None);
+            assert_eq!(m.observe(1, 1.0, 2.0), None);
+            assert_eq!(m.observe(1, 1.0, 2.0), None);
+        }
+    }
+
+    #[test]
+    fn keys_are_independent_and_reset_rearms() {
+        let m = DriftMonitor::new(quick());
+        for _ in 0..4 {
+            m.observe(1, 1.0, 1.0);
+            m.observe(2, 1.0, 1.0);
+        }
+        let fired: Vec<bool> = (0..10).map(|_| m.observe(1, 1.0, 5.0).is_some()).collect();
+        assert_eq!(fired.iter().filter(|f| **f).count(), 1);
+        assert!(m.is_latched(1));
+        assert!(!m.is_latched(2), "key 2 never drifted");
+        assert_eq!(m.len(), 2);
+
+        m.reset();
+        assert!(m.is_empty());
+        // After reset the same key re-learns a baseline and can fire
+        // again.
+        for _ in 0..4 {
+            m.observe(1, 1.0, 5.0);
+        }
+        let refired = (0..10).any(|_| m.observe(1, 1.0, 25.0).is_some());
+        assert!(refired);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_ignored() {
+        let m = DriftMonitor::new(quick());
+        assert_eq!(m.observe(1, 0.0, 1.0), None);
+        assert_eq!(m.observe(1, 1.0, 0.0), None);
+        assert_eq!(m.observe(1, -1.0, 1.0), None);
+        assert_eq!(m.observe(1, f64::NAN, 1.0), None);
+        assert_eq!(m.observe(1, 1.0, f64::INFINITY), None);
+        assert!(m.is_empty() || m.ratio(1).is_none());
+    }
+
+    #[test]
+    fn faster_than_predicted_also_counts_as_drift() {
+        let m = DriftMonitor::new(quick());
+        for _ in 0..4 {
+            m.observe(1, 1.0, 10.0);
+        }
+        let fired = (0..10).filter(|_| m.observe(1, 1.0, 1.0).is_some()).count();
+        assert_eq!(fired, 1);
+    }
+}

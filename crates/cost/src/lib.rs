@@ -16,16 +16,22 @@
 //!
 //! The regressions are solved with the LU factorization from
 //! `matopt-kernels` — the library's own linear algebra.
+//!
+//! [`DriftMonitor`] closes the predict → measure → recalibrate loop:
+//! it tracks per-plan measured/predicted runtime ratios and reports
+//! when a deployed model's predictions have drifted out of band.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod accuracy;
+mod drift;
 mod faulty;
 mod model;
 mod regression;
 
 pub use accuracy::{mean_rel_error, sample_residuals, Residual};
+pub use drift::{DriftConfig, DriftEvent, DriftMonitor};
 pub use faulty::{expected_vertex_time, FaultAwareCostModel};
 pub use model::{plan_cost, AnalyticalCostModel, CostKey, CostModel, CostSample, LearnedCostModel};
 pub use regression::{fit_ridge, LinearModel, N_FEATURES};

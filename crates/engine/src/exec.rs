@@ -52,6 +52,9 @@ pub struct ExecOutcome {
     /// What the resource governor did during the run (all zero when no
     /// budget or hedging was configured).
     pub governor: GovernorStats,
+    /// Pool counter delta for this run: tasks, steals, and busy time
+    /// (zero for the serial executor, which never touches the pool).
+    pub pool: matopt_pool::PoolStats,
     /// Total wall seconds.
     pub total_seconds: f64,
 }
@@ -263,6 +266,7 @@ pub fn execute_plan_with(
         max_concurrency: out.max_concurrency,
         peak_resident_bytes: out.peak_resident_bytes,
         governor: out.governor,
+        pool: out.pool,
         total_seconds: start.elapsed().as_secs_f64(),
     })
 }
@@ -365,6 +369,7 @@ pub fn execute_plan_serial(
         max_concurrency: 1,
         peak_resident_bytes: peak,
         governor: GovernorStats::default(),
+        pool: matopt_pool::PoolStats::default(),
         total_seconds: start.elapsed().as_secs_f64(),
     })
 }

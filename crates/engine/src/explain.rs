@@ -231,6 +231,24 @@ impl std::fmt::Display for PlanAnalysis {
                 gov.hedges_won,
             )?;
         }
+        let pool = &self.exec.pool;
+        if pool.tasks > 0 {
+            let capacity = self.measured_total_seconds * self.exec.parallelism as f64;
+            let util = if capacity > 0.0 {
+                100.0 * pool.busy_seconds() / capacity
+            } else {
+                0.0
+            };
+            writeln!(
+                f,
+                "  pool: {} workers, {} tasks ({} steals), busy {:.3}s, utilization {:.1}%",
+                self.exec.parallelism,
+                pool.tasks,
+                pool.steals,
+                pool.busy_seconds(),
+                util,
+            )?;
+        }
         writeln!(
             f,
             "  {:>5} {:<22} {:<28} {:>12} {:>12} {:>10} {:>7} {:>12} {:>8} {:>6} {:>10} {:>7} {:>6}",
@@ -460,6 +478,7 @@ pub fn explain_analyze_with_faults(
         max_concurrency: ft.max_concurrency,
         peak_resident_bytes: ft.peak_resident_bytes,
         governor: ft.governor,
+        pool: ft.pool,
         total_seconds: ft.total_seconds,
     };
     let stats = RecoveryStats {

@@ -195,6 +195,8 @@ pub struct FtOutcome {
     /// pipelined governor's full stats; the live-injector path fills
     /// the admission-wait and hedge counters.
     pub governor: GovernorStats,
+    /// Pool counter delta for this run (tasks, steals, busy time).
+    pub pool: matopt_pool::PoolStats,
 }
 
 /// Executes an annotated graph under fault injection, recovering every
@@ -229,6 +231,7 @@ pub fn execute_fault_tolerant(
         ]
     });
     let start = Instant::now();
+    let pool_before = Pool::global().stats();
     let registry = ctx.registry;
 
     // Fault-free fast path: the whole run is one pipelined-scheduler
@@ -274,6 +277,7 @@ pub fn execute_fault_tolerant(
             checkpoint_seconds: 0.0,
             per_vertex: vec![VertexRecovery::default(); graph.len()],
             governor: out.governor,
+            pool: out.pool,
         });
     }
 
@@ -661,6 +665,13 @@ pub fn execute_fault_tolerant(
     obs.counter(Subsystem::Faults, "faults_fired", faults.len() as f64);
     obs.counter(Subsystem::Faults, "retries", f64::from(retries));
     obs.counter(Subsystem::Faults, "recoveries", f64::from(recoveries));
+    if let Some(m) = obs.metrics() {
+        m.add(Subsystem::Faults, "faults_injected", faults.len() as u64);
+        m.add(Subsystem::Faults, "retries", u64::from(retries));
+        m.add(Subsystem::Faults, "recoveries", u64::from(recoveries));
+        m.add(Subsystem::Faults, "replans", u64::from(replans));
+        m.add(Subsystem::Faults, "hedges_won", governor.hedges_won);
+    }
     Ok(FtOutcome {
         sinks,
         values: all,
@@ -680,6 +691,7 @@ pub fn execute_fault_tolerant(
         checkpoint_seconds,
         per_vertex,
         governor,
+        pool: Pool::global().stats().since(&pool_before),
     })
 }
 

@@ -107,6 +107,8 @@ pub(crate) struct PipelineOutput {
     pub peak_resident_bytes: u64,
     /// Spill/backpressure/hedging counters.
     pub governor: GovernorStats,
+    /// Pool counter delta for this run (tasks, steals, busy time).
+    pub pool: matopt_pool::PoolStats,
 }
 
 /// Per-vertex measurements, written once by the job that ran the
@@ -441,6 +443,29 @@ pub(crate) fn run_pipelined(
             ("hedges_won", (governor.hedges_won as i64).into()),
         ]
     });
+    if let Some(m) = obs.metrics() {
+        m.add(Subsystem::Sched, "pool_tasks", delta.tasks);
+        m.add(Subsystem::Sched, "pool_steals", delta.steals);
+        m.add(Subsystem::Sched, "spills", governor.spills);
+        m.add(Subsystem::Sched, "spilled_bytes", governor.spilled_bytes);
+        m.add(
+            Subsystem::Sched,
+            "admission_waits",
+            governor.admission_waits,
+        );
+        m.add(
+            Subsystem::Sched,
+            "hedges_launched",
+            governor.hedges_launched,
+        );
+        m.add(Subsystem::Sched, "hedges_won", governor.hedges_won);
+        // High-water gauge: the largest peak any run has reached since
+        // the registry was created.
+        let g = m.gauge(Subsystem::Sched, "peak_resident_bytes");
+        if g.value() < peak as f64 {
+            g.set(peak as f64);
+        }
+    }
 
     let state = Arc::try_unwrap(state)
         .map_err(|_| ExecError::Internal("scheduler state still shared after wait".to_string()))?;
@@ -470,6 +495,7 @@ pub(crate) fn run_pipelined(
         max_concurrency,
         peak_resident_bytes: peak,
         governor,
+        pool: delta,
     })
 }
 
@@ -1045,7 +1071,17 @@ fn compute_vertex(
         choice.output_format,
     )
     .map_err(|e| e.at_vertex(v, &vertex_label(&state.graph, v)))?;
-    Ok((Arc::new(out), t0.elapsed().as_secs_f64(), tsecs))
+    let isecs = t0.elapsed().as_secs_f64();
+    if let Some(m) = state.obs.metrics() {
+        // Per-implementation kernel latency; vertex granularity, so the
+        // registry lookup is noise next to the kernel itself.
+        m.observe(
+            Subsystem::Executor,
+            &format!("kernel_us_{}", impl_def.name),
+            (isecs * 1e6) as u64,
+        );
+    }
+    Ok((Arc::new(out), isecs, tsecs))
 }
 
 fn store_output(

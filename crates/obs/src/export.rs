@@ -227,4 +227,60 @@ mod tests {
         validate(&trace).unwrap();
         assert_eq!(jsonl(&[]), "");
     }
+
+    /// Span names are arbitrary strings: quotes, backslashes, control
+    /// characters, and newlines must all round-trip through both
+    /// exporters as *valid JSON*, never as syntax.
+    #[test]
+    fn hostile_span_names_escape_cleanly_in_both_exporters() {
+        let sink = Arc::new(MemorySink::new());
+        let obs = Obs::new(Arc::clone(&sink));
+        let names = [
+            "quote \" in the middle",
+            "back\\slash",
+            "tab\tand\nnewline",
+            "control \u{0001}\u{001f} chars",
+            "already {\"json\": true}",
+        ];
+        for name in names {
+            let _s = obs.span_with(Subsystem::Executor, name, || {
+                vec![("attr \"k\"", "v\n\"quoted\"".into())]
+            });
+        }
+        let events = sink.take();
+        let trace = chrome_trace_json(&events);
+        validate(&trace).unwrap_or_else(|e| panic!("chrome trace invalid: {e}\n{trace}"));
+        let lines = jsonl(&events);
+        for line in lines.lines() {
+            validate(line).unwrap_or_else(|e| panic!("jsonl invalid: {e}\n{line}"));
+        }
+        // Raw control bytes must not appear anywhere in the output.
+        for text in [&trace, &lines] {
+            assert!(
+                text.chars().all(|c| c == '\n' || c >= ' '),
+                "unescaped control character in export"
+            );
+        }
+    }
+
+    /// Non-finite counter/gauge values export as `null` through both
+    /// exporters and stay valid under the in-crate validator — the
+    /// round-trip half of the `number_into` NaN/±inf fix.
+    #[test]
+    fn non_finite_values_round_trip_as_null() {
+        let sink = Arc::new(MemorySink::new());
+        let obs = Obs::new(Arc::clone(&sink));
+        obs.counter(Subsystem::Simulator, "counter_a", f64::NAN);
+        obs.gauge(Subsystem::Simulator, "gauge_b", f64::INFINITY);
+        obs.gauge(Subsystem::Simulator, "gauge_c", f64::NEG_INFINITY);
+        let events = sink.take();
+        let trace = chrome_trace_json(&events);
+        validate(&trace).unwrap_or_else(|e| panic!("invalid: {e}\n{trace}"));
+        let lines = jsonl(&events);
+        for line in lines.lines() {
+            validate(line).unwrap_or_else(|e| panic!("invalid: {e}\n{line}"));
+            assert!(!line.contains("inf") && !line.contains("NaN"), "{line}");
+        }
+        assert_eq!(lines.matches("\"value\":null").count(), 3);
+    }
 }

@@ -26,7 +26,14 @@
 
 pub mod export;
 pub mod json;
+pub mod metrics;
 
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricSnapshot, MetricValue, MetricsRegistry,
+    MetricsSnapshot,
+};
+
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -217,9 +224,96 @@ impl Sink for Arc<MemorySink> {
     }
 }
 
+/// A bounded [`Sink`] for long-lived processes: keeps the newest
+/// `capacity` events and counts what it dropped, so `matopt serve` can
+/// run for days without the unbounded growth of a [`MemorySink`].
+///
+/// Dropping oldest-first keeps the tail of the stream — the events
+/// closest to "now", which is what an operator inspecting a live
+/// process wants.
+#[derive(Debug)]
+pub struct RingSink {
+    capacity: usize,
+    events: Mutex<VecDeque<Event>>,
+    dropped: AtomicU64,
+}
+
+impl RingSink {
+    /// Creates a sink that retains at most `capacity` events
+    /// (`capacity` 0 drops everything, counting as it goes).
+    pub fn new(capacity: usize) -> Self {
+        RingSink {
+            capacity,
+            events: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// The retention limit this sink was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events evicted (or rejected, for a zero-capacity ring) so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Removes and returns the buffered events, oldest first.
+    pub fn take(&self) -> Vec<Event> {
+        self.events
+            .lock()
+            .expect("sink poisoned")
+            .drain(..)
+            .collect()
+    }
+
+    /// Copies the buffered events without draining them.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.events
+            .lock()
+            .expect("sink poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("sink poisoned").len()
+    }
+
+    /// True when no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for RingSink {
+    fn record(&self, event: Event) {
+        let mut events = self.events.lock().expect("sink poisoned");
+        if self.capacity == 0 {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if events.len() == self.capacity {
+            events.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        events.push_back(event);
+    }
+}
+
+impl Sink for Arc<RingSink> {
+    fn record(&self, event: Event) {
+        self.as_ref().record(event);
+    }
+}
+
 struct ObsInner {
     epoch: Instant,
     sink: Box<dyn Sink>,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
@@ -227,7 +321,7 @@ thread_local! {
     static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
 }
 
-fn thread_id() -> u64 {
+pub(crate) fn thread_id() -> u64 {
     THREAD_ID.with(|t| *t)
 }
 
@@ -262,8 +356,31 @@ impl Obs {
             inner: Some(Arc::new(ObsInner {
                 epoch: Instant::now(),
                 sink: Box::new(sink),
+                metrics: None,
             })),
         }
+    }
+
+    /// Like [`Obs::new`], but also carries a [`MetricsRegistry`]:
+    /// instrumentation points that aggregate (counters, latency
+    /// histograms) reach the registry through [`Obs::metrics`], while
+    /// the event stream still flows to `sink`.
+    pub fn with_metrics(sink: impl Sink + 'static, metrics: Arc<MetricsRegistry>) -> Self {
+        Obs {
+            inner: Some(Arc::new(ObsInner {
+                epoch: Instant::now(),
+                sink: Box::new(sink),
+                metrics: Some(metrics),
+            })),
+        }
+    }
+
+    /// The attached metrics registry, when this handle carries one.
+    /// On a disabled handle (and on plain [`Obs::new`] handles) this is
+    /// `None`, so `if let Some(m) = obs.metrics()` is the whole
+    /// disabled-path cost of a metrics instrumentation point.
+    pub fn metrics(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.inner.as_ref().and_then(|i| i.metrics.as_ref())
     }
 
     /// True when events reach a sink. Use to skip expensive
@@ -477,6 +594,49 @@ mod tests {
         obs.counter(Subsystem::Cli, "a", 1.0);
         obs2.counter(Subsystem::Cli, "b", 1.0);
         assert_eq!(sink.len(), 2);
+    }
+
+    #[test]
+    fn ring_sink_bounds_growth_and_counts_drops() {
+        let sink = Arc::new(RingSink::new(3));
+        let obs = Obs::new(Arc::clone(&sink));
+        for i in 0..5 {
+            obs.counter(Subsystem::Serve, &format!("c{i}"), 1.0);
+        }
+        assert_eq!(sink.len(), 3);
+        assert_eq!(sink.dropped(), 2);
+        // The newest events survive, oldest are evicted.
+        let names: Vec<String> = sink.snapshot().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["c2", "c3", "c4"]);
+        assert_eq!(sink.take().len(), 3);
+        assert!(sink.is_empty());
+
+        // A zero-capacity ring rejects everything but still counts.
+        let zero = Arc::new(RingSink::new(0));
+        let obs = Obs::new(Arc::clone(&zero));
+        obs.counter(Subsystem::Serve, "x", 1.0);
+        assert!(zero.is_empty());
+        assert_eq!(zero.dropped(), 1);
+    }
+
+    #[test]
+    fn metrics_registry_rides_the_obs_handle() {
+        assert!(Obs::disabled().metrics().is_none());
+        let plain = Obs::new(MemorySink::new());
+        assert!(plain.metrics().is_none());
+
+        let registry = MetricsRegistry::new();
+        let obs = Obs::with_metrics(MemorySink::new(), Arc::clone(&registry));
+        obs.metrics()
+            .expect("registry attached")
+            .counter(Subsystem::Serve, "hits")
+            .inc();
+        assert_eq!(
+            registry.snapshot().counter(Subsystem::Serve, "hits"),
+            Some(1)
+        );
+        // Clones share the registry.
+        assert!(obs.clone().metrics().is_some());
     }
 
     #[test]

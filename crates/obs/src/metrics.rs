@@ -1,0 +1,843 @@
+//! The aggregated-metrics half of observability: a process-wide
+//! [`MetricsRegistry`] of monotonic counters, gauges, and mergeable
+//! log-linear histograms, labeled by [`Subsystem`].
+//!
+//! The event stream in the crate root answers "what happened, in
+//! order"; this module answers "how much, how fast, right now" for a
+//! long-lived process like `matopt serve`, where buffering every event
+//! forever is not an option but latency percentiles and cache ratios
+//! must be readable at any time.
+//!
+//! Design:
+//!
+//! * **Wait-free writers.** Once a call site holds a metric handle
+//!   ([`Counter`], [`Gauge`], [`Histogram`] — all `Arc`-shared),
+//!   updating it is a single relaxed atomic RMW; no lock is taken and
+//!   no writer ever waits on a reader or another writer. Counters are
+//!   sharded over cache-line-padded cells indexed by thread so hot
+//!   counters shared by many workers do not ping-pong one cache line.
+//! * **Snapshot without pausing.** [`MetricsRegistry::snapshot`] reads
+//!   every atomic with relaxed loads while writers keep writing; the
+//!   result is a point-in-time-ish view that is exact for quiescent
+//!   metrics and never blocks the hot path.
+//! * **Mergeable histograms.** [`Histogram`] buckets are log-linear:
+//!   base-2 octaves split into 16 linear sub-buckets (relative error
+//!   ≤ 1/16 per recorded value), the same shape for every histogram,
+//!   so two snapshots merge by elementwise addition —
+//!   [`HistogramSnapshot::merge`] is associative and commutative,
+//!   which is what lets per-shard or per-process latency histograms
+//!   roll up into one SLO view.
+//! * **Exposition.** [`MetricsSnapshot::prometheus`] renders the
+//!   Prometheus text format; [`MetricsSnapshot::to_json`] renders a
+//!   JSON document through the in-crate escaping helpers (validated
+//!   by the exporter tests).
+//!
+//! Registration (`registry.counter(...)` etc.) takes a short
+//! read-write lock and is *not* wait-free — hot call sites should
+//! resolve their handles once and cache the `Arc`s; the convenience
+//! methods ([`MetricsRegistry::add`], [`MetricsRegistry::observe`],
+//! [`MetricsRegistry::set_gauge`]) re-resolve per call and are meant
+//! for cold paths.
+
+use crate::json::{escape_into, number_into};
+use crate::Subsystem;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Sub-bucket resolution: each base-2 octave is split into
+/// 2^`SUB_BITS` = 16 linear sub-buckets.
+const SUB_BITS: u32 = 4;
+/// Sub-buckets per octave.
+const SUB: u64 = 1 << SUB_BITS;
+/// Total bucket count: 16 exact buckets for values < 16, then 16
+/// sub-buckets for each of the 60 remaining octaves of a `u64`.
+const BUCKETS: usize = (SUB as usize) * (64 - SUB_BITS as usize + 1);
+
+/// Cells per sharded counter; writers pick a cell by thread id.
+const COUNTER_SHARDS: usize = 8;
+
+/// An `AtomicU64` padded to its own cache line so sharded cells do not
+/// false-share.
+#[derive(Default)]
+#[repr(align(64))]
+struct PaddedU64(AtomicU64);
+
+/// A monotonic counter. Increments are relaxed atomic adds spread over
+/// per-thread shards; [`Counter::value`] sums the shards.
+#[derive(Default)]
+pub struct Counter {
+    cells: [PaddedU64; COUNTER_SHARDS],
+}
+
+impl Counter {
+    /// Adds `n` to the counter (wait-free).
+    pub fn add(&self, n: u64) {
+        let cell = crate::thread_id() as usize % COUNTER_SHARDS;
+        self.cells[cell].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments the counter by one (wait-free).
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current total across every shard.
+    pub fn value(&self) -> u64 {
+        self.cells.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// A sampled instantaneous value, stored as an `f64` bit pattern in one
+/// atomic (last writer wins).
+#[derive(Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the gauge (wait-free).
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The most recently set value (0.0 before any set).
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// The bucket index a value lands in: exact below 16, then log-linear
+/// (octave via leading zeros, 16 linear sub-buckets per octave).
+fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let e = 63 - v.leading_zeros(); // e >= SUB_BITS
+    let sub = (v >> (e - SUB_BITS)) - SUB;
+    (SUB + u64::from(e - SUB_BITS) * SUB + sub) as usize
+}
+
+/// Inclusive lower bound of bucket `i` (the smallest value it holds).
+fn bucket_lower_bound(i: usize) -> u64 {
+    let i = i as u64;
+    if i < SUB {
+        return i;
+    }
+    let k = i - SUB;
+    let e = SUB_BITS + (k / SUB) as u32;
+    let sub = k % SUB;
+    (SUB + sub) << (e - SUB_BITS)
+}
+
+/// Inclusive upper bound of bucket `i`.
+fn bucket_upper_bound(i: usize) -> u64 {
+    if i + 1 >= BUCKETS {
+        u64::MAX
+    } else {
+        bucket_lower_bound(i + 1) - 1
+    }
+}
+
+/// A mergeable log-linear histogram over `u64` samples (typically
+/// microseconds). Base-2 octaves with 16 linear sub-buckets bound the
+/// per-sample relative error at 1/16; every histogram shares the same
+/// bucket layout, so snapshots merge by addition.
+pub struct Histogram {
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one sample (wait-free: three relaxed atomic adds).
+    pub fn record(&self, v: u64) {
+        self.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the buckets, taken without pausing
+    /// writers.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable copy of a [`Histogram`]: quantile queries and
+/// associative merging happen here, off the hot path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Samples in the snapshot.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean sample, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The quantile `q` in `[0, 1]`: the inclusive upper bound of the
+    /// bucket holding the rank-`ceil(q * count)` sample (an
+    /// overestimate by at most 1/16 relative). Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        bucket_upper_bound(BUCKETS - 1)
+    }
+
+    /// Adds `other`'s buckets into `self`. Elementwise addition over a
+    /// shared bucket layout, so the operation is associative and
+    /// commutative (property-tested) — per-shard histograms roll up
+    /// into one.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// The non-empty buckets as `(lower_bound, upper_bound, count)`.
+    pub fn buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| (bucket_lower_bound(i), bucket_upper_bound(i), *c))
+            .collect()
+    }
+}
+
+/// A handle to one registered metric.
+#[derive(Clone)]
+enum MetricHandle {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl MetricHandle {
+    fn kind(&self) -> &'static str {
+        match self {
+            MetricHandle::Counter(_) => "counter",
+            MetricHandle::Gauge(_) => "gauge",
+            MetricHandle::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// The live registry: metric name → shared handle, labeled by
+/// [`Subsystem`]. See the module docs for the concurrency contract.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    metrics: RwLock<HashMap<(Subsystem, String), MetricHandle>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry, ready to share behind an `Arc`.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    fn resolve<T>(
+        &self,
+        subsystem: Subsystem,
+        name: &str,
+        pick: impl Fn(&MetricHandle) -> Option<Arc<T>>,
+        make: impl FnOnce() -> MetricHandle,
+        want: &'static str,
+    ) -> Arc<T> {
+        if let Some(handle) = self
+            .metrics
+            .read()
+            .expect("registry")
+            .get(&(subsystem, name.to_string()))
+        {
+            return pick(handle).unwrap_or_else(|| {
+                panic!(
+                    "metric {}/{name} is a {}, requested as {want}",
+                    subsystem.as_str(),
+                    handle.kind()
+                )
+            });
+        }
+        let mut map = self.metrics.write().expect("registry");
+        let handle = map
+            .entry((subsystem, name.to_string()))
+            .or_insert_with(make)
+            .clone();
+        pick(&handle).unwrap_or_else(|| {
+            panic!(
+                "metric {}/{name} is a {}, requested as {want}",
+                subsystem.as_str(),
+                handle.kind()
+            )
+        })
+    }
+
+    /// The counter `name` under `subsystem`, created on first use.
+    /// Cache the returned `Arc` on hot paths.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, subsystem: Subsystem, name: &str) -> Arc<Counter> {
+        self.resolve(
+            subsystem,
+            name,
+            |h| match h {
+                MetricHandle::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+            || MetricHandle::Counter(Arc::new(Counter::default())),
+            "counter",
+        )
+    }
+
+    /// The gauge `name` under `subsystem`, created on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, subsystem: Subsystem, name: &str) -> Arc<Gauge> {
+        self.resolve(
+            subsystem,
+            name,
+            |h| match h {
+                MetricHandle::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+            || MetricHandle::Gauge(Arc::new(Gauge::default())),
+            "gauge",
+        )
+    }
+
+    /// The histogram `name` under `subsystem`, created on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, subsystem: Subsystem, name: &str) -> Arc<Histogram> {
+        self.resolve(
+            subsystem,
+            name,
+            |h| match h {
+                MetricHandle::Histogram(hi) => Some(Arc::clone(hi)),
+                _ => None,
+            },
+            || MetricHandle::Histogram(Arc::new(Histogram::default())),
+            "histogram",
+        )
+    }
+
+    /// Convenience: add `n` to a counter (re-resolves the handle; fine
+    /// off the hot path).
+    pub fn add(&self, subsystem: Subsystem, name: &str, n: u64) {
+        self.counter(subsystem, name).add(n);
+    }
+
+    /// Convenience: set a gauge.
+    pub fn set_gauge(&self, subsystem: Subsystem, name: &str, v: f64) {
+        self.gauge(subsystem, name).set(v);
+    }
+
+    /// Convenience: record a histogram sample.
+    pub fn observe(&self, subsystem: Subsystem, name: &str, v: u64) {
+        self.histogram(subsystem, name).record(v);
+    }
+
+    /// A point-in-time view of every registered metric, sorted by
+    /// `(subsystem, name)` so expositions are stable. Writers are
+    /// never paused; see the module docs.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let map = self.metrics.read().expect("registry");
+        let mut metrics: Vec<MetricSnapshot> = map
+            .iter()
+            .map(|((subsystem, name), handle)| MetricSnapshot {
+                subsystem: *subsystem,
+                name: name.clone(),
+                value: match handle {
+                    MetricHandle::Counter(c) => MetricValue::Counter(c.value()),
+                    MetricHandle::Gauge(g) => MetricValue::Gauge(g.value()),
+                    MetricHandle::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                },
+            })
+            .collect();
+        drop(map);
+        metrics.sort_by(|a, b| {
+            (a.subsystem.as_str(), a.name.as_str()).cmp(&(b.subsystem.as_str(), b.name.as_str()))
+        });
+        MetricsSnapshot { metrics }
+    }
+}
+
+/// One metric in a [`MetricsSnapshot`].
+#[derive(Debug, Clone)]
+pub struct MetricSnapshot {
+    /// The subsystem label.
+    pub subsystem: Subsystem,
+    /// The metric name within the subsystem.
+    pub name: String,
+    /// The frozen value.
+    pub value: MetricValue,
+}
+
+/// A frozen metric value.
+#[derive(Debug, Clone)]
+pub enum MetricValue {
+    /// A monotonic total.
+    Counter(u64),
+    /// A last-written sample.
+    Gauge(f64),
+    /// A frozen histogram.
+    Histogram(HistogramSnapshot),
+}
+
+/// Replaces every character Prometheus disallows in a metric name
+/// with `_`.
+fn prom_sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// A point-in-time view of the whole registry, with both exposition
+/// formats and typed lookups.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Every metric, sorted by `(subsystem, name)`.
+    pub metrics: Vec<MetricSnapshot>,
+}
+
+impl MetricsSnapshot {
+    fn find(&self, subsystem: Subsystem, name: &str) -> Option<&MetricValue> {
+        self.metrics
+            .iter()
+            .find(|m| m.subsystem == subsystem && m.name == name)
+            .map(|m| &m.value)
+    }
+
+    /// The counter's total, if registered.
+    pub fn counter(&self, subsystem: Subsystem, name: &str) -> Option<u64> {
+        match self.find(subsystem, name)? {
+            MetricValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The gauge's value, if registered.
+    pub fn gauge(&self, subsystem: Subsystem, name: &str) -> Option<f64> {
+        match self.find(subsystem, name)? {
+            MetricValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The histogram, if registered.
+    pub fn histogram(&self, subsystem: Subsystem, name: &str) -> Option<&HistogramSnapshot> {
+        match self.find(subsystem, name)? {
+            MetricValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Renders the Prometheus text exposition format (version 0.0.4):
+    /// `# TYPE` lines, `matopt_<subsystem>_<name>` naming, counters
+    /// suffixed `_total`, histograms as cumulative `_bucket{le=...}`
+    /// series with `_sum` and `_count`.
+    pub fn prometheus(&self) -> String {
+        let mut out = String::new();
+        for m in &self.metrics {
+            let base = format!("matopt_{}_{}", m.subsystem.as_str(), prom_sanitize(&m.name));
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("# TYPE {base}_total counter\n"));
+                    out.push_str(&format!("{base}_total {v}\n"));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!("# TYPE {base} gauge\n"));
+                    let mut num = String::new();
+                    number_into(*v, &mut num);
+                    // Prometheus has no null; a non-finite gauge reads NaN.
+                    if num == "null" {
+                        num = "NaN".to_string();
+                    }
+                    out.push_str(&format!("{base} {num}\n"));
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!("# TYPE {base} histogram\n"));
+                    let mut cumulative = 0u64;
+                    for (_, ub, c) in h.buckets() {
+                        cumulative += c;
+                        out.push_str(&format!("{base}_bucket{{le=\"{ub}\"}} {cumulative}\n"));
+                    }
+                    out.push_str(&format!("{base}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+                    out.push_str(&format!("{base}_sum {}\n", h.sum()));
+                    out.push_str(&format!("{base}_count {}\n", h.count()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders one JSON document:
+    /// `{"metrics": [{"subsystem": ..., "name": ..., "type": ...,
+    /// ...}]}`. Histograms carry `count`, `sum`, p50/p95/p99, and the
+    /// non-empty `[lower, upper, count]` buckets. Built on the
+    /// in-crate escaping helpers and validated against the in-crate
+    /// parser in tests.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"metrics\": [");
+        for (i, m) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str("{\"subsystem\": ");
+            escape_into(m.subsystem.as_str(), &mut out);
+            out.push_str(", \"name\": ");
+            escape_into(&m.name, &mut out);
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!(", \"type\": \"counter\", \"value\": {v}"));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(", \"type\": \"gauge\", \"value\": ");
+                    number_into(*v, &mut out);
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        ", \"type\": \"histogram\", \"count\": {}, \"sum\": {}, \
+                         \"p50\": {}, \"p95\": {}, \"p99\": {}, \"buckets\": [",
+                        h.count(),
+                        h.sum(),
+                        h.quantile(0.50),
+                        h.quantile(0.95),
+                        h.quantile(0.99),
+                    ));
+                    for (j, (lb, ub, c)) in h.buckets().iter().enumerate() {
+                        if j > 0 {
+                            out.push_str(", ");
+                        }
+                        out.push_str(&format!("[{lb}, {ub}, {c}]"));
+                    }
+                    out.push(']');
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_exact_then_log_linear() {
+        // Values below 16 land in their own bucket.
+        for v in 0..16u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_lower_bound(v as usize), v);
+            assert_eq!(bucket_upper_bound(v as usize), v);
+        }
+        // Every value is within its bucket's bounds, and the relative
+        // width of any bucket is at most 1/16 of its lower bound.
+        for v in [16u64, 17, 100, 1000, 12345, 1 << 20, u64::MAX / 3, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(bucket_lower_bound(i) <= v, "{v} below bucket {i}");
+            assert!(v <= bucket_upper_bound(i), "{v} above bucket {i}");
+            if i + 1 < BUCKETS {
+                let width = bucket_upper_bound(i) - bucket_lower_bound(i) + 1;
+                assert!(
+                    width * 16 <= bucket_lower_bound(i).max(1) * 2,
+                    "bucket {i} too wide: {width}"
+                );
+            }
+        }
+        // Bucket bounds tile the u64 range without gaps or overlaps.
+        for i in 0..BUCKETS - 1 {
+            assert_eq!(bucket_upper_bound(i) + 1, bucket_lower_bound(i + 1));
+        }
+        assert_eq!(bucket_upper_bound(BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn counters_shard_and_sum() {
+        let c = Arc::new(Counter::default());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        c.add(5);
+        assert_eq!(c.value(), 4005);
+    }
+
+    #[test]
+    fn gauges_hold_last_write() {
+        let g = Gauge::default();
+        assert_eq!(g.value(), 0.0);
+        g.set(3.25);
+        assert_eq!(g.value(), 3.25);
+        g.set(-1.0);
+        assert_eq!(g.value(), -1.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_error() {
+        let h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1000);
+        assert_eq!(s.sum(), 500_500);
+        // Upper-bound quantiles overestimate by at most 1/16.
+        for (q, exact) in [(0.50, 500u64), (0.95, 950), (0.99, 990)] {
+            let got = s.quantile(q);
+            assert!(got >= exact, "q{q}: {got} < {exact}");
+            assert!(
+                got as f64 <= exact as f64 * (1.0 + 1.0 / 16.0) + 1.0,
+                "q{q}: {got} too far above {exact}"
+            );
+        }
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn snapshots_merge_by_addition() {
+        let a = Histogram::default();
+        let b = Histogram::default();
+        for v in 0..100u64 {
+            a.record(v);
+            b.record(v * 37);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.count(), 200);
+        assert_eq!(merged.sum(), a.snapshot().sum() + b.snapshot().sum());
+        // Merge order does not matter.
+        let mut other = b.snapshot();
+        other.merge(&a.snapshot());
+        assert_eq!(merged, other);
+    }
+
+    #[test]
+    fn registry_resolves_and_snapshots() {
+        let r = MetricsRegistry::new();
+        r.counter(Subsystem::Serve, "hits").add(3);
+        r.counter(Subsystem::Serve, "hits").add(4);
+        r.gauge(Subsystem::Sched, "queue_depth").set(2.0);
+        r.observe(Subsystem::Serve, "latency_us", 120);
+        let s = r.snapshot();
+        assert_eq!(s.counter(Subsystem::Serve, "hits"), Some(7));
+        assert_eq!(s.gauge(Subsystem::Sched, "queue_depth"), Some(2.0));
+        assert_eq!(
+            s.histogram(Subsystem::Serve, "latency_us").unwrap().count(),
+            1
+        );
+        assert_eq!(s.counter(Subsystem::Serve, "nope"), None);
+        // Sorted exposition order: (subsystem, name).
+        let names: Vec<&str> = s.metrics.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["queue_depth", "hits", "latency_us"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "requested as gauge")]
+    fn kind_mismatch_panics() {
+        let r = MetricsRegistry::new();
+        r.counter(Subsystem::Serve, "hits").inc();
+        let _ = r.gauge(Subsystem::Serve, "hits");
+    }
+
+    /// One registry that exercises every metric kind plus the edge
+    /// cases (non-finite gauge, name needing sanitization). The
+    /// histogram holds 3, 3, 100: two samples in the exact bucket
+    /// `[3, 3]` and one in the log-linear bucket `[100, 103]`.
+    fn golden_registry() -> Arc<MetricsRegistry> {
+        let r = MetricsRegistry::new();
+        r.add(Subsystem::Cli, "bad-name.v2", 1);
+        r.set_gauge(Subsystem::Sched, "peak", f64::NAN);
+        r.add(Subsystem::Serve, "hits", 3);
+        r.set_gauge(Subsystem::Serve, "queue_depth", 2.5);
+        let h = r.histogram(Subsystem::Serve, "latency_us");
+        h.record(3);
+        h.record(3);
+        h.record(100);
+        r
+    }
+
+    #[test]
+    fn golden_prometheus_exposition() {
+        let text = golden_registry().snapshot().prometheus();
+        let expected = "\
+# TYPE matopt_cli_bad_name_v2_total counter
+matopt_cli_bad_name_v2_total 1
+# TYPE matopt_sched_peak gauge
+matopt_sched_peak NaN
+# TYPE matopt_serve_hits_total counter
+matopt_serve_hits_total 3
+# TYPE matopt_serve_latency_us histogram
+matopt_serve_latency_us_bucket{le=\"3\"} 2
+matopt_serve_latency_us_bucket{le=\"103\"} 3
+matopt_serve_latency_us_bucket{le=\"+Inf\"} 3
+matopt_serve_latency_us_sum 106
+matopt_serve_latency_us_count 3
+# TYPE matopt_serve_queue_depth gauge
+matopt_serve_queue_depth 2.5
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn golden_json_exposition_validates() {
+        let text = golden_registry().snapshot().to_json();
+        crate::json::validate(&text).unwrap_or_else(|e| panic!("invalid JSON: {e}\n{text}"));
+        let expected = concat!(
+            "{\"metrics\": [",
+            "{\"subsystem\": \"cli\", \"name\": \"bad-name.v2\", ",
+            "\"type\": \"counter\", \"value\": 1}, ",
+            "{\"subsystem\": \"sched\", \"name\": \"peak\", ",
+            "\"type\": \"gauge\", \"value\": null}, ",
+            "{\"subsystem\": \"serve\", \"name\": \"hits\", ",
+            "\"type\": \"counter\", \"value\": 3}, ",
+            "{\"subsystem\": \"serve\", \"name\": \"latency_us\", ",
+            "\"type\": \"histogram\", \"count\": 3, \"sum\": 106, ",
+            "\"p50\": 3, \"p95\": 103, \"p99\": 103, ",
+            "\"buckets\": [[3, 3, 2], [100, 103, 1]]}, ",
+            "{\"subsystem\": \"serve\", \"name\": \"queue_depth\", ",
+            "\"type\": \"gauge\", \"value\": 2.5}",
+            "]}",
+        );
+        assert_eq!(text, expected);
+    }
+
+    use proptest::prelude::*;
+
+    fn snap_of(samples: &[u64]) -> HistogramSnapshot {
+        let h = Histogram::default();
+        for &v in samples {
+            h.record(v);
+        }
+        h.snapshot()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Merging is elementwise addition over one shared bucket
+        /// layout, so it must be associative and commutative and add
+        /// counts and (wrapping aside, bounded inputs here) sums —
+        /// the property that lets per-shard histograms roll up.
+        #[test]
+        fn histogram_merge_is_associative_and_commutative(
+            a in prop::collection::vec(0u64..1 << 48, 0..40),
+            b in prop::collection::vec(0u64..1 << 48, 0..40),
+            c in prop::collection::vec(0u64..1 << 48, 0..40),
+        ) {
+            let (sa, sb, sc) = (snap_of(&a), snap_of(&b), snap_of(&c));
+
+            // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+            let mut left = sa.clone();
+            left.merge(&sb);
+            left.merge(&sc);
+            let mut bc = sb.clone();
+            bc.merge(&sc);
+            let mut right = sa.clone();
+            right.merge(&bc);
+            prop_assert_eq!(&left, &right);
+
+            // a ⊕ b == b ⊕ a
+            let mut ab = sa.clone();
+            ab.merge(&sb);
+            let mut ba = sb.clone();
+            ba.merge(&sa);
+            prop_assert_eq!(&ab, &ba);
+
+            // Counts and sums add; the identity element is the empty
+            // snapshot.
+            prop_assert_eq!(ab.count(), sa.count() + sb.count());
+            prop_assert_eq!(ab.sum(), sa.sum() + sb.sum());
+            let mut with_zero = sa.clone();
+            with_zero.merge(&HistogramSnapshot::default());
+            prop_assert_eq!(&with_zero, &sa);
+
+            // Merging matches recording the concatenation directly.
+            let mut all = a.clone();
+            all.extend_from_slice(&b);
+            prop_assert_eq!(&ab, &snap_of(&all));
+        }
+    }
+}

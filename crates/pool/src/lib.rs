@@ -45,7 +45,7 @@ use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A queued unit of work.
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -91,6 +91,10 @@ pub struct PoolStats {
     pub steals: u64,
     /// Parallel batches submitted through [`Pool::try_map`].
     pub batches: u64,
+    /// Nanoseconds spent inside queued jobs, summed across workers and
+    /// helping callers. Divided by wall time × workers this is pool
+    /// utilization.
+    pub busy_ns: u64,
 }
 
 impl PoolStats {
@@ -101,8 +105,35 @@ impl PoolStats {
             tasks: self.tasks.saturating_sub(earlier.tasks),
             steals: self.steals.saturating_sub(earlier.steals),
             batches: self.batches.saturating_sub(earlier.batches),
+            busy_ns: self.busy_ns.saturating_sub(earlier.busy_ns),
         }
     }
+
+    /// Seconds spent inside queued jobs ([`PoolStats::busy_ns`] as f64).
+    #[must_use]
+    pub fn busy_seconds(&self) -> f64 {
+        self.busy_ns as f64 / 1e9
+    }
+}
+
+/// Per-worker counters, readable via [`Pool::worker_stats`]. Entry 0
+/// accounts work done by *helping callers* (threads blocked in
+/// [`Pool::try_map`] or [`TaskGroup::wait`] that drain queues instead
+/// of sleeping); entries `1..=workers` are the pool's own threads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Jobs this worker (or the helper pseudo-worker) executed.
+    pub tasks: u64,
+    /// Nanoseconds this worker spent inside jobs.
+    pub busy_ns: u64,
+}
+
+/// Per-queue task/busy-time counters (`worked[0]` = helping callers,
+/// `worked[1..=threads]` = the pool's workers).
+#[derive(Default)]
+struct QueueCounters {
+    tasks: AtomicU64,
+    busy_ns: AtomicU64,
 }
 
 struct PoolShared {
@@ -117,6 +148,8 @@ struct PoolShared {
     tasks: AtomicU64,
     steals: AtomicU64,
     batches: AtomicU64,
+    /// One slot per queue, same indexing as `queues`.
+    worked: Vec<QueueCounters>,
     threads: usize,
     id: u64,
 }
@@ -154,9 +187,16 @@ impl PoolShared {
         None
     }
 
-    fn run(&self, job: Job) {
+    /// Runs one job, charging it to `me`'s per-queue counters (`None`
+    /// = a helping caller, charged to slot 0).
+    fn run(&self, me: Option<usize>, job: Job) {
         self.tasks.fetch_add(1, Ordering::Relaxed);
+        let t0 = Instant::now();
         job();
+        let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let w = &self.worked[me.unwrap_or(0)];
+        w.tasks.fetch_add(1, Ordering::Relaxed);
+        w.busy_ns.fetch_add(ns, Ordering::Relaxed);
     }
 
     /// Pushes one job to the injector.
@@ -188,7 +228,7 @@ impl PoolShared {
         WORKER.with(|w| w.set(Some((self.id, me))));
         loop {
             if let Some(job) = self.find_job(Some(me)) {
-                self.run(job);
+                self.run(Some(me), job);
                 continue;
             }
             if self.shutdown.load(Ordering::Acquire) {
@@ -220,7 +260,7 @@ impl PoolShared {
                 return;
             }
             if let Some(job) = self.find_job(me) {
-                self.run(job);
+                self.run(me, job);
                 continue;
             }
             let guard = self.lock.lock().unwrap();
@@ -277,6 +317,7 @@ impl Pool {
             tasks: AtomicU64::new(0),
             steals: AtomicU64::new(0),
             batches: AtomicU64::new(0),
+            worked: (0..=workers).map(|_| QueueCounters::default()).collect(),
             threads: workers,
             id: POOL_IDS.fetch_add(1, Ordering::Relaxed),
         });
@@ -329,7 +370,29 @@ impl Pool {
             tasks: self.shared.tasks.load(Ordering::Relaxed),
             steals: self.shared.steals.load(Ordering::Relaxed),
             batches: self.shared.batches.load(Ordering::Relaxed),
+            busy_ns: self
+                .shared
+                .worked
+                .iter()
+                .map(|w| w.busy_ns.load(Ordering::Relaxed))
+                .sum(),
         }
+    }
+
+    /// Per-worker counters: entry 0 is the helping-caller
+    /// pseudo-worker, entries `1..=workers()` the pool threads. A
+    /// single-threaded pool reports only entry 0 (and inline batches
+    /// bypass the queues entirely, so it often stays zero).
+    #[must_use]
+    pub fn worker_stats(&self) -> Vec<WorkerStats> {
+        self.shared
+            .worked
+            .iter()
+            .map(|w| WorkerStats {
+                tasks: w.tasks.load(Ordering::Relaxed),
+                busy_ns: w.busy_ns.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 
     /// Ordered parallel map: applies `f` to `0..n`, each item an
@@ -621,6 +684,43 @@ mod tests {
         group.spawn(|| panic!("group job failed"));
         let err = group.wait().unwrap_err();
         assert!(err.contains("group job failed"), "got {err:?}");
+    }
+
+    #[test]
+    fn worker_stats_account_all_tasks_and_busy_time() {
+        let pool = Pool::new(3);
+        let before = pool.stats();
+        pool.map(64, |_| std::thread::sleep(Duration::from_millis(2)));
+        assert_eq!(pool.stats().since(&before).tasks, 64);
+        // A worker publishes a job's result before charging its busy
+        // time, so `map` returning does not mean the accounting has
+        // landed — poll briefly until it quiesces, then require the
+        // per-worker totals to equal the global ones and the 64 × 2 ms
+        // of sleep to register as busy time (with 50% slack).
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let per_worker = pool.worker_stats();
+            assert_eq!(per_worker.len(), 1 + pool.workers());
+            let total_tasks: u64 = per_worker.iter().map(|w| w.tasks).sum();
+            let total_ns: u64 = per_worker.iter().map(|w| w.busy_ns).sum();
+            let stats = pool.stats();
+            let delta = stats.since(&before);
+            if total_tasks == stats.tasks
+                && total_ns == stats.busy_ns
+                && delta.busy_seconds() >= 0.064
+            {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "accounting did not quiesce: per-worker ({total_tasks} tasks, {total_ns} ns) \
+                 vs global ({} tasks, {} ns, busy {} s)",
+                stats.tasks,
+                stats.busy_ns,
+                delta.busy_seconds()
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
     }
 
     #[test]

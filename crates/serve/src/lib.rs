@@ -50,7 +50,7 @@ mod service;
 pub use cache::{plan_bytes, CacheConfig, CacheCounters, PlanCache};
 pub use fingerprint::{fingerprint, sparsity_bucket, Fingerprint};
 pub use persist::{load_cache, save_cache, LoadReport, CACHE_FILE};
-pub use server::{respond, serve_lines, ServeSummary};
+pub use server::{respond, serve_lines, stats_line, ServeSummary};
 pub use service::{PlanService, PlanSource, Planned, ServeError, ServeStats};
 
 /// Configuration of a [`PlanService`].
@@ -73,6 +73,9 @@ pub struct ServeConfig {
     pub max_queue_depth: usize,
     /// Beam width for the frontier DP (the CLI default).
     pub beam: usize,
+    /// Cost-model drift detection tuning
+    /// ([`PlanService::observe_runtime`]).
+    pub drift: matopt_cost::DriftConfig,
 }
 
 impl Default for ServeConfig {
@@ -83,6 +86,7 @@ impl Default for ServeConfig {
             deadline: None,
             max_queue_depth: 64,
             beam: 4000,
+            drift: matopt_cost::DriftConfig::default(),
         }
     }
 }

@@ -21,6 +21,23 @@
 //! panic. The JSON parser lives here too — the workspace builds
 //! offline, so no serde; the grammar is small enough that a
 //! hand-rolled recursive-descent parser is the honest dependency.
+//!
+//! A third shape is the *control* request, selected by a top-level
+//! `"op"` key (`"id"` optional, echoed back):
+//!
+//! ```json
+//! {"id": "s1", "op": "stats"}
+//! ```
+//!
+//! `stats` answers with the service's live statistics instead of a
+//! plan: request/hit/miss/coalesced counters, admission rejects and
+//! deadline expiries, optimizer runs and seconds, cache entries /
+//! bytes / epoch / evictions, cost-drift events, and `p50_us` /
+//! `p95_us` / `p99_us` request-latency percentiles computed from the
+//! merged hit+miss+coalesced histograms (`null` when the service has
+//! no metrics registry or nothing has been timed yet). Unknown `op`
+//! values are error responses; a `stats` line does not count as a plan
+//! request in the counters it reports.
 
 use crate::ServeError;
 use matopt_core::{Cluster, ComputeGraph, MatrixType, Op, PhysFormat};

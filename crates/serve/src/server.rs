@@ -17,6 +17,7 @@
 
 use crate::protocol::{json_escape, parse_request, Json};
 use crate::PlanService;
+use matopt_obs::{HistogramSnapshot, Subsystem};
 use std::io::{self, BufRead, Write};
 
 /// What a [`serve_lines`] session handled.
@@ -63,7 +64,20 @@ pub fn serve_lines<R: BufRead, W: Write>(
 }
 
 /// The response line (no trailing newline) for one request line.
+///
+/// Plan requests go through [`crate::protocol::parse_request`]; a
+/// top-level `{"op": "stats"}` line instead answers with the service's
+/// live statistics (see [`stats_line`]).
 pub fn respond(service: &PlanService, line: &str) -> String {
+    if let Ok(doc) = Json::parse(line) {
+        if let Some(op) = doc.get("op").and_then(Json::as_str) {
+            let id = doc.get("id").and_then(Json::as_str).map(str::to_string);
+            return match op {
+                "stats" => stats_line(service, id.as_deref()),
+                other => error_line(id.as_deref(), &format!("unknown op {other:?}")),
+            };
+        }
+    }
     let cluster = service.cluster();
     match parse_request(line, &cluster) {
         Ok(req) => match service.plan(&req.graph) {
@@ -91,6 +105,62 @@ pub fn respond(service: &PlanService, line: &str) -> String {
             error_line(id.as_deref(), &err.to_string())
         }
     }
+}
+
+/// The `{"op": "stats"}` response: service counters, cache state, and
+/// — when the service carries a metrics registry — latency percentiles
+/// computed from the *merged* hit/miss/coalesced request histograms
+/// (mergeability is exactly why the histograms are log-linear).
+/// Percentiles are `null` when no metrics registry is attached or no
+/// request has been timed yet.
+pub fn stats_line(service: &PlanService, id: Option<&str>) -> String {
+    let stats = service.stats();
+    let snap = service.metrics_snapshot();
+    let (p50, p95, p99, drift_events) = match &snap {
+        Some(s) => {
+            let mut merged = HistogramSnapshot::default();
+            for name in ["latency_hit_us", "latency_miss_us", "latency_coalesced_us"] {
+                if let Some(h) = s.histogram(Subsystem::Serve, name) {
+                    merged.merge(h);
+                }
+            }
+            let q = |p: f64| {
+                if merged.count() == 0 {
+                    "null".to_string()
+                } else {
+                    merged.quantile(p).to_string()
+                }
+            };
+            let drift = s.counter(Subsystem::CostModel, "drift_events").unwrap_or(0);
+            (q(0.50), q(0.95), q(0.99), drift)
+        }
+        None => ("null".into(), "null".into(), "null".into(), 0),
+    };
+    let id = match id {
+        Some(id) => format!("\"{}\"", json_escape(id)),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"id\": {id}, \"status\": \"ok\", \"op\": \"stats\", \
+         \"requests\": {}, \"hits\": {}, \"misses\": {}, \"coalesced\": {}, \
+         \"admission_rejects\": {}, \"deadline_expired\": {}, \
+         \"optimize_runs\": {}, \"optimize_seconds\": {}, \
+         \"cache_entries\": {}, \"cache_bytes\": {}, \"cache_epoch\": {}, \
+         \"cache_evictions\": {}, \"drift_events\": {drift_events}, \
+         \"p50_us\": {p50}, \"p95_us\": {p95}, \"p99_us\": {p99}}}",
+        stats.requests,
+        stats.hits,
+        stats.misses,
+        stats.coalesced,
+        stats.admission_rejects,
+        stats.deadline_expired,
+        stats.optimize_runs,
+        stats.optimize_seconds,
+        stats.cache_entries,
+        stats.cache_bytes,
+        service.cache().epoch(),
+        stats.cache.evicted,
+    )
 }
 
 fn error_line(id: Option<&str>, message: &str) -> String {
@@ -121,6 +191,22 @@ mod tests {
             Cluster::simsql_like(4),
             Box::new(AnalyticalCostModel),
             ServeConfig::default(),
+        )
+    }
+
+    fn metered_service() -> PlanService {
+        let registry = matopt_obs::MetricsRegistry::new();
+        let obs = matopt_obs::Obs::with_metrics(
+            std::sync::Arc::new(matopt_obs::RingSink::new(256)),
+            registry,
+        );
+        PlanService::with_obs(
+            ImplRegistry::paper_default(),
+            FormatCatalog::paper_default().dense_only(),
+            Cluster::simsql_like(4),
+            Box::new(AnalyticalCostModel),
+            ServeConfig::default(),
+            obs,
         )
     }
 
@@ -165,5 +251,56 @@ mod tests {
                 .map(str::to_string)
         };
         assert_eq!(fp(lines[0]), fp(lines[1]));
+    }
+
+    #[test]
+    fn stats_op_reports_counters_and_percentiles() {
+        let service = metered_service();
+        let input = concat!(
+            r#"{"id": "a", "workload": "motivating"}"#,
+            "\n",
+            r#"{"id": "b", "workload": "motivating"}"#,
+            "\n",
+            r#"{"id": "s", "op": "stats"}"#,
+            "\n",
+        );
+        let mut out = Vec::new();
+        let summary = serve_lines(&service, input.as_bytes(), &mut out).expect("io");
+        assert_eq!(summary.ok, 3);
+        let text = std::str::from_utf8(&out).expect("utf8");
+        let stats = Json::parse(text.lines().nth(2).expect("stats line")).expect("valid JSON");
+        let int = |k: &str| {
+            stats
+                .get(k)
+                .and_then(Json::as_f64)
+                .unwrap_or_else(|| panic!("{k} missing: {text}")) as u64
+        };
+        assert_eq!(int("requests"), 2, "stats op itself is not a plan request");
+        assert_eq!(int("hits"), 1);
+        assert_eq!(int("misses"), 1);
+        assert_eq!(int("cache_entries"), 1);
+        // Percentiles come from the merged hit+miss histograms: two
+        // timed requests means a nonzero merged count, and p99 bounds
+        // p50 from above.
+        assert!(int("p99_us") >= int("p50_us"));
+        assert!(int("p50_us") > 0);
+    }
+
+    #[test]
+    fn stats_op_without_metrics_yields_null_percentiles() {
+        let service = service();
+        let line = respond(&service, r#"{"op": "stats"}"#);
+        assert!(line.contains("\"p50_us\": null"), "{line}");
+        assert!(line.contains("\"id\": null"), "{line}");
+        Json::parse(&line).expect("valid JSON");
+    }
+
+    #[test]
+    fn unknown_op_is_an_error_response_not_a_parse_failure() {
+        let service = service();
+        let line = respond(&service, r#"{"id": "x", "op": "flush"}"#);
+        assert!(line.contains("\"status\": \"error\""), "{line}");
+        assert!(line.contains("unknown op"), "{line}");
+        assert!(line.contains("\"id\": \"x\""), "{line}");
     }
 }

@@ -19,12 +19,12 @@
 
 use crate::{fingerprint, Fingerprint, PlanCache, ServeConfig};
 use matopt_core::{Cluster, ComputeGraph, FormatCatalog, ImplRegistry, NodeId, PlanContext};
-use matopt_cost::CostModel;
+use matopt_cost::{CostModel, DriftMonitor};
 use matopt_engine::{
     execute_adaptive_with_hook, execute_plan_with, AdaptiveConfig, AdaptiveError, AdaptiveOutcome,
     DistRelation, ExecError, ExecOptions, ExecOutcome,
 };
-use matopt_obs::{Obs, Subsystem};
+use matopt_obs::{Counter, Gauge, Histogram, MetricsSnapshot, Obs, Subsystem};
 use matopt_opt::{frontier_dp_beam, OptContext, OptError, Optimized};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -137,6 +137,55 @@ struct Flight {
     done: Condvar,
 }
 
+/// Pre-resolved metric handles for the request hot path: every
+/// per-request update is a wait-free atomic op, with no registry name
+/// lookup. Built once in [`PlanService::with_obs`] when the `Obs`
+/// handle carries a [`matopt_obs::MetricsRegistry`].
+struct ServeMetrics {
+    requests: Arc<Counter>,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    coalesced: Arc<Counter>,
+    admission_rejects: Arc<Counter>,
+    deadline_expired: Arc<Counter>,
+    evictions: Arc<Counter>,
+    poisoned: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    latency_hit_us: Arc<Histogram>,
+    latency_miss_us: Arc<Histogram>,
+    latency_coalesced_us: Arc<Histogram>,
+    drift_events: Arc<Counter>,
+}
+
+impl ServeMetrics {
+    fn new(registry: &matopt_obs::MetricsRegistry) -> Self {
+        let s = Subsystem::Serve;
+        ServeMetrics {
+            requests: registry.counter(s, "requests"),
+            hits: registry.counter(s, "hits"),
+            misses: registry.counter(s, "misses"),
+            coalesced: registry.counter(s, "coalesced"),
+            admission_rejects: registry.counter(s, "admission_rejects"),
+            deadline_expired: registry.counter(s, "deadline_expired"),
+            evictions: registry.counter(s, "cache_evictions"),
+            poisoned: registry.counter(s, "cache_poisoned"),
+            queue_depth: registry.gauge(s, "queue_depth"),
+            latency_hit_us: registry.histogram(s, "latency_hit_us"),
+            latency_miss_us: registry.histogram(s, "latency_miss_us"),
+            latency_coalesced_us: registry.histogram(s, "latency_coalesced_us"),
+            drift_events: registry.counter(Subsystem::CostModel, "drift_events"),
+        }
+    }
+
+    fn latency(&self, source: PlanSource) -> &Histogram {
+        match source {
+            PlanSource::Hit => &self.latency_hit_us,
+            PlanSource::Miss => &self.latency_miss_us,
+            PlanSource::Coalesced => &self.latency_coalesced_us,
+        }
+    }
+}
+
 /// The concurrent plan service. See the module docs for the request
 /// pipeline; construction takes ownership of the registry, catalog,
 /// cluster, and cost model so the service can outlive any caller and be
@@ -150,6 +199,8 @@ pub struct PlanService {
     inflight: Mutex<HashMap<Fingerprint, Arc<Flight>>>,
     config: ServeConfig,
     obs: Obs,
+    metrics: Option<ServeMetrics>,
+    drift: DriftMonitor,
     requests: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -181,6 +232,7 @@ impl PlanService {
         config: ServeConfig,
         obs: Obs,
     ) -> Self {
+        let metrics = obs.metrics().map(|m| ServeMetrics::new(m));
         PlanService {
             registry,
             catalog,
@@ -188,8 +240,10 @@ impl PlanService {
             model: RwLock::new(model),
             cache: PlanCache::new(config.cache),
             inflight: Mutex::new(HashMap::new()),
+            drift: DriftMonitor::new(config.drift),
             config,
             obs,
+            metrics,
             requests: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -239,8 +293,11 @@ impl PlanService {
 
     /// Swaps the cost model (a calibration update landed) and starts a
     /// new cache epoch: every plan costed under the old model is stale.
+    /// Drift baselines are re-armed: they were learned against the old
+    /// model's predictions.
     pub fn recalibrate(&self, model: Box<dyn CostModel + Send + Sync>) {
         *self.model.write().expect("model lock") = model;
+        self.drift.reset();
         let epoch = self.cache.bump_epoch();
         self.obs.record(Subsystem::Serve, "invalidate", || {
             vec![
@@ -299,6 +356,9 @@ impl PlanService {
         let started = Instant::now();
         let deadline_at = self.config.deadline.map(|d| started + d);
         self.requests.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = &self.metrics {
+            m.requests.inc();
+        }
 
         let (fp, result) = if self.config.cache_enabled {
             let fp = self.fingerprint(graph);
@@ -323,6 +383,14 @@ impl PlanService {
                     PlanSource::Coalesced => &self.coalesced,
                 };
                 counter.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = &self.metrics {
+                    match source {
+                        PlanSource::Hit => m.hits.inc(),
+                        PlanSource::Miss => m.misses.inc(),
+                        PlanSource::Coalesced => m.coalesced.inc(),
+                    }
+                    m.latency(source).record(latency.as_micros() as u64);
+                }
                 self.obs.counter(Subsystem::Serve, source.as_str(), 1.0);
                 self.obs.record(Subsystem::Serve, "request", || {
                     vec![
@@ -343,10 +411,16 @@ impl PlanService {
                 match &err {
                     ServeError::Overloaded { .. } => {
                         self.admission_rejects.fetch_add(1, Ordering::Relaxed);
+                        if let Some(m) = &self.metrics {
+                            m.admission_rejects.inc();
+                        }
                         self.obs.counter(Subsystem::Serve, "admission_reject", 1.0);
                     }
                     ServeError::DeadlineExceeded => {
                         self.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                        if let Some(m) = &self.metrics {
+                            m.deadline_expired.inc();
+                        }
                         self.obs.counter(Subsystem::Serve, "deadline_expired", 1.0);
                     }
                     _ => {}
@@ -390,6 +464,9 @@ impl PlanService {
                 inflight.insert(fp, Arc::clone(&flight));
                 self.obs
                     .gauge(Subsystem::Serve, "queue_depth", (depth + 1) as f64);
+                if let Some(m) = &self.metrics {
+                    m.queue_depth.set((depth + 1) as f64);
+                }
                 (flight, true)
             }
         };
@@ -414,6 +491,9 @@ impl PlanService {
             if evicted > 0 {
                 self.obs
                     .counter(Subsystem::Serve, "evicted", evicted as f64);
+                if let Some(m) = &self.metrics {
+                    m.evictions.add(evicted as u64);
+                }
             }
         }
         // Publish, wake the waiters, and only then retire the flight:
@@ -421,7 +501,14 @@ impl PlanService {
         // instead (publish-then-remove keeps the window closed).
         *flight.result.lock().expect("flight lock") = Some(outcome.clone());
         flight.done.notify_all();
-        self.inflight.lock().expect("inflight lock").remove(&fp);
+        let depth = {
+            let mut inflight = self.inflight.lock().expect("inflight lock");
+            inflight.remove(&fp);
+            inflight.len()
+        };
+        if let Some(m) = &self.metrics {
+            m.queue_depth.set(depth as f64);
+        }
         outcome.map(|plan| (plan, PlanSource::Miss))
     }
 
@@ -475,14 +562,75 @@ impl PlanService {
         planned: &Planned,
         inputs: &HashMap<NodeId, DistRelation>,
     ) -> Result<ExecOutcome, ExecError> {
-        execute_plan_with(
+        let outcome = execute_plan_with(
             graph,
             &planned.plan.annotation,
             inputs,
             &self.registry,
             &self.obs,
             ExecOptions::default(),
-        )
+        )?;
+        if planned.fingerprint != Fingerprint(0) {
+            self.observe_runtime(
+                planned.fingerprint,
+                planned.plan.cost,
+                outcome.total_seconds,
+            );
+        }
+        Ok(outcome)
+    }
+
+    /// Feeds one (predicted, measured) runtime pair into the drift
+    /// monitor for `fp`. [`PlanService::execute`] calls this
+    /// automatically; callers that execute served plans themselves (or
+    /// measure elsewhere) feed it directly.
+    ///
+    /// When the per-fingerprint EWMA of measured/predicted drifts out
+    /// of band for `config.drift.min_observations` consecutive
+    /// observations, the service emits a [`Subsystem::CostModel`] drift
+    /// record, bumps the cache epoch (every cached plan was costed by a
+    /// model now proven out of calibration), and returns `true` — once
+    /// per fingerprint until [`PlanService::recalibrate`] re-arms the
+    /// monitor.
+    pub fn observe_runtime(&self, fp: Fingerprint, predicted: f64, measured: f64) -> bool {
+        let Some(event) = self.drift.observe(fp.0, predicted, measured) else {
+            return false;
+        };
+        let epoch = self.cache.bump_epoch();
+        if let Some(m) = &self.metrics {
+            m.drift_events.inc();
+        }
+        self.obs.record(Subsystem::CostModel, "drift", || {
+            vec![
+                ("fingerprint", fp.hex().into()),
+                ("baseline", event.baseline.into()),
+                ("ewma", event.ewma.into()),
+                ("drift", event.drift.into()),
+                ("observations", (i64::from(event.observations)).into()),
+                ("epoch", (epoch as i64).into()),
+            ]
+        });
+        true
+    }
+
+    /// Pull-model metrics snapshot: refreshes the gauges only a reader
+    /// can compute cheaply (cache size, epoch, pool busy time), then
+    /// snapshots the whole registry. `None` when the service was built
+    /// without a metrics registry.
+    pub fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        let registry = self.obs.metrics()?;
+        registry.set_gauge(
+            Subsystem::Serve,
+            "cache_entries",
+            self.cache.entries() as f64,
+        );
+        registry.set_gauge(Subsystem::Serve, "cache_bytes", self.cache.bytes() as f64);
+        registry.set_gauge(Subsystem::Serve, "cache_epoch", self.cache.epoch() as f64);
+        let pool = matopt_pool::Pool::global();
+        let stats = pool.stats();
+        registry.set_gauge(Subsystem::Sched, "pool_workers", pool.workers() as f64);
+        registry.set_gauge(Subsystem::Sched, "pool_busy_seconds", stats.busy_seconds());
+        Some(registry.snapshot())
     }
 
     /// Adaptive execution with cache feedback: when measured statistics
@@ -504,6 +652,9 @@ impl PlanService {
         let ctx = PlanContext::new(&self.registry, cluster);
         let hook = |vertex: NodeId| {
             if self.cache.poison(fp) {
+                if let Some(m) = &self.metrics {
+                    m.poisoned.inc();
+                }
                 self.obs.record(Subsystem::Serve, "poisoned", || {
                     vec![
                         ("fingerprint", fp.hex().into()),
