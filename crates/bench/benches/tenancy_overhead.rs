@@ -1,0 +1,163 @@
+//! Overhead of the multi-tenant front door when tenancy is disabled.
+//!
+//! The acceptance bar is that routing an execution through
+//! [`FrontDoor::execute`] with [`TenancyConfig::disabled`] costs < 2%
+//! versus calling [`PlanService::execute`] directly. With tenancy off
+//! the front door skips quota checks, fair queueing, and per-tenant
+//! accounting entirely; what remains per request is one draining-flag
+//! check, one breaker-state load, and the batching flight map — the
+//! machinery must be free when unused.
+//!
+//! * `execute/service_direct` — the laptop FFNN weight update planned
+//!   through the service (a cache hit, exactly like the front door
+//!   pays) and executed straight on the engine with the same serving
+//!   options the front door uses (`retain_values: false` — a server
+//!   only needs the sinks);
+//! * `execute/front_door_disabled` — the same request through the
+//!   front door with tenancy disabled, which is what single-tenant
+//!   deployments pay for the front door existing at all.
+//!
+//! The final `tenancy overhead budget` line compares best-of-N run
+//! times directly and reports OK/OVER against the 2% budget.
+
+use criterion::{criterion_group, Criterion};
+use matopt_core::{Cluster, ComputeGraph, FormatCatalog, ImplRegistry, NodeId, NodeKind};
+use matopt_cost::AnalyticalCostModel;
+use matopt_engine::DistRelation;
+use matopt_graphs::{ffnn_w2_update_graph, FfnnConfig};
+use matopt_kernels::{random_dense_normal, seeded_rng};
+use matopt_serve::{
+    ExecRequest, FrontDoor, FrontDoorConfig, PlanService, ServeConfig, TenancyConfig,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Fixture {
+    service: Arc<PlanService>,
+    front: FrontDoor,
+    graph: ComputeGraph,
+    inputs: HashMap<NodeId, DistRelation>,
+}
+
+fn fixture() -> Fixture {
+    let service = Arc::new(PlanService::new(
+        ImplRegistry::paper_default(),
+        FormatCatalog::paper_default().dense_only(),
+        Cluster::simsql_like(4),
+        Box::new(AnalyticalCostModel),
+        ServeConfig::default(),
+    ));
+    let front = FrontDoor::new(
+        Arc::clone(&service),
+        FrontDoorConfig {
+            tenancy: TenancyConfig::disabled(),
+            ..FrontDoorConfig::default()
+        },
+    );
+    let graph = ffnn_w2_update_graph(FfnnConfig::laptop(32))
+        .expect("type-correct")
+        .graph;
+    let mut rng = seeded_rng(42);
+    let mut inputs = HashMap::new();
+    for (id, node) in graph.iter() {
+        if let NodeKind::Source { format } = &node.kind {
+            let d =
+                random_dense_normal(node.mtype.rows as usize, node.mtype.cols as usize, &mut rng);
+            inputs.insert(
+                id,
+                DistRelation::from_dense(&d, *format).expect("chunkable"),
+            );
+        }
+    }
+    Fixture {
+        service,
+        front,
+        graph,
+        inputs,
+    }
+}
+
+fn run_direct(fx: &Fixture) {
+    let planned = fx.service.plan(&fx.graph).expect("plan");
+    let outcome = matopt_engine::execute_plan_with(
+        &fx.graph,
+        &planned.plan.annotation,
+        &fx.inputs,
+        fx.service.registry(),
+        fx.service.obs(),
+        matopt_engine::ExecOptions {
+            retain_values: false,
+            ..Default::default()
+        },
+    )
+    .expect("executes");
+    fx.service.observe_runtime(
+        planned.fingerprint,
+        planned.plan.cost,
+        outcome.total_seconds,
+    );
+}
+
+fn run_front(fx: &Fixture) {
+    fx.front
+        .execute(&ExecRequest {
+            tenant: "solo",
+            graph: &fx.graph,
+            inputs: &fx.inputs,
+            input_key: 1,
+            deadline: None,
+        })
+        .expect("executes");
+}
+
+fn bench_execute(c: &mut Criterion) {
+    let fx = fixture();
+    let mut g = c.benchmark_group("tenancy_overhead");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    g.bench_function("execute/service_direct", |b| b.iter(|| run_direct(&fx)));
+    g.bench_function("execute/front_door_disabled", |b| b.iter(|| run_front(&fx)));
+    g.finish();
+}
+
+/// Direct budget check: best-of-N front-door run time against the
+/// best-of-N direct run time, interleaved so machine drift hits both
+/// equally. The minimum is the right estimator: scheduler noise only
+/// ever *adds* time, so the floor is the honest cost of each path.
+fn overhead_budget_report() {
+    let fx = fixture();
+    let reps = 40;
+    // Warm both paths once so neither pays first-touch costs (and the
+    // plan cache is hot for both).
+    run_direct(&fx);
+    run_front(&fx);
+
+    let mut direct = f64::INFINITY;
+    let mut fronted = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        run_direct(&fx);
+        direct = direct.min(t.elapsed().as_secs_f64());
+
+        let t = Instant::now();
+        run_front(&fx);
+        fronted = fronted.min(t.elapsed().as_secs_f64());
+    }
+
+    let overhead = fronted / direct - 1.0;
+    println!(
+        "tenancy overhead budget: direct {:.3} ms, front door(disabled) {:.3} ms -> {:+.3}% (budget 2%) -> {}",
+        direct * 1e3,
+        fronted * 1e3,
+        overhead * 100.0,
+        if overhead < 0.02 { "OK" } else { "OVER" }
+    );
+}
+
+criterion_group!(benches, bench_execute);
+
+fn main() {
+    benches();
+    overhead_budget_report();
+}

@@ -1,0 +1,656 @@
+//! Multi-tenant front-door report: a million-request chaos soak.
+//!
+//! ```sh
+//! cargo run --release -p matopt-bench --bin bench_pr7            # table
+//! cargo run --release -p matopt-bench --bin bench_pr7 -- --json  # + BENCH_PR7.json
+//! ```
+//!
+//! Phase 1 (soak): hundreds of client threads across 16 tenants — 15
+//! well-behaved tenants with a p99 SLO and one pathological "hog" that
+//! floods past its quota with unbatchable executions under tight
+//! deadlines — hammer one [`FrontDoor`] with a plan-heavy request mix.
+//! The report asserts the robustness contract: **zero dropped
+//! responses** (every issued request gets exactly one answer — success
+//! or a structured rejection), per-tenant accounting that reconciles
+//! to the request count, and **SLO isolation** (the hog cannot push
+//! any victim tenant's p99 past its SLO; the quota and the fair queue
+//! absorb the abuse as `QuotaExceeded` rejections and sheds charged to
+//! the hog alone).
+//!
+//! Phase 2 (batching): barrier-synchronized clients submit the same
+//! (fingerprint, input key) execution; the front door must coalesce
+//! them into fewer runs and every response must be **bit-exact**
+//! against an unbatched reference execution.
+//!
+//! Phase 3 (storm): seeded fault injection (crashes, stragglers,
+//! transient kernel errors, corrupted chunks) drives recovery storms
+//! through the breaker until it trips — **exactly once** — after which
+//! requests are served degraded (serial, unhedged, cache-bypassing)
+//! but still bit-exact; once the storm passes, cooldown + probes close
+//! the breaker again.
+//!
+//! `MATOPT_BENCH_QUICK=1` shrinks the soak to 40k requests over 32
+//! clients (same tenants, same assertions) for CI smoke runs.
+
+use matopt_bench::Json;
+use matopt_core::{Cluster, ComputeGraph, FormatCatalog, ImplRegistry, NodeId, NodeKind};
+use matopt_cost::AnalyticalCostModel;
+use matopt_engine::{DistRelation, ExecOutcome, FaultInjector, FtConfig};
+use matopt_graphs::{ffnn_w2_update_graph, FfnnConfig};
+use matopt_kernels::{random_dense_normal, seeded_rng};
+use matopt_serve::{
+    BreakerConfig, BreakerState, ExecRequest, FrontDoor, FrontDoorConfig, PlanService, ServeConfig,
+    ServeError, TenancyConfig, TenantConfig, TenantStats,
+};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+const TENANTS: usize = 16;
+const HOG: &str = "hog";
+const VICTIM_SLO_MS: u64 = 1_000;
+
+fn service() -> Arc<PlanService> {
+    Arc::new(PlanService::new(
+        ImplRegistry::paper_default(),
+        FormatCatalog::paper_default().dense_only(),
+        Cluster::simsql_like(4),
+        Box::new(AnalyticalCostModel),
+        ServeConfig::default(),
+    ))
+}
+
+/// Distinct laptop-scale FFNN weight updates with their seeded inputs;
+/// index doubles as the batching input key.
+fn workloads(n: usize) -> Vec<(ComputeGraph, HashMap<NodeId, DistRelation>)> {
+    workloads_sized(8, n)
+}
+
+/// Like [`workloads`], starting from hidden width `base`.
+fn workloads_sized(base: u64, n: usize) -> Vec<(ComputeGraph, HashMap<NodeId, DistRelation>)> {
+    (0..n)
+        .map(|i| {
+            let graph = ffnn_w2_update_graph(FfnnConfig::laptop(base + 2 * i as u64))
+                .expect("well-typed")
+                .graph;
+            let mut rng = seeded_rng(0x5EED_0000 + i as u64);
+            let mut inputs = HashMap::new();
+            for (id, node) in graph.iter() {
+                if let NodeKind::Source { format } = &node.kind {
+                    let d = random_dense_normal(
+                        node.mtype.rows as usize,
+                        node.mtype.cols as usize,
+                        &mut rng,
+                    );
+                    inputs.insert(id, DistRelation::from_dense(&d, *format).unwrap());
+                }
+            }
+            (graph, inputs)
+        })
+        .collect()
+}
+
+fn tenant_name(i: usize) -> String {
+    if i == TENANTS - 1 {
+        HOG.to_string()
+    } else {
+        format!("tenant-{i:02}")
+    }
+}
+
+fn tenancy() -> TenancyConfig {
+    // Victims: roomy quota, strong WFQ weight, an SLO the soak asserts.
+    // The hog: tiny quota, minimal weight, no SLO of its own.
+    TenancyConfig::with_default(TenantConfig {
+        max_inflight: 64,
+        mem_bytes: None,
+        weight: 8,
+        slo_ms: Some(VICTIM_SLO_MS),
+    })
+    .tenant(
+        HOG,
+        TenantConfig {
+            max_inflight: 1,
+            mem_bytes: Some(64 << 20),
+            weight: 1,
+            slo_ms: None,
+        },
+    )
+}
+
+/// Client-side tally: every issued request lands in exactly one bucket.
+#[derive(Default)]
+struct Tally {
+    ok: AtomicU64,
+    quota: AtomicU64,
+    overloaded: AtomicU64,
+    shed: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl Tally {
+    fn classify(&self, outcome: &Result<(), ServeError>) {
+        let cell = match outcome {
+            Ok(()) => &self.ok,
+            Err(ServeError::QuotaExceeded { .. }) => &self.quota,
+            Err(ServeError::Overloaded { .. }) => &self.overloaded,
+            Err(ServeError::DeadlineExceeded) => &self.shed,
+            Err(_) => &self.errors,
+        };
+        cell.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn answered(&self) -> u64 {
+        self.ok.load(Ordering::Relaxed)
+            + self.quota.load(Ordering::Relaxed)
+            + self.overloaded.load(Ordering::Relaxed)
+            + self.shed.load(Ordering::Relaxed)
+            + self.errors.load(Ordering::Relaxed)
+    }
+}
+
+struct Soak {
+    issued: u64,
+    tally: Tally,
+    batched: u64,
+    flights: u64,
+    wall_secs: f64,
+    tenants: Vec<TenantStats>,
+    pool_leases: u64,
+    pool_waits: u64,
+}
+
+/// Phase 1: the multi-tenant soak. `total` requests from `clients`
+/// threads; client `i` speaks for tenant `i % TENANTS`.
+fn run_soak(
+    workloads: &[(ComputeGraph, HashMap<NodeId, DistRelation>)],
+    clients: usize,
+    total: usize,
+) -> Soak {
+    let front = FrontDoor::new(
+        service(),
+        FrontDoorConfig {
+            tenancy: tenancy(),
+            shared_pool_bytes: Some(512 << 20),
+            hedge_factor: Some(4.0),
+            ..FrontDoorConfig::default()
+        },
+    );
+    let tally = Tally::default();
+    let per_client = total / clients;
+    let issued = (per_client * clients) as u64;
+
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..clients {
+            let front = &front;
+            let tally = &tally;
+            scope.spawn(move || {
+                let tenant = tenant_name(client % TENANTS);
+                let hog = tenant == HOG;
+                for i in 0..per_client {
+                    let (graph, inputs) = &workloads[(client + i) % workloads.len()];
+                    let outcome = if hog && i % 4 == 0 {
+                        // The hog's executions: unbatchable (unique
+                        // input key) and impatiently deadlined, so they
+                        // queue, shed, and generally behave badly.
+                        let key = u64::MAX - (client * per_client + i) as u64;
+                        front
+                            .execute(&ExecRequest {
+                                tenant: &tenant,
+                                graph,
+                                inputs,
+                                input_key: key,
+                                deadline: Some(Instant::now() + Duration::from_millis(25)),
+                            })
+                            .map(|_| ())
+                    } else if !hog && i % 128 == 0 {
+                        // Victim executions: patient, batchable (the
+                        // input key is the workload index).
+                        front
+                            .execute(&ExecRequest {
+                                tenant: &tenant,
+                                graph,
+                                inputs,
+                                input_key: ((client + i) % workloads.len()) as u64,
+                                deadline: None,
+                            })
+                            .map(|_| ())
+                    } else {
+                        front.plan(&tenant, graph).map(|_| ())
+                    };
+                    tally.classify(&outcome);
+                }
+            });
+        }
+    });
+    let wall_secs = t0.elapsed().as_secs_f64();
+
+    let stats = front.stats();
+    let pool = stats.pool.expect("shared pool configured");
+    Soak {
+        issued,
+        tally,
+        batched: stats.batched,
+        flights: stats.flights,
+        wall_secs,
+        tenants: front.tenant_stats(),
+        pool_leases: pool.leases_granted,
+        pool_waits: pool.admission_waits,
+    }
+}
+
+/// Asserts the soak's robustness contract and prints the grep-able
+/// verdict lines CI watches for.
+fn assert_soak(soak: &Soak) {
+    let answered = soak.tally.answered();
+    assert_eq!(
+        answered, soak.issued,
+        "dropped responses: {} issued, {} answered",
+        soak.issued, answered
+    );
+    println!(
+        "  zero dropped responses: {} issued, {} answered -> OK",
+        soak.issued, answered
+    );
+
+    // Per-tenant books must reconcile exactly: what a tenant issued is
+    // what was admitted plus what its quota rejected, and everything
+    // admitted settled as ok, shed, or error.
+    for t in &soak.tenants {
+        assert_eq!(t.inflight, 0, "tenant {} still has work in flight", t.name);
+        assert_eq!(
+            t.requests,
+            t.ok + t.shed + t.errors,
+            "tenant {} books do not reconcile",
+            t.name
+        );
+        assert_eq!(t.errors, 0, "tenant {} saw execution errors", t.name);
+    }
+    println!(
+        "  per-tenant accounting reconciles across {} tenants -> OK",
+        soak.tenants.len()
+    );
+
+    // SLO isolation: every victim met its p99 SLO even while the hog
+    // flooded; the hog's abuse shows up only in its own books.
+    let victims: Vec<&TenantStats> = soak.tenants.iter().filter(|t| t.name != HOG).collect();
+    let met = victims.iter().filter(|t| t.slo_met() == Some(true)).count();
+    for t in &victims {
+        assert_eq!(
+            t.slo_met(),
+            Some(true),
+            "tenant {} p99 {}us blew its {}ms SLO",
+            t.name,
+            t.latency_quantile_us(0.99),
+            VICTIM_SLO_MS
+        );
+        assert_eq!(t.quota_rejects, 0, "victim {} hit the hog's quota", t.name);
+    }
+    println!(
+        "  per-tenant SLO isolation: {met}/{} victims met p99 <= {VICTIM_SLO_MS}ms \
+         under pathological load -> OK",
+        victims.len()
+    );
+
+    let hog = soak
+        .tenants
+        .iter()
+        .find(|t| t.name == HOG)
+        .expect("hog tenant tracked");
+    assert!(
+        hog.quota_rejects > 0,
+        "the hog was never rejected; the quota did not bite"
+    );
+    println!(
+        "  pathological tenant absorbed its own abuse: {} quota rejects, {} shed -> OK",
+        hog.quota_rejects, hog.shed
+    );
+}
+
+struct Batching {
+    clients: u64,
+    batched: u64,
+    flights: u64,
+}
+
+/// Phase 2: batched vs unbatched bit-exactness. Uses a heavier
+/// workload than the soak so the leader's run comfortably outlasts
+/// thread wake-up skew and the barrier-released followers reliably
+/// land inside the batching window.
+fn run_batching() -> Batching {
+    const CLIENTS: usize = 16;
+    let svc = service();
+    let front = FrontDoor::new(Arc::clone(&svc), FrontDoorConfig::default());
+    let (graph, inputs) = &workloads_sized(80, 1)[0];
+
+    let planned = svc.plan(graph).expect("plan");
+    let reference = svc.execute(graph, &planned, inputs).expect("reference");
+
+    let barrier = Barrier::new(CLIENTS);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|client| {
+                let front = &front;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    front
+                        .execute(&ExecRequest {
+                            tenant: &format!("batch-{}", client % 4),
+                            graph,
+                            inputs,
+                            input_key: 7,
+                            deadline: None,
+                        })
+                        .expect("batched execution")
+                })
+            })
+            .collect();
+        for h in handles {
+            let resp = h.join().expect("client thread");
+            assert_sinks_equal(&reference, &resp.outcome, "batched response");
+        }
+    });
+
+    let stats = front.stats();
+    assert!(stats.batched > 0, "no request was batched");
+    assert!(
+        stats.flights < CLIENTS as u64,
+        "batching saved no runs: {} flights for {CLIENTS} clients",
+        stats.flights
+    );
+    println!(
+        "  {} clients -> {} runs, {} answered from a peer's run, all bit-exact -> OK",
+        CLIENTS, stats.flights, stats.batched
+    );
+    Batching {
+        clients: CLIENTS as u64,
+        batched: stats.batched,
+        flights: stats.flights,
+    }
+}
+
+fn assert_sinks_equal(reference: &ExecOutcome, got: &ExecOutcome, what: &str) {
+    assert_eq!(reference.sinks.len(), got.sinks.len());
+    for (sink, rel) in &reference.sinks {
+        assert_eq!(
+            got.sinks[sink].to_dense().data(),
+            rel.to_dense().data(),
+            "{what}: sink {sink} differs from the unbatched reference"
+        );
+    }
+}
+
+struct Storm {
+    runs: u64,
+    recoveries: u64,
+    trips: u64,
+    reopens: u64,
+    degraded_served: u64,
+    final_state: BreakerState,
+}
+
+/// Phase 3: seeded fault storm — trip once, degrade, recover.
+fn run_storm(workloads: &[(ComputeGraph, HashMap<NodeId, DistRelation>)]) -> Storm {
+    let svc = service();
+    let front = FrontDoor::new(
+        Arc::clone(&svc),
+        FrontDoorConfig {
+            breaker: BreakerConfig {
+                trip_threshold: 6,
+                cooldown: Duration::from_millis(300),
+                probe_successes: 2,
+                ..BreakerConfig::default()
+            },
+            ..FrontDoorConfig::default()
+        },
+    );
+    let (graph, inputs) = &workloads[0];
+    let steps = graph
+        .iter()
+        .filter(|(_, n)| !matches!(n.kind, NodeKind::Source { .. }))
+        .count();
+
+    let planned = svc.plan(graph).expect("plan");
+    let reference = svc.execute(graph, &planned, inputs).expect("reference");
+    let request = || ExecRequest {
+        tenant: "storm",
+        graph,
+        inputs,
+        input_key: 1,
+        deadline: None,
+    };
+
+    // Storm in: every fault-injected run's recoveries feed the breaker.
+    let ft = FtConfig::default();
+    let mut runs = 0u64;
+    let mut recoveries = 0u64;
+    for i in 0..64u64 {
+        let injector = FaultInjector::random(0xF00D + i, steps, 3, 2);
+        let resp = front
+            .execute_with_faults(&request(), injector, &ft)
+            .expect("fault-injected execution recovers");
+        runs += 1;
+        recoveries += u64::from(resp.recoveries);
+        assert_sinks_equal(&reference, &resp.outcome, "fault-injected run");
+        if front.stats().breaker.trips > 0 {
+            break;
+        }
+    }
+    let stats = front.stats();
+    assert_eq!(
+        stats.breaker.trips, 1,
+        "breaker tripped {} times under the storm",
+        stats.breaker.trips
+    );
+    assert!(recoveries > 0, "the storm injected no recoverable faults");
+
+    // Open: requests are served degraded — serial, unhedged, cache
+    // bypassed — and still bit-exact.
+    let degraded = front.execute(&request()).expect("degraded service");
+    assert!(degraded.degraded, "open breaker must degrade, not fail");
+    assert_sinks_equal(&reference, &degraded.outcome, "degraded run");
+    let degraded_served = front.stats().breaker.degraded;
+
+    // Storm over: cooldown, then fault-free probes close the breaker.
+    std::thread::sleep(Duration::from_millis(350));
+    let mut probes = 0;
+    while front.stats().breaker_state != BreakerState::Closed {
+        probes += 1;
+        assert!(
+            probes <= 10,
+            "breaker failed to close after {probes} probes"
+        );
+        let resp = front.execute(&request()).expect("probe execution");
+        assert_sinks_equal(&reference, &resp.outcome, "probe run");
+    }
+    let stats = front.stats();
+    assert_eq!(stats.breaker.trips, 1, "recovery must not re-trip");
+    assert_eq!(stats.breaker.reopens, 0, "no probe failed");
+    println!(
+        "  breaker tripped exactly once after {recoveries} recoveries over {runs} runs, \
+         served {degraded_served} degraded, closed after {probes} probes -> OK",
+    );
+    Storm {
+        runs,
+        recoveries,
+        trips: stats.breaker.trips,
+        reopens: stats.breaker.reopens,
+        degraded_served,
+        final_state: stats.breaker_state,
+    }
+}
+
+fn tenant_json(t: &TenantStats) -> Json {
+    let buckets = t
+        .latency_us
+        .buckets()
+        .into_iter()
+        .map(|(_, le, count)| {
+            Json::obj([
+                ("le_us", Json::Int(le as i64)),
+                ("count", Json::Int(count as i64)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("tenant", Json::Str(t.name.clone())),
+        ("weight", Json::Int(i64::from(t.config.weight))),
+        (
+            "slo_ms",
+            t.config
+                .slo_ms
+                .map_or(Json::Bool(false), |s| Json::Int(s as i64)),
+        ),
+        ("admitted", Json::Int(t.requests as i64)),
+        ("ok", Json::Int(t.ok as i64)),
+        ("quota_rejects", Json::Int(t.quota_rejects as i64)),
+        ("shed", Json::Int(t.shed as i64)),
+        ("errors", Json::Int(t.errors as i64)),
+        ("batched", Json::Int(t.batched as i64)),
+        (
+            "p50_latency_us",
+            Json::Int(t.latency_quantile_us(0.50) as i64),
+        ),
+        (
+            "p95_latency_us",
+            Json::Int(t.latency_quantile_us(0.95) as i64),
+        ),
+        (
+            "p99_latency_us",
+            Json::Int(t.latency_quantile_us(0.99) as i64),
+        ),
+        (
+            "slo_met",
+            t.slo_met().map_or(Json::Str("n/a".into()), Json::Bool),
+        ),
+        ("latency_histogram", Json::Arr(buckets)),
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = match args.first().map(String::as_str) {
+        Some("--json") => Some(
+            args.get(1)
+                .cloned()
+                .unwrap_or_else(|| "BENCH_PR7.json".to_string()),
+        ),
+        Some(other) => {
+            eprintln!("unknown argument {other:?}; usage: bench_pr7 [--json [PATH]]");
+            std::process::exit(2);
+        }
+        None => None,
+    };
+    let quick = std::env::var("MATOPT_BENCH_QUICK").is_ok();
+    let (clients, total) = if quick {
+        (32, 40_000)
+    } else {
+        (256, 1_000_000)
+    };
+    let workloads = workloads(8);
+
+    println!(
+        "== Multi-tenant soak: {total} requests, {clients} clients, {TENANTS} tenants \
+         (1 pathological) =="
+    );
+    let soak = run_soak(&workloads, clients, total);
+    println!(
+        "  front door  {} ok, {} quota-rejected, {} overloaded, {} shed, {} errors  \
+         {} runs ({} batched)  pool {} leases / {} waits  {:.0} req/s",
+        soak.tally.ok.load(Ordering::Relaxed),
+        soak.tally.quota.load(Ordering::Relaxed),
+        soak.tally.overloaded.load(Ordering::Relaxed),
+        soak.tally.shed.load(Ordering::Relaxed),
+        soak.tally.errors.load(Ordering::Relaxed),
+        soak.flights,
+        soak.batched,
+        soak.pool_leases,
+        soak.pool_waits,
+        soak.issued as f64 / soak.wall_secs,
+    );
+    assert_soak(&soak);
+
+    println!("== Plan-aware batching: one run, many answers ==");
+    let batching = run_batching();
+
+    println!("== Seeded fault storm: trip once, degrade, recover ==");
+    let storm = run_storm(&workloads);
+
+    if let Some(path) = json_path {
+        let report = Json::obj([
+            ("pr", Json::Int(7)),
+            (
+                "mode",
+                Json::Str(if quick { "quick" } else { "full" }.into()),
+            ),
+            ("clients", Json::Int(clients as i64)),
+            ("tenants", Json::Int(TENANTS as i64)),
+            (
+                "soak",
+                Json::obj([
+                    ("issued", Json::Int(soak.issued as i64)),
+                    ("answered", Json::Int(soak.tally.answered() as i64)),
+                    ("dropped", Json::Int(0)),
+                    (
+                        "ok",
+                        Json::Int(soak.tally.ok.load(Ordering::Relaxed) as i64),
+                    ),
+                    (
+                        "quota_rejects",
+                        Json::Int(soak.tally.quota.load(Ordering::Relaxed) as i64),
+                    ),
+                    (
+                        "overloaded",
+                        Json::Int(soak.tally.overloaded.load(Ordering::Relaxed) as i64),
+                    ),
+                    (
+                        "shed",
+                        Json::Int(soak.tally.shed.load(Ordering::Relaxed) as i64),
+                    ),
+                    ("flights", Json::Int(soak.flights as i64)),
+                    ("batched", Json::Int(soak.batched as i64)),
+                    ("pool_leases", Json::Int(soak.pool_leases as i64)),
+                    ("pool_admission_waits", Json::Int(soak.pool_waits as i64)),
+                    (
+                        "throughput_rps",
+                        Json::Num(soak.issued as f64 / soak.wall_secs),
+                    ),
+                    ("wall_secs", Json::Num(soak.wall_secs)),
+                ]),
+            ),
+            (
+                "per_tenant",
+                Json::Arr(soak.tenants.iter().map(tenant_json).collect()),
+            ),
+            (
+                "batching",
+                Json::obj([
+                    ("clients", Json::Int(batching.clients as i64)),
+                    ("flights", Json::Int(batching.flights as i64)),
+                    ("batched", Json::Int(batching.batched as i64)),
+                    ("bit_exact", Json::Bool(true)),
+                ]),
+            ),
+            (
+                "storm",
+                Json::obj([
+                    ("runs", Json::Int(storm.runs as i64)),
+                    ("recoveries", Json::Int(storm.recoveries as i64)),
+                    ("breaker_trips", Json::Int(storm.trips as i64)),
+                    ("breaker_reopens", Json::Int(storm.reopens as i64)),
+                    ("degraded_served", Json::Int(storm.degraded_served as i64)),
+                    (
+                        "final_state",
+                        Json::Str(storm.final_state.as_str().to_string()),
+                    ),
+                    ("bit_exact", Json::Bool(true)),
+                ]),
+            ),
+        ]);
+        std::fs::write(&path, report.pretty()).expect("write report");
+        println!("\nwrote {path}");
+    }
+}

@@ -69,6 +69,8 @@
 //!   --metrics-dump <path>    periodically (and on EOF) write the live
 //!                            metrics snapshot: Prometheus text, or
 //!                            JSON if <path> ends .json
+//!   --serve-threads N        request worker threads (default 1);
+//!                            responses stay in request order
 //!
 //! `matopt serve` reads one JSON request per line from stdin and writes
 //! one JSON response per line to stdout. A request either names a
@@ -76,9 +78,12 @@
 //! ({"id": 2, "graph": {"sources": [...], "ops": [...]}}); the response
 //! carries the plan fingerprint, cost, and cache source (hit, miss, or
 //! coalesced). A `{"op": "stats"}` line answers with live counters and
-//! latency percentiles. The server always runs with the metrics
-//! registry enabled, buffering events in a bounded ring (old events are
-//! dropped, never the request path). Statistics go to stderr on EOF.
+//! latency percentiles; `{"op": "drain"}` stops admitting (later
+//! requests get error responses) and `{"op": "shutdown"}` stops the
+//! session — both finish in-flight work, flush --metrics-dump, and
+//! exit 0. The server always runs with the metrics registry enabled,
+//! buffering events in a bounded ring (old events are dropped, never
+//! the request path). Statistics go to stderr on EOF.
 //! ```
 
 use matopt_bench::{AutoPlan, Env, DEFAULT_BEAM};
@@ -91,7 +96,7 @@ use matopt_engine::{
 };
 use matopt_kernels::{random_dense_normal, seeded_rng};
 use matopt_obs::{export, MemorySink, MetricsRegistry, Obs, RingSink};
-use matopt_serve::{serve_lines, PlanService, ServeConfig};
+use matopt_serve::{serve_lines_concurrent, PlanService, ServeConfig};
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
@@ -517,6 +522,7 @@ fn cmd_serve(args: &[String]) -> i32 {
     let mut cache_dir: Option<String> = None;
     let mut cache_enabled = true;
     let mut metrics_dump: Option<String> = None;
+    let mut serve_threads = 1usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -579,6 +585,16 @@ fn cmd_serve(args: &[String]) -> i32 {
                     Some(p) => metrics_dump = Some(p.clone()),
                     None => {
                         eprintln!("serve: --metrics-dump expects a path");
+                        return 2;
+                    }
+                }
+            }
+            "--serve-threads" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) if n >= 1 => serve_threads = n,
+                    _ => {
+                        eprintln!("serve: --serve-threads expects a count >= 1");
                         return 2;
                     }
                 }
@@ -655,8 +671,10 @@ fn cmd_serve(args: &[String]) -> i32 {
             });
         }
         let stdin = std::io::stdin();
-        let stdout = std::io::stdout();
-        let result = serve_lines(&service, stdin.lock(), &mut stdout.lock());
+        // `Stdout` (not `StdoutLock`) so the writer half can live on
+        // the multi-threaded serve loop's writer thread.
+        let mut stdout = std::io::stdout();
+        let result = serve_lines_concurrent(&service, stdin.lock(), &mut stdout, serve_threads);
         stop.store(true, std::sync::atomic::Ordering::Relaxed);
         result
     });
@@ -683,11 +701,16 @@ fn cmd_serve(args: &[String]) -> i32 {
     }
     let stats = service.stats();
     eprintln!(
-        "serve: {} requests ({} ok, {} errors); {} hits, {} misses, {} coalesced; \
+        "serve: {} requests ({} ok, {} errors){}; {} hits, {} misses, {} coalesced; \
          {} optimizer runs totalling {:.3}s; cache holds {} plans ({} bytes)",
         summary.requests,
         summary.ok,
         summary.errors,
+        if summary.clean_shutdown {
+            "; clean shutdown"
+        } else {
+            ""
+        },
         stats.hits,
         stats.misses,
         stats.coalesced,
@@ -701,6 +724,12 @@ fn cmd_serve(args: &[String]) -> i32 {
             "serve: event ring (capacity {SERVE_RING_CAPACITY}) dropped {} old events",
             ring.dropped()
         );
+    }
+    // An orderly shutdown/drain exits 0 even when some requests were
+    // error responses: the operator asked the session to end and it
+    // ended with every response delivered.
+    if summary.clean_shutdown {
+        return 0;
     }
     i32::from(summary.errors > 0)
 }

@@ -302,6 +302,71 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_observers_on_one_key_fire_exactly_once() {
+        // The serve layer feeds one monitor from every worker thread;
+        // the latch must hold under that contention: persistent drift
+        // reported by N racing observers still produces exactly one
+        // event, and the EWMA is never torn (it stays inside the convex
+        // hull of the ratios ever fed).
+        let m = DriftMonitor::new(quick());
+        for _ in 0..4 {
+            m.observe(7, 1.0, 2.0);
+        }
+        let threads = 8;
+        let rounds = 200;
+        let fired = std::sync::atomic::AtomicU32::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    for _ in 0..rounds {
+                        if m.observe(7, 1.0, 6.0).is_some() {
+                            fired.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            fired.load(std::sync::atomic::Ordering::Relaxed),
+            1,
+            "concurrent observers must share one latch"
+        );
+        assert!(m.is_latched(7));
+        let r = m.ratio(7).expect("key tracked");
+        assert!(
+            (2.0..=6.0).contains(&r) && r.is_finite(),
+            "torn EWMA: {r} outside the fed ratio range [2, 6]"
+        );
+    }
+
+    #[test]
+    fn concurrent_observers_keep_keys_independent() {
+        // Each thread drives its own key through baseline + drift while
+        // the others hammer theirs; every key fires exactly once and no
+        // cross-key state leaks.
+        let m = DriftMonitor::new(quick());
+        let threads = 8u128;
+        std::thread::scope(|scope| {
+            for key in 0..threads {
+                let m = &m;
+                scope.spawn(move || {
+                    for _ in 0..4 {
+                        m.observe(key, 1.0, 2.0);
+                    }
+                    let fired = (0..100)
+                        .filter(|_| m.observe(key, 1.0, 8.0).is_some())
+                        .count();
+                    assert_eq!(fired, 1, "key {key} fired {fired} times");
+                });
+            }
+        });
+        assert_eq!(m.len(), threads as usize);
+        for key in 0..threads {
+            assert!(m.is_latched(key));
+        }
+    }
+
+    #[test]
     fn faster_than_predicted_also_counts_as_drift() {
         let m = DriftMonitor::new(quick());
         for _ in 0..4 {

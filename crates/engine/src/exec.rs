@@ -124,6 +124,11 @@ pub struct GovernorStats {
     pub hedges_launched: u64,
     /// Hedged duplicates that finished before their primary.
     pub hedges_won: u64,
+    /// Bytes this run leased from its [`crate::SharedGovernor`] pool
+    /// (0 when the run was not pool-governed).
+    pub lease_bytes: u64,
+    /// Microseconds the run waited to acquire its shared-pool lease.
+    pub lease_wait_us: u64,
     /// Spill count per vertex (empty when the budget is off).
     pub vertex_spills: Vec<u32>,
     /// Hedge outcome per vertex (empty when hedging is off).
@@ -153,6 +158,13 @@ pub struct ExecOptions {
     /// are injected into the pipelined scheduler. Hedged duplicates
     /// skip the delay, which is exactly what makes hedging win.
     pub straggler_delays_ms: Option<Arc<Vec<u64>>>,
+    /// Shared admission/memory pool (`None` = this run governs itself).
+    /// When set, the run leases a memory carve-out from the pool before
+    /// admitting any vertex and enforces it with the per-run governor;
+    /// concurrent executions holding the same `Arc` split one budget.
+    /// Composes with [`ExecOptions::mem_budget`]: the effective per-run
+    /// budget is the smaller of the lease and the explicit budget.
+    pub shared_governor: Option<Arc<crate::SharedGovernor>>,
 }
 
 impl Default for ExecOptions {
@@ -163,6 +175,7 @@ impl Default for ExecOptions {
             scratch_dir: None,
             hedge: None,
             straggler_delays_ms: None,
+            shared_governor: None,
         }
     }
 }

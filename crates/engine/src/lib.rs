@@ -55,6 +55,7 @@ pub use impl_exec::{execute_impl, ExecError};
 pub use recovery::{
     execute_fault_tolerant, FtConfig, FtOutcome, InjectedFault, RetryConfig, VertexRecovery,
 };
+pub use schedule::{GovernorLease, SharedGovernor, SharedGovernorStats};
 pub use sim::{
     format_hms, simulate_plan, simulate_plan_traced, simulate_plan_with_recovery, FailReason,
     RecoverySimReport, SimOutcome, SimReport, SimStep,

@@ -110,6 +110,12 @@ pub struct FtConfig {
     /// retries: a hedge bounds the straggler delay, while transient
     /// faults still burn the retry budget.
     pub hedge: Option<HedgeConfig>,
+    /// Shared admission/memory pool (`None` = self-governed). Fault-free
+    /// fast-path runs lease a carve-out exactly like
+    /// [`crate::execute_plan_with`]; the live-injector path ignores it
+    /// (crash recovery retains every value and throttles wave admission
+    /// instead).
+    pub shared_governor: Option<std::sync::Arc<crate::SharedGovernor>>,
 }
 
 impl Default for FtConfig {
@@ -122,6 +128,7 @@ impl Default for FtConfig {
             mem_budget: None,
             scratch_dir: None,
             hedge: None,
+            shared_governor: None,
         }
     }
 }
@@ -243,6 +250,7 @@ pub fn execute_fault_tolerant(
             scratch_dir: config.scratch_dir.clone(),
             hedge: config.hedge.clone(),
             straggler_delays_ms: None,
+            shared_governor: config.shared_governor.clone(),
         };
         let mut out = run_pipelined(graph, annotation, inputs, registry, obs, true, &options)?;
         // Take each slot so the `Arc` is unique and `unshare` moves

@@ -83,7 +83,7 @@ use matopt_obs::{Obs, Subsystem};
 use matopt_pool::{Pool, TaskGroup};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Everything the pipelined run measured, with values still shared.
@@ -151,6 +151,219 @@ struct Governor {
     budget: u64,
     spill: SpillManager,
     inner: Mutex<GovInner>,
+}
+
+/// Live accounting of a [`SharedGovernor`] pool.
+#[derive(Debug, Default)]
+struct SharedPool {
+    /// Bytes currently leased to running executions.
+    leased: u64,
+    /// Executions currently holding a lease.
+    runs: usize,
+    /// Leases granted over the governor's lifetime.
+    leases_granted: u64,
+    /// Acquisitions that had to wait for another run to release bytes.
+    admission_waits: u64,
+    /// High-water mark of `leased`.
+    peak_leased: u64,
+    /// High-water mark of `runs`.
+    peak_runs: usize,
+}
+
+/// Counter snapshot from [`SharedGovernor::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SharedGovernorStats {
+    /// The pool's total byte budget.
+    pub budget: u64,
+    /// Bytes currently leased out.
+    pub leased: u64,
+    /// Executions currently holding a lease.
+    pub runs: usize,
+    /// Leases granted since construction.
+    pub leases_granted: u64,
+    /// Acquisitions that blocked waiting for pool headroom.
+    pub admission_waits: u64,
+    /// High-water mark of leased bytes.
+    pub peak_leased: u64,
+    /// High-water mark of concurrent leaseholders.
+    pub peak_runs: usize,
+}
+
+/// A process-wide admission/memory pool shared by concurrent
+/// executions: the shareable form of the per-run resource governor.
+///
+/// A `run_pipelined` call with [`ExecOptions::shared_governor`] set
+/// leases a memory carve-out from this pool before any vertex is
+/// admitted, then enforces the carve-out with the existing per-run
+/// governor machinery (admission scoring, spill-to-disk, deadlock
+/// guard). The lease is released when the run finishes, waking
+/// executions blocked on [`SharedGovernor::acquire`] — so concurrent
+/// executions draw from *one* budget instead of each assuming it owns
+/// the machine.
+///
+/// A run whose minimal standalone footprint exceeds the pool is granted
+/// the whole pool rather than rejected: the per-run spill path and the
+/// structured [`ExecError::MemBudgetInfeasible`] error already handle
+/// too-big-for-budget graphs deterministically.
+#[derive(Debug)]
+pub struct SharedGovernor {
+    budget: u64,
+    pool: Mutex<SharedPool>,
+    freed: Condvar,
+}
+
+impl SharedGovernor {
+    /// A pool with `budget` total bytes (minimum 1).
+    #[must_use]
+    pub fn new(budget: u64) -> Arc<Self> {
+        Arc::new(SharedGovernor {
+            budget: budget.max(1),
+            pool: Mutex::new(SharedPool::default()),
+            freed: Condvar::new(),
+        })
+    }
+
+    /// The pool's total byte budget.
+    #[must_use]
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Bytes currently leased to running executions.
+    #[must_use]
+    pub fn leased(&self) -> u64 {
+        self.pool.lock().expect("shared governor pool").leased
+    }
+
+    /// Counter snapshot.
+    #[must_use]
+    pub fn stats(&self) -> SharedGovernorStats {
+        let p = self.pool.lock().expect("shared governor pool");
+        SharedGovernorStats {
+            budget: self.budget,
+            leased: p.leased,
+            runs: p.runs,
+            leases_granted: p.leases_granted,
+            admission_waits: p.admission_waits,
+            peak_leased: p.peak_leased,
+            peak_runs: p.peak_runs,
+        }
+    }
+
+    /// Leases between `min` and `want` bytes from the pool, blocking
+    /// until at least `min` (clamped to the budget) is free. Grants as
+    /// much of `want` as currently fits so a lone run still gets full
+    /// headroom, while concurrent runs split the pool.
+    #[must_use]
+    pub fn acquire(self: &Arc<Self>, want: u64, min: u64) -> GovernorLease {
+        let min = min.clamp(1, self.budget);
+        let want = want.clamp(min, self.budget);
+        let mut pool = self.pool.lock().expect("shared governor pool");
+        let mut waited = false;
+        while self.budget - pool.leased < min {
+            waited = true;
+            pool = self.freed.wait(pool).expect("shared governor pool");
+        }
+        if waited {
+            pool.admission_waits += 1;
+        }
+        let granted = want.min(self.budget - pool.leased);
+        pool.leased += granted;
+        pool.runs += 1;
+        pool.leases_granted += 1;
+        pool.peak_leased = pool.peak_leased.max(pool.leased);
+        pool.peak_runs = pool.peak_runs.max(pool.runs);
+        GovernorLease {
+            gov: Arc::clone(self),
+            bytes: granted,
+        }
+    }
+
+    /// [`SharedGovernor::acquire`] that fails immediately instead of
+    /// blocking when less than `min` of the pool is free.
+    #[must_use]
+    pub fn try_acquire(self: &Arc<Self>, want: u64, min: u64) -> Option<GovernorLease> {
+        let min = min.clamp(1, self.budget);
+        let want = want.clamp(min, self.budget);
+        let mut pool = self.pool.lock().expect("shared governor pool");
+        if self.budget - pool.leased < min {
+            return None;
+        }
+        let granted = want.min(self.budget - pool.leased);
+        pool.leased += granted;
+        pool.runs += 1;
+        pool.leases_granted += 1;
+        pool.peak_leased = pool.peak_leased.max(pool.leased);
+        pool.peak_runs = pool.peak_runs.max(pool.runs);
+        Some(GovernorLease {
+            gov: Arc::clone(self),
+            bytes: granted,
+        })
+    }
+}
+
+/// An RAII memory carve-out from a [`SharedGovernor`]: the leased bytes
+/// return to the pool (waking blocked acquirers) on drop.
+#[derive(Debug)]
+pub struct GovernorLease {
+    gov: Arc<SharedGovernor>,
+    bytes: u64,
+}
+
+impl GovernorLease {
+    /// Bytes this lease carved out of the pool.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The pool the lease came from.
+    #[must_use]
+    pub fn governor(&self) -> &Arc<SharedGovernor> {
+        &self.gov
+    }
+}
+
+impl Drop for GovernorLease {
+    fn drop(&mut self) {
+        let mut pool = self.gov.pool.lock().expect("shared governor pool");
+        pool.leased = pool.leased.saturating_sub(self.bytes);
+        pool.runs = pool.runs.saturating_sub(1);
+        drop(pool);
+        self.gov.freed.notify_all();
+    }
+}
+
+/// Estimated bytes of every vertex's output (declared source formats,
+/// the annotation's chosen output format for computes) and the largest
+/// standalone footprint (a vertex's inputs plus its output) — what a
+/// run asks the shared pool for and the least it can work with.
+fn estimate_run_bytes(graph: &ComputeGraph, annotation: &Annotation) -> (u64, u64) {
+    let n = graph.len();
+    let mut est = vec![0u64; n];
+    for (id, node) in graph.iter() {
+        let format = match &node.kind {
+            NodeKind::Source { format } => *format,
+            NodeKind::Compute { .. } => annotation.choice(id).expect("checked above").output_format,
+        };
+        est[id.index()] = format.total_bytes(&node.mtype).max(0.0) as u64;
+    }
+    let total: u64 = est.iter().fold(0u64, |a, &b| a.saturating_add(b));
+    let mut min_need = 0u64;
+    for (id, node) in graph.iter() {
+        if !matches!(node.kind, NodeKind::Compute { .. }) {
+            continue;
+        }
+        let mut need = est[id.index()];
+        let mut inputs: Vec<usize> = node.inputs.iter().map(|i| i.index()).collect();
+        inputs.sort_unstable();
+        inputs.dedup();
+        for u in inputs {
+            need = need.saturating_add(est[u]);
+        }
+        min_need = min_need.max(need);
+    }
+    (total, min_need.max(1))
 }
 
 /// Hedging state: per-vertex start instants and winner/hedged flags,
@@ -245,7 +458,25 @@ pub(crate) fn run_pipelined(
         retained[s.index()] = true;
     }
 
-    let gov = match options.mem_budget {
+    // Lease a carve-out from the shared pool (if any) before admitting
+    // anything: concurrent executions split one budget instead of each
+    // assuming it owns the machine. The lease is held for the whole
+    // run and released (waking blocked acquirers) on every exit path.
+    let lease_wait = Instant::now();
+    let lease = options.shared_governor.as_ref().map(|sg| {
+        let (want, min_need) = estimate_run_bytes(graph, annotation);
+        sg.acquire(want, min_need)
+    });
+    let lease_wait_us = lease
+        .as_ref()
+        .map_or(0, |_| lease_wait.elapsed().as_micros() as u64);
+    let effective_budget = match (&lease, options.mem_budget) {
+        (None, budget) => budget,
+        (Some(l), None) => Some(l.bytes()),
+        (Some(l), Some(b)) => Some(b.min(l.bytes())),
+    };
+
+    let gov = match effective_budget {
         None => None,
         Some(budget) => {
             let spill = SpillManager::new(options.scratch_dir.clone())
@@ -419,7 +650,9 @@ pub(crate) fn run_pipelined(
 
     let max_concurrency = state.max_running.load(Ordering::Acquire).max(1);
     let peak = state.peak.load(Ordering::Acquire);
-    let governor = collect_governor_stats(&state, n);
+    let mut governor = collect_governor_stats(&state, n);
+    governor.lease_bytes = lease.as_ref().map_or(0, GovernorLease::bytes);
+    governor.lease_wait_us = lease_wait_us;
     let delta = pool.stats().since(&pool_before);
     obs.record(Subsystem::Sched, "pipeline", || {
         vec![
@@ -431,10 +664,7 @@ pub(crate) fn run_pipelined(
             ("pool_tasks", (delta.tasks as i64).into()),
             ("pool_steals", (delta.steals as i64).into()),
             ("pool_batches", (delta.batches as i64).into()),
-            (
-                "mem_budget",
-                (options.mem_budget.unwrap_or(0) as i64).into(),
-            ),
+            ("mem_budget", (effective_budget.unwrap_or(0) as i64).into()),
             ("spills", (governor.spills as i64).into()),
             ("spilled_bytes", (governor.spilled_bytes as i64).into()),
             ("reloads", (governor.reloads as i64).into()),

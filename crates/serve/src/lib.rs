@@ -40,18 +40,24 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod breaker;
 mod cache;
 mod fingerprint;
+mod front;
 mod persist;
 pub mod protocol;
 mod server;
 mod service;
+mod tenant;
 
+pub use breaker::{BreakerConfig, BreakerDecision, BreakerState, BreakerStats, CircuitBreaker};
 pub use cache::{plan_bytes, CacheConfig, CacheCounters, PlanCache};
 pub use fingerprint::{fingerprint, sparsity_bucket, Fingerprint};
-pub use persist::{load_cache, save_cache, LoadReport, CACHE_FILE};
-pub use server::{respond, serve_lines, stats_line, ServeSummary};
+pub use front::{ExecRequest, ExecResponse, FrontDoor, FrontDoorConfig, FrontStats};
+pub use persist::{load_cache, save_cache, LoadReport, CACHE_FILE, LOCK_FILE};
+pub use server::{respond, serve_lines, serve_lines_concurrent, stats_line, ServeSummary};
 pub use service::{PlanService, PlanSource, Planned, ServeError, ServeStats};
+pub use tenant::{TenancyConfig, TenantConfig, TenantStats};
 
 /// Configuration of a [`PlanService`].
 #[derive(Debug, Clone, Copy)]

@@ -10,6 +10,13 @@
 //! Every read is bounds-checked; a corrupt entry is *skipped and
 //! counted*, never decoded into a wrong plan — a damaged cache file
 //! degrades to cache misses, not to serving garbage.
+//!
+//! Saves and loads on one directory serialize on a lock file
+//! ([`LOCK_FILE`], stolen when its holder crashes), and every writer
+//! uses a unique temp name, so concurrent `persist_to_dir` /
+//! `warm_from_dir` calls — including from threads of a single process,
+//! which used to share one pid-derived temp path — can never interleave
+//! partial writes.
 
 use crate::{Fingerprint, PlanService};
 use matopt_core::{
@@ -17,14 +24,26 @@ use matopt_core::{
 };
 use matopt_opt::Optimized;
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// `b"MPLN0001"` as a little-endian word.
 const MAGIC: u64 = u64::from_le_bytes(*b"MPLN0001");
 
 /// File name inside the cache directory.
 pub const CACHE_FILE: &str = "plans.mcache";
+
+/// Lock file serializing writers (and readers) of one cache directory.
+pub const LOCK_FILE: &str = "plans.mcache.lock";
+
+/// A lock file older than this belongs to a crashed process and is
+/// stolen.
+const LOCK_STALE_AFTER: Duration = Duration::from_secs(30);
+
+/// How long an acquire spins before giving up.
+const LOCK_DEADLINE: Duration = Duration::from_secs(60);
 
 /// What a warm/load pass found.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -269,24 +288,128 @@ fn decode_file(bytes: &[u8]) -> (Vec<(Fingerprint, Optimized)>, usize) {
 // Files + service wiring
 // ---------------------------------------------------------------------
 
-/// Writes `entries` to `<dir>/plans.mcache` atomically (temp file +
-/// rename), creating `dir` if needed.
-///
-/// # Errors
-/// Propagates filesystem errors.
-pub fn save_cache(dir: &Path, entries: &[(Fingerprint, Arc<Optimized>)]) -> io::Result<()> {
-    std::fs::create_dir_all(dir)?;
-    let tmp = dir.join(format!("{CACHE_FILE}.tmp.{}", std::process::id()));
-    std::fs::write(&tmp, encode_file(entries))?;
-    std::fs::rename(&tmp, dir.join(CACHE_FILE))
+/// An exclusive lock on one cache directory, held via a `create_new`'d
+/// lock file. Concurrent `save_cache`/`load_cache` calls — from any
+/// thread of any process sharing the directory — serialize on it, so
+/// two writers can never interleave their temp files or rename over
+/// each other mid-write. Dropping the guard releases the lock; a lock
+/// left behind by a crashed process goes stale after
+/// [`LOCK_STALE_AFTER`] and is stolen.
+#[derive(Debug)]
+struct DirLock {
+    path: PathBuf,
 }
 
-/// Reads `<dir>/plans.mcache`. A missing file is an empty cache; a
-/// damaged file yields whatever entries survive both checksums.
+impl DirLock {
+    fn acquire(dir: &Path) -> io::Result<DirLock> {
+        DirLock::acquire_with(dir, LOCK_STALE_AFTER, LOCK_DEADLINE)
+    }
+
+    fn acquire_with(dir: &Path, stale_after: Duration, deadline: Duration) -> io::Result<DirLock> {
+        let path = dir.join(LOCK_FILE);
+        let started = Instant::now();
+        loop {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(_) => return Ok(DirLock { path }),
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    // Steal locks whose holder evidently died.
+                    let stale = std::fs::metadata(&path)
+                        .ok()
+                        .and_then(|m| m.modified().ok())
+                        .and_then(|m| m.elapsed().ok())
+                        .is_some_and(|age| age > stale_after);
+                    if stale {
+                        let _ = std::fs::remove_file(&path);
+                        continue;
+                    }
+                    if started.elapsed() > deadline {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            format!("cache lock {} held too long", path.display()),
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+impl Drop for DirLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Removes temp files abandoned by crashed writers. Safe while holding
+/// the directory lock: any live writer would be holding it instead.
+fn sweep_tmp_debris(dir: &Path) {
+    let tmp_prefix = format!("{CACHE_FILE}.tmp.");
+    let Ok(listing) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in listing.flatten() {
+        if entry
+            .file_name()
+            .to_str()
+            .is_some_and(|name| name.starts_with(&tmp_prefix))
+        {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+}
+
+/// Writes `entries` to `<dir>/plans.mcache` atomically (temp file +
+/// rename), creating `dir` if needed. Writers serialize on the
+/// directory's lock file, and each write uses a unique temp name
+/// (pid + sequence number), so concurrent persists — even from threads
+/// of one process — cannot interleave temp files; one complete
+/// snapshot wins. A crash mid-write leaves the previous cache file
+/// intact plus debris the next locked writer sweeps.
+///
+/// # Errors
+/// Propagates filesystem errors; [`io::ErrorKind::TimedOut`] when the
+/// directory lock cannot be acquired.
+pub fn save_cache(dir: &Path, entries: &[(Fingerprint, Arc<Optimized>)]) -> io::Result<()> {
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    std::fs::create_dir_all(dir)?;
+    let _lock = DirLock::acquire(dir)?;
+    sweep_tmp_debris(dir);
+    let tmp = dir.join(format!(
+        "{CACHE_FILE}.tmp.{}.{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::write(&tmp, encode_file(entries))?;
+    let renamed = std::fs::rename(&tmp, dir.join(CACHE_FILE));
+    if renamed.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    renamed
+}
+
+/// Reads `<dir>/plans.mcache` under the directory lock. A missing file
+/// is an empty cache; a damaged file yields whatever entries survive
+/// both checksums.
 ///
 /// # Errors
 /// Propagates filesystem errors other than "not found".
 pub fn load_cache(dir: &Path) -> io::Result<(Vec<(Fingerprint, Optimized)>, LoadReport)> {
+    // Serialize with writers (a reader between a writer's temp write
+    // and rename would otherwise see the old file while the new one is
+    // moments away — harmless, but the lock makes every load a clean
+    // before-or-after of every save).
+    let _lock = match DirLock::acquire(dir) {
+        Ok(lock) => Some(lock),
+        // No directory yet means no cache file either.
+        Err(e) if e.kind() == io::ErrorKind::NotFound => None,
+        Err(e) => return Err(e),
+    };
     let bytes = match std::fs::read(dir.join(CACHE_FILE)) {
         Ok(b) => b,
         Err(e) if e.kind() == io::ErrorKind::NotFound => {
@@ -431,5 +554,121 @@ mod tests {
             assert!(entries.is_empty());
             assert!(corrupt >= 1 || end < 16, "truncated at {end} not flagged");
         }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "matopt-persist-unit-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    #[test]
+    fn dir_lock_excludes_a_second_acquire_until_dropped() {
+        let dir = temp_dir("lock");
+        let lock = DirLock::acquire(&dir).expect("first acquire");
+        let err = DirLock::acquire_with(&dir, Duration::from_secs(60), Duration::from_millis(30))
+            .expect_err("second acquire must time out while held");
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        drop(lock);
+        DirLock::acquire(&dir).expect("free after drop");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_lock_from_a_crashed_process_is_stolen() {
+        let dir = temp_dir("stale");
+        // A crashed writer: lock file exists, holder is gone.
+        std::fs::write(dir.join(LOCK_FILE), b"crashed").expect("leave stale lock");
+        std::thread::sleep(Duration::from_millis(30));
+        DirLock::acquire_with(&dir, Duration::from_millis(10), Duration::from_millis(500))
+            .expect("stale lock must be stolen");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_mid_persist_leaves_old_cache_loadable_and_sweeps_debris() {
+        let dir = temp_dir("crash");
+        let (fp, plan) = sample();
+        save_cache(&dir, &[(fp, Arc::clone(&plan))]).expect("initial save");
+
+        // Simulate a writer that died at every possible point of its
+        // temp write: a partial temp file of every prefix length, left
+        // behind without ever renaming.
+        let encoded = encode_file(&[(Fingerprint(99), Arc::clone(&plan))]);
+        for end in 0..encoded.len() {
+            let tmp = dir.join(format!(
+                "{CACHE_FILE}.tmp.{}.crash{end}",
+                std::process::id()
+            ));
+            std::fs::write(&tmp, &encoded[..end]).expect("partial tmp");
+            // The cache file never saw the crashed write: loads still
+            // serve the previous snapshot, byte-exact.
+            let (entries, report) = load_cache(&dir).expect("load");
+            assert_eq!(report.corrupt, 0, "crash at {end} corrupted the cache");
+            assert_eq!(entries.len(), 1);
+            assert_eq!(entries[0].0, fp);
+        }
+
+        // The next locked writer sweeps every piece of debris.
+        save_cache(&dir, &[(Fingerprint(7), plan)]).expect("post-crash save");
+        let leftovers: Vec<String> = std::fs::read_dir(&dir)
+            .expect("read dir")
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with(&format!("{CACHE_FILE}.tmp.")))
+            .collect();
+        assert!(leftovers.is_empty(), "debris survived: {leftovers:?}");
+        let (entries, _) = load_cache(&dir).expect("load");
+        assert_eq!(entries[0].0, Fingerprint(7));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_saves_and_loads_never_interleave() {
+        let dir = temp_dir("concurrent");
+        let (_, plan) = sample();
+        // Each writer persists a snapshot whose entries all share one
+        // marker fingerprint range; a torn write would surface as a
+        // load mixing ranges or tripping the checksums.
+        let writers = 4;
+        let per_writer = 8;
+        std::thread::scope(|scope| {
+            for w in 0..writers {
+                let dir = dir.clone();
+                let plan = Arc::clone(&plan);
+                scope.spawn(move || {
+                    for round in 0..per_writer {
+                        let base = (w as u128 + 1) << 64;
+                        let entries: Vec<_> = (0..16)
+                            .map(|k| (Fingerprint(base | k as u128), Arc::clone(&plan)))
+                            .collect();
+                        save_cache(&dir, &entries)
+                            .unwrap_or_else(|e| panic!("writer {w} round {round} failed: {e}"));
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let dir = dir.clone();
+                scope.spawn(move || {
+                    for _ in 0..16 {
+                        let (entries, report) = load_cache(&dir).expect("load");
+                        assert_eq!(report.corrupt, 0, "reader saw a torn write");
+                        let ranges: std::collections::HashSet<u128> =
+                            entries.iter().map(|(fp, _)| fp.0 >> 64).collect();
+                        assert!(
+                            ranges.len() <= 1,
+                            "load mixed two writers' snapshots: {ranges:?}"
+                        );
+                    }
+                });
+            }
+        });
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

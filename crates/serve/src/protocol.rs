@@ -27,6 +27,8 @@
 //!
 //! ```json
 //! {"id": "s1", "op": "stats"}
+//! {"id": "s2", "op": "drain"}
+//! {"id": "s3", "op": "shutdown"}
 //! ```
 //!
 //! `stats` answers with the service's live statistics instead of a
@@ -38,6 +40,16 @@
 //! no metrics registry or nothing has been timed yet). Unknown `op`
 //! values are error responses; a `stats` line does not count as a plan
 //! request in the counters it reports.
+//!
+//! `shutdown` and `drain` stop the session in an orderly way. Both
+//! finish every request that arrived before them, flush any
+//! `--metrics-dump` sidecar, and make the `matopt serve` process exit
+//! 0. `shutdown` stops reading immediately — its `{"status": "ok",
+//! "op": "shutdown"}` acknowledgement is the last line written.
+//! `drain` keeps reading until EOF but answers every *later* request
+//! with a `draining` error response (position in the stream decides,
+//! not worker timing). Plain EOF behaves like an implicit drain:
+//! requests already read are always answered, never abandoned.
 
 use crate::ServeError;
 use matopt_core::{Cluster, ComputeGraph, MatrixType, Op, PhysFormat};

@@ -18,7 +18,10 @@
 use crate::protocol::{json_escape, parse_request, Json};
 use crate::PlanService;
 use matopt_obs::{HistogramSnapshot, Subsystem};
+use std::collections::BTreeMap;
 use std::io::{self, BufRead, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 
 /// What a [`serve_lines`] session handled.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -29,10 +32,54 @@ pub struct ServeSummary {
     pub ok: u64,
     /// `"status": "error"` responses written.
     pub errors: u64,
+    /// `true` when the session ended via a `{"op": "shutdown"}` or
+    /// `{"op": "drain"}` control line (an orderly stop the CLI exits 0
+    /// on), `false` on plain EOF.
+    pub clean_shutdown: bool,
 }
 
-/// Serves requests from `input` until EOF, writing one response line
-/// each to `output`.
+/// Control lines that steer the serve loop itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Control {
+    /// Stop reading, answer everything already read, exit cleanly.
+    Shutdown,
+    /// Keep reading until EOF but refuse every later request with a
+    /// `draining` error response; in-flight work still completes.
+    Drain,
+}
+
+/// Recognizes `{"op": "shutdown"}` / `{"op": "drain"}` control lines.
+fn control_op(line: &str) -> Option<Control> {
+    let doc = Json::parse(line).ok()?;
+    match doc.get("op").and_then(Json::as_str)? {
+        "shutdown" => Some(Control::Shutdown),
+        "drain" => Some(Control::Drain),
+        _ => None,
+    }
+}
+
+/// The acknowledgement response for a control line.
+fn control_ack(line: &str, op: Control) -> String {
+    let id = Json::parse(line)
+        .ok()
+        .and_then(|d| d.get("id").and_then(Json::as_str).map(str::to_string));
+    let op = match op {
+        Control::Shutdown => "shutdown",
+        Control::Drain => "drain",
+    };
+    match id {
+        Some(id) => format!(
+            "{{\"id\": \"{}\", \"status\": \"ok\", \"op\": \"{op}\"}}",
+            json_escape(&id)
+        ),
+        None => format!("{{\"id\": null, \"status\": \"ok\", \"op\": \"{op}\"}}"),
+    }
+}
+
+/// Serves requests from `input`, writing one response line each to
+/// `output`, until EOF or an orderly `{"op": "shutdown"}`. Single
+/// worker: responses are computed and written in arrival order. See
+/// [`serve_lines_concurrent`] for the multi-worker loop.
 ///
 /// # Errors
 /// Propagates I/O errors from the transport (request-level failures are
@@ -43,15 +90,20 @@ pub fn serve_lines<R: BufRead, W: Write>(
     output: &mut W,
 ) -> io::Result<ServeSummary> {
     let mut summary = ServeSummary::default();
+    let mut draining = false;
     for line in input.lines() {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
         summary.requests += 1;
-        let response = respond(service, &line);
-        let ok = response.contains("\"status\": \"ok\"");
-        if ok {
+        let control = control_op(&line);
+        let response = match control {
+            Some(op) => control_ack(&line, op),
+            None if draining => draining_error(&line),
+            None => respond(service, &line),
+        };
+        if response.contains("\"status\": \"ok\"") {
             summary.ok += 1;
         } else {
             summary.errors += 1;
@@ -59,7 +111,158 @@ pub fn serve_lines<R: BufRead, W: Write>(
         output.write_all(response.as_bytes())?;
         output.write_all(b"\n")?;
         output.flush()?;
+        match control {
+            Some(Control::Shutdown) => {
+                summary.clean_shutdown = true;
+                return Ok(summary);
+            }
+            Some(Control::Drain) => {
+                summary.clean_shutdown = true;
+                draining = true;
+            }
+            None => {}
+        }
     }
+    Ok(summary)
+}
+
+/// The error response for a request that arrived after a drain.
+fn draining_error(line: &str) -> String {
+    let id = Json::parse(line)
+        .ok()
+        .and_then(|d| d.get("id").and_then(Json::as_str).map(str::to_string));
+    error_line(id.as_deref(), &crate::ServeError::Draining.to_string())
+}
+
+/// Serves requests from `input` on `threads` worker threads, writing
+/// responses to `output` **in arrival order** (a reorder buffer holds
+/// any response that finishes before an earlier request's).
+///
+/// Lifecycle guarantees, which the single-threaded loop gets for free
+/// and this one is tested for:
+///
+/// * **EOF drains** — when `input` ends, every request already read is
+///   still answered before the call returns; queued work is never
+///   abandoned.
+/// * **`{"op": "shutdown"}`** stops reading immediately; requests ahead
+///   of it are answered, the ack is the last line written, and the
+///   summary reports a clean shutdown.
+/// * **`{"op": "drain"}`** answers requests ahead of it normally and
+///   every request after it with a `draining` error response (position
+///   decides, not timing: a request the reader saw first is never
+///   rejected because a worker happened to run it late).
+///
+/// # Errors
+/// Propagates I/O errors from the transport.
+pub fn serve_lines_concurrent<R: BufRead, W: Write + Send>(
+    service: &PlanService,
+    input: R,
+    output: &mut W,
+    threads: usize,
+) -> io::Result<ServeSummary> {
+    if threads <= 1 {
+        return serve_lines(service, input, output);
+    }
+    let mut summary = ServeSummary::default();
+    // Everything with seq > drain_seq is refused with a draining error.
+    let drain_seq = AtomicU64::new(u64::MAX);
+    let (work_tx, work_rx) = mpsc::sync_channel::<(u64, String)>(threads * 2);
+    let work_rx = Arc::new(Mutex::new(work_rx));
+    let (done_tx, done_rx) = mpsc::channel::<(u64, String)>();
+
+    let (io_result, clean) = std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let work_rx = Arc::clone(&work_rx);
+            let done_tx = done_tx.clone();
+            let drain_seq = &drain_seq;
+            scope.spawn(move || loop {
+                let next = work_rx.lock().expect("work queue").recv();
+                let Ok((seq, line)) = next else {
+                    return;
+                };
+                let response = match control_op(&line) {
+                    Some(op) => control_ack(&line, op),
+                    None if seq > drain_seq.load(Ordering::Acquire) => draining_error(&line),
+                    None => respond(service, &line),
+                };
+                if done_tx.send((seq, response)).is_err() {
+                    return;
+                }
+            });
+        }
+        drop(done_tx);
+
+        // Writer: reorder responses back into arrival order.
+        let writer = scope.spawn(move || -> io::Result<(u64, u64)> {
+            let mut pending: BTreeMap<u64, String> = BTreeMap::new();
+            let mut next_seq = 0u64;
+            let (mut ok, mut errors) = (0u64, 0u64);
+            while let Ok((seq, response)) = done_rx.recv() {
+                pending.insert(seq, response);
+                while let Some(response) = pending.remove(&next_seq) {
+                    next_seq += 1;
+                    if response.contains("\"status\": \"ok\"") {
+                        ok += 1;
+                    } else {
+                        errors += 1;
+                    }
+                    output.write_all(response.as_bytes())?;
+                    output.write_all(b"\n")?;
+                    output.flush()?;
+                }
+            }
+            Ok((ok, errors))
+        });
+
+        // Reader: this thread. Assign sequence numbers, recognize
+        // control lines, stop at EOF or shutdown. Dropping `work_tx`
+        // is the drain signal: workers finish what was read, then the
+        // writer flushes the reorder buffer.
+        let mut clean = false;
+        let mut read_error = None;
+        let mut seq = 0u64;
+        for line in input.lines() {
+            let line = match line {
+                Ok(l) => l,
+                Err(e) => {
+                    read_error = Some(e);
+                    break;
+                }
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            summary.requests += 1;
+            let control = control_op(&line);
+            if work_tx.send((seq, line)).is_err() {
+                break;
+            }
+            match control {
+                Some(Control::Shutdown) => {
+                    clean = true;
+                    break;
+                }
+                Some(Control::Drain) => {
+                    clean = true;
+                    drain_seq.store(seq, Ordering::Release);
+                }
+                None => {}
+            }
+            seq += 1;
+        }
+        drop(work_tx);
+        let written = writer.join().expect("writer thread");
+        let io_result = match read_error {
+            Some(e) => Err(e),
+            None => written,
+        };
+        (io_result, clean)
+    });
+
+    let (ok, errors) = io_result?;
+    summary.ok = ok;
+    summary.errors = errors;
+    summary.clean_shutdown = clean;
     Ok(summary)
 }
 
@@ -74,6 +277,11 @@ pub fn respond(service: &PlanService, line: &str) -> String {
             let id = doc.get("id").and_then(Json::as_str).map(str::to_string);
             return match op {
                 "stats" => stats_line(service, id.as_deref()),
+                // Acknowledged here so a direct `respond` caller gets
+                // the same line the serve loop writes; the loop itself
+                // intercepts these to actually stop/drain.
+                "shutdown" => control_ack(line, Control::Shutdown),
+                "drain" => control_ack(line, Control::Drain),
                 other => error_line(id.as_deref(), &format!("unknown op {other:?}")),
             };
         }
@@ -229,7 +437,8 @@ mod tests {
             ServeSummary {
                 requests: 4,
                 ok: 2,
-                errors: 2
+                errors: 2,
+                clean_shutdown: false
             }
         );
         let lines: Vec<&str> = std::str::from_utf8(&out).expect("utf8").lines().collect();
@@ -293,6 +502,131 @@ mod tests {
         assert!(line.contains("\"p50_us\": null"), "{line}");
         assert!(line.contains("\"id\": null"), "{line}");
         Json::parse(&line).expect("valid JSON");
+    }
+
+    #[test]
+    fn shutdown_op_stops_the_session_cleanly() {
+        let service = service();
+        let input = concat!(
+            r#"{"id": "a", "workload": "motivating"}"#,
+            "\n",
+            r#"{"id": "q", "op": "shutdown"}"#,
+            "\n",
+            r#"{"id": "never", "workload": "motivating"}"#,
+            "\n",
+        );
+        let mut out = Vec::new();
+        let summary = serve_lines(&service, input.as_bytes(), &mut out).expect("io");
+        assert!(summary.clean_shutdown, "shutdown must be clean");
+        assert_eq!((summary.requests, summary.ok, summary.errors), (2, 2, 0));
+        let lines: Vec<&str> = std::str::from_utf8(&out).expect("utf8").lines().collect();
+        assert_eq!(lines.len(), 2, "nothing after the shutdown ack: {lines:?}");
+        assert!(lines[1].contains("\"op\": \"shutdown\""), "{}", lines[1]);
+    }
+
+    #[test]
+    fn drain_op_refuses_later_requests_but_answers_them() {
+        let service = service();
+        let input = concat!(
+            r#"{"id": "a", "workload": "motivating"}"#,
+            "\n",
+            r#"{"id": "d", "op": "drain"}"#,
+            "\n",
+            r#"{"id": "late", "workload": "motivating"}"#,
+            "\n",
+        );
+        let mut out = Vec::new();
+        let summary = serve_lines(&service, input.as_bytes(), &mut out).expect("io");
+        assert!(summary.clean_shutdown);
+        assert_eq!(summary.requests, 3, "post-drain lines still get responses");
+        let lines: Vec<&str> = std::str::from_utf8(&out).expect("utf8").lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].contains("\"op\": \"drain\""), "{}", lines[1]);
+        assert!(lines[2].contains("draining"), "{}", lines[2]);
+        assert!(lines[2].contains("\"id\": \"late\""), "{}", lines[2]);
+    }
+
+    #[test]
+    fn concurrent_loop_preserves_order_and_drains_at_eof() {
+        let service = service();
+        // Enough requests that workers genuinely interleave; every
+        // response must still come back in request order, and EOF must
+        // answer all of them.
+        let mut input = String::new();
+        for i in 0..40 {
+            let workload = if i % 3 == 0 {
+                "motivating"
+            } else {
+                "ffnn-small:16"
+            };
+            input.push_str(&format!(
+                "{{\"id\": \"r{i}\", \"workload\": \"{workload}\"}}\n"
+            ));
+        }
+        let mut out = Vec::new();
+        let summary = serve_lines_concurrent(&service, input.as_bytes(), &mut out, 4).expect("io");
+        assert_eq!(summary.requests, 40);
+        assert_eq!(summary.ok, 40, "EOF must drain every queued request");
+        assert!(!summary.clean_shutdown, "plain EOF is not a clean shutdown");
+        let lines: Vec<&str> = std::str::from_utf8(&out).expect("utf8").lines().collect();
+        assert_eq!(lines.len(), 40);
+        for (i, line) in lines.iter().enumerate() {
+            assert!(
+                line.contains(&format!("\"id\": \"r{i}\"")),
+                "response {i} out of order: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_loop_honors_drain_position_not_timing() {
+        let service = service();
+        let mut input = String::new();
+        for i in 0..8 {
+            input.push_str(&format!(
+                "{{\"id\": \"pre{i}\", \"workload\": \"motivating\"}}\n"
+            ));
+        }
+        input.push_str("{\"id\": \"d\", \"op\": \"drain\"}\n");
+        for i in 0..8 {
+            input.push_str(&format!(
+                "{{\"id\": \"post{i}\", \"workload\": \"motivating\"}}\n"
+            ));
+        }
+        let mut out = Vec::new();
+        let summary = serve_lines_concurrent(&service, input.as_bytes(), &mut out, 4).expect("io");
+        assert!(summary.clean_shutdown);
+        assert_eq!(summary.requests, 17);
+        assert_eq!(summary.ok, 9, "8 pre-drain requests + the drain ack");
+        assert_eq!(summary.errors, 8, "8 post-drain requests refused");
+        let text = std::str::from_utf8(&out).expect("utf8");
+        for (i, line) in text.lines().enumerate() {
+            if i < 8 {
+                assert!(line.contains("\"status\": \"ok\""), "pre-drain {i}: {line}");
+            } else if i > 8 {
+                assert!(line.contains("draining"), "post-drain {i}: {line}");
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_shutdown_answers_everything_ahead_of_it() {
+        let service = service();
+        let mut input = String::new();
+        for i in 0..6 {
+            input.push_str(&format!(
+                "{{\"id\": \"r{i}\", \"workload\": \"ffnn-small:16\"}}\n"
+            ));
+        }
+        input.push_str("{\"id\": \"s\", \"op\": \"shutdown\"}\n");
+        input.push_str("{\"id\": \"never\", \"workload\": \"motivating\"}\n");
+        let mut out = Vec::new();
+        let summary = serve_lines_concurrent(&service, input.as_bytes(), &mut out, 3).expect("io");
+        assert!(summary.clean_shutdown);
+        assert_eq!(summary.ok, 7, "6 answers + the shutdown ack");
+        let lines: Vec<&str> = std::str::from_utf8(&out).expect("utf8").lines().collect();
+        assert_eq!(lines.len(), 7, "nothing served past shutdown: {lines:?}");
+        assert!(lines[6].contains("\"op\": \"shutdown\""), "{}", lines[6]);
     }
 
     #[test]

@@ -46,6 +46,17 @@ pub enum ServeError {
     Opt(OptError),
     /// The request was malformed (protocol front end).
     BadRequest(String),
+    /// The tenant's in-flight quota was exhausted (front door).
+    QuotaExceeded {
+        /// The tenant that hit its quota.
+        tenant: String,
+    },
+    /// The executor failed (message form so coalesced executions can
+    /// share one error).
+    Exec(String),
+    /// The service is draining: in-flight work finishes, new work is
+    /// refused.
+    Draining,
 }
 
 impl std::fmt::Display for ServeError {
@@ -57,6 +68,11 @@ impl std::fmt::Display for ServeError {
             ServeError::DeadlineExceeded => write!(f, "deadline exceeded"),
             ServeError::Opt(e) => write!(f, "optimization failed: {e}"),
             ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::QuotaExceeded { tenant } => {
+                write!(f, "quota exceeded for tenant {tenant}")
+            }
+            ServeError::Exec(msg) => write!(f, "execution failed: {msg}"),
+            ServeError::Draining => write!(f, "draining: not admitting new work"),
         }
     }
 }
@@ -578,6 +594,60 @@ impl PlanService {
             );
         }
         Ok(outcome)
+    }
+
+    /// Plans `graph` while bypassing the cache, single-flight, and
+    /// admission machinery entirely: a fresh optimizer run under the
+    /// *current* model and cluster, every time. This is the front
+    /// door's degraded path — when the circuit breaker has implicated
+    /// the cached fast path, answers must not depend on it. The result
+    /// carries [`Fingerprint`]`(0)` and is never inserted into the
+    /// cache.
+    ///
+    /// # Errors
+    /// [`ServeError::Opt`] when the optimizer fails.
+    pub fn plan_bypass(&self, graph: &ComputeGraph) -> Result<Planned, ServeError> {
+        let started = Instant::now();
+        let plan = self.optimize(graph)?;
+        Ok(Planned {
+            plan,
+            fingerprint: Fingerprint(0),
+            source: PlanSource::Miss,
+            latency: started.elapsed(),
+        })
+    }
+
+    /// Executes a served plan through the fault-tolerant executor,
+    /// borrowing the service's registry, catalog, cluster, and cost
+    /// model for recovery re-planning. Runtime drift feedback is the
+    /// caller's job (the outcome's `total_seconds` plus
+    /// [`PlanService::observe_runtime`]): fault-injected timings would
+    /// poison the drift baseline if fed indiscriminately.
+    ///
+    /// # Errors
+    /// [`ExecError`] when the run fails beyond recovery.
+    pub fn execute_fault_tolerant(
+        &self,
+        graph: &ComputeGraph,
+        planned: &Planned,
+        inputs: &HashMap<NodeId, DistRelation>,
+        injector: matopt_engine::FaultInjector,
+        config: &matopt_engine::FtConfig,
+    ) -> Result<matopt_engine::FtOutcome, ExecError> {
+        let cluster = self.cluster();
+        let model = self.model.read().expect("model lock");
+        let ctx = PlanContext::new(&self.registry, cluster);
+        matopt_engine::execute_fault_tolerant(
+            graph,
+            &planned.plan.annotation,
+            inputs,
+            &ctx,
+            &self.catalog,
+            &**model,
+            injector,
+            config,
+            &self.obs,
+        )
     }
 
     /// Feeds one (predicted, measured) runtime pair into the drift

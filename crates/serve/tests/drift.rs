@@ -93,6 +93,67 @@ fn sustained_drift_bumps_epoch_exactly_once_and_forces_a_replan() {
 }
 
 #[test]
+fn concurrent_observers_bump_the_epoch_exactly_once() {
+    // The front door feeds observe_runtime from every execution worker.
+    // N threads hammering the same fingerprint with drifted timings must
+    // collapse to exactly one epoch bump (one re-plan storm averted) and
+    // leave the monitor's EWMA coherent, not torn across writers.
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 100;
+
+    let service = metered_service();
+    let graph = ffnn_w2_update_graph(FfnnConfig::laptop(8))
+        .expect("ffnn graph")
+        .graph;
+    let planned = service.plan(&graph).expect("plan");
+    let fp = planned.fingerprint;
+    let predicted = planned.plan.cost;
+    let epoch0 = service.cache().epoch();
+
+    // Serial in-band warmup establishes the baseline deterministically.
+    for _ in 0..3 {
+        assert!(!service.observe_runtime(fp, predicted, predicted * 2.0));
+    }
+
+    let bumps = std::sync::atomic::AtomicU32::new(0);
+    let barrier = std::sync::Barrier::new(THREADS);
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let service = &service;
+            let bumps = &bumps;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                barrier.wait();
+                for _ in 0..ROUNDS {
+                    if service.observe_runtime(fp, predicted, predicted * 6.0) {
+                        bumps.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+
+    assert_eq!(
+        bumps.load(std::sync::atomic::Ordering::Relaxed),
+        1,
+        "{THREADS} racing observers must share one drift latch"
+    );
+    assert_eq!(
+        service.cache().epoch(),
+        epoch0 + 1,
+        "exactly one epoch bump"
+    );
+    let snap = service.metrics_snapshot().expect("metrics enabled");
+    assert_eq!(snap.counter(Subsystem::CostModel, "drift_events"), Some(1));
+
+    // Still latched: a later serial observer cannot re-fire.
+    for _ in 0..20 {
+        assert!(!service.observe_runtime(fp, predicted, predicted * 6.0));
+    }
+    assert_eq!(service.cache().epoch(), epoch0 + 1);
+}
+
+#[test]
 fn stable_ratios_never_invalidate_even_far_from_unity() {
     let service = metered_service();
     let graph = ffnn_w2_update_graph(FfnnConfig::laptop(8))

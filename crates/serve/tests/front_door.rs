@@ -1,0 +1,371 @@
+//! Front-door harness: quotas, batching, shedding, and the circuit
+//! breaker, exercised end to end against real executions.
+
+use matopt_core::{Cluster, ComputeGraph, FormatCatalog, ImplRegistry, NodeId, NodeKind};
+use matopt_cost::AnalyticalCostModel;
+use matopt_engine::DistRelation;
+use matopt_kernels::{random_dense_normal, seeded_rng};
+use matopt_serve::{
+    BreakerConfig, BreakerState, ExecRequest, FrontDoor, FrontDoorConfig, PlanService, ServeConfig,
+    ServeError, TenancyConfig, TenantConfig,
+};
+use std::collections::HashMap;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+fn service() -> Arc<PlanService> {
+    Arc::new(PlanService::new(
+        ImplRegistry::paper_default(),
+        FormatCatalog::paper_default().dense_only(),
+        Cluster::simsql_like(4),
+        Box::new(AnalyticalCostModel),
+        ServeConfig::default(),
+    ))
+}
+
+fn workload(spec: &str, seed: u64) -> (ComputeGraph, HashMap<NodeId, DistRelation>) {
+    let graph = matopt_serve::protocol::workload_graph(spec, &Cluster::simsql_like(4))
+        .expect("workload builds");
+    let mut rng = seeded_rng(seed);
+    let mut inputs = HashMap::new();
+    for (id, node) in graph.iter() {
+        if let NodeKind::Source { format } = &node.kind {
+            let d =
+                random_dense_normal(node.mtype.rows as usize, node.mtype.cols as usize, &mut rng);
+            inputs.insert(id, DistRelation::from_dense(&d, *format).unwrap());
+        }
+    }
+    (graph, inputs)
+}
+
+#[test]
+fn batched_executions_share_one_run_and_stay_bit_exact() {
+    const CLIENTS: usize = 8;
+    let svc = service();
+    let front = Arc::new(FrontDoor::new(Arc::clone(&svc), FrontDoorConfig::default()));
+    let (graph, inputs) = workload("ffnn-small:16", 0xBA7C);
+
+    // Unbatched reference: plan + execute directly on the service.
+    let planned = svc.plan(&graph).expect("plan");
+    let reference = svc.execute(&graph, &planned, &inputs).expect("reference");
+
+    let barrier = Barrier::new(CLIENTS);
+    let responses: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let front = Arc::clone(&front);
+                let graph = &graph;
+                let inputs = &inputs;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    front
+                        .execute(&ExecRequest {
+                            tenant: "batch",
+                            graph,
+                            inputs,
+                            input_key: 42,
+                            deadline: None,
+                        })
+                        .expect("execute succeeds")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Every response is bit-identical to the unbatched run.
+    for resp in &responses {
+        for (sink, rel) in &reference.sinks {
+            assert_eq!(&resp.outcome.sinks[sink], rel, "sink {sink} diverged");
+        }
+        assert!(!resp.degraded);
+    }
+    let stats = front.stats();
+    assert_eq!(stats.exec_requests, CLIENTS as u64);
+    assert_eq!(stats.exec_ok, CLIENTS as u64);
+    assert_eq!(
+        stats.batched + stats.flights,
+        CLIENTS as u64,
+        "every request is either a flight leader or batched onto one"
+    );
+    assert!(
+        stats.flights < CLIENTS as u64,
+        "concurrent identical requests must coalesce at least once"
+    );
+    // Distinct input keys must NOT batch.
+    let other = front
+        .execute(&ExecRequest {
+            tenant: "batch",
+            graph: &graph,
+            inputs: &inputs,
+            input_key: 43,
+            deadline: None,
+        })
+        .expect("execute succeeds");
+    assert!(!other.batched, "different input key must run separately");
+}
+
+#[test]
+fn quota_exhaustion_rejects_structurally_and_spares_other_tenants() {
+    const NOISY: usize = 8;
+    let svc = service();
+    let tenancy = TenancyConfig::default().tenant(
+        "noisy",
+        TenantConfig {
+            max_inflight: 1,
+            ..TenantConfig::default()
+        },
+    );
+    let front = Arc::new(FrontDoor::new(
+        Arc::clone(&svc),
+        FrontDoorConfig {
+            tenancy,
+            exec_concurrency: 1,
+            batching: false,
+            ..FrontDoorConfig::default()
+        },
+    ));
+    let (graph, inputs) = workload("ffnn-small:24", 0x900D);
+
+    let barrier = Barrier::new(NOISY);
+    let results: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..NOISY)
+            .map(|i| {
+                let front = Arc::clone(&front);
+                let graph = &graph;
+                let inputs = &inputs;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    front.execute(&ExecRequest {
+                        tenant: "noisy",
+                        graph,
+                        inputs,
+                        input_key: i as u64,
+                        deadline: None,
+                    })
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let ok = results.iter().filter(|r| r.is_ok()).count();
+    let rejected = results
+        .iter()
+        .filter(|r| matches!(r, Err(ServeError::QuotaExceeded { tenant }) if tenant == "noisy"))
+        .count();
+    assert_eq!(ok + rejected, NOISY, "only ok or QuotaExceeded expected");
+    assert!(ok >= 1, "quota of 1 admits at least one");
+    assert!(
+        rejected >= 1,
+        "8 concurrent requests at quota 1 must reject"
+    );
+
+    // A well-behaved tenant is untouched by the noisy tenant's quota.
+    let polite = front
+        .execute(&ExecRequest {
+            tenant: "polite",
+            graph: &graph,
+            inputs: &inputs,
+            input_key: 99,
+            deadline: None,
+        })
+        .expect("other tenant unaffected");
+    assert!(!polite.degraded);
+
+    let tenants = front.tenant_stats();
+    let noisy = tenants.iter().find(|t| t.name == "noisy").expect("noisy");
+    assert_eq!(noisy.quota_rejects, rejected as u64);
+    assert_eq!(noisy.ok, ok as u64);
+    assert_eq!(noisy.inflight, 0, "all in-flight slots returned");
+}
+
+#[test]
+fn queued_work_past_deadline_is_shed() {
+    let svc = service();
+    let front = Arc::new(FrontDoor::new(
+        Arc::clone(&svc),
+        FrontDoorConfig {
+            exec_concurrency: 1,
+            batching: false,
+            ..FrontDoorConfig::default()
+        },
+    ));
+    let (graph, inputs) = workload("ffnn-small:24", 0xDEAD);
+
+    std::thread::scope(|scope| {
+        // Occupy the single slot with a real run.
+        let holder = {
+            let front = Arc::clone(&front);
+            let graph = &graph;
+            let inputs = &inputs;
+            scope.spawn(move || {
+                front.execute(&ExecRequest {
+                    tenant: "busy",
+                    graph,
+                    inputs,
+                    input_key: 1,
+                    deadline: None,
+                })
+            })
+        };
+        // Wait until the slot is actually held.
+        let t0 = Instant::now();
+        while front.stats().flights == 0 && t0.elapsed() < Duration::from_secs(10) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(front.stats().flights > 0, "holder never took the slot");
+
+        // A request whose deadline has already passed must be shed, not
+        // queued behind the holder.
+        let err = front
+            .execute(&ExecRequest {
+                tenant: "late",
+                graph: &graph,
+                inputs: &inputs,
+                input_key: 2,
+                deadline: Some(Instant::now() - Duration::from_millis(1)),
+            })
+            .expect_err("expired work must not run");
+        assert_eq!(err, ServeError::DeadlineExceeded);
+        holder.join().unwrap().expect("holder finishes");
+    });
+    let stats = front.stats();
+    assert!(stats.shed >= 1, "shed counter must move: {stats:?}");
+    let late = front
+        .tenant_stats()
+        .into_iter()
+        .find(|t| t.name == "late")
+        .expect("late tenant tracked");
+    assert_eq!(late.shed, 1);
+}
+
+#[test]
+fn breaker_storm_degrades_then_probes_back_to_closed() {
+    let svc = service();
+    let front = FrontDoor::new(
+        Arc::clone(&svc),
+        FrontDoorConfig {
+            breaker: BreakerConfig {
+                enabled: true,
+                trip_threshold: 3,
+                window: Duration::from_secs(30),
+                cooldown: Duration::from_millis(20),
+                probe_successes: 1,
+            },
+            batching: false,
+            ..FrontDoorConfig::default()
+        },
+    );
+    let (graph, inputs) = workload("ffnn-small:16", 0x5707);
+
+    // Three failing executions (no inputs) are the storm.
+    let empty = HashMap::new();
+    for i in 0..3 {
+        let err = front
+            .execute(&ExecRequest {
+                tenant: "storm",
+                graph: &graph,
+                inputs: &empty,
+                input_key: i,
+                deadline: None,
+            })
+            .expect_err("missing inputs must fail");
+        assert!(matches!(err, ServeError::Exec(_)), "got {err:?}");
+    }
+    assert_eq!(front.breaker().state(), BreakerState::Open);
+    assert_eq!(front.breaker().stats().trips, 1, "exactly one trip");
+
+    // While open: degraded service still answers correctly.
+    let degraded = front
+        .execute(&ExecRequest {
+            tenant: "storm",
+            graph: &graph,
+            inputs: &inputs,
+            input_key: 10,
+            deadline: None,
+        })
+        .expect("degraded path still serves");
+    assert!(degraded.degraded, "breaker open must degrade");
+
+    // After cooldown: one successful probe closes it again.
+    std::thread::sleep(Duration::from_millis(25));
+    let probe = front
+        .execute(&ExecRequest {
+            tenant: "storm",
+            graph: &graph,
+            inputs: &inputs,
+            input_key: 11,
+            deadline: None,
+        })
+        .expect("probe succeeds");
+    assert!(!probe.degraded, "probe runs the normal path");
+    assert_eq!(front.breaker().state(), BreakerState::Closed);
+    let stats = front.breaker().stats();
+    assert_eq!(stats.trips, 1, "recovery is not a second trip");
+    assert!(stats.degraded >= 1);
+    assert!(stats.probes >= 1);
+}
+
+#[test]
+fn drain_refuses_new_work_with_structured_error() {
+    let svc = service();
+    let front = FrontDoor::new(Arc::clone(&svc), FrontDoorConfig::default());
+    let (graph, inputs) = workload("ffnn-small:16", 0xD0A1);
+    front
+        .execute(&ExecRequest {
+            tenant: "t",
+            graph: &graph,
+            inputs: &inputs,
+            input_key: 0,
+            deadline: None,
+        })
+        .expect("pre-drain work runs");
+    assert!(!front.is_draining());
+    front.drain();
+    assert!(front.is_draining());
+    let err = front
+        .execute(&ExecRequest {
+            tenant: "t",
+            graph: &graph,
+            inputs: &inputs,
+            input_key: 1,
+            deadline: None,
+        })
+        .expect_err("post-drain work refused");
+    assert_eq!(err, ServeError::Draining);
+    assert_eq!(
+        front.plan("t", &graph).expect_err("plan refused"),
+        ServeError::Draining
+    );
+}
+
+#[test]
+fn disabled_tenancy_serves_without_bookkeeping() {
+    let svc = service();
+    let front = FrontDoor::new(
+        Arc::clone(&svc),
+        FrontDoorConfig {
+            tenancy: TenancyConfig::disabled(),
+            ..FrontDoorConfig::default()
+        },
+    );
+    let (graph, inputs) = workload("ffnn-small:16", 0x0FF);
+    let resp = front
+        .execute(&ExecRequest {
+            tenant: "anyone",
+            graph: &graph,
+            inputs: &inputs,
+            input_key: 0,
+            deadline: None,
+        })
+        .expect("serves fine");
+    assert!(!resp.degraded);
+    assert!(
+        front.tenant_stats().is_empty(),
+        "disabled tenancy keeps no per-tenant state"
+    );
+    assert_eq!(front.stats().exec_ok, 1);
+}
