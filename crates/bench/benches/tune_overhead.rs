@@ -1,0 +1,113 @@
+//! Overhead of tuned kernel dispatch on the untuned path.
+//!
+//! The acceptance bar is that routing a GEMM through the
+//! catalog-aware dispatch ([`DenseMatrix::matmul_with`] on an *empty*
+//! catalog) costs < 2% versus calling the packed kernel directly with
+//! the fixed default blocking. An untouched catalog must be free: the
+//! dispatch pays one relaxed atomic load for the class count and two
+//! for the thresholds, then lands on exactly the same
+//! `matmul_packed_with(DEFAULT)` call the direct path makes.
+//!
+//! * `gemm/packed_direct` — `matmul_packed_with` with
+//!   [`GemmBlocking::DEFAULT`], no catalog in sight;
+//! * `gemm/dispatch_untuned` — the same product through
+//!   [`DenseMatrix::matmul_with`] with [`KernelConfig::untuned`].
+//!
+//! The final `tune overhead budget` line compares best-of-N run times
+//! directly and reports OK/OVER against the 2% budget.
+
+use criterion::{black_box, criterion_group, Criterion};
+use matopt_kernels::{random_dense_normal, seeded_rng, DenseMatrix, GemmBlocking, KernelConfig};
+use std::time::{Duration, Instant};
+
+/// Big enough that the packed path is taken (past `pack_min_flops`),
+/// small enough that per-call dispatch overhead is not lost in a long
+/// kernel run: dispatch cost is constant, so the smallest packed GEMM
+/// is the worst case for the budget.
+const DIM: usize = 96;
+
+struct Fixture {
+    a: DenseMatrix,
+    b: DenseMatrix,
+    cfg: KernelConfig,
+}
+
+fn fixture() -> Fixture {
+    let mut rng = seeded_rng(42);
+    Fixture {
+        a: random_dense_normal(DIM, DIM, &mut rng),
+        b: random_dense_normal(DIM, DIM, &mut rng),
+        cfg: KernelConfig::untuned(),
+    }
+}
+
+fn run_direct(fx: &Fixture) -> DenseMatrix {
+    fx.a.matmul_packed_with(&fx.b, GemmBlocking::DEFAULT)
+}
+
+fn run_dispatch(fx: &Fixture) -> DenseMatrix {
+    fx.a.matmul_with(&fx.b, &fx.cfg)
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let fx = fixture();
+    let mut g = c.benchmark_group("tune_overhead");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+
+    g.bench_function("gemm/packed_direct", |b| {
+        b.iter(|| black_box(run_direct(&fx)))
+    });
+    g.bench_function("gemm/dispatch_untuned", |b| {
+        b.iter(|| black_box(run_dispatch(&fx)))
+    });
+    g.finish();
+}
+
+/// Direct budget check: best-of-N dispatched run time against the
+/// best-of-N direct run time, interleaved so machine drift hits both
+/// equally. The minimum is the right estimator: scheduler noise only
+/// ever *adds* time, so the floor is the honest cost of each path.
+fn overhead_budget_report() {
+    let fx = fixture();
+    let reps = 80;
+    // A batch of calls per sample so the measured interval is well
+    // above timer resolution (one 96^3 GEMM is ~100 microseconds).
+    let batch = 8;
+    // Warm both paths (first-touch page faults, instruction cache).
+    for _ in 0..4 {
+        black_box(run_direct(&fx));
+        black_box(run_dispatch(&fx));
+    }
+
+    let mut direct = f64::INFINITY;
+    let mut dispatched = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        for _ in 0..batch {
+            black_box(run_direct(&fx));
+        }
+        direct = direct.min(t.elapsed().as_secs_f64());
+
+        let t = Instant::now();
+        for _ in 0..batch {
+            black_box(run_dispatch(&fx));
+        }
+        dispatched = dispatched.min(t.elapsed().as_secs_f64());
+    }
+
+    let overhead = dispatched / direct - 1.0;
+    println!(
+        "tune overhead budget: direct {:.3} ms, dispatch(untuned) {:.3} ms -> {:+.3}% (budget 2%) -> {}",
+        direct * 1e3,
+        dispatched * 1e3,
+        overhead * 100.0,
+        if overhead < 0.02 { "OK" } else { "OVER" }
+    );
+}
+
+criterion_group!(benches, bench_dispatch);
+
+fn main() {
+    benches();
+    overhead_budget_report();
+}

@@ -8,6 +8,10 @@
 //! matopt stats <workload> [options]      run a workload with the metrics
 //!                                        registry enabled and print the
 //!                                        Prometheus exposition (or --json)
+//! matopt tune [options]                  probe every kernel variant on the
+//!                                        standard shape classes, print the
+//!                                        winners, and optionally persist
+//!                                        the catalog as kernels.tune
 //!
 //! workloads:
 //!   ffnn:<hidden>            FFNN fwd + backprop-to-W2 (SimSQL experiments)
@@ -52,6 +56,9 @@
 //!   --cache-dir <path>       reuse plans across invocations: warm the
 //!                            plan cache from <path>/plans.mcache before
 //!                            optimizing and persist it back afterwards
+//!   --tune-dir <path>        load <path>/kernels.tune into the process
+//!                            tuning catalog so --analyze dispatches
+//!                            tuned kernels (write one with matopt tune)
 //!   --metrics-dump <path>    write the metrics-registry snapshot after
 //!                            the run: Prometheus text, or JSON if
 //!                            <path> ends .json
@@ -71,6 +78,19 @@
 //!                            JSON if <path> ends .json
 //!   --serve-threads N        request worker threads (default 1);
 //!                            responses stay in request order
+//!   --tune-dir <path>        apply <path>/kernels.tune on start: swaps
+//!                            in the measured-throughput cost model and
+//!                            tuned kernel dispatch (bumps the plan-cache
+//!                            epoch once)
+//!
+//! tune options:
+//!   --quick                  one rep, small probe shapes (same as
+//!                            MATOPT_BENCH_QUICK=1) — for CI smoke, not
+//!                            for real tuning
+//!   --json                   machine-readable catalog on stdout
+//!   --out <path>             persist the catalog to <path>/kernels.tune,
+//!                            then reload and verify it (the
+//!                            persisted-then-reloaded line goes to stderr)
 //!
 //! `matopt serve` reads one JSON request per line from stdin and writes
 //! one JSON response per line to stdout. A request either names a
@@ -118,9 +138,10 @@ fn main() {
         Some("plan") => cmd_plan(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("tune") => cmd_tune(&args[1..]),
         _ => {
             eprintln!(
-                "usage: matopt <formats|impls|plan|serve|stats> ...  (see --help in the source header)"
+                "usage: matopt <formats|impls|plan|serve|stats|tune> ...  (see --help in the source header)"
             );
             2
         }
@@ -168,6 +189,7 @@ fn cmd_plan(args: &[String]) -> i32 {
     let mut mem_budget: Option<u64> = None;
     let mut hedge: Option<f64> = None;
     let mut cache_dir: Option<String> = None;
+    let mut tune_dir: Option<String> = None;
     let mut metrics_dump: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
@@ -264,6 +286,16 @@ fn cmd_plan(args: &[String]) -> i32 {
                     }
                 }
             }
+            "--tune-dir" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => tune_dir = Some(p.clone()),
+                    None => {
+                        eprintln!("plan: --tune-dir expects a directory path");
+                        return 2;
+                    }
+                }
+            }
             "--metrics-dump" => {
                 i += 1;
                 match args.get(i) {
@@ -307,6 +339,24 @@ fn cmd_plan(args: &[String]) -> i32 {
     // the real executor, so they imply `--analyze`.
     if inject.is_some() || mem_budget.is_some() || hedge.is_some() {
         analyze = true;
+    }
+
+    // `--tune-dir` warms the process tuning catalog so `--analyze`
+    // executions dispatch the tuned kernel per shape class.
+    if let Some(dir) = &tune_dir {
+        match matopt_kernels::tune::load_catalog_into(
+            Path::new(dir),
+            matopt_kernels::tune::global_catalog(),
+        ) {
+            Ok(report) => eprintln!(
+                "kernel tuning: loaded {} classes from {dir} ({} corrupt skipped)",
+                report.loaded, report.corrupt
+            ),
+            Err(e) => {
+                eprintln!("plan: --tune-dir {dir}: {e}");
+                return 1;
+            }
+        }
     }
 
     // One in-memory sink feeds every subsystem; `--analyze` without
@@ -520,6 +570,7 @@ fn cmd_serve(args: &[String]) -> i32 {
     let mut max_queue = 64usize;
     let mut beam = DEFAULT_BEAM;
     let mut cache_dir: Option<String> = None;
+    let mut tune_dir: Option<String> = None;
     let mut cache_enabled = true;
     let mut metrics_dump: Option<String> = None;
     let mut serve_threads = 1usize;
@@ -574,6 +625,16 @@ fn cmd_serve(args: &[String]) -> i32 {
                     Some(p) => cache_dir = Some(p.clone()),
                     None => {
                         eprintln!("serve: --cache-dir expects a directory path");
+                        return 2;
+                    }
+                }
+            }
+            "--tune-dir" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => tune_dir = Some(p.clone()),
+                    None => {
+                        eprintln!("serve: --tune-dir expects a directory path");
                         return 2;
                     }
                 }
@@ -645,6 +706,24 @@ fn cmd_serve(args: &[String]) -> i32 {
             ),
             Err(e) => {
                 eprintln!("serve: --cache-dir {dir}: {e}");
+                return 1;
+            }
+        }
+    }
+    // Apply kernel tuning after the cache warm: applying swaps in the
+    // measured-throughput cost model and bumps the plan-cache epoch, so
+    // plans warmed under the analytical model are re-costed on demand.
+    if let Some(dir) = &tune_dir {
+        match matopt_kernels::tune::load_catalog(Path::new(dir)) {
+            Ok((catalog, report)) => {
+                service.apply_tuning(Arc::new(catalog));
+                eprintln!(
+                    "serve: applied {} tuned kernel classes from {dir} ({} corrupt skipped)",
+                    report.loaded, report.corrupt
+                );
+            }
+            Err(e) => {
+                eprintln!("serve: --tune-dir {dir}: {e}");
                 return 1;
             }
         }
@@ -940,4 +1019,128 @@ fn cmd_stats(args: &[String]) -> i32 {
 /// (and therefore identical cache fingerprints).
 fn build_workload(spec: &str, cluster: &Cluster) -> Result<ComputeGraph, String> {
     matopt_serve::protocol::workload_graph(spec, cluster)
+}
+
+/// `matopt tune`: probe every dense blocking candidate and both CSR
+/// traversals on the standard shape classes, report the winners (and
+/// the full measured curve with `--json`), and optionally persist the
+/// catalog as `kernels.tune` — reloading and verifying it so a smoke
+/// run proves the round trip, not just the write.
+fn cmd_tune(args: &[String]) -> i32 {
+    use matopt_kernels::tune::{load_catalog, save_catalog, tune_standard};
+    use matopt_kernels::{TuneOptions, TuningCatalog};
+
+    let mut json = false;
+    let mut quick = false;
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => json = true,
+            "--quick" => quick = true,
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => out = Some(p.clone()),
+                    None => {
+                        eprintln!("tune: --out expects a directory path");
+                        return 2;
+                    }
+                }
+            }
+            other => {
+                eprintln!("tune: unknown option {other}");
+                return 2;
+            }
+        }
+        i += 1;
+    }
+
+    let opts = if quick {
+        TuneOptions::quick()
+    } else {
+        TuneOptions::from_env()
+    };
+    let catalog = TuningCatalog::new();
+    let started = std::time::Instant::now();
+    let tuned = tune_standard(&catalog, opts);
+    let secs = started.elapsed().as_secs_f64();
+    let th = catalog.thresholds();
+
+    if json {
+        let classes: Vec<String> = tuned
+            .iter()
+            .map(|(class, entry)| {
+                let (m, k, n) = class.representative_dims();
+                let curve: Vec<String> = entry
+                    .curve
+                    .iter()
+                    .map(|(id, g)| format!("[{id},{g:.3}]"))
+                    .collect();
+                format!(
+                    "{{\"class\":\"{}\",\"probe\":[{m},{k},{n}],\"winner\":\"{}\",\
+                     \"gflops\":{:.3},\"probe_flops\":{:.0},\"curve\":[{}]}}",
+                    class.label(),
+                    entry.choice.label(),
+                    entry.gflops,
+                    entry.probe_flops,
+                    curve.join(",")
+                )
+            })
+            .collect();
+        println!(
+            "{{\"classes\":[{}],\"pack_min_flops\":{},\"par_min_flops\":{},\"tune_seconds\":{secs:.3}}}",
+            classes.join(","),
+            th.pack_min_flops,
+            th.par_min_flops
+        );
+    } else {
+        println!("tuned {} shape classes in {secs:.2}s:", tuned.len());
+        for (class, entry) in &tuned {
+            let (m, k, n) = class.representative_dims();
+            println!(
+                "  {:<16} probe {m}x{k}x{n}: {:<14} {:7.2} GFLOP/s  ({} candidates measured)",
+                class.label(),
+                entry.choice.label(),
+                entry.gflops,
+                entry.curve.len()
+            );
+        }
+        println!(
+            "thresholds: pack_min_flops {}, par_min_flops {}",
+            th.pack_min_flops, th.par_min_flops
+        );
+    }
+
+    if let Some(dir) = &out {
+        let dir = Path::new(dir);
+        match save_catalog(dir, &catalog) {
+            Ok(n) => eprintln!("tune: persisted {n} records to {}", dir.display()),
+            Err(e) => {
+                eprintln!("tune: cannot persist to {}: {e}", dir.display());
+                return 1;
+            }
+        }
+        match load_catalog(dir) {
+            Ok((reloaded, report)) => {
+                let verified = reloaded.snapshot() == catalog.snapshot()
+                    && reloaded.thresholds() == catalog.thresholds();
+                eprintln!(
+                    "tune: persisted-then-reloaded {} classes from {} ({} corrupt skipped) -- {}",
+                    report.loaded,
+                    dir.display(),
+                    report.corrupt,
+                    if verified { "verified" } else { "MISMATCH" }
+                );
+                if !verified {
+                    return 1;
+                }
+            }
+            Err(e) => {
+                eprintln!("tune: cannot reload {}: {e}", dir.display());
+                return 1;
+            }
+        }
+    }
+    0
 }

@@ -1,0 +1,303 @@
+//! Measured-throughput cost curves: consuming the kernel tuning
+//! catalog's per-shape-class GFLOP/s measurements instead of the single
+//! scalar `flops_per_sec`.
+//!
+//! The analytical model's CPU term divides flops by one rate, which
+//! pretends a 64³ product and a 1024³ product run at the same
+//! GFLOP/s — they do not (packing overheads dominate small products,
+//! cache effects bend the middle). The autotuner already measures the
+//! true rate per shape class ([`matopt_kernels::tune::TuningEntry`]
+//! records winner *and* GFLOP/s); [`ThroughputCurve`] folds those
+//! measurements into a monotone-interpolated rate-vs-flops curve and
+//! [`TunedCostModel`] scales the cluster's flop rate by the curve's
+//! relative throughput at each operator's flop volume.
+//!
+//! Known coarseness: `OpKind::MatMul` covers both dense and sparse
+//! products, and [`crate::CostFeatures`] carries no shape fields — so
+//! the curve is indexed by flop volume alone and built from the dense
+//! entries only. Sparse CSR curves are still recorded in the catalog
+//! (and benched), ready for a shape-aware feature vector.
+
+use crate::{AnalyticalCostModel, CostModel};
+use matopt_core::{Cluster, CostFeatures, OpKind, TransformKind};
+use matopt_kernels::tune::TuningCatalog;
+
+/// A measured rate-vs-flops curve: `(flop volume, GFLOP/s)` samples
+/// from the tuning catalog, interpolated piecewise-linearly in
+/// log-flops space and clamped at the ends.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ThroughputCurve {
+    /// Sorted by flops ascending; rates are per-sample means when
+    /// several shape classes share a flop volume.
+    points: Vec<(f64, f64)>,
+}
+
+impl ThroughputCurve {
+    /// An empty curve: [`TunedCostModel`] degenerates to the
+    /// analytical model.
+    pub fn empty() -> ThroughputCurve {
+        ThroughputCurve::default()
+    }
+
+    /// Builds the curve from explicit `(flops, gflops)` samples,
+    /// dropping non-finite or non-positive ones and averaging samples
+    /// that share a flop volume.
+    pub fn from_samples(samples: &[(f64, f64)]) -> ThroughputCurve {
+        let mut pts: Vec<(f64, f64)> = samples
+            .iter()
+            .copied()
+            .filter(|(f, g)| f.is_finite() && g.is_finite() && *f > 0.0 && *g > 0.0)
+            .collect();
+        pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut merged: Vec<(f64, f64, usize)> = Vec::new();
+        for (f, g) in pts {
+            match merged.last_mut() {
+                Some((mf, mg, n)) if *mf == f => {
+                    *mg += g;
+                    *n += 1;
+                }
+                _ => merged.push((f, g, 1)),
+            }
+        }
+        ThroughputCurve {
+            points: merged
+                .into_iter()
+                .map(|(f, g, n)| (f, g / n as f64))
+                .collect(),
+        }
+    }
+
+    /// Builds the curve from a tuning catalog's dense entries: one
+    /// sample per tuned dense shape class, at the class's probe flop
+    /// volume and the winning variant's measured GFLOP/s.
+    pub fn from_catalog(catalog: &TuningCatalog) -> ThroughputCurve {
+        let samples: Vec<(f64, f64)> = catalog
+            .snapshot()
+            .into_iter()
+            .filter(|(class, _)| class.is_dense())
+            .map(|(_, entry)| (entry.probe_flops, entry.gflops))
+            .collect();
+        ThroughputCurve::from_samples(&samples)
+    }
+
+    /// `true` when no measurements back the curve.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The measured samples, flops-ascending.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// The best measured rate on the curve (GFLOP/s).
+    pub fn peak_gflops(&self) -> f64 {
+        self.points.iter().map(|(_, g)| *g).fold(0.0, f64::max)
+    }
+
+    /// The interpolated rate (GFLOP/s) at a flop volume: clamped to the
+    /// end samples outside the measured range, piecewise-linear in
+    /// `ln(flops)` inside it. Zero on an empty curve.
+    pub fn rate_gflops(&self, flops: f64) -> f64 {
+        let pts = self.points.as_slice();
+        match pts {
+            [] => 0.0,
+            [(_, g)] => *g,
+            _ => {
+                if flops <= pts[0].0 {
+                    return pts[0].1;
+                }
+                if flops >= pts[pts.len() - 1].0 {
+                    return pts[pts.len() - 1].1;
+                }
+                let i = pts.partition_point(|(f, _)| *f <= flops);
+                let (f0, g0) = pts[i - 1];
+                let (f1, g1) = pts[i];
+                let t = (flops.ln() - f0.ln()) / (f1.ln() - f0.ln());
+                g0 + t * (g1 - g0)
+            }
+        }
+    }
+
+    /// The curve's throughput at `flops` relative to its peak, in
+    /// `(0, 1]`. One on an empty curve (no penalty known).
+    pub fn relative(&self, flops: f64) -> f64 {
+        let peak = self.peak_gflops();
+        if peak <= 0.0 {
+            return 1.0;
+        }
+        (self.rate_gflops(flops) / peak).clamp(f64::MIN_POSITIVE, 1.0)
+    }
+}
+
+/// The measured-throughput cost model: the analytical model with its
+/// CPU term's flop rate scaled by the tuning curve's relative
+/// throughput at the operator's flop volume.
+///
+/// `cpu_flops` is the per-worker critical-path flop count — the same
+/// granularity the tuner probes — so `relative(cpu_flops)` looks up
+/// where on the throughput cliff this operator's chunks actually sit.
+/// Only `OpKind::MatMul` is scaled (the only operator the tuner
+/// measures); every other operator and all transforms fall through to
+/// [`AnalyticalCostModel`] unchanged, and so does everything when the
+/// curve is empty.
+#[derive(Debug, Clone, Default)]
+pub struct TunedCostModel {
+    curve: ThroughputCurve,
+    inner: AnalyticalCostModel,
+}
+
+impl TunedCostModel {
+    /// Wraps an explicit curve.
+    pub fn new(curve: ThroughputCurve) -> TunedCostModel {
+        TunedCostModel {
+            curve,
+            inner: AnalyticalCostModel,
+        }
+    }
+
+    /// Builds the model straight from a tuning catalog.
+    pub fn from_catalog(catalog: &TuningCatalog) -> TunedCostModel {
+        TunedCostModel::new(ThroughputCurve::from_catalog(catalog))
+    }
+
+    /// The curve this model consults.
+    pub fn curve(&self) -> &ThroughputCurve {
+        &self.curve
+    }
+}
+
+impl CostModel for TunedCostModel {
+    fn impl_time(&self, op: OpKind, features: &CostFeatures, cluster: &Cluster) -> f64 {
+        if op != OpKind::MatMul || self.curve.is_empty() || features.cpu_flops <= 0.0 {
+            return self.inner.impl_time(op, features, cluster);
+        }
+        let rel = self.curve.relative(features.cpu_flops);
+        let mut scaled = *cluster;
+        scaled.flops_per_sec = cluster.flops_per_sec * rel;
+        self.inner.impl_time(op, features, &scaled)
+    }
+
+    fn transform_time(
+        &self,
+        kind: TransformKind,
+        features: &CostFeatures,
+        cluster: &Cluster,
+    ) -> f64 {
+        self.inner.transform_time(kind, features, cluster)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matopt_kernels::tune::{KernelChoice, ShapeClass, TuningEntry};
+
+    fn feat(flops: f64) -> CostFeatures {
+        CostFeatures {
+            cpu_flops: flops,
+            local_flops: 0.0,
+            net_bytes: 0.0,
+            inter_bytes: 0.0,
+            tuples: 0.0,
+            ops: 0.0,
+        }
+    }
+
+    #[test]
+    fn curve_interpolates_and_clamps() {
+        let c = ThroughputCurve::from_samples(&[(1e6, 4.0), (1e9, 8.0)]);
+        assert_eq!(c.rate_gflops(1e3), 4.0); // below range: clamp
+        assert_eq!(c.rate_gflops(1e12), 8.0); // above range: clamp
+        let mid = c.rate_gflops(10f64.powf(7.5)); // log-midpoint
+        assert!((mid - 6.0).abs() < 1e-9, "log-linear midpoint, got {mid}");
+        assert_eq!(c.peak_gflops(), 8.0);
+        assert!((c.relative(1e3) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_flop_volumes_average() {
+        let c = ThroughputCurve::from_samples(&[(1e6, 2.0), (1e6, 4.0)]);
+        assert_eq!(c.points(), &[(1e6, 3.0)]);
+    }
+
+    #[test]
+    fn garbage_samples_are_dropped() {
+        let c = ThroughputCurve::from_samples(&[
+            (0.0, 5.0),
+            (-1.0, 5.0),
+            (f64::NAN, 5.0),
+            (1e6, f64::INFINITY),
+            (1e6, 0.0),
+        ]);
+        assert!(c.is_empty());
+        assert_eq!(c.relative(1e6), 1.0);
+    }
+
+    #[test]
+    fn empty_curve_model_matches_analytical() {
+        let tuned = TunedCostModel::default();
+        let plain = AnalyticalCostModel;
+        let cl = Cluster::unit_test(4);
+        let f = feat(1e9);
+        assert_eq!(
+            tuned.impl_time(OpKind::MatMul, &f, &cl),
+            plain.impl_time(OpKind::MatMul, &f, &cl)
+        );
+    }
+
+    #[test]
+    fn low_throughput_region_costs_more() {
+        // Small products run at half the peak rate → twice the time.
+        let tuned = TunedCostModel::new(ThroughputCurve::from_samples(&[(1e6, 5.0), (1e9, 10.0)]));
+        let cl = Cluster::unit_test(1);
+        let small = tuned.impl_time(OpKind::MatMul, &feat(1e5), &cl);
+        let plain = AnalyticalCostModel.impl_time(OpKind::MatMul, &feat(1e5), &cl);
+        assert!((small / plain - 2.0).abs() < 1e-9, "{small} vs {plain}");
+        // At the peak there is no penalty.
+        let big = tuned.impl_time(OpKind::MatMul, &feat(1e12), &cl);
+        let plain_big = AnalyticalCostModel.impl_time(OpKind::MatMul, &feat(1e12), &cl);
+        assert_eq!(big, plain_big);
+    }
+
+    #[test]
+    fn non_matmul_ops_and_transforms_are_untouched() {
+        let tuned = TunedCostModel::new(ThroughputCurve::from_samples(&[(1e6, 1.0), (1e9, 9.0)]));
+        let cl = Cluster::unit_test(2);
+        let f = feat(1e5);
+        assert_eq!(
+            tuned.impl_time(OpKind::Add, &f, &cl),
+            AnalyticalCostModel.impl_time(OpKind::Add, &f, &cl)
+        );
+        assert_eq!(
+            tuned.transform_time(TransformKind::Identity, &f, &cl),
+            AnalyticalCostModel.transform_time(TransformKind::Identity, &f, &cl)
+        );
+    }
+
+    #[test]
+    fn curve_from_catalog_uses_dense_entries_only() {
+        let catalog = TuningCatalog::new();
+        catalog.insert(
+            ShapeClass::dense(384, 384, 384),
+            TuningEntry {
+                choice: KernelChoice::Dense(0),
+                gflops: 9.0,
+                probe_flops: 2.0 * 384f64.powi(3),
+                curve: vec![(0, 9.0)],
+            },
+        );
+        catalog.insert(
+            ShapeClass::sparse(4096, 4096, 256, 0.01),
+            TuningEntry {
+                choice: KernelChoice::Csr(matopt_kernels::CsrVariant::ColBlocked),
+                gflops: 2.0,
+                probe_flops: 1e7,
+                curve: vec![(1, 2.0)],
+            },
+        );
+        let c = ThroughputCurve::from_catalog(&catalog);
+        assert_eq!(c.points().len(), 1);
+        assert_eq!(c.peak_gflops(), 9.0);
+    }
+}

@@ -8,7 +8,7 @@
 use crate::parallel::try_par_map;
 use crate::value::{Block, Chunk, DistRelation};
 use matopt_core::{MatrixType, NodeId, Op, OpKind, PhysFormat, Strategy};
-use matopt_kernels::{CooMatrix, DenseMatrix};
+use matopt_kernels::{CooMatrix, DenseMatrix, KernelConfig};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -202,7 +202,14 @@ pub fn execute_impl(
     out_format: PhysFormat,
 ) -> Result<DistRelation, ExecError> {
     let shared: Vec<Arc<DistRelation>> = inputs.iter().map(|r| Arc::new((*r).clone())).collect();
-    execute_impl_shared(strategy, op, &shared, out_type, out_format)
+    execute_impl_shared(
+        strategy,
+        op,
+        &shared,
+        out_type,
+        out_format,
+        &KernelConfig::global(),
+    )
 }
 
 /// [`execute_impl`] over `Arc`-shared inputs — the hot path used by the
@@ -217,8 +224,9 @@ pub(crate) fn execute_impl_shared(
     inputs: &[Arc<DistRelation>],
     out_type: MatrixType,
     out_format: PhysFormat,
+    kcfg: &KernelConfig,
 ) -> Result<DistRelation, ExecError> {
-    let natural = run_strategy(strategy, op, inputs, out_type)?;
+    let natural = run_strategy(strategy, op, inputs, out_type, kcfg)?;
     let mut out = if natural.format == out_format {
         natural
     } else {
@@ -235,13 +243,14 @@ fn run_strategy(
     op: &Op,
     inputs: &[Arc<DistRelation>],
     out_type: MatrixType,
+    kcfg: &KernelConfig,
 ) -> Result<DistRelation, ExecError> {
     use Strategy as S;
     match strategy {
         S::MmSingleLocal => {
             let a = single_dense(&inputs[0])?;
             let b = single_dense(&inputs[1])?;
-            single_result(out_type, a.matmul(&b))
+            single_result(out_type, a.matmul_with(&b, kcfg))
         }
         S::MmCsrSingleSingle => {
             let a = inputs[0]
@@ -252,17 +261,18 @@ fn run_strategy(
                 .as_csr()
                 .clone();
             let b = single_dense(&inputs[1])?;
-            single_result(out_type, a.matmul_dense(&b))
+            single_result(out_type, a.matmul_dense_with(&b, kcfg))
         }
         S::MmBcastSingleColstrip => {
             let a = single_dense(&inputs[0])?;
             let b = Arc::clone(&inputs[1]);
+            let kcfg = kcfg.clone();
             let chunks = par_map(b.chunks.len(), move |i| {
                 let c = &b.chunks[i];
                 Chunk {
                     row: 0,
                     col: c.col,
-                    block: Block::Dense(a.matmul(c.block.as_dense())),
+                    block: Block::Dense(a.matmul_with(c.block.as_dense(), &kcfg)),
                 }
             })?;
             Ok(DistRelation {
@@ -274,12 +284,13 @@ fn run_strategy(
         S::MmRowstripBcastSingle => {
             let b = single_dense(&inputs[1])?;
             let a = Arc::clone(&inputs[0]);
+            let kcfg = kcfg.clone();
             let chunks = par_map(a.chunks.len(), move |i| {
                 let c = &a.chunks[i];
                 Chunk {
                     row: c.row,
                     col: 0,
-                    block: Block::Dense(c.block.as_dense().matmul(&b)),
+                    block: Block::Dense(c.block.as_dense().matmul_with(&b, &kcfg)),
                 }
             })?;
             Ok(DistRelation {
@@ -312,6 +323,7 @@ fn run_strategy(
                 .iter()
                 .flat_map(|ac| b.chunks.iter().map(move |bc| (ac.row, bc.col)))
                 .collect();
+            let kcfg = kcfg.clone();
             let chunks = par_map(pairs.len(), move |p| {
                 let (i, j) = pairs[p];
                 let ac = &a.chunks[a_at[&i]];
@@ -319,7 +331,9 @@ fn run_strategy(
                 Chunk {
                     row: i,
                     col: j,
-                    block: Block::Dense(ac.block.as_dense().matmul(bc.block.as_dense())),
+                    block: Block::Dense(
+                        ac.block.as_dense().matmul_with(bc.block.as_dense(), &kcfg),
+                    ),
                 }
             })?;
             Ok(DistRelation {
@@ -329,7 +343,7 @@ fn run_strategy(
             })
         }
         S::MmTileShuffle | S::MmTileBcast | S::MmCsrTileTile => {
-            tile_matmul(&inputs[0], &inputs[1], out_type)
+            tile_matmul(&inputs[0], &inputs[1], out_type, kcfg)
         }
         S::MmColstripRowstripOuter => {
             // Co-partitioned join on the strip index; every pair is a
@@ -339,7 +353,7 @@ fn run_strategy(
                 let b = inputs[1]
                     .chunk_at(a.col, 0)
                     .ok_or_else(|| internal("strip pair missing"))?;
-                acc = acc.add(&a.block.as_dense().matmul(b.block.as_dense()));
+                acc = acc.add(&a.block.as_dense().matmul_with(b.block.as_dense(), kcfg));
             }
             single_result(out_type, acc)
         }
@@ -831,6 +845,7 @@ fn tile_matmul(
     a: &Arc<DistRelation>,
     b: &Arc<DistRelation>,
     out_type: MatrixType,
+    kcfg: &KernelConfig,
 ) -> Result<DistRelation, ExecError> {
     let side = match (a.format, b.format) {
         (PhysFormat::Tile { side }, PhysFormat::Tile { side: s2 })
@@ -862,6 +877,7 @@ fn tile_matmul(
     let cells: Vec<(u64, u64)> = (0..rows_b)
         .flat_map(|i| (0..cols_b).map(move |j| (i, j)))
         .collect();
+    let kcfg = kcfg.clone();
     let chunks: Vec<Chunk> = par_map(cells.len(), move |cell| {
         let (i, j) = cells[cell];
         let mut acc: Option<DenseMatrix> = None;
@@ -872,9 +888,9 @@ fn tile_matmul(
             let ac = &a.chunks[ax];
             let bc = &b.chunks[bx];
             let partial = match &ac.block {
-                Block::Dense(d) => d.matmul(bc.block.as_dense()),
-                Block::Csr(s) => s.matmul_dense(bc.block.as_dense()),
-                Block::Coo(c) => c.to_dense().matmul(bc.block.as_dense()),
+                Block::Dense(d) => d.matmul_with(bc.block.as_dense(), &kcfg),
+                Block::Csr(s) => s.matmul_dense_with(bc.block.as_dense(), &kcfg),
+                Block::Coo(c) => c.to_dense().matmul_with(bc.block.as_dense(), &kcfg),
             };
             match &mut acc {
                 None => acc = Some(partial),

@@ -417,6 +417,10 @@ struct RunState {
     gov: Option<Governor>,
     hedge: Option<HedgeState>,
     delays_ms: Option<Arc<Vec<u64>>>,
+    /// Kernel dispatch for every matmul of the run: the caller's
+    /// explicit config, or a one-shot snapshot of the legacy global —
+    /// resolved once at run start so concurrent runs can't race.
+    kcfg: Arc<matopt_kernels::KernelConfig>,
 }
 
 /// Runs the annotated graph through the pipelined scheduler.
@@ -546,6 +550,10 @@ pub(crate) fn run_pipelined(
         gov,
         hedge,
         delays_ms: options.straggler_delays_ms.clone(),
+        kcfg: options
+            .kernel_config
+            .clone()
+            .unwrap_or_else(|| Arc::new(matopt_kernels::KernelConfig::global())),
     });
 
     // Seed the sources inline (they are the caller's inputs, possibly
@@ -1299,6 +1307,7 @@ fn compute_vertex(
         &transformed,
         node.mtype,
         choice.output_format,
+        &state.kcfg,
     )
     .map_err(|e| e.at_vertex(v, &vertex_label(&state.graph, v)))?;
     let isecs = t0.elapsed().as_secs_f64();

@@ -1,0 +1,1414 @@
+//! Adaptive kernel autotuning: per shape-class microkernel search, a
+//! persisted [`TuningCatalog`], and the explicit [`KernelConfig`]
+//! handle the execution engine threads through its options.
+//!
+//! The optimizer's premise (the paper, §5) is that implementation
+//! choice should follow measured cost — but a fixed GEMM blocking hands
+//! every shape the same kernel, and real throughput has shape-dependent
+//! cliffs (AMULET makes the same observation for query-embedded linear
+//! algebra). This module closes the loop locally:
+//!
+//! 1. Shapes are bucketed into [`ShapeClass`]es (log₂ buckets of
+//!    `m/k/n`, plus a log₁₀ density bucket for sparse operands).
+//! 2. Per class, [`tune_dense_class`] / [`tune_csr_class`] benchmark a
+//!    small variant grid — [`GemmBlocking::CANDIDATES`] for dense GEMM,
+//!    both [`CsrVariant`]s for CSR×dense — and record the winner *and*
+//!    its measured GFLOP/s in the catalog.
+//! 3. Dispatch ([`DenseMatrix::matmul_with`],
+//!    [`CsrMatrix::matmul_dense_with`]) consults the catalog; an empty
+//!    catalog costs one atomic load and keeps the shipped fixed-blocking
+//!    behaviour bit-for-bit.
+//! 4. The catalog persists to `kernels.tune` (next to `plans.mcache`)
+//!    in the workspace's checksummed all-`u64`-LE format: dual FNV-1a
+//!    checksums per entry, bounds-checked decode, corrupt entries
+//!    skipped and counted — never misdecoded — and atomic
+//!    temp-file + rename writes.
+//!
+//! Every variant is **bit-identical** to the reference kernels: each
+//! output element accumulates its `k` terms in plain ascending order
+//! with the same multiply-add whatever the blocking, so tuning can
+//! never change a result, only its latency. The measured GFLOP/s
+//! curves additionally feed the serving layer's cost model (see
+//! `matopt-cost`), which bumps the plan-cache epoch when a catalog is
+//! applied.
+
+use crate::dense::{DEFAULT_PACK_MIN_FLOPS, DEFAULT_PAR_MIN_FLOPS};
+use crate::{gemm_mode, CsrMatrix, CsrVariant, DenseMatrix, GemmBlocking, GemmMode};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
+
+/// `b"MTUN0001"` as a little-endian word: magic header of
+/// `kernels.tune`.
+const MAGIC: u64 = u64::from_le_bytes(*b"MTUN0001");
+
+/// File name of the persisted catalog (lives next to `plans.mcache`).
+pub const TUNE_FILE: &str = "kernels.tune";
+
+/// Hard ceiling on entries/curve points a decoder will believe; a
+/// length field past these is corruption, not a big catalog.
+const MAX_ENTRIES: usize = 1 << 16;
+const MAX_CURVE: usize = 64;
+
+// ---------------------------------------------------------------------
+// Shape classes
+// ---------------------------------------------------------------------
+
+/// Marker density bucket for dense-GEMM classes.
+const DENSE_BUCKET: u8 = u8::MAX;
+
+/// `floor(log2(x))` (0 for `x <= 1`): the bucket edge of one dimension.
+fn log2_bucket(x: usize) -> u8 {
+    if x <= 1 {
+        0
+    } else {
+        (usize::BITS - 1 - x.leading_zeros()) as u8
+    }
+}
+
+/// Eighth-decade log₁₀ bucket of a sparse density: 1.0 → 0,
+/// 0.1 → 8, 0.01 → 16, …, clamped so `u8::MAX` stays free as the
+/// dense marker. Non-positive densities land in the sparsest bucket.
+fn density_bucket(density: f64) -> u8 {
+    if density.is_nan() || density <= 0.0 {
+        return DENSE_BUCKET - 1;
+    }
+    let b = (-(density.min(1.0).log10()) * 8.0).floor();
+    b.clamp(0.0, f64::from(DENSE_BUCKET - 1)) as u8
+}
+
+/// A log-bucketed product shape: the granularity at which tuning
+/// results are recorded and looked up.
+///
+/// Two products land in the same class when each of `m`, `k`, `n`
+/// shares a power-of-two bucket (and, for CSR×dense, the lhs density
+/// shares an eighth-decade bucket). Classes are coarse on purpose: the
+/// winner of a 384³ probe is a good proxy for every product in
+/// `[256,512)³`, and the catalog stays small enough to persist and
+/// scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ShapeClass {
+    /// `floor(log2(m))` of the output row count.
+    pub m_bucket: u8,
+    /// `floor(log2(k))` of the inner dimension.
+    pub k_bucket: u8,
+    /// `floor(log2(n))` of the output column count.
+    pub n_bucket: u8,
+    /// Eighth-decade log₁₀ bucket of the sparse lhs density, or
+    /// `u8::MAX` for dense GEMM.
+    pub density_bucket: u8,
+}
+
+impl ShapeClass {
+    /// The class of a dense `m×k · k×n` product.
+    pub fn dense(m: usize, k: usize, n: usize) -> ShapeClass {
+        ShapeClass {
+            m_bucket: log2_bucket(m),
+            k_bucket: log2_bucket(k),
+            n_bucket: log2_bucket(n),
+            density_bucket: DENSE_BUCKET,
+        }
+    }
+
+    /// The class of a CSR(`m×k`, `density`) × dense(`k×n`) product.
+    pub fn sparse(m: usize, k: usize, n: usize, density: f64) -> ShapeClass {
+        ShapeClass {
+            density_bucket: density_bucket(density),
+            ..ShapeClass::dense(m, k, n)
+        }
+    }
+
+    /// `true` for dense-GEMM classes.
+    pub fn is_dense(&self) -> bool {
+        self.density_bucket == DENSE_BUCKET
+    }
+
+    /// Geometric-midpoint dimensions of the class (`3·2^(b-1)`, the
+    /// centre of bucket `[2^b, 2^(b+1))`), used as the probe shape.
+    pub fn representative_dims(&self) -> (usize, usize, usize) {
+        fn mid(b: u8) -> usize {
+            if b == 0 {
+                1
+            } else {
+                3usize << (usize::from(b) - 1).min(60)
+            }
+        }
+        (mid(self.m_bucket), mid(self.k_bucket), mid(self.n_bucket))
+    }
+
+    /// Midpoint density of a sparse class (1.0 for dense classes).
+    pub fn representative_density(&self) -> f64 {
+        if self.is_dense() {
+            1.0
+        } else {
+            10f64.powf(-(f64::from(self.density_bucket) + 0.5) / 8.0)
+        }
+    }
+
+    /// Human-readable form, e.g. `d[8,8,8]` or `s[12,12,5]@d16`.
+    pub fn label(&self) -> String {
+        if self.is_dense() {
+            format!("d[{},{},{}]", self.m_bucket, self.k_bucket, self.n_bucket)
+        } else {
+            format!(
+                "s[{},{},{}]@d{}",
+                self.m_bucket, self.k_bucket, self.n_bucket, self.density_bucket
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Catalog
+// ---------------------------------------------------------------------
+
+/// Dispatch thresholds that used to be hard-coded constants in the
+/// dense kernel; now part of the tuning catalog with the shipped
+/// values as untuned defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Thresholds {
+    /// Minimum `m·k·n` multiply-adds for the packed kernel to beat the
+    /// packing overhead (below it the reference kernel runs).
+    pub pack_min_flops: u64,
+    /// Minimum `2·m·k·n` flops before a packed product fans out over
+    /// the shared pool (with the `parallel` feature).
+    pub par_min_flops: u64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds {
+            pack_min_flops: DEFAULT_PACK_MIN_FLOPS,
+            par_min_flops: DEFAULT_PAR_MIN_FLOPS,
+        }
+    }
+}
+
+/// The winning kernel of one shape class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelChoice {
+    /// Index into [`GemmBlocking::CANDIDATES`].
+    Dense(u16),
+    /// A CSR×dense traversal.
+    Csr(CsrVariant),
+}
+
+impl KernelChoice {
+    /// Human-readable form, e.g. `8x6/kc256/mc96` or `csr-col`.
+    pub fn label(&self) -> String {
+        match self {
+            KernelChoice::Dense(id) => GemmBlocking::CANDIDATES
+                .get(usize::from(*id))
+                .map(|b| b.label())
+                .unwrap_or_else(|| format!("dense#{id}")),
+            KernelChoice::Csr(CsrVariant::RowBlocked) => "csr-row".to_string(),
+            KernelChoice::Csr(CsrVariant::ColBlocked) => "csr-col".to_string(),
+        }
+    }
+}
+
+/// One tuned shape class: the winner, its measured throughput, and the
+/// full measured curve across every candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuningEntry {
+    /// The variant that won the probe.
+    pub choice: KernelChoice,
+    /// The winner's measured GFLOP/s at the probe shape.
+    pub gflops: f64,
+    /// Effective flops of one probe multiply (`2·m·k·n` dense,
+    /// `2·nnz·n` sparse) — the x-coordinate of this entry on the
+    /// cost model's throughput curve.
+    pub probe_flops: f64,
+    /// Measured GFLOP/s per candidate (`(candidate id, gflops)`), in
+    /// candidate order — kept so the cost model and benches can see the
+    /// whole landscape, not just the winner.
+    pub curve: Vec<(u16, f64)>,
+}
+
+impl TuningEntry {
+    /// The dense blocking this entry picked, when it is a dense entry
+    /// with a valid candidate index.
+    pub fn dense_blocking(&self) -> Option<GemmBlocking> {
+        match self.choice {
+            KernelChoice::Dense(id) => GemmBlocking::CANDIDATES.get(usize::from(id)).copied(),
+            KernelChoice::Csr(_) => None,
+        }
+    }
+}
+
+/// The per-process (or per-service) store of tuning results.
+///
+/// Reads on the dispatch hot path are cheap: an untouched catalog is
+/// one relaxed atomic load ([`TuningCatalog::is_empty`]) plus two
+/// relaxed loads for the thresholds, which is what keeps the
+/// untuned/disabled path inside the 2% `tune_overhead` budget. Every
+/// mutation bumps [`TuningCatalog::version`], which is how the serving
+/// layer knows to invalidate cached plans (exactly once per applied
+/// catalog — see `PlanService::apply_tuning`).
+#[derive(Debug)]
+pub struct TuningCatalog {
+    entries: RwLock<BTreeMap<ShapeClass, TuningEntry>>,
+    count: AtomicUsize,
+    pack_min_flops: AtomicU64,
+    par_min_flops: AtomicU64,
+    version: AtomicU64,
+}
+
+impl Default for TuningCatalog {
+    fn default() -> Self {
+        TuningCatalog::new()
+    }
+}
+
+impl TuningCatalog {
+    /// An empty catalog with the shipped default thresholds.
+    pub fn new() -> TuningCatalog {
+        TuningCatalog {
+            entries: RwLock::new(BTreeMap::new()),
+            count: AtomicUsize::new(0),
+            pack_min_flops: AtomicU64::new(DEFAULT_PACK_MIN_FLOPS),
+            par_min_flops: AtomicU64::new(DEFAULT_PAR_MIN_FLOPS),
+            version: AtomicU64::new(0),
+        }
+    }
+
+    /// Monotone mutation counter: any insert, threshold change, or
+    /// clear bumps it.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Number of tuned shape classes.
+    pub fn len(&self) -> usize {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// `true` when no class has been tuned (thresholds may still be
+    /// non-default).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The live dispatch thresholds.
+    pub fn thresholds(&self) -> Thresholds {
+        Thresholds {
+            pack_min_flops: self.pack_min_flops.load(Ordering::Relaxed),
+            par_min_flops: self.par_min_flops.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Replaces the dispatch thresholds (bumps the version).
+    pub fn set_thresholds(&self, t: Thresholds) {
+        self.pack_min_flops
+            .store(t.pack_min_flops, Ordering::Relaxed);
+        self.par_min_flops.store(t.par_min_flops, Ordering::Relaxed);
+        self.version.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Records (or replaces) one class's tuning result.
+    pub fn insert(&self, class: ShapeClass, entry: TuningEntry) {
+        let mut map = self.entries.write().expect("tuning catalog lock");
+        map.insert(class, entry);
+        self.count.store(map.len(), Ordering::Relaxed);
+        drop(map);
+        self.version.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// The recorded entry for a class, if any.
+    pub fn lookup(&self, class: ShapeClass) -> Option<TuningEntry> {
+        if self.is_empty() {
+            return None;
+        }
+        self.entries
+            .read()
+            .expect("tuning catalog lock")
+            .get(&class)
+            .cloned()
+    }
+
+    /// The tuned dense blocking for an `m×k·k×n` product, if its class
+    /// was tuned.
+    pub fn dense_blocking(&self, m: usize, k: usize, n: usize) -> Option<GemmBlocking> {
+        if self.is_empty() {
+            return None;
+        }
+        self.lookup(ShapeClass::dense(m, k, n))
+            .and_then(|e| e.dense_blocking())
+    }
+
+    /// The tuned CSR traversal for a CSR(`m×k`, `density`)×dense(`k×n`)
+    /// product, if its class was tuned.
+    pub fn csr_variant(&self, m: usize, k: usize, n: usize, density: f64) -> Option<CsrVariant> {
+        if self.is_empty() {
+            return None;
+        }
+        match self.lookup(ShapeClass::sparse(m, k, n, density))?.choice {
+            KernelChoice::Csr(v) => Some(v),
+            KernelChoice::Dense(_) => None,
+        }
+    }
+
+    /// Every tuned class, in deterministic (ordered) form.
+    pub fn snapshot(&self) -> Vec<(ShapeClass, TuningEntry)> {
+        self.entries
+            .read()
+            .expect("tuning catalog lock")
+            .iter()
+            .map(|(c, e)| (*c, e.clone()))
+            .collect()
+    }
+
+    /// Drops every entry and resets thresholds to defaults (bumps the
+    /// version once).
+    pub fn clear(&self) {
+        let mut map = self.entries.write().expect("tuning catalog lock");
+        map.clear();
+        self.count.store(0, Ordering::Relaxed);
+        drop(map);
+        let d = Thresholds::default();
+        self.pack_min_flops
+            .store(d.pack_min_flops, Ordering::Relaxed);
+        self.par_min_flops.store(d.par_min_flops, Ordering::Relaxed);
+        self.version.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+/// The process-wide catalog [`KernelConfig::global`] hands to code
+/// that has no explicit handle (the legacy `matmul` path).
+pub fn global_catalog() -> &'static Arc<TuningCatalog> {
+    static CATALOG: OnceLock<Arc<TuningCatalog>> = OnceLock::new();
+    CATALOG.get_or_init(|| Arc::new(TuningCatalog::new()))
+}
+
+// ---------------------------------------------------------------------
+// Kernel configuration handle
+// ---------------------------------------------------------------------
+
+/// An explicit, immutable kernel-dispatch configuration: which GEMM
+/// family runs ([`GemmMode`]), which [`TuningCatalog`] supplies
+/// blockings and thresholds, and whether untuned shape classes are
+/// tuned on first use.
+///
+/// This is the replacement for the process-global [`crate::set_gemm_mode`]
+/// atomic: the engine threads a `KernelConfig` through its
+/// `ExecOptions`, so concurrent executions with different settings
+/// cannot race each other. [`KernelConfig::global`] snapshots the
+/// legacy global (mode atomic + process catalog) and remains the
+/// default for the CLI path.
+#[derive(Debug, Clone)]
+pub struct KernelConfig {
+    mode: GemmMode,
+    catalog: Arc<TuningCatalog>,
+    first_use: Option<TuneOptions>,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig::untuned()
+    }
+}
+
+impl KernelConfig {
+    /// Packed dispatch with an explicit catalog.
+    pub fn with_catalog(catalog: Arc<TuningCatalog>) -> KernelConfig {
+        KernelConfig {
+            mode: GemmMode::Packed,
+            catalog,
+            first_use: None,
+        }
+    }
+
+    /// Packed dispatch with a fresh, empty catalog: exactly the shipped
+    /// fixed-blocking behaviour.
+    pub fn untuned() -> KernelConfig {
+        KernelConfig::with_catalog(Arc::new(TuningCatalog::new()))
+    }
+
+    /// A snapshot of the legacy process-wide state: the
+    /// [`crate::gemm_mode`] atomic plus the shared [`global_catalog`].
+    /// Mode flips after this call do not affect the snapshot — that
+    /// isolation is the point of the handle.
+    pub fn global() -> KernelConfig {
+        KernelConfig {
+            mode: gemm_mode(),
+            catalog: Arc::clone(global_catalog()),
+            first_use: None,
+        }
+    }
+
+    /// Overrides the GEMM family.
+    pub fn with_mode(mut self, mode: GemmMode) -> KernelConfig {
+        self.mode = mode;
+        self
+    }
+
+    /// Enables first-use tuning: a packed-worthy product whose class
+    /// has no catalog entry is tuned (with `opts`) before it runs, and
+    /// the result is recorded. Concurrent first uses of one class may
+    /// tune it twice; the probes are deterministic, so both record the
+    /// same entry.
+    pub fn with_first_use_tuning(mut self, opts: TuneOptions) -> KernelConfig {
+        self.first_use = Some(opts);
+        self
+    }
+
+    /// The configured GEMM family.
+    pub fn mode(&self) -> GemmMode {
+        self.mode
+    }
+
+    /// The catalog this configuration dispatches against.
+    pub fn catalog(&self) -> &Arc<TuningCatalog> {
+        &self.catalog
+    }
+}
+
+impl DenseMatrix {
+    /// Matrix multiply under an explicit [`KernelConfig`]: the packed
+    /// kernel (with the catalog's blocking for this shape class, if
+    /// tuned) for products past the catalog's
+    /// [`Thresholds::pack_min_flops`], the reference kernel otherwise
+    /// or when the config pins [`GemmMode::Reference`].
+    ///
+    /// # Panics
+    /// Panics when the inner dimensions disagree.
+    pub fn matmul_with(&self, rhs: &DenseMatrix, cfg: &KernelConfig) -> DenseMatrix {
+        assert_eq!(
+            self.cols(),
+            rhs.rows(),
+            "matmul dimension mismatch: {}x{} × {}x{}",
+            self.rows(),
+            self.cols(),
+            rhs.rows(),
+            rhs.cols()
+        );
+        let (m, k, n) = (self.rows(), self.cols(), rhs.cols());
+        let th = cfg.catalog.thresholds();
+        if cfg.mode != GemmMode::Packed || !crate::dense::worth_packing(m, k, n, th.pack_min_flops)
+        {
+            return self.matmul_reference(rhs);
+        }
+        let blocking = match cfg.catalog.dense_blocking(m, k, n) {
+            Some(b) => b,
+            None => match cfg.first_use {
+                Some(opts) => {
+                    let class = ShapeClass::dense(m, k, n);
+                    let entry = tune_dense_class(class, opts);
+                    let picked = entry.dense_blocking().unwrap_or(GemmBlocking::DEFAULT);
+                    cfg.catalog.insert(class, entry);
+                    picked
+                }
+                None => GemmBlocking::DEFAULT,
+            },
+        };
+        // The untuned case must hand the compiler the same all-constant
+        // call the direct `matmul_packed` path makes: runtime-valued
+        // kc/mc defeat constant specialization of the packed sweep and
+        // cost ~2% on the smallest packed products, which would blow
+        // the `tune_overhead` budget without buying anything.
+        if blocking == GemmBlocking::DEFAULT && th.par_min_flops == DEFAULT_PAR_MIN_FLOPS {
+            return self.matmul_packed_with(rhs, GemmBlocking::DEFAULT);
+        }
+        self.matmul_packed_impl(rhs, blocking, th.par_min_flops)
+    }
+}
+
+impl CsrMatrix {
+    /// Sparse × dense multiply under an explicit [`KernelConfig`]: the
+    /// catalog's traversal for this shape class when tuned (tuning on
+    /// first use when the config asks for it), the row-major default
+    /// otherwise. Both traversals are bit-identical.
+    ///
+    /// # Panics
+    /// Panics on an inner-dimension mismatch.
+    pub fn matmul_dense_with(&self, rhs: &DenseMatrix, cfg: &KernelConfig) -> DenseMatrix {
+        let (m, k, n) = (self.rows(), self.cols(), rhs.cols());
+        let density = self.measured_sparsity();
+        let variant = match cfg.catalog.csr_variant(m, k, n, density) {
+            Some(v) => v,
+            None => match cfg.first_use {
+                Some(opts) if self.nnz() > 0 && n > 0 => {
+                    let class = ShapeClass::sparse(m, k, n, density);
+                    let entry = tune_csr_class(class, opts);
+                    let picked = match entry.choice {
+                        KernelChoice::Csr(v) => v,
+                        KernelChoice::Dense(_) => CsrVariant::RowBlocked,
+                    };
+                    cfg.catalog.insert(class, entry);
+                    picked
+                }
+                _ => CsrVariant::RowBlocked,
+            },
+        };
+        self.matmul_dense_variant(rhs, variant)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The tuner
+// ---------------------------------------------------------------------
+
+/// How hard a tuning probe tries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TuneOptions {
+    /// Timing repetitions per candidate; the best (minimum) time wins,
+    /// since scheduler noise only ever adds time.
+    pub reps: usize,
+    /// Cap on each probe-matrix dimension: classes whose representative
+    /// shape is larger are probed at the cap instead, trading fidelity
+    /// for bounded warmup time.
+    pub dim_cap: usize,
+}
+
+impl TuneOptions {
+    /// Best-of-3 probes capped at 768 per dimension (seconds per
+    /// class): the `matopt tune` default.
+    pub fn thorough() -> TuneOptions {
+        TuneOptions {
+            reps: 3,
+            dim_cap: 768,
+        }
+    }
+
+    /// Single probes capped at 160 per dimension (milliseconds per
+    /// class): CI smoke and first-use tuning.
+    pub fn quick() -> TuneOptions {
+        TuneOptions {
+            reps: 1,
+            dim_cap: 160,
+        }
+    }
+
+    /// [`TuneOptions::quick`] when `MATOPT_BENCH_QUICK` is set,
+    /// [`TuneOptions::thorough`] otherwise — the same switch the
+    /// bench binaries honour.
+    pub fn from_env() -> TuneOptions {
+        if std::env::var("MATOPT_BENCH_QUICK").is_ok() {
+            TuneOptions::quick()
+        } else {
+            TuneOptions::thorough()
+        }
+    }
+}
+
+/// Deterministic per-class probe seed: tuning the same class always
+/// measures the same matrices.
+fn probe_seed(class: ShapeClass) -> u64 {
+    0x7475_6e65 // "tune"
+        ^ (u64::from(class.m_bucket) << 24)
+        ^ (u64::from(class.k_bucket) << 16)
+        ^ (u64::from(class.n_bucket) << 8)
+        ^ u64::from(class.density_bucket)
+}
+
+/// Best-of-`reps` wall time per candidate, measured in interleaved
+/// rounds: every round times each candidate once, so slow machine
+/// drift (a co-tenant waking up mid-tune) degrades all candidates
+/// roughly equally instead of poisoning whichever block it lands on.
+/// The per-candidate minimum is the estimator — scheduler noise only
+/// ever adds time.
+fn best_times<T>(reps: usize, candidates: &[T], mut f: impl FnMut(&T) -> DenseMatrix) -> Vec<f64> {
+    let mut best = vec![f64::INFINITY; candidates.len()];
+    for _ in 0..reps.max(1) {
+        for (slot, cand) in best.iter_mut().zip(candidates) {
+            let t = Instant::now();
+            let out = f(cand);
+            let dt = t.elapsed().as_secs_f64();
+            std::hint::black_box(out);
+            *slot = slot.min(dt);
+        }
+    }
+    for slot in &mut best {
+        *slot = slot.max(1e-9);
+    }
+    best
+}
+
+/// Benchmarks every [`GemmBlocking::CANDIDATES`] entry on the class's
+/// (capped) representative shape and returns the measured entry. The
+/// probe matrices are deterministic per class.
+pub fn tune_dense_class(class: ShapeClass, opts: TuneOptions) -> TuningEntry {
+    let (m, k, n) = class.representative_dims();
+    let cap = opts.dim_cap.max(8);
+    let (m, k, n) = (m.min(cap), k.min(cap), n.min(cap));
+    let mut rng = crate::seeded_rng(probe_seed(class));
+    let a = crate::random_dense_normal(m, k, &mut rng);
+    let b = crate::random_dense_normal(k, n, &mut rng);
+    let flops = 2.0 * m as f64 * k as f64 * n as f64;
+    // One untimed pass warms caches and the pool so candidate 0 does
+    // not pay first-touch costs the others skip.
+    std::hint::black_box(a.matmul_packed_with(&b, GemmBlocking::DEFAULT));
+    let times = best_times(opts.reps, &GemmBlocking::CANDIDATES, |blocking| {
+        a.matmul_packed_with(&b, *blocking)
+    });
+    let curve: Vec<(u16, f64)> = times
+        .iter()
+        .enumerate()
+        .map(|(id, secs)| (id as u16, flops / secs / 1e9))
+        .collect();
+    let (winner, gflops) = curve
+        .iter()
+        .copied()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("candidate grid is non-empty");
+    TuningEntry {
+        choice: KernelChoice::Dense(winner),
+        gflops,
+        probe_flops: flops,
+        curve,
+    }
+}
+
+/// Benchmarks both [`CsrVariant`]s on the class's (capped)
+/// representative shape and density, returning the measured entry.
+/// Curve ids are the variant discriminants (0 = row, 1 = column).
+pub fn tune_csr_class(class: ShapeClass, opts: TuneOptions) -> TuningEntry {
+    let (m, k, n) = class.representative_dims();
+    let cap = opts.dim_cap.max(8);
+    // Sparse probes afford larger shapes (work scales with nnz, not
+    // m·k), and the row/column trade-off only shows once rhs rows
+    // outgrow cache — so cap at 8× the dense cap.
+    let cap = cap.saturating_mul(8);
+    let (m, k, n) = (m.min(cap), k.min(cap), n.min(opts.dim_cap.max(8)));
+    let density = class.representative_density();
+    let mut rng = crate::seeded_rng(probe_seed(class));
+    let a = crate::random_sparse_csr(m, k, density, &mut rng);
+    let b = crate::random_dense_normal(k, n, &mut rng);
+    let flops = 2.0 * a.nnz() as f64 * n as f64;
+    std::hint::black_box(a.matmul_dense(&b));
+    let variants = [CsrVariant::RowBlocked, CsrVariant::ColBlocked];
+    let times = best_times(opts.reps, &variants, |v| a.matmul_dense_variant(&b, *v));
+    let curve: Vec<(u16, f64)> = times
+        .iter()
+        .enumerate()
+        .map(|(id, secs)| (id as u16, flops.max(1.0) / secs / 1e9))
+        .collect();
+    let (winner, gflops) = curve
+        .iter()
+        .copied()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("variant list is non-empty");
+    TuningEntry {
+        choice: KernelChoice::Csr(variants[usize::from(winner)]),
+        gflops,
+        probe_flops: flops,
+        curve,
+    }
+}
+
+/// The dense shapes `matopt tune` warms by default: squares across the
+/// packed kernel's working range plus the skinny/wide shapes where
+/// register-tile choice actually flips.
+pub fn standard_dense_shapes() -> Vec<(usize, usize, usize)> {
+    vec![
+        (96, 96, 96),
+        (256, 256, 256),
+        (512, 512, 512),
+        (1024, 1024, 1024),
+        (2048, 64, 2048),
+        (4096, 384, 48),
+        (48, 384, 4096),
+        (192, 2048, 192),
+    ]
+}
+
+/// The sparse shapes `matopt tune` warms by default (mirroring the
+/// one-hot batch workloads the engine's CSR implementations target).
+pub fn standard_sparse_shapes() -> Vec<(usize, usize, usize, f64)> {
+    vec![(4096, 4096, 256, 0.01), (2048, 8192, 32, 0.001)]
+}
+
+/// Tunes every standard shape class into `catalog` (deduplicating
+/// classes) and returns the tuned `(class, entry)` pairs in order.
+pub fn tune_standard(catalog: &TuningCatalog, opts: TuneOptions) -> Vec<(ShapeClass, TuningEntry)> {
+    let mut classes: Vec<ShapeClass> = Vec::new();
+    for (m, k, n) in standard_dense_shapes() {
+        let c = ShapeClass::dense(m, k, n);
+        if !classes.contains(&c) {
+            classes.push(c);
+        }
+    }
+    for (m, k, n, d) in standard_sparse_shapes() {
+        let c = ShapeClass::sparse(m, k, n, d);
+        if !classes.contains(&c) {
+            classes.push(c);
+        }
+    }
+    let mut out = Vec::with_capacity(classes.len());
+    for class in classes {
+        let entry = if class.is_dense() {
+            tune_dense_class(class, opts)
+        } else {
+            tune_csr_class(class, opts)
+        };
+        catalog.insert(class, entry.clone());
+        out.push((class, entry));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Persistence: kernels.tune
+// ---------------------------------------------------------------------
+
+/// What loading a `kernels.tune` file found.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TuneLoadReport {
+    /// Class entries decoded and verified.
+    pub loaded: usize,
+    /// Entries (or whole files) rejected by checksums or bounds checks.
+    pub corrupt: usize,
+    /// `true` when a verified thresholds record was applied.
+    pub thresholds_loaded: bool,
+}
+
+/// FNV-1a over raw bytes (the stream checksum — the same fold the
+/// engine's spill files and the plan cache use). Local copy:
+/// `matopt-core` depends on this crate, so the helper cannot be
+/// imported from there.
+fn fnv1a_bytes(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// FNV-1a over words (the value checksum).
+fn fnv1a_words(words: &[u64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn words_to_bytes(words: &[u64]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(words.len() * 8);
+    for w in words {
+        bytes.extend_from_slice(&w.to_le_bytes());
+    }
+    bytes
+}
+
+/// One decoded record of the file.
+#[derive(Debug, Clone, PartialEq)]
+enum TuneRecord {
+    Thresholds(Thresholds),
+    Class(ShapeClass, TuningEntry),
+}
+
+fn encode_record(rec: &TuneRecord) -> Vec<u64> {
+    match rec {
+        TuneRecord::Thresholds(t) => vec![0, t.pack_min_flops, t.par_min_flops],
+        TuneRecord::Class(class, e) => {
+            let mut w = vec![
+                1,
+                u64::from(class.m_bucket),
+                u64::from(class.k_bucket),
+                u64::from(class.n_bucket),
+                u64::from(class.density_bucket),
+            ];
+            match e.choice {
+                KernelChoice::Dense(id) => {
+                    w.push(0);
+                    w.push(u64::from(id));
+                }
+                KernelChoice::Csr(v) => {
+                    w.push(1);
+                    w.push(match v {
+                        CsrVariant::RowBlocked => 0,
+                        CsrVariant::ColBlocked => 1,
+                    });
+                }
+            }
+            w.push(e.gflops.to_bits());
+            w.push(e.probe_flops.to_bits());
+            w.push(e.curve.len() as u64);
+            for (id, g) in &e.curve {
+                w.push(u64::from(*id));
+                w.push(g.to_bits());
+            }
+            w
+        }
+    }
+}
+
+/// Bounds-checked word reader: every `take` can fail, nothing panics
+/// on hostile input.
+struct Reader<'a> {
+    words: &'a [u64],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self) -> Option<u64> {
+        let w = *self.words.get(self.pos)?;
+        self.pos += 1;
+        Some(w)
+    }
+
+    fn take_len(&mut self, max: usize) -> Option<usize> {
+        let n = usize::try_from(self.take()?).ok()?;
+        (n <= max).then_some(n)
+    }
+
+    fn take_u8(&mut self) -> Option<u8> {
+        u8::try_from(self.take()?).ok()
+    }
+}
+
+fn decode_record(body: &[u64]) -> Option<TuneRecord> {
+    let mut r = Reader {
+        words: body,
+        pos: 0,
+    };
+    let rec = match r.take()? {
+        0 => TuneRecord::Thresholds(Thresholds {
+            pack_min_flops: r.take()?,
+            par_min_flops: r.take()?,
+        }),
+        1 => {
+            let class = ShapeClass {
+                m_bucket: r.take_u8()?,
+                k_bucket: r.take_u8()?,
+                n_bucket: r.take_u8()?,
+                density_bucket: r.take_u8()?,
+            };
+            let choice = match r.take()? {
+                0 => {
+                    let id = u16::try_from(r.take()?).ok()?;
+                    (usize::from(id) < GemmBlocking::CANDIDATES.len()).then_some(())?;
+                    KernelChoice::Dense(id)
+                }
+                1 => KernelChoice::Csr(match r.take()? {
+                    0 => CsrVariant::RowBlocked,
+                    1 => CsrVariant::ColBlocked,
+                    _ => return None,
+                }),
+                _ => return None,
+            };
+            let gflops = f64::from_bits(r.take()?);
+            let probe_flops = f64::from_bits(r.take()?);
+            let n_curve = r.take_len(MAX_CURVE)?;
+            let mut curve = Vec::with_capacity(n_curve);
+            for _ in 0..n_curve {
+                let id = u16::try_from(r.take()?).ok()?;
+                curve.push((id, f64::from_bits(r.take()?)));
+            }
+            TuneRecord::Class(
+                class,
+                TuningEntry {
+                    choice,
+                    gflops,
+                    probe_flops,
+                    curve,
+                },
+            )
+        }
+        _ => return None,
+    };
+    // Trailing garbage inside the record is corruption, not padding.
+    (r.pos == body.len()).then_some(rec)
+}
+
+/// Serializes a catalog snapshot to the `kernels.tune` byte format:
+/// the thresholds record first, then every class in deterministic
+/// (ordered) sequence, each framed as
+/// `[body_len, stream_fnv(bytes), value_fnv(words), body…]`.
+fn encode_catalog(catalog: &TuningCatalog) -> Vec<u8> {
+    let mut records = vec![TuneRecord::Thresholds(catalog.thresholds())];
+    for (class, entry) in catalog.snapshot() {
+        records.push(TuneRecord::Class(class, entry));
+    }
+    let mut words = vec![MAGIC, records.len() as u64];
+    for rec in &records {
+        let body = encode_record(rec);
+        words.push(body.len() as u64);
+        words.push(fnv1a_bytes(&words_to_bytes(&body)));
+        words.push(fnv1a_words(&body));
+        words.extend_from_slice(&body);
+    }
+    words_to_bytes(&words)
+}
+
+/// Decodes a `kernels.tune` byte stream, skipping (and counting)
+/// corrupt records. A record survives only when the stream checksum
+/// matches the stored bytes *and* re-encoding the decoded value
+/// reproduces the recorded word hash — a flipped byte can lose a
+/// record, never alter one.
+fn decode_catalog(bytes: &[u8]) -> (Vec<TuneRecord>, usize) {
+    if !bytes.len().is_multiple_of(8) {
+        return (Vec::new(), 1);
+    }
+    let words: Vec<u64> = bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+        .collect();
+    let mut r = Reader {
+        words: &words,
+        pos: 0,
+    };
+    if r.take() != Some(MAGIC) {
+        return (Vec::new(), 1);
+    }
+    let Some(count) = r.take_len(MAX_ENTRIES) else {
+        return (Vec::new(), 1);
+    };
+    let mut out = Vec::new();
+    let mut corrupt = 0usize;
+    for _ in 0..count {
+        let Some(body_len) = r.take_len(words.len().saturating_sub(r.pos)) else {
+            // Header truncated: nothing after this point is framed.
+            corrupt += 1;
+            break;
+        };
+        let (Some(stream_fnv), Some(value_fnv)) = (r.take(), r.take()) else {
+            corrupt += 1;
+            break;
+        };
+        let Some(body) = words.get(r.pos..r.pos + body_len) else {
+            corrupt += 1;
+            break;
+        };
+        r.pos += body_len;
+        if fnv1a_bytes(&words_to_bytes(body)) != stream_fnv {
+            corrupt += 1;
+            continue;
+        }
+        let Some(rec) = decode_record(body) else {
+            corrupt += 1;
+            continue;
+        };
+        if fnv1a_words(&encode_record(&rec)) != value_fnv {
+            corrupt += 1;
+            continue;
+        }
+        out.push(rec);
+    }
+    (out, corrupt)
+}
+
+/// Writes the catalog to `<dir>/kernels.tune` atomically (unique temp
+/// file + rename, like the plan cache), creating `dir` if needed, and
+/// sweeping temp debris from crashed writers. A crash mid-write leaves
+/// the previous file intact. Returns the number of class entries
+/// written.
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn save_catalog(dir: &Path, catalog: &TuningCatalog) -> io::Result<usize> {
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    std::fs::create_dir_all(dir)?;
+    sweep_tmp_debris(dir);
+    let written = catalog.len();
+    let tmp = dir.join(format!(
+        "{TUNE_FILE}.tmp.{}.{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::write(&tmp, encode_catalog(catalog))?;
+    let renamed = std::fs::rename(&tmp, dir.join(TUNE_FILE));
+    if renamed.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    renamed.map(|_| written)
+}
+
+/// Removes temp files abandoned by crashed writers.
+fn sweep_tmp_debris(dir: &Path) {
+    let tmp_prefix = format!("{TUNE_FILE}.tmp.");
+    let Ok(listing) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in listing.flatten() {
+        if entry
+            .file_name()
+            .to_str()
+            .is_some_and(|name| name.starts_with(&tmp_prefix))
+        {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+}
+
+/// Loads `<dir>/kernels.tune` into `catalog`: verified class records
+/// are inserted (replacing same-class entries) and a verified
+/// thresholds record is applied. A missing file is an empty catalog;
+/// a damaged file yields whatever records survive both checksums.
+///
+/// # Errors
+/// Propagates filesystem errors other than "not found".
+pub fn load_catalog_into(dir: &Path, catalog: &TuningCatalog) -> io::Result<TuneLoadReport> {
+    let bytes = match std::fs::read(dir.join(TUNE_FILE)) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(TuneLoadReport::default()),
+        Err(e) => return Err(e),
+    };
+    let (records, corrupt) = decode_catalog(&bytes);
+    let mut report = TuneLoadReport {
+        corrupt,
+        ..TuneLoadReport::default()
+    };
+    for rec in records {
+        match rec {
+            TuneRecord::Thresholds(t) => {
+                catalog.set_thresholds(t);
+                report.thresholds_loaded = true;
+            }
+            TuneRecord::Class(class, entry) => {
+                catalog.insert(class, entry);
+                report.loaded += 1;
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Loads `<dir>/kernels.tune` into a fresh catalog.
+///
+/// # Errors
+/// Propagates filesystem errors other than "not found".
+pub fn load_catalog(dir: &Path) -> io::Result<(TuningCatalog, TuneLoadReport)> {
+    let catalog = TuningCatalog::new();
+    let report = load_catalog_into(dir, &catalog)?;
+    Ok((catalog, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn sample_entries() -> Vec<(ShapeClass, TuningEntry)> {
+        vec![
+            (
+                ShapeClass::dense(384, 384, 384),
+                TuningEntry {
+                    choice: KernelChoice::Dense(2),
+                    gflops: 11.5,
+                    probe_flops: 2.0 * 384f64.powi(3),
+                    curve: vec![(0, 10.0), (1, 9.5), (2, 11.5)],
+                },
+            ),
+            (
+                ShapeClass::sparse(4096, 4096, 256, 0.01),
+                TuningEntry {
+                    choice: KernelChoice::Csr(CsrVariant::ColBlocked),
+                    gflops: 2.25,
+                    probe_flops: 2.0 * 167_000.0 * 256.0,
+                    curve: vec![(0, 1.75), (1, 2.25)],
+                },
+            ),
+        ]
+    }
+
+    fn sample_catalog() -> TuningCatalog {
+        let catalog = TuningCatalog::new();
+        catalog.set_thresholds(Thresholds {
+            pack_min_flops: 40_000,
+            par_min_flops: 12_000_000,
+        });
+        for (c, e) in sample_entries() {
+            catalog.insert(c, e);
+        }
+        catalog
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "matopt-tune-unit-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    #[test]
+    fn shape_classes_bucket_logarithmically() {
+        assert_eq!(
+            ShapeClass::dense(256, 256, 256),
+            ShapeClass::dense(300, 511, 384)
+        );
+        assert_ne!(
+            ShapeClass::dense(256, 256, 256),
+            ShapeClass::dense(512, 256, 256)
+        );
+        assert!(ShapeClass::dense(8, 8, 8).is_dense());
+        let s = ShapeClass::sparse(4096, 4096, 256, 0.01);
+        assert!(!s.is_dense());
+        assert_eq!(s.density_bucket, 16);
+        // Same dims, different density decade → different class.
+        assert_ne!(s, ShapeClass::sparse(4096, 4096, 256, 0.001));
+        // Degenerate densities never collide with the dense marker.
+        assert!(!ShapeClass::sparse(4, 4, 4, 0.0).is_dense());
+        assert!(!ShapeClass::sparse(4, 4, 4, 1e-300).is_dense());
+    }
+
+    #[test]
+    fn representative_dims_sit_inside_the_bucket() {
+        let c = ShapeClass::dense(300, 70, 1024);
+        let (m, k, n) = c.representative_dims();
+        assert_eq!((m, k, n), (384, 96, 1536));
+        assert_eq!(ShapeClass::dense(m, k, n), c);
+        assert_eq!(ShapeClass::dense(1, 1, 1).representative_dims(), (1, 1, 1));
+    }
+
+    #[test]
+    fn catalog_version_bumps_on_every_mutation() {
+        let catalog = TuningCatalog::new();
+        let v0 = catalog.version();
+        catalog.set_thresholds(Thresholds::default());
+        let v1 = catalog.version();
+        assert_eq!(v1, v0 + 1);
+        let (c, e) = sample_entries().remove(0);
+        catalog.insert(c, e);
+        assert_eq!(catalog.version(), v1 + 1);
+        assert_eq!(catalog.len(), 1);
+        catalog.clear();
+        assert_eq!(catalog.version(), v1 + 2);
+        assert!(catalog.is_empty());
+        assert_eq!(catalog.thresholds(), Thresholds::default());
+    }
+
+    #[test]
+    fn empty_catalog_dispatch_is_untuned_default() {
+        let cfg = KernelConfig::untuned();
+        assert!(cfg.catalog().dense_blocking(512, 512, 512).is_none());
+        assert_eq!(cfg.catalog().thresholds(), Thresholds::default());
+        let a = crate::random_dense_normal(40, 40, &mut crate::seeded_rng(1));
+        let b = crate::random_dense_normal(40, 40, &mut crate::seeded_rng(2));
+        // Bit-identical to the legacy global path.
+        assert_eq!(a.matmul_with(&b, &cfg).data(), a.matmul(&b).data());
+    }
+
+    #[test]
+    fn tuned_catalog_changes_dispatch_but_not_results() {
+        let catalog = Arc::new(TuningCatalog::new());
+        let class = ShapeClass::dense(96, 96, 96);
+        catalog.insert(
+            class,
+            TuningEntry {
+                choice: KernelChoice::Dense(2), // 8×6 tile
+                gflops: 1.0,
+                probe_flops: 1.0,
+                curve: vec![(2, 1.0)],
+            },
+        );
+        assert_eq!(
+            catalog.dense_blocking(96, 96, 96),
+            Some(GemmBlocking::CANDIDATES[2])
+        );
+        let cfg = KernelConfig::with_catalog(catalog);
+        let a = crate::random_dense_normal(96, 96, &mut crate::seeded_rng(3));
+        let b = crate::random_dense_normal(96, 96, &mut crate::seeded_rng(4));
+        // The ascending-k invariant: a different blocking, the same bits.
+        assert_eq!(a.matmul_with(&b, &cfg).data(), a.matmul_packed(&b).data());
+    }
+
+    #[test]
+    fn reference_mode_config_pins_the_reference_kernel() {
+        let cfg = KernelConfig::untuned().with_mode(GemmMode::Reference);
+        let a = crate::random_dense_normal(64, 64, &mut crate::seeded_rng(5));
+        let b = crate::random_dense_normal(64, 64, &mut crate::seeded_rng(6));
+        assert_eq!(
+            a.matmul_with(&b, &cfg).data(),
+            a.matmul_reference(&b).data()
+        );
+    }
+
+    #[test]
+    fn pack_threshold_from_catalog_gates_dispatch() {
+        // Raise the packing threshold above this product and the packed
+        // kernel must not run (observable because Reference-mode output
+        // equals the threshold-gated output bit-for-bit).
+        let catalog = Arc::new(TuningCatalog::new());
+        catalog.set_thresholds(Thresholds {
+            pack_min_flops: u64::MAX,
+            par_min_flops: u64::MAX,
+        });
+        let cfg = KernelConfig::with_catalog(catalog);
+        let a = crate::random_dense_normal(64, 64, &mut crate::seeded_rng(7));
+        let b = crate::random_dense_normal(64, 64, &mut crate::seeded_rng(8));
+        assert_eq!(
+            a.matmul_with(&b, &cfg).data(),
+            a.matmul_reference(&b).data()
+        );
+    }
+
+    #[test]
+    fn first_use_tuning_records_the_class() {
+        let catalog = Arc::new(TuningCatalog::new());
+        let cfg =
+            KernelConfig::with_catalog(Arc::clone(&catalog)).with_first_use_tuning(TuneOptions {
+                reps: 1,
+                dim_cap: 32,
+            });
+        let a = crate::random_dense_normal(48, 48, &mut crate::seeded_rng(9));
+        let b = crate::random_dense_normal(48, 48, &mut crate::seeded_rng(10));
+        let tuned = a.matmul_with(&b, &cfg);
+        assert_eq!(catalog.len(), 1);
+        assert!(catalog
+            .lookup(ShapeClass::dense(48, 48, 48))
+            .is_some_and(|e| !e.curve.is_empty() && e.gflops > 0.0));
+        // Whatever won, the product is bit-identical to the default.
+        assert_eq!(tuned.data(), a.matmul_packed(&b).data());
+    }
+
+    #[test]
+    fn tune_dense_class_measures_every_candidate() {
+        let entry = tune_dense_class(
+            ShapeClass::dense(64, 64, 64),
+            TuneOptions {
+                reps: 1,
+                dim_cap: 48,
+            },
+        );
+        assert_eq!(entry.curve.len(), GemmBlocking::CANDIDATES.len());
+        assert!(entry.curve.iter().all(|(_, g)| *g > 0.0));
+        assert!(entry.gflops > 0.0);
+        assert!(entry.dense_blocking().is_some());
+    }
+
+    #[test]
+    fn tune_csr_class_measures_both_variants() {
+        let entry = tune_csr_class(
+            ShapeClass::sparse(256, 256, 32, 0.05),
+            TuneOptions {
+                reps: 1,
+                dim_cap: 64,
+            },
+        );
+        assert_eq!(entry.curve.len(), 2);
+        assert!(matches!(entry.choice, KernelChoice::Csr(_)));
+        assert!(entry.gflops > 0.0);
+    }
+
+    #[test]
+    fn catalog_file_round_trips() {
+        let catalog = sample_catalog();
+        let dir = temp_dir("roundtrip");
+        let written = save_catalog(&dir, &catalog).expect("save");
+        assert_eq!(written, 2);
+        let (loaded, report) = load_catalog(&dir).expect("load");
+        assert_eq!(report.corrupt, 0);
+        assert_eq!(report.loaded, 2);
+        assert!(report.thresholds_loaded);
+        assert_eq!(loaded.thresholds(), catalog.thresholds());
+        assert_eq!(loaded.snapshot(), catalog.snapshot());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_file_loads_empty() {
+        let dir = temp_dir("missing");
+        let (loaded, report) = load_catalog(&dir).expect("load");
+        assert_eq!(report, TuneLoadReport::default());
+        assert!(loaded.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_caught_or_harmless() {
+        let catalog = sample_catalog();
+        let clean = encode_catalog(&catalog);
+        let clean_records: Vec<Vec<u64>> = {
+            let (recs, corrupt) = decode_catalog(&clean);
+            assert_eq!(corrupt, 0);
+            recs.iter().map(encode_record).collect()
+        };
+        for i in 0..clean.len() {
+            let mut dirty = clean.clone();
+            dirty[i] ^= 0x40;
+            let (records, _corrupt) = decode_catalog(&dirty);
+            // The safety property: a flip may *lose* records (the class
+            // stays untuned), but any record that survives decoding must
+            // re-encode byte-identical to one that was written — never a
+            // blocking or throughput the flip altered.
+            for rec in &records {
+                assert!(
+                    clean_records.contains(&encode_record(rec)),
+                    "flip at byte {i} surfaced an altered record"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_corrupt_not_panic() {
+        let catalog = sample_catalog();
+        let clean = encode_catalog(&catalog);
+        for end in 0..clean.len() {
+            let (records, corrupt) = decode_catalog(&clean[..end]);
+            // A prefix can only ever surface fully-verified leading
+            // records; anything cut mid-record is flagged.
+            assert!(
+                corrupt >= 1 || (end < 16 && records.is_empty()),
+                "truncation at {end} not flagged"
+            );
+            let full: Vec<Vec<u64>> = decode_catalog(&clean).0.iter().map(encode_record).collect();
+            for rec in &records {
+                assert!(full.contains(&encode_record(rec)));
+            }
+        }
+    }
+
+    #[test]
+    fn crash_mid_persist_leaves_old_catalog_loadable_and_sweeps_debris() {
+        let dir = temp_dir("crash");
+        let catalog = sample_catalog();
+        save_catalog(&dir, &catalog).expect("initial save");
+        let encoded = encode_catalog(&catalog);
+        // A writer that died at every possible point of its temp write.
+        for end in (0..encoded.len()).step_by(7) {
+            let tmp = dir.join(format!("{TUNE_FILE}.tmp.{}.crash{end}", std::process::id()));
+            std::fs::write(&tmp, &encoded[..end]).expect("partial tmp");
+            let (loaded, report) = load_catalog(&dir).expect("load");
+            assert_eq!(report.corrupt, 0, "crash at {end} corrupted the catalog");
+            assert_eq!(loaded.snapshot(), catalog.snapshot());
+        }
+        // The next writer sweeps every piece of debris.
+        save_catalog(&dir, &catalog).expect("post-crash save");
+        let leftovers: Vec<String> = std::fs::read_dir(&dir)
+            .expect("read dir")
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with(&format!("{TUNE_FILE}.tmp.")))
+            .collect();
+        assert!(leftovers.is_empty(), "debris survived: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_into_merges_and_applies_thresholds() {
+        let dir = temp_dir("merge");
+        save_catalog(&dir, &sample_catalog()).expect("save");
+        let target = TuningCatalog::new();
+        let extra = ShapeClass::dense(8, 8, 8);
+        target.insert(
+            extra,
+            TuningEntry {
+                choice: KernelChoice::Dense(0),
+                gflops: 1.0,
+                probe_flops: 1024.0,
+                curve: vec![(0, 1.0)],
+            },
+        );
+        let report = load_catalog_into(&dir, &target).expect("load");
+        assert_eq!(report.loaded, 2);
+        assert!(report.thresholds_loaded);
+        assert_eq!(target.len(), 3); // merged, not replaced
+        assert_eq!(target.thresholds().pack_min_flops, 40_000);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -514,6 +514,7 @@ impl FrontDoor {
                     hedge: self.hedge_config(),
                     straggler_delays_ms: None,
                     shared_governor: self.shared.clone(),
+                    kernel_config: Some(self.service.kernel_config()),
                 };
                 execute_plan_with(
                     req.graph,

@@ -1,0 +1,87 @@
+//! Kernel-tuning integration at the service boundary: applying a
+//! tuning catalog swaps the dispatch handle and the cost model, and
+//! bumps the plan-cache epoch exactly once (the same invalidation path
+//! drift events and recalibration use).
+
+use matopt_core::{Cluster, FormatCatalog, ImplRegistry};
+use matopt_cost::AnalyticalCostModel;
+use matopt_graphs::{ffnn_w2_update_graph, FfnnConfig};
+use matopt_kernels::tune::{KernelChoice, TuningEntry};
+use matopt_kernels::{GemmBlocking, ShapeClass, TuningCatalog};
+use matopt_serve::{PlanService, PlanSource, ServeConfig};
+use std::sync::Arc;
+
+fn service() -> PlanService {
+    PlanService::new(
+        ImplRegistry::paper_default(),
+        FormatCatalog::paper_default().dense_only(),
+        Cluster::simsql_like(4),
+        Box::new(AnalyticalCostModel),
+        ServeConfig::default(),
+    )
+}
+
+fn tuned_catalog() -> Arc<TuningCatalog> {
+    let catalog = TuningCatalog::new();
+    catalog.insert(
+        ShapeClass::dense(384, 384, 384),
+        TuningEntry {
+            choice: KernelChoice::Dense(2),
+            gflops: 8.0,
+            probe_flops: 2.0 * 384f64.powi(3),
+            curve: vec![(0, 7.5), (2, 8.0)],
+        },
+    );
+    Arc::new(catalog)
+}
+
+#[test]
+fn apply_tuning_bumps_the_epoch_exactly_once() {
+    let service = service();
+    let graph = ffnn_w2_update_graph(FfnnConfig::laptop(8))
+        .expect("ffnn graph")
+        .graph;
+
+    let planned = service.plan(&graph).expect("plan");
+    assert_eq!(planned.source, PlanSource::Miss);
+    assert_eq!(service.plan(&graph).expect("plan").source, PlanSource::Hit);
+
+    let epoch0 = service.cache().epoch();
+    service.apply_tuning(tuned_catalog());
+    assert_eq!(
+        service.cache().epoch(),
+        epoch0 + 1,
+        "one catalog application = exactly one epoch bump"
+    );
+
+    // Every cached plan was costed under the old curves: re-plan.
+    let replanned = service.plan(&graph).expect("plan");
+    assert_eq!(replanned.source, PlanSource::Miss);
+    assert_eq!(replanned.fingerprint, planned.fingerprint);
+
+    // A second application is a second (single) bump, not zero, not two.
+    service.apply_tuning(tuned_catalog());
+    assert_eq!(service.cache().epoch(), epoch0 + 2);
+}
+
+#[test]
+fn apply_tuning_installs_the_catalog_as_the_dispatch_handle() {
+    let service = service();
+    let before = service.kernel_config();
+    assert!(before.catalog().is_empty(), "service starts untuned");
+
+    let catalog = tuned_catalog();
+    service.apply_tuning(Arc::clone(&catalog));
+    let after = service.kernel_config();
+    assert!(
+        Arc::ptr_eq(after.catalog(), &catalog),
+        "executions must dispatch against the applied catalog"
+    );
+    assert_eq!(
+        after.catalog().dense_blocking(384, 384, 384),
+        Some(GemmBlocking::CANDIDATES[2]),
+        "the tuned blocking is visible through the handle"
+    );
+    // The old handle is an immutable snapshot: in-flight runs keep it.
+    assert!(before.catalog().is_empty());
+}
