@@ -12,6 +12,11 @@
 //!                                        standard shape classes, print the
 //!                                        winners, and optionally persist
 //!                                        the catalog as kernels.tune
+//! matopt fleet-chaos [options]           soak the supervised worker fleet:
+//!                                        seeded SIGKILL schedules against
+//!                                        real worker processes, every run
+//!                                        checked bit-exact against the
+//!                                        serial in-process reference
 //!
 //! workloads:
 //!   ffnn:<hidden>            FFNN fwd + backprop-to-W2 (SimSQL experiments)
@@ -37,9 +42,10 @@
 //!   --sql                    print the plan as SQL
 //!   --dot                    print the annotated plan as Graphviz DOT
 //!   --inject <spec>          inject faults while executing (--analyze):
-//!                            crash@S, slow@SxF, flaky@SxN, corrupt@S[:C],
-//!                            oom@SxN, random:N — comma-separated; S is the
-//!                            0-based compute step
+//!                            crash@S, kill@S[:W], slow@SxF, flaky@SxN,
+//!                            corrupt@S[:C], oom@SxN, random:N —
+//!                            comma-separated; S is the 0-based compute
+//!                            step, W a worker index
 //!   --fault-seed N           seed for the fault injector (default 42)
 //!   --recovery P             recovery policy: restart|checkpoint|lineage
 //!                            (default lineage)
@@ -53,6 +59,13 @@
 //!   --hedge FACTOR           launch a duplicate of any vertex running
 //!                            longer than FACTOR x its predicted time;
 //!                            first finisher wins (requires --analyze)
+//!   --worker-procs N         execute --analyze vertices on N supervised
+//!                            worker *processes* (forked matopt-workerd
+//!                            daemons): heartbeat liveness, bounded
+//!                            jittered-backoff restart, redispatch to
+//!                            survivors on death. Incompatible with
+//!                            --inject (the fleet has its own fault
+//!                            machinery; see matopt fleet-chaos)
 //!   --cache-dir <path>       reuse plans across invocations: warm the
 //!                            plan cache from <path>/plans.mcache before
 //!                            optimizing and persist it back afterwards
@@ -82,6 +95,21 @@
 //!                            in the measured-throughput cost model and
 //!                            tuned kernel dispatch (bumps the plan-cache
 //!                            epoch once)
+//!   --worker-procs N         supervise N matopt-workerd processes for
+//!                            the session: fleet liveness gauges land in
+//!                            the metrics registry (stats ops and
+//!                            --metrics-dump), and the fleet is drained
+//!                            with the session
+//!
+//! fleet-chaos options:
+//!   --schedules N            seeded kill schedules to run (default 8)
+//!   --seed S                 base seed (default 0x5eed0000); schedule i
+//!                            uses seed S+i
+//!   --workers N              worker processes per schedule (default 4)
+//!
+//! `matopt serve` drains gracefully on SIGTERM/SIGINT: admission stops,
+//! every request already read off stdin is still answered, the plan
+//! cache and metrics snapshot are persisted, and the process exits 0.
 //!
 //! tune options:
 //!   --quick                  one rep, small probe shapes (same as
@@ -112,11 +140,15 @@ use matopt_cost::AnalyticalCostModel;
 use matopt_engine::{
     explain_analyze, explain_analyze_with_faults, explain_analyze_with_options, explain_plan,
     parse_fault_spec, render_sql, simulate_plan_traced, simulate_plan_with_recovery, DistRelation,
-    ExecOptions, FtConfig, HedgeConfig, SimOutcome,
+    ExecOptions, FtConfig, HedgeConfig, RemoteVertexExec, SimOutcome,
 };
 use matopt_kernels::{random_dense_normal, seeded_rng};
 use matopt_obs::{export, MemorySink, MetricsRegistry, Obs, RingSink};
-use matopt_serve::{serve_lines_concurrent, PlanService, ServeConfig};
+use matopt_serve::{serve_lines_concurrent_session, PlanService, ServeConfig, ServeSession};
+use matopt_worker::{
+    default_worker_bin, derive_schedule, install_termination_handler, run_schedule,
+    termination_requested, FleetConfig, WorkerFleet,
+};
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
@@ -139,9 +171,10 @@ fn main() {
         Some("serve") => cmd_serve(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("tune") => cmd_tune(&args[1..]),
+        Some("fleet-chaos") => cmd_fleet_chaos(&args[1..]),
         _ => {
             eprintln!(
-                "usage: matopt <formats|impls|plan|serve|stats|tune> ...  (see --help in the source header)"
+                "usage: matopt <formats|impls|plan|serve|stats|tune|fleet-chaos> ...  (see --help in the source header)"
             );
             2
         }
@@ -188,6 +221,7 @@ fn cmd_plan(args: &[String]) -> i32 {
     let mut straggler_rate = 0.0f64;
     let mut mem_budget: Option<u64> = None;
     let mut hedge: Option<f64> = None;
+    let mut worker_procs: Option<u32> = None;
     let mut cache_dir: Option<String> = None;
     let mut tune_dir: Option<String> = None;
     let mut metrics_dump: Option<String> = None;
@@ -276,6 +310,16 @@ fn cmd_plan(args: &[String]) -> i32 {
                     }
                 }
             }
+            "--worker-procs" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u32>().ok()) {
+                    Some(n) if n >= 1 => worker_procs = Some(n),
+                    _ => {
+                        eprintln!("plan: --worker-procs expects a process count >= 1");
+                        return 2;
+                    }
+                }
+            }
             "--cache-dir" => {
                 i += 1;
                 match args.get(i) {
@@ -335,10 +379,17 @@ fn cmd_plan(args: &[String]) -> i32 {
         }
     };
 
-    // `--inject`, `--mem-budget` and `--hedge` only have an effect on
-    // the real executor, so they imply `--analyze`.
-    if inject.is_some() || mem_budget.is_some() || hedge.is_some() {
+    // `--inject`, `--mem-budget`, `--hedge` and `--worker-procs` only
+    // have an effect on the real executor, so they imply `--analyze`.
+    if inject.is_some() || mem_budget.is_some() || hedge.is_some() || worker_procs.is_some() {
         analyze = true;
+    }
+    // The simulated injector and the real process fleet are different
+    // fault machines; running both at once would blame each other's
+    // failures. The fleet soak lives under `matopt fleet-chaos`.
+    if worker_procs.is_some() && inject.is_some() {
+        eprintln!("plan: --worker-procs cannot combine with --inject (try matopt fleet-chaos)");
+        return 2;
     }
 
     // `--tune-dir` warms the process tuning catalog so `--analyze`
@@ -437,7 +488,11 @@ fn cmd_plan(args: &[String]) -> i32 {
     }
     if analyze {
         let faults = inject.as_deref().map(|spec| (spec, fault_seed, recovery));
-        let governor = Governor { mem_budget, hedge };
+        let governor = Governor {
+            mem_budget,
+            hedge,
+            worker_procs,
+        };
         if let Err(msg) = run_analyze(
             &graph,
             &plan.annotation,
@@ -574,6 +629,7 @@ fn cmd_serve(args: &[String]) -> i32 {
     let mut cache_enabled = true;
     let mut metrics_dump: Option<String> = None;
     let mut serve_threads = 1usize;
+    let mut worker_procs: Option<u32> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -660,6 +716,16 @@ fn cmd_serve(args: &[String]) -> i32 {
                     }
                 }
             }
+            "--worker-procs" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u32>().ok()) {
+                    Some(n) if n >= 1 => worker_procs = Some(n),
+                    _ => {
+                        eprintln!("serve: --worker-procs expects a process count >= 1");
+                        return 2;
+                    }
+                }
+            }
             other => {
                 eprintln!("serve: unknown option {other}");
                 return 2;
@@ -689,7 +755,8 @@ fn cmd_serve(args: &[String]) -> i32 {
     // events are dropped, never the request path) and the aggregate
     // metrics registry is always on — it is what answers `stats` ops.
     let ring = Arc::new(RingSink::new(SERVE_RING_CAPACITY));
-    let obs = Obs::with_metrics(Arc::clone(&ring), MetricsRegistry::new());
+    let registry = MetricsRegistry::new();
+    let obs = Obs::with_metrics(Arc::clone(&ring), Arc::clone(&registry));
     let service = PlanService::with_obs(
         ImplRegistry::paper_default(),
         catalog,
@@ -729,6 +796,83 @@ fn cmd_serve(args: &[String]) -> i32 {
         }
     }
 
+    // `--worker-procs`: a supervised process fleet lives alongside the
+    // session. Its liveness gauges and death counters share the serve
+    // metrics registry, so `stats` ops and `--metrics-dump` expose them.
+    let fleet = match worker_procs {
+        Some(n) => {
+            let fcfg = match FleetConfig::standard(n) {
+                Ok(mut c) => {
+                    c.obs = Some(Arc::clone(&registry));
+                    c
+                }
+                Err(e) => {
+                    eprintln!("serve: --worker-procs: {e}");
+                    return 1;
+                }
+            };
+            match WorkerFleet::spawn(fcfg) {
+                Ok(f) => {
+                    eprintln!("serve: supervising {n} worker processes");
+                    Some(f)
+                }
+                Err(e) => {
+                    eprintln!("serve: --worker-procs: {e}");
+                    return 1;
+                }
+            }
+        }
+        None => None,
+    };
+
+    // SIGTERM/SIGINT drain: admission stops, everything already read
+    // off stdin is still answered, then the shared epilogue (cache
+    // persist, final metrics dump, fleet shutdown) runs exactly once
+    // and the process exits 0 — even while the reader thread is still
+    // parked in a blocking stdin read.
+    install_termination_handler();
+    let session = ServeSession::new();
+    let epilogue_ran = std::sync::atomic::AtomicBool::new(false);
+    let epilogue = || {
+        if epilogue_ran.swap(true, std::sync::atomic::Ordering::SeqCst) {
+            return;
+        }
+        if let Some(dir) = &cache_dir {
+            match service.persist_to_dir(Path::new(dir)) {
+                Ok(n) => eprintln!("serve: persisted {n} cached plans to {dir}"),
+                Err(e) => eprintln!("serve: could not persist cache to {dir}: {e}"),
+            }
+        }
+        if let Some(path) = &metrics_dump {
+            if let Some(snap) = service.metrics_snapshot() {
+                match write_metrics_dump(&snap, path) {
+                    Ok(()) => eprintln!("serve: wrote final metrics snapshot to {path}"),
+                    Err(msg) => eprintln!("serve: {msg}"),
+                }
+            }
+        }
+        if let Some(fleet) = &fleet {
+            let fs = fleet.stats();
+            eprintln!(
+                "serve: fleet ran {} remote tasks; {} spawns, {} deaths ({} by heartbeat \
+                 silence), {} restarts, {} redispatches",
+                fs.tasks_ok,
+                fs.spawns,
+                fs.deaths,
+                fs.heartbeat_deaths,
+                fs.restarts,
+                fs.redispatches
+            );
+            fleet.shutdown();
+        }
+        if ring.dropped() > 0 {
+            eprintln!(
+                "serve: event ring (capacity {SERVE_RING_CAPACITY}) dropped {} old events",
+                ring.dropped()
+            );
+        }
+    };
+
     // `--metrics-dump` runs a sidecar thread that rewrites the dump
     // file every few seconds while the serve loop owns stdin/stdout.
     let stop = std::sync::atomic::AtomicBool::new(false);
@@ -749,11 +893,43 @@ fn cmd_serve(args: &[String]) -> i32 {
                 }
             });
         }
+        // Signal watcher: polls the handler's flag because a signal
+        // cannot safely do the drain itself, then exits the process
+        // once every in-flight response has been flushed.
+        scope.spawn(|| {
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                if termination_requested() {
+                    eprintln!(
+                        "serve: termination signal received; draining \
+                         (answering everything already read)"
+                    );
+                    session.request_stop();
+                    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+                    while session.in_flight() > 0 && std::time::Instant::now() < deadline {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    eprintln!(
+                        "serve: drained; {} requests read, {} responses written",
+                        session.requests_read(),
+                        session.responses_written()
+                    );
+                    epilogue();
+                    std::process::exit(0);
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        });
         let stdin = std::io::stdin();
         // `Stdout` (not `StdoutLock`) so the writer half can live on
         // the multi-threaded serve loop's writer thread.
         let mut stdout = std::io::stdout();
-        let result = serve_lines_concurrent(&service, stdin.lock(), &mut stdout, serve_threads);
+        let result = serve_lines_concurrent_session(
+            &service,
+            stdin.lock(),
+            &mut stdout,
+            serve_threads,
+            &session,
+        );
         stop.store(true, std::sync::atomic::Ordering::Relaxed);
         result
     });
@@ -761,23 +937,11 @@ fn cmd_serve(args: &[String]) -> i32 {
         Ok(s) => s,
         Err(e) => {
             eprintln!("serve: I/O error: {e}");
+            epilogue();
             return 1;
         }
     };
-    if let Some(dir) = &cache_dir {
-        match service.persist_to_dir(Path::new(dir)) {
-            Ok(n) => eprintln!("serve: persisted {n} cached plans to {dir}"),
-            Err(e) => eprintln!("serve: could not persist cache to {dir}: {e}"),
-        }
-    }
-    if let Some(path) = &metrics_dump {
-        if let Some(snap) = service.metrics_snapshot() {
-            match write_metrics_dump(&snap, path) {
-                Ok(()) => eprintln!("serve: wrote final metrics snapshot to {path}"),
-                Err(msg) => eprintln!("serve: {msg}"),
-            }
-        }
-    }
+    epilogue();
     let stats = service.stats();
     eprintln!(
         "serve: {} requests ({} ok, {} errors){}; {} hits, {} misses, {} coalesced; \
@@ -798,12 +962,6 @@ fn cmd_serve(args: &[String]) -> i32 {
         stats.cache_entries,
         stats.cache_bytes
     );
-    if ring.dropped() > 0 {
-        eprintln!(
-            "serve: event ring (capacity {SERVE_RING_CAPACITY}) dropped {} old events",
-            ring.dropped()
-        );
-    }
     // An orderly shutdown/drain exits 0 even when some requests were
     // error responses: the operator asked the session to end and it
     // ended with every response delivered.
@@ -813,11 +971,132 @@ fn cmd_serve(args: &[String]) -> i32 {
     i32::from(summary.errors > 0)
 }
 
+/// `matopt fleet-chaos`: the kill harness as an operator command.
+/// Derives seeded SIGKILL schedules (kill-at-dispatch, kill
+/// mid-result-stream, heartbeat mutes), runs each against a real
+/// multi-process fleet, and checks every sink bit-exact against the
+/// serial in-process reference. Exits nonzero on any divergence.
+fn cmd_fleet_chaos(args: &[String]) -> i32 {
+    let mut schedules = 8u64;
+    let mut seed = 0x5eed_0000u64;
+    let mut workers = 4u32;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--schedules" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(n) if n >= 1 => schedules = n,
+                    _ => {
+                        eprintln!("fleet-chaos: --schedules expects a count >= 1");
+                        return 2;
+                    }
+                }
+            }
+            "--seed" => {
+                i += 1;
+                match args.get(i).and_then(|s| parse_seed(s)) {
+                    Some(s) => seed = s,
+                    None => {
+                        eprintln!("fleet-chaos: --seed expects an integer (0x-prefix ok)");
+                        return 2;
+                    }
+                }
+            }
+            "--workers" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u32>().ok()) {
+                    Some(n) if n >= 1 => workers = n,
+                    _ => {
+                        eprintln!("fleet-chaos: --workers expects a count >= 1");
+                        return 2;
+                    }
+                }
+            }
+            other => {
+                eprintln!("fleet-chaos: unknown option {other}");
+                return 2;
+            }
+        }
+        i += 1;
+    }
+    let worker_bin = match default_worker_bin() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("fleet-chaos: {e}");
+            return 1;
+        }
+    };
+    println!(
+        "fleet-chaos: {schedules} schedules, {workers} workers each, base seed {seed:#x}, \
+         daemon {}",
+        worker_bin.display()
+    );
+    let mut mismatches = 0u64;
+    for s in 0..schedules {
+        let schedule = derive_schedule(seed.wrapping_add(s), workers);
+        let cfg = FleetConfig {
+            workers,
+            heartbeat_interval: Duration::from_millis(25),
+            heartbeat_misses: 8,
+            restart: matopt_core::BackoffPolicy {
+                base_ms: 5,
+                cap_ms: 40,
+                max_attempts: 6,
+            },
+            worker_bin: worker_bin.clone(),
+            obs: None,
+            on_death: None,
+            seed: seed.wrapping_add(s) ^ 0xc4a0_5000,
+        };
+        match run_schedule(&schedule, cfg) {
+            Ok(r) => {
+                println!(
+                    "recovered seed={:#x} workload={} kills={} mid_stream={} deaths={} \
+                     redispatches={} restarts={} bit_exact={}",
+                    r.seed,
+                    r.workload,
+                    r.kills,
+                    r.mid_stream_kills,
+                    r.deaths,
+                    r.redispatches,
+                    r.restarts,
+                    r.bit_exact
+                );
+                if !r.bit_exact {
+                    mismatches += 1;
+                }
+            }
+            Err(e) => {
+                eprintln!("fleet-chaos: seed {:#x}: {e}", seed.wrapping_add(s));
+                mismatches += 1;
+            }
+        }
+    }
+    if mismatches > 0 {
+        eprintln!("fleet-chaos: {mismatches} of {schedules} schedules diverged");
+        1
+    } else {
+        println!("fleet-chaos: all {schedules} schedules recovered bit-exact");
+        0
+    }
+}
+
+/// Parses a seed: decimal, or hexadecimal with an `0x` prefix.
+fn parse_seed(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
 /// Resource-governor knobs forwarded from the command line.
 #[derive(Clone, Copy)]
 struct Governor {
     mem_budget: Option<u64>,
     hedge: Option<f64>,
+    worker_procs: Option<u32>,
 }
 
 /// `--analyze`: materialise random dense inputs for every source, run
@@ -843,6 +1122,24 @@ fn run_analyze(
         println!("hedging stragglers at {factor}x the predicted per-vertex runtime");
     }
     let hedge_config = governor.hedge.map(HedgeConfig::with_factor);
+    // `--worker-procs`: fork a supervised fleet and hand every vertex's
+    // chosen implementation across the process boundary. The fleet
+    // shares the run's metrics registry so liveness gauges land in
+    // `--metrics-dump` alongside the executor's own counters.
+    let fleet = match governor.worker_procs {
+        Some(n) => {
+            let mut cfg = FleetConfig::standard(n).map_err(|e| format!("--worker-procs: {e}"))?;
+            cfg.obs = obs.metrics().cloned();
+            let fleet = WorkerFleet::spawn(cfg).map_err(|e| format!("--worker-procs: {e}"))?;
+            println!(
+                "worker fleet: {n} supervised processes (heartbeat liveness, bounded restart)"
+            );
+            Some(fleet)
+        }
+        None => None,
+    };
+    let remote: Option<Arc<dyn RemoteVertexExec>> =
+        fleet.clone().map(|f| f as Arc<dyn RemoteVertexExec>);
     let analysis = match faults {
         Some((spec, seed, policy)) => {
             let injector = parse_fault_spec(spec, seed, graph.compute_count())?;
@@ -858,10 +1155,11 @@ fn run_analyze(
             )
             .map_err(|e| format!("fault-tolerant execution failed: {e}"))?
         }
-        None if governor.mem_budget.is_some() || governor.hedge.is_some() => {
+        None if governor.mem_budget.is_some() || governor.hedge.is_some() || remote.is_some() => {
             let options = ExecOptions {
                 mem_budget: governor.mem_budget,
                 hedge: hedge_config,
+                remote,
                 ..ExecOptions::default()
             };
             explain_analyze_with_options(graph, annotation, &inputs, ctx, &env.model, options, obs)
@@ -871,6 +1169,15 @@ fn run_analyze(
             .map_err(|e| format!("execution failed: {e}"))?,
     };
     print!("{analysis}");
+    if let Some(fleet) = fleet {
+        let fs = fleet.stats();
+        println!(
+            "fleet: {} tasks executed remotely; {} spawns, {} deaths ({} by heartbeat \
+             silence), {} restarts, {} redispatches",
+            fs.tasks_ok, fs.spawns, fs.deaths, fs.heartbeat_deaths, fs.restarts, fs.redispatches
+        );
+        fleet.shutdown();
+    }
     Ok(())
 }
 

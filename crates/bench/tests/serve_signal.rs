@@ -1,0 +1,75 @@
+//! `matopt serve` must drain gracefully on SIGTERM: answer everything
+//! already read off stdin, print the drain notice, run the epilogue,
+//! and exit 0 — even while the reader thread is parked in a blocking
+//! stdin read (the pipe stays open for the whole test).
+
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+#[test]
+fn sigterm_drains_answers_and_exits_zero() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_matopt"))
+        .args(["serve", "--beam", "200"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("matopt serve spawns");
+
+    // One real request, answered before the signal — proves the session
+    // was live and that drain preserves already-delivered work.
+    let mut stdin = child.stdin.take().expect("stdin piped");
+    stdin
+        .write_all(b"{\"id\": 1, \"workload\": \"ffnn-small:16\"}\n")
+        .expect("request written");
+    stdin.flush().expect("request flushed");
+
+    let mut stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
+    let mut response = String::new();
+    stdout.read_line(&mut response).expect("response read");
+    assert!(
+        response.contains("\"id\": \"1\"") && response.contains("\"status\": \"ok\""),
+        "unexpected response line: {response}"
+    );
+
+    // stdin stays open: the server is now parked in a blocking read.
+    // SIGTERM must still drain and exit 0.
+    let kill = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(kill.success(), "kill -TERM failed");
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let status = loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            break status;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "serve did not exit within 30s of SIGTERM"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    drop(stdin);
+
+    let mut stderr = String::new();
+    child
+        .stderr
+        .take()
+        .expect("stderr piped")
+        .read_to_string(&mut stderr)
+        .expect("stderr read");
+    assert_eq!(status.code(), Some(0), "exit nonzero; stderr:\n{stderr}");
+    assert!(
+        stderr.contains("termination signal received; draining"),
+        "drain notice missing from stderr:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("drained; 1 requests read, 1 responses written"),
+        "drain accounting missing from stderr:\n{stderr}"
+    );
+}

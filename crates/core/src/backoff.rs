@@ -1,0 +1,158 @@
+//! Jittered bounded exponential backoff, shared by every retry loop in
+//! the workspace.
+//!
+//! Three call sites used to hand-roll the same arithmetic with subtly
+//! different caps: the fault-tolerant executor's per-vertex retry
+//! (`matopt-engine`), the plan-cache directory lock's stale-steal spin
+//! (`matopt-serve`), and — new in the fleet work — the worker-process
+//! restart supervisor (`matopt-worker`). They all delegate here now, so
+//! the bound proved by the property test (`max_total_ms` dominates any
+//! realizable sleep sequence, for *any* jitter source) holds for each
+//! of them.
+//!
+//! The policy is deliberately free of clocks and PRNGs: callers supply
+//! the attempt number and a jitter word, the policy returns a delay in
+//! milliseconds. That keeps it usable both from seeded chaos harnesses
+//! (jitter from the injector's SplitMix64) and from production paths
+//! (jitter from [`mix_jitter`] over the pid).
+
+/// Bounded exponential backoff with additive jitter.
+///
+/// Delay for 1-based attempt `a` is
+/// `min(base_ms * 2^(a-1), cap_ms) + jitter mod base_ms`, so the
+/// jitter never exceeds one base delay and the total wait across all
+/// permitted attempts is bounded by [`BackoffPolicy::max_total_ms`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// First delay, in milliseconds; doubles per attempt.
+    pub base_ms: u64,
+    /// Per-attempt delay ceiling, in milliseconds (before jitter).
+    pub cap_ms: u64,
+    /// Attempts allowed before the caller must give up
+    /// ([`BackoffPolicy::exhausted`]).
+    pub max_attempts: u32,
+}
+
+impl BackoffPolicy {
+    /// Delay in milliseconds for 1-based `attempt`, mixing in the
+    /// caller-supplied jitter word (any source: seeded PRNG, pid hash).
+    ///
+    /// Attempt numbers beyond 16 doublings saturate at the cap rather
+    /// than overflowing the shift.
+    #[must_use]
+    pub fn delay_ms(&self, attempt: u32, jitter_word: u64) -> u64 {
+        let exp = self
+            .base_ms
+            .saturating_mul(1u64 << attempt.saturating_sub(1).min(16))
+            .min(self.cap_ms);
+        let jitter = jitter_word % self.base_ms.max(1);
+        exp.saturating_add(jitter)
+    }
+
+    /// Whether the 1-based `attempt` exceeds the policy's budget.
+    #[must_use]
+    pub fn exhausted(&self, attempt: u32) -> bool {
+        attempt > self.max_attempts
+    }
+
+    /// Upper bound on the total milliseconds slept across every
+    /// permitted attempt, for any jitter sequence: each attempt sleeps
+    /// at most `cap_ms + (base_ms - 1)`.
+    #[must_use]
+    pub fn max_total_ms(&self) -> u64 {
+        let per_attempt = self.cap_ms.saturating_add(self.base_ms.saturating_sub(1));
+        per_attempt.saturating_mul(u64::from(self.max_attempts))
+    }
+}
+
+/// Deterministic jitter word for call sites without a seeded PRNG:
+/// SplitMix64-style avalanche over `(salt, attempt)`. Same salt and
+/// attempt always yield the same word, so retry schedules stay
+/// reproducible under test.
+#[must_use]
+pub fn mix_jitter(salt: u64, attempt: u32) -> u64 {
+    let mut z = salt ^ (u64::from(attempt)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn doubles_then_caps() {
+        let p = BackoffPolicy {
+            base_ms: 1,
+            cap_ms: 8,
+            max_attempts: 6,
+        };
+        // base 1 → jitter is always 0, so the sequence is exact.
+        let delays: Vec<u64> = (1..=6).map(|a| p.delay_ms(a, u64::MAX)).collect();
+        assert_eq!(delays, vec![1, 2, 4, 8, 8, 8]);
+    }
+
+    #[test]
+    fn huge_attempt_numbers_saturate() {
+        let p = BackoffPolicy {
+            base_ms: 3,
+            cap_ms: 50,
+            max_attempts: u32::MAX,
+        };
+        assert_eq!(p.delay_ms(u32::MAX, 0), 50);
+        assert!(p.delay_ms(u32::MAX, u64::MAX) <= 52);
+    }
+
+    #[test]
+    fn exhaustion_is_strictly_after_budget() {
+        let p = BackoffPolicy {
+            base_ms: 1,
+            cap_ms: 8,
+            max_attempts: 3,
+        };
+        assert!(!p.exhausted(3));
+        assert!(p.exhausted(4));
+    }
+
+    #[test]
+    fn mix_jitter_is_deterministic_and_spread() {
+        assert_eq!(mix_jitter(7, 1), mix_jitter(7, 1));
+        assert_ne!(mix_jitter(7, 1), mix_jitter(7, 2));
+        assert_ne!(mix_jitter(7, 1), mix_jitter(8, 1));
+    }
+
+    proptest! {
+        /// The satellite-3 bound: for any policy and ANY jitter
+        /// sequence, the sum of realizable delays over the permitted
+        /// attempts never exceeds `max_total_ms`.
+        #[test]
+        fn total_wait_is_bounded(
+            base in 0u64..1000,
+            cap in 0u64..100_000,
+            attempts in 0u32..64,
+            jitters in proptest::collection::vec(0u64..=u64::MAX, 0..64),
+        ) {
+            let p = BackoffPolicy { base_ms: base, cap_ms: cap, max_attempts: attempts };
+            let total: u64 = (1..=attempts)
+                .map(|a| {
+                    let j = jitters.get(a as usize % jitters.len().max(1)).copied().unwrap_or(0);
+                    p.delay_ms(a, j)
+                })
+                .fold(0u64, u64::saturating_add);
+            prop_assert!(total <= p.max_total_ms(),
+                "total {total} exceeds bound {}", p.max_total_ms());
+        }
+
+        /// Delays are monotone in the attempt number up to the cap,
+        /// holding the jitter word fixed.
+        #[test]
+        fn monotone_until_cap(base in 1u64..100, cap in 1u64..10_000, j in 0u64..=u64::MAX) {
+            let p = BackoffPolicy { base_ms: base, cap_ms: cap, max_attempts: 20 };
+            for a in 1..20u32 {
+                prop_assert!(p.delay_ms(a, j) <= p.delay_ms(a + 1, j).max(p.cap_ms + base));
+            }
+        }
+    }
+}

@@ -86,6 +86,21 @@ pub fn format_words(format: PhysFormat) -> [u64; 2] {
     }
 }
 
+/// Decodes [`format_words`] back into a format; `None` for words no
+/// format encodes to (a torn or hostile wire payload).
+pub fn format_from_words(words: [u64; 2]) -> Option<PhysFormat> {
+    Some(match words {
+        [0, 0] => PhysFormat::SingleTuple,
+        [1, height] if height > 0 => PhysFormat::RowStrip { height },
+        [2, width] if width > 0 => PhysFormat::ColStrip { width },
+        [3, side] if side > 0 => PhysFormat::Tile { side },
+        [4, 0] => PhysFormat::Coo,
+        [5, 0] => PhysFormat::CsrSingle,
+        [6, side] if side > 0 => PhysFormat::CsrTile { side },
+        _ => return None,
+    })
+}
+
 /// Encodes an op as two words `(kind tag, payload bits)`.
 fn op_words(op: Op) -> [u64; 2] {
     let payload = match op {
@@ -93,6 +108,43 @@ fn op_words(op: Op) -> [u64; 2] {
         _ => 0,
     };
     [op.kind() as u64, payload]
+}
+
+/// Public alias of the canonical-form op encoding, for wire transport:
+/// `(kind tag, payload bits)`.
+pub fn op_to_words(op: Op) -> [u64; 2] {
+    op_words(op)
+}
+
+/// Decodes [`op_to_words`] back into an op; `None` for an unknown kind
+/// tag or a payload that is not finite where one is required.
+pub fn op_from_words(words: [u64; 2]) -> Option<Op> {
+    use crate::ops::OpKind;
+    let kind = *crate::ops::ALL_OP_KINDS.get(usize::try_from(words[0]).ok()?)?;
+    Some(match kind {
+        OpKind::MatMul => Op::MatMul,
+        OpKind::Add => Op::Add,
+        OpKind::Sub => Op::Sub,
+        OpKind::Hadamard => Op::Hadamard,
+        OpKind::ScalarMul => {
+            let alpha = f64::from_bits(words[1]);
+            if !alpha.is_finite() {
+                return None;
+            }
+            Op::ScalarMul(alpha)
+        }
+        OpKind::Transpose => Op::Transpose,
+        OpKind::Relu => Op::Relu,
+        OpKind::ReluGrad => Op::ReluGrad,
+        OpKind::Softmax => Op::Softmax,
+        OpKind::Sigmoid => Op::Sigmoid,
+        OpKind::Exp => Op::Exp,
+        OpKind::Neg => Op::Neg,
+        OpKind::RowSums => Op::RowSums,
+        OpKind::ColSums => Op::ColSums,
+        OpKind::Inverse => Op::Inverse,
+        OpKind::BroadcastAddRow => Op::BroadcastAddRow,
+    })
 }
 
 /// The six-word structural token of one vertex, excluding anything that
@@ -487,5 +539,39 @@ mod tests {
         let hex = form.hash_hex();
         assert_eq!(hex.len(), 32);
         assert_eq!(u128::from_str_radix(&hex, 16).unwrap(), form.hash);
+    }
+
+    #[test]
+    fn format_and_op_words_round_trip() {
+        use crate::format::{DEFAULT_STRIP_SIZES, DEFAULT_TILE_SIDES};
+        use crate::ops::OpKind;
+        let mut formats = vec![
+            PhysFormat::SingleTuple,
+            PhysFormat::Coo,
+            PhysFormat::CsrSingle,
+        ];
+        for s in DEFAULT_STRIP_SIZES {
+            formats.push(PhysFormat::RowStrip { height: s });
+            formats.push(PhysFormat::ColStrip { width: s });
+        }
+        for s in DEFAULT_TILE_SIDES {
+            formats.push(PhysFormat::Tile { side: s });
+            formats.push(PhysFormat::CsrTile { side: s });
+        }
+        for f in formats {
+            assert_eq!(format_from_words(format_words(f)), Some(f));
+        }
+        assert_eq!(format_from_words([9, 0]), None);
+        assert_eq!(format_from_words([1, 0]), None); // zero-height strip
+        for kind in crate::ops::ALL_OP_KINDS {
+            let op = op_from_words([kind as u64, 2.5f64.to_bits()]).expect("decodes");
+            assert_eq!(op.kind(), kind);
+            assert_eq!(op_from_words(op_to_words(op)), Some(op));
+        }
+        assert_eq!(op_from_words([99, 0]), None);
+        assert_eq!(
+            op_from_words([OpKind::ScalarMul as u64, f64::NAN.to_bits()]),
+            None
+        );
     }
 }

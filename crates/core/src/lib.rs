@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 
 mod annotate;
+mod backoff;
 mod canon;
 mod cluster;
 mod dot;
@@ -38,10 +39,13 @@ mod ops;
 mod resource;
 mod transforms;
 mod types;
+mod wire;
 
 pub use annotate::{plan_features, validate, PlanContext, PlanError, PlanFeatures};
+pub use backoff::{mix_jitter, BackoffPolicy};
 pub use canon::{
-    canonical_form, canonical_form_with, fnv1a_128, fnv1a_64, format_words, CanonicalForm,
+    canonical_form, canonical_form_with, fnv1a_128, fnv1a_64, format_from_words, format_words,
+    op_from_words, op_to_words, CanonicalForm,
 };
 pub use cluster::{Cluster, RecoveryPolicy};
 pub use dot::{annotated_to_dot, graph_to_dot};
@@ -55,3 +59,7 @@ pub use ops::{Op, OpKind, TypeError, ALL_OP_KINDS};
 pub use resource::{default_scratch_dir, parse_byte_size};
 pub use transforms::{Transform, TransformCatalog, TransformKind, ALL_TRANSFORM_KINDS};
 pub use types::{MatrixType, DENSE_ENTRY_BYTES, SPARSE_ENTRY_BYTES, TRIPLE_ENTRY_BYTES};
+pub use wire::{
+    frame_bytes, wire_fnv1a, write_frame, Frame, FrameReader, WireError, WIRE_MAGIC,
+    WIRE_MAX_BODY_WORDS,
+};

@@ -17,7 +17,10 @@
 use crate::impl_exec::{execute_impl_shared, ExecError};
 use crate::schedule::run_pipelined;
 use crate::value::DistRelation;
-use matopt_core::{Annotation, ComputeGraph, ImplRegistry, NodeId, NodeKind, TransformKind};
+use matopt_core::{
+    Annotation, ComputeGraph, ImplRegistry, MatrixType, NodeId, NodeKind, Op, PhysFormat, Strategy,
+    TransformKind,
+};
 use matopt_obs::{Obs, Subsystem};
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -171,6 +174,50 @@ pub struct ExecOptions {
     /// even the legacy path cannot race a concurrent
     /// [`matopt_kernels::set_gemm_mode`] flip mid-run.
     pub kernel_config: Option<Arc<matopt_kernels::KernelConfig>>,
+    /// Remote vertex-execution backend (`None` = run every kernel
+    /// in-process). When set, the pipelined scheduler still owns the
+    /// DAG — dependency tracking, transforms, buffer retirement — but
+    /// each vertex's chosen implementation is handed to the backend,
+    /// which is free to ship it across a process boundary. The worker
+    /// fleet (`matopt-worker`) is the canonical implementation:
+    /// supervision, restart, and lineage re-dispatch all live behind
+    /// this one seam.
+    pub remote: Option<Arc<dyn RemoteVertexExec>>,
+}
+
+/// A vertex-execution backend living outside the calling process.
+///
+/// The contract is bit-exactness: given the same strategy, op, inputs,
+/// and output shape, the backend must return exactly the relation
+/// [`execute_impl`](crate::execute_impl) would have produced locally —
+/// the chaos suite holds implementations to that across real `SIGKILL`
+/// schedules. A backend that cannot produce the value (worker dead
+/// beyond its restart budget, no survivors) must return a structured
+/// [`ExecError`] such as [`ExecError::WorkerLost`] — never hang.
+pub trait RemoteVertexExec: Send + Sync + std::fmt::Debug {
+    /// Executes one vertex's chosen implementation remotely and returns
+    /// the output relation.
+    ///
+    /// `inputs` are already transformed into the formats the chosen
+    /// implementation expects; `input_vertices` names the producing
+    /// vertex of each input (same order), so backends can substitute
+    /// values they already hold — the fleet's worker-side cache
+    /// affinity — instead of re-shipping bytes.
+    ///
+    /// # Errors
+    /// [`ExecError`] when the value cannot be produced.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_remote(
+        &self,
+        vertex: NodeId,
+        label: &str,
+        strategy: Strategy,
+        op: &Op,
+        inputs: &[Arc<DistRelation>],
+        input_vertices: &[NodeId],
+        out_type: MatrixType,
+        out_format: PhysFormat,
+    ) -> Result<DistRelation, ExecError>;
 }
 
 impl Default for ExecOptions {
@@ -183,6 +230,7 @@ impl Default for ExecOptions {
             straggler_delays_ms: None,
             shared_governor: None,
             kernel_config: None,
+            remote: None,
         }
     }
 }

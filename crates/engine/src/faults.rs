@@ -80,6 +80,17 @@ pub enum FaultKind {
         /// How many times the vertex fails for resources.
         repeats: u32,
     },
+    /// The worker *process* hosting this vertex is killed with a real
+    /// `SIGKILL` — the genuine-crash-domain analogue of
+    /// [`FaultKind::WorkerCrash`]. The fleet chaos harness
+    /// (`matopt-worker`) maps it to an actual process kill; the
+    /// in-process executor treats it exactly like a worker crash, the
+    /// closest simulable equivalent.
+    ProcessKill {
+        /// Fleet index of the worker to kill; `None` kills whichever
+        /// worker the step's vertex was dispatched to.
+        worker: Option<u32>,
+    },
 }
 
 impl std::fmt::Display for FaultKind {
@@ -94,6 +105,8 @@ impl std::fmt::Display for FaultKind {
             FaultKind::ResourceExhaustion { repeats } => {
                 write!(f, "resource exhaustion x{repeats}")
             }
+            FaultKind::ProcessKill { worker: Some(w) } => write!(f, "process kill (worker {w})"),
+            FaultKind::ProcessKill { worker: None } => write!(f, "process kill"),
         }
     }
 }
@@ -218,6 +231,9 @@ impl FaultInjector {
 /// topological order over compute vertices, `n_steps` of them):
 ///
 /// * `crash@S` — worker crash at step `S`;
+/// * `kill@S` or `kill@S:W` — real `SIGKILL` of the worker *process*
+///   at step `S` (worker `W`, default: whichever worker holds the
+///   step); simulated as a crash by the in-process executor;
 /// * `slow@SxF` — straggler at `S`, slowdown factor `F`;
 /// * `flaky@SxN` — `N` transient kernel failures at `S`;
 /// * `corrupt@S` or `corrupt@S:C` — corrupt chunk `C` (default 0) of
@@ -258,6 +274,22 @@ pub fn parse_fault_spec(spec: &str, seed: u64, n_steps: usize) -> Result<FaultIn
                     kind: FaultKind::WorkerCrash,
                 });
                 continue;
+            }
+            "kill" => {
+                let (s, worker) = match rest.split_once(':') {
+                    Some((s, w)) => (
+                        s,
+                        Some(
+                            w.parse::<u32>()
+                                .map_err(|_| format!("bad worker index {w:?} in {term:?}"))?,
+                        ),
+                    ),
+                    None => (rest, None),
+                };
+                FaultEvent {
+                    step: parse_step(s)?,
+                    kind: FaultKind::ProcessKill { worker },
+                }
             }
             "slow" => {
                 let (s, f) = rest
@@ -322,8 +354,8 @@ pub fn parse_fault_spec(spec: &str, seed: u64, n_steps: usize) -> Result<FaultIn
             }
             other => {
                 return Err(format!(
-                    "unknown fault kind {other:?} (expected crash|slow|flaky|corrupt|oom|random)"
-                ))
+                "unknown fault kind {other:?} (expected crash|kill|slow|flaky|corrupt|oom|random)"
+            ))
             }
         };
         events.push(kind);
@@ -459,6 +491,19 @@ mod tests {
     }
 
     #[test]
+    fn kill_terms_parse_with_and_without_worker() {
+        let inj = parse_fault_spec("kill@2, kill@4:1", 0, 6).expect("parses");
+        let pending = inj.pending();
+        assert_eq!(pending.len(), 2);
+        assert_eq!(pending[0].step, 2);
+        assert_eq!(pending[0].kind, FaultKind::ProcessKill { worker: None });
+        assert_eq!(pending[1].step, 4);
+        assert_eq!(pending[1].kind, FaultKind::ProcessKill { worker: Some(1) });
+        assert_eq!(format!("{}", pending[0].kind), "process kill");
+        assert_eq!(format!("{}", pending[1].kind), "process kill (worker 1)");
+    }
+
+    #[test]
     fn spec_grammar_round_trips() {
         let inj = parse_fault_spec("crash@3, slow@1x4.5, flaky@0x2, corrupt@2:5, oom@4x2", 9, 6)
             .expect("parses");
@@ -510,6 +555,12 @@ mod tests {
             ),
             ("corrupt@3:", "bad chunk index \"\" in \"corrupt@3:\""),
             ("corrupt@3:x", "bad chunk index \"x\" in \"corrupt@3:x\""),
+            ("kill@", "bad step \"\" in \"kill@\""),
+            ("kill@x", "bad step \"x\" in \"kill@x\""),
+            ("kill@9", "step 9 out of range in \"kill@9\""),
+            ("kill@1:", "bad worker index \"\" in \"kill@1:\""),
+            ("kill@1:w", "bad worker index \"w\" in \"kill@1:w\""),
+            ("kill@1:-1", "bad worker index \"-1\" in \"kill@1:-1\""),
             ("flaky@1x-2", "bad failure count \"-2\" in \"flaky@1x-2\""),
             ("flaky@1", "bad flaky term \"flaky@1\""),
             ("oom@1x1.5", "bad repeat count \"1.5\" in \"oom@1x1.5\""),

@@ -67,6 +67,19 @@ pub enum ExecError {
         /// The configured budget in bytes.
         budget: u64,
     },
+    /// A worker process died more times than the fleet's restart
+    /// budget while this vertex was dispatched to it, and no surviving
+    /// worker could take the re-dispatch — the value is unrecoverable
+    /// without operator intervention.
+    WorkerLost {
+        /// Fleet index of the worker whose crash domain took the work
+        /// down.
+        worker: u32,
+        /// The vertex whose value was lost.
+        vertex: NodeId,
+        /// The vertex's label in the compute graph.
+        label: String,
+    },
     /// A spilled buffer failed checksum or structural verification when
     /// reloaded from scratch.
     SpillCorrupted {
@@ -145,6 +158,16 @@ impl std::fmt::Display for ExecError {
                 write!(
                     f,
                     "vertex {vertex} ({label:?}) needs {need} resident bytes but the memory budget is {budget} — infeasible even with everything else spilled"
+                )
+            }
+            ExecError::WorkerLost {
+                worker,
+                vertex,
+                label,
+            } => {
+                write!(
+                    f,
+                    "worker {worker} died beyond its restart budget executing vertex {vertex} ({label:?}) and no survivor could recompute it"
                 )
             }
             ExecError::SpillCorrupted {
@@ -991,6 +1014,14 @@ mod tests {
                     budget: 1024,
                 },
                 "vertex v3 (\"dW1\") needs 4096 resident bytes but the memory budget is 1024 — infeasible even with everything else spilled",
+            ),
+            (
+                ExecError::WorkerLost {
+                    worker: 2,
+                    vertex: v,
+                    label: "dW1".to_string(),
+                },
+                "worker 2 died beyond its restart budget executing vertex v3 (\"dW1\") and no survivor could recompute it",
             ),
             (
                 ExecError::SpillCorrupted {

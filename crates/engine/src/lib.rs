@@ -44,7 +44,7 @@ pub use adaptive::{
 pub use calibrate::{collect_samples, collect_samples_traced, fit_model_traced};
 pub use exec::{
     execute_plan, execute_plan_serial, execute_plan_traced, execute_plan_with, reference_eval,
-    ExecOptions, ExecOutcome, GovernorStats, HedgeConfig, HedgeMark,
+    ExecOptions, ExecOutcome, GovernorStats, HedgeConfig, HedgeMark, RemoteVertexExec,
 };
 pub use explain::{
     explain_analyze, explain_analyze_with_faults, explain_analyze_with_options, explain_plan,
@@ -60,6 +60,6 @@ pub use sim::{
     format_hms, simulate_plan, simulate_plan_traced, simulate_plan_with_recovery, FailReason,
     RecoverySimReport, SimOutcome, SimReport, SimStep,
 };
-pub use spill::{SpillError, SpillManager, SpillTicket};
+pub use spill::{decode_relation, encode_relation, SpillError, SpillManager, SpillTicket};
 pub use sql::render_sql;
 pub use value::{Block, Chunk, DistRelation, ValueError};

@@ -75,6 +75,20 @@ pub struct RetryConfig {
     pub max_backoff_ms: u64,
 }
 
+impl RetryConfig {
+    /// The equivalent shared backoff policy: same base, cap, and
+    /// budget, with the delay arithmetic (and its bounded-total-wait
+    /// property test) hoisted into `matopt-core`.
+    #[must_use]
+    pub fn policy(&self) -> matopt_core::BackoffPolicy {
+        matopt_core::BackoffPolicy {
+            base_ms: self.base_backoff_ms,
+            cap_ms: self.max_backoff_ms,
+            max_attempts: self.max_retries,
+        }
+    }
+}
+
 impl Default for RetryConfig {
     fn default() -> Self {
         RetryConfig {
@@ -252,6 +266,7 @@ pub fn execute_fault_tolerant(
             straggler_delays_ms: None,
             shared_governor: config.shared_governor.clone(),
             kernel_config: None,
+            remote: None,
         };
         let mut out = run_pipelined(graph, annotation, inputs, registry, obs, true, &options)?;
         // Take each slot so the `Arc` is unique and `unshare` moves
@@ -440,7 +455,11 @@ pub fn execute_fault_tolerant(
                         pending_transient += failures;
                     }
                     FaultKind::CorruptedChunk { chunk } => corrupt_hints.push(chunk),
-                    FaultKind::WorkerCrash => {
+                    // A real process kill is simulated in-process as a
+                    // worker crash: same loss set, same lineage-replay
+                    // recovery. The fleet harness (`matopt-worker`)
+                    // maps it to an actual SIGKILL instead.
+                    FaultKind::WorkerCrash | FaultKind::ProcessKill { .. } => {
                         let dt = recover_crash(
                             graph,
                             &epoch_done,
@@ -722,17 +741,17 @@ fn backoff(
     cause: &str,
     obs: &Obs,
 ) -> f64 {
-    let exp = retry
-        .base_backoff_ms
-        .saturating_mul(1u64 << attempt.saturating_sub(1).min(16))
-        .min(retry.max_backoff_ms);
-    let jitter = injector.rng().below(retry.base_backoff_ms.max(1));
-    let delay = Duration::from_millis(exp + jitter);
+    // Delay arithmetic lives in `matopt_core::BackoffPolicy` (shared
+    // with the cache DirLock and the worker-fleet restart supervisor);
+    // the jitter word comes from the injector's seeded PRNG so chaos
+    // runs stay reproducible.
+    let ms = retry.policy().delay_ms(attempt, injector.rng().next_u64());
+    let delay = Duration::from_millis(ms);
     obs.record(Subsystem::Faults, "retry", || {
         vec![
             ("vertex", vertex.index().into()),
             ("attempt", attempt.into()),
-            ("backoff_ms", ((exp + jitter) as i64).into()),
+            ("backoff_ms", (ms as i64).into()),
             ("cause", cause.to_string().into()),
         ]
     });

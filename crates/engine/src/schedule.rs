@@ -421,6 +421,9 @@ struct RunState {
     /// explicit config, or a one-shot snapshot of the legacy global —
     /// resolved once at run start so concurrent runs can't race.
     kcfg: Arc<matopt_kernels::KernelConfig>,
+    /// Remote vertex-execution backend; when set, chosen
+    /// implementations run through it instead of in-process.
+    remote: Option<Arc<dyn crate::exec::RemoteVertexExec>>,
 }
 
 /// Runs the annotated graph through the pipelined scheduler.
@@ -554,6 +557,7 @@ pub(crate) fn run_pipelined(
             .kernel_config
             .clone()
             .unwrap_or_else(|| Arc::new(matopt_kernels::KernelConfig::global())),
+        remote: options.remote.clone(),
     });
 
     // Seed the sources inline (they are the caller's inputs, possibly
@@ -1301,15 +1305,27 @@ fn compute_vertex(
         ]
     });
     let t0 = Instant::now();
-    let out = execute_impl_shared(
-        impl_def.strategy,
-        op,
-        &transformed,
-        node.mtype,
-        choice.output_format,
-        &state.kcfg,
-    )
-    .map_err(|e| e.at_vertex(v, &vertex_label(&state.graph, v)))?;
+    let out = match &state.remote {
+        Some(remote) => remote.execute_remote(
+            v,
+            &vertex_label(&state.graph, v),
+            impl_def.strategy,
+            op,
+            &transformed,
+            &node.inputs,
+            node.mtype,
+            choice.output_format,
+        )?,
+        None => execute_impl_shared(
+            impl_def.strategy,
+            op,
+            &transformed,
+            node.mtype,
+            choice.output_format,
+            &state.kcfg,
+        )
+        .map_err(|e| e.at_vertex(v, &vertex_label(&state.graph, v)))?,
+    };
     let isecs = t0.elapsed().as_secs_f64();
     if let Some(m) = state.obs.metrics() {
         // Per-implementation kernel latency; vertex granularity, so the

@@ -376,6 +376,30 @@ fn decode(bytes: &[u8], mtype: MatrixType, format: PhysFormat) -> Result<DistRel
     })
 }
 
+/// Serializes a relation in the spill wire format — magic word, chunk
+/// tags, all-u64-LE payload, dual FNV-1a checksums. This is also the
+/// payload encoding the worker fleet ships inside its socket frames,
+/// so process-boundary transport and disk spill verify corruption the
+/// same way.
+#[must_use]
+pub fn encode_relation(rel: &DistRelation) -> Vec<u8> {
+    encode(rel)
+}
+
+/// Decodes [`encode_relation`] bytes back into a relation, verifying
+/// both checksums and every structural bound.
+///
+/// # Errors
+/// [`SpillError::Corrupt`] when any byte of the payload is torn,
+/// truncated, or altered — never a panic, never a fabricated value.
+pub fn decode_relation(
+    bytes: &[u8],
+    mtype: MatrixType,
+    format: PhysFormat,
+) -> Result<DistRelation, SpillError> {
+    decode(bytes, mtype, format)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -422,6 +446,27 @@ mod tests {
             let back = mgr.reload(&ticket).expect("reload");
             assert_eq!(rel, back);
             mgr.remove(&ticket);
+        }
+    }
+
+    /// The satellite contract for the spill codec: EVERY prefix length
+    /// of a valid encoding must decode to a structured
+    /// [`SpillError::Corrupt`] — never a panic, never an `Ok` with
+    /// fabricated chunks. (The full length, excluded here, must still
+    /// round-trip.) This is what lets the fleet treat the same bytes as
+    /// its frame payload: a worker killed mid-result can only ever tear
+    /// the stream into a rejected prefix.
+    #[test]
+    fn every_prefix_truncation_is_a_structured_corruption() {
+        let rel = dense_rel(5, 4, 7);
+        let bytes = encode(&rel);
+        assert_eq!(decode(&bytes, rel.mtype, rel.format).expect("full"), rel);
+        for cut in 0..bytes.len() {
+            match decode(&bytes[..cut], rel.mtype, rel.format) {
+                Err(SpillError::Corrupt(_)) => {}
+                Err(SpillError::Io(e)) => panic!("prefix {cut}: unexpected I/O error {e}"),
+                Ok(_) => panic!("prefix {cut} of {} decoded to a value", bytes.len()),
+            }
         }
     }
 

@@ -60,6 +60,10 @@ pub enum Subsystem {
     /// The concurrent plan service and its fingerprint cache
     /// (`matopt-serve`).
     Serve,
+    /// The supervised multi-process worker fleet (`matopt-worker`):
+    /// spawn/heartbeat/restart lifecycle, dispatches, redispatches,
+    /// torn-frame detections.
+    Fleet,
 }
 
 impl Subsystem {
@@ -75,6 +79,7 @@ impl Subsystem {
             Subsystem::Faults => "faults",
             Subsystem::Sched => "sched",
             Subsystem::Serve => "serve",
+            Subsystem::Fleet => "fleet",
         }
     }
 }

@@ -44,7 +44,7 @@ use crate::{Fingerprint, PlanService, Planned, ServeError};
 use matopt_core::{ComputeGraph, NodeId};
 use matopt_engine::{
     execute_plan_serial, execute_plan_with, DistRelation, ExecOptions, ExecOutcome, FaultInjector,
-    FtConfig, HedgeConfig, SharedGovernor, SharedGovernorStats,
+    FtConfig, HedgeConfig, RemoteVertexExec, SharedGovernor, SharedGovernorStats,
 };
 use matopt_obs::{Histogram, Subsystem};
 use std::collections::HashMap;
@@ -155,6 +155,9 @@ pub struct FrontStats {
     pub hedges_launched: u64,
     /// Hedged duplicates that won their race.
     pub hedges_won: u64,
+    /// Worker-process deaths reported by an attached fleet (each one
+    /// also counts into the breaker's storm window).
+    pub worker_deaths: u64,
     /// Breaker counters.
     pub breaker: BreakerStats,
     /// Breaker state at snapshot time.
@@ -258,6 +261,12 @@ pub struct FrontDoor {
     queued_waits: AtomicU64,
     hedges_launched: AtomicU64,
     hedges_won: AtomicU64,
+    /// Remote vertex-execution backend for admitted runs (`None` =
+    /// in-process kernels). Attached after construction because the
+    /// fleet usually wants a death observer pointing back at this very
+    /// front door.
+    remote: Mutex<Option<Arc<dyn RemoteVertexExec>>>,
+    worker_deaths: AtomicU64,
 }
 
 impl FrontDoor {
@@ -292,7 +301,26 @@ impl FrontDoor {
             queued_waits: AtomicU64::new(0),
             hedges_launched: AtomicU64::new(0),
             hedges_won: AtomicU64::new(0),
+            remote: Mutex::new(None),
+            worker_deaths: AtomicU64::new(0),
         }
+    }
+
+    /// Routes every subsequent execution's kernels through `backend`
+    /// (the worker fleet). Planned work in flight keeps whatever
+    /// backend it started with.
+    pub fn attach_remote(&self, backend: Arc<dyn RemoteVertexExec>) {
+        *self.remote.lock().expect("front remote") = Some(backend);
+    }
+
+    /// Records one worker-process death. Deaths feed the breaker's
+    /// storm window exactly like fault-recovery storms: a worker-death
+    /// storm (crash-looping fleet) trips the breaker into degraded
+    /// serial execution rather than letting every request ride a dying
+    /// fleet.
+    pub fn record_worker_death(&self) {
+        self.worker_deaths.fetch_add(1, Ordering::Relaxed);
+        self.breaker.record_storm_event();
     }
 
     /// The wrapped plan service.
@@ -331,6 +359,30 @@ impl FrontDoor {
     #[must_use]
     pub fn is_draining(&self) -> bool {
         self.sched.lock().expect("front sched").draining
+    }
+
+    /// [`FrontDoor::drain`], then blocks until every admitted
+    /// execution — including remote waves running on a worker fleet —
+    /// has finished, or `timeout` elapses. Returns `true` when the
+    /// door went fully idle; `false` on timeout (work still in
+    /// flight). The caller can then shut its fleet down knowing no
+    /// wave still depends on the workers.
+    pub fn drain_and_wait(&self, timeout: Duration) -> bool {
+        self.drain();
+        let deadline = Instant::now() + timeout;
+        loop {
+            let idle = {
+                let sched = self.sched.lock().expect("front sched");
+                sched.running == 0 && sched.queue.is_empty()
+            };
+            if idle {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
     }
 
     /// Serves a plan through the tenant's quota: fingerprint → cache →
@@ -515,6 +567,7 @@ impl FrontDoor {
                     straggler_delays_ms: None,
                     shared_governor: self.shared.clone(),
                     kernel_config: Some(self.service.kernel_config()),
+                    remote: self.remote.lock().expect("front remote").clone(),
                 };
                 execute_plan_with(
                     req.graph,
@@ -908,6 +961,7 @@ impl FrontDoor {
             queued_waits: self.queued_waits.load(Ordering::Relaxed),
             hedges_launched: self.hedges_launched.load(Ordering::Relaxed),
             hedges_won: self.hedges_won.load(Ordering::Relaxed),
+            worker_deaths: self.worker_deaths.load(Ordering::Relaxed),
             breaker: self.breaker.stats(),
             breaker_state: self.breaker.state(),
             pool: self.shared.as_ref().map(|p| p.stats()),

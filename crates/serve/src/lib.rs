@@ -55,7 +55,10 @@ pub use cache::{plan_bytes, CacheConfig, CacheCounters, PlanCache};
 pub use fingerprint::{fingerprint, sparsity_bucket, Fingerprint};
 pub use front::{ExecRequest, ExecResponse, FrontDoor, FrontDoorConfig, FrontStats};
 pub use persist::{load_cache, save_cache, LoadReport, CACHE_FILE, LOCK_FILE};
-pub use server::{respond, serve_lines, serve_lines_concurrent, stats_line, ServeSummary};
+pub use server::{
+    respond, serve_lines, serve_lines_concurrent, serve_lines_concurrent_session,
+    serve_lines_session, stats_line, ServeSession, ServeSummary,
+};
 pub use service::{PlanService, PlanSource, Planned, ServeError, ServeStats};
 pub use tenant::{TenancyConfig, TenantConfig, TenantStats};
 

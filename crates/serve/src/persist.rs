@@ -308,6 +308,17 @@ impl DirLock {
     fn acquire_with(dir: &Path, stale_after: Duration, deadline: Duration) -> io::Result<DirLock> {
         let path = dir.join(LOCK_FILE);
         let started = Instant::now();
+        // Contention waits use the shared jittered-backoff helper
+        // (same policy family as executor retries and fleet restarts):
+        // 1 ms doubling to a 16 ms cap, with pid-salted jitter so two
+        // processes contending for the lock don't wake in lockstep.
+        let backoff = matopt_core::BackoffPolicy {
+            base_ms: 1,
+            cap_ms: 16,
+            max_attempts: u32::MAX,
+        };
+        let salt = u64::from(std::process::id());
+        let mut attempt = 0u32;
         loop {
             match std::fs::OpenOptions::new()
                 .write(true)
@@ -332,7 +343,9 @@ impl DirLock {
                             format!("cache lock {} held too long", path.display()),
                         ));
                     }
-                    std::thread::sleep(Duration::from_millis(2));
+                    attempt = attempt.saturating_add(1);
+                    let ms = backoff.delay_ms(attempt, matopt_core::mix_jitter(salt, attempt));
+                    std::thread::sleep(Duration::from_millis(ms));
                 }
                 Err(e) => return Err(e),
             }

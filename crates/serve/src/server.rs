@@ -38,6 +38,58 @@ pub struct ServeSummary {
     pub clean_shutdown: bool,
 }
 
+/// Live, shareable view of a running serve session: how much has been
+/// read and answered, plus an external stop request a signal watcher
+/// can flip — the hook behind `matopt serve`'s SIGTERM/SIGINT graceful
+/// drain. Stopping is drain-shaped: the loop stops *reading*, but every
+/// request already read is still answered before the call returns.
+#[derive(Debug, Default)]
+pub struct ServeSession {
+    requests_read: AtomicU64,
+    responses_written: AtomicU64,
+    stop: std::sync::atomic::AtomicBool,
+}
+
+impl ServeSession {
+    /// A fresh session handle.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Non-empty request lines read so far.
+    #[must_use]
+    pub fn requests_read(&self) -> u64 {
+        self.requests_read.load(Ordering::Acquire)
+    }
+
+    /// Response lines written so far.
+    #[must_use]
+    pub fn responses_written(&self) -> u64 {
+        self.responses_written.load(Ordering::Acquire)
+    }
+
+    /// Requests read but not yet answered.
+    #[must_use]
+    pub fn in_flight(&self) -> u64 {
+        self.requests_read()
+            .saturating_sub(self.responses_written())
+    }
+
+    /// Asks the serve loop to stop reading further input; in-flight
+    /// requests still complete (checked between lines — a loop blocked
+    /// on a quiet transport notices at its next line or EOF).
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
+    /// Whether [`ServeSession::request_stop`] has been called.
+    #[must_use]
+    pub fn stop_requested(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+}
+
 /// Control lines that steer the serve loop itself.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Control {
@@ -89,6 +141,21 @@ pub fn serve_lines<R: BufRead, W: Write>(
     input: R,
     output: &mut W,
 ) -> io::Result<ServeSummary> {
+    serve_lines_session(service, input, output, &ServeSession::new())
+}
+
+/// [`serve_lines`] with an external [`ServeSession`] handle: live
+/// read/answer counters plus a stop flag a signal watcher can flip to
+/// drain the loop between lines.
+///
+/// # Errors
+/// Propagates I/O errors from the transport.
+pub fn serve_lines_session<R: BufRead, W: Write>(
+    service: &PlanService,
+    input: R,
+    output: &mut W,
+    session: &ServeSession,
+) -> io::Result<ServeSummary> {
     let mut summary = ServeSummary::default();
     let mut draining = false;
     for line in input.lines() {
@@ -97,6 +164,7 @@ pub fn serve_lines<R: BufRead, W: Write>(
             continue;
         }
         summary.requests += 1;
+        session.requests_read.fetch_add(1, Ordering::AcqRel);
         let control = control_op(&line);
         let response = match control {
             Some(op) => control_ack(&line, op),
@@ -111,6 +179,7 @@ pub fn serve_lines<R: BufRead, W: Write>(
         output.write_all(response.as_bytes())?;
         output.write_all(b"\n")?;
         output.flush()?;
+        session.responses_written.fetch_add(1, Ordering::AcqRel);
         match control {
             Some(Control::Shutdown) => {
                 summary.clean_shutdown = true;
@@ -121,6 +190,10 @@ pub fn serve_lines<R: BufRead, W: Write>(
                 draining = true;
             }
             None => {}
+        }
+        if session.stop_requested() {
+            summary.clean_shutdown = true;
+            return Ok(summary);
         }
     }
     Ok(summary)
@@ -160,8 +233,25 @@ pub fn serve_lines_concurrent<R: BufRead, W: Write + Send>(
     output: &mut W,
     threads: usize,
 ) -> io::Result<ServeSummary> {
+    serve_lines_concurrent_session(service, input, output, threads, &ServeSession::new())
+}
+
+/// [`serve_lines_concurrent`] with an external [`ServeSession`] handle
+/// (live counters + stop flag); the stop flag is checked between read
+/// lines, and everything already read is still answered — the same
+/// position-decides contract as an in-band `{"op": "drain"}`.
+///
+/// # Errors
+/// Propagates I/O errors from the transport.
+pub fn serve_lines_concurrent_session<R: BufRead, W: Write + Send>(
+    service: &PlanService,
+    input: R,
+    output: &mut W,
+    threads: usize,
+    session: &ServeSession,
+) -> io::Result<ServeSummary> {
     if threads <= 1 {
-        return serve_lines(service, input, output);
+        return serve_lines_session(service, input, output, session);
     }
     let mut summary = ServeSummary::default();
     // Everything with seq > drain_seq is refused with a draining error.
@@ -209,6 +299,7 @@ pub fn serve_lines_concurrent<R: BufRead, W: Write + Send>(
                     output.write_all(response.as_bytes())?;
                     output.write_all(b"\n")?;
                     output.flush()?;
+                    session.responses_written.fetch_add(1, Ordering::AcqRel);
                 }
             }
             Ok((ok, errors))
@@ -233,6 +324,7 @@ pub fn serve_lines_concurrent<R: BufRead, W: Write + Send>(
                 continue;
             }
             summary.requests += 1;
+            session.requests_read.fetch_add(1, Ordering::AcqRel);
             let control = control_op(&line);
             if work_tx.send((seq, line)).is_err() {
                 break;
@@ -249,6 +341,10 @@ pub fn serve_lines_concurrent<R: BufRead, W: Write + Send>(
                 None => {}
             }
             seq += 1;
+            if session.stop_requested() {
+                clean = true;
+                break;
+            }
         }
         drop(work_tx);
         let written = writer.join().expect("writer thread");

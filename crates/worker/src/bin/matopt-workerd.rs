@@ -1,0 +1,204 @@
+//! The worker daemon: dials back to the fleet coordinator, heartbeats,
+//! and executes one vertex implementation per task frame.
+//!
+//! Configuration is via environment (set by the fleet when forking):
+//! `MATOPT_WORKER_ADDR` (coordinator loopback address),
+//! `MATOPT_WORKER_ID`, `MATOPT_WORKER_GEN`, `MATOPT_WORKER_BEAT_MS`.
+//!
+//! The daemon is deliberately crash-friendly: any protocol anomaly is
+//! an `exit(1)` — the supervisor treats the torn stream as death and
+//! handles recovery. Holding corrupted state alive would be worse.
+
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use matopt_core::{frame_bytes, write_frame, FrameReader, ImplId, ImplRegistry, WireError};
+use matopt_engine::{execute_impl, DistRelation};
+use matopt_worker::proto::{
+    decode_task, encode_hello, encode_result, encode_task_err, Hello, TaskInput, TaskSpec,
+    CHANNEL_BEAT, CHANNEL_TASK, TAG_BEAT, TAG_CHAOS, TAG_HELLO, TAG_RESULT, TAG_SHUTDOWN, TAG_TASK,
+    TAG_TASK_ERR,
+};
+
+fn env_u64(name: &str) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            eprintln!("matopt-workerd: missing or malformed {name}");
+            std::process::exit(2);
+        })
+}
+
+fn main() {
+    let addr = std::env::var("MATOPT_WORKER_ADDR").unwrap_or_else(|_| {
+        eprintln!(
+            "matopt-workerd: MATOPT_WORKER_ADDR not set (this binary is forked by the fleet)"
+        );
+        std::process::exit(2);
+    });
+    let worker = env_u64("MATOPT_WORKER_ID") as u32;
+    let generation = env_u64("MATOPT_WORKER_GEN");
+    let beat_ms = env_u64("MATOPT_WORKER_BEAT_MS").max(1);
+    let pid = std::process::id();
+
+    matopt_worker::install_termination_handler();
+
+    let dial = |channel: u64| -> TcpStream {
+        let stream = TcpStream::connect(&addr).unwrap_or_else(|e| {
+            eprintln!("matopt-workerd: dial {addr}: {e}");
+            std::process::exit(1);
+        });
+        stream.set_nodelay(true).ok();
+        let hello = Hello {
+            worker,
+            channel,
+            generation,
+            pid,
+        };
+        let mut w = BufWriter::new(stream.try_clone().unwrap_or_else(|e| {
+            eprintln!("matopt-workerd: clone stream: {e}");
+            std::process::exit(1);
+        }));
+        if let Err(e) = write_frame(&mut w, TAG_HELLO, &encode_hello(hello)) {
+            eprintln!("matopt-workerd: hello: {e}");
+            std::process::exit(1);
+        }
+        stream
+    };
+
+    let task_stream = dial(CHANNEL_TASK);
+    let beat_stream = dial(CHANNEL_BEAT);
+
+    // Heartbeat thread: one TAG_BEAT per interval until muted (chaos)
+    // or the socket dies.
+    let muted = Arc::new(AtomicBool::new(false));
+    {
+        let muted = Arc::clone(&muted);
+        std::thread::spawn(move || {
+            let mut w = BufWriter::new(beat_stream);
+            loop {
+                if !muted.load(Ordering::Relaxed)
+                    && write_frame(&mut w, TAG_BEAT, &[generation]).is_err()
+                {
+                    return; // coordinator is gone; main loop sees EOF too
+                }
+                std::thread::sleep(Duration::from_millis(beat_ms));
+            }
+        });
+    }
+
+    let registry = ImplRegistry::paper_default();
+    let mut cache: HashMap<u64, DistRelation> = HashMap::new();
+    let mut reader = FrameReader::new(BufReader::new(task_stream.try_clone().unwrap_or_else(
+        |e| {
+            eprintln!("matopt-workerd: clone task stream: {e}");
+            std::process::exit(1);
+        },
+    )));
+    let mut writer = BufWriter::new(task_stream);
+
+    loop {
+        if matopt_worker::termination_requested() {
+            std::process::exit(0);
+        }
+        let frame = match reader.read_frame() {
+            Ok(f) => f,
+            Err(WireError::Eof) => std::process::exit(0), // clean coordinator exit
+            Err(e) => {
+                eprintln!("matopt-workerd: task stream: {e}");
+                std::process::exit(1);
+            }
+        };
+        match frame.tag {
+            TAG_SHUTDOWN => std::process::exit(0),
+            TAG_CHAOS => muted.store(true, Ordering::Relaxed),
+            TAG_TASK => {
+                let task = match decode_task(&frame.body) {
+                    Ok(t) => t,
+                    Err(m) => {
+                        eprintln!("matopt-workerd: bad task: {m}");
+                        std::process::exit(1);
+                    }
+                };
+                match run_task(&registry, &mut cache, &task) {
+                    Ok(rel) => {
+                        cache.insert(task.vertex, rel.clone());
+                        send_result(&mut writer, &task, &rel);
+                    }
+                    Err(msg) => {
+                        if write_frame(&mut writer, TAG_TASK_ERR, &encode_task_err(task.seq, &msg))
+                            .is_err()
+                        {
+                            std::process::exit(1);
+                        }
+                    }
+                }
+            }
+            other => {
+                eprintln!("matopt-workerd: unexpected tag {other}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Executes one task against the worker's vertex cache.
+fn run_task(
+    registry: &ImplRegistry,
+    cache: &mut HashMap<u64, DistRelation>,
+    task: &TaskSpec,
+) -> Result<DistRelation, String> {
+    if usize::from(task.impl_id) >= registry.len() {
+        return Err(format!("impl id {} out of registry range", task.impl_id));
+    }
+    let strategy = registry.get(ImplId(task.impl_id)).strategy;
+    for input in &task.inputs {
+        if let TaskInput::Inline { vertex, rel } = input {
+            cache.insert(*vertex, rel.clone());
+        }
+    }
+    let mut resolved: Vec<&DistRelation> = Vec::with_capacity(task.inputs.len());
+    for input in &task.inputs {
+        let (TaskInput::Inline { vertex, .. } | TaskInput::Cached { vertex }) = input;
+        match cache.get(vertex) {
+            Some(rel) => resolved.push(rel),
+            None => return Err(format!("cache miss for vertex {vertex}")),
+        }
+    }
+    execute_impl(
+        strategy,
+        &task.op,
+        &resolved,
+        task.out_type,
+        task.out_format,
+    )
+    .map_err(|e| format!("execute: {e}"))
+}
+
+/// Writes the result frame; when the task carries a chaos `stall_ms`,
+/// the frame is split mid-byte-stream — first half flushed, stall,
+/// second half — so a SIGKILL during the stall leaves a deterministic
+/// torn frame on the coordinator's reader.
+fn send_result(writer: &mut BufWriter<TcpStream>, task: &TaskSpec, rel: &DistRelation) {
+    let body = encode_result(task.seq, rel);
+    if task.stall_ms == 0 {
+        if write_frame(writer, TAG_RESULT, &body).is_err() {
+            std::process::exit(1);
+        }
+        return;
+    }
+    let bytes = frame_bytes(TAG_RESULT, &body);
+    let mid = bytes.len() / 2;
+    if writer.write_all(&bytes[..mid]).is_err() || writer.flush().is_err() {
+        std::process::exit(1);
+    }
+    std::thread::sleep(Duration::from_millis(task.stall_ms));
+    if writer.write_all(&bytes[mid..]).is_err() || writer.flush().is_err() {
+        std::process::exit(1);
+    }
+}

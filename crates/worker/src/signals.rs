@@ -1,0 +1,78 @@
+//! Minimal SIGTERM/SIGINT latching, so `matopt serve` (and the worker
+//! daemon) can drain in-flight work instead of dying mid-wave.
+//!
+//! The only unsafe in the workspace lives here: one `signal(2)` call
+//! per signal, installing a handler that does nothing but store to an
+//! atomic. Everything downstream polls [`termination_requested`].
+
+#[allow(unsafe_code)]
+mod raw {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// POSIX SIGINT.
+    pub const SIGINT: i32 = 2;
+    /// POSIX SIGTERM.
+    pub const SIGTERM: i32 = 15;
+
+    static TERMINATION: AtomicBool = AtomicBool::new(false);
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Async-signal-safe: a relaxed atomic store, nothing else.
+        TERMINATION.store(true, Ordering::Relaxed);
+    }
+
+    /// Installs the latching handler for SIGINT and SIGTERM.
+    pub fn install() {
+        // SAFETY: `signal` is only handed a handler that performs an
+        // atomic store; replacing the disposition is process-global but
+        // we install exactly this one handler, idempotently.
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        }
+    }
+
+    /// True once SIGINT or SIGTERM has been delivered.
+    pub fn requested() -> bool {
+        TERMINATION.load(Ordering::Relaxed)
+    }
+
+    /// Test hook: pretend a signal arrived.
+    pub fn simulate() {
+        TERMINATION.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Installs latching SIGINT/SIGTERM handlers (idempotent).
+pub fn install_termination_handler() {
+    raw::install();
+}
+
+/// True once a termination signal has been delivered (or simulated).
+#[must_use]
+pub fn termination_requested() -> bool {
+    raw::requested()
+}
+
+/// Latches the termination flag without a real signal — used by tests
+/// and by in-process drain paths that share the signal epilogue.
+pub fn simulate_termination() {
+    raw::simulate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_is_idempotent_and_simulation_latches() {
+        install_termination_handler();
+        install_termination_handler();
+        simulate_termination();
+        assert!(termination_requested());
+    }
+}
