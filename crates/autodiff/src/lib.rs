@@ -1,0 +1,783 @@
+//! Reverse-mode differentiation of compute graphs.
+//!
+//! Given a [`ComputeGraph`], a scalar loss vertex (or an explicit
+//! adjoint seed), and a set of parameter vertices, this crate appends
+//! gradient vertices built from per-[`Op`] vector-Jacobian rules —
+//! `dA = dC·Bᵀ`, `dB = Aᵀ·dC` for a matmul, and so on — accumulating
+//! fan-out contributions with explicit `Add` vertices.
+//!
+//! The output is *one* joint forward+backward DAG: the backward tape
+//! references forward values (`exp(x)` reuses the forward `Exp` vertex,
+//! relu masks reuse the pre-activation) instead of recomputing them, so
+//! the existing frontier DP plans the whole training step at once and
+//! can exploit exactly that sharing. This is the paper's thesis applied
+//! to learning: gradients are just more matrix algebra, so they go
+//! through the same optimizer instead of a separate hand-tuned path.
+
+use matopt_core::{ComputeGraph, DiffRole, MatrixType, NodeId, NodeKind, Op, OpKind, PhysFormat};
+use std::collections::HashMap;
+
+/// An all-ones auxiliary source appended by the differentiator (adjoint
+/// seeds and broadcast helpers). The runner must bind each one to an
+/// all-ones dense matrix of the given shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuxSource {
+    /// The source vertex id in the joint graph.
+    pub id: NodeId,
+    /// Row count of the all-ones matrix.
+    pub rows: u64,
+    /// Column count of the all-ones matrix.
+    pub cols: u64,
+}
+
+/// The joint forward+backward graph produced by differentiation.
+#[derive(Debug, Clone)]
+pub struct DiffResult {
+    /// The extended graph: the original vertices (ids unchanged)
+    /// followed by the backward tape.
+    pub graph: ComputeGraph,
+    /// `(parameter, gradient)` vertex pairs, in the order the
+    /// parameters were requested.
+    pub gradients: Vec<(NodeId, NodeId)>,
+    /// Per-vertex [`DiffRole`], aligned with the joint graph — feeds
+    /// [`matopt_core::training_to_dot`].
+    pub roles: Vec<DiffRole>,
+    /// All-ones sources the runner must materialize.
+    pub aux: Vec<AuxSource>,
+    /// The adjoint seed vertex: the appended unit scalar for
+    /// [`gradients`], the caller's vertex for [`gradients_with_seed`].
+    pub seed: NodeId,
+    /// Vertex count of the original graph; every id `>=` this is part
+    /// of the backward tape.
+    pub forward_len: usize,
+}
+
+impl DiffResult {
+    /// The gradient vertex for a parameter, if it was requested.
+    pub fn gradient(&self, param: NodeId) -> Option<NodeId> {
+        self.gradients
+            .iter()
+            .find(|(p, _)| *p == param)
+            .map(|(_, g)| *g)
+    }
+}
+
+/// Why a graph could not be differentiated. Every vertex-scoped variant
+/// carries both the vertex id and its graph label, matching the
+/// executor's error convention.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GradError {
+    /// A requested vertex id is not in the graph.
+    NoSuchVertex {
+        /// The out-of-range id.
+        vertex: NodeId,
+    },
+    /// The loss vertex is not a `1 × 1` scalar.
+    NotScalar {
+        /// The offending loss vertex.
+        vertex: NodeId,
+        /// Its label.
+        label: String,
+        /// Its actual shape.
+        rows: u64,
+        /// Its actual shape.
+        cols: u64,
+    },
+    /// The explicit adjoint seed's shape disagrees with the vertex it
+    /// seeds.
+    SeedShape {
+        /// The vertex being seeded.
+        vertex: NodeId,
+        /// Its label.
+        label: String,
+        /// Shape of the vertex being seeded.
+        expected: (u64, u64),
+        /// Shape of the provided seed.
+        got: (u64, u64),
+    },
+    /// An op on the path from the loss to a parameter has no
+    /// vector-Jacobian rule in this op set.
+    NonDifferentiable {
+        /// The vertex carrying the op.
+        vertex: NodeId,
+        /// Its label.
+        label: String,
+        /// The op without a rule.
+        op: OpKind,
+    },
+    /// Building a gradient vertex was rejected by the type system —
+    /// indicates an internal rule bug, surfaced rather than panicking.
+    Type {
+        /// The forward vertex whose rule failed.
+        vertex: NodeId,
+        /// Its label.
+        label: String,
+        /// The underlying type-error message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for GradError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GradError::NoSuchVertex { vertex } => {
+                write!(f, "vertex {vertex} does not exist")
+            }
+            GradError::NotScalar {
+                vertex,
+                label,
+                rows,
+                cols,
+            } => write!(
+                f,
+                "vertex {vertex} ({label:?}) is {rows}x{cols}, not a 1x1 scalar loss"
+            ),
+            GradError::SeedShape {
+                vertex,
+                label,
+                expected,
+                got,
+            } => write!(
+                f,
+                "vertex {vertex} ({label:?}) is {}x{} but its adjoint seed is {}x{}",
+                expected.0, expected.1, got.0, got.1
+            ),
+            GradError::NonDifferentiable { vertex, label, op } => write!(
+                f,
+                "vertex {vertex} ({label:?}): {op:?} has no vector-Jacobian rule"
+            ),
+            GradError::Type {
+                vertex,
+                label,
+                message,
+            } => write!(
+                f,
+                "vertex {vertex} ({label:?}): gradient rule produced a type error: {message}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GradError {}
+
+fn label_of(graph: &ComputeGraph, id: NodeId) -> String {
+    graph
+        .node(id)
+        .name
+        .clone()
+        .unwrap_or_else(|| id.to_string())
+}
+
+/// Differentiates `loss` (which must be `1 × 1`) with respect to
+/// `params`, seeding the adjoint with an appended unit scalar.
+///
+/// # Errors
+/// See [`GradError`].
+pub fn gradients(
+    graph: ComputeGraph,
+    loss: NodeId,
+    params: &[NodeId],
+) -> Result<DiffResult, GradError> {
+    check_vertex(&graph, loss)?;
+    let mt = graph.node(loss).mtype;
+    if (mt.rows, mt.cols) != (1, 1) {
+        return Err(GradError::NotScalar {
+            vertex: loss,
+            label: label_of(&graph, loss),
+            rows: mt.rows,
+            cols: mt.cols,
+        });
+    }
+    let mut d = Deriver::new(graph);
+    let seed = d.ones(1, 1);
+    d.graph.rename(seed, "seed");
+    d.seed_at(loss, seed);
+    d.run(params, seed)
+}
+
+/// Differentiates from an explicit adjoint: `seed` (an existing vertex
+/// whose value is `∂L/∂(seed_at)`) is propagated backward from
+/// `seed_at` to every parameter. This is how a hand-written backward
+/// pass is reproduced exactly: seed at the softmax output with
+/// `(softmax − y)/batch` and the derived tape matches it vertex for
+/// vertex.
+///
+/// # Errors
+/// See [`GradError`].
+pub fn gradients_with_seed(
+    graph: ComputeGraph,
+    seed_at: NodeId,
+    seed: NodeId,
+    params: &[NodeId],
+) -> Result<DiffResult, GradError> {
+    check_vertex(&graph, seed_at)?;
+    check_vertex(&graph, seed)?;
+    let want = graph.node(seed_at).mtype;
+    let got = graph.node(seed).mtype;
+    if (want.rows, want.cols) != (got.rows, got.cols) {
+        return Err(GradError::SeedShape {
+            vertex: seed_at,
+            label: label_of(&graph, seed_at),
+            expected: (want.rows, want.cols),
+            got: (got.rows, got.cols),
+        });
+    }
+    let mut d = Deriver::new(graph);
+    d.seed_at(seed_at, seed);
+    d.run(params, seed)
+}
+
+fn check_vertex(graph: &ComputeGraph, id: NodeId) -> Result<(), GradError> {
+    if id.index() >= graph.len() {
+        return Err(GradError::NoSuchVertex { vertex: id });
+    }
+    Ok(())
+}
+
+/// The reverse-mode pass. Walks vertices in reverse topological order
+/// (ids descend — consumers always have larger ids than producers), so
+/// by the time a vertex's rule fires, every contribution to its adjoint
+/// has been accumulated.
+struct Deriver {
+    graph: ComputeGraph,
+    forward_len: usize,
+    /// Adjoint vertex per *forward* vertex, `None` until a contribution
+    /// arrives.
+    adjoint: Vec<Option<NodeId>>,
+    /// `needs[v]`: some requested parameter is reachable from `v`
+    /// through input edges. Rules skip inputs that don't need a
+    /// gradient, so no dead adjoint chains are emitted (e.g. the input
+    /// batch of a network whose parameters are the weights).
+    needs: Vec<bool>,
+    /// `x → Transpose(x)` — prepopulated with the forward graph's own
+    /// transposes so the backward pass reuses them instead of
+    /// duplicating work the planner would then cost twice.
+    transpose_memo: HashMap<NodeId, NodeId>,
+    /// Deduplicated all-ones sources by shape.
+    ones_memo: HashMap<(u64, u64), NodeId>,
+    aux: Vec<AuxSource>,
+}
+
+impl Deriver {
+    fn new(graph: ComputeGraph) -> Self {
+        let forward_len = graph.len();
+        let mut transpose_memo = HashMap::new();
+        for (id, node) in graph.iter() {
+            if node.op() == Some(Op::Transpose) {
+                transpose_memo.entry(node.inputs[0]).or_insert(id);
+            }
+        }
+        Deriver {
+            graph,
+            forward_len,
+            adjoint: vec![None; forward_len],
+            needs: vec![false; forward_len],
+            transpose_memo,
+            ones_memo: HashMap::new(),
+            aux: Vec::new(),
+        }
+    }
+
+    /// Marks every vertex from which a parameter is reachable through
+    /// input edges (one forward sweep — inputs precede consumers).
+    fn mark_needs(&mut self, params: &[NodeId]) {
+        for p in params {
+            self.needs[p.index()] = true;
+        }
+        for idx in 0..self.forward_len {
+            if self.needs[idx] {
+                continue;
+            }
+            let node = self.graph.node(NodeId(idx as u32));
+            self.needs[idx] = node.inputs.iter().any(|i| self.needs[i.index()]);
+        }
+    }
+
+    fn seed_at(&mut self, at: NodeId, seed: NodeId) {
+        self.adjoint[at.index()] = Some(seed);
+    }
+
+    fn ones(&mut self, rows: u64, cols: u64) -> NodeId {
+        if let Some(id) = self.ones_memo.get(&(rows, cols)) {
+            return *id;
+        }
+        let id = self.graph.add_source_named(
+            MatrixType::dense(rows, cols),
+            PhysFormat::SingleTuple,
+            Some(&format!("ones_{rows}x{cols}")),
+        );
+        self.ones_memo.insert((rows, cols), id);
+        self.aux.push(AuxSource { id, rows, cols });
+        id
+    }
+
+    /// `true` when `id` is one of our all-ones sources (used to
+    /// short-circuit reduction adjoints: broadcasting an all-ones
+    /// adjoint just yields a bigger all-ones matrix).
+    fn is_ones(&self, id: NodeId) -> bool {
+        self.ones_memo.values().any(|v| *v == id)
+    }
+
+    fn op(&mut self, at: NodeId, op: Op, inputs: &[NodeId]) -> Result<NodeId, GradError> {
+        self.graph.add_op(op, inputs).map_err(|e| GradError::Type {
+            vertex: at,
+            label: label_of(&self.graph, at),
+            message: e.message,
+        })
+    }
+
+    fn transpose(&mut self, at: NodeId, x: NodeId) -> Result<NodeId, GradError> {
+        if let Some(t) = self.transpose_memo.get(&x) {
+            return Ok(*t);
+        }
+        // Involution: the transpose of a transpose is its input.
+        if self.graph.node(x).op() == Some(Op::Transpose) {
+            return Ok(self.graph.node(x).inputs[0]);
+        }
+        let t = self.op(at, Op::Transpose, &[x])?;
+        self.transpose_memo.insert(x, t);
+        Ok(t)
+    }
+
+    /// Adds `contribution` into the adjoint of `target`: first
+    /// contribution is stored as-is, fan-out merges through an explicit
+    /// `Add` vertex (deterministic order — contributions arrive in
+    /// descending consumer id).
+    fn accumulate(
+        &mut self,
+        at: NodeId,
+        target: NodeId,
+        contribution: NodeId,
+    ) -> Result<(), GradError> {
+        let slot = target.index();
+        self.adjoint[slot] = Some(match self.adjoint[slot] {
+            None => contribution,
+            Some(existing) => self.op(at, Op::Add, &[existing, contribution])?,
+        });
+        Ok(())
+    }
+
+    fn run(mut self, params: &[NodeId], seed: NodeId) -> Result<DiffResult, GradError> {
+        for p in params {
+            check_vertex(&self.graph, *p)?;
+        }
+        self.mark_needs(params);
+        for idx in (0..self.forward_len).rev() {
+            let v = NodeId(idx as u32);
+            if self.adjoint[idx].is_none() {
+                continue;
+            }
+            let node = self.graph.node(v);
+            let (op, inputs) = match &node.kind {
+                NodeKind::Source { .. } => continue,
+                NodeKind::Compute { op } => (*op, node.inputs.clone()),
+            };
+            let dv = self.adjoint[idx].expect("checked above");
+            self.vjp(v, op, &inputs, dv)?;
+        }
+        let mut gradients = Vec::with_capacity(params.len());
+        for p in params {
+            let grad = match self.adjoint[p.index()] {
+                Some(g) => g,
+                // The parameter does not influence the loss: its
+                // gradient is an explicit zero of the same shape.
+                None => self.op(*p, Op::ScalarMul(0.0), &[*p])?,
+            };
+            if grad.index() >= self.forward_len && self.graph.node(grad).name.is_none() {
+                let name = format!("grad_{}", label_of(&self.graph, *p));
+                self.graph.rename(grad, &name);
+            }
+            gradients.push((*p, grad));
+        }
+        let mut roles = vec![DiffRole::Forward; self.graph.len()];
+        for r in roles.iter_mut().skip(self.forward_len) {
+            *r = DiffRole::Backward;
+        }
+        // Forward vertices consumed by the tape are the shared region.
+        for (id, node) in self.graph.iter() {
+            if id.index() < self.forward_len {
+                continue;
+            }
+            for input in &node.inputs {
+                if input.index() < self.forward_len {
+                    roles[input.index()] = DiffRole::Shared;
+                }
+            }
+        }
+        Ok(DiffResult {
+            graph: self.graph,
+            gradients,
+            roles,
+            aux: self.aux,
+            seed,
+            forward_len: self.forward_len,
+        })
+    }
+
+    /// The vector-Jacobian rule for one vertex: given `dv = ∂L/∂v`,
+    /// push a contribution into each input's adjoint.
+    fn vjp(&mut self, v: NodeId, op: Op, inputs: &[NodeId], dv: NodeId) -> Result<(), GradError> {
+        // A rule only fires when some input can reach a parameter; a
+        // vertex whose whole input cone is parameter-free contributes
+        // nothing and emits nothing.
+        if !inputs.iter().any(|i| self.needs[i.index()]) {
+            return Ok(());
+        }
+        let needs = |d: &Self, x: NodeId| d.needs[x.index()];
+        match op {
+            Op::MatMul => {
+                let (a, b) = (inputs[0], inputs[1]);
+                if needs(self, a) {
+                    let bt = self.transpose(v, b)?;
+                    let da = self.op(v, Op::MatMul, &[dv, bt])?;
+                    self.accumulate(v, a, da)?;
+                }
+                if needs(self, b) {
+                    let at = self.transpose(v, a)?;
+                    let db = self.op(v, Op::MatMul, &[at, dv])?;
+                    self.accumulate(v, b, db)?;
+                }
+            }
+            Op::Add => {
+                if needs(self, inputs[0]) {
+                    self.accumulate(v, inputs[0], dv)?;
+                }
+                if needs(self, inputs[1]) {
+                    self.accumulate(v, inputs[1], dv)?;
+                }
+            }
+            Op::Sub => {
+                if needs(self, inputs[0]) {
+                    self.accumulate(v, inputs[0], dv)?;
+                }
+                if needs(self, inputs[1]) {
+                    let n = self.op(v, Op::Neg, &[dv])?;
+                    self.accumulate(v, inputs[1], n)?;
+                }
+            }
+            Op::Hadamard => {
+                let (a, b) = (inputs[0], inputs[1]);
+                if needs(self, a) {
+                    let da = self.op(v, Op::Hadamard, &[dv, b])?;
+                    self.accumulate(v, a, da)?;
+                }
+                if needs(self, b) {
+                    let db = self.op(v, Op::Hadamard, &[dv, a])?;
+                    self.accumulate(v, b, db)?;
+                }
+            }
+            Op::ScalarMul(alpha) => {
+                let dx = self.op(v, Op::ScalarMul(alpha), &[dv])?;
+                self.accumulate(v, inputs[0], dx)?;
+            }
+            Op::Transpose => {
+                let dx = self.transpose(v, dv)?;
+                self.accumulate(v, inputs[0], dx)?;
+            }
+            Op::Neg => {
+                let dx = self.op(v, Op::Neg, &[dv])?;
+                self.accumulate(v, inputs[0], dx)?;
+            }
+            Op::Relu => {
+                // Relu via ReluGrad: mask the adjoint with the
+                // pre-activation's 0/1 derivative.
+                let mask = self.op(v, Op::ReluGrad, &[inputs[0]])?;
+                let dx = self.op(v, Op::Hadamard, &[dv, mask])?;
+                self.accumulate(v, inputs[0], dx)?;
+            }
+            Op::Sigmoid => {
+                // σ' = σ(1−σ), reusing the forward sigmoid vertex `v`.
+                let mt = self.graph.node(v).mtype;
+                let ones = self.ones(mt.rows, mt.cols);
+                let one_minus = self.op(v, Op::Sub, &[ones, v])?;
+                let sprime = self.op(v, Op::Hadamard, &[v, one_minus])?;
+                let dx = self.op(v, Op::Hadamard, &[dv, sprime])?;
+                self.accumulate(v, inputs[0], dx)?;
+            }
+            Op::Exp => {
+                // d/dx eˣ = eˣ — the forward Exp vertex itself.
+                let dx = self.op(v, Op::Hadamard, &[dv, v])?;
+                self.accumulate(v, inputs[0], dx)?;
+            }
+            Op::Softmax => {
+                // Row-wise: dx = s ⊙ (dv − rowsum(dv ⊙ s)·1ᵀ).
+                let mt = self.graph.node(v).mtype;
+                let t = self.op(v, Op::Hadamard, &[dv, v])?;
+                let rs = self.op(v, Op::RowSums, &[t])?;
+                let row = self.ones(1, mt.cols);
+                let bc = self.op(v, Op::MatMul, &[rs, row])?;
+                let centered = self.op(v, Op::Sub, &[dv, bc])?;
+                let dx = self.op(v, Op::Hadamard, &[v, centered])?;
+                self.accumulate(v, inputs[0], dx)?;
+            }
+            Op::RowSums => {
+                // x: r×c summed to r×1; dx = dv·1(1×c), all-ones if dv is.
+                let mt = self.graph.node(inputs[0]).mtype;
+                let dx = if self.is_ones(dv) {
+                    self.ones(mt.rows, mt.cols)
+                } else {
+                    let row = self.ones(1, mt.cols);
+                    self.op(v, Op::MatMul, &[dv, row])?
+                };
+                self.accumulate(v, inputs[0], dx)?;
+            }
+            Op::ColSums => {
+                let mt = self.graph.node(inputs[0]).mtype;
+                let dx = if self.is_ones(dv) {
+                    self.ones(mt.rows, mt.cols)
+                } else {
+                    let col = self.ones(mt.rows, 1);
+                    self.op(v, Op::MatMul, &[col, dv])?
+                };
+                self.accumulate(v, inputs[0], dx)?;
+            }
+            Op::SumAll => {
+                // dx = (1(r×1)·dv)·1(1×c): every entry gets the scalar
+                // adjoint. When the adjoint is the unit seed this is
+                // just an all-ones matrix.
+                let mt = self.graph.node(inputs[0]).mtype;
+                let dx = if self.is_ones(dv) {
+                    self.ones(mt.rows, mt.cols)
+                } else {
+                    let col = self.ones(mt.rows, 1);
+                    let scaled = self.op(v, Op::MatMul, &[col, dv])?;
+                    let row = self.ones(1, mt.cols);
+                    self.op(v, Op::MatMul, &[scaled, row])?
+                };
+                self.accumulate(v, inputs[0], dx)?;
+            }
+            Op::BroadcastAddRow => {
+                if needs(self, inputs[0]) {
+                    self.accumulate(v, inputs[0], dv)?;
+                }
+                if needs(self, inputs[1]) {
+                    let db = self.op(v, Op::ColSums, &[dv])?;
+                    self.accumulate(v, inputs[1], db)?;
+                }
+            }
+            Op::Inverse => {
+                // d(X⁻¹) rule: dX = −X⁻ᵀ·dv·X⁻ᵀ, reusing the forward
+                // inverse vertex `v = X⁻¹`.
+                let vt = self.transpose(v, v)?;
+                let t = self.op(v, Op::MatMul, &[vt, dv])?;
+                let t2 = self.op(v, Op::MatMul, &[t, vt])?;
+                let dx = self.op(v, Op::Neg, &[t2])?;
+                self.accumulate(v, inputs[0], dx)?;
+            }
+            Op::ReluGrad | Op::FrobeniusNorm => {
+                return Err(GradError::NonDifferentiable {
+                    vertex: v,
+                    label: label_of(&self.graph, v),
+                    op: op.kind(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The op kinds with a vector-Jacobian rule (everything except
+/// `ReluGrad`, whose derivative is zero almost everywhere, and
+/// `FrobeniusNorm`, whose gradient needs a division this op set does
+/// not have).
+pub const DIFFERENTIABLE_OP_KINDS: [OpKind; 16] = [
+    OpKind::MatMul,
+    OpKind::Add,
+    OpKind::Sub,
+    OpKind::Hadamard,
+    OpKind::ScalarMul,
+    OpKind::Transpose,
+    OpKind::Relu,
+    OpKind::Softmax,
+    OpKind::Sigmoid,
+    OpKind::Exp,
+    OpKind::Neg,
+    OpKind::RowSums,
+    OpKind::ColSums,
+    OpKind::Inverse,
+    OpKind::BroadcastAddRow,
+    OpKind::SumAll,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense(r: u64, c: u64) -> MatrixType {
+        MatrixType::dense(r, c)
+    }
+
+    fn src(g: &mut ComputeGraph, name: &str, r: u64, c: u64) -> NodeId {
+        g.add_source_named(dense(r, c), PhysFormat::SingleTuple, Some(name))
+    }
+
+    #[test]
+    fn matmul_vjp_builds_the_paper_rule() {
+        // loss = sum(X·W); dW must be Xᵀ·dC with dC all-ones.
+        let mut g = ComputeGraph::new();
+        let x = src(&mut g, "X", 4, 3);
+        let w = src(&mut g, "W", 3, 2);
+        let y = g.add_op_named(Op::MatMul, &[x, w], Some("y")).unwrap();
+        let loss = g.add_op_named(Op::SumAll, &[y], Some("loss")).unwrap();
+        let d = gradients(g, loss, &[w]).unwrap();
+        let gw = d.gradient(w).unwrap();
+        let node = d.graph.node(gw);
+        assert_eq!(node.op(), Some(Op::MatMul));
+        // Left operand is Transpose(X).
+        let lhs = d.graph.node(node.inputs[0]);
+        assert_eq!(lhs.op(), Some(Op::Transpose));
+        assert_eq!(lhs.inputs[0], x);
+        // Right operand is the all-ones adjoint of y (unit-seed
+        // shortcut through SumAll).
+        let rhs = d.graph.node(node.inputs[1]);
+        assert!(matches!(rhs.kind, NodeKind::Source { .. }));
+        assert_eq!((rhs.mtype.rows, rhs.mtype.cols), (4, 2));
+        assert_eq!(
+            (d.graph.node(gw).mtype.rows, d.graph.node(gw).mtype.cols),
+            (3, 2)
+        );
+        assert_eq!(d.graph.node(gw).name.as_deref(), Some("grad_W"));
+    }
+
+    #[test]
+    fn fan_out_accumulates_with_add() {
+        // loss = sum(relu(x) + sigmoid(x)): x's adjoint must be an Add
+        // of the two branch contributions.
+        let mut g = ComputeGraph::new();
+        let x = src(&mut g, "x", 4, 4);
+        let r = g.add_op(Op::Relu, &[x]).unwrap();
+        let s = g.add_op(Op::Sigmoid, &[x]).unwrap();
+        let sum = g.add_op(Op::Add, &[r, s]).unwrap();
+        let loss = g.add_op(Op::SumAll, &[sum]).unwrap();
+        let d = gradients(g, loss, &[x]).unwrap();
+        let gx = d.gradient(x).unwrap();
+        assert_eq!(d.graph.node(gx).op(), Some(Op::Add));
+    }
+
+    #[test]
+    fn unreached_params_get_explicit_zero_gradients() {
+        let mut g = ComputeGraph::new();
+        let x = src(&mut g, "x", 4, 4);
+        let w = src(&mut g, "w", 4, 4);
+        let r = g.add_op(Op::Relu, &[x]).unwrap();
+        let loss = g.add_op(Op::SumAll, &[r]).unwrap();
+        let d = gradients(g, loss, &[w]).unwrap();
+        let gw = d.gradient(w).unwrap();
+        assert_eq!(d.graph.node(gw).op(), Some(Op::ScalarMul(0.0)));
+        assert_eq!(d.graph.node(gw).inputs, vec![w]);
+    }
+
+    #[test]
+    fn forward_transposes_are_reused_not_duplicated() {
+        // The forward pass already contains Xᵀ; the backward matmul
+        // rule must reference it instead of adding a second transpose.
+        let mut g = ComputeGraph::new();
+        let x = src(&mut g, "x", 4, 4);
+        let w = src(&mut g, "w", 4, 4);
+        let xt = g.add_op_named(Op::Transpose, &[x], Some("xT")).unwrap();
+        let y = g.add_op(Op::MatMul, &[xt, w]).unwrap();
+        let y2 = g.add_op(Op::MatMul, &[x, y]).unwrap();
+        let loss = g.add_op(Op::SumAll, &[y2]).unwrap();
+        let d = gradients(g, loss, &[w]).unwrap();
+        let transposes_of_x = d
+            .graph
+            .iter()
+            .filter(|(_, n)| n.op() == Some(Op::Transpose) && n.inputs == vec![x])
+            .count();
+        assert_eq!(transposes_of_x, 1);
+    }
+
+    #[test]
+    fn roles_partition_the_joint_graph() {
+        let mut g = ComputeGraph::new();
+        let x = src(&mut g, "x", 4, 4);
+        let w = src(&mut g, "w", 4, 4);
+        let y = g.add_op(Op::MatMul, &[x, w]).unwrap();
+        let loss = g.add_op(Op::SumAll, &[y]).unwrap();
+        let forward_len = g.len();
+        let d = gradients(g, loss, &[w]).unwrap();
+        assert_eq!(d.forward_len, forward_len);
+        assert_eq!(d.roles.len(), d.graph.len());
+        // x is consumed by the tape (transposed for dW) -> shared; the
+        // loss itself is forward-only; everything appended is backward.
+        assert_eq!(d.roles[x.index()], DiffRole::Shared);
+        assert_eq!(d.roles[loss.index()], DiffRole::Forward);
+        for r in d.roles.iter().skip(forward_len) {
+            assert_eq!(*r, DiffRole::Backward);
+        }
+        // The rendering is accepted by the role-aware DOT printer.
+        let dot = matopt_core::training_to_dot(&d.graph, &d.roles);
+        assert!(dot.contains("cluster_backward"));
+    }
+
+    #[test]
+    fn non_scalar_loss_is_rejected_with_vertex_and_label() {
+        let mut g = ComputeGraph::new();
+        let x = src(&mut g, "x", 4, 4);
+        let y = g.add_op_named(Op::Relu, &[x], Some("act")).unwrap();
+        let err = gradients(g, y, &[x]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains(&format!("vertex {y}")), "{msg}");
+        assert!(msg.contains("\"act\""), "{msg}");
+        assert!(msg.contains("4x4"), "{msg}");
+    }
+
+    #[test]
+    fn non_differentiable_ops_are_rejected_with_vertex_and_label() {
+        let mut g = ComputeGraph::new();
+        let x = src(&mut g, "x", 4, 4);
+        let n = g
+            .add_op_named(Op::FrobeniusNorm, &[x], Some("gnorm"))
+            .unwrap();
+        let loss = g.add_op(Op::ScalarMul(2.0), &[n]).unwrap();
+        let err = gradients(g, loss, &[x]).unwrap_err();
+        assert!(matches!(
+            err,
+            GradError::NonDifferentiable {
+                op: OpKind::FrobeniusNorm,
+                ..
+            }
+        ));
+        let msg = err.to_string();
+        assert!(msg.contains(&format!("vertex {n}")), "{msg}");
+        assert!(msg.contains("\"gnorm\""), "{msg}");
+    }
+
+    #[test]
+    fn seed_shape_mismatch_is_rejected() {
+        let mut g = ComputeGraph::new();
+        let x = src(&mut g, "x", 4, 4);
+        let y = g.add_op_named(Op::Relu, &[x], Some("act")).unwrap();
+        let bad_seed = src(&mut g, "seed", 2, 2);
+        let err = gradients_with_seed(g, y, bad_seed, &[x]).unwrap_err();
+        assert!(matches!(err, GradError::SeedShape { .. }));
+    }
+
+    #[test]
+    fn seeded_adjoint_skips_vertices_above_the_seed() {
+        // loss-side consumers of the seeded vertex must not be
+        // differentiated: backprop starts at the seeded vertex.
+        let mut g = ComputeGraph::new();
+        let x = src(&mut g, "x", 4, 4);
+        let y = g.add_op(Op::Relu, &[x]).unwrap();
+        let _above = g.add_op(Op::FrobeniusNorm, &[y]).unwrap(); // non-differentiable, but above the seat
+        let seed = src(&mut g, "dy", 4, 4);
+        let d = gradients_with_seed(g, y, seed, &[x]).unwrap();
+        let gx = d.gradient(x).unwrap();
+        assert_eq!(d.graph.node(gx).op(), Some(Op::Hadamard));
+    }
+
+    #[test]
+    fn aux_sources_are_deduplicated_by_shape() {
+        // Two sigmoids of the same shape share one all-ones helper.
+        let mut g = ComputeGraph::new();
+        let x = src(&mut g, "x", 4, 4);
+        let a = g.add_op(Op::Sigmoid, &[x]).unwrap();
+        let b = g.add_op(Op::Sigmoid, &[x]).unwrap();
+        let s = g.add_op(Op::Add, &[a, b]).unwrap();
+        let loss = g.add_op(Op::SumAll, &[s]).unwrap();
+        let d = gradients(g, loss, &[x]).unwrap();
+        let four_by_four = d.aux.iter().filter(|a| (a.rows, a.cols) == (4, 4)).count();
+        assert_eq!(four_by_four, 1);
+    }
+}

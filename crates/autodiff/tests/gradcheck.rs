@@ -1,0 +1,471 @@
+//! Gradient correctness: every differentiable op's vector-Jacobian
+//! rule is checked against central finite differences of the scalar
+//! loss, on seeded random dense (and CSR-sampled sparse) inputs, plus
+//! property tests for fan-out accumulation and transpose-heavy graphs.
+
+use matopt_autodiff::{gradients, DIFFERENTIABLE_OP_KINDS};
+use matopt_core::{ComputeGraph, MatrixType, NodeId, Op, OpKind, PhysFormat};
+use matopt_engine::{reference_eval, reference_eval_all};
+use matopt_kernels::{random_dense_normal, random_sparse_csr, seeded_rng, DenseMatrix};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Maximum allowed `|ad − fd| / max(1, |ad|, |fd|)`.
+const TOL: f64 = 1e-6;
+
+fn ones(rows: u64, cols: u64) -> DenseMatrix {
+    DenseMatrix::from_fn(rows as usize, cols as usize, |_, _| 1.0)
+}
+
+/// Checks the autodiff gradients of `loss` w.r.t. every key of
+/// `params` against central finite differences on the forward graph.
+fn gradcheck(
+    graph: &ComputeGraph,
+    loss: NodeId,
+    params: &[NodeId],
+    inputs: &HashMap<NodeId, DenseMatrix>,
+) {
+    let d = gradients(graph.clone(), loss, params).expect("differentiable graph");
+    let mut joint_inputs = inputs.clone();
+    for aux in &d.aux {
+        joint_inputs.insert(aux.id, ones(aux.rows, aux.cols));
+    }
+    let vals = reference_eval_all(&d.graph, &joint_inputs).expect("joint eval");
+    for p in params {
+        let grad = d.gradient(*p).expect("requested gradient");
+        let ad = &vals[&grad];
+        let base = &inputs[p];
+        assert_eq!((ad.rows(), ad.cols()), (base.rows(), base.cols()));
+        for r in 0..base.rows() {
+            for c in 0..base.cols() {
+                let x = base.get(r, c);
+                let h = 1e-5 * x.abs().max(1.0);
+                let eval_at = |v: f64| -> f64 {
+                    let mut perturbed = inputs.clone();
+                    let mut m = base.clone();
+                    m.set(r, c, v);
+                    perturbed.insert(*p, m);
+                    reference_eval(graph, &perturbed).expect("forward eval")[&loss].get(0, 0)
+                };
+                let fd = (eval_at(x + h) - eval_at(x - h)) / (2.0 * h);
+                let a = ad.get(r, c);
+                let rel = (a - fd).abs() / a.abs().max(fd.abs()).max(1.0);
+                assert!(
+                    rel <= TOL,
+                    "param {p} entry ({r},{c}): autodiff {a} vs finite-diff {fd} (rel {rel:.3e})"
+                );
+            }
+        }
+    }
+}
+
+fn csr_to_dense(rows: usize, cols: usize, m: &matopt_kernels::CsrMatrix) -> DenseMatrix {
+    let mut d = DenseMatrix::zeros(rows, cols);
+    for (r, c, v) in m.iter() {
+        d.set(r, c, v);
+    }
+    d
+}
+
+struct Case {
+    graph: ComputeGraph,
+    loss: NodeId,
+    params: Vec<NodeId>,
+    inputs: HashMap<NodeId, DenseMatrix>,
+    /// The op under test, for the completeness assertion.
+    covers: OpKind,
+}
+
+/// One gradcheck case per differentiable op, all on seeded inputs.
+fn cases() -> Vec<Case> {
+    let mut rng = seeded_rng(42);
+    let mut out = Vec::new();
+    let dense = |g: &mut ComputeGraph, n: &str, r: u64, c: u64| -> NodeId {
+        g.add_source_named(MatrixType::dense(r, c), PhysFormat::SingleTuple, Some(n))
+    };
+
+    // MatMul: loss = sum(A·B), both operands trained.
+    {
+        let mut g = ComputeGraph::new();
+        let a = dense(&mut g, "A", 4, 3);
+        let b = dense(&mut g, "B", 3, 2);
+        let y = g.add_op(Op::MatMul, &[a, b]).unwrap();
+        let loss = g.add_op(Op::SumAll, &[y]).unwrap();
+        let inputs = HashMap::from([
+            (a, random_dense_normal(4, 3, &mut rng)),
+            (b, random_dense_normal(3, 2, &mut rng)),
+        ]);
+        out.push(Case {
+            graph: g,
+            loss,
+            params: vec![a, b],
+            inputs,
+            covers: OpKind::MatMul,
+        });
+    }
+
+    // Elementwise binaries.
+    for (op, kind) in [
+        (Op::Add, OpKind::Add),
+        (Op::Sub, OpKind::Sub),
+        (Op::Hadamard, OpKind::Hadamard),
+    ] {
+        let mut g = ComputeGraph::new();
+        let a = dense(&mut g, "A", 4, 3);
+        let b = dense(&mut g, "B", 4, 3);
+        let y = g.add_op(op, &[a, b]).unwrap();
+        let loss = g.add_op(Op::SumAll, &[y]).unwrap();
+        let inputs = HashMap::from([
+            (a, random_dense_normal(4, 3, &mut rng)),
+            (b, random_dense_normal(4, 3, &mut rng)),
+        ]);
+        out.push(Case {
+            graph: g,
+            loss,
+            params: vec![a, b],
+            inputs,
+            covers: kind,
+        });
+    }
+
+    // ScalarMul, with a mid-graph SumAll so the non-unit-adjoint
+    // broadcast path of the SumAll rule is exercised too.
+    {
+        let mut g = ComputeGraph::new();
+        let a = dense(&mut g, "A", 4, 3);
+        let sq = g.add_op(Op::Hadamard, &[a, a]).unwrap();
+        let s = g.add_op(Op::SumAll, &[sq]).unwrap();
+        let loss = g.add_op(Op::ScalarMul(0.5), &[s]).unwrap();
+        let inputs = HashMap::from([(a, random_dense_normal(4, 3, &mut rng))]);
+        out.push(Case {
+            graph: g,
+            loss,
+            params: vec![a],
+            inputs,
+            covers: OpKind::ScalarMul,
+        });
+    }
+
+    // Transpose inside a matmul so its adjoint is not all-ones.
+    {
+        let mut g = ComputeGraph::new();
+        let a = dense(&mut g, "A", 3, 4);
+        let b = dense(&mut g, "B", 3, 2);
+        let at = g.add_op(Op::Transpose, &[a]).unwrap();
+        let y = g.add_op(Op::MatMul, &[at, b]).unwrap();
+        let loss = g.add_op(Op::SumAll, &[y]).unwrap();
+        let inputs = HashMap::from([
+            (a, random_dense_normal(3, 4, &mut rng)),
+            (b, random_dense_normal(3, 2, &mut rng)),
+        ]);
+        out.push(Case {
+            graph: g,
+            loss,
+            params: vec![a],
+            inputs,
+            covers: OpKind::Transpose,
+        });
+    }
+
+    // Unary activations. Relu inputs are pushed away from the kink so
+    // the finite difference never straddles it.
+    {
+        let mut g = ComputeGraph::new();
+        let a = dense(&mut g, "A", 4, 3);
+        let y = g.add_op(Op::Relu, &[a]).unwrap();
+        let loss = g.add_op(Op::SumAll, &[y]).unwrap();
+        let mut m = random_dense_normal(4, 3, &mut rng);
+        for v in m.data_mut() {
+            *v = v.signum() * (v.abs() + 0.1);
+        }
+        out.push(Case {
+            graph: g,
+            loss,
+            params: vec![a],
+            inputs: HashMap::from([(a, m)]),
+            covers: OpKind::Relu,
+        });
+    }
+    for (op, kind) in [
+        (Op::Sigmoid, OpKind::Sigmoid),
+        (Op::Exp, OpKind::Exp),
+        (Op::Neg, OpKind::Neg),
+    ] {
+        let mut g = ComputeGraph::new();
+        let a = dense(&mut g, "A", 4, 3);
+        let y = g.add_op(op, &[a]).unwrap();
+        let loss = g.add_op(Op::SumAll, &[y]).unwrap();
+        let m = random_dense_normal(4, 3, &mut rng).scale(0.5);
+        out.push(Case {
+            graph: g,
+            loss,
+            params: vec![a],
+            inputs: HashMap::from([(a, m)]),
+            covers: kind,
+        });
+    }
+
+    // Softmax weighted by a fixed matrix — sum(softmax(A)) alone has a
+    // zero gradient because every row sums to one.
+    {
+        let mut g = ComputeGraph::new();
+        let a = dense(&mut g, "A", 4, 3);
+        let w = dense(&mut g, "Wfixed", 4, 3);
+        let s = g.add_op(Op::Softmax, &[a]).unwrap();
+        let y = g.add_op(Op::Hadamard, &[s, w]).unwrap();
+        let loss = g.add_op(Op::SumAll, &[y]).unwrap();
+        let inputs = HashMap::from([
+            (a, random_dense_normal(4, 3, &mut rng)),
+            (w, random_dense_normal(4, 3, &mut rng)),
+        ]);
+        out.push(Case {
+            graph: g,
+            loss,
+            params: vec![a],
+            inputs,
+            covers: OpKind::Softmax,
+        });
+    }
+
+    // Row/col sums weighted so their adjoints are not all-ones.
+    {
+        let mut g = ComputeGraph::new();
+        let a = dense(&mut g, "A", 4, 3);
+        let w = dense(&mut g, "wfixed", 4, 1);
+        let rs = g.add_op(Op::RowSums, &[a]).unwrap();
+        let y = g.add_op(Op::Hadamard, &[rs, w]).unwrap();
+        let loss = g.add_op(Op::SumAll, &[y]).unwrap();
+        let inputs = HashMap::from([
+            (a, random_dense_normal(4, 3, &mut rng)),
+            (w, random_dense_normal(4, 1, &mut rng)),
+        ]);
+        out.push(Case {
+            graph: g,
+            loss,
+            params: vec![a],
+            inputs,
+            covers: OpKind::RowSums,
+        });
+    }
+    {
+        let mut g = ComputeGraph::new();
+        let a = dense(&mut g, "A", 4, 3);
+        let w = dense(&mut g, "wfixed", 1, 3);
+        let cs = g.add_op(Op::ColSums, &[a]).unwrap();
+        let y = g.add_op(Op::Hadamard, &[cs, w]).unwrap();
+        let loss = g.add_op(Op::SumAll, &[y]).unwrap();
+        let inputs = HashMap::from([
+            (a, random_dense_normal(4, 3, &mut rng)),
+            (w, random_dense_normal(1, 3, &mut rng)),
+        ]);
+        out.push(Case {
+            graph: g,
+            loss,
+            params: vec![a],
+            inputs,
+            covers: OpKind::ColSums,
+        });
+    }
+
+    // Inverse on a well-conditioned (diagonally dominant) matrix,
+    // weighted so the adjoint is not all-ones.
+    {
+        let mut g = ComputeGraph::new();
+        let a = dense(&mut g, "A", 3, 3);
+        let w = dense(&mut g, "Wfixed", 3, 3);
+        let inv = g.add_op(Op::Inverse, &[a]).unwrap();
+        let y = g.add_op(Op::Hadamard, &[inv, w]).unwrap();
+        let loss = g.add_op(Op::SumAll, &[y]).unwrap();
+        let mut m = random_dense_normal(3, 3, &mut rng).scale(0.1);
+        for i in 0..3 {
+            m.set(i, i, m.get(i, i) + 3.0);
+        }
+        let inputs = HashMap::from([(a, m), (w, random_dense_normal(3, 3, &mut rng))]);
+        out.push(Case {
+            graph: g,
+            loss,
+            params: vec![a],
+            inputs,
+            covers: OpKind::Inverse,
+        });
+    }
+
+    // BroadcastAddRow inside a one-layer net: trains both the weight
+    // matrix and the bias row.
+    {
+        let mut g = ComputeGraph::new();
+        let x = dense(&mut g, "X", 4, 3);
+        let w = dense(&mut g, "W", 3, 2);
+        let b = dense(&mut g, "b", 1, 2);
+        let z = g.add_op(Op::MatMul, &[x, w]).unwrap();
+        let zb = g.add_op(Op::BroadcastAddRow, &[z, b]).unwrap();
+        let s = g.add_op(Op::Sigmoid, &[zb]).unwrap();
+        let loss = g.add_op(Op::SumAll, &[s]).unwrap();
+        let inputs = HashMap::from([
+            (x, random_dense_normal(4, 3, &mut rng)),
+            (w, random_dense_normal(3, 2, &mut rng)),
+            (b, random_dense_normal(1, 2, &mut rng)),
+        ]);
+        out.push(Case {
+            graph: g,
+            loss,
+            params: vec![w, b],
+            inputs,
+            covers: OpKind::BroadcastAddRow,
+        });
+    }
+
+    // SumAll as the op under test (its rule fires in every case above,
+    // but this one trains the reduced matrix directly).
+    {
+        let mut g = ComputeGraph::new();
+        let a = dense(&mut g, "A", 5, 2);
+        let loss = g.add_op(Op::SumAll, &[a]).unwrap();
+        let inputs = HashMap::from([(a, random_dense_normal(5, 2, &mut rng))]);
+        out.push(Case {
+            graph: g,
+            loss,
+            params: vec![a],
+            inputs,
+            covers: OpKind::SumAll,
+        });
+    }
+
+    out
+}
+
+#[test]
+fn finite_differences_confirm_every_differentiable_op() {
+    let cases = cases();
+    let mut covered: Vec<OpKind> = cases.iter().map(|c| c.covers).collect();
+    covered.sort_by_key(|k| *k as u64);
+    covered.dedup();
+    let mut wanted = DIFFERENTIABLE_OP_KINDS.to_vec();
+    wanted.sort_by_key(|k| *k as u64);
+    assert_eq!(covered, wanted, "every differentiable op needs a case");
+    for case in &cases {
+        gradcheck(&case.graph, case.loss, &case.params, &case.inputs);
+    }
+}
+
+#[test]
+fn gradcheck_holds_on_csr_sampled_sparse_inputs() {
+    // A sparse CSR-sampled operand through a matmul: the graph carries
+    // the sparse matrix type, the numeric check runs on its dense
+    // materialization.
+    let mut rng = seeded_rng(42);
+    let csr = random_sparse_csr(6, 5, 0.4, &mut rng);
+    let a_dense = csr_to_dense(6, 5, &csr);
+    let mut g = ComputeGraph::new();
+    let a = g.add_source_named(
+        MatrixType::sparse(6, 5, 0.4),
+        PhysFormat::CsrSingle,
+        Some("A"),
+    );
+    let b = g.add_source_named(MatrixType::dense(5, 3), PhysFormat::SingleTuple, Some("B"));
+    let y = g.add_op(Op::MatMul, &[a, b]).unwrap();
+    let r = g.add_op(Op::Relu, &[y]).unwrap();
+    let loss = g.add_op(Op::SumAll, &[r]).unwrap();
+    let inputs = HashMap::from([(a, a_dense), (b, random_dense_normal(5, 3, &mut rng))]);
+    gradcheck(&g, loss, &[a, b], &inputs);
+}
+
+#[test]
+fn duplicated_operand_gradient_doubles() {
+    // loss = ½·sum(x⊙x) ⇒ ∇x = x exactly: both Hadamard slots must
+    // contribute.
+    let mut rng = seeded_rng(7);
+    let mut g = ComputeGraph::new();
+    let x = g.add_source_named(MatrixType::dense(3, 3), PhysFormat::SingleTuple, Some("x"));
+    let sq = g.add_op(Op::Hadamard, &[x, x]).unwrap();
+    let s = g.add_op(Op::SumAll, &[sq]).unwrap();
+    let loss = g.add_op(Op::ScalarMul(0.5), &[s]).unwrap();
+    let xm = random_dense_normal(3, 3, &mut rng);
+    let d = gradients(g, loss, &[x]).unwrap();
+    let mut inputs = HashMap::from([(x, xm.clone())]);
+    for aux in &d.aux {
+        inputs.insert(aux.id, ones(aux.rows, aux.cols));
+    }
+    let vals = reference_eval_all(&d.graph, &inputs).unwrap();
+    let gx = &vals[&d.gradient(x).unwrap()];
+    assert!(gx.frobenius_distance(&xm) < 1e-12);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Fan-out accumulation: a parameter consumed by `k` additive
+    /// branches has gradient exactly `k` everywhere.
+    #[test]
+    fn fan_out_accumulation_sums_every_branch(
+        k in 2usize..6,
+        rows in 1u64..5,
+        cols in 1u64..5,
+        seed in 0u64..1000,
+    ) {
+        let mut g = ComputeGraph::new();
+        let x = g.add_source_named(
+            MatrixType::dense(rows, cols),
+            PhysFormat::SingleTuple,
+            Some("x"),
+        );
+        let mut acc = x;
+        for _ in 1..k {
+            acc = g.add_op(Op::Add, &[acc, x]).unwrap();
+        }
+        let loss = g.add_op(Op::SumAll, &[acc]).unwrap();
+        let d = gradients(g, loss, &[x]).unwrap();
+        let mut rng = seeded_rng(seed);
+        let mut inputs = HashMap::from([(
+            x,
+            random_dense_normal(rows as usize, cols as usize, &mut rng),
+        )]);
+        for aux in &d.aux {
+            inputs.insert(aux.id, ones(aux.rows, aux.cols));
+        }
+        let vals = reference_eval_all(&d.graph, &inputs).unwrap();
+        let gx = &vals[&d.gradient(x).unwrap()];
+        for v in gx.data() {
+            prop_assert!((v - k as f64).abs() < 1e-12, "expected {k}, got {v}");
+        }
+    }
+
+    /// Transpose-heavy chains: any stack of transposes and scalings
+    /// reduces to gradient `α` everywhere, with the right orientation.
+    #[test]
+    fn transpose_chains_keep_gradients_straight(
+        depth in 1usize..6,
+        rows in 1u64..5,
+        cols in 1u64..5,
+        alpha in -3.0f64..3.0,
+        seed in 0u64..1000,
+    ) {
+        let mut g = ComputeGraph::new();
+        let x = g.add_source_named(
+            MatrixType::dense(rows, cols),
+            PhysFormat::SingleTuple,
+            Some("x"),
+        );
+        let mut cur = x;
+        for _ in 0..depth {
+            cur = g.add_op(Op::Transpose, &[cur]).unwrap();
+        }
+        let scaled = g.add_op(Op::ScalarMul(alpha), &[cur]).unwrap();
+        let loss = g.add_op(Op::SumAll, &[scaled]).unwrap();
+        let d = gradients(g, loss, &[x]).unwrap();
+        let mut rng = seeded_rng(seed);
+        let mut inputs = HashMap::from([(
+            x,
+            random_dense_normal(rows as usize, cols as usize, &mut rng),
+        )]);
+        for aux in &d.aux {
+            inputs.insert(aux.id, ones(aux.rows, aux.cols));
+        }
+        let vals = reference_eval_all(&d.graph, &inputs).unwrap();
+        let gx = &vals[&d.gradient(x).unwrap()];
+        prop_assert_eq!((gx.rows() as u64, gx.cols() as u64), (rows, cols));
+        for v in gx.data() {
+            prop_assert!((v - alpha).abs() < 1e-12, "expected {}, got {}", alpha, v);
+        }
+    }
+}

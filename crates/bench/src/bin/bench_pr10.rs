@@ -1,0 +1,483 @@
+//! Autodiff & training report: joint forward+backward planning against
+//! separately-optimized passes, cached-epoch speedup of the training
+//! loop, and the cost of deriving gradients at all.
+//!
+//! ```sh
+//! cargo run --release -p matopt-bench --bin bench_pr10            # table
+//! cargo run --release -p matopt-bench --bin bench_pr10 -- --json  # + BENCH_PR10.json
+//! ```
+//!
+//! Phase 1 (joint vs separate): plan the autodiff-derived FFNN
+//! training DAG as one graph, then re-plan it the way a system without
+//! joint planning would — forward pass optimized alone, every forward
+//! vertex a gradient consumes materialized as a *source* of the
+//! backward graph in whatever format the forward-only plan picked.
+//! The joint plan sees gradient consumers when choosing boundary
+//! formats, so it can never cost more than forward-cost +
+//! backward-cost (asserted per scale), and across all scales measured
+//! the total cost must be **strictly** lower — at some scales the
+//! passes' format preferences happen to agree and the plans tie, but
+//! wherever they disagree only the joint optimizer wins the boundary.
+//!
+//! Phase 2 (cached epochs): run the multi-epoch training loop with
+//! plan reuse on and off. Reuse must hit the cache on every epoch
+//! after the first, spend strictly less optimizer time (full mode),
+//! and — because a cache hit replays the *same* annotation the fresh
+//! optimizer would deterministically re-derive — leave every loss bit
+//! identical.
+//!
+//! Phase 3 (derivation overhead): building the joint graph (forward
+//! construction *plus* reverse-mode differentiation) must cost less
+//! than 5% of one frontier-DP optimization of it — differentiating is
+//! a graph walk, and it must stay negligible next to planning.
+//!
+//! `MATOPT_BENCH_QUICK=1` shrinks scales and skips the
+//! timing-sensitive margins (optimizer-seconds speedup) so CI smoke
+//! runs stay fast; structural assertions (strict joint-vs-separate
+//! cost gap, cache hits, bit-identical losses, the 5% derivation
+//! bound) hold in both modes.
+
+use matopt_bench::Json;
+use matopt_core::{
+    Cluster, ComputeGraph, DiffRole, FormatCatalog, ImplRegistry, NodeId, NodeKind, PhysFormat,
+    PlanContext,
+};
+use matopt_cost::AnalyticalCostModel;
+use matopt_engine::{train, AdaptiveConfig, DistRelation, EpochPlanSource, TrainConfig, TrainSpec};
+use matopt_graphs::{ffnn_training_graph, FfnnConfig, FfnnTraining};
+use matopt_kernels::{random_dense_normal, seeded_rng, DenseMatrix};
+use matopt_opt::{frontier_dp_beam, OptContext};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// One scale of the phase-1 joint-vs-separate comparison.
+struct GapRow {
+    label: String,
+    vertices: usize,
+    joint_cost: f64,
+    forward_cost: f64,
+    backward_cost: f64,
+    boundary_sources: usize,
+}
+
+impl GapRow {
+    fn separate_cost(&self) -> f64 {
+        self.forward_cost + self.backward_cost
+    }
+    fn gap(&self) -> f64 {
+        self.separate_cost() / self.joint_cost
+    }
+}
+
+/// The forward prefix length of a training graph: autodiff appends
+/// every gradient/update/loss vertex after the forward pass, so roles
+/// are a `Forward|Shared` prefix followed by a `Backward` suffix.
+fn forward_prefix(roles: &[DiffRole]) -> usize {
+    let k = roles
+        .iter()
+        .position(|r| *r == DiffRole::Backward)
+        .unwrap_or(roles.len());
+    assert!(
+        roles[k..].iter().all(|r| *r == DiffRole::Backward),
+        "training graphs keep the tape contiguous after the forward prefix"
+    );
+    k
+}
+
+/// Rebuilds the forward prefix as its own graph (ids map 1:1).
+fn forward_graph(graph: &ComputeGraph, k: usize) -> ComputeGraph {
+    let mut g = ComputeGraph::new();
+    for (id, node) in graph.iter().take(k) {
+        match &node.kind {
+            NodeKind::Source { format } => {
+                g.add_source_named(node.mtype, *format, node.name.as_deref());
+            }
+            NodeKind::Compute { .. } => {
+                let op = node.op().expect("compute vertex");
+                g.add_op_named(op, &node.inputs, node.name.as_deref())
+                    .expect("forward prefix re-typechecks");
+            }
+        }
+        let _ = id;
+    }
+    g
+}
+
+/// Rebuilds the backward suffix with every forward vertex it consumes
+/// materialized as a source, fixed in the format the forward-only plan
+/// chose (its declared source format when the boundary vertex *is* a
+/// source). Returns the graph and the boundary-source count.
+fn backward_graph(
+    graph: &ComputeGraph,
+    k: usize,
+    fwd_plan: &matopt_core::Annotation,
+) -> (ComputeGraph, usize) {
+    let mut g = ComputeGraph::new();
+    let mut map: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut boundary = 0usize;
+    for (id, node) in graph.iter().skip(k) {
+        let mut inputs = Vec::with_capacity(node.inputs.len());
+        for input in &node.inputs {
+            let mapped = match map.get(input) {
+                Some(m) => *m,
+                None => {
+                    assert!(
+                        input.index() < k,
+                        "unmapped input must be a boundary vertex"
+                    );
+                    let src = graph.node(*input);
+                    let format = match src.kind {
+                        NodeKind::Source { format } => format,
+                        NodeKind::Compute { .. } => {
+                            fwd_plan.choices[input.index()]
+                                .as_ref()
+                                .expect("forward plan annotates every compute vertex")
+                                .output_format
+                        }
+                    };
+                    boundary += 1;
+                    let m = g.add_source_named(src.mtype, format, src.name.as_deref());
+                    map.insert(*input, m);
+                    m
+                }
+            };
+            inputs.push(mapped);
+        }
+        let mapped = g
+            .add_op_named(
+                node.op().expect("tape vertex is compute"),
+                &inputs,
+                node.name.as_deref(),
+            )
+            .expect("tape re-typechecks");
+        map.insert(id, mapped);
+    }
+    (g, boundary)
+}
+
+/// Phase 1 at one scale: joint plan vs forward-then-backward plans.
+fn measure_gap(
+    label: &str,
+    t: &FfnnTraining,
+    ctx: &PlanContext<'_>,
+    catalog: &FormatCatalog,
+    beam: usize,
+) -> GapRow {
+    let octx = OptContext::new(ctx, catalog, &AnalyticalCostModel);
+    let joint = frontier_dp_beam(&t.graph, &octx, beam).expect("joint plan");
+    let k = forward_prefix(&t.roles);
+    let fwd = forward_graph(&t.graph, k);
+    let fwd_plan = frontier_dp_beam(&fwd, &octx, beam).expect("forward plan");
+    let (bwd, boundary) = backward_graph(&t.graph, k, &fwd_plan.annotation);
+    let bwd_plan = frontier_dp_beam(&bwd, &octx, beam).expect("backward plan");
+    GapRow {
+        label: label.to_string(),
+        vertices: t.graph.len(),
+        joint_cost: joint.cost,
+        forward_cost: fwd_plan.cost,
+        backward_cost: bwd_plan.cost,
+        boundary_sources: boundary,
+    }
+}
+
+/// Deterministic laptop-scale training inputs (one-hot labels,
+/// 0.1-scaled parameters) — the same recipe `matopt train` uses.
+fn train_inputs(t: &FfnnTraining) -> HashMap<NodeId, DistRelation> {
+    let mut rng = seeded_rng(42);
+    let mut inputs = HashMap::new();
+    for (id, node) in t.graph.iter() {
+        if let NodeKind::Source { format } = &node.kind {
+            let (r, c) = (node.mtype.rows as usize, node.mtype.cols as usize);
+            let d = if id == t.y {
+                let mut m = DenseMatrix::zeros(r, c);
+                for row in 0..r {
+                    m.set(row, (row * 7 + 3) % c, 1.0);
+                }
+                m
+            } else {
+                random_dense_normal(r, c, &mut rng).map(|v| v * 0.1)
+            };
+            inputs.insert(
+                id,
+                DistRelation::from_dense(&d, *format).expect("chunkable"),
+            );
+        }
+    }
+    inputs
+}
+
+fn train_spec(t: &FfnnTraining) -> TrainSpec {
+    TrainSpec {
+        graph: t.graph.clone(),
+        params: t.weights.iter().chain(t.biases.iter()).copied().collect(),
+        updated: t
+            .updated_weights
+            .iter()
+            .chain(t.updated_biases.iter())
+            .copied()
+            .collect(),
+        loss: t.loss,
+    }
+}
+
+fn laptop_catalog() -> FormatCatalog {
+    FormatCatalog::new(vec![
+        PhysFormat::SingleTuple,
+        PhysFormat::Tile { side: 16 },
+        PhysFormat::RowStrip { height: 16 },
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = match args.first().map(String::as_str) {
+        Some("--json") => Some(
+            args.get(1)
+                .cloned()
+                .unwrap_or_else(|| "BENCH_PR10.json".to_string()),
+        ),
+        Some(other) => {
+            eprintln!("unknown argument {other:?}; usage: bench_pr10 [--json [PATH]]");
+            std::process::exit(2);
+        }
+        None => None,
+    };
+    let quick = std::env::var("MATOPT_BENCH_QUICK").is_ok();
+    let registry = ImplRegistry::extended();
+
+    println!("== Phase 1: joint forward+backward planning vs separate ==");
+    let beam = if quick { 200 } else { 1000 };
+    let laptop_ctx = PlanContext::new(&registry, Cluster::simsql_like(4));
+    let paper_ctx = PlanContext::new(&registry, Cluster::simsql_like(10));
+    let paper_catalog = FormatCatalog::paper_default().dense_only();
+    let mut rows = Vec::new();
+    let laptop_scales: &[u64] = if quick { &[16, 32] } else { &[16, 32, 64] };
+    for hidden in laptop_scales {
+        let t = ffnn_training_graph(FfnnConfig::laptop(*hidden)).expect("well-typed");
+        rows.push(measure_gap(
+            &format!("ffnn-train:{hidden} (laptop)"),
+            &t,
+            &laptop_ctx,
+            &laptop_catalog(),
+            beam,
+        ));
+    }
+    let simsql_hidden: u64 = if quick { 40 } else { 80 };
+    let t = ffnn_training_graph(FfnnConfig::simsql_experiment(simsql_hidden)).expect("well-typed");
+    rows.push(measure_gap(
+        &format!("ffnn-train:{simsql_hidden} (SimSQL scale)"),
+        &t,
+        &paper_ctx,
+        &paper_catalog,
+        beam,
+    ));
+    for row in &rows {
+        println!(
+            "  {:<28} {:>3} vertices, {} boundary sources: joint {:.3}s vs \
+             separate {:.3}s (fwd {:.3} + bwd {:.3}) -- {:.3}x gap",
+            row.label,
+            row.vertices,
+            row.boundary_sources,
+            row.joint_cost,
+            row.separate_cost(),
+            row.forward_cost,
+            row.backward_cost,
+            row.gap()
+        );
+        // Per scale the passes may tie (their format preferences can
+        // agree), but joint planning must never lose to the split.
+        assert!(
+            row.joint_cost <= row.separate_cost() * (1.0 + 1e-9),
+            "{}: joint planning must never cost more than separately-optimized \
+             passes (joint {:.6}s vs separate {:.6}s)",
+            row.label,
+            row.joint_cost,
+            row.separate_cost()
+        );
+    }
+    let total_joint: f64 = rows.iter().map(|r| r.joint_cost).sum();
+    let total_separate: f64 = rows.iter().map(|r| r.separate_cost()).sum();
+    println!(
+        "  total: joint {total_joint:.3}s vs separate {total_separate:.3}s \
+         -- {:.3}x gap",
+        total_separate / total_joint
+    );
+    assert!(
+        total_joint < total_separate,
+        "joint planning must be strictly cheaper in total \
+         (joint {total_joint:.6}s vs separate {total_separate:.6}s)"
+    );
+
+    println!("== Phase 2: cached epochs in the training loop ==");
+    let epochs = if quick { 3 } else { 6 };
+    let t = ffnn_training_graph(FfnnConfig::laptop(32)).expect("well-typed");
+    let spec = train_spec(&t);
+    let inputs = train_inputs(&t);
+    let catalog = laptop_catalog();
+    let run_loop = |reuse_plans: bool| {
+        let config = TrainConfig {
+            epochs,
+            adaptive: AdaptiveConfig {
+                beam: 300,
+                ..AdaptiveConfig::default()
+            },
+            reuse_plans,
+        };
+        train(
+            &spec,
+            &inputs,
+            &laptop_ctx,
+            &catalog,
+            &AnalyticalCostModel,
+            &config,
+        )
+        .expect("training runs")
+    };
+    let cached = run_loop(true);
+    let uncached = run_loop(false);
+    let opt_secs =
+        |run: &matopt_engine::TrainRun| -> f64 { run.epochs.iter().map(|e| e.opt_seconds).sum() };
+    let (cached_opt, uncached_opt) = (opt_secs(&cached), opt_secs(&uncached));
+    println!(
+        "  {epochs} epochs: cached spends {cached_opt:.4}s in the optimizer \
+         ({} hits, {} drift invalidations), uncached spends {uncached_opt:.4}s \
+         -- {:.2}x less planning",
+        cached.cache_hits,
+        cached.cache_invalidations,
+        uncached_opt / cached_opt
+    );
+    assert_eq!(
+        cached.cache_hits,
+        epochs - 1,
+        "every epoch after the first must hit the plan cache"
+    );
+    for e in &cached.epochs[1..] {
+        assert_eq!(e.plan, EpochPlanSource::CacheHit, "epoch {}", e.epoch);
+    }
+    assert_eq!(uncached.cache_hits, 0);
+    let bits = |run: &matopt_engine::TrainRun| -> Vec<u64> {
+        run.losses().iter().map(|l| l.to_bits()).collect()
+    };
+    assert_eq!(
+        bits(&cached),
+        bits(&uncached),
+        "plan caching must not change a bit of the loss trajectory"
+    );
+    assert!(
+        cached.monotone_non_increasing(),
+        "full-batch GD must not increase the loss: {:?}",
+        cached.losses()
+    );
+    if !quick {
+        assert!(
+            cached_opt < uncached_opt,
+            "reused plans must spend less optimizer time ({cached_opt:.4}s vs {uncached_opt:.4}s)"
+        );
+    }
+
+    println!("== Phase 3: autodiff derivation overhead ==");
+    let reps = if quick { 3 } else { 10 };
+    let cfg = FfnnConfig::laptop(32);
+    let mut derive_best = f64::INFINITY;
+    for _ in 0..reps {
+        let started = Instant::now();
+        std::hint::black_box(ffnn_training_graph(cfg).expect("well-typed"));
+        derive_best = derive_best.min(started.elapsed().as_secs_f64());
+    }
+    let joint = ffnn_training_graph(cfg).expect("well-typed");
+    let octx = OptContext::new(&laptop_ctx, &catalog, &AnalyticalCostModel);
+    let mut opt_best = f64::INFINITY;
+    for _ in 0..reps {
+        let started = Instant::now();
+        std::hint::black_box(frontier_dp_beam(&joint.graph, &octx, 300).expect("plans"));
+        opt_best = opt_best.min(started.elapsed().as_secs_f64());
+    }
+    let ratio = derive_best / opt_best;
+    println!(
+        "  build+differentiate ffnn-train:32 in {:.1}us vs one frontier-DP \
+         optimization {:.1}us -- {:.2}% of optimizer time",
+        derive_best * 1e6,
+        opt_best * 1e6,
+        ratio * 100.0
+    );
+    assert!(
+        ratio < 0.05,
+        "deriving gradients must stay below 5% of optimizer time (measured {:.2}%)",
+        ratio * 100.0
+    );
+
+    if let Some(path) = json_path {
+        let report = Json::obj([
+            ("pr", Json::Int(10)),
+            (
+                "mode",
+                Json::Str(if quick { "quick" } else { "full" }.into()),
+            ),
+            (
+                "joint_vs_separate",
+                Json::Arr(
+                    rows.iter()
+                        .map(|row| {
+                            Json::obj([
+                                ("workload", Json::Str(row.label.clone())),
+                                ("vertices", Json::Int(row.vertices as i64)),
+                                ("boundary_sources", Json::Int(row.boundary_sources as i64)),
+                                ("joint_cost_s", Json::Num(row.joint_cost)),
+                                ("forward_cost_s", Json::Num(row.forward_cost)),
+                                ("backward_cost_s", Json::Num(row.backward_cost)),
+                                ("separate_cost_s", Json::Num(row.separate_cost())),
+                                ("gap", Json::Num(row.gap())),
+                                (
+                                    "joint_strictly_cheaper",
+                                    Json::Bool(row.joint_cost < row.separate_cost()),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "joint_vs_separate_total",
+                Json::obj([
+                    ("joint_cost_s", Json::Num(total_joint)),
+                    ("separate_cost_s", Json::Num(total_separate)),
+                    ("gap", Json::Num(total_separate / total_joint)),
+                    ("strict", Json::Bool(true)),
+                ]),
+            ),
+            (
+                "cached_epochs",
+                Json::obj([
+                    ("workload", Json::str("ffnn-train:32 (laptop)")),
+                    ("epochs", Json::Int(epochs as i64)),
+                    ("cache_hits", Json::Int(cached.cache_hits as i64)),
+                    (
+                        "drift_invalidations",
+                        Json::Int(cached.cache_invalidations as i64),
+                    ),
+                    ("cached_opt_seconds", Json::Num(cached_opt)),
+                    ("uncached_opt_seconds", Json::Num(uncached_opt)),
+                    ("planning_speedup", Json::Num(uncached_opt / cached_opt)),
+                    ("loss_trajectory_bit_exact", Json::Bool(true)),
+                    (
+                        "final_loss",
+                        Json::Num(cached.losses().last().copied().unwrap_or(f64::NAN)),
+                    ),
+                ]),
+            ),
+            (
+                "derivation_overhead",
+                Json::obj([
+                    ("workload", Json::str("ffnn-train:32 (laptop)")),
+                    ("derive_seconds", Json::Num(derive_best)),
+                    ("optimize_seconds", Json::Num(opt_best)),
+                    ("fraction_of_optimizer", Json::Num(ratio)),
+                    ("under_5_percent", Json::Bool(true)),
+                ]),
+            ),
+        ]);
+        std::fs::write(&path, report.pretty())
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {path}");
+    }
+}

@@ -4,6 +4,11 @@
 //! matopt formats                         list the physical-format catalog
 //! matopt impls                           list the 38 operator implementations
 //! matopt plan <workload> [options]       optimize a workload and report the plan
+//! matopt train <workload> [options]      run the multi-epoch training loop on a
+//!                                        laptop-scale FFNN: autodiff-derived
+//!                                        joint forward+backward graph, plan
+//!                                        cached across epochs, per-epoch loss
+//!                                        and cache-hit reporting
 //! matopt serve [options]                 serve plan requests over stdin/stdout
 //! matopt stats <workload> [options]      run a workload with the metrics
 //!                                        registry enabled and print the
@@ -22,6 +27,9 @@
 //!   ffnn:<hidden>            FFNN fwd + backprop-to-W2 (SimSQL experiments)
 //!   ffnn-full:<hidden>       FFNN fwd + backprop + fwd (57-vertex graph)
 //!   ffnn-small:<hidden>      laptop-scale FFNN the real executor can run
+//!   ffnn-train:<hidden>      laptop-scale FFNN *training* graph: forward
+//!                            pass, autodiff tape, SGD updates for every
+//!                            parameter, and a scalar monitoring loss
 //!   amazoncat:<batch>:<layer>[:sparse]   system-comparison FFNN
 //!   chain:<1|2|3>            six-matrix multiplication chain, size set N
 //!   inverse                  two-level block-wise inverse
@@ -75,6 +83,23 @@
 //!   --metrics-dump <path>    write the metrics-registry snapshot after
 //!                            the run: Prometheus text, or JSON if
 //!                            <path> ends .json
+//!
+//! train options (workload must be ffnn-small:<hidden> or
+//! ffnn-train:<hidden> — both name the same laptop-scale training graph):
+//!   --epochs N               epochs to run (default 3)
+//!   --lr L                   SGD learning rate (default 0.01)
+//!   --workers N              cluster size (default 4)
+//!   --engine simsql|pc       cluster profile (default simsql)
+//!   --beam N                 optimizer beam width (default 300)
+//!   --no-reuse               re-optimize every epoch instead of reusing
+//!                            the cached plan (numerics are bit-identical
+//!                            either way; this is a latency experiment)
+//!   --checkpoint <path>      resume from <path> when it exists, and
+//!                            rewrite it after every epoch (a corrupt
+//!                            checkpoint file is an error, not a silent
+//!                            fresh start)
+//!   --dot                    print the forward/backward-tagged training
+//!                            graph as Graphviz DOT and exit
 //!
 //! serve options:
 //!   --workers N / --engine / --catalog    as for plan
@@ -135,14 +160,19 @@
 //! ```
 
 use matopt_bench::{AutoPlan, Env, DEFAULT_BEAM};
-use matopt_core::{Cluster, ComputeGraph, FormatCatalog, ImplRegistry, NodeKind, RecoveryPolicy};
+use matopt_core::{
+    training_to_dot, Cluster, ComputeGraph, FormatCatalog, ImplRegistry, NodeId, NodeKind,
+    PhysFormat, PlanContext, RecoveryPolicy,
+};
 use matopt_cost::AnalyticalCostModel;
 use matopt_engine::{
     explain_analyze, explain_analyze_with_faults, explain_analyze_with_options, explain_plan,
-    parse_fault_spec, render_sql, simulate_plan_traced, simulate_plan_with_recovery, DistRelation,
-    ExecOptions, FtConfig, HedgeConfig, RemoteVertexExec, SimOutcome,
+    parse_fault_spec, render_sql, simulate_plan_traced, simulate_plan_with_recovery,
+    AdaptiveConfig, DistRelation, EpochPlanSource, ExecOptions, FtConfig, HedgeConfig,
+    RemoteVertexExec, SimOutcome, TrainCheckpoint, TrainConfig, TrainSpec,
 };
-use matopt_kernels::{random_dense_normal, seeded_rng};
+use matopt_graphs::{ffnn_training_graph, FfnnConfig};
+use matopt_kernels::{random_dense_normal, seeded_rng, DenseMatrix};
 use matopt_obs::{export, MemorySink, MetricsRegistry, Obs, RingSink};
 use matopt_serve::{serve_lines_concurrent_session, PlanService, ServeConfig, ServeSession};
 use matopt_worker::{
@@ -168,13 +198,14 @@ fn main() {
         Some("formats") => cmd_formats(),
         Some("impls") => cmd_impls(),
         Some("plan") => cmd_plan(&args[1..]),
+        Some("train") => cmd_train(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("tune") => cmd_tune(&args[1..]),
         Some("fleet-chaos") => cmd_fleet_chaos(&args[1..]),
         _ => {
             eprintln!(
-                "usage: matopt <formats|impls|plan|serve|stats|tune|fleet-chaos> ...  (see --help in the source header)"
+                "usage: matopt <formats|impls|plan|train|serve|stats|tune|fleet-chaos> ...  (see --help in the source header)"
             );
             2
         }
@@ -192,8 +223,19 @@ fn cmd_formats() -> i32 {
     0
 }
 
+/// The CLI's experiment environment: the paper's 38 implementations
+/// plus the reduction kernels that training-loss workloads
+/// (`ffnn-train:<h>`) need. A strict superset — graphs without
+/// reduction vertices plan exactly as under the paper registry.
+fn cli_env() -> Env {
+    Env {
+        registry: ImplRegistry::extended(),
+        model: AnalyticalCostModel,
+    }
+}
+
 fn cmd_impls() -> i32 {
-    let env = Env::new();
+    let env = cli_env();
     println!("{} atomic computation implementations:", env.registry.len());
     for i in env.registry.all() {
         println!("  {:<28} {:?} [{:?}]", i.name, i.op, i.strategy);
@@ -421,7 +463,7 @@ fn cmd_plan(args: &[String]) -> i32 {
         None => Obs::disabled(),
     };
 
-    let env = Env::new();
+    let env = cli_env();
     let ctx = env.ctx(cluster);
     let plan = match &cache_dir {
         Some(dir) => match plan_with_cache(dir, &graph, cluster, &catalog, &ctx, obs.clone()) {
@@ -569,7 +611,7 @@ fn plan_with_cache(
     obs: Obs,
 ) -> Result<AutoPlan, String> {
     let service = PlanService::with_obs(
-        ImplRegistry::paper_default(),
+        ImplRegistry::extended(),
         catalog.clone(),
         cluster,
         Box::new(AnalyticalCostModel),
@@ -615,6 +657,307 @@ fn plan_with_cache(
         opt_seconds: planned.plan.opt_seconds,
         beam_truncated: planned.plan.beam_truncated,
     })
+}
+
+/// `matopt train`: the multi-epoch training loop as an operator
+/// command. Builds the autodiff-derived joint forward+backward FFNN
+/// graph, plans it once, and reuses the cached plan every later epoch
+/// (recalibrating the graph's statistics after the first epoch's
+/// measured sparsities come in, so the cache stays drift-free). Prints
+/// one greppable line per epoch and a monotonicity verdict at the end.
+fn cmd_train(args: &[String]) -> i32 {
+    let Some(workload) = args.first() else {
+        eprintln!("train: missing workload (try ffnn-small:32)");
+        return 2;
+    };
+    let mut epochs = 3usize;
+    let mut lr: Option<f64> = None;
+    let mut workers = 4usize;
+    let mut engine = "simsql".to_string();
+    let mut beam = 300usize;
+    let mut reuse_plans = true;
+    let mut checkpoint: Option<String> = None;
+    let mut dot = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--epochs" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => epochs = n,
+                    _ => {
+                        eprintln!("train: --epochs expects a count >= 1");
+                        return 2;
+                    }
+                }
+            }
+            "--lr" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<f64>().ok()) {
+                    Some(l) if l.is_finite() && l > 0.0 => lr = Some(l),
+                    _ => {
+                        eprintln!("train: --lr expects a finite rate > 0, e.g. 0.01");
+                        return 2;
+                    }
+                }
+            }
+            "--workers" => {
+                i += 1;
+                workers = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(4);
+            }
+            "--engine" => {
+                i += 1;
+                engine = args.get(i).cloned().unwrap_or_default();
+            }
+            "--beam" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => beam = n,
+                    _ => {
+                        eprintln!("train: --beam expects a width >= 1");
+                        return 2;
+                    }
+                }
+            }
+            "--no-reuse" => reuse_plans = false,
+            "--checkpoint" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => checkpoint = Some(p.clone()),
+                    None => {
+                        eprintln!("train: --checkpoint expects a file path");
+                        return 2;
+                    }
+                }
+            }
+            "--dot" => dot = true,
+            other => {
+                eprintln!("train: unknown option {other}");
+                return 2;
+            }
+        }
+        i += 1;
+    }
+
+    // Training runs the real executor, so only the laptop-scale graph
+    // is accepted; `ffnn-small:<h>` and `ffnn-train:<h>` both name it.
+    let hidden = match workload.split_once(':') {
+        Some(("ffnn-small" | "ffnn-train", h)) => match h.parse::<u64>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("train: {workload}: hidden size must be an integer >= 1");
+                return 2;
+            }
+        },
+        _ => {
+            eprintln!(
+                "train: unsupported workload {workload}; training runs for real and \
+                 accepts ffnn-small:<hidden> or ffnn-train:<hidden> only"
+            );
+            return 2;
+        }
+    };
+    let mut ffnn = FfnnConfig::laptop(hidden);
+    if let Some(l) = lr {
+        ffnn.learning_rate = l;
+    }
+    let t = match ffnn_training_graph(ffnn) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("train: cannot build the training graph: {e}");
+            return 2;
+        }
+    };
+    if dot {
+        print!("{}", training_to_dot(&t.graph, &t.roles));
+        return 0;
+    }
+
+    let cluster = match engine.as_str() {
+        "pc" | "plinycompute" => Cluster::plinycompute_like(workers),
+        _ => Cluster::simsql_like(workers),
+    };
+    // The loss tape ends in scalar reductions, so planning needs the
+    // extended registry (paper's 38 impls + the reduction kernels).
+    let registry = ImplRegistry::extended();
+    let ctx = PlanContext::new(&registry, cluster);
+    // Laptop-scale chunkings: the graph's sources arrive as 16-strips
+    // and 16-tiles, so the catalog offers exactly those plus the
+    // scalar format the reductions produce.
+    let catalog = FormatCatalog::new(vec![
+        PhysFormat::SingleTuple,
+        PhysFormat::Tile { side: 16 },
+        PhysFormat::RowStrip { height: 16 },
+    ]);
+
+    let inputs = match train_inputs(&t.graph, t.y) {
+        Ok(m) => m,
+        Err(msg) => {
+            eprintln!("train: {msg}");
+            return 1;
+        }
+    };
+    let spec = TrainSpec {
+        graph: t.graph,
+        params: t.weights.iter().chain(t.biases.iter()).copied().collect(),
+        updated: t
+            .updated_weights
+            .iter()
+            .chain(t.updated_biases.iter())
+            .copied()
+            .collect(),
+        loss: t.loss,
+    };
+    let config = TrainConfig {
+        epochs,
+        adaptive: AdaptiveConfig {
+            beam,
+            ..AdaptiveConfig::default()
+        },
+        reuse_plans,
+    };
+
+    // `--checkpoint`: resume when the file exists; a corrupt file is an
+    // error (resuming from garbage would silently fork the trajectory).
+    let resume = match &checkpoint {
+        Some(path) if Path::new(path).exists() => match std::fs::read(path) {
+            Ok(bytes) => match TrainCheckpoint::decode(&bytes) {
+                Ok(ck) => {
+                    println!(
+                        "resuming from {path}: {} epochs already done, last loss {:.9e}",
+                        ck.epoch,
+                        ck.losses.last().copied().unwrap_or(f64::NAN)
+                    );
+                    Some(ck)
+                }
+                Err(e) => {
+                    eprintln!("train: --checkpoint {path}: {e}");
+                    return 1;
+                }
+            },
+            Err(e) => {
+                eprintln!("train: --checkpoint {path}: {e}");
+                return 1;
+            }
+        },
+        _ => None,
+    };
+
+    println!(
+        "training {workload}: {} vertices, {} parameters, {epochs} epochs, lr {}, beam {beam}",
+        spec.graph.len(),
+        spec.params.len(),
+        lr.unwrap_or(0.01),
+    );
+    let ck_error: std::cell::RefCell<Option<String>> = std::cell::RefCell::new(None);
+    let on_epoch = |stats: &matopt_engine::EpochStats, ck: &TrainCheckpoint| {
+        let source = match stats.plan {
+            EpochPlanSource::CacheHit => "plan hit".to_string(),
+            EpochPlanSource::Optimized => format!(
+                "plan miss (optimized in {:.3}s, est cost {:.3}s)",
+                stats.opt_seconds, stats.plan_cost
+            ),
+        };
+        let drift = if stats.recalibrated {
+            format!(
+                "  [drift: recalibrated statistics, re-warmed cache in {:.3}s]",
+                stats.opt_seconds
+            )
+        } else {
+            String::new()
+        };
+        println!(
+            "epoch {}: loss {:.9e}  {source}{drift}",
+            stats.epoch, stats.loss
+        );
+        if let Some(path) = &checkpoint {
+            if let Err(e) = persist_checkpoint(path, ck) {
+                *ck_error.borrow_mut() = Some(e);
+            }
+        }
+    };
+    let started = std::time::Instant::now();
+    let run = match matopt_engine::train_resumable(
+        &spec,
+        &inputs,
+        &ctx,
+        &catalog,
+        &AnalyticalCostModel,
+        &config,
+        resume.as_ref(),
+        Some(&on_epoch),
+        None,
+    ) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("train: {e}");
+            return 1;
+        }
+    };
+    if let Some(e) = ck_error.into_inner() {
+        eprintln!("train: {e}");
+        return 1;
+    }
+    println!(
+        "trained {epochs} epochs in {:.2}s: {} plan hits, {} drift invalidations, \
+         final loss {:.9e}",
+        started.elapsed().as_secs_f64(),
+        run.cache_hits,
+        run.cache_invalidations,
+        run.losses().last().copied().unwrap_or(f64::NAN)
+    );
+    if run.monotone_non_increasing() {
+        println!("train: loss monotone non-increasing over {epochs} epochs");
+        0
+    } else {
+        eprintln!(
+            "train: loss INCREASED between epochs: {:?} (try a smaller --lr)",
+            run.losses()
+        );
+        1
+    }
+}
+
+/// Deterministic laptop-scale training inputs: seeded normal data,
+/// 0.1-scaled seeded normal parameters (keeps the softmax away from
+/// saturation), and row-stochastic one-hot labels so the fused
+/// softmax+cross-entropy seed is the exact descent direction.
+fn train_inputs(
+    graph: &ComputeGraph,
+    labels: NodeId,
+) -> Result<HashMap<NodeId, DistRelation>, String> {
+    let mut rng = seeded_rng(42);
+    let mut inputs = HashMap::new();
+    for (id, node) in graph.iter() {
+        if let NodeKind::Source { format } = &node.kind {
+            let (r, c) = (node.mtype.rows as usize, node.mtype.cols as usize);
+            let d = if id == labels {
+                let mut m = DenseMatrix::zeros(r, c);
+                for row in 0..r {
+                    m.set(row, (row * 7 + 3) % c, 1.0);
+                }
+                m
+            } else {
+                random_dense_normal(r, c, &mut rng).map(|v| v * 0.1)
+            };
+            let rel = DistRelation::from_dense(&d, *format).map_err(|e| {
+                format!(
+                    "cannot chunk source {}: {e}",
+                    node.name.as_deref().unwrap_or(&id.to_string())
+                )
+            })?;
+            inputs.insert(id, rel);
+        }
+    }
+    Ok(inputs)
+}
+
+/// Writes a checkpoint durably enough for a CLI: temp file in the same
+/// directory, then an atomic rename over the target.
+fn persist_checkpoint(path: &str, ck: &TrainCheckpoint) -> Result<(), String> {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, ck.encode()).map_err(|e| format!("--checkpoint {tmp}: {e}"))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("--checkpoint {path}: {e}"))
 }
 
 fn cmd_serve(args: &[String]) -> i32 {
@@ -758,7 +1101,7 @@ fn cmd_serve(args: &[String]) -> i32 {
     let registry = MetricsRegistry::new();
     let obs = Obs::with_metrics(Arc::clone(&ring), Arc::clone(&registry));
     let service = PlanService::with_obs(
-        ImplRegistry::paper_default(),
+        ImplRegistry::extended(),
         catalog,
         cluster,
         Box::new(AnalyticalCostModel),
@@ -1285,7 +1628,7 @@ fn cmd_stats(args: &[String]) -> i32 {
     let registry = MetricsRegistry::new();
     let ring = Arc::new(RingSink::new(4096));
     let obs = Obs::with_metrics(Arc::clone(&ring), Arc::clone(&registry));
-    let env = Env::new();
+    let env = cli_env();
     let ctx = env.ctx(cluster);
     let plan = match env.auto_plan_traced(&graph, cluster, &catalog, obs.clone()) {
         Ok(p) => p,

@@ -78,6 +78,39 @@ impl std::fmt::Display for PlanError {
 
 impl std::error::Error for PlanError {}
 
+impl PlanError {
+    /// The vertex this error is scoped to.
+    pub fn vertex(&self) -> NodeId {
+        match self {
+            PlanError::MissingChoice(v)
+            | PlanError::WrongOp(v)
+            | PlanError::TransformArity(v)
+            | PlanError::ImplRejected(v)
+            | PlanError::OutputMismatch(v) => *v,
+            PlanError::BadTransform { node, .. } => *node,
+        }
+    }
+
+    /// The error message with the vertex's graph label spliced in, in
+    /// the executor's `vertex v3 ("loss")` convention. Falls back to
+    /// plain [`Display`](std::fmt::Display) for unnamed vertices.
+    pub fn describe(&self, graph: &ComputeGraph) -> String {
+        let v = self.vertex();
+        let plain = self.to_string();
+        if v.index() >= graph.len() {
+            return plain;
+        }
+        match graph.node(v).name.as_deref() {
+            Some(label) => plain.replacen(
+                &format!("vertex {v}"),
+                &format!("vertex {v} ({label:?})"),
+                1,
+            ),
+            None => plain,
+        }
+    }
+}
+
 /// Per-vertex feature breakdown of a validated plan.
 #[derive(Debug, Clone, Default)]
 pub struct PlanFeatures {
@@ -296,5 +329,21 @@ mod tests {
         choice.output_format = PhysFormat::Tile { side: 100 };
         ann.set(c, choice);
         assert_eq!(validate(&g, &ann, &ctx), Err(PlanError::OutputMismatch(c)));
+    }
+
+    #[test]
+    fn describe_names_vertex_and_label() {
+        let (mut g, _, reg) = simple_plan();
+        let c = crate::graph::NodeId(2);
+        g.rename(c, "loss");
+        let ctx = PlanContext::new(&reg, Cluster::simsql_like(5));
+        let err = validate(&g, &Annotation::empty(&g), &ctx).unwrap_err();
+        assert_eq!(err.vertex(), c);
+        let msg = err.describe(&g);
+        assert!(msg.contains("vertex v2 (\"loss\")"), "got {msg:?}");
+        // Unnamed vertices keep the plain rendering.
+        let (g2, _, _) = simple_plan();
+        let err2 = validate(&g2, &Annotation::empty(&g2), &ctx).unwrap_err();
+        assert_eq!(err2.describe(&g2), err2.to_string());
     }
 }

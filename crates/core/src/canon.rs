@@ -144,6 +144,8 @@ pub fn op_from_words(words: [u64; 2]) -> Option<Op> {
         OpKind::ColSums => Op::ColSums,
         OpKind::Inverse => Op::Inverse,
         OpKind::BroadcastAddRow => Op::BroadcastAddRow,
+        OpKind::SumAll => Op::SumAll,
+        OpKind::FrobeniusNorm => Op::FrobeniusNorm,
     })
 }
 

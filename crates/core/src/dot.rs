@@ -36,6 +36,88 @@ pub fn graph_to_dot(graph: &ComputeGraph) -> String {
     out
 }
 
+/// Which side of a training graph a vertex belongs to, for rendering.
+///
+/// Produced by the autodiff pass: forward vertices compute the loss,
+/// backward vertices are the gradient tape, and shared vertices are
+/// forward values the backward pass reuses — exactly the overlap that
+/// makes joint forward+backward planning pay off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiffRole {
+    /// A forward-only vertex (sources included).
+    Forward,
+    /// A gradient vertex emitted by reverse-mode differentiation.
+    Backward,
+    /// A forward vertex consumed by at least one gradient vertex.
+    Shared,
+}
+
+/// Renders a training graph (forward + autodiff backward) as DOT with
+/// the three [`DiffRole`] regions visually distinct: forward vertices
+/// plain, shared vertices filled light blue, gradient vertices filled
+/// light salmon diamonds grouped in a `cluster_backward` subgraph — so
+/// `matopt plan --dot` of a training workload stays readable.
+///
+/// `roles` is indexed by vertex id; vertices past its end default to
+/// [`DiffRole::Forward`].
+pub fn training_to_dot(graph: &ComputeGraph, roles: &[DiffRole]) -> String {
+    let role =
+        |id: &crate::graph::NodeId| roles.get(id.index()).copied().unwrap_or(DiffRole::Forward);
+    let decl = |id: crate::graph::NodeId, node: &crate::graph::Node| {
+        let label = node.name.clone().unwrap_or_else(|| id.to_string());
+        match &node.kind {
+            NodeKind::Source { format } => format!(
+                "    n{} [shape=box, label=\"{}\\n{} @ {}\"];\n",
+                id.0, label, node.mtype, format
+            ),
+            NodeKind::Compute { op } => {
+                let style = match role(&id) {
+                    DiffRole::Forward => String::new(),
+                    DiffRole::Shared => ", style=filled, fillcolor=lightblue".into(),
+                    DiffRole::Backward => {
+                        ", shape=diamond, style=filled, fillcolor=lightsalmon".into()
+                    }
+                };
+                format!(
+                    "    n{} [label=\"{}\\n{:?} : {}\"{}];\n",
+                    id.0, label, op, node.mtype, style
+                )
+            }
+        }
+    };
+    let mut out = String::from("digraph training {\n  rankdir=BT;\n");
+    for (tag, want) in [
+        ("forward", DiffRole::Forward),
+        ("shared", DiffRole::Shared),
+        ("backward", DiffRole::Backward),
+    ] {
+        let members: String = graph
+            .iter()
+            .filter(|(id, _)| role(id) == want)
+            .map(|(id, node)| decl(id, node))
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        out.push_str(&format!(
+            "  subgraph cluster_{tag} {{\n    label=\"{tag}\";\n    color=gray;\n{members}  }}\n"
+        ));
+    }
+    for (id, node) in graph.iter() {
+        for input in &node.inputs {
+            // Edges that cross from the forward/shared region into the
+            // gradient tape are dotted so the seam is visible.
+            if role(input) != DiffRole::Backward && role(&id) == DiffRole::Backward {
+                out.push_str(&format!("  n{} -> n{} [style=dotted];\n", input.0, id.0));
+            } else {
+                out.push_str(&format!("  n{} -> n{};\n", input.0, id.0));
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
 /// Renders an annotated compute graph as DOT: each computation shows its
 /// chosen implementation and output format; each edge its
 /// transformation (identity edges stay unlabelled). This is the §4.2
@@ -153,6 +235,54 @@ mod tests {
         // The single→tile move is highlighted; the identity edge is not.
         assert!(dot.contains("SingleToTile"));
         assert_eq!(dot.matches("color=red").count(), 1);
+    }
+
+    /// Golden test: the exact rendering of a one-layer training graph
+    /// (x·w summed to a loss, with the gradient dw = xᵀ·dy). Catches
+    /// any drift in the role styling that `matopt plan --dot` relies on.
+    #[test]
+    fn training_dot_golden() {
+        let mut g = ComputeGraph::new();
+        let x = g.add_source_named(MatrixType::dense(4, 4), PhysFormat::SingleTuple, Some("x"));
+        let w = g.add_source_named(MatrixType::dense(4, 4), PhysFormat::SingleTuple, Some("w"));
+        let y = g.add_op_named(Op::MatMul, &[x, w], Some("y")).unwrap();
+        let loss = g.add_op_named(Op::SumAll, &[y], Some("loss")).unwrap();
+        let xt = g.add_op_named(Op::Transpose, &[x], Some("xT")).unwrap();
+        let dw = g.add_op_named(Op::MatMul, &[xt, y], Some("dw")).unwrap();
+        let mut roles = vec![DiffRole::Forward; g.len()];
+        roles[y.index()] = DiffRole::Shared;
+        roles[xt.index()] = DiffRole::Backward;
+        roles[dw.index()] = DiffRole::Backward;
+        let _ = loss;
+        let dot = training_to_dot(&g, &roles);
+        let expected = "digraph training {\n\
+                        \x20 rankdir=BT;\n\
+                        \x20 subgraph cluster_forward {\n\
+                        \x20   label=\"forward\";\n\
+                        \x20   color=gray;\n\
+                        \x20   n0 [shape=box, label=\"x\\n4x4 @ single\"];\n\
+                        \x20   n1 [shape=box, label=\"w\\n4x4 @ single\"];\n\
+                        \x20   n3 [label=\"loss\\nSumAll : 1x1\"];\n\
+                        \x20 }\n\
+                        \x20 subgraph cluster_shared {\n\
+                        \x20   label=\"shared\";\n\
+                        \x20   color=gray;\n\
+                        \x20   n2 [label=\"y\\nMatMul : 4x4\", style=filled, fillcolor=lightblue];\n\
+                        \x20 }\n\
+                        \x20 subgraph cluster_backward {\n\
+                        \x20   label=\"backward\";\n\
+                        \x20   color=gray;\n\
+                        \x20   n4 [label=\"xT\\nTranspose : 4x4\", shape=diamond, style=filled, fillcolor=lightsalmon];\n\
+                        \x20   n5 [label=\"dw\\nMatMul : 4x4\", shape=diamond, style=filled, fillcolor=lightsalmon];\n\
+                        \x20 }\n\
+                        \x20 n0 -> n2;\n\
+                        \x20 n1 -> n2;\n\
+                        \x20 n2 -> n3;\n\
+                        \x20 n0 -> n4 [style=dotted];\n\
+                        \x20 n4 -> n5;\n\
+                        \x20 n2 -> n5 [style=dotted];\n\
+                        }\n";
+        assert_eq!(dot, expected);
     }
 
     #[test]

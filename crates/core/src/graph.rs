@@ -220,6 +220,31 @@ impl ComputeGraph {
         self.out_degrees().iter().all(|d| *d <= 1)
     }
 
+    /// A structurally identical graph whose per-vertex density
+    /// statistics are replaced by `measured` (index-aligned with vertex
+    /// ids, clamped into `(0, 1]`). This is the §7 re-optimization idea
+    /// applied *across* runs: an executor that observed every
+    /// intermediate's true sparsity feeds it back, and the next
+    /// optimization plans against observed statistics instead of the
+    /// independence estimates. Shapes, ops, formats, and names are
+    /// untouched, so vertex ids and any annotation remain aligned.
+    ///
+    /// # Panics
+    /// Panics when `measured` is not exactly one density per vertex.
+    #[must_use]
+    pub fn with_measured_sparsities(&self, measured: &[f64]) -> ComputeGraph {
+        assert_eq!(
+            measured.len(),
+            self.nodes.len(),
+            "one measured density per vertex"
+        );
+        let mut g = self.clone();
+        for (node, m) in g.nodes.iter_mut().zip(measured) {
+            node.mtype.sparsity = m.clamp(f64::MIN_POSITIVE, 1.0);
+        }
+        g
+    }
+
     /// Per-vertex ancestor sets (including the vertex itself), as
     /// bitsets. Used to build the frontier equivalence classes of §6.1:
     /// two frontier vertices belong to the same class iff their ancestor

@@ -99,6 +99,12 @@ pub enum Strategy {
     /// Distributed blocked Gauss–Jordan over tiles (one relational
     /// round per pivot panel).
     InvTileGaussJordan,
+    /// Whole-matrix scalar reduction (sum / Frobenius norm) of a
+    /// one-tuple layout, locally on one worker.
+    ReduceScalarLocal,
+    /// Whole-matrix scalar reduction over a chunked layout: per-chunk
+    /// partial scalars + a global SUM into one tuple.
+    ReduceScalarTree,
 }
 
 /// One registered atomic computation implementation.
@@ -830,6 +836,55 @@ fn analyze(
                 mem_per_worker: panel_bytes + working_set(inputs, out, out_type),
             })
         }
+        Strategy::ReduceScalarLocal => {
+            if !matches!(af, F::SingleTuple | F::CsrSingle | F::Coo) {
+                return None;
+            }
+            let out = canonical_output(F::SingleTuple, out_type, cluster)?;
+            let work = if af.is_sparse() {
+                am.nnz()
+            } else {
+                flops_total
+            };
+            Some(ImplEval {
+                out_format: out,
+                features: CostFeatures {
+                    local_flops: work,
+                    net_bytes: 0.0,
+                    inter_bytes: 0.0,
+                    tuples: 1.0,
+                    ops: 1.0,
+                    ..CostFeatures::zero()
+                },
+                mem_per_worker: working_set(inputs, out, out_type),
+            })
+        }
+        Strategy::ReduceScalarTree => {
+            if !(af.is_chunked_dense() || matches!(af, F::CsrTile { .. })) {
+                return None;
+            }
+            let out = canonical_output(F::SingleTuple, out_type, cluster)?;
+            let par = cluster.effective_workers(chunks_a);
+            let work = if af.is_sparse() {
+                am.nnz()
+            } else {
+                flops_total
+            };
+            // One partial scalar per chunk flows into the global SUM.
+            let partial_bytes = chunks_a * crate::types::DENSE_ENTRY_BYTES;
+            Some(ImplEval {
+                out_format: out,
+                features: CostFeatures {
+                    local_flops: 0.0,
+                    cpu_flops: work / par,
+                    net_bytes: partial_bytes / par,
+                    inter_bytes: partial_bytes,
+                    tuples: chunks_a + 1.0,
+                    ops: 2.0,
+                },
+                mem_per_worker: working_set(inputs, out, out_type),
+            })
+        }
     }
 }
 
@@ -927,6 +982,33 @@ impl ImplRegistry {
         ImplRegistry { impls }
     }
 
+    /// [`ImplRegistry::paper_default`] plus the post-paper scalar
+    /// reduction implementations ([`OpKind::SumAll`] /
+    /// [`OpKind::FrobeniusNorm`]) that autodiff loss graphs need. The
+    /// paper's 38 keep their ids and order; extensions are only ever
+    /// appended, so any [`ImplId`] valid against `paper_default` is
+    /// valid (and identical) here.
+    pub fn extended() -> Self {
+        use OpKind as O;
+        use Strategy as S;
+        let mut reg = Self::paper_default();
+        for (name, op, strategy) in [
+            ("sumall_local", O::SumAll, S::ReduceScalarLocal),
+            ("sumall_tree", O::SumAll, S::ReduceScalarTree),
+            ("frobenius_local", O::FrobeniusNorm, S::ReduceScalarLocal),
+            ("frobenius_tree", O::FrobeniusNorm, S::ReduceScalarTree),
+        ] {
+            let id = ImplId(reg.impls.len() as u16);
+            reg.impls.push(OpImplDef {
+                id,
+                name,
+                op,
+                strategy,
+            });
+        }
+        reg
+    }
+
     /// Number of registered implementations.
     pub fn len(&self) -> usize {
         self.impls.len()
@@ -989,13 +1071,73 @@ mod tests {
 
     #[test]
     fn every_atomic_computation_has_an_implementation() {
+        // The paper's registry covers exactly the paper's op set; the
+        // extended registry covers everything.
         let r = reg();
-        for kind in crate::ops::ALL_OP_KINDS {
+        for kind in crate::ops::PAPER_OP_KINDS {
             assert!(
                 r.impls_for(kind).count() >= 1,
                 "no implementation for {kind:?}"
             );
         }
+        let e = ImplRegistry::extended();
+        for kind in crate::ops::ALL_OP_KINDS {
+            assert!(
+                e.impls_for(kind).count() >= 1,
+                "no extended implementation for {kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn extended_registry_appends_without_renumbering() {
+        let base = reg();
+        let ext = ImplRegistry::extended();
+        assert_eq!(ext.len(), base.len() + 4);
+        for (a, b) in base.all().iter().zip(ext.all()) {
+            assert_eq!(a, b);
+        }
+        for extra in &ext.all()[base.len()..] {
+            assert_eq!(extra.id, ext.by_name(extra.name).unwrap().id);
+            assert!(matches!(extra.op, OpKind::SumAll | OpKind::FrobeniusNorm));
+        }
+    }
+
+    #[test]
+    fn scalar_reductions_accept_local_and_chunked_layouts() {
+        let e = ImplRegistry::extended();
+        let m = MatrixType::dense(20_000, 20_000);
+        let local = e.by_name("sumall_local").unwrap();
+        let tree = e.by_name("sumall_tree").unwrap();
+        assert_eq!(
+            local.accepts(&Op::SumAll, &[(m, PhysFormat::SingleTuple)], &cl()),
+            Some(PhysFormat::SingleTuple)
+        );
+        assert_eq!(
+            tree.accepts(&Op::SumAll, &[(m, PhysFormat::Tile { side: 1000 })], &cl()),
+            Some(PhysFormat::SingleTuple)
+        );
+        // Wrong layout family for each strategy is ⊥.
+        assert_eq!(
+            local.accepts(&Op::SumAll, &[(m, PhysFormat::Tile { side: 1000 })], &cl()),
+            None
+        );
+        assert_eq!(
+            tree.accepts(&Op::SumAll, &[(m, PhysFormat::SingleTuple)], &cl()),
+            None
+        );
+        // Sparse flavors work too, scaled by nnz.
+        let sp = MatrixType::sparse(20_000, 20_000, 1e-4);
+        let frob = e.by_name("frobenius_tree").unwrap();
+        let eval = frob
+            .evaluate(
+                &Op::FrobeniusNorm,
+                &[(sp, PhysFormat::CsrTile { side: 1000 })],
+                &cl(),
+            )
+            .unwrap();
+        assert_eq!(eval.out_format, PhysFormat::SingleTuple);
+        assert!(eval.features.cpu_flops < 1e6);
     }
 
     #[test]

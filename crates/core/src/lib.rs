@@ -48,14 +48,14 @@ pub use canon::{
     op_from_words, op_to_words, CanonicalForm,
 };
 pub use cluster::{Cluster, RecoveryPolicy};
-pub use dot::{annotated_to_dot, graph_to_dot};
+pub use dot::{annotated_to_dot, graph_to_dot, training_to_dot, DiffRole};
 pub use features::CostFeatures;
 pub use format::{
     FormatCatalog, PhysFormat, DEFAULT_STRIP_SIZES, DEFAULT_TILE_SIDES, SPARSE_FORMAT_THRESHOLD,
 };
 pub use graph::{Annotation, BitSet, ComputeGraph, Node, NodeId, NodeKind, VertexChoice};
 pub use impls::{ImplEval, ImplId, ImplRegistry, OpImplDef, Strategy};
-pub use ops::{Op, OpKind, TypeError, ALL_OP_KINDS};
+pub use ops::{Op, OpKind, TypeError, ALL_OP_KINDS, PAPER_OP_KINDS};
 pub use resource::{default_scratch_dir, parse_byte_size};
 pub use transforms::{Transform, TransformCatalog, TransformKind, ALL_TRANSFORM_KINDS};
 pub use types::{MatrixType, DENSE_ENTRY_BYTES, SPARSE_ENTRY_BYTES, TRIPLE_ENTRY_BYTES};

@@ -45,6 +45,13 @@ pub enum Op {
     /// Adds a `1 × c` row vector (second input) to every row of the
     /// first input — bias addition.
     BroadcastAddRow,
+    /// Sum of every entry, producing a `1 × 1` scalar. The terminal
+    /// reduction of autodiff loss expressions.
+    SumAll,
+    /// Frobenius norm `√Σaᵢⱼ²`, producing a `1 × 1` scalar. Used for
+    /// gradient-norm telemetry; not differentiable in this op set (its
+    /// gradient needs a division).
+    FrobeniusNorm,
 }
 
 /// The payload-free discriminant of an [`Op`], used to match atomic
@@ -83,10 +90,41 @@ pub enum OpKind {
     Inverse,
     /// See [`Op::BroadcastAddRow`].
     BroadcastAddRow,
+    /// See [`Op::SumAll`].
+    SumAll,
+    /// See [`Op::FrobeniusNorm`].
+    FrobeniusNorm,
 }
 
-/// All 16 atomic computations, in declaration order.
-pub const ALL_OP_KINDS: [OpKind; 16] = [
+/// All atomic computations, in declaration order: the paper's 16
+/// ([`PAPER_OP_KINDS`]) followed by the two scalar reductions added for
+/// autodiff loss expressions. New kinds are only ever appended so the
+/// wire encoding of the prefix never changes.
+pub const ALL_OP_KINDS: [OpKind; 18] = [
+    OpKind::MatMul,
+    OpKind::Add,
+    OpKind::Sub,
+    OpKind::Hadamard,
+    OpKind::ScalarMul,
+    OpKind::Transpose,
+    OpKind::Relu,
+    OpKind::ReluGrad,
+    OpKind::Softmax,
+    OpKind::Sigmoid,
+    OpKind::Exp,
+    OpKind::Neg,
+    OpKind::RowSums,
+    OpKind::ColSums,
+    OpKind::Inverse,
+    OpKind::BroadcastAddRow,
+    OpKind::SumAll,
+    OpKind::FrobeniusNorm,
+];
+
+/// The prototype's 16 atomic computations (§8.1), exactly as pinned by
+/// the paper: [`ALL_OP_KINDS`] without the post-paper scalar
+/// reductions.
+pub const PAPER_OP_KINDS: [OpKind; 16] = [
     OpKind::MatMul,
     OpKind::Add,
     OpKind::Sub,
@@ -147,6 +185,8 @@ impl Op {
             Op::ColSums => OpKind::ColSums,
             Op::Inverse => OpKind::Inverse,
             Op::BroadcastAddRow => OpKind::BroadcastAddRow,
+            Op::SumAll => OpKind::SumAll,
+            Op::FrobeniusNorm => OpKind::FrobeniusNorm,
         }
     }
 
@@ -268,6 +308,11 @@ impl Op {
                     sparsity: 1.0,
                 })
             }
+            OpKind::SumAll | OpKind::FrobeniusNorm => Ok(MatrixType {
+                rows: 1,
+                cols: 1,
+                sparsity: fill_in(a.sparsity, a.rows.saturating_mul(a.cols)),
+            }),
         }
     }
 
@@ -286,7 +331,7 @@ impl Op {
                 2.0 * (a.rows as f64).powi(3)
             }
             OpKind::Softmax => 4.0 * a.entries(),
-            OpKind::Sigmoid | OpKind::Exp => 2.0 * a.entries(),
+            OpKind::Sigmoid | OpKind::Exp | OpKind::FrobeniusNorm => 2.0 * a.entries(),
             _ => a.entries(),
         }
     }
@@ -331,7 +376,29 @@ mod tests {
 
     #[test]
     fn there_are_sixteen_atomic_computations() {
-        assert_eq!(ALL_OP_KINDS.len(), 16);
+        // The paper's inventory stays pinned at 16; the full op set
+        // appends the two autodiff scalar reductions after it, never
+        // in the middle (discriminants are wire-visible).
+        assert_eq!(PAPER_OP_KINDS.len(), 16);
+        assert_eq!(ALL_OP_KINDS.len(), 18);
+        assert_eq!(&ALL_OP_KINDS[..16], &PAPER_OP_KINDS[..]);
+        assert_eq!(ALL_OP_KINDS[16], OpKind::SumAll);
+        assert_eq!(ALL_OP_KINDS[17], OpKind::FrobeniusNorm);
+    }
+
+    #[test]
+    fn scalar_reductions_produce_scalars() {
+        let m = MatrixType::dense(40, 70);
+        for op in [Op::SumAll, Op::FrobeniusNorm] {
+            let out = op.output_type(&[m]).unwrap();
+            assert_eq!((out.rows, out.cols), (1, 1));
+            assert_eq!(out.sparsity, 1.0);
+            assert_eq!(op.arity(), 1);
+            assert!(op.output_type(&[m, m]).is_err());
+        }
+        // An all-zero input stays (estimated) zero.
+        let z = MatrixType::sparse(8, 8, 0.0);
+        assert_eq!(Op::SumAll.output_type(&[z]).unwrap().sparsity, 0.0);
     }
 
     #[test]

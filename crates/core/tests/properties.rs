@@ -132,7 +132,7 @@ proptest! {
         fa in arb_format(),
         fb in arb_format(),
     ) {
-        let reg = ImplRegistry::paper_default();
+        let reg = ImplRegistry::extended();
         let cl = Cluster::simsql_like(10);
         for kind in ALL_OP_KINDS {
             let op = match kind {
@@ -152,6 +152,8 @@ proptest! {
                 matopt_core::OpKind::ColSums => Op::ColSums,
                 matopt_core::OpKind::Inverse => Op::Inverse,
                 matopt_core::OpKind::BroadcastAddRow => Op::BroadcastAddRow,
+                matopt_core::OpKind::SumAll => Op::SumAll,
+                matopt_core::OpKind::FrobeniusNorm => Op::FrobeniusNorm,
             };
             let inputs: Vec<(MatrixType, PhysFormat)> = if op.arity() == 1 {
                 vec![(a, fa)]

@@ -55,6 +55,12 @@ pub struct AdaptiveOutcome {
     /// The vertices whose sparsity misestimates triggered each
     /// re-optimization.
     pub triggered_at: Vec<NodeId>,
+    /// The *measured* density of every vertex, indexed by vertex id
+    /// (sources report their provided relation's density). Callers that
+    /// run the same graph repeatedly — the training loop — feed these
+    /// back via [`matopt_core::ComputeGraph::with_measured_sparsities`]
+    /// so the next optimization plans against observed statistics.
+    pub measured: Vec<f64>,
 }
 
 /// Errors from adaptive execution.
@@ -149,9 +155,38 @@ pub fn execute_adaptive_with_hook(
     on_replan: Option<ReplanHook<'_>>,
 ) -> Result<AdaptiveOutcome, AdaptiveError> {
     let octx = OptContext::new(ctx, catalog, model);
-    let mut plan: Annotation = frontier_dp_beam(graph, &octx, config.beam)
+    let plan: Annotation = frontier_dp_beam(graph, &octx, config.beam)
         .map_err(AdaptiveError::Opt)?
         .annotation;
+    execute_adaptive_planned(graph, inputs, ctx, catalog, model, config, plan, on_replan)
+}
+
+/// [`execute_adaptive_with_hook`] starting from a *caller-supplied*
+/// initial annotation instead of running the optimizer first.
+///
+/// This is the entry point for plan reuse across repeated executions of
+/// the same graph (the training loop's epoch cache): the first epoch
+/// pays for a full optimization, later epochs hand the cached
+/// annotation straight to the executor. Mid-flight re-optimization on
+/// sparsity drift still works exactly as in [`execute_adaptive`] — a
+/// drifted epoch re-plans its suffix and reports it, which is the
+/// caller's signal to invalidate the cached plan.
+///
+/// # Errors
+/// [`AdaptiveError`] when execution fails or a re-optimization finds no
+/// plan.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_adaptive_planned(
+    graph: &ComputeGraph,
+    inputs: &HashMap<NodeId, DistRelation>,
+    ctx: &PlanContext<'_>,
+    catalog: &FormatCatalog,
+    model: &dyn CostModel,
+    config: AdaptiveConfig,
+    initial_plan: Annotation,
+    on_replan: Option<ReplanHook<'_>>,
+) -> Result<AdaptiveOutcome, AdaptiveError> {
+    let mut plan = initial_plan;
     // `cur_graph` mirrors the original but with corrected statistics
     // after each re-optimization; `idmap[v]` locates the original
     // vertex v in it.
@@ -159,6 +194,7 @@ pub fn execute_adaptive_with_hook(
     let mut idmap: Vec<NodeId> = graph.iter().map(|(id, _)| id).collect();
 
     let mut values: Vec<Option<DistRelation>> = vec![None; graph.len()];
+    let mut measured_density: Vec<f64> = vec![0.0; graph.len()];
     let mut reoptimizations = 0usize;
     let mut triggered_at = Vec::new();
     let order: Vec<NodeId> = graph.iter().map(|(id, _)| id).collect();
@@ -173,6 +209,7 @@ pub fn execute_adaptive_with_hook(
                     .ok_or_else(|| AdaptiveError::Exec(crate::exec::missing_input(graph, v)))?
                     .reformat(*format)
                     .map_err(|e| AdaptiveError::Exec(ExecError::Internal(e.to_string())))?;
+                measured_density[v.index()] = rel.measured_sparsity();
                 values[v.index()] = Some(rel);
             }
             NodeKind::Compute { op } => {
@@ -204,6 +241,7 @@ pub fn execute_adaptive_with_hook(
                 // Measure and compare.
                 let est = cur_type.sparsity;
                 let meas = out.measured_sparsity();
+                measured_density[v.index()] = meas;
                 values[v.index()] = Some(out);
 
                 let remaining = order[pos + 1..]
@@ -237,6 +275,7 @@ pub fn execute_adaptive_with_hook(
         sinks,
         reoptimizations,
         triggered_at,
+        measured: measured_density,
     })
 }
 

@@ -453,6 +453,36 @@ pub fn reference_eval(
     graph: &ComputeGraph,
     inputs: &HashMap<NodeId, matopt_kernels::DenseMatrix>,
 ) -> Result<HashMap<NodeId, matopt_kernels::DenseMatrix>, ExecError> {
+    let mut values = reference_eval_values(graph, inputs)?;
+    let mut out = HashMap::new();
+    for sink in graph.sinks() {
+        out.insert(sink, values[sink.index()].take().expect("computed"));
+    }
+    Ok(out)
+}
+
+/// Like [`reference_eval`] but returns the value of *every* vertex, not
+/// just the sinks — gradient checkers need interior values (a gradient
+/// vertex consumed by an SGD update is not a sink).
+///
+/// # Errors
+/// Same as [`reference_eval`].
+pub fn reference_eval_all(
+    graph: &ComputeGraph,
+    inputs: &HashMap<NodeId, matopt_kernels::DenseMatrix>,
+) -> Result<HashMap<NodeId, matopt_kernels::DenseMatrix>, ExecError> {
+    let values = reference_eval_values(graph, inputs)?;
+    Ok(values
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (NodeId(i as u32), v.expect("computed")))
+        .collect())
+}
+
+fn reference_eval_values(
+    graph: &ComputeGraph,
+    inputs: &HashMap<NodeId, matopt_kernels::DenseMatrix>,
+) -> Result<Vec<Option<matopt_kernels::DenseMatrix>>, ExecError> {
     use matopt_core::Op;
     let mut values: Vec<Option<matopt_kernels::DenseMatrix>> = vec![None; graph.len()];
     for (id, node) in graph.iter() {
@@ -486,16 +516,25 @@ pub fn reference_eval(
                         .inverse()
                         .map_err(|e| ExecError::Internal(e.to_string()))?,
                     Op::BroadcastAddRow => arg(0).add_row_broadcast(arg(1)),
+                    Op::SumAll | Op::FrobeniusNorm => {
+                        let frob = matches!(op, Op::FrobeniusNorm);
+                        let total = arg(0).data().iter().fold(0.0, |acc, v| {
+                            if frob {
+                                acc + v * v
+                            } else {
+                                acc + v
+                            }
+                        });
+                        let mut s = matopt_kernels::DenseMatrix::zeros(1, 1);
+                        s.set(0, 0, if frob { total.sqrt() } else { total });
+                        s
+                    }
                 };
                 values[id.index()] = Some(out);
             }
         }
     }
-    let mut out = HashMap::new();
-    for sink in graph.sinks() {
-        out.insert(sink, values[sink.index()].take().expect("computed"));
-    }
-    Ok(out)
+    Ok(values)
 }
 
 /// Builds the diagnosable missing-source error: names the vertex by id

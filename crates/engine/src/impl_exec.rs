@@ -779,6 +779,41 @@ fn run_strategy(
                 chunks,
             })
         }
+        S::ReduceScalarLocal | S::ReduceScalarTree => {
+            // Per-chunk partial scalars (sum, or sum of squares for the
+            // Frobenius norm), then a global sum in canonical
+            // (row, col) chunk order — upstream operators are free to
+            // emit chunks in any arrangement, and the reduction must
+            // produce the same bits regardless.
+            let frob = op.kind() == OpKind::FrobeniusNorm;
+            if !frob && op.kind() != OpKind::SumAll {
+                return Err(internal(format!(
+                    "{:?} is not a scalar reduction",
+                    op.kind()
+                )));
+            }
+            let rel = Arc::clone(&inputs[0]);
+            let a = Arc::clone(&rel);
+            let partials = par_map(a.chunks.len(), move |i| {
+                let fold = |acc: f64, v: f64| if frob { acc + v * v } else { acc + v };
+                match &a.chunks[i].block {
+                    Block::Dense(d) => d.data().iter().fold(0.0, |acc, v| fold(acc, *v)),
+                    Block::Csr(s) => s.iter().fold(0.0, |acc, (_, _, v)| fold(acc, v)),
+                    Block::Coo(c) => c.entries().iter().fold(0.0, |acc, (_, _, v)| fold(acc, *v)),
+                }
+            })?;
+            let mut keyed: Vec<((u64, u64), f64)> = rel
+                .chunks
+                .iter()
+                .map(|c| (c.row, c.col))
+                .zip(partials)
+                .collect();
+            keyed.sort_unstable_by_key(|(at, _)| *at);
+            let total: f64 = keyed.iter().map(|(_, p)| p).sum();
+            let mut scalar = DenseMatrix::zeros(1, 1);
+            scalar.set(0, 0, if frob { total.sqrt() } else { total });
+            single_result(out_type, scalar)
+        }
     }
 }
 

@@ -35,16 +35,18 @@ mod schedule;
 mod sim;
 mod spill;
 mod sql;
+mod train;
 mod value;
 
 pub use adaptive::{
-    execute_adaptive, execute_adaptive_with_hook, AdaptiveConfig, AdaptiveError, AdaptiveOutcome,
-    ReplanHook,
+    execute_adaptive, execute_adaptive_planned, execute_adaptive_with_hook, AdaptiveConfig,
+    AdaptiveError, AdaptiveOutcome, ReplanHook,
 };
 pub use calibrate::{collect_samples, collect_samples_traced, fit_model_traced};
 pub use exec::{
     execute_plan, execute_plan_serial, execute_plan_traced, execute_plan_with, reference_eval,
-    ExecOptions, ExecOutcome, GovernorStats, HedgeConfig, HedgeMark, RemoteVertexExec,
+    reference_eval_all, ExecOptions, ExecOutcome, GovernorStats, HedgeConfig, HedgeMark,
+    RemoteVertexExec,
 };
 pub use explain::{
     explain_analyze, explain_analyze_with_faults, explain_analyze_with_options, explain_plan,
@@ -62,4 +64,8 @@ pub use sim::{
 };
 pub use spill::{decode_relation, encode_relation, SpillError, SpillManager, SpillTicket};
 pub use sql::render_sql;
+pub use train::{
+    train, train_resumable, EpochHook, EpochPlanSource, EpochStats, TrainCheckpoint, TrainConfig,
+    TrainError, TrainRun, TrainSpec,
+};
 pub use value::{Block, Chunk, DistRelation, ValueError};

@@ -278,6 +278,8 @@ fn op_fn(op: &Op) -> String {
         OpKind::RowSums => "row_sums".into(),
         OpKind::ColSums => "col_sums".into(),
         OpKind::Inverse => "matrix_inverse".into(),
+        OpKind::SumAll => "sum_all".into(),
+        OpKind::FrobeniusNorm => "frobenius_norm".into(),
     }
 }
 
@@ -422,6 +424,21 @@ fn compute_view(
              SELECT x.tileRow, x.tileCol, gauss_jordan_round(x.mat, pivot_panel(x.tileRow))\n  \
              FROM {lhs} AS x;  -- repeated for each pivot block\n"
         ),
+        S::ReduceScalarLocal => {
+            format!("CREATE VIEW {name} (mat) AS SELECT {f}(x.mat) FROM {lhs} AS x;\n")
+        }
+        S::ReduceScalarTree => {
+            let agg = if op.kind() == OpKind::FrobeniusNorm {
+                "SQRT(SUM(sum_squares(x.mat)))".to_string()
+            } else {
+                format!("SUM({f}(x.mat))")
+            };
+            format!(
+                "-- per-chunk partial scalars + global SUM into one tuple\n\
+                 CREATE VIEW {name} (mat) AS\n  \
+                 SELECT {agg} FROM {lhs} AS x;\n"
+            )
+        }
     }
 }
 

@@ -1,0 +1,599 @@
+//! Multi-epoch training driver over autodiff-derived update graphs.
+//!
+//! A training graph (built by `matopt-graphs`' `ffnn_training_graph`
+//! or any autodiff pipeline) has the shape: parameter sources in,
+//! updated-parameter sinks out, plus a 1×1 scalar loss sink. One epoch
+//! is one adaptive execution of that graph; between epochs the updated
+//! parameter relations are fed back as the next epoch's parameter
+//! inputs. Because the graph — types, shapes, declared statistics — is
+//! *identical* every epoch, the optimized annotation is too, so the
+//! driver caches it: epoch 1 pays for the frontier DP, every later
+//! epoch hands the cached plan straight to
+//! [`crate::execute_adaptive_planned`]. The cache is invalidated by the
+//! same signal the paper's §7 adaptivity uses — a mid-flight
+//! re-optimization means the measured sparsity drifted off the plan's
+//! assumptions. A drifted epoch *recalibrates*: the measured density of
+//! every vertex is folded back into the graph's statistics
+//! ([`matopt_core::ComputeGraph::with_measured_sparsities`]) and the
+//! cache is re-warmed against the corrected graph, so the epoch after a
+//! drift still hits the cache — and, because epoch-over-epoch
+//! statistics are stable once observed, stays hit.
+//!
+//! Plan caching is a pure latency optimization: an uncached run re-runs
+//! the (deterministic) optimizer on the identical corrected graph every
+//! epoch and therefore executes the identical annotation, so cached and
+//! uncached loss trajectories are *bit-exact* (asserted in tests and
+//! `bench_pr10`).
+//!
+//! Checkpoints serialize the live parameter relations in the spill wire
+//! format ([`crate::encode_relation`]) — the same codec the PR 9 worker
+//! fleet ships across process boundaries — plus the calibrated
+//! statistics, under per-relation FNV-1a checksums; a training run can
+//! be parked, the process killed, and the run resumed bit-exactly.
+
+use crate::adaptive::{execute_adaptive_planned, AdaptiveConfig, AdaptiveError, ReplanHook};
+use crate::spill::{decode_relation, encode_relation};
+use crate::value::DistRelation;
+use matopt_core::{
+    Annotation, ComputeGraph, FormatCatalog, MatrixType, NodeId, NodeKind, PhysFormat, PlanContext,
+};
+use matopt_cost::CostModel;
+use matopt_opt::{frontier_dp_beam, OptContext};
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// What to train: the derived joint forward+backward graph plus the
+/// vertex ids the driver needs to thread state between epochs.
+///
+/// The driver is deliberately independent of `matopt-autodiff` — it
+/// consumes any graph with this shape, however derived.
+#[derive(Debug, Clone)]
+pub struct TrainSpec {
+    /// The joint forward+backward+update graph.
+    pub graph: ComputeGraph,
+    /// Parameter *sources*, in a fixed order.
+    pub params: Vec<NodeId>,
+    /// Updated-parameter *sinks*, aligned with `params`.
+    pub updated: Vec<NodeId>,
+    /// The 1×1 scalar loss sink.
+    pub loss: NodeId,
+}
+
+impl TrainSpec {
+    /// Structural validation: aligned param/update pairs with matching
+    /// shapes, a scalar loss, and every claimed sink actually a sink.
+    ///
+    /// # Errors
+    /// [`TrainError::BadSpec`] naming the first violated invariant.
+    pub fn validate(&self) -> Result<(), TrainError> {
+        let bad = |message: String| Err(TrainError::BadSpec(message));
+        if self.params.len() != self.updated.len() {
+            return bad(format!(
+                "{} params but {} updated sinks",
+                self.params.len(),
+                self.updated.len()
+            ));
+        }
+        if self.params.is_empty() {
+            return bad("no trainable parameters".into());
+        }
+        let sinks = self.graph.sinks();
+        for (p, u) in self.params.iter().zip(self.updated.iter()) {
+            if !matches!(self.graph.node(*p).kind, NodeKind::Source { .. }) {
+                return bad(format!("parameter v{} is not a source", p.index()));
+            }
+            if !sinks.contains(u) {
+                return bad(format!("updated v{} is not a sink", u.index()));
+            }
+            let (pt, ut) = (self.graph.node(*p).mtype, self.graph.node(*u).mtype);
+            if (pt.rows, pt.cols) != (ut.rows, ut.cols) {
+                return bad(format!(
+                    "parameter v{} is {}x{} but its update v{} is {}x{}",
+                    p.index(),
+                    pt.rows,
+                    pt.cols,
+                    u.index(),
+                    ut.rows,
+                    ut.cols
+                ));
+            }
+        }
+        let lt = self.graph.node(self.loss).mtype;
+        if (lt.rows, lt.cols) != (1, 1) {
+            return bad(format!("loss v{} is not a 1x1 scalar", self.loss.index()));
+        }
+        if !sinks.contains(&self.loss) {
+            return bad(format!("loss v{} is not a sink", self.loss.index()));
+        }
+        Ok(())
+    }
+}
+
+/// Driver configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    /// Epochs to run (resuming counts already-completed ones).
+    pub epochs: usize,
+    /// Adaptive-execution settings for each epoch.
+    pub adaptive: AdaptiveConfig,
+    /// Reuse the optimized annotation across epochs (invalidated on
+    /// sparsity drift). Off = re-optimize every epoch; numerics are
+    /// bit-identical either way.
+    pub reuse_plans: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 1,
+            adaptive: AdaptiveConfig::default(),
+            reuse_plans: true,
+        }
+    }
+}
+
+/// Where an epoch's annotation came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochPlanSource {
+    /// The frontier DP ran this epoch (first epoch, caching disabled,
+    /// or the cached plan was invalidated by drift).
+    Optimized,
+    /// The cached annotation from a previous epoch was reused.
+    CacheHit,
+}
+
+/// Per-epoch record.
+#[derive(Debug, Clone)]
+pub struct EpochStats {
+    /// Zero-based epoch index.
+    pub epoch: usize,
+    /// Scalar loss read from the loss sink.
+    pub loss: f64,
+    /// Cache hit or fresh optimization.
+    pub plan: EpochPlanSource,
+    /// Estimated cost (seconds) of the annotation this epoch ran.
+    pub plan_cost: f64,
+    /// Seconds spent in the optimizer this epoch (0 on a drift-free
+    /// cache hit; a drifted epoch pays here for re-warming the cache).
+    pub opt_seconds: f64,
+    /// Mid-flight re-optimizations (sparsity drift) this epoch.
+    pub reoptimizations: usize,
+    /// Whether this epoch's drift recalibrated the graph statistics.
+    pub recalibrated: bool,
+}
+
+/// The whole run.
+#[derive(Debug)]
+pub struct TrainRun {
+    /// One record per epoch, in order (resumed epochs carry loss-only
+    /// records reconstructed from the checkpoint).
+    pub epochs: Vec<EpochStats>,
+    /// Final parameter values keyed by parameter *source* id.
+    pub final_params: HashMap<NodeId, DistRelation>,
+    /// Epochs served from the plan cache.
+    pub cache_hits: usize,
+    /// Cache invalidations forced by sparsity drift.
+    pub cache_invalidations: usize,
+}
+
+impl TrainRun {
+    /// The loss trajectory.
+    #[must_use]
+    pub fn losses(&self) -> Vec<f64> {
+        self.epochs.iter().map(|e| e.loss).collect()
+    }
+
+    /// True when the loss never increased between consecutive epochs.
+    #[must_use]
+    pub fn monotone_non_increasing(&self) -> bool {
+        self.epochs.windows(2).all(|w| w[1].loss <= w[0].loss)
+    }
+}
+
+/// Driver errors.
+#[derive(Debug)]
+pub enum TrainError {
+    /// The spec violated a structural invariant.
+    BadSpec(String),
+    /// A required input relation was missing.
+    MissingInput(NodeId),
+    /// An epoch failed to optimize or execute.
+    Epoch(usize, AdaptiveError),
+    /// A checkpoint failed to decode.
+    Checkpoint(String),
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::BadSpec(m) => write!(f, "invalid training spec: {m}"),
+            TrainError::MissingInput(v) => {
+                write!(f, "no input relation for source v{}", v.index())
+            }
+            TrainError::Epoch(e, err) => write!(f, "epoch {e}: {err}"),
+            TrainError::Checkpoint(m) => write!(f, "checkpoint: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+/// A resumable snapshot: completed-epoch count, the loss trajectory so
+/// far, and the live parameter relations.
+#[derive(Debug, Clone)]
+pub struct TrainCheckpoint {
+    /// Epochs completed before this snapshot.
+    pub epoch: usize,
+    /// Losses of those epochs, in order.
+    pub losses: Vec<f64>,
+    /// `(param source id, value)` pairs, in spec order.
+    pub params: Vec<(NodeId, DistRelation)>,
+    /// Calibrated per-vertex density statistics (empty until a drift
+    /// recalibrates). Carried so a resumed run plans against the same
+    /// statistics the original run had learned — and therefore executes
+    /// the same annotations, bit-exactly.
+    pub sparsities: Vec<f64>,
+}
+
+const CKPT_MAGIC: u64 = 0x4d41_544f_5054_434b; // "MATOPTCK"
+
+impl TrainCheckpoint {
+    /// Serializes the checkpoint: a u64-LE header (magic, epoch,
+    /// counts, calibrated statistics, per-relation
+    /// type/format/length/checksum) followed by each relation in the
+    /// spill wire format — the exact bytes the worker fleet ships over
+    /// its sockets. Every payload's FNV-1a checksum rides in the
+    /// header, so a single torn byte fails [`TrainCheckpoint::decode`]
+    /// instead of silently corrupting a parameter.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut words: Vec<u64> = vec![
+            CKPT_MAGIC,
+            self.epoch as u64,
+            self.losses.len() as u64,
+            self.params.len() as u64,
+            self.sparsities.len() as u64,
+        ];
+        words.extend(self.losses.iter().map(|l| l.to_bits()));
+        words.extend(self.sparsities.iter().map(|s| s.to_bits()));
+        let mut payloads: Vec<Vec<u8>> = Vec::with_capacity(self.params.len());
+        for (id, rel) in &self.params {
+            let bytes = encode_relation(rel);
+            words.push(id.index() as u64);
+            words.push(rel.mtype.rows);
+            words.push(rel.mtype.cols);
+            words.push(rel.mtype.sparsity.to_bits());
+            words.push(format_tag(rel.format));
+            words.push(bytes.len() as u64);
+            words.push(fnv1a(&bytes));
+            payloads.push(bytes);
+        }
+        let mut out: Vec<u8> = Vec::new();
+        for w in words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        for p in payloads {
+            out.extend_from_slice(&p);
+        }
+        out
+    }
+
+    /// Decodes [`TrainCheckpoint::encode`] bytes.
+    ///
+    /// # Errors
+    /// [`TrainError::Checkpoint`] on truncation, a bad magic word, or a
+    /// corrupt relation payload (the spill codec's checksums).
+    pub fn decode(bytes: &[u8]) -> Result<Self, TrainError> {
+        let bad = |m: &str| TrainError::Checkpoint(m.to_string());
+        let mut pos = 0usize;
+        let word = |pos: &mut usize| -> Result<u64, TrainError> {
+            let end = *pos + 8;
+            let chunk = bytes
+                .get(*pos..end)
+                .ok_or_else(|| bad("truncated header"))?;
+            *pos = end;
+            Ok(u64::from_le_bytes(chunk.try_into().expect("8 bytes")))
+        };
+        if word(&mut pos)? != CKPT_MAGIC {
+            return Err(bad("bad magic word"));
+        }
+        let epoch = word(&mut pos)? as usize;
+        let n_losses = word(&mut pos)? as usize;
+        let n_params = word(&mut pos)? as usize;
+        let n_sparsities = word(&mut pos)? as usize;
+        if n_losses > bytes.len() || n_params > bytes.len() || n_sparsities > bytes.len() {
+            return Err(bad("implausible counts"));
+        }
+        let mut losses = Vec::with_capacity(n_losses);
+        for _ in 0..n_losses {
+            losses.push(f64::from_bits(word(&mut pos)?));
+        }
+        let mut sparsities = Vec::with_capacity(n_sparsities);
+        for _ in 0..n_sparsities {
+            sparsities.push(f64::from_bits(word(&mut pos)?));
+        }
+        let mut heads = Vec::with_capacity(n_params);
+        for _ in 0..n_params {
+            let id = NodeId(u32::try_from(word(&mut pos)?).map_err(|_| bad("vertex id overflow"))?);
+            let mtype = MatrixType {
+                rows: word(&mut pos)?,
+                cols: word(&mut pos)?,
+                sparsity: f64::from_bits(word(&mut pos)?),
+            };
+            let format = format_untag(word(&mut pos)?).ok_or_else(|| bad("unknown format tag"))?;
+            let len = word(&mut pos)? as usize;
+            let checksum = word(&mut pos)?;
+            heads.push((id, mtype, format, len, checksum));
+        }
+        let mut params = Vec::with_capacity(n_params);
+        for (id, mtype, format, len, checksum) in heads {
+            let end = pos
+                .checked_add(len)
+                .filter(|e| *e <= bytes.len())
+                .ok_or_else(|| bad("truncated relation payload"))?;
+            if fnv1a(&bytes[pos..end]) != checksum {
+                return Err(bad("relation payload failed its checksum"));
+            }
+            let rel = decode_relation(&bytes[pos..end], mtype, format)
+                .map_err(|e| TrainError::Checkpoint(e.to_string()))?;
+            pos = end;
+            params.push((id, rel));
+        }
+        Ok(TrainCheckpoint {
+            epoch,
+            losses,
+            params,
+            sparsities,
+        })
+    }
+}
+
+/// FNV-1a over a byte slice — the same constants as the spill layer's
+/// stream hash, applied to each relation payload independently.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+fn format_tag(f: PhysFormat) -> u64 {
+    match f {
+        PhysFormat::SingleTuple => 0,
+        PhysFormat::Tile { side } => (1 << 32) | side,
+        PhysFormat::RowStrip { height } => (2 << 32) | height,
+        PhysFormat::ColStrip { width } => (3 << 32) | width,
+        PhysFormat::CsrTile { side } => (4 << 32) | side,
+        PhysFormat::CsrSingle => 5 << 32,
+        PhysFormat::Coo => 6 << 32,
+    }
+}
+
+fn format_untag(w: u64) -> Option<PhysFormat> {
+    let param = w & 0xffff_ffff;
+    match w >> 32 {
+        0 => Some(PhysFormat::SingleTuple),
+        1 => Some(PhysFormat::Tile { side: param }),
+        2 => Some(PhysFormat::RowStrip { height: param }),
+        3 => Some(PhysFormat::ColStrip { width: param }),
+        4 => Some(PhysFormat::CsrTile { side: param }),
+        5 => Some(PhysFormat::CsrSingle),
+        6 => Some(PhysFormat::Coo),
+        _ => None,
+    }
+}
+
+/// Per-epoch observer: the epoch's stats plus a checkpoint capturing
+/// the state *after* that epoch (save it, kill the process, resume with
+/// [`train_resumable`] — bit-exact).
+pub type EpochHook<'h> = &'h (dyn Fn(&EpochStats, &TrainCheckpoint) + 'h);
+
+/// Runs the training loop from scratch. See [`train_resumable`].
+///
+/// # Errors
+/// [`TrainError`] on an invalid spec, missing inputs, or a failed
+/// epoch.
+pub fn train(
+    spec: &TrainSpec,
+    inputs: &HashMap<NodeId, DistRelation>,
+    ctx: &PlanContext<'_>,
+    catalog: &FormatCatalog,
+    model: &dyn CostModel,
+    config: &TrainConfig,
+) -> Result<TrainRun, TrainError> {
+    train_resumable(spec, inputs, ctx, catalog, model, config, None, None, None)
+}
+
+/// Runs (or resumes) the multi-epoch training loop.
+///
+/// `inputs` must hold a relation for every graph source: data, labels,
+/// and *initial* parameters. With `resume`, the checkpoint's parameter
+/// values override the initial ones and completed epochs are skipped.
+/// `on_epoch` fires after every epoch with its stats and a resumable
+/// checkpoint; `on_replan` forwards the adaptive executor's drift
+/// signal (e.g. to poison an external plan cache).
+///
+/// # Errors
+/// [`TrainError`] on an invalid spec, missing inputs, a corrupt
+/// checkpoint, or a failed epoch.
+#[allow(clippy::too_many_arguments)]
+pub fn train_resumable(
+    spec: &TrainSpec,
+    inputs: &HashMap<NodeId, DistRelation>,
+    ctx: &PlanContext<'_>,
+    catalog: &FormatCatalog,
+    model: &dyn CostModel,
+    config: &TrainConfig,
+    resume: Option<&TrainCheckpoint>,
+    on_epoch: Option<EpochHook<'_>>,
+    on_replan: Option<ReplanHook<'_>>,
+) -> Result<TrainRun, TrainError> {
+    spec.validate()?;
+    let mut cur: HashMap<NodeId, DistRelation> = HashMap::new();
+    for s in spec.graph.sources() {
+        let rel = inputs.get(&s).ok_or(TrainError::MissingInput(s))?;
+        cur.insert(s, rel.clone());
+    }
+
+    let mut epochs: Vec<EpochStats> = Vec::new();
+    let mut start = 0usize;
+    let mut calibrated: Vec<f64> = Vec::new();
+    if let Some(ck) = resume {
+        if ck.losses.len() != ck.epoch {
+            return Err(TrainError::Checkpoint(format!(
+                "{} losses for {} completed epochs",
+                ck.losses.len(),
+                ck.epoch
+            )));
+        }
+        if !ck.sparsities.is_empty() {
+            if ck.sparsities.len() != spec.graph.len() {
+                return Err(TrainError::Checkpoint(format!(
+                    "{} calibrated densities for a {}-vertex graph",
+                    ck.sparsities.len(),
+                    spec.graph.len()
+                )));
+            }
+            calibrated = ck.sparsities.clone();
+        }
+        for (id, rel) in &ck.params {
+            if !spec.params.contains(id) {
+                return Err(TrainError::Checkpoint(format!(
+                    "v{} in checkpoint is not a spec parameter",
+                    id.index()
+                )));
+            }
+            cur.insert(*id, rel.clone());
+        }
+        start = ck.epoch;
+        for (i, loss) in ck.losses.iter().enumerate() {
+            epochs.push(EpochStats {
+                epoch: i,
+                loss: *loss,
+                plan: EpochPlanSource::Optimized,
+                plan_cost: 0.0,
+                opt_seconds: 0.0,
+                reoptimizations: 0,
+                recalibrated: false,
+            });
+        }
+    }
+
+    let mut cur_graph = if calibrated.is_empty() {
+        spec.graph.clone()
+    } else {
+        spec.graph.with_measured_sparsities(&calibrated)
+    };
+    let optimize = |graph: &ComputeGraph, epoch: usize| {
+        frontier_dp_beam(
+            graph,
+            &OptContext::new(ctx, catalog, model),
+            config.adaptive.beam,
+        )
+        .map_err(|e| TrainError::Epoch(epoch, AdaptiveError::Opt(e)))
+    };
+    let mut cached: Option<(Annotation, f64)> = None;
+    let mut cache_hits = 0usize;
+    let mut cache_invalidations = 0usize;
+    for epoch in start..config.epochs {
+        let (plan, plan_cost, source, mut opt_seconds) = match cached.take() {
+            Some((plan, cost)) if config.reuse_plans => {
+                cache_hits += 1;
+                (plan, cost, EpochPlanSource::CacheHit, 0.0)
+            }
+            _ => {
+                let t = Instant::now();
+                let opt = optimize(&cur_graph, epoch)?;
+                (
+                    opt.annotation,
+                    opt.cost,
+                    EpochPlanSource::Optimized,
+                    t.elapsed().as_secs_f64(),
+                )
+            }
+        };
+
+        let drifted = Cell::new(false);
+        let hook = |v: NodeId| {
+            drifted.set(true);
+            if let Some(h) = on_replan {
+                h(v);
+            }
+        };
+        let outcome = execute_adaptive_planned(
+            &cur_graph,
+            &cur,
+            ctx,
+            catalog,
+            model,
+            config.adaptive,
+            plan.clone(),
+            Some(&hook),
+        )
+        .map_err(|e| TrainError::Epoch(epoch, e))?;
+
+        let recalibrated = drifted.get();
+        if recalibrated {
+            // The plan's statistics were wrong for this workload. Fold
+            // the measured densities back into the graph and re-warm
+            // the cache against the corrected statistics, so the *next*
+            // epoch both hits the cache and stays drift-free.
+            cache_invalidations += 1;
+            calibrated = outcome.measured.clone();
+            cur_graph = spec.graph.with_measured_sparsities(&calibrated);
+            if config.reuse_plans {
+                let t = Instant::now();
+                let opt = optimize(&cur_graph, epoch)?;
+                opt_seconds += t.elapsed().as_secs_f64();
+                cached = Some((opt.annotation, opt.cost));
+            }
+        } else {
+            cached = Some((plan, plan_cost));
+        }
+
+        let loss = scalar_of(&outcome.sinks[&spec.loss]);
+        for (p, u) in spec.params.iter().zip(spec.updated.iter()) {
+            cur.insert(*p, outcome.sinks[u].clone());
+        }
+        let stats = EpochStats {
+            epoch,
+            loss,
+            plan: source,
+            plan_cost,
+            opt_seconds,
+            reoptimizations: outcome.reoptimizations,
+            recalibrated,
+        };
+        if let Some(h) = on_epoch {
+            let ck = TrainCheckpoint {
+                epoch: epoch + 1,
+                losses: epochs
+                    .iter()
+                    .map(|e| e.loss)
+                    .chain(std::iter::once(loss))
+                    .collect(),
+                params: spec.params.iter().map(|p| (*p, cur[p].clone())).collect(),
+                sparsities: calibrated.clone(),
+            };
+            h(&stats, &ck);
+        }
+        epochs.push(stats);
+    }
+
+    let final_params = spec.params.iter().map(|p| (*p, cur[p].clone())).collect();
+    Ok(TrainRun {
+        epochs,
+        final_params,
+        cache_hits,
+        cache_invalidations,
+    })
+}
+
+fn scalar_of(rel: &DistRelation) -> f64 {
+    rel.to_dense().get(0, 0)
+}

@@ -507,6 +507,8 @@ fn no_dead_implementations() {
             matopt_core::OpKind::ColSums => Op::ColSums,
             matopt_core::OpKind::Inverse => Op::Inverse,
             matopt_core::OpKind::BroadcastAddRow => Op::BroadcastAddRow,
+            matopt_core::OpKind::SumAll => Op::SumAll,
+            matopt_core::OpKind::FrobeniusNorm => Op::FrobeniusNorm,
         };
         let arity = op.arity();
         let mut reachable = false;

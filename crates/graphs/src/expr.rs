@@ -75,7 +75,30 @@ impl ExprBuilder {
         inputs: &[NodeId],
         name: Option<&str>,
     ) -> Result<NodeId, TypeError> {
-        self.graph.borrow_mut().add_op_named(op, inputs, name)
+        let mut graph = self.graph.borrow_mut();
+        graph.add_op_named(op, inputs, name).map_err(|e| {
+            // Name every input vertex — id plus label, following the
+            // executor's `vertex v3 ("loss")` convention — so the caller
+            // can see *which* subexpression produced the offending
+            // shape. Matters most for the scalar reductions: a stray
+            // `1 × 1` SumAll result fed where a matrix is expected fails
+            // far from where the reduction was written.
+            let named: Vec<String> = inputs
+                .iter()
+                .map(|id| {
+                    if id.index() >= graph.len() {
+                        return format!("vertex {id} (undefined)");
+                    }
+                    match &graph.node(*id).name {
+                        Some(label) => format!("vertex {id} ({label:?})"),
+                        None => format!("vertex {id}"),
+                    }
+                })
+                .collect();
+            TypeError {
+                message: format!("{:?} of [{}]: {}", op.kind(), named.join(", "), e.message),
+            }
+        })
     }
 }
 
@@ -169,6 +192,18 @@ impl<'b> Expr<'b> {
         self.unary(Op::Inverse)
     }
 
+    /// Sum of every entry (a `1 × 1` scalar) — the terminal reduction
+    /// of a loss expression.
+    pub fn sum_all(self) -> Expr<'b> {
+        self.unary(Op::SumAll)
+    }
+
+    /// Frobenius norm (a `1 × 1` scalar). Not differentiable in this op
+    /// set; used for gradient-norm telemetry.
+    pub fn frobenius_norm(self) -> Expr<'b> {
+        self.unary(Op::FrobeniusNorm)
+    }
+
     /// Attaches a display name to this vertex.
     pub fn named(self, name: &str) -> Expr<'b> {
         self.builder.graph.borrow_mut().rename(self.id, name);
@@ -246,6 +281,22 @@ impl<'b> Expr<'b> {
     /// [`TypeError`] when the matrix is not square.
     pub fn try_inverse(self) -> Result<Expr<'b>, TypeError> {
         self.try_apply(Op::Inverse, &[])
+    }
+
+    /// Fallible [`Expr::sum_all`].
+    ///
+    /// # Errors
+    /// [`TypeError`] when the vertex no longer exists in the builder.
+    pub fn try_sum_all(self) -> Result<Expr<'b>, TypeError> {
+        self.try_apply(Op::SumAll, &[])
+    }
+
+    /// Fallible [`Expr::frobenius_norm`].
+    ///
+    /// # Errors
+    /// [`TypeError`] when the vertex no longer exists in the builder.
+    pub fn try_frobenius_norm(self) -> Result<Expr<'b>, TypeError> {
+        self.try_apply(Op::FrobeniusNorm, &[])
     }
 }
 
@@ -383,6 +434,83 @@ mod tests {
         let before = b.graph.borrow().len();
         assert!(x.try_mm(x).is_err());
         assert_eq!(b.graph.borrow().len(), before);
+    }
+
+    #[test]
+    fn scalar_reductions_build_one_by_one_types() {
+        let b = ExprBuilder::new();
+        let x = sq(&b, "x");
+        let s = x.sum_all();
+        let n = x.frobenius_norm();
+        assert_eq!((b.type_of(s).rows, b.type_of(s).cols), (1, 1));
+        assert_eq!((b.type_of(n).rows, b.type_of(n).cols), (1, 1));
+    }
+
+    /// Table test: every shape-invalid use of a scalar-reduction result
+    /// is rejected with an error that names the offending vertices by id
+    /// *and* label, per the executor's error convention.
+    #[test]
+    fn misused_reductions_report_vertex_and_label() {
+        let b = ExprBuilder::new();
+        let x = sq(&b, "x").named("x");
+        let loss = x.sum_all().named("loss");
+        let norm = x.frobenius_norm().named("gnorm");
+        let loss_id = loss.id();
+        let norm_id = norm.id();
+        let x_id = x.id();
+
+        // (attempt, fragments every resulting message must contain)
+        let cases: Vec<(Result<Expr<'_>, TypeError>, Vec<String>)> = vec![
+            (
+                // 1×1 scalar added to a 64×64 matrix.
+                loss.try_add(x),
+                vec![
+                    "Add".into(),
+                    format!("vertex {loss_id} (\"loss\")"),
+                    format!("vertex {x_id} (\"x\")"),
+                ],
+            ),
+            (
+                // 1×1 scalar as the left operand of a matmul whose
+                // inner dimension is 64.
+                loss.try_mm(x),
+                vec!["MatMul".into(), format!("vertex {loss_id} (\"loss\")")],
+            ),
+            (
+                // Hadamard of two differently-shaped scalars' parents.
+                norm.try_hadamard(x),
+                vec!["Hadamard".into(), format!("vertex {norm_id} (\"gnorm\")")],
+            ),
+            (
+                // A 1×1 scalar is square but far too small for the
+                // 64-wide bias broadcast.
+                x.try_bias_add(loss),
+                vec![
+                    "BroadcastAddRow".into(),
+                    format!("vertex {x_id} (\"x\")"),
+                    format!("vertex {loss_id} (\"loss\")"),
+                ],
+            ),
+            (
+                // Subtracting a scalar from the matrix it reduced.
+                x.try_sub(norm),
+                vec!["Sub".into(), format!("vertex {norm_id} (\"gnorm\")")],
+            ),
+        ];
+        for (i, (result, fragments)) in cases.into_iter().enumerate() {
+            let err = result.err().unwrap_or_else(|| panic!("case {i} must fail"));
+            for fragment in fragments {
+                assert!(
+                    err.message.contains(&fragment),
+                    "case {i}: error {:?} does not name {fragment:?}",
+                    err.message
+                );
+            }
+        }
+        // Unnamed vertices still get their id.
+        let t = sq(&b, "y").t();
+        let err = t.sum_all().try_mm(t).unwrap_err();
+        assert!(err.message.contains(&format!("vertex {}", t.id())));
     }
 
     #[test]

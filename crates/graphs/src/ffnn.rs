@@ -15,7 +15,8 @@
 //! W_i' = W_i − η·dW_i          b_i' = b_i − η·db_i
 //! ```
 
-use matopt_core::{ComputeGraph, MatrixType, NodeId, Op, PhysFormat, TypeError};
+use matopt_autodiff::gradients_with_seed;
+use matopt_core::{ComputeGraph, DiffRole, MatrixType, NodeId, Op, PhysFormat, TypeError};
 
 /// Configuration of an FFNN workload.
 #[derive(Debug, Clone, Copy)]
@@ -118,6 +119,10 @@ pub struct FfnnGraph {
     pub updated_weights: Vec<NodeId>,
     /// The output-layer activation vertex of the *last* forward pass.
     pub output_activations: NodeId,
+    /// Per-vertex [`DiffRole`] for [`matopt_core::training_to_dot`].
+    /// Populated by the `_autodiff` builders; empty for the hand-built
+    /// tapes (which predate role tracking).
+    pub roles: Vec<DiffRole>,
 }
 
 struct Builder {
@@ -271,6 +276,7 @@ pub fn ffnn_full_pass_graph(cfg: FfnnConfig) -> Result<FfnnGraph, TypeError> {
         weights,
         updated_weights: new_w,
         output_activations: *second.activations.last().expect("nonempty"),
+        roles: Vec::new(),
     })
 }
 
@@ -293,6 +299,7 @@ pub fn ffnn_w2_update_graph(cfg: FfnnConfig) -> Result<FfnnGraph, TypeError> {
         weights,
         updated_weights: new_w,
         output_activations: *fwd.activations.last().expect("nonempty"),
+        roles: Vec::new(),
     })
 }
 
@@ -313,6 +320,223 @@ pub fn ffnn_train_step_graph(cfg: FfnnConfig) -> Result<FfnnGraph, TypeError> {
         weights,
         updated_weights: new_w,
         output_activations: *fwd.activations.last().expect("nonempty"),
+        roles: Vec::new(),
+    })
+}
+
+/// Shared tail of the `_autodiff` builders: seeds `dZ_n = (A_out − Y) /
+/// batch` at the last pre-activation (exactly the hand-built tape's
+/// softmax+cross-entropy shortcut), derives the gradient tape for the
+/// covered layers with reverse-mode autodiff, and appends the same SGD
+/// update vertices the hand-built [`Builder::backprop`] emits. Returns
+/// the builder (now holding the joint graph), updated weights/biases
+/// most-shallow first, and per-vertex roles.
+fn autodiff_backprop(
+    mut b: Builder,
+    y: NodeId,
+    weights: &[NodeId],
+    biases: &[NodeId],
+    fwd: &ForwardPass,
+    down_to_layer: usize,
+) -> Result<AutodiffTail, TypeError> {
+    let c = b.cfg;
+    let n = weights.len();
+    let out = *fwd.activations.last().expect("forward ran");
+    let z_last = *fwd.zs.last().expect("forward ran");
+    let (diff, dz) = crate::losses::softmax_xent_seed(&mut b.g, out, y, c.batch as f64)?;
+    let mut params = Vec::new();
+    for i in down_to_layer..n {
+        params.push(weights[i]);
+        params.push(biases[i]);
+    }
+    let d = gradients_with_seed(b.g, z_last, dz, &params).map_err(|e| TypeError {
+        message: format!("autodiff: {e}"),
+    })?;
+    // The FFNN tape never broadcasts a scalar adjoint, so derivation
+    // introduces no auxiliary ones-sources and the catalog's
+    // name-driven input generation keeps working unchanged.
+    assert!(d.aux.is_empty(), "FFNN tape needs no auxiliary sources");
+    let grads: Vec<(usize, NodeId, NodeId)> = (down_to_layer..n)
+        .rev()
+        .map(|i| {
+            let dw = d.gradient(weights[i]).expect("weight gradient derived");
+            let db = d.gradient(biases[i]).expect("bias gradient derived");
+            (i, dw, db)
+        })
+        .collect();
+    let mut roles = d.roles;
+    // The seed pair computes the loss gradient, not a forward value.
+    roles[diff.index()] = DiffRole::Backward;
+    roles[dz.index()] = DiffRole::Backward;
+    b.g = d.graph;
+    let mut new_w = vec![None; n];
+    let mut new_b = vec![None; n];
+    for (i, dw, db) in grads {
+        let scaled_dw = b.g.add_op(Op::ScalarMul(c.learning_rate), &[dw])?;
+        new_w[i] = Some(b.g.add_op_named(
+            Op::Sub,
+            &[weights[i], scaled_dw],
+            Some(&format!("W{}'", i + 1)),
+        )?);
+        let scaled_db = b.g.add_op(Op::ScalarMul(c.learning_rate), &[db])?;
+        new_b[i] = Some(b.g.add_op(Op::Sub, &[biases[i], scaled_db])?);
+    }
+    roles.resize(b.g.len(), DiffRole::Backward);
+    Ok(AutodiffTail {
+        b,
+        new_w: new_w.into_iter().flatten().collect(),
+        new_b: new_b.into_iter().flatten().collect(),
+        roles,
+        diff,
+    })
+}
+
+/// What [`autodiff_backprop`] hands back to the public builders.
+struct AutodiffTail {
+    b: Builder,
+    /// Updated weights for the covered layers, most-shallow first.
+    new_w: Vec<NodeId>,
+    /// Updated biases, aligned with `new_w`.
+    new_b: Vec<NodeId>,
+    roles: Vec<DiffRole>,
+    /// The `A_out − Y` difference vertex, reusable for a monitoring
+    /// loss.
+    diff: NodeId,
+}
+
+/// Autodiff-derived twin of [`ffnn_full_pass_graph`]: the backward tape
+/// comes from [`matopt_autodiff::gradients_with_seed`] instead of the
+/// hand-built rules, then the same SGD updates and second forward pass
+/// are appended. Produces a graph with the same 57 vertices and
+/// bit-identical semantics (asserted by `tests/autodiff_parity.rs`).
+///
+/// # Errors
+/// Propagates [`TypeError`] on inconsistent configurations.
+pub fn ffnn_full_pass_graph_autodiff(cfg: FfnnConfig) -> Result<FfnnGraph, TypeError> {
+    let mut b = Builder::new(cfg);
+    let (x, y, weights, biases) = b.sources()?;
+    let fwd = b.forward(x, &weights, &biases)?;
+    let AutodiffTail {
+        mut b,
+        new_w,
+        new_b,
+        mut roles,
+        ..
+    } = autodiff_backprop(b, y, &weights, &biases, &fwd, 0)?;
+    let second = b.forward(x, &new_w, &new_b)?;
+    roles.resize(b.g.len(), DiffRole::Forward);
+    Ok(FfnnGraph {
+        graph: b.g,
+        x,
+        y,
+        weights,
+        updated_weights: new_w,
+        output_activations: *second.activations.last().expect("nonempty"),
+        roles,
+    })
+}
+
+/// Autodiff-derived twin of [`ffnn_w2_update_graph`]: gradients are
+/// requested only for layers 2..n, and needs-pruning stops the tape at
+/// exactly the vertex the hand-built `down_to_layer` cutoff does.
+///
+/// # Errors
+/// Propagates [`TypeError`] on inconsistent configurations.
+pub fn ffnn_w2_update_graph_autodiff(cfg: FfnnConfig) -> Result<FfnnGraph, TypeError> {
+    let mut b = Builder::new(cfg);
+    let (x, y, weights, biases) = b.sources()?;
+    let fwd = b.forward(x, &weights, &biases)?;
+    let AutodiffTail {
+        b, new_w, roles, ..
+    } = autodiff_backprop(b, y, &weights, &biases, &fwd, 1)?;
+    Ok(FfnnGraph {
+        graph: b.g,
+        x,
+        y,
+        weights,
+        updated_weights: new_w,
+        output_activations: *fwd.activations.last().expect("nonempty"),
+        roles,
+    })
+}
+
+/// Handles to the vertices `matopt train`'s epoch loop needs.
+#[derive(Debug, Clone)]
+pub struct FfnnTraining {
+    /// The joint forward+backward graph, planned as one DAG.
+    pub graph: ComputeGraph,
+    /// Input batch vertex.
+    pub x: NodeId,
+    /// Label matrix vertex.
+    pub y: NodeId,
+    /// Weight sources W1..Wn.
+    pub weights: Vec<NodeId>,
+    /// Bias sources b1..bn.
+    pub biases: Vec<NodeId>,
+    /// SGD-updated weights, aligned with `weights`.
+    pub updated_weights: Vec<NodeId>,
+    /// SGD-updated biases, aligned with `biases`.
+    pub updated_biases: Vec<NodeId>,
+    /// The 1×1 monitoring loss (mean squared error over the batch,
+    /// sharing the tape's `A_out − Y` difference vertex).
+    pub loss: NodeId,
+    /// Per-vertex [`DiffRole`] for [`matopt_core::training_to_dot`].
+    pub roles: Vec<DiffRole>,
+}
+
+/// The graph `matopt train` runs once per epoch: one forward pass, an
+/// autodiff-derived tape, SGD updates for *every* parameter, and a
+/// scalar monitoring loss. Sinks are exactly the updated parameters
+/// plus the loss, so the epoch loop can feed each epoch's outputs back
+/// in as the next epoch's `W_i`/`b_i` inputs.
+///
+/// # Errors
+/// Propagates [`TypeError`] on inconsistent configurations.
+pub fn ffnn_training_graph(cfg: FfnnConfig) -> Result<FfnnTraining, TypeError> {
+    let mut b = Builder::new(cfg);
+    let (x, y, weights, biases) = b.sources()?;
+    let fwd = b.forward(x, &weights, &biases)?;
+    let AutodiffTail {
+        mut b,
+        new_w,
+        new_b,
+        mut roles,
+        diff,
+    } = autodiff_backprop(b, y, &weights, &biases, &fwd, 0)?;
+    let loss = crate::losses::sum_of_squares_loss(&mut b.g, diff, 1.0 / cfg.batch as f64)?;
+    roles.resize(b.g.len(), DiffRole::Backward);
+    Ok(FfnnTraining {
+        graph: b.g,
+        x,
+        y,
+        weights,
+        biases,
+        updated_weights: new_w,
+        updated_biases: new_b,
+        loss,
+        roles,
+    })
+}
+
+/// Autodiff-derived twin of [`ffnn_train_step_graph`].
+///
+/// # Errors
+/// Propagates [`TypeError`] on inconsistent configurations.
+pub fn ffnn_train_step_graph_autodiff(cfg: FfnnConfig) -> Result<FfnnGraph, TypeError> {
+    let mut b = Builder::new(cfg);
+    let (x, y, weights, biases) = b.sources()?;
+    let fwd = b.forward(x, &weights, &biases)?;
+    let AutodiffTail {
+        b, new_w, roles, ..
+    } = autodiff_backprop(b, y, &weights, &biases, &fwd, 0)?;
+    Ok(FfnnGraph {
+        graph: b.g,
+        x,
+        y,
+        weights,
+        updated_weights: new_w,
+        output_activations: *fwd.activations.last().expect("nonempty"),
+        roles,
     })
 }
 
@@ -355,6 +579,44 @@ mod tests {
             g.graph.node(g.x).source_format(),
             Some(PhysFormat::CsrTile { side: 1000 })
         );
+    }
+
+    #[test]
+    fn autodiff_full_pass_hits_the_paper_vertex_count() {
+        // Needs-pruning drops the dead dX path, so the derived joint
+        // graph lands on exactly the paper's 57 vertices — the same
+        // count the hand-built tape is pinned to.
+        let g = ffnn_full_pass_graph_autodiff(FfnnConfig::simsql_experiment(80_000)).unwrap();
+        assert_eq!(g.graph.len(), 57);
+        assert_eq!(g.roles.len(), 57);
+    }
+
+    #[test]
+    fn autodiff_w2_update_matches_hand_built_structure() {
+        let cfg = FfnnConfig::simsql_experiment(10_000);
+        let hand = ffnn_w2_update_graph(cfg).unwrap();
+        let auto = ffnn_w2_update_graph_autodiff(cfg).unwrap();
+        assert_eq!(auto.graph.len(), hand.graph.len());
+        assert_eq!(auto.updated_weights.len(), 2);
+        for (h, a) in hand.updated_weights.iter().zip(auto.updated_weights.iter()) {
+            let (hm, am) = (hand.graph.node(*h).mtype, auto.graph.node(*a).mtype);
+            assert_eq!((hm.rows, hm.cols), (am.rows, am.cols));
+        }
+    }
+
+    #[test]
+    fn autodiff_roles_partition_forward_and_backward() {
+        let g = ffnn_train_step_graph_autodiff(FfnnConfig::laptop(16)).unwrap();
+        assert_eq!(g.roles.len(), g.graph.len());
+        // The 8 sources and the first forward pass stay forward/shared;
+        // every update vertex is backward.
+        assert!(matches!(
+            g.roles[g.x.index()],
+            DiffRole::Forward | DiffRole::Shared
+        ));
+        for w in &g.updated_weights {
+            assert!(matches!(g.roles[w.index()], DiffRole::Backward));
+        }
     }
 
     #[test]

@@ -20,6 +20,7 @@ pub mod chain;
 pub mod expr;
 pub mod ffnn;
 pub mod inverse;
+pub mod losses;
 pub mod ml;
 pub mod scaled;
 
@@ -29,11 +30,14 @@ pub use chain::{
 };
 pub use expr::{Expr, ExprBuilder};
 pub use ffnn::{
-    ffnn_full_pass_graph, ffnn_train_step_graph, ffnn_w2_update_graph, FfnnConfig, FfnnGraph,
+    ffnn_full_pass_graph, ffnn_full_pass_graph_autodiff, ffnn_train_step_graph,
+    ffnn_train_step_graph_autodiff, ffnn_training_graph, ffnn_w2_update_graph,
+    ffnn_w2_update_graph_autodiff, FfnnConfig, FfnnGraph, FfnnTraining,
 };
 pub use inverse::{
     badd, block_inverse, bmm, bneg, bsub, two_level_inverse_graph, BlockMat, TwoLevelInverse,
 };
+pub use losses::{frobenius_residual, softmax_xent_seed, squared_error_loss, sum_of_squares_loss};
 pub use ml::{
     linear_regression_step, logistic_regression_step, pagerank_graph, PageRankGraph,
     RegressionConfig, RegressionGraph,

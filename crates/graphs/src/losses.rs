@@ -1,0 +1,122 @@
+//! Scalar training losses assembled from the paper's relational ops.
+//!
+//! The reduction ops (`SumAll`, `FrobeniusNorm`) collapse a matrix to a
+//! 1×1 scalar vertex, which is what [`matopt_autodiff::gradients`]
+//! wants as a differentiation root. There is no elementwise `log` op in
+//! the paper's algebra, so cross-entropy objectives are handled the way
+//! the paper's SimSQL code does: the *gradient seed* is the fused
+//! softmax+cross-entropy difference (see [`softmax_xent_seed`]) while
+//! the *reported* scalar is a squared-error surrogate over the same
+//! difference vertex.
+
+use matopt_core::{ComputeGraph, NodeId, Op, TypeError};
+
+/// Appends `scale · Σᵢⱼ dᵢⱼ²` — the sum of squares of an existing
+/// difference vertex — and names the resulting scalar `"loss"`.
+///
+/// # Errors
+/// Propagates [`TypeError`] when `d`'s type is unusable.
+pub fn sum_of_squares_loss(
+    g: &mut ComputeGraph,
+    d: NodeId,
+    scale: f64,
+) -> Result<NodeId, TypeError> {
+    let sq = g.add_op(Op::Hadamard, &[d, d])?;
+    let tot = g.add_op(Op::SumAll, &[sq])?;
+    g.add_op_named(Op::ScalarMul(scale), &[tot], Some("loss"))
+}
+
+/// Appends `scale · ‖pred − y‖²_F` as a fresh difference plus
+/// [`sum_of_squares_loss`].
+///
+/// # Errors
+/// Propagates [`TypeError`] on shape-mismatched `pred`/`y`.
+pub fn squared_error_loss(
+    g: &mut ComputeGraph,
+    pred: NodeId,
+    y: NodeId,
+    scale: f64,
+) -> Result<NodeId, TypeError> {
+    let d = g.add_op(Op::Sub, &[pred, y])?;
+    sum_of_squares_loss(g, d, scale)
+}
+
+/// Appends `‖pred − y‖_F` named `"residual"` — a monitoring scalar.
+/// `FrobeniusNorm` has no vector-Jacobian rule (the square root is not
+/// differentiable at zero residual), so this is for *reporting* only;
+/// differentiate [`squared_error_loss`] instead.
+///
+/// # Errors
+/// Propagates [`TypeError`] on shape-mismatched `pred`/`y`.
+pub fn frobenius_residual(
+    g: &mut ComputeGraph,
+    pred: NodeId,
+    y: NodeId,
+) -> Result<NodeId, TypeError> {
+    let d = g.add_op(Op::Sub, &[pred, y])?;
+    g.add_op_named(Op::FrobeniusNorm, &[d], Some("residual"))
+}
+
+/// The fused softmax+cross-entropy gradient seed `(A_out − Y)/batch`:
+/// exactly the textbook `dZ` the paper's backprop starts from. Returns
+/// `(diff, dz)` where `diff = A_out − Y` (reusable for a monitoring
+/// loss) and `dz` is the adjoint to seed at the last pre-activation via
+/// [`matopt_autodiff::gradients_with_seed`].
+///
+/// # Errors
+/// Propagates [`TypeError`] on shape-mismatched `softmax_out`/`y`.
+pub fn softmax_xent_seed(
+    g: &mut ComputeGraph,
+    softmax_out: NodeId,
+    y: NodeId,
+    batch: f64,
+) -> Result<(NodeId, NodeId), TypeError> {
+    let diff = g.add_op(Op::Sub, &[softmax_out, y])?;
+    let dz = g.add_op(Op::ScalarMul(1.0 / batch), &[diff])?;
+    Ok((diff, dz))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matopt_core::{MatrixType, PhysFormat};
+
+    fn pair(g: &mut ComputeGraph) -> (NodeId, NodeId) {
+        let p = g.add_source(MatrixType::dense(8, 4), PhysFormat::SingleTuple);
+        let y = g.add_source(MatrixType::dense(8, 4), PhysFormat::SingleTuple);
+        (p, y)
+    }
+
+    #[test]
+    fn losses_are_one_by_one_scalars() {
+        let mut g = ComputeGraph::new();
+        let (p, y) = pair(&mut g);
+        let l = squared_error_loss(&mut g, p, y, 0.5).unwrap();
+        let r = frobenius_residual(&mut g, p, y).unwrap();
+        for v in [l, r] {
+            let mt = g.node(v).mtype;
+            assert_eq!((mt.rows, mt.cols), (1, 1));
+        }
+        assert_eq!(g.node(l).name.as_deref(), Some("loss"));
+        assert_eq!(g.node(r).name.as_deref(), Some("residual"));
+    }
+
+    #[test]
+    fn xent_seed_matches_the_output_shape() {
+        let mut g = ComputeGraph::new();
+        let (p, y) = pair(&mut g);
+        let (diff, dz) = softmax_xent_seed(&mut g, p, y, 8.0).unwrap();
+        let mt = g.node(dz).mtype;
+        assert_eq!((mt.rows, mt.cols), (8, 4));
+        assert_eq!(g.node(dz).inputs, vec![diff]);
+    }
+
+    #[test]
+    fn mismatched_shapes_are_rejected() {
+        let mut g = ComputeGraph::new();
+        let p = g.add_source(MatrixType::dense(8, 4), PhysFormat::SingleTuple);
+        let y = g.add_source(MatrixType::dense(4, 8), PhysFormat::SingleTuple);
+        assert!(squared_error_loss(&mut g, p, y, 1.0).is_err());
+        assert!(frobenius_residual(&mut g, p, y).is_err());
+    }
+}

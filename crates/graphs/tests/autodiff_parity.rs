@@ -1,0 +1,87 @@
+//! The autodiff-derived FFNN tapes are *bit-identical* to the
+//! hand-built backprop graphs: same wiring per the paper's update
+//! rules, so the reference evaluator produces exactly the same f64s —
+//! zero Frobenius distance, not merely "close".
+
+use std::collections::HashMap;
+
+use matopt_core::NodeId;
+use matopt_engine::reference_eval_all;
+use matopt_graphs::{
+    ffnn_full_pass_graph, ffnn_full_pass_graph_autodiff, ffnn_train_step_graph,
+    ffnn_train_step_graph_autodiff, ffnn_w2_update_graph, ffnn_w2_update_graph_autodiff,
+    FfnnConfig, FfnnGraph,
+};
+use matopt_kernels::{random_dense_normal, seeded_rng, DenseMatrix};
+
+/// One deterministic matrix per *source name*, so both graphs see the
+/// same numbers regardless of how their vertex ids line up.
+fn input_bank(g: &FfnnGraph) -> HashMap<String, DenseMatrix> {
+    let mut bank = HashMap::new();
+    for s in g.graph.sources() {
+        let node = g.graph.node(s);
+        let name = node.name.clone().expect("ffnn sources are named");
+        let seed = 41 + name.bytes().map(u64::from).sum::<u64>();
+        let mut rng = seeded_rng(seed);
+        bank.insert(
+            name,
+            random_dense_normal(node.mtype.rows as usize, node.mtype.cols as usize, &mut rng),
+        );
+    }
+    bank
+}
+
+fn bind(g: &FfnnGraph, bank: &HashMap<String, DenseMatrix>) -> HashMap<NodeId, DenseMatrix> {
+    g.graph
+        .sources()
+        .into_iter()
+        .map(|s| {
+            let name = g.graph.node(s).name.as_deref().expect("named");
+            (s, bank[name].clone())
+        })
+        .collect()
+}
+
+fn assert_bit_identical(hand: &FfnnGraph, auto: &FfnnGraph) {
+    assert_eq!(hand.graph.len(), auto.graph.len(), "vertex counts differ");
+    let bank = input_bank(hand);
+    let hv = reference_eval_all(&hand.graph, &bind(hand, &bank)).unwrap();
+    let av = reference_eval_all(&auto.graph, &bind(auto, &bank)).unwrap();
+    assert_eq!(hand.updated_weights.len(), auto.updated_weights.len());
+    for (i, (h, a)) in hand
+        .updated_weights
+        .iter()
+        .zip(auto.updated_weights.iter())
+        .enumerate()
+    {
+        let dist = hv[h].frobenius_distance(&av[a]);
+        assert_eq!(dist, 0.0, "updated weight {i} differs (distance {dist})");
+    }
+    let dist = hv[&hand.output_activations].frobenius_distance(&av[&auto.output_activations]);
+    assert_eq!(dist, 0.0, "output activations differ (distance {dist})");
+}
+
+#[test]
+fn full_pass_gradients_are_bit_identical() {
+    let cfg = FfnnConfig::laptop(16);
+    let hand = ffnn_full_pass_graph(cfg).unwrap();
+    let auto = ffnn_full_pass_graph_autodiff(cfg).unwrap();
+    assert_eq!(hand.graph.len(), 57, "paper-pinned vertex count");
+    assert_bit_identical(&hand, &auto);
+}
+
+#[test]
+fn w2_update_gradients_are_bit_identical() {
+    let cfg = FfnnConfig::laptop(24);
+    let hand = ffnn_w2_update_graph(cfg).unwrap();
+    let auto = ffnn_w2_update_graph_autodiff(cfg).unwrap();
+    assert_bit_identical(&hand, &auto);
+}
+
+#[test]
+fn train_step_gradients_are_bit_identical() {
+    let cfg = FfnnConfig::laptop(16);
+    let hand = ffnn_train_step_graph(cfg).unwrap();
+    let auto = ffnn_train_step_graph_autodiff(cfg).unwrap();
+    assert_bit_identical(&hand, &auto);
+}

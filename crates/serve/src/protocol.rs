@@ -54,8 +54,9 @@
 use crate::ServeError;
 use matopt_core::{Cluster, ComputeGraph, MatrixType, Op, PhysFormat};
 use matopt_graphs::{
-    ffnn_full_pass_graph, ffnn_train_step_graph, ffnn_w2_update_graph, matmul_chain_graph,
-    motivating_graph, two_level_inverse_graph, Expr, ExprBuilder, FfnnConfig, SizeSet,
+    ffnn_full_pass_graph_autodiff, ffnn_train_step_graph_autodiff, ffnn_training_graph,
+    ffnn_w2_update_graph_autodiff, matmul_chain_graph, motivating_graph, two_level_inverse_graph,
+    Expr, ExprBuilder, FfnnConfig, SizeSet,
 };
 
 // ---------------------------------------------------------------------
@@ -434,6 +435,8 @@ fn graph_from_json(doc: &Json) -> Result<ComputeGraph, ServeError> {
             "colsums" => Op::ColSums,
             "inverse" => Op::Inverse,
             "biasadd" => Op::BroadcastAddRow,
+            "sumall" => Op::SumAll,
+            "frobeniusnorm" | "frobenius" => Op::FrobeniusNorm,
             other => return Err(bad(format!("op {i}: unknown op \"{other}\""))),
         };
         let input_idx = o
@@ -499,8 +502,13 @@ pub fn parse_format(spec: &str) -> Option<PhysFormat> {
 
 /// Builds one of the CLI's named experiment graphs — the same specs
 /// `matopt plan <workload>` accepts (`ffnn:H`, `ffnn-full:H`,
-/// `ffnn-small:H`, `amazoncat:B:L[:sparse]`, `chain:1|2|3`, `inverse`,
-/// `motivating`).
+/// `ffnn-small:H`, `ffnn-train:H`, `amazoncat:B:L[:sparse]`,
+/// `chain:1|2|3`, `inverse`, `motivating`).
+///
+/// The FFNN backprop workloads are *autodiff-derived*: the forward
+/// pass is written once and `matopt-autodiff` emits the gradient tape.
+/// The hand-built builders survive only as the reference the parity
+/// suite checks the derivation against, bit for bit.
 ///
 /// # Errors
 /// A usage string for unknown or malformed specs.
@@ -512,25 +520,38 @@ pub fn workload_graph(spec: &str, cluster: &Cluster) -> Result<ComputeGraph, Str
                 .get(1)
                 .and_then(|s| s.parse().ok())
                 .ok_or("ffnn:<hidden> expects a size, e.g. ffnn:80000")?;
-            Ok(ffnn_w2_update_graph(FfnnConfig::simsql_experiment(hidden))
-                .map_err(|e| e.to_string())?
-                .graph)
+            Ok(
+                ffnn_w2_update_graph_autodiff(FfnnConfig::simsql_experiment(hidden))
+                    .map_err(|e| e.to_string())?
+                    .graph,
+            )
         }
         "ffnn-full" => {
             let hidden = parts
                 .get(1)
                 .and_then(|s| s.parse().ok())
                 .ok_or("ffnn-full:<hidden> expects a size")?;
-            Ok(ffnn_full_pass_graph(FfnnConfig::simsql_experiment(hidden))
-                .map_err(|e| e.to_string())?
-                .graph)
+            Ok(
+                ffnn_full_pass_graph_autodiff(FfnnConfig::simsql_experiment(hidden))
+                    .map_err(|e| e.to_string())?
+                    .graph,
+            )
         }
         "ffnn-small" => {
             let hidden = parts
                 .get(1)
                 .and_then(|s| s.parse().ok())
                 .ok_or("ffnn-small:<hidden> expects a size, e.g. ffnn-small:32")?;
-            Ok(ffnn_w2_update_graph(FfnnConfig::laptop(hidden))
+            Ok(ffnn_w2_update_graph_autodiff(FfnnConfig::laptop(hidden))
+                .map_err(|e| e.to_string())?
+                .graph)
+        }
+        "ffnn-train" => {
+            let hidden = parts
+                .get(1)
+                .and_then(|s| s.parse().ok())
+                .ok_or("ffnn-train:<hidden> expects a size, e.g. ffnn-train:32")?;
+            Ok(ffnn_training_graph(FfnnConfig::laptop(hidden))
                 .map_err(|e| e.to_string())?
                 .graph)
         }
@@ -545,7 +566,7 @@ pub fn workload_graph(spec: &str, cluster: &Cluster) -> Result<ComputeGraph, Str
                 .ok_or("amazoncat:<batch>:<layer>[:sparse]")?;
             let sparse = parts.get(3) == Some(&"sparse");
             Ok(
-                ffnn_train_step_graph(FfnnConfig::amazoncat(batch, layer, sparse))
+                ffnn_train_step_graph_autodiff(FfnnConfig::amazoncat(batch, layer, sparse))
                     .map_err(|e| e.to_string())?
                     .graph,
             )
@@ -567,7 +588,7 @@ pub fn workload_graph(spec: &str, cluster: &Cluster) -> Result<ComputeGraph, Str
         "motivating" => Ok(motivating_graph().map_err(|e| e.to_string())?.graph),
         other => Err(format!(
             "unknown workload {other} (expected ffnn:H, ffnn-full:H, ffnn-small:H, \
-             amazoncat:B:L[:sparse], chain:1|2|3, inverse, motivating)"
+             ffnn-train:H, amazoncat:B:L[:sparse], chain:1|2|3, inverse, motivating)"
         )),
     }
 }
@@ -645,10 +666,17 @@ mod tests {
     #[test]
     fn workload_specs_match_the_cli() {
         let cluster = Cluster::simsql_like(4);
-        for spec in ["ffnn-small:16", "chain:1", "motivating", "inverse"] {
+        for spec in [
+            "ffnn-small:16",
+            "ffnn-train:8",
+            "chain:1",
+            "motivating",
+            "inverse",
+        ] {
             assert!(workload_graph(spec, &cluster).is_ok(), "{spec} failed");
         }
         assert!(workload_graph("ffnn", &cluster).is_err());
+        assert!(workload_graph("ffnn-train", &cluster).is_err());
     }
 
     #[test]

@@ -42,8 +42,18 @@ fn workload(spec: &str, seed: u64) -> (ComputeGraph, HashMap<NodeId, DistRelatio
 fn batched_executions_share_one_run_and_stay_bit_exact() {
     const CLIENTS: usize = 8;
     let svc = service();
-    let front = Arc::new(FrontDoor::new(Arc::clone(&svc), FrontDoorConfig::default()));
+    let front = Arc::new(FrontDoor::new(
+        Arc::clone(&svc),
+        FrontDoorConfig {
+            exec_concurrency: 1,
+            ..FrontDoorConfig::default()
+        },
+    ));
     let (graph, inputs) = workload("ffnn-small:16", 0xBA7C);
+    // A deliberately heavier run pins the single exec slot while the
+    // batch forms behind it: coalescing then does not depend on how
+    // fast the batched workload itself executes.
+    let (heavy, heavy_inputs) = workload("ffnn-small:256", 0x41AD);
 
     // Unbatched reference: plan + execute directly on the service.
     let planned = svc.plan(&graph).expect("plan");
@@ -51,6 +61,26 @@ fn batched_executions_share_one_run_and_stay_bit_exact() {
 
     let barrier = Barrier::new(CLIENTS);
     let responses: Vec<_> = std::thread::scope(|scope| {
+        let holder = {
+            let front = Arc::clone(&front);
+            let heavy = &heavy;
+            let heavy_inputs = &heavy_inputs;
+            scope.spawn(move || {
+                front.execute(&ExecRequest {
+                    tenant: "batch",
+                    graph: heavy,
+                    inputs: heavy_inputs,
+                    input_key: 1,
+                    deadline: None,
+                })
+            })
+        };
+        // Wait until the heavy run actually holds the slot.
+        let t0 = Instant::now();
+        while front.stats().flights == 0 && t0.elapsed() < Duration::from_secs(10) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(front.stats().flights > 0, "holder never took the slot");
         let handles: Vec<_> = (0..CLIENTS)
             .map(|_| {
                 let front = Arc::clone(&front);
@@ -71,7 +101,9 @@ fn batched_executions_share_one_run_and_stay_bit_exact() {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+        let responses: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        holder.join().unwrap().expect("holder finishes");
+        responses
     });
 
     // Every response is bit-identical to the unbatched run.
@@ -82,15 +114,15 @@ fn batched_executions_share_one_run_and_stay_bit_exact() {
         assert!(!resp.degraded);
     }
     let stats = front.stats();
-    assert_eq!(stats.exec_requests, CLIENTS as u64);
-    assert_eq!(stats.exec_ok, CLIENTS as u64);
+    assert_eq!(stats.exec_requests, CLIENTS as u64 + 1);
+    assert_eq!(stats.exec_ok, CLIENTS as u64 + 1);
     assert_eq!(
         stats.batched + stats.flights,
-        CLIENTS as u64,
+        CLIENTS as u64 + 1,
         "every request is either a flight leader or batched onto one"
     );
     assert!(
-        stats.flights < CLIENTS as u64,
+        stats.batched >= 1,
         "concurrent identical requests must coalesce at least once"
     );
     // Distinct input keys must NOT batch.
@@ -126,7 +158,10 @@ fn quota_exhaustion_rejects_structurally_and_spares_other_tenants() {
             ..FrontDoorConfig::default()
         },
     ));
-    let (graph, inputs) = workload("ffnn-small:24", 0x900D);
+    // Heavy enough that the 8 concurrent runs genuinely overlap: a
+    // sub-millisecond workload can serialize through the quota gate
+    // without ever tripping it.
+    let (graph, inputs) = workload("ffnn-small:256", 0x900D);
 
     let barrier = Barrier::new(NOISY);
     let results: Vec<_> = std::thread::scope(|scope| {
@@ -193,7 +228,9 @@ fn queued_work_past_deadline_is_shed() {
             ..FrontDoorConfig::default()
         },
     ));
-    let (graph, inputs) = workload("ffnn-small:24", 0xDEAD);
+    // Heavy enough that the holder is still running when the expired
+    // request arrives behind it.
+    let (graph, inputs) = workload("ffnn-small:256", 0xDEAD);
 
     std::thread::scope(|scope| {
         // Occupy the single slot with a real run.
